@@ -1,0 +1,61 @@
+"""E10 — §1 complexity link: deterministic vs randomised verification.
+
+Regenerates the false-accept curve of random testing against the Lemma 2.1
+adversaries (compared with the exact ``(1 - 2^-n)^t`` prediction) and times
+Monte-Carlo verification against the deterministic test-set strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import experiment_decision_cost
+from repro.analysis import monte_carlo_is_sorter
+from repro.constructions import batcher_sorting_network
+from repro.properties import is_sorter
+from repro.testsets import near_sorter
+
+
+def test_decision_cost_table(reporter):
+    rows = reporter("E10: random testing vs the Lemma 2.1 adversaries", lambda: experiment_decision_cost(
+        n=6, vector_counts=(1, 4, 16, 64, 256), trials_per_adversary=10, num_adversaries=25
+    ))
+    rates = [row["measured_false_accept"] for row in rows]
+    assert rates == sorted(rates, reverse=True)
+
+
+@pytest.mark.parametrize("budget", [16, 256])
+def test_monte_carlo_verification(benchmark, budget):
+    network = batcher_sorting_network(10)
+    outcome = benchmark(lambda: monte_carlo_is_sorter(network, budget, rng=0))
+    assert outcome.verdict
+
+
+def test_adversary_always_fools_small_random_budgets(reporter):
+    def build():
+        n = 8
+        sigma = tuple([1] + [0] * (n - 1))
+        adversary = near_sorter(sigma)
+        rows = []
+        for budget in (1, 8, 64):
+            accepted = sum(
+                monte_carlo_is_sorter(adversary, budget, rng=seed).verdict
+                for seed in range(20)
+            )
+            rows.append(
+                {
+                    "n": n,
+                    "random_vectors": budget,
+                    "false_accepts_out_of_20": accepted,
+                    "deterministic_verdict": is_sorter(adversary, strategy="testset"),
+                }
+            )
+        return rows
+    rows = reporter("E10: a single adversary vs random testing", build)
+    assert all(row["deterministic_verdict"] is False for row in rows)
+
+
+@pytest.mark.parametrize("n", [10])
+def test_deterministic_testset_verification_baseline(benchmark, n):
+    network = batcher_sorting_network(n)
+    assert benchmark(lambda: is_sorter(network, strategy="testset"))

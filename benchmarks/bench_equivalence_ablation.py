@@ -1,0 +1,57 @@
+"""Ablation — behavioural equivalence and redundancy removal.
+
+Not tied to a single theorem, this module measures the supporting machinery
+used by the fault experiments (redundant comparators are exactly the
+undetectable stuck-pass faults) and by the test suite's cross-checks
+(equivalence of independently constructed sorters).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import (
+    batcher_sorting_network,
+    bose_nelson_sorting_network,
+    bubble_sorting_network,
+)
+from repro.core import (
+    networks_equivalent,
+    redundant_comparator_indices,
+    remove_redundant_comparators,
+)
+
+
+def test_construction_size_table(reporter):
+    def build():
+        rows = []
+        for n in (6, 8, 10, 12):
+            rows.append(
+                {
+                    "n": n,
+                    "batcher_size": batcher_sorting_network(n).size,
+                    "bose_nelson_size": bose_nelson_sorting_network(n).size,
+                    "bubble_size": bubble_sorting_network(n).size,
+                    "batcher_redundant": len(
+                        redundant_comparator_indices(batcher_sorting_network(n))
+                    ),
+                }
+            )
+        return rows
+
+    reporter("Ablation: sorter construction sizes and redundancy", build)
+
+
+@pytest.mark.parametrize("n", [8, 10])
+def test_equivalence_check_cost(benchmark, n):
+    a = batcher_sorting_network(n)
+    b = bose_nelson_sorting_network(n)
+    assert benchmark(lambda: networks_equivalent(a, b))
+
+
+@pytest.mark.parametrize("n", [6])
+def test_redundancy_removal_cost(benchmark, n):
+    combo = batcher_sorting_network(n).then(bubble_sorting_network(n))
+    simplified, removed = benchmark(lambda: remove_redundant_comparators(combo))
+    assert removed > 0
+    assert networks_equivalent(simplified, combo)

@@ -1,0 +1,47 @@
+"""E1 — Fig. 1: the network model and evaluation engine.
+
+Regenerates the Fig. 1 example (the bracket-notation network processing
+``(4 1 3 2)``) and measures the cost of the two evaluation paths the library
+offers: scalar per-word application and the vectorised batch engine that all
+experiments rely on (one ``minimum``/``maximum`` pair per comparator over the
+whole ``2**n`` input batch).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import experiment_fig1
+from repro.constructions import batcher_sorting_network
+from repro.core import (
+    all_binary_words,
+    all_binary_words_array,
+    apply_network_to_batch,
+)
+
+
+def test_fig1_example_table(reporter):
+    rows = reporter("E1: Fig. 1 network example", lambda: experiment_fig1())
+    assert all(row["match"] for row in rows)
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_vectorised_evaluation_over_the_full_cube(benchmark, n):
+    """Throughput of the hot path: Batcher(n) on all 2**n binary words."""
+    network = batcher_sorting_network(n)
+    batch = all_binary_words_array(n)
+    result = benchmark(lambda: apply_network_to_batch(network, batch))
+    assert result.shape == batch.shape
+
+
+@pytest.mark.parametrize("n", [8])
+def test_scalar_evaluation_baseline(benchmark, n):
+    """Scalar per-word evaluation (the ablation baseline for E1)."""
+    network = batcher_sorting_network(n)
+    words = list(all_binary_words(n))
+
+    def run():
+        for word in words:
+            network.apply(word)
+
+    benchmark(run)

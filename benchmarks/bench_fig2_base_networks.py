@@ -1,0 +1,29 @@
+"""E2 — Fig. 2: the four base near-sorters on three lines.
+
+Regenerates a valid ``H_sigma`` for every unsorted 3-bit word, both by the
+recursive Lemma 2.1 construction and by exhaustive search for the smallest
+possible network (the figure's networks have two comparators each), and
+times the brute-force search.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_fig2
+from repro.testsets import brute_force_near_sorter
+from repro.words import unsorted_binary_words
+
+
+def test_fig2_table(reporter):
+    rows = reporter("E2: Fig. 2 base near-sorters (n = 3)", lambda: experiment_fig2())
+    assert all(row["constructed_valid"] for row in rows)
+    assert all(row["smallest_size"] == 2 for row in rows)
+
+
+def test_brute_force_search_for_all_three_line_words(benchmark):
+    sigmas = unsorted_binary_words(3)
+
+    def run():
+        return [brute_force_near_sorter(s, max_size=2) for s in sigmas]
+
+    networks = benchmark(run)
+    assert all(net is not None for net in networks)

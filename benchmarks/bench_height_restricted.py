@@ -1,0 +1,55 @@
+"""E9 — Section 3: height-restricted networks.
+
+Regenerates de Bruijn's height-1 result (one permutation test suffices),
+answers the paper's height-2 open question exactly for tiny ``n`` via the
+reachable-behaviour search, and times that search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import experiment_height_restricted
+from repro.analysis import minimum_test_set_for_height_class, reachable_function_tables
+from repro.constructions import bubble_sorting_network
+from repro.properties import primitive_sorter_by_reverse_permutation
+from repro.testsets import sorting_test_set_size
+from repro.words import reverse_permutation
+
+
+def test_height_restricted_table(reporter):
+    rows = reporter("E9: height-restricted classes (§3)", lambda: experiment_height_restricted())
+    assert all(row["match"] for row in rows)
+
+
+def test_de_bruijn_single_test(reporter):
+    def build():
+        rows = []
+        for n in (4, 6, 8, 10):
+            device = bubble_sorting_network(n)
+            rows.append(
+                {
+                    "n": n,
+                    "device": "bubble (primitive)",
+                    "single_test": tuple(reverse_permutation(n)),
+                    "passes": primitive_sorter_by_reverse_permutation(device),
+                }
+            )
+        return rows
+    rows = reporter("E9: de Bruijn single-test criterion on primitive sorters", build)
+    assert all(row["passes"] for row in rows)
+
+
+@pytest.mark.parametrize("n,span", [(4, 1), (4, 2), (5, 1)])
+def test_reachable_behaviour_search(benchmark, n, span):
+    tables = benchmark(lambda: reachable_function_tables(n, span))
+    assert len(tables) >= 1
+
+
+@pytest.mark.parametrize("n", [4])
+def test_height2_minimum_test_set_search(benchmark, n):
+    test_set = benchmark(
+        lambda: minimum_test_set_for_height_class(n, 2, input_model="binary")
+    )
+    # The open question, answered for n=4: already the full Theorem 2.2 bound.
+    assert len(test_set) == sorting_test_set_size(n)

@@ -1,0 +1,40 @@
+"""E3 — Lemma 2.1: the near-sorter construction ``H_sigma``.
+
+Regenerates the lemma for n = 4..8 (every unsorted word, exhaustively
+verified) and times (a) constructing a single adversary and (b) constructing
+plus verifying the full family for a moderate ``n``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import experiment_lemma21
+from repro.testsets import near_sorter, near_sorter_table, sorts_exactly_all_but
+
+
+def test_lemma21_table(reporter):
+    rows = reporter("E3: Lemma 2.1 adversaries (exhaustive verification)", lambda: experiment_lemma21(ns=(4, 5, 6, 7, 8)))
+    for row in rows:
+        assert row["valid_adversaries"] == row["num_adversaries"]
+        assert row["one_interchange_holds"] == row["num_adversaries"]
+
+
+@pytest.mark.parametrize("n", [8, 10, 12])
+def test_single_adversary_construction(benchmark, n):
+    sigma = tuple(1 - (i % 2) for i in range(n))  # 1010... (unsorted)
+    network = benchmark(lambda: near_sorter(sigma))
+    assert network.n_lines == n
+
+
+@pytest.mark.parametrize("n", [6])
+def test_full_adversary_family_with_verification(benchmark, n):
+    def run():
+        table = near_sorter_table(n)
+        assert all(
+            sorts_exactly_all_but(network, sigma) for sigma, network in table.items()
+        )
+        return table
+
+    table = benchmark(run)
+    assert len(table) == 2**n - n - 1

@@ -1,0 +1,46 @@
+"""E4 — Theorem 2.2 (i): the minimum 0/1 test set for sorting.
+
+Regenerates the ``2**n - n - 1`` bound: generator size vs. the closed form,
+plus the empirical minimum from the hitting-set search over the full
+adversary population for small ``n``.  The timed sections are the test-set
+generation and the test-set-based verification of a Batcher sorter (the cost
+the bound is ultimately about).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import experiment_thm22_binary
+from repro.constructions import batcher_sorting_network
+from repro.properties import is_sorter
+from repro.testsets import (
+    empirical_sorting_test_set_size,
+    sorting_binary_test_set,
+    sorting_test_set_size,
+)
+
+
+def test_theorem22_binary_table(reporter):
+    rows = reporter("E4: Theorem 2.2 (i) — sorting, 0/1 inputs", lambda: experiment_thm22_binary(
+        ns=(2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16), empirical_up_to=5
+    ))
+    assert all(row["match"] for row in rows)
+
+
+@pytest.mark.parametrize("n", [10, 14])
+def test_test_set_generation(benchmark, n):
+    words = benchmark(lambda: sorting_binary_test_set(n))
+    assert len(words) == sorting_test_set_size(n)
+
+
+@pytest.mark.parametrize("n", [10, 12])
+def test_verification_with_the_minimum_test_set(benchmark, n):
+    network = batcher_sorting_network(n)
+    assert benchmark(lambda: is_sorter(network, strategy="testset"))
+
+
+@pytest.mark.parametrize("n", [4])
+def test_empirical_minimum_by_hitting_set(benchmark, n):
+    size = benchmark(lambda: empirical_sorting_test_set_size(n, exact=True))
+    assert size == sorting_test_set_size(n)

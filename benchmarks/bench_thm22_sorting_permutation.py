@@ -1,0 +1,52 @@
+"""E5 — Theorem 2.2 (ii): the minimum permutation test set for sorting.
+
+Regenerates the ``C(n, floor(n/2)) - 1`` bound via the symmetric-chain
+decomposition, checks cover validity and the antichain lower bound, and
+times the SCD-based construction against the bipartite-matching alternative
+(the ablation called out in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import experiment_thm22_permutation
+from repro.constructions import batcher_sorting_network
+from repro.properties import is_sorter
+from repro.words import (
+    minimum_chain_cover_via_matching,
+    sorting_cover_permutations,
+    symmetric_chain_decomposition,
+)
+
+
+def test_theorem22_permutation_table(reporter):
+    rows = reporter("E5: Theorem 2.2 (ii) — sorting, permutation inputs", lambda: experiment_thm22_permutation(ns=(2, 3, 4, 5, 6, 7, 8, 9, 10)))
+    assert all(row["match"] for row in rows)
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_scd_construction(benchmark, n):
+    perms = benchmark(lambda: sorting_cover_permutations(n))
+    assert len(perms) == math.comb(n, n // 2) - 1
+
+
+@pytest.mark.parametrize("n", [10])
+def test_symmetric_chain_decomposition_cost(benchmark, n):
+    chains = benchmark(lambda: symmetric_chain_decomposition(n))
+    assert len(chains) == math.comb(n, n // 2)
+
+
+@pytest.mark.parametrize("n", [8])
+def test_matching_based_chain_cover_ablation(benchmark, n):
+    """The networkx-matching alternative to the bracketing construction."""
+    chains = benchmark(lambda: minimum_chain_cover_via_matching(n, n // 2))
+    assert len(chains) == math.comb(n, n // 2)
+
+
+@pytest.mark.parametrize("n", [8, 10])
+def test_verification_with_the_permutation_test_set(benchmark, n):
+    network = batcher_sorting_network(n)
+    assert benchmark(lambda: is_sorter(network, strategy="permutation-testset"))

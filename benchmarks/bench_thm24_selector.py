@@ -1,0 +1,59 @@
+"""E6 — Theorem 2.4: minimum test sets for ``(k, n)``-selection.
+
+Regenerates both closed forms over a ``(n, k)`` sweep and times the
+generators plus selector verification with the ``T_k^n`` test set.  The size
+comparison between the bubble selector and the cone-of-influence-pruned
+Batcher selector is reported as the construction ablation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import experiment_thm24_selector
+from repro.constructions import bubble_selection_network, pruned_selection_network
+from repro.properties import is_selector
+from repro.testsets import (
+    selector_binary_test_set,
+    selector_permutation_test_set,
+    selector_test_set_size,
+)
+
+
+def test_theorem24_table(reporter):
+    rows = reporter("E6: Theorem 2.4 — (k, n)-selection", lambda: experiment_thm24_selector())
+    assert all(row["match"] for row in rows)
+
+
+def test_selector_construction_sizes_table(reporter):
+    def build():
+        rows = []
+        for n in (8, 12, 16):
+            for k in (1, 2, 4):
+                rows.append(
+                    {
+                        "n": n,
+                        "k": k,
+                        "bubble_selector_size": bubble_selection_network(n, k).size,
+                        "pruned_batcher_selector_size": pruned_selection_network(n, k).size,
+                    }
+                )
+        return rows
+    rows = reporter("E6 (ablation): selector construction sizes", build)
+
+
+@pytest.mark.parametrize("n,k", [(10, 2), (12, 3)])
+def test_binary_test_set_generation(benchmark, n, k):
+    words = benchmark(lambda: selector_binary_test_set(n, k))
+    assert len(words) == selector_test_set_size(n, k)
+
+
+@pytest.mark.parametrize("n,k", [(8, 2), (10, 3)])
+def test_permutation_test_set_generation(benchmark, n, k):
+    benchmark(lambda: selector_permutation_test_set(n, k))
+
+
+@pytest.mark.parametrize("n,k", [(10, 2)])
+def test_selector_verification_with_testset(benchmark, n, k):
+    device = bubble_selection_network(n, k)
+    assert benchmark(lambda: is_selector(device, k, strategy="testset"))

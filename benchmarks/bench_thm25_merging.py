@@ -1,0 +1,47 @@
+"""E7 — Theorem 2.5: minimum test sets for ``(n/2, n/2)``-merging.
+
+Regenerates the ``n^2/4`` (binary) and ``n/2`` (permutation) bounds and
+times merging-test-set generation and merger verification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import experiment_thm25_merging
+from repro.constructions import batcher_merging_network
+from repro.properties import is_merger
+from repro.testsets import (
+    merging_binary_test_set,
+    merging_permutation_test_set,
+    merging_test_set_size,
+)
+
+
+def test_theorem25_table(reporter):
+    rows = reporter("E7: Theorem 2.5 — (n/2, n/2)-merging", lambda: experiment_thm25_merging(ns=(4, 6, 8, 10, 12, 16, 20)))
+    assert all(row["match"] for row in rows)
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_binary_test_set_generation(benchmark, n):
+    words = benchmark(lambda: merging_binary_test_set(n))
+    assert len(words) == merging_test_set_size(n)
+
+
+@pytest.mark.parametrize("n", [32])
+def test_permutation_test_set_generation(benchmark, n):
+    perms = benchmark(lambda: merging_permutation_test_set(n))
+    assert len(perms) == n // 2
+
+
+@pytest.mark.parametrize("n", [16, 24])
+def test_merger_verification_with_testset(benchmark, n):
+    device = batcher_merging_network(n)
+    assert benchmark(lambda: is_merger(device, strategy="testset"))
+
+
+@pytest.mark.parametrize("n", [16])
+def test_merger_verification_with_permutation_testset(benchmark, n):
+    device = batcher_merging_network(n)
+    assert benchmark(lambda: is_merger(device, strategy="permutation-testset"))

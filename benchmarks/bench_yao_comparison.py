@@ -1,0 +1,47 @@
+"""E8 — the §2 discussion: binary vs permutation test-set sizes (Yao).
+
+Regenerates the comparison table (exhaustive baselines, both minimum test
+sets, their ratio and the paper's central-binomial approximation) and times
+the four verification strategies on the same device so the vector-count
+differences translate into wall-clock differences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import experiment_yao_comparison
+from repro.analysis import sorting_strategy_costs
+from repro.constructions import batcher_sorting_network
+from repro.properties import is_sorter
+
+
+def test_yao_comparison_table(reporter):
+    rows = reporter("E8: binary vs permutation test-set sizes (Yao's observation)", lambda: experiment_yao_comparison(ns=(2, 4, 6, 8, 10, 12, 16, 20, 24)))
+    ratios = [row["ratio"] for row in rows]
+    assert ratios == sorted(ratios)
+
+
+def test_strategy_cost_table(reporter):
+    def build():
+        rows = []
+        for n in (6, 8, 10, 12):
+            for cost in sorting_strategy_costs(n):
+                rows.append(
+                    {
+                        "n": n,
+                        "strategy": cost.strategy,
+                        "vectors": cost.num_vectors,
+                        "comparator_evaluations": cost.comparator_evaluations,
+                    }
+                )
+        return rows
+    rows = reporter("E8: verification work per strategy (Batcher device)", build)
+
+
+@pytest.mark.parametrize(
+    "strategy", ["binary", "testset", "permutation-testset"]
+)
+def test_verification_strategies_wall_clock(benchmark, strategy):
+    network = batcher_sorting_network(10)
+    assert benchmark(lambda: is_sorter(network, strategy=strategy))

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's artefacts (see
+DESIGN.md's experiment index).  Benchmarks both *time* the relevant
+computation (via pytest-benchmark) and *print* the same rows the paper
+reports, so running ``pytest benchmarks/ --benchmark-only -s`` produces the
+tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_rows
+
+
+def emit(title: str, rows) -> None:
+    """Print an experiment table (shown with ``pytest -s``)."""
+    print()
+    print(format_rows(list(rows), title=title))
+
+
+@pytest.fixture
+def reporter(benchmark):
+    """Fixture handing benchmark modules the table printer.
+
+    It depends on the ``benchmark`` fixture so that the table-producing
+    tests are still collected under ``--benchmark-only`` (they regenerate
+    the paper's tables; the timing-focused tests live alongside them), and
+    it times the table generation through that fixture: calling
+    ``reporter(title, thunk)`` with a zero-argument callable runs it under
+    ``benchmark`` and prints the resulting rows.
+    """
+
+    def report(title: str, rows_or_thunk) -> list:
+        rows = rows_or_thunk
+        if callable(rows_or_thunk):
+            rows = benchmark(rows_or_thunk)
+        emit(title, rows)
+        return list(rows)
+
+    return report

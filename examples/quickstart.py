@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Quickstart: networks, properties and the paper's minimum test sets.
+
+Walks through the core API in the order the paper introduces the ideas:
+
+1. build the Fig. 1 network and watch it process ``(4 1 3 2)``;
+2. check whether networks are sorters (zero–one principle vs. test set);
+3. build the Lemma 2.1 adversary ``H_sigma`` and see why every unsorted
+   word is forced into the test set;
+4. print the closed-form minimum test-set sizes for all three properties.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_rows
+from repro.constructions import batcher_sorting_network
+from repro.core import ComparatorNetwork
+from repro.properties import is_sorter, sorts_all_words
+from repro.testsets import (
+    merging_test_set_size,
+    near_sorter,
+    selector_test_set_size,
+    sorting_binary_test_set,
+    sorting_permutation_test_set_size,
+    sorting_test_set_size,
+)
+
+
+def fig1_walkthrough() -> None:
+    print("=" * 72)
+    print("Fig. 1: a compare-interchange network processing (4 1 3 2)")
+    print("=" * 72)
+    network = ComparatorNetwork.from_knuth(4, "[1,3][2,4][1,2][3,4]")
+    print(network.diagram(input_word=(4, 1, 3, 2)))
+    print()
+    print("comparator-by-comparator trace:")
+    from repro.core import render_trace
+
+    print(render_trace(network, (4, 1, 3, 2)))
+    print()
+    print(f"is the Fig. 1 network a sorter?  {is_sorter(network)}")
+    completed = network.extended([(1, 2)])
+    print(f"after adding the missing [2,3] exchange: {is_sorter(completed)}")
+    print()
+
+
+def testing_a_device() -> None:
+    print("=" * 72)
+    print("Verifying a sorter with the Theorem 2.2 (i) minimum test set")
+    print("=" * 72)
+    n = 8
+    device = batcher_sorting_network(n)
+    test_set = sorting_binary_test_set(n)
+    print(f"device: Batcher odd-even merge-sort on {n} lines "
+          f"({device.size} comparators, depth {device.depth})")
+    print(f"minimum test set size: {len(test_set)} = 2^{n} - {n} - 1")
+    print(f"device passes every test vector: {sorts_all_words(device, test_set)}")
+
+    broken = device.without_comparator(7)
+    print(f"after removing one comparator it still passes?  "
+          f"{sorts_all_words(broken, test_set)}")
+    print()
+
+
+def adversary_demo() -> None:
+    print("=" * 72)
+    print("Lemma 2.1: a network that sorts everything except one word")
+    print("=" * 72)
+    sigma = (0, 1, 1, 0, 1, 0)
+    adversary = near_sorter(sigma)
+    print(f"sigma = {''.join(map(str, sigma))}")
+    print(f"H_sigma has {adversary.size} comparators: {adversary.to_knuth()}")
+    print(f"H_sigma(sigma) = {adversary.apply(sigma)}   (not sorted!)")
+    others = [w for w in sorting_binary_test_set(6) if w != sigma]
+    print(f"H_sigma sorts every other unsorted word: {sorts_all_words(adversary, others)}")
+    print("=> no test set for sorting can omit sigma; repeating the argument")
+    print("   for every unsorted word gives the 2^n - n - 1 lower bound.")
+    print()
+
+
+def the_bounds_table() -> None:
+    print("=" * 72)
+    print("The paper's closed-form minimum test-set sizes")
+    print("=" * 72)
+    rows = []
+    for n in (4, 6, 8, 10, 12, 16):
+        rows.append(
+            {
+                "n": n,
+                "sorting (0/1)": sorting_test_set_size(n),
+                "sorting (perm)": sorting_permutation_test_set_size(n),
+                "(2,n)-selector (0/1)": selector_test_set_size(n, 2),
+                "merging (0/1)": merging_test_set_size(n),
+                "merging (perm)": n // 2,
+            }
+        )
+    print(format_rows(rows))
+    print()
+
+
+def main() -> None:
+    fig1_walkthrough()
+    testing_a_device()
+    adversary_demo()
+    the_bounds_table()
+
+
+if __name__ == "__main__":
+    main()

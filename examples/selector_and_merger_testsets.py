@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Theorems 2.4 and 2.5: test sets for selection and merging networks.
+
+Demonstrates the two "related networks" of the paper's title:
+
+* ``(k, n)``-selectors — partial sorters that must deliver the ``k`` smallest
+  inputs in order.  The example builds two different selector designs,
+  verifies them with the minimum test set ``T_k^n``, sweeps ``k`` to show how
+  the bound interpolates between trivial and the full sorting bound, and
+  exhibits the Lemma 2.3 adversary.
+* ``(n/2, n/2)``-merging networks — the example verifies Batcher's odd-even
+  merge with the ``n^2/4`` binary test set and the ``n/2`` permutation test
+  set, and shows the antichain of witnesses behind the ``n/2`` lower bound.
+
+Run with::
+
+    python examples/selector_and_merger_testsets.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_rows
+from repro.constructions import (
+    batcher_merging_network,
+    bubble_selection_network,
+    pruned_selection_network,
+)
+from repro.properties import is_merger, is_selector, merges_correctly, selects_correctly
+from repro.testsets import (
+    merging_binary_test_set,
+    merging_lower_bound_witnesses,
+    merging_permutation_test_set,
+    near_selector,
+    selector_binary_test_set,
+    selector_permutation_test_set_size,
+    selector_test_set_size,
+    sorting_test_set_size,
+)
+
+
+def selector_demo() -> None:
+    n, k = 8, 3
+    print("=" * 72)
+    print(f"(k, n)-selection with n={n}, k={k}")
+    print("=" * 72)
+
+    bubble = bubble_selection_network(n, k)
+    pruned = pruned_selection_network(n, k)
+    test_set = selector_binary_test_set(n, k)
+    print(f"T_k^n test set size: {len(test_set)} "
+          f"(= sum_i C({n},i) - {k} - 1 = {selector_test_set_size(n, k)})")
+    rows = []
+    for name, device in [("k bubble passes", bubble), ("pruned Batcher", pruned)]:
+        rows.append(
+            {
+                "design": name,
+                "comparators": device.size,
+                "passes T_k^n": all(selects_correctly(device, k, w) for w in test_set),
+                "is_selector": is_selector(device, k),
+                "is full sorter": is_selector(device, n),
+            }
+        )
+    print(format_rows(rows))
+    print()
+
+    print("how the bound grows with k (n = 8):")
+    sweep = [
+        {
+            "k": kk,
+            "binary test set": selector_test_set_size(n, kk),
+            "permutation test set": selector_permutation_test_set_size(n, kk),
+        }
+        for kk in range(1, n + 1)
+    ]
+    sweep.append(
+        {"k": "sorting", "binary test set": sorting_test_set_size(n),
+         "permutation test set": selector_permutation_test_set_size(n, n)}
+    )
+    print(format_rows(sweep))
+    print()
+
+    sigma = test_set[0]
+    adversary = near_selector(sigma, k)
+    others = [w for w in test_set if w != sigma]
+    print(f"Lemma 2.3 adversary for sigma={''.join(map(str, sigma))}:")
+    print(f"  selects correctly on every other word of T_k^n: "
+          f"{all(selects_correctly(adversary, k, w) for w in others)}")
+    print(f"  is a (k, n)-selector: {is_selector(adversary, k)}")
+    print()
+
+
+def merger_demo() -> None:
+    n = 12
+    print("=" * 72)
+    print(f"(n/2, n/2)-merging with n={n}")
+    print("=" * 72)
+    device = batcher_merging_network(n)
+    binary_tests = merging_binary_test_set(n)
+    permutation_tests = merging_permutation_test_set(n)
+    print(f"device: Batcher odd-even merge, {device.size} comparators")
+    print(f"binary test set size      : {len(binary_tests)} (= n^2/4)")
+    print(f"permutation test set size : {len(permutation_tests)} (= n/2)")
+    print(f"device passes the binary test set     : "
+          f"{all(merges_correctly(device, w) for w in binary_tests)}")
+    print(f"device passes the permutation test set: "
+          f"{all(merges_correctly(device, p) for p in permutation_tests)}")
+    print(f"is_merger verdict                     : {is_merger(device)}")
+    print()
+    print("the n/2 permutation tests (0-based one-line notation):")
+    for perm in permutation_tests:
+        print("  ", perm)
+    print()
+    print("lower-bound witnesses (no permutation covers two of them):")
+    for word in merging_lower_bound_witnesses(n):
+        print("  ", "".join(map(str, word)))
+
+
+def main() -> None:
+    selector_demo()
+    merger_demo()
+
+
+if __name__ == "__main__":
+    main()

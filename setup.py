@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e .`` (PEP 660) needs ``wheel``; on offline machines without
+it, ``python setup.py develop`` provides an equivalent editable install.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

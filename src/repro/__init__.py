@@ -1,0 +1,124 @@
+"""repro — reproduction of Chung & Ravikumar,
+"Bounds on the size of test sets for sorting and related networks".
+
+The package is organised in layers:
+
+``repro.core``
+    Comparator-network data model and vectorised evaluation.
+``repro.words``
+    Binary words, permutations, covers, chain decompositions.
+``repro.constructions``
+    Classical sorting / selection / merging networks (the ``S(m)`` blocks).
+``repro.properties``
+    Property checkers (sorter / selector / merger / height) and the
+    classical lemmas (zero–one principle, monotonicity, Floyd's lemma).
+``repro.testsets``
+    The paper's contribution: adversary networks (Lemma 2.1), minimum test
+    sets for sorting / selection / merging in both input models, closed-form
+    sizes, validation and empirical minimum-test-set search.
+``repro.faults``
+    VLSI-testing substrate: fault models, fault simulation, coverage.
+``repro.analysis``
+    Experiment harness used by ``benchmarks/`` and ``EXPERIMENTS.md``.
+
+Quickstart
+----------
+>>> from repro import ComparatorNetwork, is_sorter, sorting_test_set_size
+>>> fig1 = ComparatorNetwork.from_pairs(4, [(0, 2), (1, 3), (0, 1), (2, 3)])
+>>> fig1((4, 1, 3, 2))
+(1, 2, 3, 4)
+>>> is_sorter(fig1)
+False
+>>> sorting_test_set_size(4)
+11
+"""
+
+from .core import (
+    Comparator,
+    ComparatorNetwork,
+    NetworkBuilder,
+)
+from .exceptions import (
+    AdversaryError,
+    ConstructionError,
+    FaultModelError,
+    InputLengthError,
+    InvalidComparatorError,
+    LineCountError,
+    NetworkError,
+    NotAPermutationError,
+    NotBinaryError,
+    ReproError,
+    SerializationError,
+    TestSetError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Comparator",
+    "ComparatorNetwork",
+    "NetworkBuilder",
+    "AdversaryError",
+    "ConstructionError",
+    "FaultModelError",
+    "InputLengthError",
+    "InvalidComparatorError",
+    "LineCountError",
+    "NetworkError",
+    "NotAPermutationError",
+    "NotBinaryError",
+    "ReproError",
+    "SerializationError",
+    "TestSetError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazily re-export the most commonly used functions from the subpackages.
+
+    Keeps ``import repro`` fast while still allowing ``repro.is_sorter`` and
+    friends in examples and interactive use.
+    """
+    lazy = {
+        # properties
+        "is_sorter": ("repro.properties", "is_sorter"),
+        "is_selector": ("repro.properties", "is_selector"),
+        "is_merger": ("repro.properties", "is_merger"),
+        "is_sorted_word": ("repro.properties", "is_sorted_word"),
+        # constructions
+        "batcher_sorting_network": (
+            "repro.constructions",
+            "batcher_sorting_network",
+        ),
+        # test sets
+        "near_sorter": ("repro.testsets", "near_sorter"),
+        "sorting_binary_test_set": ("repro.testsets", "sorting_binary_test_set"),
+        "sorting_permutation_test_set": (
+            "repro.testsets",
+            "sorting_permutation_test_set",
+        ),
+        "selector_binary_test_set": ("repro.testsets", "selector_binary_test_set"),
+        "selector_permutation_test_set": (
+            "repro.testsets",
+            "selector_permutation_test_set",
+        ),
+        "merging_binary_test_set": ("repro.testsets", "merging_binary_test_set"),
+        "merging_permutation_test_set": (
+            "repro.testsets",
+            "merging_permutation_test_set",
+        ),
+        "sorting_test_set_size": ("repro.testsets", "sorting_test_set_size"),
+        "selector_test_set_size": ("repro.testsets", "selector_test_set_size"),
+        "merging_test_set_size": ("repro.testsets", "merging_test_set_size"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attribute = lazy[name]
+        module = importlib.import_module(module_name)
+        value = getattr(module, attribute)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

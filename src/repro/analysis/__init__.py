@@ -1,0 +1,64 @@
+"""Experiment harness: cost accounting, decision experiments, minimal search, tables."""
+
+from .costs import (
+    StrategyCost,
+    sorting_strategy_costs,
+    yao_comparison_row,
+    yao_comparison_table,
+)
+from .decision import (
+    VerificationOutcome,
+    deterministic_strategy_outcomes,
+    false_accept_rate_against_adversaries,
+    monte_carlo_is_sorter,
+)
+from .minimal_search import (
+    INPUT_MODELS,
+    height_class_summary,
+    minimum_test_set_for_height_class,
+    reachable_function_tables,
+)
+from .tables import format_rows, format_table
+from .experiments import (
+    experiment_decision_cost,
+    experiment_fault_coverage,
+    experiment_fig1,
+    experiment_fig2,
+    experiment_height_restricted,
+    experiment_lemma21,
+    experiment_thm22_binary,
+    experiment_thm22_permutation,
+    experiment_thm24_selector,
+    experiment_thm25_merging,
+    experiment_yao_comparison,
+    run_all_experiments,
+)
+
+__all__ = [
+    "StrategyCost",
+    "sorting_strategy_costs",
+    "yao_comparison_row",
+    "yao_comparison_table",
+    "VerificationOutcome",
+    "deterministic_strategy_outcomes",
+    "false_accept_rate_against_adversaries",
+    "monte_carlo_is_sorter",
+    "INPUT_MODELS",
+    "height_class_summary",
+    "minimum_test_set_for_height_class",
+    "reachable_function_tables",
+    "format_rows",
+    "format_table",
+    "experiment_decision_cost",
+    "experiment_fault_coverage",
+    "experiment_fig1",
+    "experiment_fig2",
+    "experiment_height_restricted",
+    "experiment_lemma21",
+    "experiment_thm22_binary",
+    "experiment_thm22_permutation",
+    "experiment_thm24_selector",
+    "experiment_thm25_merging",
+    "experiment_yao_comparison",
+    "run_all_experiments",
+]

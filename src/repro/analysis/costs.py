@@ -1,0 +1,98 @@
+"""Verification-cost accounting (experiments E8 and E10).
+
+The paper's §1 argues that the size of the smallest test set governs the
+complexity of deciding a property; its §2 quotes Yao's observation that the
+permutation test set is asymptotically smaller than the 0/1 one.  The
+functions here produce the cost tables behind both discussions:
+
+* number of test vectors per strategy (exhaustive vs. minimum test set, per
+  input model);
+* comparator-evaluation counts (vectors × network size), the work an actual
+  tester performs;
+* the asymptotic ratio ``(2**n - n - 1) / (C(n, n/2) - 1)`` against the
+  paper's ``sqrt``-growth approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..core.network import ComparatorNetwork
+from ..testsets.formulas import (
+    central_binomial_approximation,
+    exhaustive_binary_size,
+    exhaustive_permutation_size,
+    sorting_permutation_test_set_size,
+    sorting_test_set_size,
+    yao_ratio,
+)
+
+__all__ = [
+    "StrategyCost",
+    "sorting_strategy_costs",
+    "yao_comparison_row",
+    "yao_comparison_table",
+]
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Cost of one verification strategy on a given network size.
+
+    Attributes
+    ----------
+    strategy:
+        Human-readable strategy name.
+    num_vectors:
+        Number of input vectors the strategy applies.
+    comparator_evaluations:
+        ``num_vectors * network_size`` — the total number of compare-exchange
+        operations a sequential tester executes.
+    """
+
+    strategy: str
+    num_vectors: int
+    comparator_evaluations: int
+
+
+def sorting_strategy_costs(
+    n: int, *, network: Optional[ComparatorNetwork] = None
+) -> List[StrategyCost]:
+    """Vector and work counts of the four sorting-verification strategies.
+
+    When *network* is omitted, the Batcher sorter of width *n* is used for
+    the work accounting (it is the natural device under test).
+    """
+    from ..constructions.batcher import batcher_sorting_network
+
+    device = network if network is not None else batcher_sorting_network(n)
+    size = device.size
+    counts = {
+        "exhaustive-binary": exhaustive_binary_size(n),
+        "exhaustive-permutation": exhaustive_permutation_size(n),
+        "minimum-binary-testset": sorting_test_set_size(n),
+        "minimum-permutation-testset": sorting_permutation_test_set_size(n),
+    }
+    return [
+        StrategyCost(name, vectors, vectors * size)
+        for name, vectors in counts.items()
+    ]
+
+
+def yao_comparison_row(n: int) -> Dict[str, float]:
+    """One row of the E8 table: binary vs. permutation test-set sizes for *n*."""
+    return {
+        "n": n,
+        "binary_testset": sorting_test_set_size(n),
+        "permutation_testset": sorting_permutation_test_set_size(n),
+        "ratio": yao_ratio(n),
+        "central_binomial_approx": central_binomial_approximation(n),
+        "exhaustive_binary": exhaustive_binary_size(n),
+        "exhaustive_permutation": exhaustive_permutation_size(n),
+    }
+
+
+def yao_comparison_table(ns: Iterable[int]) -> List[Dict[str, float]]:
+    """The full E8 table over a range of *n* values."""
+    return [yao_comparison_row(n) for n in ns]

@@ -1,0 +1,141 @@
+"""The decision-problem view: verification strategies and their error rates.
+
+Section 1 of the paper links test-set size to the complexity of the decision
+problem "is this network a sorter?" (coNP-complete; not in P unless
+NP = coNP, because the minimum test set is exponential).  This module makes
+that discussion concrete for experiments E10:
+
+* deterministic strategies with their exact vector budgets (delegating to
+  :mod:`repro.properties` and :mod:`repro.analysis.costs`);
+* a **Monte-Carlo tester** that applies ``t`` random 0/1 vectors and accepts
+  if all are sorted — sound for rejection, but with one-sided error for
+  acceptance; and
+* the measurement of that error against the hardest possible instances, the
+  Lemma 2.1 adversaries, for which the false-accept probability is exactly
+  ``1 - t_effective / 2**n`` per adversary — i.e. random testing is
+  essentially useless precisely because the minimum test set is almost the
+  whole cube, which is the experimental face of the paper's hardness claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.evaluation import apply_network_to_batch, batch_is_sorted
+from ..core.network import ComparatorNetwork
+from ..core.random_networks import as_rng
+from ..exceptions import TestSetError
+from ..properties.sorter import is_sorter
+from ..testsets.adversary import near_sorter
+from ..words.binary import unsorted_binary_words
+
+__all__ = [
+    "VerificationOutcome",
+    "monte_carlo_is_sorter",
+    "false_accept_rate_against_adversaries",
+    "deterministic_strategy_outcomes",
+]
+
+
+@dataclass(frozen=True)
+class VerificationOutcome:
+    """Result of running one verification strategy on one network."""
+
+    strategy: str
+    verdict: bool
+    vectors_applied: int
+
+
+def monte_carlo_is_sorter(
+    network: ComparatorNetwork,
+    num_vectors: int,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> VerificationOutcome:
+    """Randomised sorter test: accept iff *num_vectors* random 0/1 inputs all sort.
+
+    Rejection is always correct (a standard network that fails to sort one
+    input is certainly not a sorter); acceptance may be wrong.
+    """
+    if num_vectors < 0:
+        raise TestSetError(f"num_vectors must be non-negative, got {num_vectors}")
+    gen = as_rng(rng)
+    if num_vectors == 0:
+        return VerificationOutcome("monte-carlo", True, 0)
+    batch = gen.integers(0, 2, size=(num_vectors, network.n_lines), dtype=np.int8)
+    outputs = apply_network_to_batch(network, batch)
+    verdict = bool(np.all(batch_is_sorted(outputs)))
+    return VerificationOutcome("monte-carlo", verdict, num_vectors)
+
+
+def false_accept_rate_against_adversaries(
+    n: int,
+    num_vectors: int,
+    *,
+    num_adversaries: Optional[int] = None,
+    trials_per_adversary: int = 20,
+    rng: Union[int, np.random.Generator, None] = 0,
+) -> float:
+    """Empirical false-accept rate of the Monte-Carlo tester on Lemma 2.1 adversaries.
+
+    Each adversary ``H_sigma`` fails on exactly one of the ``2**n`` binary
+    words, so ``num_vectors`` independent uniform vectors miss it with
+    probability ``(1 - 2**-n) ** num_vectors`` — the theoretical curve the
+    measured rate is compared against in experiment E10.
+
+    Parameters
+    ----------
+    n:
+        Number of lines.
+    num_vectors:
+        Random vectors per verification attempt.
+    num_adversaries:
+        How many adversaries to sample (default: all ``2**n - n - 1``; for
+        larger *n* pass a smaller number).
+    trials_per_adversary:
+        Independent Monte-Carlo verifications per adversary.
+    rng:
+        Seed or generator for reproducibility.
+    """
+    gen = as_rng(rng)
+    sigmas = unsorted_binary_words(n)
+    if num_adversaries is not None and num_adversaries < len(sigmas):
+        indices = gen.choice(len(sigmas), size=num_adversaries, replace=False)
+        sigmas = [sigmas[int(i)] for i in indices]
+    accepts = 0
+    total = 0
+    for sigma in sigmas:
+        adversary = near_sorter(sigma)
+        for _ in range(trials_per_adversary):
+            outcome = monte_carlo_is_sorter(adversary, num_vectors, gen)
+            accepts += int(outcome.verdict)  # accepting a non-sorter is an error
+            total += 1
+    return accepts / total if total else 0.0
+
+
+def deterministic_strategy_outcomes(
+    network: ComparatorNetwork,
+    *,
+    strategies: Sequence[str] = ("binary", "testset", "permutation-testset"),
+) -> List[VerificationOutcome]:
+    """Run the deterministic sorter-verification strategies on one network."""
+    from ..testsets.formulas import (
+        exhaustive_binary_size,
+        sorting_permutation_test_set_size,
+        sorting_test_set_size,
+    )
+
+    budgets: Dict[str, int] = {
+        "binary": exhaustive_binary_size(network.n_lines),
+        "testset": sorting_test_set_size(network.n_lines),
+        "permutation-testset": sorting_permutation_test_set_size(network.n_lines),
+    }
+    outcomes = []
+    for strategy in strategies:
+        verdict = is_sorter(network, strategy=strategy)
+        outcomes.append(
+            VerificationOutcome(strategy, verdict, budgets.get(strategy, -1))
+        )
+    return outcomes

@@ -1,0 +1,173 @@
+"""Empirical minimum test sets for height-restricted network classes (E9).
+
+Section 3 of the paper restricts attention to height-``k`` networks
+(comparators span at most ``k`` lines).  For ``k = 1`` de Bruijn's theorem
+collapses the minimum test set to a single permutation; for ``k = 2`` the
+paper leaves the question open.  This module computes the answer *exactly*
+for tiny ``n`` by brute force over the (finite) set of input/output
+behaviours realisable by height-``k`` networks:
+
+1.  Every network computes a monotone function from words to words; two
+    networks that agree on every binary input are indistinguishable by any
+    0/1 test, so the class can be identified with its set of reachable
+    *function tables*.
+2.  The reachable tables form the closure of the identity table under
+    "append one allowed comparator", computed by BFS
+    (:func:`reachable_function_tables`).
+3.  A set ``T`` of 0/1 words is a test set for "is this height-``k`` network
+    a sorter?" iff every reachable non-sorter table fails on some member of
+    ``T``; the minimum such ``T`` is a minimum hitting set
+    (:func:`minimum_test_set_for_height_class`), solved exactly with the
+    branch-and-bound solver from :mod:`repro.testsets.minimal`.
+
+The same machinery with ``max_span = n - 1`` recovers (for tiny ``n``) the
+unrestricted bound ``2**n - n - 1`` of Theorem 2.2, which is used as a
+cross-check in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.evaluation import all_binary_words_array, batch_is_sorted
+from ..exceptions import TestSetError
+from ..testsets.minimal import exact_minimum_hitting_set, greedy_hitting_set
+
+__all__ = [
+    "INPUT_MODELS",
+    "reachable_function_tables",
+    "minimum_test_set_for_height_class",
+    "height_class_summary",
+]
+
+INPUT_MODELS = ("binary", "permutation")
+
+#: A function table: the concatenated outputs on all inputs of the chosen
+#: model, stored as a bytes object for cheap hashing.
+FunctionTable = bytes
+
+
+def _table_of(outputs: np.ndarray) -> FunctionTable:
+    return np.ascontiguousarray(outputs).tobytes()
+
+
+def _input_matrix(n: int, input_model: str) -> np.ndarray:
+    if input_model == "binary":
+        return all_binary_words_array(n).astype(np.int64)
+    if input_model == "permutation":
+        from itertools import permutations
+
+        return np.array(list(permutations(range(n))), dtype=np.int64)
+    raise TestSetError(
+        f"unknown input model {input_model!r}; choose one of {INPUT_MODELS}"
+    )
+
+
+def reachable_function_tables(
+    n: int,
+    max_span: int,
+    *,
+    input_model: str = "binary",
+    max_tables: int = 2_000_000,
+) -> Dict[FunctionTable, np.ndarray]:
+    """All input/output behaviours of networks on *n* lines with span <= *max_span*.
+
+    Returns a mapping from the hashable table to the output array (one row
+    per input of the chosen model: all ``2**n`` binary words or all ``n!``
+    permutations).  The BFS explores "append one comparator" transitions and
+    deduplicates on the table, so it terminates even though the class of
+    networks is infinite.  ``max_tables`` is a safety valve for accidental
+    use with large *n* (the count grows very quickly).
+    """
+    if n < 1:
+        raise TestSetError(f"n must be >= 1, got {n}")
+    if max_span < 1 or max_span > n - 1:
+        if n == 1 and max_span >= 0:
+            pass
+        else:
+            raise TestSetError(
+                f"max_span={max_span} out of range 1..{n - 1} for n={n}"
+            )
+    inputs = _input_matrix(n, input_model)
+    comparators = [
+        (a, b) for a in range(n) for b in range(a + 1, n) if b - a <= max_span
+    ]
+    identity = inputs.copy()
+    tables: Dict[FunctionTable, np.ndarray] = {_table_of(identity): identity}
+    frontier = [identity]
+    while frontier:
+        next_frontier = []
+        for outputs in frontier:
+            for a, b in comparators:
+                new_outputs = outputs.copy()
+                lo = np.minimum(new_outputs[:, a], new_outputs[:, b])
+                hi = np.maximum(new_outputs[:, a], new_outputs[:, b])
+                new_outputs[:, a] = lo
+                new_outputs[:, b] = hi
+                key = _table_of(new_outputs)
+                if key not in tables:
+                    if len(tables) >= max_tables:
+                        raise TestSetError(
+                            f"more than {max_tables} reachable behaviours; "
+                            "reduce n or max_span"
+                        )
+                    tables[key] = new_outputs
+                    next_frontier.append(new_outputs)
+        frontier = next_frontier
+    return tables
+
+
+def minimum_test_set_for_height_class(
+    n: int,
+    max_span: int,
+    *,
+    input_model: str = "binary",
+    exact: bool = True,
+) -> List[Tuple[int, ...]]:
+    """Smallest test set deciding "is this height-``max_span`` network a sorter?".
+
+    The returned words (binary words or permutations, per *input_model*) are
+    a minimum hitting set of the failure sets of every reachable non-sorter
+    behaviour; every reachable sorter passes all inputs by definition, so the
+    set is a genuine test set for the class.  With ``max_span = 1`` and the
+    permutation model the answer is the single reverse permutation
+    (de Bruijn); with ``max_span = n - 1`` and the binary model it is the
+    Theorem 2.2 bound ``2**n - n - 1``.
+    """
+    inputs = _input_matrix(n, input_model)
+    tables = reachable_function_tables(n, max_span, input_model=input_model)
+    failure_sets: List[FrozenSet[int]] = []
+    for outputs in tables.values():
+        failing = np.flatnonzero(~batch_is_sorted(outputs))
+        if failing.size:
+            failure_sets.append(frozenset(int(i) for i in failing))
+    if not failure_sets:
+        return []
+    solver = exact_minimum_hitting_set if exact else greedy_hitting_set
+    indices = solver(failure_sets)
+    return [tuple(int(v) for v in inputs[i]) for i in indices]
+
+
+def height_class_summary(
+    n: int, max_span: int, *, input_model: str = "binary", exact: bool = True
+) -> Dict[str, object]:
+    """One row of the E9 table: class size, sorter count and minimum test set."""
+    tables = reachable_function_tables(n, max_span, input_model=input_model)
+    sorter_count = 0
+    for outputs in tables.values():
+        if bool(np.all(batch_is_sorted(outputs))):
+            sorter_count += 1
+    test_set = minimum_test_set_for_height_class(
+        n, max_span, input_model=input_model, exact=exact
+    )
+    return {
+        "n": n,
+        "max_span": max_span,
+        "input_model": input_model,
+        "reachable_behaviours": len(tables),
+        "sorter_behaviours": sorter_count,
+        "minimum_test_set_size": len(test_set),
+        "minimum_test_set": test_set,
+    }

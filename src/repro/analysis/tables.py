@@ -1,0 +1,59 @@
+"""Small ASCII table formatter used by the benchmark harness and the CLI.
+
+Benchmarks print the same rows/series the paper reports; this helper keeps
+that output readable without pulling in a plotting or table dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_rows"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows of values as a fixed-width ASCII table."""
+    materialised: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dictionaries (one per row) as an ASCII table."""
+    if not rows:
+        return title or "(no rows)"
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    body = [[row.get(key, "") for key in keys] for row in rows]
+    return format_table(keys, body, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``repro-networks``.
+
+Subcommands
+-----------
+``verify``
+    Decide whether a network (given in Knuth bracket notation) is a sorter,
+    ``(k, n)``-selector or merger, using a chosen strategy.
+``testset``
+    Print a minimum test set (sorting / selection / merging, binary or
+    permutation inputs) together with the closed-form size.
+``adversary``
+    Construct the Lemma 2.1 near-sorter for a given binary word and print it
+    in bracket notation (optionally with a diagram).
+``construct``
+    Print one of the classical constructions (batcher, bose-nelson, bubble,
+    bitonic-standard, selector, merger).
+``experiments``
+    Run the experiment harness (E1–E11) and print the tables; this is the
+    textual companion of the benchmark suite.
+
+Examples
+--------
+::
+
+    repro-networks verify --n 4 --network "[1,3][2,4][1,2][3,4]" --property sorter
+    repro-networks testset --property sorting --n 4 --model binary
+    repro-networks adversary --sigma 0110 --diagram
+    repro-networks experiments --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import format_rows
+from .core.network import ComparatorNetwork
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-networks",
+        description="Test sets for sorting and related networks (Chung & Ravikumar).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="verify a network property")
+    verify.add_argument("--n", type=int, required=True, help="number of lines")
+    verify.add_argument(
+        "--network", required=True, help="network in Knuth bracket notation, 1-indexed"
+    )
+    verify.add_argument(
+        "--property",
+        choices=("sorter", "selector", "merger"),
+        default="sorter",
+    )
+    verify.add_argument("--k", type=int, default=1, help="k for the selector property")
+    verify.add_argument(
+        "--strategy",
+        default="testset",
+        help="verification strategy (binary, testset, permutation, permutation-testset)",
+    )
+
+    testset = sub.add_parser("testset", help="print a minimum test set")
+    testset.add_argument(
+        "--property", choices=("sorting", "selection", "merging"), required=True
+    )
+    testset.add_argument("--n", type=int, required=True)
+    testset.add_argument("--k", type=int, default=1)
+    testset.add_argument("--model", choices=("binary", "permutation"), default="binary")
+    testset.add_argument(
+        "--limit", type=int, default=64, help="print at most this many inputs"
+    )
+
+    adversary = sub.add_parser("adversary", help="build a Lemma 2.1 near-sorter")
+    adversary.add_argument(
+        "--sigma", required=True, help="unsorted binary word, e.g. 0110"
+    )
+    adversary.add_argument("--diagram", action="store_true", help="print a diagram")
+
+    construct = sub.add_parser("construct", help="print a classical construction")
+    construct.add_argument(
+        "--kind",
+        choices=(
+            "batcher",
+            "bose-nelson",
+            "bubble",
+            "bitonic-standard",
+            "selector",
+            "merger",
+        ),
+        required=True,
+    )
+    construct.add_argument("--n", type=int, required=True)
+    construct.add_argument("--k", type=int, default=1)
+
+    experiments = sub.add_parser("experiments", help="run the experiment harness")
+    experiments.add_argument("--fast", action="store_true", help="small parameters")
+    experiments.add_argument(
+        "--only", default=None, help="comma-separated experiment ids, e.g. E4,E5"
+    )
+    return parser
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .properties import is_merger, is_selector, is_sorter
+
+    network = ComparatorNetwork.from_knuth(args.n, args.network)
+    if args.property == "sorter":
+        verdict = is_sorter(network, strategy=args.strategy)
+    elif args.property == "selector":
+        verdict = is_selector(network, args.k, strategy=args.strategy)
+    else:
+        verdict = is_merger(network, strategy=args.strategy)
+    print(f"property={args.property} verdict={'YES' if verdict else 'NO'}")
+    return 0 if verdict else 1
+
+
+def _cmd_testset(args: argparse.Namespace) -> int:
+    from . import testsets
+
+    if args.property == "sorting":
+        if args.model == "binary":
+            words = testsets.sorting_binary_test_set(args.n)
+            size = testsets.sorting_test_set_size(args.n)
+        else:
+            words = testsets.sorting_permutation_test_set(args.n)
+            size = testsets.sorting_permutation_test_set_size(args.n)
+    elif args.property == "selection":
+        if args.model == "binary":
+            words = testsets.selector_binary_test_set(args.n, args.k)
+            size = testsets.selector_test_set_size(args.n, args.k)
+        else:
+            words = testsets.selector_permutation_test_set(args.n, args.k)
+            size = testsets.selector_permutation_test_set_size(args.n, args.k)
+    else:
+        if args.model == "binary":
+            words = testsets.merging_binary_test_set(args.n)
+            size = testsets.merging_test_set_size(args.n)
+        else:
+            words = testsets.merging_permutation_test_set(args.n)
+            size = testsets.merging_permutation_test_set_size(args.n)
+    print(f"minimum {args.property} test set, {args.model} inputs, n={args.n}: {size} inputs")
+    for word in words[: args.limit]:
+        print("".join(str(v) for v in word) if args.model == "binary" else word)
+    if len(words) > args.limit:
+        print(f"... ({len(words) - args.limit} more)")
+    return 0
+
+
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    from .testsets import near_sorter, verify_near_sorter
+
+    sigma = tuple(int(c) for c in args.sigma.strip())
+    network = near_sorter(sigma)
+    verify_near_sorter(sigma, network)
+    print(f"H_sigma for sigma={args.sigma}: {network.size} comparators")
+    print(network.to_knuth())
+    if args.diagram:
+        print(network.diagram(input_word=sigma))
+    return 0
+
+
+def _cmd_construct(args: argparse.Namespace) -> int:
+    from .constructions import (
+        batcher_merging_network,
+        batcher_sorting_network,
+        bitonic_sorting_network_standard,
+        bose_nelson_sorting_network,
+        bubble_sorting_network,
+        pruned_selection_network,
+    )
+
+    builders = {
+        "batcher": lambda: batcher_sorting_network(args.n),
+        "bose-nelson": lambda: bose_nelson_sorting_network(args.n),
+        "bubble": lambda: bubble_sorting_network(args.n),
+        "bitonic-standard": lambda: bitonic_sorting_network_standard(args.n),
+        "selector": lambda: pruned_selection_network(args.n, args.k),
+        "merger": lambda: batcher_merging_network(args.n),
+    }
+    network = builders[args.kind]()
+    print(
+        f"{args.kind} on {args.n} lines: size={network.size} depth={network.depth} "
+        f"height={network.height}"
+    )
+    print(network.to_knuth())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_all_experiments
+
+    results = run_all_experiments(fast=args.fast)
+    wanted = None
+    if args.only:
+        wanted = {name.strip().upper() for name in args.only.split(",")}
+    for name, rows in results.items():
+        if wanted is not None and name not in wanted:
+            continue
+        print(format_rows(rows, title=f"== {name} =="))
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-networks`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "verify": _cmd_verify,
+        "testset": _cmd_testset,
+        "adversary": _cmd_adversary,
+        "construct": _cmd_construct,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Classical comparator-network constructions.
+
+These are the ``S(m)`` building blocks the paper's recursive constructions
+drop onto subsets of lines, plus the positive-instance populations (sorters,
+selectors, mergers) used by the property and test-set experiments.
+"""
+
+from .batcher import (
+    batcher_size,
+    batcher_sorting_network,
+    next_power_of_two,
+    odd_even_merge_network,
+)
+from .bitonic import bitonic_sorting_network, bitonic_sorting_network_standard
+from .bose_nelson import bose_nelson_size, bose_nelson_sorting_network
+from .bubble import (
+    bubble_sorting_network,
+    insertion_sorting_network,
+    odd_even_transposition_network,
+    primitive_network_size_lower_bound,
+)
+from .mergers import (
+    batcher_merging_network,
+    merger_from_sorter,
+    zipper_merging_network,
+)
+from .optimal import OPTIMAL_NETWORKS, known_optimal_sizes, optimal_sorting_network
+from .selectors import (
+    bubble_selection_network,
+    pruned_selection_network,
+    prune_to_output_lines,
+    selector_from_sorter,
+)
+
+__all__ = [
+    "batcher_size",
+    "batcher_sorting_network",
+    "next_power_of_two",
+    "odd_even_merge_network",
+    "bitonic_sorting_network",
+    "bitonic_sorting_network_standard",
+    "bose_nelson_size",
+    "bose_nelson_sorting_network",
+    "bubble_sorting_network",
+    "insertion_sorting_network",
+    "odd_even_transposition_network",
+    "primitive_network_size_lower_bound",
+    "batcher_merging_network",
+    "merger_from_sorter",
+    "zipper_merging_network",
+    "OPTIMAL_NETWORKS",
+    "known_optimal_sizes",
+    "optimal_sorting_network",
+    "bubble_selection_network",
+    "pruned_selection_network",
+    "prune_to_output_lines",
+    "selector_from_sorter",
+]

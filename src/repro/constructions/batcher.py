@@ -1,0 +1,138 @@
+"""Batcher's odd-even merge-sort and odd-even merge networks.
+
+The paper's recursive construction (Lemma 2.1, Figs. 3–5) repeatedly drops an
+``S(m)`` block — "an m-input sorting network such as an odd-even merge
+sorter [2]" — onto a subset of lines.  This module provides those blocks:
+
+* :func:`batcher_sorting_network` — odd-even merge-sort on any ``n`` (not
+  just powers of two), ``O(n log^2 n)`` comparators, depth ``O(log^2 n)``;
+* :func:`odd_even_merge_network` — the ``(m, m)`` odd-even merging network
+  used as the positive instance in the Theorem 2.5 experiments.
+
+Arbitrary sizes are handled by building the power-of-two network and
+restricting it: pad the input with ``+inf`` sentinels *below* the real lines
+(for sorting) or with ``-inf`` above the first half and ``+inf`` below the
+second half (for merging).  Comparators touching sentinel lines never move a
+real value (the sentinel always wins its slot), so they can simply be
+dropped and the remaining comparators relabelled onto the real lines.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, List, Tuple
+
+from ..core.network import ComparatorNetwork
+from ..exceptions import ConstructionError
+
+__all__ = [
+    "batcher_sorting_network",
+    "odd_even_merge_network",
+    "next_power_of_two",
+    "batcher_size",
+]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n`` (and ``>= 1``)."""
+    if n < 1:
+        return 1
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def _odd_even_merge(lo: int, hi: int, stride: int) -> Iterator[Tuple[int, int]]:
+    """Comparators merging the sorted subsequences of ``lo..hi`` at *stride*.
+
+    ``hi`` is inclusive and ``hi - lo + 1`` must be a power of two times the
+    stride pattern used by the caller — this is the textbook power-of-two
+    recursion and is only ever called from :func:`_odd_even_merge_sort_range`
+    or :func:`odd_even_merge_network` with valid arguments.
+    """
+    step = stride * 2
+    if step < hi - lo:
+        yield from _odd_even_merge(lo, hi, step)
+        yield from _odd_even_merge(lo + stride, hi, step)
+        for i in range(lo + stride, hi - stride, step):
+            yield (i, i + stride)
+    else:
+        yield (lo, lo + stride)
+
+
+def _odd_even_merge_sort_range(lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+    """Comparators sorting lines ``lo..hi`` (inclusive, power-of-two width)."""
+    if (hi - lo) >= 1:
+        mid = lo + ((hi - lo) // 2)
+        yield from _odd_even_merge_sort_range(lo, mid)
+        yield from _odd_even_merge_sort_range(mid + 1, hi)
+        yield from _odd_even_merge(lo, hi, 1)
+
+
+@lru_cache(maxsize=None)
+def batcher_sorting_network(n: int) -> ComparatorNetwork:
+    """Batcher's odd-even merge-sort network on *n* lines.
+
+    Works for every ``n >= 1``; non-powers of two are handled by building the
+    network for the next power of two and dropping comparators that touch the
+    (conceptually ``+inf``-valued) padding lines below line ``n - 1``.
+
+    The result is cached: the recursive Lemma 2.1 construction requests the
+    same ``S(m)`` blocks over and over.
+    """
+    if n < 1:
+        raise ConstructionError(f"cannot build a sorting network on {n} lines")
+    if n == 1:
+        return ComparatorNetwork.identity(1)
+    padded = next_power_of_two(n)
+    pairs = [
+        (a, b)
+        for a, b in _odd_even_merge_sort_range(0, padded - 1)
+        if a < n and b < n
+    ]
+    return ComparatorNetwork.from_pairs(n, pairs)
+
+
+def batcher_size(n: int) -> int:
+    """Number of comparators of :func:`batcher_sorting_network` for *n* lines."""
+    return batcher_sorting_network(n).size
+
+
+def odd_even_merge_network(half: int) -> ComparatorNetwork:
+    """Batcher's odd-even merge on ``2 * half`` lines.
+
+    The network assumes lines ``0..half-1`` and ``half..2*half-1`` each carry
+    a sorted sequence and produces the fully sorted merge.  It is the
+    canonical *correct* ``(n/2, n/2)``-merging network used by the
+    Theorem 2.5 experiments (the adversaries are built elsewhere).
+
+    Arbitrary ``half`` values are supported via sentinel padding: the first
+    half is padded *above* with ``-inf`` and the second half *below* with
+    ``+inf``, both of which keep the halves sorted, and comparators touching
+    the padding are dropped.
+    """
+    if half < 1:
+        raise ConstructionError(f"cannot build a merging network for half={half}")
+    n = 2 * half
+    padded_half = next_power_of_two(half)
+    padded_n = 2 * padded_half
+    top_pad = padded_half - half  # lines 0 .. top_pad-1 hold -inf
+    # Real first-half lines occupy padded positions top_pad .. padded_half-1;
+    # real second-half lines occupy padded_half .. padded_half + half - 1.
+    pairs: List[Tuple[int, int]] = []
+    for a, b in _odd_even_merge(0, padded_n - 1, 1):
+        real = []
+        for index in (a, b):
+            if top_pad <= index < padded_half + half:
+                # Both real ranges sit at a uniform offset of `top_pad` above
+                # their padded positions (the first half because of the -inf
+                # lines above it, the second half because padded_half - top_pad
+                # equals `half`).
+                real.append(index - top_pad)
+            else:
+                real.append(None)
+        if real[0] is None or real[1] is None:
+            continue
+        pairs.append((real[0], real[1]))
+    return ComparatorNetwork.from_pairs(n, pairs)

@@ -1,0 +1,122 @@
+"""Batcher's bitonic sorter — a deliberately *non-standard* network.
+
+The paper stresses that its results are for networks with *standard*
+comparators only and explicitly notes that "Batcher's bitonic sorter is not a
+network in our sense": the natural bitonic recursion wires half of its
+comparators upside down.  We include it (a) as a realistic device under test
+whose behaviour the property checkers must still get right, and (b) to
+exercise the reversed-comparator machinery of the core model.
+
+Two variants are provided:
+
+* :func:`bitonic_sorting_network` — the textbook recursion with reversed
+  comparators (non-standard, still a sorter);
+* :func:`bitonic_sorting_network_standard` — the well-known standard-only
+  rewrite that sorts both halves ascending and merges with ``[i, i+k]``
+  comparators chosen by the bit pattern of the stage (this is the form used
+  on hardware where comparator direction is fixed).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.comparator import Comparator
+from ..core.network import ComparatorNetwork
+from ..exceptions import ConstructionError
+
+__all__ = ["bitonic_sorting_network", "bitonic_sorting_network_standard"]
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def _bitonic_sort(lo: int, count: int, ascending: bool, out: List[Comparator]) -> None:
+    if count <= 1:
+        return
+    half = count // 2
+    _bitonic_sort(lo, half, True, out)
+    _bitonic_sort(lo + half, count - half, False, out)
+    _bitonic_merge(lo, count, ascending, out)
+
+
+def _bitonic_merge(lo: int, count: int, ascending: bool, out: List[Comparator]) -> None:
+    if count <= 1:
+        return
+    half = count // 2
+    for i in range(lo, lo + half):
+        out.append(Comparator(i, i + half, reversed=not ascending))
+    _bitonic_merge(lo, half, ascending, out)
+    _bitonic_merge(lo + half, count - half, ascending, out)
+
+
+def bitonic_sorting_network(n: int) -> ComparatorNetwork:
+    """The textbook bitonic sorter on *n* lines (*n* must be a power of two).
+
+    Contains reversed comparators, so ``network.standard`` is ``False`` for
+    every ``n >= 4`` — exactly the situation the paper excludes from its
+    model while noting the lower bounds still apply.
+    """
+    if not _is_power_of_two(n):
+        raise ConstructionError(
+            f"the bitonic construction requires a power-of-two size, got {n}"
+        )
+    comparators: List[Comparator] = []
+    _bitonic_sort(0, n, True, comparators)
+    return ComparatorNetwork(n, comparators)
+
+
+def _bitonic_cleaner(lo: int, count: int, out: List[Comparator]) -> None:
+    """Sort a bitonic sequence on lines ``lo..lo+count-1`` (standard comparators)."""
+    if count <= 1:
+        return
+    half = count // 2
+    for i in range(lo, lo + half):
+        out.append(Comparator(i, i + half))
+    _bitonic_cleaner(lo, half, out)
+    _bitonic_cleaner(lo + half, count - half, out)
+
+
+def _flip_merge(lo: int, count: int, out: List[Comparator]) -> None:
+    """Merge two ascending halves of ``lo..lo+count-1`` using the flip trick.
+
+    Comparing line ``lo + i`` with line ``lo + count - 1 - i`` (the mirrored
+    position in the second half) turns the two ascending halves into two
+    bitonic halves with every first-half value at most every second-half
+    value; the bitonic cleaner then finishes each half.  All comparators are
+    standard because the mirrored index is always the larger one.
+    """
+    if count <= 1:
+        return
+    half = count // 2
+    for i in range(half):
+        out.append(Comparator(lo + i, lo + count - 1 - i))
+    _bitonic_cleaner(lo, half, out)
+    _bitonic_cleaner(lo + half, count - half, out)
+
+
+def _flip_sort(lo: int, count: int, out: List[Comparator]) -> None:
+    if count <= 1:
+        return
+    half = count // 2
+    _flip_sort(lo, half, out)
+    _flip_sort(lo + half, count - half, out)
+    _flip_merge(lo, count, out)
+
+
+def bitonic_sorting_network_standard(n: int) -> ComparatorNetwork:
+    """Standard-comparator bitonic sorter (power-of-two *n* only).
+
+    Replaces the descending blocks of the textbook recursion with the
+    mirrored-index ("flip") merge, which only ever compares a line with a
+    higher-numbered line and therefore stays inside the paper's standard
+    model while keeping the bitonic size and depth.
+    """
+    if not _is_power_of_two(n):
+        raise ConstructionError(
+            f"the bitonic construction requires a power-of-two size, got {n}"
+        )
+    comparators: List[Comparator] = []
+    _flip_sort(0, n, comparators)
+    return ComparatorNetwork(n, comparators)

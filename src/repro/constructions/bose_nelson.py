@@ -1,0 +1,66 @@
+"""The Bose–Nelson sorting network construction.
+
+Bose & Nelson (1962) gave a simple recursive construction of sorting
+networks for arbitrary ``n`` with roughly ``n^1.585`` comparators.  It is
+included as an additional, structurally different ``S(m)`` block and device
+under test: its networks are standard, work for every ``n`` and are
+independent of the Batcher recursion, which makes them a useful cross-check
+in the property and test-set experiments.
+
+The recursion has two parts: ``sort(i, m)`` sorts ``m`` consecutive lines
+starting at ``i`` by sorting two halves and merging them, and
+``merge(i, x, j, y)`` merges ``x`` sorted lines starting at ``i`` with ``y``
+sorted lines starting at ``j``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from ..core.network import ComparatorNetwork
+from ..exceptions import ConstructionError
+
+__all__ = ["bose_nelson_sorting_network", "bose_nelson_size"]
+
+
+def _merge(i: int, x: int, j: int, y: int, out: List[Tuple[int, int]]) -> None:
+    """Emit comparators merging x sorted lines at *i* with y sorted lines at *j*."""
+    if x == 1 and y == 1:
+        out.append((i, j))
+    elif x == 1 and y == 2:
+        out.append((i, j + 1))
+        out.append((i, j))
+    elif x == 2 and y == 1:
+        out.append((i, j))
+        out.append((i + 1, j))
+    else:
+        a = x // 2
+        b = y // 2 if x % 2 else (y + 1) // 2
+        _merge(i, a, j, b, out)
+        _merge(i + a, x - a, j + b, y - b, out)
+        _merge(i + a, x - a, j, b, out)
+
+
+def _sort(i: int, m: int, out: List[Tuple[int, int]]) -> None:
+    """Emit comparators sorting *m* consecutive lines starting at *i*."""
+    if m > 1:
+        a = m // 2
+        _sort(i, a, out)
+        _sort(i + a, m - a, out)
+        _merge(i, a, i + a, m - a, out)
+
+
+@lru_cache(maxsize=None)
+def bose_nelson_sorting_network(n: int) -> ComparatorNetwork:
+    """The Bose–Nelson sorting network on *n* lines (any ``n >= 1``)."""
+    if n < 1:
+        raise ConstructionError(f"cannot build a sorting network on {n} lines")
+    pairs: List[Tuple[int, int]] = []
+    _sort(0, n, pairs)
+    return ComparatorNetwork.from_pairs(n, pairs)
+
+
+def bose_nelson_size(n: int) -> int:
+    """Number of comparators of the Bose–Nelson network for *n* lines."""
+    return bose_nelson_sorting_network(n).size

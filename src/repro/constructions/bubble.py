@@ -1,0 +1,84 @@
+"""Primitive (height-1) sorting networks: bubble, insertion, odd-even transposition.
+
+These networks only use comparators between *adjacent* lines, i.e. they are
+height-1 networks in the terminology of Section 3 of the paper (Knuth calls
+them *primitive*).  They matter here for two reasons:
+
+* de Bruijn's theorem (cited in §3) says a primitive network is a sorter if
+  and only if it sorts the single reverse permutation — the extreme opposite
+  of the general ``2^n - n - 1`` bound, reproduced in experiment E9;
+* they are simple, obviously-correct ``S(m)`` blocks that the test suite uses
+  to cross-check Batcher's networks.
+"""
+
+from __future__ import annotations
+
+from ..core.network import ComparatorNetwork
+from ..exceptions import ConstructionError
+
+__all__ = [
+    "bubble_sorting_network",
+    "insertion_sorting_network",
+    "odd_even_transposition_network",
+    "primitive_network_size_lower_bound",
+]
+
+
+def bubble_sorting_network(n: int) -> ComparatorNetwork:
+    """Bubble sort as a network: pass ``i`` bubbles the ``i``-th largest down.
+
+    ``n(n-1)/2`` comparators, depth ``2n - 3`` — primitive (height 1).
+    """
+    if n < 1:
+        raise ConstructionError(f"cannot build a sorting network on {n} lines")
+    pairs = []
+    for limit in range(n - 1, 0, -1):
+        for i in range(limit):
+            pairs.append((i, i + 1))
+    return ComparatorNetwork.from_pairs(n, pairs)
+
+
+def insertion_sorting_network(n: int) -> ComparatorNetwork:
+    """Insertion sort as a network (same comparator multiset as bubble sort).
+
+    Stage ``i`` inserts line ``i`` into the already-sorted lines ``0..i-1``
+    by a descending run of adjacent comparators.
+    """
+    if n < 1:
+        raise ConstructionError(f"cannot build a sorting network on {n} lines")
+    pairs = []
+    for i in range(1, n):
+        for j in range(i, 0, -1):
+            pairs.append((j - 1, j))
+    return ComparatorNetwork.from_pairs(n, pairs)
+
+
+def odd_even_transposition_network(n: int, rounds: int | None = None) -> ComparatorNetwork:
+    """The brick-wall odd-even transposition network.
+
+    ``rounds`` defaults to ``n``, which is exactly enough to sort every
+    input; fewer rounds give a primitive *non*-sorter, which the height-1
+    experiments use as negative instances.
+    """
+    if n < 1:
+        raise ConstructionError(f"cannot build a sorting network on {n} lines")
+    if rounds is None:
+        rounds = n
+    if rounds < 0:
+        raise ConstructionError(f"rounds must be non-negative, got {rounds}")
+    pairs = []
+    for round_index in range(rounds):
+        start = round_index % 2
+        for i in range(start, n - 1, 2):
+            pairs.append((i, i + 1))
+    return ComparatorNetwork.from_pairs(n, pairs)
+
+
+def primitive_network_size_lower_bound(n: int) -> int:
+    """``n(n-1)/2``: the minimum size of any primitive sorting network.
+
+    A primitive network can remove at most one inversion per comparator and
+    the reverse permutation has ``n(n-1)/2`` inversions, so every primitive
+    sorter needs at least this many comparators (and bubble sort meets it).
+    """
+    return n * (n - 1) // 2

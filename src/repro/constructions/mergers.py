@@ -1,0 +1,60 @@
+"""Constructions of ``(n/2, n/2)``-merging networks.
+
+A merging network on an even number of lines receives two individually
+sorted halves and must output the fully sorted sequence.  These are the
+positive instances of the Theorem 2.5 experiments.
+
+Provided constructions:
+
+* :func:`batcher_merging_network` — Batcher's odd-even merge (the standard
+  ``O(n log n)`` construction);
+* :func:`zipper_merging_network` — a simple quadratic merger made of
+  alternating adjacent passes, used as a structurally different positive
+  instance and as a correctness cross-check;
+* :func:`merger_from_sorter` — any sorter merges trivially.
+"""
+
+from __future__ import annotations
+
+from ..core.network import ComparatorNetwork
+from ..exceptions import ConstructionError
+from .batcher import batcher_sorting_network, odd_even_merge_network
+from .bubble import odd_even_transposition_network
+
+__all__ = [
+    "batcher_merging_network",
+    "zipper_merging_network",
+    "merger_from_sorter",
+]
+
+
+def _check_even(n: int) -> int:
+    if n < 2 or n % 2 != 0:
+        raise ConstructionError(
+            f"merging networks are defined for even n >= 2, got {n}"
+        )
+    return n // 2
+
+
+def batcher_merging_network(n: int) -> ComparatorNetwork:
+    """Batcher's odd-even ``(n/2, n/2)``-merging network on *n* lines."""
+    half = _check_even(n)
+    return odd_even_merge_network(half)
+
+
+def zipper_merging_network(n: int) -> ComparatorNetwork:
+    """A primitive (height-1) merging network: ``n`` odd-even transposition rounds.
+
+    ``n`` rounds of the odd-even transposition network sort *every* input, so
+    in particular they merge two sorted halves.  The network is quadratic in
+    size but has height 1, which makes it useful in the Section 3
+    (height-restricted) experiments.
+    """
+    _check_even(n)
+    return odd_even_transposition_network(n)
+
+
+def merger_from_sorter(n: int) -> ComparatorNetwork:
+    """A full Batcher sorter viewed as a merging network."""
+    _check_even(n)
+    return batcher_sorting_network(n)

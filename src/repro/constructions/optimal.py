@@ -1,0 +1,83 @@
+"""Known size-optimal sorting networks for small line counts.
+
+For ``n <= 8`` the exact minimum number of comparators of a sorting network
+is known (Knuth §5.3.4): 0, 1, 3, 5, 9, 12, 16, 19 for ``n = 1..8``.  The
+networks below are classical witnesses of those sizes.  They serve two
+purposes in the reproduction:
+
+* small, cheap, *correct* sorters for the exhaustive experiments (building
+  every ``H_sigma`` for ``n`` up to ~10 touches thousands of ``S(m)``
+  blocks, so small blocks matter), and
+* a second family of positive instances for the property checkers and fault
+  experiments, independent of the Batcher/Bose–Nelson recursions.
+
+Every network in the table is verified to be a sorter (via the zero–one
+principle) by the test suite; the claimed optimality of the sizes is taken
+from the literature, not re-proved here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.network import ComparatorNetwork
+from ..exceptions import ConstructionError
+
+__all__ = [
+    "optimal_sorting_network",
+    "known_optimal_sizes",
+    "OPTIMAL_NETWORKS",
+]
+
+#: Exact minimum comparator counts for n = 1..8 (Knuth, §5.3.4).
+known_optimal_sizes: Dict[int, int] = {
+    1: 0,
+    2: 1,
+    3: 3,
+    4: 5,
+    5: 9,
+    6: 12,
+    7: 16,
+    8: 19,
+}
+
+#: Classical optimal networks, 0-indexed comparator lists.
+OPTIMAL_NETWORKS: Dict[int, List[Tuple[int, int]]] = {
+    1: [],
+    2: [(0, 1)],
+    3: [(1, 2), (0, 2), (0, 1)],
+    4: [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)],
+    5: [
+        (0, 1), (3, 4), (2, 4), (2, 3), (1, 4),
+        (0, 3), (0, 2), (1, 3), (1, 2),
+    ],
+    6: [
+        (1, 2), (4, 5), (0, 2), (3, 5), (0, 1), (3, 4),
+        (2, 5), (0, 3), (1, 4), (2, 4), (1, 3), (2, 3),
+    ],
+    7: [
+        (1, 2), (3, 4), (5, 6), (0, 2), (3, 5), (4, 6),
+        (0, 1), (4, 5), (2, 6), (0, 4), (1, 5), (0, 3),
+        (2, 5), (1, 3), (2, 4), (2, 3),
+    ],
+    8: [
+        (0, 1), (2, 3), (4, 5), (6, 7), (0, 2), (1, 3),
+        (4, 6), (5, 7), (1, 2), (5, 6), (0, 4), (3, 7),
+        (1, 5), (2, 6), (1, 4), (3, 6), (2, 4), (3, 5),
+        (3, 4),
+    ],
+}
+
+
+def optimal_sorting_network(n: int) -> ComparatorNetwork:
+    """Return a size-optimal sorting network for ``1 <= n <= 8``.
+
+    Raises :class:`~repro.exceptions.ConstructionError` for larger *n*; use
+    :func:`repro.constructions.batcher.batcher_sorting_network` there.
+    """
+    if n not in OPTIMAL_NETWORKS:
+        raise ConstructionError(
+            f"no optimal network tabulated for n={n}; tabulated sizes are "
+            f"{sorted(OPTIMAL_NETWORKS)}"
+        )
+    return ComparatorNetwork.from_pairs(n, OPTIMAL_NETWORKS[n])

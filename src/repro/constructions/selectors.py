@@ -1,0 +1,102 @@
+"""Constructions of ``(k, n)``-selection networks.
+
+A ``(k, n)``-selector outputs the ``i``-th smallest input on line ``i`` for
+every ``i < k`` (0-based; the paper's ``1 <= i <= k``).  These networks are
+the positive instances of the Theorem 2.4 experiments.  Three constructions
+are provided:
+
+* :func:`selector_from_sorter` — any sorting network is trivially a
+  ``(k, n)``-selector for every ``k``;
+* :func:`bubble_selection_network` — ``k`` bubble passes, ``O(k n)``
+  comparators, the classical "partial bubble sort" selector;
+* :func:`pruned_selection_network` — start from a Batcher sorter and remove
+  every comparator outside the cone of influence of the first ``k`` output
+  lines.  The cone-of-influence argument guarantees the first ``k`` outputs
+  are unchanged, so the result is still a selector while often being much
+  smaller; the size difference is one of the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.comparator import Comparator
+from ..core.network import ComparatorNetwork
+from ..exceptions import ConstructionError
+from .batcher import batcher_sorting_network
+
+__all__ = [
+    "selector_from_sorter",
+    "bubble_selection_network",
+    "pruned_selection_network",
+    "prune_to_output_lines",
+]
+
+
+def _check_selector_parameters(n: int, k: int) -> None:
+    if n < 1:
+        raise ConstructionError(f"cannot build a selector on {n} lines")
+    if k < 1 or k > n:
+        raise ConstructionError(f"selector parameter k={k} out of range 1..{n}")
+
+
+def selector_from_sorter(n: int, k: int) -> ComparatorNetwork:
+    """A full Batcher sorter, viewed as a ``(k, n)``-selector.
+
+    *k* is validated but otherwise unused — a sorter selects for every *k*.
+    """
+    _check_selector_parameters(n, k)
+    return batcher_sorting_network(n)
+
+
+def bubble_selection_network(n: int, k: int) -> ComparatorNetwork:
+    """Partial bubble sort: ``k`` upward bubble passes.
+
+    Pass ``j`` (0-based) runs adjacent comparators from the bottom of the
+    array up to line ``j``, which floats the ``j``-th smallest value into
+    position ``j``.  After ``k`` passes lines ``0..k-1`` hold the ``k``
+    smallest values in order, so the network is a ``(k, n)``-selector with
+    ``k*n - k*(k+1)/2`` comparators and height 1.
+    """
+    _check_selector_parameters(n, k)
+    pairs = []
+    for pass_index in range(k):
+        for i in range(n - 2, pass_index - 1, -1):
+            pairs.append((i, i + 1))
+    # Scanning the adjacent comparators from the bottom line upward carries a
+    # running minimum with it, so pass j leaves min(lines j..n-1) on line j.
+    return ComparatorNetwork.from_pairs(n, pairs)
+
+
+def prune_to_output_lines(
+    network: ComparatorNetwork, output_lines: List[int]
+) -> ComparatorNetwork:
+    """Remove comparators outside the cone of influence of *output_lines*.
+
+    Walk the comparator sequence backwards keeping a set of *relevant* lines,
+    initialised to *output_lines*.  A comparator both of whose lines are
+    irrelevant at that point can be deleted without changing the final values
+    on the relevant lines; a comparator touching a relevant line is kept and
+    makes both its lines relevant earlier in the network.  The values
+    delivered on *output_lines* are therefore identical to the original
+    network's.
+    """
+    relevant = set(output_lines)
+    if any(line < 0 or line >= network.n_lines for line in relevant):
+        raise ConstructionError(
+            f"output lines {sorted(relevant)!r} out of range for "
+            f"{network.n_lines} lines"
+        )
+    kept_reversed: List[Comparator] = []
+    for comp in reversed(network.comparators):
+        if comp.low in relevant or comp.high in relevant:
+            kept_reversed.append(comp)
+            relevant.add(comp.low)
+            relevant.add(comp.high)
+    return ComparatorNetwork(network.n_lines, list(reversed(kept_reversed)))
+
+
+def pruned_selection_network(n: int, k: int) -> ComparatorNetwork:
+    """Batcher sorter pruned to the cone of influence of output lines ``0..k-1``."""
+    _check_selector_parameters(n, k)
+    return prune_to_output_lines(batcher_sorting_network(n), list(range(k)))

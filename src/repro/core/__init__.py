@@ -1,0 +1,99 @@
+"""Core comparator-network data model and evaluation engine.
+
+This subpackage contains everything needed to *represent* and *run*
+comparator networks; the paper-specific machinery (test sets, adversaries,
+bounds) builds on top of it.
+
+Public surface
+--------------
+:class:`Comparator`
+    A single (optionally reversed) comparator between two lines.
+:class:`ComparatorNetwork`
+    An immutable sequence of comparators on ``n`` lines.
+:class:`NetworkBuilder`
+    Fluent construction helper used by the recursive constructions.
+Evaluation helpers
+    :func:`apply_network_to_batch`, :func:`all_binary_words`,
+    :func:`all_binary_words_array`, :func:`evaluate_on_all_binary_inputs`,
+    :func:`outputs_on_words`, :func:`batch_is_sorted`.
+Random generators
+    :func:`random_network`, :func:`random_sorter_mutation`,
+    :func:`random_height_limited_network`.
+"""
+
+from .comparator import Comparator
+from .network import ComparatorNetwork
+from .builder import NetworkBuilder
+from .evaluation import (
+    all_binary_words,
+    all_binary_words_array,
+    apply_network_to_batch,
+    array_to_words,
+    batch_is_sorted,
+    evaluate_on_all_binary_inputs,
+    outputs_on_words,
+    unsorted_binary_words_array,
+    words_to_array,
+)
+from .layers import decompose_into_layers, network_depth, network_from_layers
+from .serialization import (
+    network_from_dict,
+    network_from_json,
+    network_from_knuth,
+    network_to_dict,
+    network_to_json,
+    network_to_knuth,
+)
+from .diagram import render_network, render_trace
+from .simplify import (
+    active_comparator_counts,
+    comparator_is_redundant,
+    networks_equivalent,
+    redundant_comparator_indices,
+    remove_redundant_comparators,
+)
+from .random_networks import (
+    all_standard_comparators,
+    random_height_limited_network,
+    random_network,
+    random_networks,
+    random_sorter_mutation,
+    random_standard_comparator,
+)
+
+__all__ = [
+    "Comparator",
+    "ComparatorNetwork",
+    "NetworkBuilder",
+    "all_binary_words",
+    "all_binary_words_array",
+    "apply_network_to_batch",
+    "array_to_words",
+    "batch_is_sorted",
+    "evaluate_on_all_binary_inputs",
+    "outputs_on_words",
+    "unsorted_binary_words_array",
+    "words_to_array",
+    "decompose_into_layers",
+    "network_depth",
+    "network_from_layers",
+    "network_from_dict",
+    "network_from_json",
+    "network_from_knuth",
+    "network_to_dict",
+    "network_to_json",
+    "network_to_knuth",
+    "render_network",
+    "render_trace",
+    "active_comparator_counts",
+    "comparator_is_redundant",
+    "networks_equivalent",
+    "redundant_comparator_indices",
+    "remove_redundant_comparators",
+    "all_standard_comparators",
+    "random_height_limited_network",
+    "random_network",
+    "random_networks",
+    "random_sorter_mutation",
+    "random_standard_comparator",
+]

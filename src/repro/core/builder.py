@@ -1,0 +1,149 @@
+"""A small fluent builder for comparator networks.
+
+The recursive constructions in :mod:`repro.testsets.adversary` and
+:mod:`repro.constructions` assemble networks from pieces: "apply this
+sub-network to lines 3..7, then a comparator between lines 2 and 9, then a
+sorter on the last four lines".  Doing that with raw comparator lists is
+error-prone (index arithmetic everywhere), so :class:`NetworkBuilder`
+provides named steps that mirror how the paper's figures are described.
+
+All line indices are 0-based.  The builder is mutable; :meth:`build` freezes
+the result into an immutable :class:`~repro.core.network.ComparatorNetwork`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..exceptions import InvalidComparatorError, LineCountError
+from .comparator import Comparator
+from .network import ComparatorNetwork
+
+__all__ = ["NetworkBuilder"]
+
+
+class NetworkBuilder:
+    """Accumulate comparators for a network on a fixed number of lines.
+
+    Examples
+    --------
+    Build the Fig. 1 network:
+
+    >>> from repro.core import NetworkBuilder
+    >>> net = (NetworkBuilder(4)
+    ...        .compare(0, 2).compare(1, 3)
+    ...        .compare(0, 1).compare(2, 3)
+    ...        .build())
+    >>> net.size
+    4
+    """
+
+    def __init__(self, n_lines: int) -> None:
+        if n_lines < 1:
+            raise LineCountError(f"n_lines must be >= 1, got {n_lines}")
+        self._n_lines = n_lines
+        self._comparators: List[Comparator] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_lines(self) -> int:
+        """Number of lines of the network being built."""
+        return self._n_lines
+
+    @property
+    def size(self) -> int:
+        """Number of comparators accumulated so far."""
+        return len(self._comparators)
+
+    # ------------------------------------------------------------------
+    def compare(self, low: int, high: int, *, reversed: bool = False) -> "NetworkBuilder":
+        """Append a single comparator between lines *low* and *high*."""
+        comp = Comparator(low, high, reversed)
+        if comp.high >= self._n_lines:
+            raise InvalidComparatorError(
+                f"comparator {comp} does not fit on {self._n_lines} lines"
+            )
+        self._comparators.append(comp)
+        return self
+
+    def compare_many(self, pairs: Iterable[Sequence[int]]) -> "NetworkBuilder":
+        """Append several ``(low, high)`` comparators in order."""
+        for low, high in pairs:
+            self.compare(low, high)
+        return self
+
+    def append_comparator(self, comparator: Comparator) -> "NetworkBuilder":
+        """Append an existing :class:`Comparator` object."""
+        if comparator.high >= self._n_lines:
+            raise InvalidComparatorError(
+                f"comparator {comparator} does not fit on {self._n_lines} lines"
+            )
+        self._comparators.append(comparator)
+        return self
+
+    def append_network(self, network: ComparatorNetwork) -> "NetworkBuilder":
+        """Append all comparators of *network* (which must have the same width)."""
+        if network.n_lines != self._n_lines:
+            raise LineCountError(
+                f"cannot append a {network.n_lines}-line network to a "
+                f"{self._n_lines}-line builder; use append_on_lines()"
+            )
+        self._comparators.extend(network.comparators)
+        return self
+
+    def append_on_lines(
+        self, network: ComparatorNetwork, lines: Sequence[int]
+    ) -> "NetworkBuilder":
+        """Append *network* routed onto the given (strictly increasing) lines.
+
+        This is the builder form of the paper's "all other lines bypass"
+        figures: e.g. attach the 3-line ``H_100`` gadget to lines ``k``,
+        ``l`` and ``n``.
+        """
+        embedded = network.on_lines(self._n_lines, list(lines))
+        self._comparators.extend(embedded.comparators)
+        return self
+
+    def append_on_range(
+        self, network: ComparatorNetwork, start: int
+    ) -> "NetworkBuilder":
+        """Append *network* onto the contiguous lines ``start .. start+width-1``."""
+        lines = list(range(start, start + network.n_lines))
+        return self.append_on_lines(network, lines)
+
+    def sort_range(self, start: int, stop: int) -> "NetworkBuilder":
+        """Append a Batcher sorter on the contiguous line range ``[start, stop)``.
+
+        The paper's figures write this as ``S(m)`` attached to a block of
+        lines.  An empty or single-line range appends nothing.
+        """
+        width = stop - start
+        if width < 0 or start < 0 or stop > self._n_lines:
+            raise LineCountError(
+                f"invalid sort range [{start}, {stop}) on {self._n_lines} lines"
+            )
+        if width <= 1:
+            return self
+        from ..constructions.batcher import batcher_sorting_network
+
+        return self.append_on_range(batcher_sorting_network(width), start)
+
+    def sort_lines(self, lines: Sequence[int]) -> "NetworkBuilder":
+        """Append a Batcher sorter attached to an arbitrary increasing line set."""
+        lines = list(lines)
+        if len(lines) <= 1:
+            return self
+        from ..constructions.batcher import batcher_sorting_network
+
+        return self.append_on_lines(batcher_sorting_network(len(lines)), lines)
+
+    # ------------------------------------------------------------------
+    def build(self) -> ComparatorNetwork:
+        """Freeze the accumulated comparators into a network."""
+        return ComparatorNetwork(self._n_lines, tuple(self._comparators))
+
+    def __len__(self) -> int:
+        return len(self._comparators)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkBuilder(n_lines={self._n_lines}, size={len(self._comparators)})"

@@ -1,0 +1,199 @@
+"""Comparator primitives.
+
+A *comparator* connects two lines of a network.  A **standard** comparator
+``[low, high]`` (``low < high``) compares the values travelling on the two
+lines and routes the smaller value to line ``low`` and the larger value to
+line ``high``.  This is the only kind of comparator the paper allows
+("standard, in the sense of Knuth"): standard comparators can never unsort a
+sorted sequence, which is essential to the lower-bound arguments.
+
+The library additionally models **reversed** comparators (max on the lower
+line), because
+
+* Batcher's bitonic sorter is naturally described with them (the paper
+  explicitly points out it is *not* a network in its sense), and
+* the VLSI fault models include "comparator installed upside down".
+
+Lines are 0-indexed throughout the library.  The paper and Knuth use
+1-indexed lines; the serialisation helpers in
+:mod:`repro.core.serialization` convert at the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..exceptions import InvalidComparatorError
+
+__all__ = ["Comparator"]
+
+
+@dataclass(frozen=True, order=True)
+class Comparator:
+    """A comparator between two distinct lines.
+
+    Parameters
+    ----------
+    low:
+        Index of the line that receives the *minimum* (for a standard
+        comparator).  Must satisfy ``0 <= low``.
+    high:
+        Index of the line that receives the *maximum* (for a standard
+        comparator).  Must satisfy ``low < high`` for standard comparators.
+    reversed:
+        When ``True`` the comparator is installed "upside down": the maximum
+        is routed to ``low`` and the minimum to ``high``.  Reversed
+        comparators make a network *non-standard*.
+
+    Examples
+    --------
+    >>> c = Comparator(0, 2)
+    >>> c.apply((3, 5, 1))
+    (1, 5, 3)
+    >>> Comparator(0, 2, reversed=True).apply((1, 5, 3))
+    (3, 5, 1)
+    """
+
+    low: int
+    high: int
+    reversed: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.low, int) or not isinstance(self.high, int):
+            raise InvalidComparatorError(
+                f"comparator endpoints must be ints, got ({self.low!r}, {self.high!r})"
+            )
+        if self.low < 0 or self.high < 0:
+            raise InvalidComparatorError(
+                f"comparator endpoints must be non-negative, got ({self.low}, {self.high})"
+            )
+        if self.low == self.high:
+            raise InvalidComparatorError(
+                f"comparator endpoints must differ, got ({self.low}, {self.high})"
+            )
+        if self.low > self.high:
+            raise InvalidComparatorError(
+                "comparator endpoints must be given as (low, high) with low < high; "
+                f"got ({self.low}, {self.high}).  Use reversed=True for an "
+                "upside-down comparator instead of swapping the endpoints."
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def standard(self) -> bool:
+        """``True`` when the comparator routes min to ``low`` (paper's model)."""
+        return not self.reversed
+
+    @property
+    def lines(self) -> Tuple[int, int]:
+        """The pair of line indices ``(low, high)`` touched by the comparator."""
+        return (self.low, self.high)
+
+    @property
+    def span(self) -> int:
+        """The *height* of the comparator: ``high - low``.
+
+        Section 3 of the paper defines a height-``k`` network as one whose
+        comparators all satisfy ``span <= k``.  Height-1 comparators connect
+        adjacent lines ("primitive" networks).
+        """
+        return self.high - self.low
+
+    def touches(self, line: int) -> bool:
+        """Return ``True`` if the comparator is attached to *line*."""
+        return line == self.low or line == self.high
+
+    def overlaps(self, other: "Comparator") -> bool:
+        """Return ``True`` if the two comparators share a line.
+
+        Comparators that do not overlap may be executed in the same parallel
+        layer; see :mod:`repro.core.layers`.
+        """
+        return (
+            self.low == other.low
+            or self.low == other.high
+            or self.high == other.low
+            or self.high == other.high
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def shifted(self, offset: int) -> "Comparator":
+        """Return a copy with both endpoints shifted by *offset*."""
+        return Comparator(self.low + offset, self.high + offset, self.reversed)
+
+    def relabelled(self, mapping) -> "Comparator":
+        """Return a copy with endpoints relabelled through *mapping*.
+
+        *mapping* is any ``line -> line`` callable or indexable.  If the
+        relabelling flips the order of the endpoints, the ``reversed`` flag is
+        flipped so that the *semantics* (which value goes to which physical
+        line) are preserved.
+        """
+        get = mapping.__getitem__ if hasattr(mapping, "__getitem__") else mapping
+        a, b = get(self.low), get(self.high)
+        if a == b:
+            raise InvalidComparatorError(
+                f"relabelling maps both endpoints of {self} to line {a}"
+            )
+        if a < b:
+            return Comparator(a, b, self.reversed)
+        return Comparator(b, a, not self.reversed)
+
+    def dual(self, n_lines: int) -> "Comparator":
+        """Complement–reverse dual on a network with *n_lines* lines.
+
+        Reversing the line order (line ``i`` becomes ``n-1-i``) and
+        complementing 0/1 values maps a standard comparator ``[a, b]`` to the
+        standard comparator ``[n-1-b, n-1-a]`` (and similarly keeps reversed
+        comparators reversed).  This duality is what lets the Lemma 2.1
+        construction handle an unsorted *suffix* by reusing the unsorted
+        *prefix* case.
+        """
+        if self.high >= n_lines:
+            raise InvalidComparatorError(
+                f"comparator {self} does not fit on {n_lines} lines"
+            )
+        return Comparator(n_lines - 1 - self.high, n_lines - 1 - self.low, self.reversed)
+
+    def flipped(self) -> "Comparator":
+        """Return the same comparator with its orientation reversed."""
+        return Comparator(self.low, self.high, not self.reversed)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, word) -> Tuple[int, ...]:
+        """Apply the comparator to a single word, returning a new tuple.
+
+        This is the scalar reference implementation; batch evaluation lives
+        in :mod:`repro.core.evaluation`.
+        """
+        values = tuple(word)
+        if self.high >= len(values):
+            raise InvalidComparatorError(
+                f"comparator {self} does not fit on a word of length {len(values)}"
+            )
+        a, b = values[self.low], values[self.high]
+        lo, hi = (a, b) if a <= b else (b, a)
+        if self.reversed:
+            lo, hi = hi, lo
+        out = list(values)
+        out[self.low] = lo
+        out[self.high] = hi
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        yield self.low
+        yield self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "~" if self.reversed else ""
+        return f"{mark}[{self.low},{self.high}]"

@@ -1,0 +1,111 @@
+"""ASCII rendering of comparator networks (Fig. 1 style).
+
+The paper's Fig. 1 draws a network as ``n`` horizontal lines with vertical
+segments for comparators.  :func:`render_network` produces the same picture
+in ASCII, optionally annotated with the values a particular input word takes
+as it flows through the network::
+
+    line 0 --o--------o------  1
+             |        |
+    line 1 --|---o----x------  2
+             |   |
+    line 2 --o---|--------o--  3
+                 |        |
+    line 3 -----o--------o--  4
+
+Comparators are laid out by parallel layer (each layer gets its own column
+group) so the picture doubles as a depth visualisation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .layers import decompose_into_layers
+from .network import ComparatorNetwork
+
+__all__ = ["render_network", "render_trace"]
+
+
+def render_network(
+    network: ComparatorNetwork,
+    *,
+    input_word: Optional[Sequence[int]] = None,
+    line_labels: bool = True,
+    column_width: int = 4,
+) -> str:
+    """Render *network* as a multi-line ASCII diagram.
+
+    Parameters
+    ----------
+    network:
+        The network to draw.
+    input_word:
+        Optional word; when given, the input values are printed at the left
+        end of each line and the output values at the right end (this
+        reproduces the annotations of Fig. 1).
+    line_labels:
+        Prefix each line with ``line i``.
+    column_width:
+        Horizontal space allotted to each parallel layer.
+    """
+    n = network.n_lines
+    layers = decompose_into_layers(network)
+    width = max(1, len(layers)) * column_width + 2
+
+    # Character grid: one row of text per line plus one spacer row between
+    # adjacent lines (the spacer rows carry the vertical comparator bars).
+    rows = 2 * n - 1
+    grid = [[" "] * width for _ in range(rows)]
+    for i in range(n):
+        for x in range(width):
+            grid[2 * i][x] = "-"
+
+    for layer_index, layer in enumerate(layers):
+        x = layer_index * column_width + column_width // 2
+        for comp in layer:
+            top, bottom = comp.low, comp.high
+            top_mark = "o" if not comp.reversed else "x"
+            bottom_mark = "o" if not comp.reversed else "x"
+            grid[2 * top][x] = top_mark
+            grid[2 * bottom][x] = bottom_mark
+            for row in range(2 * top + 1, 2 * bottom):
+                grid[row][x] = "|" if grid[row][x] == " " else grid[row][x]
+
+    outputs = None
+    if input_word is not None:
+        outputs = network.apply(tuple(input_word))
+
+    lines_text: List[str] = []
+    label_width = len(f"line {n - 1} ") if line_labels else 0
+    for row in range(rows):
+        body = "".join(grid[row])
+        if row % 2 == 0:
+            line_index = row // 2
+            label = f"line {line_index} ".ljust(label_width) if line_labels else ""
+            prefix = ""
+            suffix = ""
+            if input_word is not None:
+                prefix = f"{input_word[line_index]:>3} "
+                suffix = f" {outputs[line_index]:>3}"
+            lines_text.append(f"{label}{prefix}{body}{suffix}")
+        else:
+            pad = " " * (label_width + (4 if input_word is not None else 0))
+            lines_text.append(f"{pad}{body}")
+    return "\n".join(lines_text)
+
+
+def render_trace(network: ComparatorNetwork, input_word: Sequence[int]) -> str:
+    """Render the comparator-by-comparator trace of *input_word*.
+
+    One line per comparator showing the word before and after, e.g.::
+
+        (4, 1, 3, 2) --[0,2]--> (3, 1, 4, 2)
+    """
+    states = network.trace(tuple(input_word))
+    parts = []
+    for comp, before, after in zip(network.comparators, states, states[1:]):
+        parts.append(f"{before} --{comp}--> {after}")
+    if not parts:
+        parts.append(f"{states[0]} (empty network)")
+    return "\n".join(parts)

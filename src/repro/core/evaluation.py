@@ -1,0 +1,171 @@
+"""Vectorised network evaluation.
+
+The experiments repeatedly evaluate a network on *every* word of
+``{0,1}^n`` (or on large permutation batches).  Doing that with the scalar
+:meth:`ComparatorNetwork.apply` costs a Python-level loop per word per
+comparator; instead the functions here treat the batch as a 2-D numpy array
+of shape ``(num_words, n_lines)`` and realise each comparator as a pair of
+vectorised ``minimum``/``maximum`` operations over two columns.  This follows
+the optimisation guidance for numerical Python: no per-element Python loops
+in the hot path, contiguous arrays, in-place column updates.
+
+The scalar and vectorised paths are cross-checked by the test suite
+(including a hypothesis property test) so either can be treated as the
+reference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .._typing import Batch
+from ..exceptions import InputLengthError
+from .network import ComparatorNetwork
+
+__all__ = [
+    "apply_network_to_batch",
+    "all_binary_words",
+    "all_binary_words_array",
+    "unsorted_binary_words_array",
+    "evaluate_on_all_binary_inputs",
+    "outputs_on_words",
+    "batch_is_sorted",
+    "words_to_array",
+    "array_to_words",
+]
+
+
+def words_to_array(words: Iterable[Sequence[int]], dtype=np.int8) -> Batch:
+    """Stack an iterable of equal-length words into a 2-D integer array."""
+    array = np.asarray(list(words), dtype=dtype)
+    if array.ndim == 1:
+        # A single word (or an empty iterable) — normalise the shape.
+        array = array.reshape((1, -1)) if array.size else array.reshape((0, 0))
+    return array
+
+
+def array_to_words(batch: Batch):
+    """Convert a 2-D batch array back to a list of plain tuples."""
+    return [tuple(int(v) for v in row) for row in np.asarray(batch)]
+
+
+def apply_network_to_batch(
+    network: ComparatorNetwork, batch: Batch, *, copy: bool = True
+) -> Batch:
+    """Evaluate *network* on every row of *batch*.
+
+    Parameters
+    ----------
+    network:
+        The comparator network to evaluate.
+    batch:
+        Integer array of shape ``(num_words, n_lines)``.
+    copy:
+        When ``True`` (default) the input array is left untouched and a new
+        array is returned.  Pass ``False`` to evaluate in place when the
+        caller owns the buffer (e.g. inside the fault-simulation loop).
+
+    Returns
+    -------
+    numpy.ndarray
+        The outputs, same shape and dtype as *batch*.
+    """
+    data = np.asarray(batch)
+    if data.ndim != 2:
+        raise InputLengthError(
+            f"batch must be 2-D (num_words, n_lines), got shape {data.shape}"
+        )
+    if data.shape[1] != network.n_lines:
+        raise InputLengthError(
+            f"batch has {data.shape[1]} columns but the network has "
+            f"{network.n_lines} lines"
+        )
+    # Faulty-network subclasses (repro.faults.models) override apply_batch to
+    # model behaviour that a plain comparator sequence cannot express (e.g. a
+    # stuck-swap stage).  Dispatch to the override so every caller — property
+    # checkers, fault simulation, benchmarks — sees the faulty behaviour.
+    override = type(network).apply_batch
+    if override is not ComparatorNetwork.apply_batch:
+        return override(network, data)
+    out = np.array(data, copy=True) if copy else data
+    if out.shape[0] == 0:
+        return out
+    for comp in network.comparators:
+        a = out[:, comp.low]
+        b = out[:, comp.high]
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        if comp.reversed:
+            lo, hi = hi, lo
+        out[:, comp.low] = lo
+        out[:, comp.high] = hi
+    return out
+
+
+def all_binary_words(n: int):
+    """Yield every word of ``{0,1}^n`` as a tuple, in lexicographic order."""
+    for rank in range(1 << n):
+        yield tuple((rank >> (n - 1 - i)) & 1 for i in range(n))
+
+
+def all_binary_words_array(n: int, dtype=np.int8) -> Batch:
+    """All ``2**n`` binary words as a ``(2**n, n)`` array (lexicographic rows).
+
+    Row ``r`` is the binary expansion of ``r`` with the most significant bit
+    in column 0, so ``all_binary_words_array(n)[r]`` equals the ``r``-th word
+    of :func:`all_binary_words`.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        return np.zeros((1, 0), dtype=dtype)
+    ranks = np.arange(1 << n, dtype=np.int64)
+    shifts = np.arange(n - 1, -1, -1, dtype=np.int64)
+    return ((ranks[:, None] >> shifts[None, :]) & 1).astype(dtype)
+
+
+def unsorted_binary_words_array(n: int, dtype=np.int8) -> Batch:
+    """All non-sorted binary words of length *n* (``2**n - n - 1`` rows)."""
+    words = all_binary_words_array(n, dtype=dtype)
+    keep = ~batch_is_sorted(words)
+    return words[keep]
+
+
+def batch_is_sorted(batch: Batch) -> np.ndarray:
+    """Boolean vector: for each row, is it non-decreasing left to right?"""
+    data = np.asarray(batch)
+    if data.shape[1] <= 1:
+        return np.ones(data.shape[0], dtype=bool)
+    return np.all(data[:, 1:] >= data[:, :-1], axis=1)
+
+
+def evaluate_on_all_binary_inputs(
+    network: ComparatorNetwork, *, dtype=np.int8
+) -> Batch:
+    """Outputs of *network* on every binary word, ordered by input rank."""
+    return apply_network_to_batch(
+        network, all_binary_words_array(network.n_lines, dtype=dtype), copy=False
+    )
+
+
+def outputs_on_words(
+    network: ComparatorNetwork,
+    words: Iterable[Sequence[int]],
+    *,
+    dtype: Optional[type] = None,
+) -> Batch:
+    """Evaluate *network* on an explicit collection of words.
+
+    The dtype defaults to ``int8`` for binary-looking input and ``int64``
+    otherwise (permutations of large ``n`` overflow ``int8``).
+    """
+    rows = list(words)
+    if not rows:
+        return np.zeros((0, network.n_lines), dtype=np.int8)
+    if dtype is None:
+        maximum = max(max(row) for row in rows)
+        dtype = np.int8 if maximum <= 1 else np.int64
+    batch = words_to_array(rows, dtype=dtype)
+    return apply_network_to_batch(network, batch, copy=False)

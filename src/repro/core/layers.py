@@ -1,0 +1,83 @@
+"""Parallel-layer decomposition and depth of a network.
+
+Comparator networks are a model of *parallel* sorting: comparators that do
+not share a line can fire simultaneously.  The depth (number of parallel
+steps) is therefore a key cost measure alongside size.  The paper itself only
+needs size, but the constructions it builds on (Batcher's networks, AKS) are
+usually compared by depth, and the benchmark harness reports both.
+
+The decomposition used here is the standard greedy ASAP (as soon as
+possible) schedule: scan the comparators in order and place each one in the
+earliest layer after the last layer that touches one of its lines.  For a
+fixed comparator *sequence* this yields the minimum possible number of
+layers, because each comparator is placed at exactly
+``1 + max(layer of previous comparator sharing a line)``, which is a lower
+bound for any order-preserving schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .comparator import Comparator
+from .network import ComparatorNetwork
+
+__all__ = ["decompose_into_layers", "network_depth", "network_from_layers"]
+
+
+def decompose_into_layers(network: ComparatorNetwork) -> List[List[Comparator]]:
+    """Greedy ASAP decomposition of *network* into parallel layers.
+
+    Returns a list of layers; each layer is a list of comparators no two of
+    which share a line.  Concatenating the layers in order gives a network
+    equivalent to the input (the relative order of comparators that share a
+    line is preserved, and comparators that do not share a line commute).
+    """
+    layers: List[List[Comparator]] = []
+    # earliest[i] = index of the first layer that line i is still free in.
+    earliest = [0] * network.n_lines
+    for comp in network.comparators:
+        layer_index = max(earliest[comp.low], earliest[comp.high])
+        while len(layers) <= layer_index:
+            layers.append([])
+        layers[layer_index].append(comp)
+        earliest[comp.low] = layer_index + 1
+        earliest[comp.high] = layer_index + 1
+    return layers
+
+
+def network_depth(network: ComparatorNetwork) -> int:
+    """Number of layers of the greedy ASAP schedule (0 for the empty network)."""
+    if not network.comparators:
+        return 0
+    earliest = [0] * network.n_lines
+    depth = 0
+    for comp in network.comparators:
+        layer_index = max(earliest[comp.low], earliest[comp.high])
+        earliest[comp.low] = layer_index + 1
+        earliest[comp.high] = layer_index + 1
+        if layer_index + 1 > depth:
+            depth = layer_index + 1
+    return depth
+
+
+def network_from_layers(
+    n_lines: int, layers: List[List[Comparator]]
+) -> ComparatorNetwork:
+    """Flatten an explicit layer list back into a network.
+
+    Raises ``ValueError`` if any layer contains two comparators sharing a
+    line (such a "layer" would not be executable in one parallel step).
+    """
+    comparators = []
+    for depth, layer in enumerate(layers):
+        used = set()
+        for comp in layer:
+            if comp.low in used or comp.high in used:
+                raise ValueError(
+                    f"layer {depth} has two comparators sharing a line: {layer}"
+                )
+            used.add(comp.low)
+            used.add(comp.high)
+            comparators.append(comp)
+    return ComparatorNetwork(n_lines, comparators)

@@ -1,0 +1,180 @@
+"""Random comparator-network generators.
+
+The experiments need populations of "devices under test" beyond the
+hand-built constructions: random networks (most of which are not sorters),
+random *mutations* of known sorters (which are usually near-sorters), and
+random networks restricted to a given height (Section 3).  All generators
+take a :class:`numpy.random.Generator` (or a seed) so experiments are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConstructionError
+from .comparator import Comparator
+from .network import ComparatorNetwork
+
+__all__ = [
+    "as_rng",
+    "random_network",
+    "random_standard_comparator",
+    "random_networks",
+    "random_height_limited_network",
+    "random_sorter_mutation",
+    "all_standard_comparators",
+]
+
+
+def as_rng(rng: Union[int, np.random.Generator, None]) -> np.random.Generator:
+    """Coerce ``None`` / seed / generator into a :class:`numpy.random.Generator`."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def all_standard_comparators(
+    n_lines: int, *, max_span: Optional[int] = None
+) -> List[Comparator]:
+    """Every standard comparator on *n_lines* lines, optionally span-limited.
+
+    There are ``n*(n-1)/2`` of them without a span limit; with
+    ``max_span=k`` this is the comparator alphabet of height-``k`` networks.
+    """
+    comparators = []
+    for low in range(n_lines):
+        for high in range(low + 1, n_lines):
+            if max_span is not None and high - low > max_span:
+                continue
+            comparators.append(Comparator(low, high))
+    return comparators
+
+
+def random_standard_comparator(
+    n_lines: int, rng: Union[int, np.random.Generator, None] = None
+) -> Comparator:
+    """A uniformly random standard comparator on *n_lines* lines."""
+    if n_lines < 2:
+        raise ConstructionError("need at least 2 lines for a comparator")
+    gen = as_rng(rng)
+    low, high = sorted(gen.choice(n_lines, size=2, replace=False).tolist())
+    return Comparator(int(low), int(high))
+
+
+def random_network(
+    n_lines: int,
+    size: int,
+    rng: Union[int, np.random.Generator, None] = None,
+    *,
+    max_span: Optional[int] = None,
+) -> ComparatorNetwork:
+    """A random standard network with exactly *size* comparators.
+
+    Each comparator is drawn independently and uniformly from the allowed
+    comparator alphabet (optionally span-limited).
+    """
+    if n_lines < 2 and size > 0:
+        raise ConstructionError("need at least 2 lines for a non-empty network")
+    gen = as_rng(rng)
+    alphabet = all_standard_comparators(n_lines, max_span=max_span)
+    if not alphabet and size > 0:
+        raise ConstructionError(
+            f"no comparators available on {n_lines} lines with max_span={max_span}"
+        )
+    indices = gen.integers(0, len(alphabet), size=size) if size else []
+    return ComparatorNetwork(n_lines, [alphabet[int(i)] for i in indices])
+
+
+def random_networks(
+    n_lines: int,
+    size: int,
+    count: int,
+    rng: Union[int, np.random.Generator, None] = None,
+    *,
+    max_span: Optional[int] = None,
+) -> List[ComparatorNetwork]:
+    """A list of *count* independent random networks (shared generator)."""
+    gen = as_rng(rng)
+    return [
+        random_network(n_lines, size, gen, max_span=max_span) for _ in range(count)
+    ]
+
+
+def random_height_limited_network(
+    n_lines: int,
+    size: int,
+    height: int,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> ComparatorNetwork:
+    """A random network whose comparators all have span at most *height*.
+
+    ``height=1`` gives a random *primitive* network (Section 3 of the paper /
+    de Bruijn's model).
+    """
+    if height < 1:
+        raise ConstructionError(f"height must be >= 1, got {height}")
+    return random_network(n_lines, size, rng, max_span=height)
+
+
+def random_sorter_mutation(
+    sorter: ComparatorNetwork,
+    rng: Union[int, np.random.Generator, None] = None,
+    *,
+    num_mutations: int = 1,
+    operations: Sequence[str] = ("delete", "reverse", "rewire"),
+) -> ComparatorNetwork:
+    """Randomly mutate a sorter to obtain a plausibly-faulty network.
+
+    The mutation operations mirror the fault models of :mod:`repro.faults`:
+
+    ``delete``
+        Remove a comparator (stuck-pass fault).
+    ``reverse``
+        Flip a comparator upside down (reversed-comparator fault).
+    ``rewire``
+        Replace a comparator with a random one (wiring fault).
+
+    The result is *usually* not a sorter, which makes these networks a good
+    population for empirical test-set experiments; callers that need a
+    guaranteed non-sorter should check with
+    :func:`repro.properties.is_sorter` and resample.
+    """
+    if sorter.size == 0:
+        raise ConstructionError("cannot mutate an empty network")
+    gen = as_rng(rng)
+    network = sorter
+    ops = list(operations)
+    if not ops:
+        raise ConstructionError("at least one mutation operation is required")
+    for _ in range(num_mutations):
+        if network.size == 0:
+            break
+        op = ops[int(gen.integers(0, len(ops)))]
+        index = int(gen.integers(0, network.size))
+        if op == "delete":
+            network = network.without_comparator(index)
+        elif op == "reverse":
+            network = network.with_comparator_replaced(
+                index, network.comparators[index].flipped()
+            )
+        elif op == "rewire":
+            network = network.with_comparator_replaced(
+                index, random_standard_comparator(network.n_lines, gen)
+            )
+        else:
+            raise ConstructionError(f"unknown mutation operation {op!r}")
+    return network
+
+
+def iter_random_words(
+    n_lines: int,
+    count: int,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> Iterable[tuple]:
+    """Yield *count* uniformly random binary words of length *n_lines*."""
+    gen = as_rng(rng)
+    for _ in range(count):
+        yield tuple(int(b) for b in gen.integers(0, 2, size=n_lines))

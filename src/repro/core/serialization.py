@@ -1,0 +1,134 @@
+"""Serialisation of networks and words.
+
+Two formats are supported:
+
+* **Knuth bracket notation** — the paper's own notation, 1-indexed:
+  ``"[1,3][2,4][1,2][3,4]"`` is the Fig. 1 network.  Reversed comparators are
+  written with a leading tilde, e.g. ``"~[1,3]"``.
+* **JSON dictionaries** — a stable machine-readable form used by the CLI and
+  by the experiment harness to cache constructed networks.
+
+Both formats round-trip exactly and are covered by property tests.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Union
+
+from ..exceptions import SerializationError
+from .comparator import Comparator
+from .network import ComparatorNetwork
+
+__all__ = [
+    "network_to_knuth",
+    "network_from_knuth",
+    "network_to_dict",
+    "network_from_dict",
+    "network_to_json",
+    "network_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+_BRACKET_RE = re.compile(r"(~?)\[\s*(\d+)\s*,\s*(\d+)\s*\]")
+
+
+def network_to_knuth(network: ComparatorNetwork) -> str:
+    """Render *network* in the paper's 1-indexed bracket notation."""
+    parts = []
+    for comp in network.comparators:
+        prefix = "~" if comp.reversed else ""
+        parts.append(f"{prefix}[{comp.low + 1},{comp.high + 1}]")
+    return "".join(parts)
+
+
+def network_from_knuth(n_lines: int, text: str) -> ComparatorNetwork:
+    """Parse the paper's bracket notation into a network on *n_lines* lines.
+
+    Whitespace between brackets is ignored.  Raises
+    :class:`~repro.exceptions.SerializationError` on malformed input or when
+    a comparator references a line outside ``1..n_lines``.
+    """
+    stripped = re.sub(r"\s+", "", text)
+    comparators = []
+    pos = 0
+    for match in _BRACKET_RE.finditer(stripped):
+        if match.start() != pos:
+            raise SerializationError(
+                f"unexpected characters at position {pos} in {text!r}"
+            )
+        pos = match.end()
+        tilde, low_s, high_s = match.groups()
+        low, high = int(low_s) - 1, int(high_s) - 1
+        if low < 0 or high < 0 or low >= n_lines or high >= n_lines:
+            raise SerializationError(
+                f"comparator [{low_s},{high_s}] out of range for {n_lines} lines"
+            )
+        if low == high:
+            raise SerializationError(f"degenerate comparator [{low_s},{high_s}]")
+        if low > high:
+            # The textual form allows either orientation; writing the larger
+            # line first means "reversed" relative to the standard comparator.
+            low, high = high, low
+            reversed_flag = not bool(tilde)
+        else:
+            reversed_flag = bool(tilde)
+        comparators.append(Comparator(low, high, reversed_flag))
+    if pos != len(stripped):
+        raise SerializationError(
+            f"unexpected trailing characters {stripped[pos:]!r} in {text!r}"
+        )
+    return ComparatorNetwork(n_lines, comparators)
+
+
+def network_to_dict(network: ComparatorNetwork) -> dict:
+    """JSON-friendly dictionary form of *network*."""
+    return {
+        "format": "repro.comparator_network",
+        "version": _FORMAT_VERSION,
+        "n_lines": network.n_lines,
+        "comparators": [
+            {"low": c.low, "high": c.high, "reversed": c.reversed}
+            for c in network.comparators
+        ],
+    }
+
+
+def network_from_dict(data: dict) -> ComparatorNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    try:
+        if data.get("format") != "repro.comparator_network":
+            raise SerializationError(
+                f"not a serialized comparator network: format={data.get('format')!r}"
+            )
+        version = data.get("version", 0)
+        if version != _FORMAT_VERSION:
+            raise SerializationError(f"unsupported format version {version}")
+        n_lines = int(data["n_lines"])
+        comparators = [
+            Comparator(int(c["low"]), int(c["high"]), bool(c.get("reversed", False)))
+            for c in data["comparators"]
+        ]
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed network dictionary: {exc}") from exc
+    return ComparatorNetwork(n_lines, comparators)
+
+
+def network_to_json(network: ComparatorNetwork, *, indent: Union[int, None] = None) -> str:
+    """Serialise *network* to a JSON string."""
+    return json.dumps(network_to_dict(network), indent=indent, sort_keys=True)
+
+
+def network_from_json(text: str) -> ComparatorNetwork:
+    """Parse a JSON string produced by :func:`network_to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SerializationError("expected a JSON object at the top level")
+    return network_from_dict(data)

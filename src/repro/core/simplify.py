@@ -1,0 +1,118 @@
+"""Behavioural equivalence and redundant-comparator removal.
+
+Two networks are *equivalent* when they produce the same output on every
+input; by the zero–one principle it is enough to compare them on the ``2^n``
+binary words.  A comparator is *redundant* when deleting it leaves the
+network's behaviour unchanged — equivalently, when the corresponding
+stuck-pass fault is undetectable by any functional test, which is why the
+fault experiments care about this notion (redundant comparators inflate the
+fault universe without being observable).
+
+The functions here are exhaustive over the binary cube and therefore meant
+for the moderate ``n`` used throughout the experiments (``n <= ~16``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .evaluation import all_binary_words_array, apply_network_to_batch
+from .network import ComparatorNetwork
+
+__all__ = [
+    "networks_equivalent",
+    "comparator_is_redundant",
+    "redundant_comparator_indices",
+    "remove_redundant_comparators",
+    "active_comparator_counts",
+]
+
+
+def networks_equivalent(a: ComparatorNetwork, b: ComparatorNetwork) -> bool:
+    """Do the two networks agree on every binary input?
+
+    For standard (and even reversed-comparator) networks this is equivalent
+    to agreeing on every input of arbitrary comparable values, by the
+    threshold-image argument behind the zero–one principle.
+    """
+    if a.n_lines != b.n_lines:
+        return False
+    inputs = all_binary_words_array(a.n_lines)
+    return bool(
+        np.array_equal(
+            apply_network_to_batch(a, inputs), apply_network_to_batch(b, inputs)
+        )
+    )
+
+
+def active_comparator_counts(network: ComparatorNetwork) -> List[int]:
+    """For each comparator, on how many binary inputs does it actually swap?
+
+    A comparator "swaps" on an input when the value pair it sees at its stage
+    is out of order (for its orientation).  A count of zero means the
+    comparator never acts and is therefore redundant.
+    """
+    inputs = all_binary_words_array(network.n_lines)
+    state = np.array(inputs, copy=True)
+    counts: List[int] = []
+    for comp in network.comparators:
+        a = state[:, comp.low]
+        b = state[:, comp.high]
+        if comp.reversed:
+            swaps = int(np.sum(a < b))
+        else:
+            swaps = int(np.sum(a > b))
+        counts.append(swaps)
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        if comp.reversed:
+            lo, hi = hi, lo
+        state[:, comp.low] = lo
+        state[:, comp.high] = hi
+    return counts
+
+
+def comparator_is_redundant(network: ComparatorNetwork, index: int) -> bool:
+    """Is deleting comparator *index* behaviour-preserving?
+
+    Note that a comparator can swap on some inputs and still be redundant
+    (a later comparator may repair its absence), so this checks full
+    behavioural equivalence rather than the cheaper "never swaps" criterion
+    of :func:`active_comparator_counts`.
+    """
+    return networks_equivalent(network, network.without_comparator(index))
+
+
+def redundant_comparator_indices(network: ComparatorNetwork) -> List[int]:
+    """Indices of comparators whose individual removal changes nothing."""
+    return [
+        index
+        for index in range(network.size)
+        if comparator_is_redundant(network, index)
+    ]
+
+
+def remove_redundant_comparators(
+    network: ComparatorNetwork,
+) -> Tuple[ComparatorNetwork, int]:
+    """Greedily delete redundant comparators until none remain.
+
+    Returns ``(simplified_network, removed_count)``.  The result is
+    behaviourally equivalent to the input.  Removal is iterated because
+    deleting one comparator can make another removable (or not), so a single
+    pass is not enough in general.
+    """
+    current = network
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for index in range(current.size):
+            if comparator_is_redundant(current, index):
+                current = current.without_comparator(index)
+                removed += 1
+                changed = True
+                break
+    return current, removed

@@ -1,0 +1,56 @@
+"""VLSI-testing substrate: fault models, fault simulation and coverage.
+
+The paper motivates test-set bounds by hardware testing; this subpackage
+provides the machinery to run that experiment end to end — inject single
+faults into a sorting network, simulate the faulty devices on candidate test
+vectors and measure how well the paper's minimum test sets expose defects
+compared with random vectors (experiment E11).
+"""
+
+from .models import (
+    Fault,
+    LineStuckFault,
+    ReversedComparatorFault,
+    StuckPassFault,
+    StuckSwapFault,
+)
+from .injection import (
+    FAULT_KINDS,
+    enumerate_single_faults,
+    equivalent_fault_classes,
+    faulty_networks,
+)
+from .simulation import (
+    DETECTION_CRITERIA,
+    detected_faults,
+    fault_detection_matrix,
+    undetected_faults,
+)
+from .coverage import (
+    CoverageReport,
+    compare_test_sets,
+    coverage_report,
+    fault_coverage,
+    greedy_test_selection,
+)
+
+__all__ = [
+    "Fault",
+    "LineStuckFault",
+    "ReversedComparatorFault",
+    "StuckPassFault",
+    "StuckSwapFault",
+    "FAULT_KINDS",
+    "enumerate_single_faults",
+    "equivalent_fault_classes",
+    "faulty_networks",
+    "DETECTION_CRITERIA",
+    "detected_faults",
+    "fault_detection_matrix",
+    "undetected_faults",
+    "CoverageReport",
+    "compare_test_sets",
+    "coverage_report",
+    "fault_coverage",
+    "greedy_test_selection",
+]

@@ -1,0 +1,153 @@
+"""Fault-coverage metrics and test-vector selection (ATPG-style).
+
+Built on the detection matrix of :mod:`repro.faults.simulation`:
+
+* :func:`fault_coverage` — fraction of faults detected by a vector set;
+* :func:`coverage_report` — per-fault-kind breakdown used by experiment E11;
+* :func:`greedy_test_selection` — choose a small sub-set of vectors reaching
+  the coverage of the full set (classical greedy set cover);
+* :func:`compare_test_sets` — side-by-side coverage of several candidate
+  test sets (e.g. the paper's minimum sorting test set vs. random vectors of
+  the same size), which is the core of the VLSI-motivation experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._typing import WordLike
+from ..core.network import ComparatorNetwork
+from ..exceptions import FaultModelError
+from .models import Fault
+from .simulation import fault_detection_matrix
+
+__all__ = [
+    "fault_coverage",
+    "coverage_report",
+    "greedy_test_selection",
+    "compare_test_sets",
+    "CoverageReport",
+]
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Summary of a fault-simulation run.
+
+    Attributes
+    ----------
+    total_faults:
+        Number of faults simulated.
+    detected_faults:
+        Number detected by at least one vector.
+    coverage:
+        ``detected_faults / total_faults`` (1.0 when there are no faults).
+    by_kind:
+        Mapping from fault class name to ``(detected, total)`` pairs.
+    vectors_used:
+        Number of test vectors applied.
+    """
+
+    total_faults: int
+    detected_faults: int
+    coverage: float
+    by_kind: Mapping[str, Tuple[int, int]]
+    vectors_used: int
+
+
+def fault_coverage(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    test_vectors: Sequence[WordLike],
+    *,
+    criterion: str = "specification",
+) -> float:
+    """Fraction of *faults* detected by *test_vectors* (1.0 for an empty fault list)."""
+    if not faults:
+        return 1.0
+    matrix = fault_detection_matrix(
+        network, faults, test_vectors, criterion=criterion
+    )
+    return float(np.mean(np.any(matrix, axis=1)))
+
+
+def coverage_report(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    test_vectors: Sequence[WordLike],
+    *,
+    criterion: str = "specification",
+) -> CoverageReport:
+    """Full coverage report with a per-fault-kind breakdown."""
+    matrix = fault_detection_matrix(
+        network, faults, test_vectors, criterion=criterion
+    )
+    detected = np.any(matrix, axis=1) if matrix.size else np.zeros(len(faults), bool)
+    by_kind: Dict[str, Tuple[int, int]] = {}
+    for fault, hit in zip(faults, detected):
+        kind = type(fault).__name__
+        found, total = by_kind.get(kind, (0, 0))
+        by_kind[kind] = (found + int(hit), total + 1)
+    total_faults = len(faults)
+    detected_count = int(np.sum(detected)) if total_faults else 0
+    return CoverageReport(
+        total_faults=total_faults,
+        detected_faults=detected_count,
+        coverage=(detected_count / total_faults) if total_faults else 1.0,
+        by_kind=by_kind,
+        vectors_used=len(list(test_vectors)),
+    )
+
+
+def greedy_test_selection(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    candidate_vectors: Sequence[WordLike],
+    *,
+    criterion: str = "specification",
+    target_coverage: float = 1.0,
+) -> List[Tuple[int, ...]]:
+    """Greedy selection of vectors until *target_coverage* of detectable faults.
+
+    Coverage is measured relative to the faults detectable by the *full*
+    candidate set (undetectable faults cannot be covered by any selection and
+    are excluded from the target), so ``target_coverage=1.0`` always
+    terminates.
+    """
+    if not 0.0 < target_coverage <= 1.0:
+        raise FaultModelError(
+            f"target_coverage must be in (0, 1], got {target_coverage}"
+        )
+    vectors = [tuple(int(v) for v in w) for w in candidate_vectors]
+    matrix = fault_detection_matrix(network, faults, vectors, criterion=criterion)
+    detectable = np.any(matrix, axis=1)
+    needed = int(np.ceil(target_coverage * int(np.sum(detectable))))
+    selected: List[int] = []
+    covered = np.zeros(len(faults), dtype=bool)
+    while int(np.sum(covered & detectable)) < needed:
+        gains = np.sum(matrix[:, :] & ~covered[:, None], axis=0)
+        for index in selected:
+            gains[index] = -1
+        best = int(np.argmax(gains))
+        if gains[best] <= 0:
+            break
+        selected.append(best)
+        covered |= matrix[:, best]
+    return [vectors[i] for i in selected]
+
+
+def compare_test_sets(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    test_sets: Mapping[str, Sequence[WordLike]],
+    *,
+    criterion: str = "specification",
+) -> Dict[str, CoverageReport]:
+    """Coverage of several named test sets against the same fault universe."""
+    return {
+        name: coverage_report(network, faults, vectors, criterion=criterion)
+        for name, vectors in test_sets.items()
+    }

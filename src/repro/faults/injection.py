@@ -1,0 +1,102 @@
+"""Enumeration of single faults for a network.
+
+Given a fault-free reference network, :func:`enumerate_single_faults`
+produces the standard single-fault universe used by the coverage
+experiments: one fault object per comparator per comparator-fault model,
+plus the line stuck-at faults at the network boundary.  The companion
+:func:`faulty_networks` materialises the corresponding faulty devices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..core.network import ComparatorNetwork
+from ..exceptions import FaultModelError
+from .models import (
+    Fault,
+    LineStuckFault,
+    ReversedComparatorFault,
+    StuckPassFault,
+    StuckSwapFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "enumerate_single_faults",
+    "faulty_networks",
+    "equivalent_fault_classes",
+]
+
+FAULT_KINDS = ("stuck-pass", "stuck-swap", "reversed", "line-stuck")
+
+
+def enumerate_single_faults(
+    network: ComparatorNetwork,
+    *,
+    kinds: Sequence[str] = FAULT_KINDS,
+    line_stuck_at_input_only: bool = True,
+) -> List[Fault]:
+    """All single faults of *network* for the requested fault kinds.
+
+    Parameters
+    ----------
+    network:
+        The fault-free reference.
+    kinds:
+        Subset of :data:`FAULT_KINDS` to enumerate.
+    line_stuck_at_input_only:
+        When ``True`` (default) line stuck-at faults are only placed at the
+        network inputs (stage 0); otherwise one fault is generated per
+        (line, value, stage) triple, which grows quadratically and is rarely
+        needed.
+    """
+    unknown = set(kinds) - set(FAULT_KINDS)
+    if unknown:
+        raise FaultModelError(
+            f"unknown fault kinds {sorted(unknown)!r}; known kinds are {FAULT_KINDS}"
+        )
+    faults: List[Fault] = []
+    if "stuck-pass" in kinds:
+        faults.extend(StuckPassFault(i) for i in range(network.size))
+    if "stuck-swap" in kinds:
+        faults.extend(StuckSwapFault(i) for i in range(network.size))
+    if "reversed" in kinds:
+        faults.extend(ReversedComparatorFault(i) for i in range(network.size))
+    if "line-stuck" in kinds:
+        stages = [0] if line_stuck_at_input_only else list(range(network.size + 1))
+        for line in range(network.n_lines):
+            for value in (0, 1):
+                for stage in stages:
+                    faults.append(LineStuckFault(line, value, stage))
+    return faults
+
+
+def faulty_networks(
+    network: ComparatorNetwork, faults: Iterable[Fault]
+) -> Iterator[Tuple[Fault, ComparatorNetwork]]:
+    """Yield ``(fault, faulty_network)`` pairs for the given faults."""
+    for fault in faults:
+        yield fault, fault.apply_to(network)
+
+
+def equivalent_fault_classes(
+    network: ComparatorNetwork, faults: Sequence[Fault]
+) -> List[List[Fault]]:
+    """Group faults whose faulty networks behave identically on all 0/1 inputs.
+
+    Two faults are *equivalent* when no test vector can distinguish them —
+    e.g. a stuck-pass fault on a comparator that is already redundant is
+    equivalent to the empty fault class of "no observable defect".  The
+    grouping is exhaustive over ``2**n`` inputs, so use small networks.
+    """
+    from ..core.evaluation import all_binary_words_array, apply_network_to_batch
+
+    inputs = all_binary_words_array(network.n_lines)
+    signatures = {}
+    for fault in faults:
+        faulty = fault.apply_to(network)
+        outputs = apply_network_to_batch(faulty, inputs)
+        signature = outputs.tobytes()
+        signatures.setdefault(signature, []).append(fault)
+    return list(signatures.values())

@@ -1,0 +1,246 @@
+"""Fault models for comparator networks (the paper's VLSI-testing motivation).
+
+The introduction motivates test sets by hardware testing: a manufactured
+sorting chip may contain defects, and a test set should expose every
+defective chip.  This substrate models the classical single-fault
+assumptions for comparator networks:
+
+``StuckPassFault``
+    A comparator never fires (behaves as two straight wires) — e.g. a broken
+    compare-exchange cell.  Modelled by deleting the comparator.
+``StuckSwapFault``
+    A comparator always exchanges its inputs regardless of the comparison.
+``ReversedComparatorFault``
+    The comparator was wired upside down: max goes to the low line.
+``LineStuckFault``
+    A line is stuck at logical 0 or 1 from a given stage onwards (only
+    meaningful for 0/1 test vectors, which is exactly the regime the paper's
+    test sets live in).
+
+Each fault knows how to produce the faulty network (or faulty behaviour) from
+the fault-free reference; enumeration of all single faults of a network lives
+in :mod:`repro.faults.injection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..core.comparator import Comparator
+from ..core.network import ComparatorNetwork
+from ..exceptions import FaultModelError
+
+__all__ = [
+    "Fault",
+    "StuckPassFault",
+    "StuckSwapFault",
+    "ReversedComparatorFault",
+    "LineStuckFault",
+]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class for single faults.  Subclasses implement :meth:`apply_to`."""
+
+    def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        """Return the faulty version of *network*."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        raise NotImplementedError
+
+
+def _check_index(network: ComparatorNetwork, index: int) -> None:
+    if index < 0 or index >= network.size:
+        raise FaultModelError(
+            f"comparator index {index} out of range for a network of size {network.size}"
+        )
+
+
+@dataclass(frozen=True)
+class StuckPassFault(Fault):
+    """Comparator *index* never exchanges its inputs (deleted from the network)."""
+
+    index: int
+
+    def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        _check_index(network, self.index)
+        return network.without_comparator(self.index)
+
+    def describe(self) -> str:
+        return f"comparator #{self.index} stuck-pass (never exchanges)"
+
+
+@dataclass(frozen=True)
+class StuckSwapFault(Fault):
+    """Comparator *index* always exchanges its inputs.
+
+    Realised by replacing the comparator with an unconditional swap, which on
+    the wire level is "route low input to high line and vice versa".  For a
+    comparator network model this cannot be expressed as another comparator,
+    so the faulty network is represented by a network whose evaluation hook
+    swaps unconditionally; see :class:`SwappingNetwork`.
+    """
+
+    index: int
+
+    def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        _check_index(network, self.index)
+        return SwappingNetwork(network, self.index)
+
+    def describe(self) -> str:
+        return f"comparator #{self.index} stuck-swap (always exchanges)"
+
+
+@dataclass(frozen=True)
+class ReversedComparatorFault(Fault):
+    """Comparator *index* installed upside down (max routed to the low line)."""
+
+    index: int
+
+    def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        _check_index(network, self.index)
+        original = network.comparators[self.index]
+        return network.with_comparator_replaced(self.index, original.flipped())
+
+    def describe(self) -> str:
+        return f"comparator #{self.index} reversed (max to the low line)"
+
+
+@dataclass(frozen=True)
+class LineStuckFault(Fault):
+    """Line *line* is stuck at *value* (0 or 1) from stage *stage* onwards.
+
+    ``stage=0`` means the fault affects the line's input as well.  Only
+    meaningful for binary test vectors.
+    """
+
+    line: int
+    value: int
+    stage: int = 0
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise FaultModelError(f"stuck-at value must be 0 or 1, got {self.value}")
+
+    def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        if self.line < 0 or self.line >= network.n_lines:
+            raise FaultModelError(
+                f"line {self.line} out of range for {network.n_lines} lines"
+            )
+        if self.stage < 0 or self.stage > network.size:
+            raise FaultModelError(
+                f"stage {self.stage} out of range for a network of size {network.size}"
+            )
+        return StuckLineNetwork(network, self.line, self.value, self.stage)
+
+    def describe(self) -> str:
+        return f"line {self.line} stuck-at-{self.value} from stage {self.stage}"
+
+
+class SwappingNetwork(ComparatorNetwork):
+    """A network whose comparator at *swap_index* unconditionally exchanges.
+
+    Subclasses :class:`ComparatorNetwork` so all property checkers work
+    unchanged; only the evaluation methods special-case the faulty stage.
+    """
+
+    __slots__ = ("_swap_index",)
+
+    def __init__(self, network: ComparatorNetwork, swap_index: int) -> None:
+        super().__init__(network.n_lines, network.comparators)
+        self._swap_index = swap_index
+
+    def apply(self, word):
+        values = list(int(v) for v in word)
+        if len(values) != self.n_lines:
+            raise FaultModelError(
+                f"expected a word of length {self.n_lines}, got {len(values)}"
+            )
+        for position, comp in enumerate(self.comparators):
+            a, b = values[comp.low], values[comp.high]
+            if position == self._swap_index:
+                values[comp.low], values[comp.high] = b, a
+                continue
+            lo, hi = (a, b) if a <= b else (b, a)
+            if comp.reversed:
+                lo, hi = hi, lo
+            values[comp.low] = lo
+            values[comp.high] = hi
+        return tuple(values)
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        data = np.array(batch, copy=True)
+        for position, comp in enumerate(self.comparators):
+            a = data[:, comp.low].copy()
+            b = data[:, comp.high].copy()
+            if position == self._swap_index:
+                data[:, comp.low] = b
+                data[:, comp.high] = a
+                continue
+            lo = np.minimum(a, b)
+            hi = np.maximum(a, b)
+            if comp.reversed:
+                lo, hi = hi, lo
+            data[:, comp.low] = lo
+            data[:, comp.high] = hi
+        return data
+
+
+class StuckLineNetwork(ComparatorNetwork):
+    """A network with one line stuck at a constant from a given stage onwards."""
+
+    __slots__ = ("_stuck_line", "_stuck_value", "_stuck_stage")
+
+    def __init__(
+        self,
+        network: ComparatorNetwork,
+        line: int,
+        value: int,
+        stage: int,
+    ) -> None:
+        super().__init__(network.n_lines, network.comparators)
+        self._stuck_line = line
+        self._stuck_value = value
+        self._stuck_stage = stage
+
+    def apply(self, word):
+        values = list(int(v) for v in word)
+        if len(values) != self.n_lines:
+            raise FaultModelError(
+                f"expected a word of length {self.n_lines}, got {len(values)}"
+            )
+        if self._stuck_stage == 0:
+            values[self._stuck_line] = self._stuck_value
+        for position, comp in enumerate(self.comparators):
+            a, b = values[comp.low], values[comp.high]
+            lo, hi = (a, b) if a <= b else (b, a)
+            if comp.reversed:
+                lo, hi = hi, lo
+            values[comp.low] = lo
+            values[comp.high] = hi
+            if position + 1 >= self._stuck_stage:
+                values[self._stuck_line] = self._stuck_value
+        return tuple(values)
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        data = np.array(batch, copy=True)
+        if self._stuck_stage == 0:
+            data[:, self._stuck_line] = self._stuck_value
+        for position, comp in enumerate(self.comparators):
+            a = data[:, comp.low]
+            b = data[:, comp.high]
+            lo = np.minimum(a, b)
+            hi = np.maximum(a, b)
+            if comp.reversed:
+                lo, hi = hi, lo
+            data[:, comp.low] = lo
+            data[:, comp.high] = hi
+            if position + 1 >= self._stuck_stage:
+                data[:, self._stuck_line] = self._stuck_value
+        return data

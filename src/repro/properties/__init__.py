@@ -1,0 +1,85 @@
+"""Property checkers: sorter / selector / merger / height, and the classical lemmas.
+
+Every checker offers several *strategies* (exhaustive binary, exhaustive
+permutation, paper's minimum test set) so the experiments can compare their
+costs; for standard networks all strategies agree, which is itself one of
+the reproduced results.
+"""
+
+from .sortedness import (
+    fraction_sorted,
+    is_sorted_word,
+    sorts_all_words,
+    sorts_word,
+    unsorted_outputs,
+)
+from .monotone import (
+    find_monotonicity_violation,
+    floyd_binary_outputs_from_permutation_outputs,
+    floyd_lemma_holds_for,
+    is_sorter_binary,
+    is_sorter_permutation,
+    monotonicity_holds_for,
+    threshold_words,
+    zero_one_principle_holds_for,
+)
+from .sorter import SORTER_STRATEGIES, find_sorting_counterexample, is_sorter
+from .selector import (
+    SELECTOR_STRATEGIES,
+    find_selection_counterexample,
+    is_selector,
+    selects_correctly,
+)
+from .merger import (
+    MERGER_STRATEGIES,
+    all_sorted_half_pairs,
+    find_merging_counterexample,
+    is_merger,
+    merges_correctly,
+    permutation_merge_inputs,
+)
+from .height import (
+    de_bruijn_criterion_agrees,
+    is_height_at_most,
+    is_primitive,
+    network_height,
+    primitive_networks_of_size,
+    primitive_sorter_by_reverse_permutation,
+    sorts_reverse_permutation,
+)
+
+__all__ = [
+    "fraction_sorted",
+    "is_sorted_word",
+    "sorts_all_words",
+    "sorts_word",
+    "unsorted_outputs",
+    "find_monotonicity_violation",
+    "floyd_binary_outputs_from_permutation_outputs",
+    "floyd_lemma_holds_for",
+    "is_sorter_binary",
+    "is_sorter_permutation",
+    "monotonicity_holds_for",
+    "threshold_words",
+    "zero_one_principle_holds_for",
+    "SORTER_STRATEGIES",
+    "find_sorting_counterexample",
+    "is_sorter",
+    "SELECTOR_STRATEGIES",
+    "find_selection_counterexample",
+    "is_selector",
+    "selects_correctly",
+    "MERGER_STRATEGIES",
+    "all_sorted_half_pairs",
+    "find_merging_counterexample",
+    "is_merger",
+    "merges_correctly",
+    "permutation_merge_inputs",
+    "de_bruijn_criterion_agrees",
+    "is_height_at_most",
+    "is_primitive",
+    "network_height",
+    "primitive_networks_of_size",
+    "primitive_sorter_by_reverse_permutation",
+    "sorts_reverse_permutation",
+]

@@ -1,0 +1,98 @@
+"""Height-restricted networks (Section 3 of the paper).
+
+A *height-k* network only contains comparators ``[i, j]`` with
+``j - i <= k``.  Height-1 networks are Knuth's *primitive* networks; the
+paper quotes de Bruijn's theorem that a primitive network is a sorter if and
+only if it sorts the single reverse permutation ``(n, n-1, ..., 1)`` — so the
+minimum test-set size collapses from ``2^n - n - 1`` to 1.  The paper poses
+the height-2 case as an open problem; :mod:`repro.analysis.minimal_search`
+explores it empirically for tiny ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.network import ComparatorNetwork
+from ..exceptions import TestSetError
+from ..words.binary import is_sorted_word
+from ..words.permutations import reverse_permutation
+
+__all__ = [
+    "network_height",
+    "is_height_at_most",
+    "is_primitive",
+    "primitive_sorter_by_reverse_permutation",
+    "de_bruijn_criterion_agrees",
+    "sorts_reverse_permutation",
+]
+
+
+def network_height(network: ComparatorNetwork) -> int:
+    """Maximum comparator span of *network* (0 for the empty network)."""
+    return network.height
+
+
+def is_height_at_most(network: ComparatorNetwork, k: int) -> bool:
+    """Is every comparator's span at most *k*?"""
+    if k < 0:
+        raise TestSetError(f"height bound must be non-negative, got {k}")
+    return network.height <= k
+
+
+def is_primitive(network: ComparatorNetwork) -> bool:
+    """Is the network primitive (height at most 1)?"""
+    return network.height <= 1
+
+
+def sorts_reverse_permutation(network: ComparatorNetwork) -> bool:
+    """Does the network sort the reverse permutation ``(n-1, ..., 0)``?"""
+    output = network.apply(reverse_permutation(network.n_lines))
+    return is_sorted_word(output)
+
+
+def primitive_sorter_by_reverse_permutation(network: ComparatorNetwork) -> bool:
+    """De Bruijn's single-test criterion for primitive networks.
+
+    For a primitive network this is *equivalent* to being a sorter; for
+    non-primitive networks it is merely necessary.  A ``TestSetError`` is
+    raised if the network is not primitive, to prevent silently using the
+    criterion outside its range of validity.
+    """
+    if not is_primitive(network):
+        raise TestSetError(
+            "the single-test criterion only applies to primitive (height-1) networks"
+        )
+    return sorts_reverse_permutation(network)
+
+
+def de_bruijn_criterion_agrees(network: ComparatorNetwork) -> bool:
+    """Empirically check de Bruijn's theorem on a primitive network.
+
+    Returns ``True`` when "sorts the reverse permutation" and "is a sorter"
+    agree for *network*.  Used by the Section 3 experiment and the test
+    suite; always ``True`` if the theorem (and this implementation) are
+    correct.
+    """
+    from .sorter import is_sorter
+
+    if not is_primitive(network):
+        raise TestSetError("de Bruijn's theorem concerns primitive networks only")
+    return sorts_reverse_permutation(network) == is_sorter(network, strategy="binary")
+
+
+def primitive_networks_of_size(n_lines: int, size: int) -> List[ComparatorNetwork]:
+    """Enumerate every primitive network with exactly *size* comparators.
+
+    There are ``(n_lines - 1) ** size`` of them, so this is only usable for
+    tiny parameters; the height-2 minimal-test-set experiment uses the
+    analogous enumeration with span-2 comparators via
+    :mod:`repro.analysis.minimal_search`.
+    """
+    from itertools import product
+
+    alphabet = [(i, i + 1) for i in range(n_lines - 1)]
+    networks = []
+    for combo in product(alphabet, repeat=size):
+        networks.append(ComparatorNetwork.from_pairs(n_lines, combo))
+    return networks

@@ -1,0 +1,133 @@
+"""Deciding whether a network is an ``(n/2, n/2)``-merging network.
+
+The paper's definition: for an even ``n``, ``H`` is a merging network if for
+every pair of sorted halves ``sigma_1``, ``sigma_2`` (each of length
+``n/2``), ``H(sigma_1 sigma_2)`` is sorted.
+
+For 0/1 inputs there are only ``(n/2 + 1)^2`` such concatenations, of which
+``n^2/4`` are themselves unsorted — Theorem 2.5 (i) shows those unsorted
+concatenations are exactly the minimum test set.
+
+Strategies:
+
+``binary``
+    All ``(n/2 + 1)^2`` concatenations of sorted binary halves.
+``testset``
+    The paper's ``n^2/4`` unsorted concatenations (Theorem 2.5 (i)).
+``permutation``
+    All pairs of sorted halves drawn from a permutation of ``0..n-1``
+    (i.e. every way to split ``0..n-1`` into two halves, each fed in sorted
+    order) — the exhaustive permutation-model check.
+``permutation-testset``
+    The ``n/2`` permutations of Theorem 2.5 (ii).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional
+
+import numpy as np
+
+from .._typing import BinaryWord
+from ..core.evaluation import batch_is_sorted, outputs_on_words
+from ..core.network import ComparatorNetwork
+from ..exceptions import TestSetError
+from ..words.binary import is_sorted_word, sorted_binary_words
+
+__all__ = [
+    "is_merger",
+    "merges_correctly",
+    "find_merging_counterexample",
+    "all_sorted_half_pairs",
+    "permutation_merge_inputs",
+    "MERGER_STRATEGIES",
+]
+
+MERGER_STRATEGIES = ("binary", "testset", "permutation", "permutation-testset")
+
+
+def _check_even(network: ComparatorNetwork) -> int:
+    n = network.n_lines
+    if n % 2 != 0 or n < 2:
+        raise TestSetError(
+            f"(n/2, n/2)-merging is defined for even n >= 2, got n={n}"
+        )
+    return n // 2
+
+
+def all_sorted_half_pairs(n: int) -> List[BinaryWord]:
+    """Every concatenation of two sorted binary halves of length ``n/2``."""
+    if n % 2 != 0 or n < 2:
+        raise TestSetError(f"merging inputs require even n >= 2, got {n}")
+    half = n // 2
+    halves = sorted_binary_words(half)
+    return [tuple(a) + tuple(b) for a in halves for b in halves]
+
+
+def permutation_merge_inputs(n: int) -> List[tuple]:
+    """Every permutation input whose two halves are individually increasing.
+
+    Each way of choosing which ``n/2`` of the values ``0..n-1`` enter the
+    first half (in increasing order, the rest entering the second half in
+    increasing order) gives one input; there are ``C(n, n/2)`` of them.
+    """
+    if n % 2 != 0 or n < 2:
+        raise TestSetError(f"merging inputs require even n >= 2, got {n}")
+    half = n // 2
+    inputs = []
+    for first in combinations(range(n), half):
+        second = tuple(v for v in range(n) if v not in set(first))
+        inputs.append(tuple(first) + second)
+    return inputs
+
+
+def merges_correctly(network: ComparatorNetwork, word) -> bool:
+    """Does the network sort this (already half-sorted) input word?"""
+    half = _check_even(network)
+    values = tuple(int(v) for v in word)
+    if not (is_sorted_word(values[:half]) and is_sorted_word(values[half:])):
+        raise TestSetError(
+            f"merging inputs must have sorted halves, got {values!r}"
+        )
+    return is_sorted_word(network.apply(values))
+
+
+def is_merger(network: ComparatorNetwork, *, strategy: str = "testset") -> bool:
+    """Decide whether *network* is an ``(n/2, n/2)``-merging network."""
+    if strategy not in MERGER_STRATEGIES:
+        raise TestSetError(
+            f"unknown strategy {strategy!r}; choose one of {MERGER_STRATEGIES}"
+        )
+    half = _check_even(network)
+    n = network.n_lines
+    if strategy == "binary":
+        words = all_sorted_half_pairs(n)
+    elif strategy == "testset":
+        from ..testsets.merging import merging_binary_test_set
+
+        words = merging_binary_test_set(n)
+    elif strategy == "permutation":
+        words = permutation_merge_inputs(n)
+    else:  # permutation-testset
+        from ..testsets.merging import merging_permutation_test_set
+
+        words = merging_permutation_test_set(n)
+    if not words:
+        return True
+    outputs = outputs_on_words(network, words)
+    return bool(np.all(batch_is_sorted(outputs)))
+
+
+def find_merging_counterexample(
+    network: ComparatorNetwork,
+) -> Optional[BinaryWord]:
+    """A half-sorted binary input the network fails to merge, or ``None``."""
+    _check_even(network)
+    words = all_sorted_half_pairs(network.n_lines)
+    outputs = outputs_on_words(network, words)
+    sorted_mask = batch_is_sorted(outputs)
+    for word, ok in zip(words, sorted_mask):
+        if not ok:
+            return word
+    return None

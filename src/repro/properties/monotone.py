@@ -1,0 +1,163 @@
+"""The zero–one principle, Floyd's lemma and monotonicity.
+
+Three classical facts underpin every bound in the paper:
+
+* **Zero–one principle** (Knuth): a network sorts every input iff it sorts
+  every 0/1 input.  :func:`zero_one_principle_holds_for` verifies the
+  equivalence empirically for a given network (used by the test suite).
+* **Monotonicity**: for binary words ``sigma <= tau`` (componentwise) and any
+  network ``H``, ``H(sigma) <= H(tau)``.  This is the induction the paper
+  uses in Theorem 2.4 to show ``T_k^n`` suffices for selector testing.
+* **Floyd's lemma**: the set of 0/1 outputs of a network is the cover of its
+  permutation outputs — each determines the other.  This is the bridge that
+  converts permutation test sets to 0/1 test sets and back.
+
+The module exposes both *checkers* (exhaustive, for tests/experiments) and
+the *transfer functions* that apply the facts.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations as _permutations
+from typing import Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .._typing import BinaryWord, Permutation, WordLike
+from ..core.evaluation import (
+    all_binary_words_array,
+    apply_network_to_batch,
+    batch_is_sorted,
+    outputs_on_words,
+)
+from ..core.network import ComparatorNetwork
+from ..words.binary import check_binary, dominates, is_sorted_word
+from ..words.covers import cover_of_permutation
+from ..words.permutations import all_permutations, check_permutation
+
+__all__ = [
+    "threshold_words",
+    "monotonicity_holds_for",
+    "find_monotonicity_violation",
+    "zero_one_principle_holds_for",
+    "floyd_binary_outputs_from_permutation_outputs",
+    "floyd_lemma_holds_for",
+    "is_sorter_binary",
+    "is_sorter_permutation",
+]
+
+
+def threshold_words(word: WordLike) -> List[BinaryWord]:
+    """The 0/1 *threshold images* of an arbitrary integer word.
+
+    For each threshold ``t`` taken from the word's values, replace entries
+    ``>= t`` by 1 and the rest by 0.  The zero–one principle works because a
+    network sorts a word iff it sorts all of its threshold images.
+    """
+    values = tuple(int(v) for v in word)
+    images: List[BinaryWord] = []
+    for t in sorted(set(values)):
+        images.append(tuple(1 if v >= t else 0 for v in values))
+    return images
+
+
+def monotonicity_holds_for(
+    network: ComparatorNetwork, *, exhaustive_limit: int = 12
+) -> bool:
+    """Exhaustively check ``sigma <= tau  ==>  H(sigma) <= H(tau)``.
+
+    Exhaustive over all comparable pairs of binary words, so only sensible
+    for ``n <= exhaustive_limit``; raises ``ValueError`` beyond that (use the
+    hypothesis property test for larger spot checks).
+    """
+    return find_monotonicity_violation(network, exhaustive_limit=exhaustive_limit) is None
+
+
+def find_monotonicity_violation(
+    network: ComparatorNetwork, *, exhaustive_limit: int = 12
+) -> Optional[Tuple[BinaryWord, BinaryWord]]:
+    """Return a comparable pair whose outputs are not comparable, or ``None``.
+
+    For a standard-comparator network the answer is always ``None``; reversed
+    comparators also preserve the order (min/max are both monotone), so this
+    should never find anything — it exists as an executable statement of the
+    lemma for the test suite.
+    """
+    n = network.n_lines
+    if n > exhaustive_limit:
+        raise ValueError(
+            f"exhaustive monotonicity check limited to n <= {exhaustive_limit}"
+        )
+    inputs = all_binary_words_array(n)
+    outputs = apply_network_to_batch(network, inputs)
+    num = inputs.shape[0]
+    # Vectorised pairwise dominance testing would need num^2 * n memory; for
+    # n <= 12 that is at most 4096^2 * 12 bytes ~ 200 MB, so chunk it.
+    for i in range(num):
+        lower_in = inputs[i]
+        lower_out = outputs[i]
+        mask = np.all(inputs >= lower_in, axis=1)
+        comparable_outputs = outputs[mask]
+        ok = np.all(comparable_outputs >= lower_out, axis=1)
+        if not np.all(ok):
+            j = int(np.flatnonzero(mask)[int(np.argmin(ok))])
+            return tuple(int(v) for v in lower_in), tuple(int(v) for v in inputs[j])
+    return None
+
+
+def is_sorter_binary(network: ComparatorNetwork) -> bool:
+    """Does the network sort every 0/1 input?  (Exhaustive, ``2**n`` words.)"""
+    outputs = apply_network_to_batch(
+        network, all_binary_words_array(network.n_lines), copy=False
+    )
+    return bool(np.all(batch_is_sorted(outputs)))
+
+
+def is_sorter_permutation(network: ComparatorNetwork) -> bool:
+    """Does the network sort every permutation input?  (Exhaustive, ``n!`` words.)"""
+    n = network.n_lines
+    outputs = outputs_on_words(network, all_permutations(n))
+    return bool(np.all(batch_is_sorted(outputs)))
+
+
+def zero_one_principle_holds_for(network: ComparatorNetwork) -> bool:
+    """Check that the 0/1 verdict and the permutation verdict agree.
+
+    This is the empirical form of the zero–one principle for a single
+    network; the test suite runs it over sorters, near-sorters and random
+    networks.
+    """
+    return is_sorter_binary(network) == is_sorter_permutation(network)
+
+
+def floyd_binary_outputs_from_permutation_outputs(
+    permutation_outputs: Iterable[WordLike],
+) -> Set[BinaryWord]:
+    """Floyd's transfer: 0/1 output set = union of covers of permutation outputs."""
+    covered: Set[BinaryWord] = set()
+    for output in permutation_outputs:
+        covered.update(cover_of_permutation(check_permutation(output)))
+    return covered
+
+
+def floyd_lemma_holds_for(network: ComparatorNetwork) -> bool:
+    """Empirically verify Floyd's lemma for *network*.
+
+    Checks that the set of outputs on all 0/1 inputs equals the cover of the
+    set of outputs on all permutation inputs.  Exhaustive (``2**n + n!``
+    evaluations): intended for small ``n`` in the test suite.
+    """
+    n = network.n_lines
+    binary_outputs = {
+        tuple(int(v) for v in row)
+        for row in apply_network_to_batch(
+            network, all_binary_words_array(n), copy=False
+        )
+    }
+    permutation_outputs = [
+        tuple(int(v) for v in row)
+        for row in outputs_on_words(network, all_permutations(n))
+    ]
+    return binary_outputs == floyd_binary_outputs_from_permutation_outputs(
+        permutation_outputs
+    )

@@ -1,0 +1,139 @@
+"""Deciding whether a network is a ``(k, n)``-selector.
+
+The paper's definition (for 0/1 inputs): ``H`` is a ``(k, n)``-selector if
+for every binary word ``sigma`` and every ``i <= k``, output line ``i``
+carries the ``i``-th smallest bit of ``sigma``.  Equivalently, whenever
+``sigma`` has at least ``i`` zeroes, output line ``i`` must be 0 — i.e. the
+first ``min(k, |sigma|_0)`` output lines must all be 0.
+
+For general inputs: line ``i`` must carry the ``i``-th smallest input value
+for every ``i <= k``.  The two definitions agree by the zero–one principle
+argument in Theorem 2.4.
+
+Strategies:
+
+``binary``
+    Exhaustive over all ``2**n`` binary words.
+``testset``
+    Evaluate the paper's minimum test set ``T_k^n`` (unsorted words with at
+    most ``k`` zeroes, Theorem 2.4 (i)).
+``permutation``
+    Exhaustive over all ``n!`` permutations.
+``permutation-testset``
+    The ``C(n, min(k, floor(n/2))) - 1`` cover permutations of
+    Theorem 2.4 (ii).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._typing import BinaryWord
+from ..core.evaluation import (
+    all_binary_words_array,
+    apply_network_to_batch,
+    outputs_on_words,
+)
+from ..core.network import ComparatorNetwork
+from ..exceptions import TestSetError
+from ..words.permutations import all_permutations
+
+__all__ = [
+    "is_selector",
+    "selects_correctly",
+    "find_selection_counterexample",
+    "SELECTOR_STRATEGIES",
+]
+
+SELECTOR_STRATEGIES = ("binary", "testset", "permutation", "permutation-testset")
+
+
+def _check_k(network: ComparatorNetwork, k: int) -> None:
+    if k < 1 or k > network.n_lines:
+        raise TestSetError(
+            f"selector parameter k={k} out of range 1..{network.n_lines}"
+        )
+
+
+def selects_correctly(network: ComparatorNetwork, k: int, word) -> bool:
+    """Does the network place the ``i``-th smallest input on line ``i`` for ``i < k``?
+
+    Works for arbitrary integer words (including permutations), matching the
+    paper's general definition.
+    """
+    _check_k(network, k)
+    values = tuple(int(v) for v in word)
+    output = network.apply(values)
+    expected = sorted(values)[:k]
+    return list(output[:k]) == expected
+
+
+def _binary_batch_selected(
+    network: ComparatorNetwork, batch: np.ndarray, k: int
+) -> np.ndarray:
+    """Boolean vector: for each binary word row, is it correctly k-selected?"""
+    outputs = apply_network_to_batch(network, batch)
+    zero_counts = np.sum(np.asarray(batch) == 0, axis=1)
+    # For each word, the first min(k, zeros) outputs must be 0; the remaining
+    # outputs among the first k must be 1 (they correspond to positions past
+    # the number of zeroes, whose i-th smallest is 1).
+    n = batch.shape[1]
+    positions = np.arange(n)
+    required_zero = positions[None, :] < np.minimum(zero_counts, k)[:, None]
+    required_one = (positions[None, :] < k) & (
+        positions[None, :] >= zero_counts[:, None]
+    )
+    ok_zero = np.all(np.where(required_zero, outputs == 0, True), axis=1)
+    ok_one = np.all(np.where(required_one, outputs == 1, True), axis=1)
+    return ok_zero & ok_one
+
+
+def is_selector(
+    network: ComparatorNetwork, k: int, *, strategy: str = "testset"
+) -> bool:
+    """Decide whether *network* is a ``(k, n)``-selector."""
+    if strategy not in SELECTOR_STRATEGIES:
+        raise TestSetError(
+            f"unknown strategy {strategy!r}; choose one of {SELECTOR_STRATEGIES}"
+        )
+    _check_k(network, k)
+    n = network.n_lines
+    if strategy == "binary":
+        batch = all_binary_words_array(n)
+        return bool(np.all(_binary_batch_selected(network, batch, k)))
+    if strategy == "testset":
+        from ..testsets.selection import selector_binary_test_set
+
+        words = selector_binary_test_set(n, k)
+        if not words:
+            return True
+        batch = np.asarray(words, dtype=np.int8)
+        return bool(np.all(_binary_batch_selected(network, batch, k)))
+    if strategy == "permutation":
+        outputs = outputs_on_words(network, all_permutations(n))
+        expected = np.arange(k)
+        return bool(np.all(outputs[:, :k] == expected[None, :]))
+    # permutation-testset
+    from ..words.chains import selector_cover_permutations
+
+    perms = selector_cover_permutations(n, k)
+    if not perms:
+        return True
+    outputs = outputs_on_words(network, perms)
+    expected = np.arange(k)
+    return bool(np.all(outputs[:, :k] == expected[None, :]))
+
+
+def find_selection_counterexample(
+    network: ComparatorNetwork, k: int
+) -> Optional[BinaryWord]:
+    """A binary word on which ``(k, n)``-selection fails, or ``None``."""
+    _check_k(network, k)
+    batch = all_binary_words_array(network.n_lines)
+    ok = _binary_batch_selected(network, batch, k)
+    if bool(np.all(ok)):
+        return None
+    index = int(np.flatnonzero(~ok)[0])
+    return tuple(int(v) for v in batch[index])

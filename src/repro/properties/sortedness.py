@@ -1,0 +1,67 @@
+"""Sortedness predicates shared by the property checkers.
+
+Thin wrappers around :mod:`repro.words.binary` that work on network outputs
+and on numpy batches; kept separate so the higher-level property modules
+(`sorter`, `selector`, `merger`) read close to the paper's definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._typing import WordLike
+from ..core.evaluation import batch_is_sorted
+from ..core.network import ComparatorNetwork
+from ..words.binary import is_sorted_word
+
+__all__ = [
+    "is_sorted_word",
+    "sorts_word",
+    "sorts_all_words",
+    "unsorted_outputs",
+    "fraction_sorted",
+]
+
+
+def sorts_word(network: ComparatorNetwork, word: WordLike) -> bool:
+    """Does the network sort this particular input word?"""
+    return is_sorted_word(network.apply(word))
+
+
+def sorts_all_words(network: ComparatorNetwork, words: Iterable[WordLike]) -> bool:
+    """Does the network sort every word in *words*?
+
+    Evaluates the whole collection as one vectorised batch.
+    """
+    from ..core.evaluation import outputs_on_words
+
+    word_list = list(words)
+    if not word_list:
+        return True
+    outputs = outputs_on_words(network, word_list)
+    return bool(np.all(batch_is_sorted(outputs)))
+
+
+def unsorted_outputs(
+    network: ComparatorNetwork, words: Iterable[WordLike]
+) -> list:
+    """The sublist of *words* that the network fails to sort (in input order)."""
+    from ..core.evaluation import outputs_on_words
+
+    word_list = [tuple(int(v) for v in w) for w in words]
+    if not word_list:
+        return []
+    outputs = outputs_on_words(network, word_list)
+    sorted_mask = batch_is_sorted(outputs)
+    return [w for w, ok in zip(word_list, sorted_mask) if not ok]
+
+
+def fraction_sorted(network: ComparatorNetwork, words: Sequence[WordLike]) -> float:
+    """Fraction of *words* that the network sorts (1.0 for an empty collection)."""
+    word_list = list(words)
+    if not word_list:
+        return 1.0
+    failures = len(unsorted_outputs(network, word_list))
+    return 1.0 - failures / len(word_list)

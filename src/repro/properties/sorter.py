@@ -1,0 +1,113 @@
+"""Deciding whether a network is a sorting network.
+
+Four strategies are provided, matching the paper's discussion of how the
+test-set size governs verification cost:
+
+``binary``
+    Exhaustive over all ``2**n`` binary words (zero–one principle).
+``permutation``
+    Exhaustive over all ``n!`` permutations.
+``testset``
+    Evaluate only the minimum 0/1 test set (the ``2**n - n - 1`` unsorted
+    words of Theorem 2.2 (i)); sorted inputs can never be unsorted by a
+    standard network so they carry no information.
+``permutation-testset``
+    Evaluate only the ``C(n, floor(n/2)) - 1`` cover permutations of
+    Theorem 2.2 (ii).
+
+All strategies agree for standard networks; the exhaustive ones remain
+correct for non-standard networks as well (the test-set strategies assume
+the standard model, exactly as the paper does).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .._typing import BinaryWord, WordLike
+from ..core.evaluation import (
+    all_binary_words_array,
+    apply_network_to_batch,
+    batch_is_sorted,
+    outputs_on_words,
+    unsorted_binary_words_array,
+)
+from ..core.network import ComparatorNetwork
+from ..exceptions import TestSetError
+from ..words.permutations import all_permutations
+
+__all__ = [
+    "is_sorter",
+    "find_sorting_counterexample",
+    "SORTER_STRATEGIES",
+]
+
+SORTER_STRATEGIES = ("binary", "permutation", "testset", "permutation-testset")
+
+
+def _outputs_all_sorted(network: ComparatorNetwork, batch: np.ndarray) -> bool:
+    outputs = apply_network_to_batch(network, batch, copy=False)
+    return bool(np.all(batch_is_sorted(outputs)))
+
+
+def is_sorter(network: ComparatorNetwork, *, strategy: str = "testset") -> bool:
+    """Decide whether *network* sorts every input.
+
+    Parameters
+    ----------
+    network:
+        The network under test.
+    strategy:
+        One of :data:`SORTER_STRATEGIES`; see the module docstring.  The
+        default uses the paper's minimum 0/1 test set, which is both correct
+        and the cheapest of the exhaustive-style strategies.
+    """
+    if strategy not in SORTER_STRATEGIES:
+        raise TestSetError(
+            f"unknown strategy {strategy!r}; choose one of {SORTER_STRATEGIES}"
+        )
+    n = network.n_lines
+    if strategy == "binary":
+        return _outputs_all_sorted(network, all_binary_words_array(n))
+    if strategy == "testset":
+        return _outputs_all_sorted(network, unsorted_binary_words_array(n))
+    if strategy == "permutation":
+        outputs = outputs_on_words(network, all_permutations(n))
+        return bool(np.all(batch_is_sorted(outputs)))
+    # permutation-testset
+    from ..words.chains import sorting_cover_permutations
+
+    perms = sorting_cover_permutations(n)
+    if not perms:  # n == 1: nothing to test
+        return True
+    outputs = outputs_on_words(network, perms)
+    return bool(np.all(batch_is_sorted(outputs)))
+
+
+def find_sorting_counterexample(
+    network: ComparatorNetwork,
+    *,
+    candidates: Optional[Iterable[WordLike]] = None,
+) -> Optional[BinaryWord]:
+    """Return a binary word the network fails to sort, or ``None`` if it sorts all.
+
+    By default searches the minimum test set (equivalently, all unsorted
+    binary words); a custom candidate iterable can be supplied, e.g. to
+    search only a restricted test set in the empirical lower-bound
+    experiments.
+    """
+    if candidates is None:
+        batch = unsorted_binary_words_array(network.n_lines)
+    else:
+        word_list = [tuple(int(v) for v in w) for w in candidates]
+        if not word_list:
+            return None
+        batch = np.asarray(word_list, dtype=np.int8)
+    outputs = apply_network_to_batch(network, batch)
+    sorted_mask = batch_is_sorted(outputs)
+    if bool(np.all(sorted_mask)):
+        return None
+    index = int(np.flatnonzero(~sorted_mask)[0])
+    return tuple(int(v) for v in batch[index])

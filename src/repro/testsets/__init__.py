@@ -1,0 +1,124 @@
+"""The paper's contribution: minimum test sets and the adversaries behind them.
+
+Modules
+-------
+``formulas``
+    Closed-form minimum test-set sizes (one function per theorem).
+``adversary``
+    Lemma 2.1 near-sorters ``H_sigma`` and the selector/merger adversaries.
+``sorting`` / ``selection`` / ``merging``
+    Generators for the minimum test sets in both input models.
+``validation``
+    Decide whether a candidate input set is a test set.
+``minimal``
+    Empirical minimum test-set search (hitting set over adversary
+    populations).
+"""
+
+from .formulas import (
+    central_binomial_approximation,
+    exhaustive_binary_size,
+    exhaustive_permutation_size,
+    merging_permutation_test_set_size,
+    merging_test_set_size,
+    primitive_sorting_test_set_size,
+    selector_permutation_test_set_size,
+    selector_test_set_size,
+    sorting_permutation_test_set_size,
+    sorting_test_set_size,
+    yao_ratio,
+)
+from .adversary import (
+    brute_force_near_sorter,
+    failing_inputs,
+    near_merger,
+    near_selector,
+    near_sorter,
+    near_sorter_table,
+    one_interchange_observation_holds,
+    sorts_exactly_all_but,
+    verify_near_sorter,
+)
+from .sorting import (
+    sorting_binary_test_set,
+    sorting_lower_bound_witnesses_binary,
+    sorting_lower_bound_witnesses_permutation,
+    sorting_permutation_test_set,
+)
+from .selection import (
+    selector_binary_test_set,
+    selector_lower_bound_witnesses_binary,
+    selector_lower_bound_witnesses_permutation,
+    selector_permutation_test_set,
+)
+from .merging import (
+    half_sorted_words,
+    merging_binary_test_set,
+    merging_lower_bound_witnesses,
+    merging_permutation_test_set,
+)
+from .validation import (
+    is_merging_test_set_binary,
+    is_merging_test_set_permutation,
+    is_selector_test_set_binary,
+    is_selector_test_set_permutation,
+    is_sorting_test_set_binary,
+    is_sorting_test_set_permutation,
+    missing_required_words,
+    uncovered_required_words,
+)
+from .minimal import (
+    detection_sets_for_sorting,
+    empirical_sorting_test_set_size,
+    exact_minimum_hitting_set,
+    greedy_hitting_set,
+    minimum_test_set_for_population,
+)
+
+__all__ = [
+    "central_binomial_approximation",
+    "exhaustive_binary_size",
+    "exhaustive_permutation_size",
+    "merging_permutation_test_set_size",
+    "merging_test_set_size",
+    "primitive_sorting_test_set_size",
+    "selector_permutation_test_set_size",
+    "selector_test_set_size",
+    "sorting_permutation_test_set_size",
+    "sorting_test_set_size",
+    "yao_ratio",
+    "brute_force_near_sorter",
+    "failing_inputs",
+    "near_merger",
+    "near_selector",
+    "near_sorter",
+    "near_sorter_table",
+    "one_interchange_observation_holds",
+    "sorts_exactly_all_but",
+    "verify_near_sorter",
+    "sorting_binary_test_set",
+    "sorting_lower_bound_witnesses_binary",
+    "sorting_lower_bound_witnesses_permutation",
+    "sorting_permutation_test_set",
+    "selector_binary_test_set",
+    "selector_lower_bound_witnesses_binary",
+    "selector_lower_bound_witnesses_permutation",
+    "selector_permutation_test_set",
+    "half_sorted_words",
+    "merging_binary_test_set",
+    "merging_lower_bound_witnesses",
+    "merging_permutation_test_set",
+    "is_merging_test_set_binary",
+    "is_merging_test_set_permutation",
+    "is_selector_test_set_binary",
+    "is_selector_test_set_permutation",
+    "is_sorting_test_set_binary",
+    "is_sorting_test_set_permutation",
+    "missing_required_words",
+    "uncovered_required_words",
+    "detection_sets_for_sorting",
+    "empirical_sorting_test_set_size",
+    "exact_minimum_hitting_set",
+    "greedy_hitting_set",
+    "minimum_test_set_for_population",
+]

@@ -1,0 +1,297 @@
+"""Lemma 2.1 adversary networks ("near-sorters") and their relatives.
+
+The heart of every lower bound in the paper is Lemma 2.1:
+
+    *For every non-sorted binary word ``sigma`` there exists a network
+    ``H_sigma`` that sorts every input except ``sigma``.*
+
+Consequently any test set for sorting must contain every non-sorted word
+(Theorem 2.2 i); restricted to words with at most ``k`` zeroes the same
+networks defeat ``(k, n)``-selector test sets (Lemma 2.3 / Theorem 2.4 i);
+restricted to half-sorted words they defeat merging test sets
+(Theorem 2.5 i).
+
+Construction
+------------
+The paper proves the lemma by induction on ``n`` with a case analysis
+(Figs. 2–5) whose artwork is not legible in the available text, so the
+construction below was re-derived from the prose proof; it follows the same
+plan (recurse on the first ``n-1`` lines, then repair with a small gadget, a
+``[·, n]`` comparator chain and trailing ``S(m)`` blocks) and is verified
+exhaustively by the test suite.  With ``sigma`` 0-based and ``rho`` the
+output of the recursive network on the unsorted prefix:
+
+* **Unsorted prefix, last bit 1** (the paper's Case C): append comparators
+  ``[j, n-1]`` for ``j = 0..k`` where ``k`` is the first 1 of ``rho``, then a
+  sorter on lines ``k+1..n-1``.
+* **Unsorted prefix, last bit 0** (the paper's Cases A and B, handled
+  uniformly here): with ``k``/``l`` the first 1 / last 0 of ``rho`` and ``z``
+  its number of zeroes, append the two-comparator gadget ``[l, n-1]``,
+  ``[k, l]`` (a 3-line near-sorter for the pattern 100, attached to lines
+  ``k``, ``l``, ``n-1`` exactly as the paper attaches ``H_100``), then a
+  sorter on lines ``0..n-2``, then a sorter on lines ``z+1..n-1``.
+* **Sorted prefix** (so the suffix is unsorted): build the network for the
+  complement-reversed word and take its dual, using the involution
+  ``dual(H)(phi(x)) = phi(H(x))``.
+
+The paper's observation that ``H_sigma(sigma)`` is always exactly one
+interchange away from being sorted holds for this construction too and is
+checked by :func:`one_interchange_observation_holds`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .._typing import BinaryWord, WordLike
+from ..core.builder import NetworkBuilder
+from ..core.evaluation import (
+    all_binary_words_array,
+    apply_network_to_batch,
+    batch_is_sorted,
+)
+from ..core.network import ComparatorNetwork
+from ..exceptions import AdversaryError
+from ..words.binary import (
+    check_binary,
+    complement_reverse,
+    count_zeros,
+    is_one_transposition_from_sorted,
+    is_sorted_word,
+    unsorted_binary_words,
+    word_rank,
+)
+
+__all__ = [
+    "near_sorter",
+    "near_sorter_table",
+    "near_selector",
+    "near_merger",
+    "failing_inputs",
+    "sorts_exactly_all_but",
+    "verify_near_sorter",
+    "one_interchange_observation_holds",
+    "brute_force_near_sorter",
+]
+
+SorterFactory = Callable[[int], ComparatorNetwork]
+
+
+def _default_sorter(width: int) -> ComparatorNetwork:
+    from ..constructions.batcher import batcher_sorting_network
+    from ..constructions.optimal import OPTIMAL_NETWORKS, optimal_sorting_network
+
+    if width in OPTIMAL_NETWORKS:
+        return optimal_sorting_network(width)
+    return batcher_sorting_network(width)
+
+
+def near_sorter(
+    sigma: WordLike, *, sorter_factory: Optional[SorterFactory] = None
+) -> ComparatorNetwork:
+    """The Lemma 2.1 network ``H_sigma``: sorts every binary word except *sigma*.
+
+    Parameters
+    ----------
+    sigma:
+        A non-sorted binary word.  Sorted words are rejected with
+        :class:`~repro.exceptions.AdversaryError` (a standard network can
+        never unsort a sorted input, so no such adversary exists).
+    sorter_factory:
+        Optional factory used for the internal ``S(m)`` blocks; defaults to
+        the known-optimal networks for ``m <= 8`` and Batcher's odd-even
+        merge-sort beyond.  Any correct sorting-network factory yields a
+        correct adversary; the choice only affects the adversary's size.
+
+    Notes
+    -----
+    The construction also sorts every *non-binary* input whose threshold
+    images all differ from ``sigma`` (zero-one principle), and on permutation
+    inputs it sorts every permutation whose cover avoids ``sigma``.
+    """
+    word = check_binary(sigma)
+    if is_sorted_word(word):
+        raise AdversaryError(
+            f"{word!r} is sorted; no network can sort everything except a sorted word"
+        )
+    factory = sorter_factory or _default_sorter
+    return _near_sorter_recursive(word, factory)
+
+
+def _near_sorter_recursive(
+    sigma: BinaryWord, factory: SorterFactory
+) -> ComparatorNetwork:
+    n = len(sigma)
+    if n == 2:
+        # The only unsorted word of length 2 is 10; the empty network sorts
+        # 00, 01 and 11 (they are already sorted) and fails on 10.
+        return ComparatorNetwork.identity(2)
+    prefix = sigma[:-1]
+    if not is_sorted_word(prefix):
+        return _near_sorter_prefix_case(sigma, factory)
+    # The prefix is sorted, so (for an unsorted sigma with n >= 3) the suffix
+    # sigma[1:] must be unsorted; reduce to the prefix case through the
+    # complement-reverse duality.
+    mirrored = complement_reverse(sigma)
+    return _near_sorter_recursive(mirrored, factory).dual()
+
+
+def _near_sorter_prefix_case(
+    sigma: BinaryWord, factory: SorterFactory
+) -> ComparatorNetwork:
+    """The unsorted-prefix construction (paper's Cases A/B/C)."""
+    n = len(sigma)
+    prefix = sigma[:-1]
+    inner = _near_sorter_recursive(prefix, factory)
+    rho = inner.apply(prefix)
+
+    builder = NetworkBuilder(n)
+    builder.append_on_lines(inner, list(range(n - 1)))
+
+    if sigma[-1] == 1:
+        # Case C: the trapped value is the leading 1 of rho.  The comparator
+        # chain [j, n-1] lets every other input push its surplus up to the
+        # bottom line, while on sigma itself line k keeps its 1 (line n-1
+        # already carries a 1) and the final sorter cannot touch line k.
+        k = rho.index(1)
+        for j in range(k + 1):
+            builder.compare(j, n - 1)
+        _append_sorter(builder, factory, k + 1, n)
+    else:
+        # Cases A/B: sigma ends in 0.  The two comparators [l, n-1], [k, l]
+        # realise the paper's H_100 gadget on lines (k, l, n-1): they sort
+        # every pattern on those lines except (1, 0, 0), which they map to
+        # (0, 1, 0) — leaving the trailing 0 trapped below the 1s.  The
+        # sorter on the first n-1 lines then normalises the prefix, and the
+        # final sorter on lines z+1..n-1 lifts a trapped 0 just high enough
+        # to sort every input whose prefix had at least z+1 zeroes — which is
+        # every input except sigma itself.
+        zeros = count_zeros(rho)
+        k = rho.index(1)
+        l = n - 2 - tuple(reversed(rho)).index(0)
+        builder.compare(l, n - 1)
+        builder.compare(k, l)
+        _append_sorter(builder, factory, 0, n - 1)
+        _append_sorter(builder, factory, zeros + 1, n)
+    return builder.build()
+
+
+def _append_sorter(
+    builder: NetworkBuilder, factory: SorterFactory, start: int, stop: int
+) -> None:
+    width = stop - start
+    if width <= 1:
+        return
+    builder.append_on_lines(factory(width), list(range(start, stop)))
+
+
+def near_sorter_table(
+    n: int, *, sorter_factory: Optional[SorterFactory] = None
+) -> Dict[BinaryWord, ComparatorNetwork]:
+    """``H_sigma`` for every non-sorted word of length *n* (Fig. 2 generalised)."""
+    return {
+        sigma: near_sorter(sigma, sorter_factory=sorter_factory)
+        for sigma in unsorted_binary_words(n)
+    }
+
+
+def near_selector(sigma: WordLike, k: int) -> ComparatorNetwork:
+    """Lemma 2.3 adversary: ``(k, n)``-selects every input except *sigma*.
+
+    Requires ``sigma`` to be unsorted with at most *k* zeroes (i.e. a member
+    of ``T_k^n``); the network is simply ``H_sigma``, whose unique sorting
+    failure is also a selection failure because the first wrong output line
+    of ``H_sigma(sigma)`` appears within the first ``|sigma|_0 <= k`` lines.
+    """
+    word = check_binary(sigma)
+    if count_zeros(word) > k:
+        raise AdversaryError(
+            f"{word!r} has more than k={k} zeroes; Lemma 2.3 requires |sigma|_0 <= k"
+        )
+    return near_sorter(word)
+
+
+def near_merger(sigma: WordLike) -> ComparatorNetwork:
+    """Theorem 2.5 adversary: merges every half-sorted input except *sigma*.
+
+    Requires *sigma* to have sorted halves but be unsorted as a whole (a
+    member of the Theorem 2.5 binary test set).  ``H_sigma`` fails exactly on
+    *sigma* and sorts — in particular merges — every other input.
+    """
+    word = check_binary(sigma)
+    n = len(word)
+    if n % 2 != 0:
+        raise AdversaryError(f"merging adversaries need even length, got {n}")
+    half = n // 2
+    if not (is_sorted_word(word[:half]) and is_sorted_word(word[half:])):
+        raise AdversaryError(
+            f"{word!r} does not have sorted halves; it is not a valid merging input"
+        )
+    return near_sorter(word)
+
+
+def failing_inputs(network: ComparatorNetwork) -> List[BinaryWord]:
+    """All binary words the network fails to sort (exhaustive over ``2**n``)."""
+    inputs = all_binary_words_array(network.n_lines)
+    outputs = apply_network_to_batch(network, inputs)
+    mask = ~batch_is_sorted(outputs)
+    return [tuple(int(v) for v in row) for row in inputs[mask]]
+
+
+def sorts_exactly_all_but(network: ComparatorNetwork, sigma: WordLike) -> bool:
+    """Does the network sort every binary word except exactly *sigma*?"""
+    word = check_binary(sigma)
+    if len(word) != network.n_lines:
+        return False
+    inputs = all_binary_words_array(network.n_lines)
+    outputs = apply_network_to_batch(network, inputs)
+    mask = batch_is_sorted(outputs)
+    expected = np.ones(inputs.shape[0], dtype=bool)
+    expected[word_rank(word)] = False
+    return bool(np.array_equal(mask, expected))
+
+
+def verify_near_sorter(sigma: WordLike, network: ComparatorNetwork) -> None:
+    """Raise :class:`AdversaryError` unless *network* is a valid ``H_sigma``."""
+    if not sorts_exactly_all_but(network, sigma):
+        failures = failing_inputs(network)
+        raise AdversaryError(
+            f"network is not a near-sorter for {tuple(sigma)!r}: it fails on "
+            f"{failures[:5]!r}{'...' if len(failures) > 5 else ''}"
+        )
+
+
+def one_interchange_observation_holds(
+    sigma: WordLike, network: Optional[ComparatorNetwork] = None
+) -> bool:
+    """Check the paper's observation that ``H_sigma(sigma)`` is one swap from sorted."""
+    word = check_binary(sigma)
+    net = network if network is not None else near_sorter(word)
+    return is_one_transposition_from_sorted(net.apply(word))
+
+
+def brute_force_near_sorter(
+    sigma: WordLike, *, max_size: int = 4
+) -> Optional[ComparatorNetwork]:
+    """Search for a smallest near-sorter for *sigma* by brute force.
+
+    Enumerates standard-comparator sequences of size 0, 1, ..., *max_size*
+    and returns the first network that sorts everything except *sigma*, or
+    ``None`` if none exists within the size budget.  Exponential in
+    ``max_size`` — intended for reproducing the tiny Fig. 2 networks and for
+    cross-checking the recursive construction on small words.
+    """
+    word = check_binary(sigma)
+    if is_sorted_word(word):
+        raise AdversaryError(f"{word!r} is sorted; no near-sorter exists")
+    n = len(word)
+    alphabet = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    for size in range(max_size + 1):
+        for combo in product(alphabet, repeat=size):
+            candidate = ComparatorNetwork.from_pairs(n, combo)
+            if sorts_exactly_all_but(candidate, word):
+                return candidate
+    return None

@@ -1,0 +1,136 @@
+"""Closed-form minimum test-set sizes (the paper's headline numbers).
+
+Every theorem in the paper states an exact count; this module collects them
+so the generators, the validators and the benchmark harness all compare
+against a single source of truth.
+
+===============================  ===========================================
+Property / input model            Minimum test-set size
+===============================  ===========================================
+Sorting, 0/1 inputs               ``2**n - n - 1``                (Thm 2.2 i)
+Sorting, permutations             ``C(n, floor(n/2)) - 1``        (Thm 2.2 ii)
+(k, n)-selection, 0/1 inputs      ``sum_{i=0..k} C(n, i) - k - 1``(Thm 2.4 i)
+(k, n)-selection, permutations    ``C(n, min(floor(n/2), k)) - 1``(Thm 2.4 ii)
+(n/2, n/2)-merging, 0/1 inputs    ``n**2 / 4``                    (Thm 2.5 i)
+(n/2, n/2)-merging, permutations  ``n / 2``                       (Thm 2.5 ii)
+Height-1 (primitive) sorting      ``1``                           (§3, de Bruijn)
+===============================  ===========================================
+
+The ``exhaustive_*`` functions give the brute-force baselines the paper
+compares against (``2**n`` and ``n!``), and :func:`yao_ratio` the asymptotic
+comparison the paper quotes (``C(n, floor(n/2)) ~ 2**(n+1) / sqrt(2 pi n)``
+relative to ``2**n``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import TestSetError
+
+__all__ = [
+    "sorting_test_set_size",
+    "sorting_permutation_test_set_size",
+    "selector_test_set_size",
+    "selector_permutation_test_set_size",
+    "merging_test_set_size",
+    "merging_permutation_test_set_size",
+    "primitive_sorting_test_set_size",
+    "exhaustive_binary_size",
+    "exhaustive_permutation_size",
+    "yao_ratio",
+    "central_binomial_approximation",
+]
+
+
+def _check_n(n: int, minimum: int = 1) -> None:
+    if not isinstance(n, int) or n < minimum:
+        raise TestSetError(f"n must be an integer >= {minimum}, got {n!r}")
+
+
+def sorting_test_set_size(n: int) -> int:
+    """Theorem 2.2 (i): ``2**n - n - 1`` for 0/1 inputs.
+
+    Equals the number of non-sorted binary words of length *n* (each one is
+    forced into the test set by the Lemma 2.1 adversary, and together they
+    suffice by the zero–one principle).
+    """
+    _check_n(n)
+    return 2**n - n - 1
+
+
+def sorting_permutation_test_set_size(n: int) -> int:
+    """Theorem 2.2 (ii): ``C(n, floor(n/2)) - 1`` for permutation inputs."""
+    _check_n(n)
+    return math.comb(n, n // 2) - 1
+
+
+def selector_test_set_size(n: int, k: int) -> int:
+    """Theorem 2.4 (i): ``sum_{i=0..k} C(n, i) - k - 1`` for 0/1 inputs.
+
+    Equals ``|T_k^n|``, the number of unsorted binary words with at most *k*
+    zeroes.
+    """
+    _check_n(n)
+    if k < 1 or k > n:
+        raise TestSetError(f"selector parameter k={k} out of range 1..{n}")
+    return sum(math.comb(n, i) for i in range(k + 1)) - k - 1
+
+
+def selector_permutation_test_set_size(n: int, k: int) -> int:
+    """Theorem 2.4 (ii): ``C(n, min(floor(n/2), k)) - 1`` for permutation inputs."""
+    _check_n(n)
+    if k < 1 or k > n:
+        raise TestSetError(f"selector parameter k={k} out of range 1..{n}")
+    return math.comb(n, min(n // 2, k)) - 1
+
+
+def merging_test_set_size(n: int) -> int:
+    """Theorem 2.5 (i): ``n**2 / 4`` for 0/1 inputs (even *n*)."""
+    _check_n(n, minimum=2)
+    if n % 2 != 0:
+        raise TestSetError(f"(n/2, n/2)-merging requires even n, got {n}")
+    return (n * n) // 4
+
+
+def merging_permutation_test_set_size(n: int) -> int:
+    """Theorem 2.5 (ii): ``n / 2`` for permutation inputs (even *n*)."""
+    _check_n(n, minimum=2)
+    if n % 2 != 0:
+        raise TestSetError(f"(n/2, n/2)-merging requires even n, got {n}")
+    return n // 2
+
+
+def primitive_sorting_test_set_size(n: int) -> int:
+    """Section 3 (de Bruijn): a single test suffices for height-1 networks."""
+    _check_n(n)
+    return 1 if n >= 2 else 0
+
+
+def exhaustive_binary_size(n: int) -> int:
+    """The brute-force 0/1 baseline the paper starts from: ``2**n`` inputs."""
+    _check_n(n)
+    return 2**n
+
+
+def exhaustive_permutation_size(n: int) -> int:
+    """The brute-force permutation baseline: ``n!`` inputs."""
+    _check_n(n)
+    return math.factorial(n)
+
+
+def central_binomial_approximation(n: int) -> float:
+    """Stirling approximation ``C(n, n/2) ~ 2**(n+1) / sqrt(2 pi n)`` quoted in §2."""
+    _check_n(n)
+    return 2 ** (n + 1) / math.sqrt(2 * math.pi * n)
+
+
+def yao_ratio(n: int) -> float:
+    """Binary over permutation minimum test-set size (Yao's observation).
+
+    The paper notes the permutation test set is *smaller* because 0/1 inputs
+    blur comparator behaviour through duplicated values; the ratio grows like
+    ``sqrt(pi n / 2) / 2``.
+    """
+    _check_n(n, minimum=2)
+    return sorting_test_set_size(n) / sorting_permutation_test_set_size(n)

@@ -1,0 +1,98 @@
+"""Theorem 2.5: minimum test sets for the ``(n/2, n/2)``-merging property.
+
+* :func:`merging_binary_test_set` — the ``n**2 / 4`` concatenations of two
+  sorted halves that are not themselves sorted (first half ends in 1, second
+  half starts with 0).  Sufficient because sorted concatenations are never
+  unsorted by a standard network; necessary because the Lemma 2.1 adversary
+  for such a word merges every other half-sorted input.
+* :func:`merging_permutation_test_set` — the ``n/2`` permutations
+  ``tau_i = (1..i, i+1+n/2..n, i+1..i+n/2)`` (paper's notation, 1-based).
+  The cover of ``tau_i`` contains every word ``0^i 1^(n/2-i) 0^k 1^(n/2-k)``,
+  so together the ``tau_i`` cover the whole binary test set.
+* :func:`merging_lower_bound_witnesses` — the antichain
+  ``0^i 1^(n/2-i) 0^(n/2-i) 1^i`` (all of weight ``n/2``), which forces the
+  ``n/2`` lower bound for permutation inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .._typing import BinaryWord, Permutation
+from ..exceptions import TestSetError
+from ..words.binary import is_sorted_word
+from .formulas import merging_permutation_test_set_size, merging_test_set_size
+
+__all__ = [
+    "merging_binary_test_set",
+    "merging_permutation_test_set",
+    "merging_lower_bound_witnesses",
+    "half_sorted_words",
+]
+
+
+def _check_even(n: int) -> int:
+    if n < 2 or n % 2 != 0:
+        raise TestSetError(f"(n/2, n/2)-merging requires even n >= 2, got {n}")
+    return n // 2
+
+
+def half_sorted_words(n: int) -> List[BinaryWord]:
+    """Every binary word of length *n* whose two halves are sorted."""
+    half = _check_even(n)
+    words = []
+    for ones_first in range(half + 1):
+        first = tuple([0] * (half - ones_first) + [1] * ones_first)
+        for ones_second in range(half + 1):
+            second = tuple([0] * (half - ones_second) + [1] * ones_second)
+            words.append(first + second)
+    return words
+
+
+def merging_binary_test_set(n: int) -> List[BinaryWord]:
+    """The minimum 0/1 test set for merging: unsorted half-sorted words.
+
+    Exactly ``n**2 / 4`` words: the first half must contain at least one 1
+    and the second half at least one 0 for the concatenation to be unsorted.
+    """
+    _check_even(n)
+    words = [w for w in half_sorted_words(n) if not is_sorted_word(w)]
+    assert len(words) == merging_test_set_size(n)
+    return words
+
+
+def merging_permutation_test_set(n: int) -> List[Permutation]:
+    """The minimum permutation test set for merging: the ``n/2`` words ``tau_i``.
+
+    In 0-based one-line notation, ``tau_i`` feeds values ``0..i-1`` and
+    ``i+n/2..n-1`` (in increasing order) into the first half and values
+    ``i..i+n/2-1`` into the second half; both halves are increasing, so it is
+    a legal merging input, and its cover contains every test word whose first
+    half has exactly ``i`` zeroes.
+    """
+    half = _check_even(n)
+    perms: List[Permutation] = []
+    for i in range(half):
+        first = tuple(range(i)) + tuple(range(i + half, n))
+        second = tuple(range(i, i + half))
+        perms.append(first + second)
+    assert len(perms) == merging_permutation_test_set_size(n)
+    return perms
+
+
+def merging_lower_bound_witnesses(n: int) -> List[BinaryWord]:
+    """The antichain ``0^i 1^(n/2-i) 0^(n/2-i) 1^i`` forcing the ``n/2`` bound.
+
+    All witnesses have weight ``n/2``, are valid unsorted merging inputs, and
+    no permutation covers two distinct words of equal weight, so any
+    permutation test set needs at least ``n/2`` members.
+    """
+    half = _check_even(n)
+    witnesses = []
+    for i in range(half):
+        word = (
+            tuple([0] * i + [1] * (half - i))
+            + tuple([0] * (half - i) + [1] * i)
+        )
+        witnesses.append(word)
+    return witnesses

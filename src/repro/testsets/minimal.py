@@ -1,0 +1,190 @@
+"""Empirical minimum test-set search.
+
+The paper's lower bounds are proved with explicit adversaries.  This module
+turns that argument into an experiment: given a *population* of faulty
+networks (networks lacking the property), a valid test set must contain, for
+every faulty network, at least one input that exposes it.  Finding the
+smallest such set of inputs is a minimum **hitting-set** problem:
+
+* universe    — candidate test inputs;
+* one set per faulty network — the inputs that expose it ("detection set");
+* goal        — smallest collection of inputs hitting every detection set.
+
+With the population of Lemma 2.1 adversaries every detection set is a
+singleton, so the optimum equals the number of adversaries and the paper's
+bound is reproduced exactly.  With weaker populations (random mutations of a
+sorter, say) the optimum is smaller — quantifying how much smaller is one of
+the ablation experiments (E4/E11).
+
+Both a greedy approximation and an exact branch-and-bound solver are
+provided; the exact solver is exponential in the worst case and intended for
+the small instances of the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._typing import BinaryWord, WordLike
+from ..core.evaluation import apply_network_to_batch, batch_is_sorted
+from ..core.network import ComparatorNetwork
+from ..exceptions import TestSetError
+from ..words.binary import check_binary
+
+__all__ = [
+    "detection_sets_for_sorting",
+    "greedy_hitting_set",
+    "exact_minimum_hitting_set",
+    "minimum_test_set_for_population",
+    "empirical_sorting_test_set_size",
+]
+
+
+def detection_sets_for_sorting(
+    networks: Iterable[ComparatorNetwork],
+    candidate_inputs: Sequence[WordLike],
+) -> List[FrozenSet[int]]:
+    """For each network, the indices of candidate inputs that expose it.
+
+    An input *exposes* a network (for the sorting property) when the network
+    fails to sort it.  Networks that are exposed by no candidate yield an
+    empty frozenset — the caller must decide whether that means the
+    candidates are insufficient or the network actually has the property.
+    """
+    words = [check_binary(w) for w in candidate_inputs]
+    if not words:
+        return [frozenset() for _ in networks]
+    batch = np.asarray(words, dtype=np.int8)
+    sets: List[FrozenSet[int]] = []
+    for network in networks:
+        outputs = apply_network_to_batch(network, batch)
+        failing = np.flatnonzero(~batch_is_sorted(outputs))
+        sets.append(frozenset(int(i) for i in failing))
+    return sets
+
+
+def greedy_hitting_set(detection_sets: Sequence[FrozenSet[int]]) -> List[int]:
+    """Classical greedy hitting-set: repeatedly pick the most-covering element.
+
+    Returns indices into the candidate universe.  Raises
+    :class:`~repro.exceptions.TestSetError` if some detection set is empty
+    (then no hitting set exists).
+    """
+    remaining = [s for s in detection_sets if True]
+    for s in remaining:
+        if not s:
+            raise TestSetError(
+                "a faulty network is exposed by no candidate input; "
+                "the candidate universe is not a test set for this population"
+            )
+    chosen: List[int] = []
+    uncovered = list(range(len(remaining)))
+    while uncovered:
+        counts: Dict[int, int] = {}
+        for index in uncovered:
+            for element in remaining[index]:
+                counts[element] = counts.get(element, 0) + 1
+        best = max(sorted(counts), key=lambda e: counts[e])
+        chosen.append(best)
+        uncovered = [i for i in uncovered if best not in remaining[i]]
+    return sorted(chosen)
+
+
+def exact_minimum_hitting_set(
+    detection_sets: Sequence[FrozenSet[int]],
+    *,
+    upper_bound: Optional[int] = None,
+) -> List[int]:
+    """Exact minimum hitting set by branch and bound.
+
+    Branches on an uncovered detection set of minimum size (choosing one of
+    its elements), pruning with the greedy solution as the initial incumbent
+    and with a simple disjoint-set lower bound.  Exponential in the worst
+    case; fine for the experiment sizes (tens of candidates).
+    """
+    sets = list(detection_sets)
+    for s in sets:
+        if not s:
+            raise TestSetError(
+                "a faulty network is exposed by no candidate input; "
+                "no hitting set exists"
+            )
+    if not sets:
+        return []
+    greedy = greedy_hitting_set(sets)
+    best: List[int] = list(greedy)
+    if upper_bound is not None and upper_bound < len(best):
+        best = best[:]  # keep greedy; upper_bound only tightens pruning below
+
+    def lower_bound(uncovered: List[FrozenSet[int]]) -> int:
+        # Count pairwise-disjoint uncovered sets greedily: each needs its own
+        # element, giving a valid lower bound.
+        used: set = set()
+        count = 0
+        for s in sorted(uncovered, key=len):
+            if not (s & used):
+                count += 1
+                used |= s
+        return count
+
+    def recurse(uncovered: List[FrozenSet[int]], chosen: List[int]) -> None:
+        nonlocal best
+        if not uncovered:
+            if len(chosen) < len(best):
+                best = sorted(chosen)
+            return
+        if len(chosen) + lower_bound(uncovered) >= len(best):
+            return
+        pivot = min(uncovered, key=len)
+        for element in sorted(pivot):
+            next_uncovered = [s for s in uncovered if element not in s]
+            recurse(next_uncovered, chosen + [element])
+
+    recurse(sets, [])
+    return best
+
+
+def minimum_test_set_for_population(
+    networks: Sequence[ComparatorNetwork],
+    candidate_inputs: Sequence[WordLike],
+    *,
+    exact: bool = True,
+) -> List[BinaryWord]:
+    """Smallest subset of *candidate_inputs* exposing every network in the population.
+
+    ``exact=False`` uses the greedy approximation (guaranteed to be a valid
+    test set for the population, possibly larger than optimal).
+    """
+    words = [check_binary(w) for w in candidate_inputs]
+    sets = detection_sets_for_sorting(networks, words)
+    solver = exact_minimum_hitting_set if exact else greedy_hitting_set
+    indices = solver(sets)
+    return [words[i] for i in indices]
+
+
+def empirical_sorting_test_set_size(
+    n: int,
+    *,
+    exact: bool = True,
+    adversary_factory: Optional[Callable[[BinaryWord], ComparatorNetwork]] = None,
+) -> int:
+    """Reproduce Theorem 2.2 (i) empirically for small *n*.
+
+    Builds the full population of Lemma 2.1 adversaries, offers every binary
+    word as a candidate test input, and solves the hitting-set instance.  The
+    result equals ``2**n - n - 1`` (each adversary is exposed only by its own
+    word), which the test suite asserts for small *n*.
+    """
+    from ..core.evaluation import all_binary_words
+    from .adversary import near_sorter
+
+    factory = adversary_factory or near_sorter
+    from ..words.binary import unsorted_binary_words
+
+    population = [factory(sigma) for sigma in unsorted_binary_words(n)]
+    candidates = list(all_binary_words(n))
+    return len(
+        minimum_test_set_for_population(population, candidates, exact=exact)
+    )

@@ -1,0 +1,81 @@
+"""Theorem 2.4: minimum test sets for the ``(k, n)``-selection property.
+
+* :func:`selector_binary_test_set` — the paper's ``T_k^n``: every unsorted
+  binary word with at most ``k`` zeroes, ``sum_{i=0..k} C(n,i) - k - 1``
+  words.  Sufficiency follows from the monotonicity lemma (``sigma <= tau``
+  implies ``H(sigma) <= H(tau)``): if the first ``k`` outputs are correct for
+  every word with exactly ``k`` zeroes, they are correct for every word with
+  more zeroes as well.  Necessity follows from Lemma 2.3: for every
+  ``sigma`` in ``T_k^n`` the adversary ``H_sigma`` mis-selects only ``sigma``.
+* :func:`selector_permutation_test_set` — ``C(n, min(floor(n/2), k)) - 1``
+  permutations whose covers contain ``T_k^n`` (the chain-cover construction
+  of Knuth's ``B(n, k)``; see :mod:`repro.words.chains`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .._typing import BinaryWord, Permutation
+from ..exceptions import TestSetError
+from ..words.binary import binary_words_with_zero_count, is_sorted_word
+from ..words.chains import selector_cover_permutations
+from .formulas import (
+    selector_permutation_test_set_size,
+    selector_test_set_size,
+)
+
+__all__ = [
+    "selector_binary_test_set",
+    "selector_permutation_test_set",
+    "selector_lower_bound_witnesses_binary",
+    "selector_lower_bound_witnesses_permutation",
+]
+
+
+def _check_parameters(n: int, k: int) -> None:
+    if n < 1:
+        raise TestSetError(f"n must be >= 1, got {n}")
+    if k < 1 or k > n:
+        raise TestSetError(f"selector parameter k={k} out of range 1..{n}")
+
+
+def selector_binary_test_set(n: int, k: int) -> List[BinaryWord]:
+    """The paper's ``T_k^n``: unsorted words of length *n* with at most *k* zeroes."""
+    _check_parameters(n, k)
+    words: List[BinaryWord] = []
+    for zeros in range(k + 1):
+        for word in binary_words_with_zero_count(n, zeros):
+            if not is_sorted_word(word):
+                words.append(word)
+    assert len(words) == selector_test_set_size(n, k)
+    return words
+
+
+def selector_permutation_test_set(n: int, k: int) -> List[Permutation]:
+    """The Theorem 2.4 (ii) permutation test set for ``(k, n)``-selection."""
+    _check_parameters(n, k)
+    perms = selector_cover_permutations(n, k)
+    assert len(perms) == selector_permutation_test_set_size(n, k)
+    return perms
+
+
+def selector_lower_bound_witnesses_binary(n: int, k: int) -> List[BinaryWord]:
+    """Witnesses forcing the Theorem 2.4 (i) bound: the members of ``T_k^n``."""
+    return selector_binary_test_set(n, k)
+
+
+def selector_lower_bound_witnesses_permutation(n: int, k: int) -> List[BinaryWord]:
+    """Witnesses forcing the Theorem 2.4 (ii) bound: the paper's ``U_k^n``.
+
+    The unsorted words with exactly ``min(k, floor(n/2))`` zeroes: each must
+    be covered by some test permutation and no permutation covers two of
+    them, so ``C(n, min(k, floor(n/2))) - 1`` permutations are required.
+    """
+    _check_parameters(n, k)
+    zeros = min(k, n // 2)
+    return [
+        w
+        for w in binary_words_with_zero_count(n, zeros)
+        if not is_sorted_word(w)
+    ]

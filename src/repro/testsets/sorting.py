@@ -1,0 +1,90 @@
+"""Theorem 2.2: minimum test sets for the sorting property.
+
+Two generators, one per input model:
+
+* :func:`sorting_binary_test_set` — the ``2**n - n - 1`` non-sorted binary
+  words.  Sufficient by the zero–one principle (sorted inputs are never
+  unsorted by a standard network, so testing them adds nothing); necessary
+  because the Lemma 2.1 adversary ``H_sigma`` is caught *only* by ``sigma``.
+* :func:`sorting_permutation_test_set` — ``C(n, floor(n/2)) - 1``
+  permutations obtained from the symmetric chain decomposition of the
+  Boolean lattice (Yao's observation / Knuth §6.5.1 Problem 1).  Sufficient
+  because their covers contain every unsorted binary word; optimal because
+  the ``C(n, floor(n/2)) - 1`` unsorted words of weight ``floor(n/2)`` must
+  each be covered and no permutation covers two of them.
+
+Both generators return plain lists of tuples, ordered deterministically, so
+experiments are reproducible and results can be cached.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .._typing import BinaryWord, Permutation
+from ..exceptions import TestSetError
+from ..words.binary import binary_words_with_weight, is_sorted_word, unsorted_binary_words
+from ..words.chains import sorting_cover_permutations
+from .formulas import sorting_permutation_test_set_size, sorting_test_set_size
+
+__all__ = [
+    "sorting_binary_test_set",
+    "sorting_permutation_test_set",
+    "sorting_lower_bound_witnesses_binary",
+    "sorting_lower_bound_witnesses_permutation",
+]
+
+
+def sorting_binary_test_set(n: int) -> List[BinaryWord]:
+    """The minimum 0/1 test set for sorting: every non-sorted word of length *n*.
+
+    The length of the returned list equals
+    :func:`repro.testsets.formulas.sorting_test_set_size`.
+    """
+    if n < 1:
+        raise TestSetError(f"n must be >= 1, got {n}")
+    words = unsorted_binary_words(n)
+    assert len(words) == sorting_test_set_size(n)
+    return words
+
+
+def sorting_permutation_test_set(n: int) -> List[Permutation]:
+    """The minimum permutation test set for sorting (Theorem 2.2 ii).
+
+    ``C(n, floor(n/2)) - 1`` permutations of ``0..n-1`` whose covers contain
+    every unsorted binary word; the identity permutation is excluded because
+    its cover consists of sorted words only.
+    """
+    if n < 1:
+        raise TestSetError(f"n must be >= 1, got {n}")
+    perms = sorting_cover_permutations(n)
+    assert len(perms) == sorting_permutation_test_set_size(n)
+    return perms
+
+
+def sorting_lower_bound_witnesses_binary(n: int) -> List[BinaryWord]:
+    """Witness family for the Theorem 2.2 (i) lower bound.
+
+    Simply the non-sorted words themselves: for each one the Lemma 2.1
+    network is a non-sorter that every *other* input fails to expose, so
+    every one of them is forced into any test set.  (Identical to the test
+    set — the bound is tight — but exposed separately so the experiments can
+    talk about "witnesses" and "tests" independently.)
+    """
+    return sorting_binary_test_set(n)
+
+
+def sorting_lower_bound_witnesses_permutation(n: int) -> List[BinaryWord]:
+    """Witness family for the Theorem 2.2 (ii) lower bound.
+
+    The unsorted words of weight ``floor(n/2)`` (the paper's set ``T_1``):
+    each must be covered by some test permutation, and no permutation covers
+    two distinct words of the same weight, so any permutation test set has at
+    least ``C(n, floor(n/2)) - 1`` members.
+    """
+    if n < 2:
+        return []
+    weight = n // 2
+    return [
+        w for w in binary_words_with_weight(n, weight) if not is_sorted_word(w)
+    ]

@@ -1,0 +1,162 @@
+"""Deciding whether a candidate set of inputs is a test set.
+
+The paper's definition: ``T`` is a test set for a property if, for *every*
+network ``H``, observing ``H`` on the inputs in ``T`` decides whether ``H``
+has the property.  Quantifying over all networks is impossible directly, but
+the paper's own results turn the definition into checkable conditions:
+
+* **Sorting, 0/1 inputs** — ``T`` is a test set iff it contains every
+  non-sorted word (necessity: Lemma 2.1; sufficiency: sorted inputs carry no
+  information for standard networks).
+* **Sorting, permutations** — ``T`` is a test set iff its cover contains
+  every non-sorted word (Floyd's lemma + the above).
+* **Selection** — same statements with "non-sorted word" replaced by the
+  members of ``T_k^n`` (Lemma 2.3 / Theorem 2.4).
+* **Merging** — same statements with the unsorted half-sorted words
+  (Theorem 2.5); only half-sorted inputs are legal tests.
+
+Each ``is_*_test_set`` function below implements the corresponding
+characterisation and, where useful, can also report *which* required words
+are missing / uncovered.  The empirical cross-check against explicit
+adversary populations lives in :mod:`repro.testsets.minimal`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from .._typing import BinaryWord, WordLike
+from ..exceptions import TestSetError
+from ..words.binary import check_binary, is_sorted_word
+from ..words.covers import cover_of_permutation_set
+from ..words.permutations import check_permutation, is_permutation
+from .merging import merging_binary_test_set
+from .selection import selector_binary_test_set
+from .sorting import sorting_binary_test_set
+
+__all__ = [
+    "is_sorting_test_set_binary",
+    "is_sorting_test_set_permutation",
+    "is_selector_test_set_binary",
+    "is_selector_test_set_permutation",
+    "is_merging_test_set_binary",
+    "is_merging_test_set_permutation",
+    "missing_required_words",
+    "uncovered_required_words",
+]
+
+
+def _as_binary_set(words: Iterable[WordLike], n: int) -> Set[BinaryWord]:
+    result: Set[BinaryWord] = set()
+    for word in words:
+        w = check_binary(word)
+        if len(w) != n:
+            raise TestSetError(
+                f"test word {w!r} has length {len(w)}, expected {n}"
+            )
+        result.add(w)
+    return result
+
+
+def _as_permutation_list(perms: Iterable[WordLike], n: int) -> List[Tuple[int, ...]]:
+    result = []
+    for perm in perms:
+        p = check_permutation(perm)
+        if len(p) != n:
+            raise TestSetError(
+                f"test permutation {p!r} has length {len(p)}, expected {n}"
+            )
+        result.append(p)
+    return result
+
+
+def missing_required_words(
+    candidate: Iterable[WordLike], required: Sequence[BinaryWord]
+) -> List[BinaryWord]:
+    """Required binary words absent from a candidate binary test set."""
+    if not required:
+        return []
+    n = len(required[0])
+    have = _as_binary_set(candidate, n)
+    return [w for w in required if w not in have]
+
+
+def uncovered_required_words(
+    candidate_permutations: Iterable[WordLike], required: Sequence[BinaryWord]
+) -> List[BinaryWord]:
+    """Required binary words not covered by any candidate permutation."""
+    if not required:
+        return []
+    n = len(required[0])
+    perms = _as_permutation_list(candidate_permutations, n)
+    covered = cover_of_permutation_set(perms)
+    return [w for w in required if w not in covered]
+
+
+# ----------------------------------------------------------------------
+# Sorting
+# ----------------------------------------------------------------------
+def is_sorting_test_set_binary(candidate: Iterable[WordLike], n: int) -> bool:
+    """Is *candidate* a 0/1 test set for sorting on *n* lines?"""
+    return not missing_required_words(candidate, sorting_binary_test_set(n))
+
+
+def is_sorting_test_set_permutation(candidate: Iterable[WordLike], n: int) -> bool:
+    """Is *candidate* (a set of permutations) a test set for sorting?"""
+    return not uncovered_required_words(candidate, sorting_binary_test_set(n))
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+def is_selector_test_set_binary(
+    candidate: Iterable[WordLike], n: int, k: int
+) -> bool:
+    """Is *candidate* a 0/1 test set for the ``(k, n)``-selector property?"""
+    return not missing_required_words(candidate, selector_binary_test_set(n, k))
+
+
+def is_selector_test_set_permutation(
+    candidate: Iterable[WordLike], n: int, k: int
+) -> bool:
+    """Is *candidate* (permutations) a test set for ``(k, n)``-selection?"""
+    return not uncovered_required_words(candidate, selector_binary_test_set(n, k))
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+def _check_merging_candidate_words(candidate: Set[BinaryWord], n: int) -> None:
+    half = n // 2
+    for word in candidate:
+        if not (is_sorted_word(word[:half]) and is_sorted_word(word[half:])):
+            raise TestSetError(
+                f"{word!r} is not a legal merging test input (halves must be sorted)"
+            )
+
+
+def is_merging_test_set_binary(candidate: Iterable[WordLike], n: int) -> bool:
+    """Is *candidate* a 0/1 test set for the ``(n/2, n/2)``-merging property?
+
+    Candidate words must themselves be legal merging inputs (sorted halves);
+    illegal words raise :class:`~repro.exceptions.TestSetError` rather than
+    being silently ignored.
+    """
+    required = merging_binary_test_set(n)
+    have = _as_binary_set(candidate, n)
+    _check_merging_candidate_words(have, n)
+    return all(w in have for w in required)
+
+
+def is_merging_test_set_permutation(candidate: Iterable[WordLike], n: int) -> bool:
+    """Is *candidate* (permutations with sorted halves) a merging test set?"""
+    required = merging_binary_test_set(n)
+    perms = _as_permutation_list(candidate, n)
+    half = n // 2
+    for perm in perms:
+        if not (is_sorted_word(perm[:half]) and is_sorted_word(perm[half:])):
+            raise TestSetError(
+                f"{perm!r} is not a legal merging test input (halves must be sorted)"
+            )
+    covered = cover_of_permutation_set(perms)
+    return all(w in covered for w in required)

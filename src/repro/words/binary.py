@@ -1,0 +1,239 @@
+"""Binary-word utilities.
+
+The paper's test sets are subsets of ``{0,1}^n``.  This module provides the
+word-level vocabulary used throughout: enumeration, sortedness, zero/one
+counts (the paper's ``|sigma|_0`` and ``|sigma|_1``), rank/unrank, the
+dominance order ``sigma <= tau`` used in Theorem 2.4's monotonicity argument,
+and the complement–reverse involution ``phi`` behind network duality.
+
+Words are plain tuples of ints; batch/array forms live in
+:mod:`repro.core.evaluation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .._typing import BinaryWord, WordLike, as_word
+from ..exceptions import NotBinaryError
+
+__all__ = [
+    "check_binary",
+    "is_binary",
+    "is_sorted_word",
+    "all_binary_words",
+    "unsorted_binary_words",
+    "sorted_binary_words",
+    "binary_words_with_weight",
+    "binary_words_with_zero_count",
+    "count_zeros",
+    "count_ones",
+    "sort_word",
+    "word_rank",
+    "word_from_rank",
+    "dominates",
+    "dominated_words",
+    "dominating_words",
+    "complement_reverse",
+    "hamming_distance",
+    "transposition_distance_to_sorted",
+    "is_one_transposition_from_sorted",
+    "support",
+    "zero_positions",
+    "word_from_zero_positions",
+]
+
+
+def check_binary(word: WordLike) -> BinaryWord:
+    """Validate that *word* is over ``{0, 1}`` and return it as a tuple."""
+    w = as_word(word)
+    for value in w:
+        if value not in (0, 1):
+            raise NotBinaryError(f"word {w!r} contains a non-binary value {value!r}")
+    return w
+
+
+def is_binary(word: WordLike) -> bool:
+    """Return ``True`` if every entry of *word* is 0 or 1."""
+    return all(v in (0, 1) for v in as_word(word))
+
+
+def is_sorted_word(word: WordLike) -> bool:
+    """Return ``True`` if *word* is non-decreasing (works for any integers)."""
+    w = as_word(word)
+    return all(a <= b for a, b in zip(w, w[1:]))
+
+
+def sort_word(word: WordLike) -> Tuple[int, ...]:
+    """Return the sorted (non-decreasing) rearrangement of *word*."""
+    return tuple(sorted(as_word(word)))
+
+
+def count_zeros(word: WordLike) -> int:
+    """The paper's ``|sigma|_0``: number of zero entries."""
+    return sum(1 for v in check_binary(word) if v == 0)
+
+
+def count_ones(word: WordLike) -> int:
+    """The paper's ``|sigma|_1``: number of one entries."""
+    return sum(1 for v in check_binary(word) if v == 1)
+
+
+def all_binary_words(n: int) -> Iterator[BinaryWord]:
+    """Yield every binary word of length *n* in lexicographic order."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    for rank in range(1 << n):
+        yield word_from_rank(n, rank)
+
+
+def sorted_binary_words(n: int) -> List[BinaryWord]:
+    """The ``n + 1`` sorted binary words ``0^(n-t) 1^t`` for ``t = 0..n``."""
+    return [tuple([0] * (n - t) + [1] * t) for t in range(n + 1)]
+
+
+def unsorted_binary_words(n: int) -> List[BinaryWord]:
+    """All non-sorted binary words of length *n* (``2**n - n - 1`` of them)."""
+    return [w for w in all_binary_words(n) if not is_sorted_word(w)]
+
+
+def binary_words_with_weight(n: int, ones: int) -> List[BinaryWord]:
+    """All binary words of length *n* with exactly *ones* one-entries."""
+    if ones < 0 or ones > n:
+        return []
+    from itertools import combinations
+
+    words = []
+    for positions in combinations(range(n), ones):
+        word = [0] * n
+        for p in positions:
+            word[p] = 1
+        words.append(tuple(word))
+    return words
+
+
+def binary_words_with_zero_count(n: int, zeros: int) -> List[BinaryWord]:
+    """All binary words of length *n* with exactly *zeros* zero-entries."""
+    return binary_words_with_weight(n, n - zeros)
+
+
+def word_rank(word: WordLike) -> int:
+    """Rank of a binary word in lexicographic order (MSB first)."""
+    rank = 0
+    for bit in check_binary(word):
+        rank = (rank << 1) | bit
+    return rank
+
+
+def word_from_rank(n: int, rank: int) -> BinaryWord:
+    """Inverse of :func:`word_rank` for words of length *n*."""
+    if rank < 0 or rank >= (1 << n):
+        raise ValueError(f"rank {rank} out of range for words of length {n}")
+    return tuple((rank >> (n - 1 - i)) & 1 for i in range(n))
+
+
+def dominates(lower: WordLike, upper: WordLike) -> bool:
+    """The partial order of Theorem 2.4: ``lower <= upper`` componentwise.
+
+    The paper proves that for any network ``H`` and binary words
+    ``sigma <= tau`` we have ``H(sigma) <= H(tau)``; this order is what makes
+    ``T_k^n`` a sufficient test set for ``(k, n)``-selection.
+    """
+    a, b = check_binary(lower), check_binary(upper)
+    if len(a) != len(b):
+        raise ValueError("words must have equal length to compare")
+    return all(x <= y for x, y in zip(a, b))
+
+
+def dominated_words(word: WordLike) -> List[BinaryWord]:
+    """All binary words ``<=`` *word* in the componentwise order.
+
+    Obtained by independently switching any subset of the 1-entries to 0,
+    so there are ``2 ** count_ones(word)`` of them (including *word* itself).
+    """
+    w = check_binary(word)
+    one_positions = [i for i, v in enumerate(w) if v == 1]
+    from itertools import combinations
+
+    results = []
+    for r in range(len(one_positions) + 1):
+        for subset in combinations(one_positions, r):
+            candidate = list(w)
+            for p in subset:
+                candidate[p] = 0
+            results.append(tuple(candidate))
+    return results
+
+
+def dominating_words(word: WordLike) -> List[BinaryWord]:
+    """All binary words ``>=`` *word* in the componentwise order."""
+    w = check_binary(word)
+    zero_positions_ = [i for i, v in enumerate(w) if v == 0]
+    from itertools import combinations
+
+    results = []
+    for r in range(len(zero_positions_) + 1):
+        for subset in combinations(zero_positions_, r):
+            candidate = list(w)
+            for p in subset:
+                candidate[p] = 1
+            results.append(tuple(candidate))
+    return results
+
+
+def complement_reverse(word: WordLike) -> BinaryWord:
+    """The involution ``phi``: reverse the word and complement every bit.
+
+    ``phi`` maps sorted words to sorted words and intertwines a network with
+    its dual: ``dual(H)(phi(x)) == phi(H(x))``.
+    """
+    w = check_binary(word)
+    return tuple(1 - v for v in reversed(w))
+
+
+def hamming_distance(a: WordLike, b: WordLike) -> int:
+    """Number of positions where the two words differ."""
+    wa, wb = as_word(a), as_word(b)
+    if len(wa) != len(wb):
+        raise ValueError("words must have equal length")
+    return sum(1 for x, y in zip(wa, wb) if x != y)
+
+
+def transposition_distance_to_sorted(word: WordLike) -> int:
+    """Minimum number of transpositions needed to sort a binary word.
+
+    For a binary word this equals the number of positions ``i <= zeros - 1``
+    (0-based: among the first ``|word|_0`` positions) holding a 1 — each such
+    misplaced 1 can be fixed by one swap with a misplaced 0.
+    """
+    w = check_binary(word)
+    zeros = count_zeros(w)
+    return sum(1 for v in w[:zeros] if v == 1)
+
+
+def is_one_transposition_from_sorted(word: WordLike) -> bool:
+    """Is *word* unsorted but sortable by exactly one transposition?
+
+    The paper observes that the Lemma 2.1 networks leave ``H_sigma(sigma)``
+    exactly one interchange away from sorted; this predicate is used to check
+    that observation empirically.
+    """
+    return transposition_distance_to_sorted(word) == 1
+
+
+def support(word: WordLike) -> Tuple[int, ...]:
+    """Positions (0-based) of the 1-entries."""
+    return tuple(i for i, v in enumerate(check_binary(word)) if v == 1)
+
+
+def zero_positions(word: WordLike) -> Tuple[int, ...]:
+    """Positions (0-based) of the 0-entries."""
+    return tuple(i for i, v in enumerate(check_binary(word)) if v == 0)
+
+
+def word_from_zero_positions(n: int, zeros: Iterable[int]) -> BinaryWord:
+    """Build the word of length *n* with zeros exactly at the given positions."""
+    zero_set = set(zeros)
+    if any(p < 0 or p >= n for p in zero_set):
+        raise ValueError(f"zero positions {sorted(zero_set)!r} out of range for n={n}")
+    return tuple(0 if i in zero_set else 1 for i in range(n))

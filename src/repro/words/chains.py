@@ -1,0 +1,291 @@
+"""Chain decompositions of the Boolean lattice.
+
+Theorem 2.2 (ii) and Theorem 2.4 (ii) rest on a classical combinatorial
+fact (Knuth, §6.5.1, Problem 1; attributed to Yao for the sorting case):
+the ``2^n`` binary words can be covered by exactly ``C(n, floor(n/2))``
+maximal chains of the dominance order, and — since the cover of a
+permutation *is* a maximal chain (:mod:`repro.words.covers`) — this yields a
+permutation test set of that size for sorting, which is optimal.
+
+This module implements:
+
+* the **symmetric chain decomposition** (SCD) of ``{0,1}^n`` via the
+  de Bruijn–Tengbergen–Kruyswijk / Greene–Kleitman bracket-matching rule;
+* extension of a symmetric chain to a maximal chain and hence to a covering
+  permutation;
+* the subfamily of ``C(n, k)`` chains that covers the top ``k+1`` levels of
+  the lattice (all words with at most ``k`` zeroes), which is exactly what
+  the ``(k, n)``-selector test set of Theorem 2.4 (ii) needs;
+* an independent minimum chain cover computed with bipartite matching
+  (networkx Hopcroft–Karp) between adjacent levels, used by the test suite
+  and the ablation benchmarks to cross-check the bracketing construction.
+
+Bracket-matching rule
+---------------------
+Read a word left to right, treating ``1`` as ``(`` and ``0`` as ``)``, and
+match brackets in the usual way.  Two words lie in the same symmetric chain
+iff they agree on all matched positions; within a chain, the unmatched
+positions always carry a sorted pattern ``0...01...1``, and moving up the
+chain turns the leftmost unmatched ``1``'s predecessor... more plainly: the
+chain members are obtained by letting the number of trailing 1s among the
+unmatched positions grow from 0 to ``r``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .._typing import BinaryWord, Permutation, WordLike
+from ..exceptions import TestSetError
+from .binary import all_binary_words, check_binary, count_ones
+from .covers import permutation_from_chain
+from .permutations import identity_permutation
+
+__all__ = [
+    "bracket_match",
+    "chain_lowest_member",
+    "chain_through",
+    "symmetric_chain_decomposition",
+    "extend_to_maximal_chain",
+    "scd_permutations",
+    "sorting_cover_permutations",
+    "selector_cover_permutations",
+    "minimum_chain_cover_via_matching",
+]
+
+
+def bracket_match(word: WordLike) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Match 1s (as ``(``) against 0s (as ``)``) left to right.
+
+    Returns ``(matched_pairs, unmatched_positions)`` where ``matched_pairs``
+    is a list of ``(one_position, zero_position)`` pairs and
+    ``unmatched_positions`` is the sorted list of positions left unmatched
+    (all unmatched 0s precede all unmatched 1s).
+    """
+    w = check_binary(word)
+    stack: List[int] = []
+    matched: List[Tuple[int, int]] = []
+    unmatched_zeros: List[int] = []
+    for index, bit in enumerate(w):
+        if bit == 1:
+            stack.append(index)
+        else:
+            if stack:
+                matched.append((stack.pop(), index))
+            else:
+                unmatched_zeros.append(index)
+    unmatched = unmatched_zeros + stack  # zeros (left) then ones (right)
+    return matched, sorted(unmatched)
+
+
+def chain_lowest_member(word: WordLike) -> BinaryWord:
+    """The minimum-weight member of the symmetric chain containing *word*.
+
+    Obtained by setting every unmatched position to 0; two words are in the
+    same chain iff they have the same lowest member, so this doubles as the
+    chain's canonical key.
+    """
+    w = list(check_binary(word))
+    _, unmatched = bracket_match(w)
+    for position in unmatched:
+        w[position] = 0
+    return tuple(w)
+
+
+def chain_through(word: WordLike) -> List[BinaryWord]:
+    """The full symmetric chain containing *word*, ordered by weight."""
+    w = check_binary(word)
+    base = list(chain_lowest_member(w))
+    _, unmatched = bracket_match(w)
+    chain = []
+    r = len(unmatched)
+    for ones in range(r + 1):
+        member = list(base)
+        # 1s occupy the last `ones` unmatched positions (keeping the
+        # unmatched subsequence sorted, which is what preserves the matching).
+        for position in unmatched[r - ones :]:
+            member[position] = 1
+        chain.append(tuple(member))
+    return chain
+
+
+def symmetric_chain_decomposition(n: int) -> List[List[BinaryWord]]:
+    """All symmetric chains of ``{0,1}^n``, each ordered by weight.
+
+    The number of chains is ``C(n, floor(n/2))`` and every word appears in
+    exactly one chain; both facts are asserted by the test suite.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        return [[()]]
+    seen: Set[BinaryWord] = set()
+    chains: List[List[BinaryWord]] = []
+    for word in all_binary_words(n):
+        key = chain_lowest_member(word)
+        if key in seen:
+            continue
+        seen.add(key)
+        chains.append(chain_through(key))
+    return chains
+
+
+def extend_to_maximal_chain(chain: Sequence[WordLike]) -> List[BinaryWord]:
+    """Extend a chain (consecutive weights, nested) to a maximal chain.
+
+    Below the chain's minimum-weight word, 1s are removed right to left;
+    above its maximum-weight word, 0s are filled in left to right.  Any
+    deterministic rule would do — the choice only affects which permutation
+    represents the chain, not the covering property.
+    """
+    members = [check_binary(w) for w in chain]
+    if not members:
+        raise TestSetError("cannot extend an empty chain")
+    n = len(members[0])
+    members = sorted(members, key=count_ones)
+    for lower, upper in zip(members, members[1:]):
+        if count_ones(upper) != count_ones(lower) + 1 or any(
+            a > b for a, b in zip(lower, upper)
+        ):
+            raise TestSetError("input is not a chain of consecutive weights")
+    full = list(members)
+    # Extend downward.
+    bottom = list(full[0])
+    while sum(bottom) > 0:
+        # remove the rightmost 1
+        for i in range(n - 1, -1, -1):
+            if bottom[i] == 1:
+                bottom[i] = 0
+                break
+        full.insert(0, tuple(bottom))
+    # Extend upward.
+    top = list(full[-1])
+    while sum(top) < n:
+        for i in range(n):
+            if top[i] == 0:
+                top[i] = 1
+                break
+        full.append(tuple(top))
+    return full
+
+
+def scd_permutations(n: int) -> List[Permutation]:
+    """One covering permutation per symmetric chain (``C(n, floor(n/2))`` of them).
+
+    Every binary word of length *n* is covered by at least one of the
+    returned permutations.  The chain through the sorted words corresponds to
+    the identity permutation, which is therefore always in the output.
+    """
+    perms = []
+    for chain in symmetric_chain_decomposition(n):
+        maximal = extend_to_maximal_chain(chain)
+        perms.append(permutation_from_chain(maximal))
+    return perms
+
+
+def sorting_cover_permutations(n: int, *, include_identity: bool = False) -> List[Permutation]:
+    """The Theorem 2.2 (ii) permutation test set for sorting.
+
+    ``C(n, floor(n/2)) - 1`` permutations whose covers contain every unsorted
+    binary word.  The identity permutation (whose cover is exactly the sorted
+    words) carries no information and is excluded unless
+    ``include_identity=True``.
+    """
+    identity = identity_permutation(n)
+    perms = scd_permutations(n)
+    if include_identity:
+        return perms
+    return [p for p in perms if p != identity]
+
+
+def selector_cover_permutations(
+    n: int, k: int, *, include_identity: bool = False
+) -> List[Permutation]:
+    """The Theorem 2.4 (ii) permutation test set for ``(k, n)``-selection.
+
+    Uses the ``C(n, min(k, floor(n/2)))`` symmetric chains whose span reaches
+    the top ``min(k, floor(n/2)) + 1`` levels of the lattice — equivalently
+    the chains whose minimum weight is at most ``min(k, floor(n/2))`` — and
+    extends each to a covering permutation.  Every word with at most ``k``
+    zeroes is covered.  Excluding the identity gives the paper's
+    ``C(n, min(floor(n/2), k)) - 1`` bound.
+    """
+    if k < 1 or k > n:
+        raise TestSetError(f"selector parameter k={k} out of range 1..{n}")
+    effective_k = min(k, n // 2)
+    identity = identity_permutation(n)
+    perms = []
+    for chain in symmetric_chain_decomposition(n):
+        min_weight = count_ones(chain[0])
+        if min_weight > effective_k:
+            continue
+        perms.append(permutation_from_chain(extend_to_maximal_chain(chain)))
+    if not include_identity:
+        perms = [p for p in perms if p != identity]
+    return perms
+
+
+def minimum_chain_cover_via_matching(n: int, max_zeros: int) -> List[List[BinaryWord]]:
+    """Minimum chain cover of the top levels of the lattice via bipartite matching.
+
+    Covers all words with at most *max_zeros* zeroes (weights ``n - max_zeros``
+    to ``n``) using chains built from maximum matchings between adjacent
+    levels (Hopcroft–Karp, via networkx).  By the normalized-matching
+    property of the Boolean lattice the result uses exactly
+    ``C(n, max_zeros)`` chains when ``max_zeros <= n/2``; the test suite
+    checks this against the bracketing construction.
+
+    This exists as an independent construction for cross-validation and for
+    the ablation benchmark (bracketing is near-linear per word; matching is
+    polynomial in the level sizes but conceptually simpler).
+    """
+    import networkx as nx
+
+    from .binary import binary_words_with_zero_count
+
+    if max_zeros < 0 or max_zeros > n // 2:
+        raise TestSetError(
+            f"max_zeros={max_zeros} out of range 0..floor(n/2)={n // 2}; the "
+            "matching-based construction only handles the monotone range "
+            "(use the bracketing construction beyond it)"
+        )
+
+    levels: Dict[int, List[BinaryWord]] = {
+        z: binary_words_with_zero_count(n, z) for z in range(max_zeros + 1)
+    }
+    # parent[w] = a word with one more zero (one level "down" in weight) that
+    # precedes w in its chain.  Every word with fewer than max_zeros zeroes
+    # gets a parent, which is what keeps the chain count at C(n, max_zeros).
+    parent: Dict[BinaryWord, BinaryWord] = {}
+    for zeros in range(0, max_zeros):
+        small = levels[zeros]          # fewer zeros: C(n, zeros) words
+        large = levels[zeros + 1]      # more zeros:  C(n, zeros + 1) words
+        graph = nx.Graph()
+        small_nodes = [("S", w) for w in small]
+        large_nodes = [("L", w) for w in large]
+        graph.add_nodes_from(small_nodes, bipartite=0)
+        graph.add_nodes_from(large_nodes, bipartite=1)
+        for w in small:
+            for i, bit in enumerate(w):
+                if bit == 1:
+                    neighbour = w[:i] + (0,) + w[i + 1 :]
+                    graph.add_edge(("S", w), ("L", neighbour))
+        matching = nx.bipartite.maximum_matching(graph, top_nodes=small_nodes)
+        for w in small:
+            partner = matching.get(("S", w))
+            if partner is None:
+                raise TestSetError(
+                    "maximum matching failed to saturate a level; "
+                    "this contradicts the normalized matching property"
+                )
+            parent[w] = partner[1]
+    # Invert the parent map: each word has at most one child (matchings are
+    # injective), so chains are paths from a max_zeros word upward in weight.
+    child: Dict[BinaryWord, BinaryWord] = {p: w for w, p in parent.items()}
+    chains: List[List[BinaryWord]] = []
+    for word in levels[max_zeros]:
+        chain = [word]
+        while chain[-1] in child:
+            chain.append(child[chain[-1]])
+        chains.append(chain)
+    return chains

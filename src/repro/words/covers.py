@@ -1,0 +1,239 @@
+"""Covering sets: the bridge between permutation inputs and 0/1 inputs.
+
+For a permutation ``pi`` of ``0..n-1`` the paper defines its *cover* as the
+set of binary words obtained by replacing the ``t`` largest values by 1 and
+everything else by 0, for every ``t = 0..n``.  For example (paper, §2) the
+cover of ``(3 1 4 2)`` — in our 0-based notation ``(2, 0, 3, 1)`` — is::
+
+    1111, 1011, 1010, 0010, 0000
+
+The cover of a *set* of permutations is the union of the individual covers.
+The key facts reproduced here:
+
+* a set of permutations ``P`` can only be a test set for a property if its
+  cover is a test set for the 0/1-input version of the property (Theorem 2.2
+  and 2.4 lower bounds);
+* conversely, ``P`` *is* a test set whenever its cover is one (because, by
+  Floyd's lemma, the multiset of 0/1 outputs of a network is determined by
+  its permutation outputs and vice versa);
+* a single permutation's cover contains at most one word of each weight, so
+  no permutation can cover two *distinct* words of the same weight — this is
+  the antichain argument behind the `C(n, floor(n/2)) - 1` lower bound.
+
+Covers of a permutation form a maximal chain in the dominance order on
+``{0,1}^n`` (ordered by componentwise ``<=``); conversely every maximal chain
+arises from exactly one permutation.  The chain-decomposition constructions
+in :mod:`repro.words.chains` exploit this correspondence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .._typing import BinaryWord, Permutation, WordLike
+from ..exceptions import TestSetError
+from .binary import check_binary, count_ones, is_sorted_word
+from .permutations import check_permutation, invert_permutation
+
+__all__ = [
+    "cover_word",
+    "cover_of_permutation",
+    "cover_of_permutation_set",
+    "permutation_covers",
+    "permutation_from_chain",
+    "chain_of_permutation",
+    "find_covering_permutation",
+    "no_permutation_covers_both",
+    "is_cover_test_set_for_sorting",
+    "uncovered_words",
+]
+
+
+def cover_word(perm: WordLike, t: int) -> BinaryWord:
+    """The cover word of *perm* at level *t*: 1 at positions holding the *t* largest values.
+
+    ``t = 0`` gives the all-zero word, ``t = n`` the all-one word.
+    """
+    p = check_permutation(perm)
+    n = len(p)
+    if t < 0 or t > n:
+        raise ValueError(f"level t={t} out of range 0..{n}")
+    threshold = n - t
+    return tuple(1 if value >= threshold else 0 for value in p)
+
+
+def cover_of_permutation(perm: WordLike) -> List[BinaryWord]:
+    """The full cover of *perm*: one word per level ``t = 0..n`` (n+1 words)."""
+    p = check_permutation(perm)
+    return [cover_word(p, t) for t in range(len(p) + 1)]
+
+
+def cover_of_permutation_set(perms: Iterable[WordLike]) -> Set[BinaryWord]:
+    """Union of the covers of all permutations in *perms*."""
+    covered: Set[BinaryWord] = set()
+    for perm in perms:
+        covered.update(cover_of_permutation(perm))
+    return covered
+
+
+def permutation_covers(perm: WordLike, word: WordLike) -> bool:
+    """Does the cover of *perm* contain the binary word *word*?
+
+    Equivalent to: the positions of the 1s in *word* are exactly the
+    positions holding the ``|word|_1`` largest values of *perm*.
+    """
+    w = check_binary(word)
+    p = check_permutation(perm)
+    if len(w) != len(p):
+        raise ValueError("permutation and word must have equal length")
+    return cover_word(p, count_ones(w)) == w
+
+
+def chain_of_permutation(perm: WordLike) -> List[BinaryWord]:
+    """Alias of :func:`cover_of_permutation` emphasising the chain structure.
+
+    The returned words form a maximal chain ``0^n < ... < 1^n`` in the
+    dominance order: each word is obtained from the previous one by turning a
+    single 0 into a 1 (namely at the position holding the next largest value
+    of *perm*).
+    """
+    return cover_of_permutation(perm)
+
+
+def permutation_from_chain(chain: Sequence[WordLike]) -> Permutation:
+    """Recover the unique permutation whose cover is the given maximal chain.
+
+    *chain* must contain ``n + 1`` binary words of weights ``0, 1, ..., n``
+    (in any order); consecutive weights must differ in exactly one position.
+    The position that flips between weight ``t-1`` and weight ``t`` holds the
+    ``t``-th largest value, i.e. value ``n - t``.
+    """
+    words = [check_binary(w) for w in chain]
+    if not words:
+        raise TestSetError("empty chain")
+    n = len(words[0])
+    by_weight: Dict[int, BinaryWord] = {}
+    for w in words:
+        if len(w) != n:
+            raise TestSetError("chain words must all have the same length")
+        weight = count_ones(w)
+        if weight in by_weight and by_weight[weight] != w:
+            raise TestSetError(
+                f"two distinct words of weight {weight} cannot lie on one chain"
+            )
+        by_weight[weight] = w
+    if sorted(by_weight) != list(range(n + 1)):
+        raise TestSetError(
+            "a maximal chain must contain exactly one word of each weight 0..n"
+        )
+    perm = [None] * n
+    for t in range(1, n + 1):
+        previous, current = by_weight[t - 1], by_weight[t]
+        flipped = [i for i in range(n) if previous[i] != current[i]]
+        if len(flipped) != 1 or current[flipped[0]] != 1:
+            raise TestSetError(
+                f"words of weight {t - 1} and {t} do not differ by a single 0->1 flip"
+            )
+        perm[flipped[0]] = n - t
+    return tuple(perm)  # type: ignore[arg-type]
+
+
+def find_covering_permutation(words: Iterable[WordLike]) -> Optional[Permutation]:
+    """Find a permutation covering *all* the given binary words, if one exists.
+
+    The words must be pairwise comparable in the dominance order (they must
+    form a chain); otherwise no permutation covers them all and ``None`` is
+    returned.  When they do form a chain, the chain is extended greedily to a
+    maximal chain and the corresponding permutation returned.
+    """
+    word_list = [check_binary(w) for w in words]
+    if not word_list:
+        return None
+    n = len(word_list[0])
+    if any(len(w) != n for w in word_list):
+        raise ValueError("all words must have the same length")
+    # Distinct words of the same weight can never be covered together.
+    by_weight: Dict[int, BinaryWord] = {}
+    for w in word_list:
+        weight = count_ones(w)
+        if weight in by_weight and by_weight[weight] != w:
+            return None
+        by_weight[weight] = w
+    # They must form a chain under dominance.
+    ordered = [by_weight[weight] for weight in sorted(by_weight)]
+    for smaller, larger in zip(ordered, ordered[1:]):
+        if any(s > l for s, l in zip(smaller, larger)):
+            return None
+    # Greedily extend to a maximal chain: walk the weights 0..n, flipping one
+    # 0 to 1 at a time, always choosing a flip compatible with the next
+    # constrained word.
+    chain: List[BinaryWord] = [tuple([0] * n)]
+    for weight in range(1, n + 1):
+        current = list(chain[-1])
+        # The next constrained word at weight >= `weight`, if any, limits
+        # which positions may be turned on.
+        constraint = None
+        for w_weight in sorted(by_weight):
+            if w_weight >= weight:
+                constraint = by_weight[w_weight]
+                break
+        candidates = [
+            i
+            for i in range(n)
+            if current[i] == 0 and (constraint is None or constraint[i] == 1)
+        ]
+        if not candidates:
+            # The constraint word has fewer free 1-positions than needed;
+            # fall back to any free position (can only happen when the
+            # constraint is already satisfied).
+            candidates = [i for i in range(n) if current[i] == 0]
+        flip = candidates[0]
+        current[flip] = 1
+        candidate_word = tuple(current)
+        if weight in by_weight and by_weight[weight] != candidate_word:
+            # Must hit the constrained word exactly at its weight.
+            candidate_word = by_weight[weight]
+            if any(
+                candidate_word[i] < chain[-1][i] for i in range(n)
+            ):  # pragma: no cover - defensive, chain property already checked
+                return None
+        chain.append(candidate_word)
+    return permutation_from_chain(chain)
+
+
+def no_permutation_covers_both(word_a: WordLike, word_b: WordLike) -> bool:
+    """The antichain fact used in the Theorem 2.2/2.4/2.5 lower bounds.
+
+    Returns ``True`` when no single permutation covers both words.  For two
+    *distinct* words of equal weight this is always ``True``; in general it
+    holds exactly when the words are incomparable under dominance or have the
+    same weight but differ.
+    """
+    a, b = check_binary(word_a), check_binary(word_b)
+    if a == b:
+        return False
+    return find_covering_permutation([a, b]) is None
+
+
+def is_cover_test_set_for_sorting(perms: Iterable[WordLike]) -> bool:
+    """Does the cover of *perms* contain every unsorted binary word?
+
+    By the zero–one principle plus Floyd's lemma this is equivalent to the
+    permutation set being a test set for the sorting property.
+    """
+    perm_list = [check_permutation(p) for p in perms]
+    if not perm_list:
+        return False
+    n = len(perm_list[0])
+    covered = cover_of_permutation_set(perm_list)
+    from .binary import unsorted_binary_words
+
+    return all(w in covered for w in unsorted_binary_words(n))
+
+
+def uncovered_words(perms: Iterable[WordLike], n: int) -> List[BinaryWord]:
+    """Unsorted binary words of length *n* not covered by any given permutation."""
+    covered = cover_of_permutation_set(perms)
+    from .binary import unsorted_binary_words
+
+    return [w for w in unsorted_binary_words(n) if w not in covered]

@@ -1,0 +1,182 @@
+"""Permutation utilities.
+
+The paper's second input model feeds a network permutations of
+``(1 2 ... n)``.  Internally the library uses 0-based values, i.e.
+permutations of ``0..n-1`` in one-line notation: ``perm[i]`` is the value
+entering line ``i``.  Conversion helpers to and from the paper's 1-based
+notation are provided for display purposes.
+
+The covering-set machinery that connects the two input models lives in
+:mod:`repro.words.covers`.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations as _itertools_permutations
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._typing import Permutation, WordLike, as_word
+from ..exceptions import NotAPermutationError
+
+__all__ = [
+    "check_permutation",
+    "is_permutation",
+    "identity_permutation",
+    "reverse_permutation",
+    "all_permutations",
+    "random_permutation",
+    "invert_permutation",
+    "compose_permutations",
+    "apply_permutation_to_positions",
+    "permutation_from_one_based",
+    "permutation_to_one_based",
+    "permutation_from_priority_order",
+    "inversions",
+    "is_sorted_permutation",
+    "num_permutations",
+]
+
+
+def check_permutation(perm: WordLike) -> Permutation:
+    """Validate that *perm* is a permutation of ``0..n-1`` and return a tuple."""
+    p = as_word(perm)
+    n = len(p)
+    seen = [False] * n
+    for value in p:
+        if value < 0 or value >= n or seen[value]:
+            raise NotAPermutationError(
+                f"{p!r} is not a permutation of 0..{n - 1}"
+            )
+        seen[value] = True
+    return p
+
+
+def is_permutation(perm: WordLike) -> bool:
+    """Return ``True`` if *perm* is a permutation of ``0..n-1``."""
+    try:
+        check_permutation(perm)
+    except NotAPermutationError:
+        return False
+    return True
+
+
+def identity_permutation(n: int) -> Permutation:
+    """The identity permutation ``(0, 1, ..., n-1)`` — the sorted input."""
+    return tuple(range(n))
+
+
+def reverse_permutation(n: int) -> Permutation:
+    """The reverse permutation ``(n-1, ..., 1, 0)``.
+
+    Section 3 (citing de Bruijn) notes that a *primitive* (height-1) network
+    is a sorter if and only if it sorts this single input.
+    """
+    return tuple(range(n - 1, -1, -1))
+
+
+def all_permutations(n: int) -> Iterator[Permutation]:
+    """Yield all ``n!`` permutations of ``0..n-1`` in lexicographic order."""
+    for p in _itertools_permutations(range(n)):
+        yield p
+
+
+def num_permutations(n: int) -> int:
+    """``n!`` — the size of the exhaustive permutation test."""
+    import math
+
+    return math.factorial(n)
+
+
+def random_permutation(
+    n: int, rng: Union[int, np.random.Generator, None] = None
+) -> Permutation:
+    """A uniformly random permutation of ``0..n-1``."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    return tuple(int(v) for v in gen.permutation(n))
+
+
+def invert_permutation(perm: WordLike) -> Permutation:
+    """The inverse permutation: ``inv[perm[i]] == i``.
+
+    Knuth's construction of the permutation test sets (Problem 1 of §6.5.1,
+    used in Theorem 2.4) produces a family ``B(n, k)`` of permutations and
+    then takes their *inverses*; this helper implements that step.
+    """
+    p = check_permutation(perm)
+    inverse = [0] * len(p)
+    for position, value in enumerate(p):
+        inverse[value] = position
+    return tuple(inverse)
+
+
+def compose_permutations(outer: WordLike, inner: WordLike) -> Permutation:
+    """Composition ``(outer ∘ inner)(i) = outer[inner[i]]``."""
+    a = check_permutation(outer)
+    b = check_permutation(inner)
+    if len(a) != len(b):
+        raise NotAPermutationError("cannot compose permutations of different sizes")
+    return tuple(a[b[i]] for i in range(len(a)))
+
+
+def apply_permutation_to_positions(perm: WordLike, word: WordLike) -> Tuple[int, ...]:
+    """Rearrange *word* so that output position ``i`` receives ``word[perm[i]]``."""
+    p = check_permutation(perm)
+    w = as_word(word)
+    if len(p) != len(w):
+        raise ValueError("permutation and word must have equal length")
+    return tuple(w[p[i]] for i in range(len(p)))
+
+
+def permutation_from_one_based(values: Sequence[int]) -> Permutation:
+    """Convert the paper's 1-based notation, e.g. ``(4 1 3 2)`` → ``(3, 0, 2, 1)``."""
+    return check_permutation(tuple(v - 1 for v in values))
+
+
+def permutation_to_one_based(perm: WordLike) -> Tuple[int, ...]:
+    """Convert back to the paper's 1-based display notation."""
+    return tuple(v + 1 for v in check_permutation(perm))
+
+
+def permutation_from_priority_order(order: Sequence[int]) -> Permutation:
+    """Build the permutation whose *smallest* values sit at the given positions.
+
+    ``order`` lists all ``n`` line indices; the line listed first receives
+    value 0, the next value 1, and so on.  This is the natural way to turn a
+    chain of subsets (``{} ⊂ {i1} ⊂ {i1,i2} ⊂ ...``) into a permutation whose
+    covers are exactly the indicator words of the chain's complements; the
+    chain-cover constructions in :mod:`repro.words.chains` rely on it.
+    """
+    order = list(order)
+    n = len(order)
+    if sorted(order) != list(range(n)):
+        raise NotAPermutationError(
+            f"{order!r} must list every line index 0..{n - 1} exactly once"
+        )
+    perm = [0] * n
+    for value, position in enumerate(order):
+        perm[position] = value
+    return tuple(perm)
+
+
+def inversions(perm: WordLike) -> int:
+    """Number of inversions of *perm* (pairs out of order).
+
+    A primitive (height-1) sorting network must contain at least this many
+    comparators to sort *perm*; the reverse permutation maximises it at
+    ``n(n-1)/2``.
+    """
+    p = check_permutation(perm)
+    count = 0
+    for i in range(len(p)):
+        for j in range(i + 1, len(p)):
+            if p[i] > p[j]:
+                count += 1
+    return count
+
+
+def is_sorted_permutation(perm: WordLike) -> bool:
+    """``True`` exactly for the identity permutation."""
+    p = check_permutation(perm)
+    return all(p[i] == i for i in range(len(p)))

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constructions import (
+    batcher_sorting_network,
+    bubble_sorting_network,
+    optimal_sorting_network,
+)
+from repro.core import ComparatorNetwork
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by randomised tests."""
+    return np.random.default_rng(20260614)
+
+
+@pytest.fixture
+def fig1_network() -> ComparatorNetwork:
+    """The paper's Fig. 1 network ``[1,3][2,4][1,2][3,4]`` (0-indexed here)."""
+    return ComparatorNetwork.from_pairs(4, [(0, 2), (1, 3), (0, 1), (2, 3)])
+
+
+@pytest.fixture
+def four_sorter() -> ComparatorNetwork:
+    """The optimal 5-comparator sorting network on 4 lines."""
+    return optimal_sorting_network(4)
+
+
+@pytest.fixture
+def batcher8() -> ComparatorNetwork:
+    """Batcher's odd-even merge-sort on 8 lines."""
+    return batcher_sorting_network(8)
+
+
+@pytest.fixture
+def bubble5() -> ComparatorNetwork:
+    """Bubble-sort (primitive) network on 5 lines."""
+    return bubble_sorting_network(5)
+
+
+@pytest.fixture
+def non_sorter_4() -> ComparatorNetwork:
+    """A 4-line network that is not a sorter (missing final exchange)."""
+    return ComparatorNetwork.from_pairs(4, [(0, 2), (1, 3), (0, 1), (2, 3)])

@@ -1,0 +1,168 @@
+"""Unit tests for the Lemma 2.1 adversary construction (the paper's core lemma)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import bubble_sorting_network
+from repro.exceptions import AdversaryError
+from repro.properties import is_selector, is_sorter
+from repro.testsets import (
+    brute_force_near_sorter,
+    failing_inputs,
+    near_merger,
+    near_selector,
+    near_sorter,
+    near_sorter_table,
+    one_interchange_observation_holds,
+    sorts_exactly_all_but,
+    verify_near_sorter,
+)
+from repro.words import count_zeros, unsorted_binary_words
+
+
+class TestLemma21Exhaustive:
+    """The heart of the reproduction: H_sigma sorts everything except sigma."""
+
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_every_adversary_fails_exactly_on_its_word(self, n):
+        for sigma in unsorted_binary_words(n):
+            network = near_sorter(sigma)
+            assert sorts_exactly_all_but(network, sigma), sigma
+
+    @pytest.mark.parametrize("n", range(2, 8))
+    def test_one_interchange_observation(self, n):
+        """The paper's remark: H_sigma(sigma) is one interchange from sorted."""
+        for sigma in unsorted_binary_words(n):
+            assert one_interchange_observation_holds(sigma)
+
+    @pytest.mark.parametrize("n", range(3, 8))
+    def test_adversaries_are_standard_networks(self, n):
+        for sigma in unsorted_binary_words(n)[::3]:
+            assert near_sorter(sigma).standard
+
+    def test_base_case_n2(self):
+        network = near_sorter((1, 0))
+        assert network.size == 0
+        assert sorts_exactly_all_but(network, (1, 0))
+
+
+class TestAdversaryInterface:
+    def test_sorted_word_rejected(self):
+        with pytest.raises(AdversaryError):
+            near_sorter((0, 0, 1, 1))
+
+    def test_non_binary_word_rejected(self):
+        from repro.exceptions import NotBinaryError
+
+        with pytest.raises(NotBinaryError):
+            near_sorter((0, 2, 1))
+
+    def test_verify_near_sorter_accepts_valid(self):
+        sigma = (0, 1, 0, 1)
+        verify_near_sorter(sigma, near_sorter(sigma))  # must not raise
+
+    def test_verify_near_sorter_rejects_sorters(self, four_sorter):
+        with pytest.raises(AdversaryError):
+            verify_near_sorter((1, 0, 1, 0), four_sorter)
+
+    def test_failing_inputs_of_a_near_sorter_is_singleton(self):
+        sigma = (1, 1, 0, 1, 0)
+        assert failing_inputs(near_sorter(sigma)) == [sigma]
+
+    def test_failing_inputs_of_a_sorter_is_empty(self, batcher8):
+        assert failing_inputs(batcher8) == []
+
+    def test_table_covers_every_unsorted_word(self):
+        table = near_sorter_table(4)
+        assert set(table) == set(unsorted_binary_words(4))
+        for sigma, network in table.items():
+            assert sorts_exactly_all_but(network, sigma)
+
+    def test_custom_sorter_factory(self):
+        sigma = (0, 1, 1, 0, 1, 0)
+        network = near_sorter(sigma, sorter_factory=bubble_sorting_network)
+        assert sorts_exactly_all_but(network, sigma)
+
+    def test_adversary_is_not_a_sorter_but_almost(self):
+        sigma = (0, 1, 0, 1, 1, 0)
+        adversary = near_sorter(sigma)
+        assert not is_sorter(adversary, strategy="binary")
+        # It sorts every *other* unsorted word.
+        others = [w for w in unsorted_binary_words(6) if w != sigma]
+        from repro.properties import sorts_all_words
+
+        assert sorts_all_words(adversary, others)
+
+
+class TestLemma23SelectorAdversaries:
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (5, 2), (6, 3)])
+    def test_adversary_defeats_selection_only_on_sigma(self, n, k):
+        from repro.testsets import selector_binary_test_set
+
+        for sigma in selector_binary_test_set(n, k):
+            adversary = near_selector(sigma, k)
+            assert not is_selector(adversary, k, strategy="binary")
+            # It selects correctly on every other word of T_k.
+            from repro.properties import selects_correctly
+
+            for other in selector_binary_test_set(n, k):
+                if other != sigma:
+                    assert selects_correctly(adversary, k, other)
+
+    def test_rejects_words_with_too_many_zeros(self):
+        with pytest.raises(AdversaryError):
+            near_selector((0, 0, 1, 0), 1)  # three zeros > k=1
+
+
+class TestTheorem25MergerAdversaries:
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_adversary_defeats_merging_only_on_sigma(self, n):
+        from repro.properties import is_merger, merges_correctly
+        from repro.testsets import merging_binary_test_set
+
+        for sigma in merging_binary_test_set(n):
+            adversary = near_merger(sigma)
+            assert not is_merger(adversary, strategy="binary")
+            for other in merging_binary_test_set(n):
+                if other != sigma:
+                    assert merges_correctly(adversary, other)
+
+    def test_rejects_inputs_without_sorted_halves(self):
+        with pytest.raises(AdversaryError):
+            near_merger((1, 0, 0, 1))
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(AdversaryError):
+            near_merger((1, 0, 1))
+
+
+class TestBruteForceSearch:
+    def test_brute_force_finds_the_fig2_networks(self):
+        # Every unsorted word of length 3 admits a 2-comparator near-sorter.
+        for sigma in unsorted_binary_words(3):
+            network = brute_force_near_sorter(sigma, max_size=2)
+            assert network is not None
+            assert network.size <= 2
+            assert sorts_exactly_all_but(network, sigma)
+
+    def test_brute_force_respects_budget(self):
+        # With a budget of 0 comparators only sigma = 10...0-style words on
+        # two lines admit a (trivial) near-sorter.
+        assert brute_force_near_sorter((1, 0), max_size=0) is not None
+        assert brute_force_near_sorter((0, 1, 0), max_size=0) is None
+
+    def test_brute_force_rejects_sorted_words(self):
+        with pytest.raises(AdversaryError):
+            brute_force_near_sorter((0, 1, 1))
+
+    def test_brute_force_agrees_with_recursive_construction(self):
+        # For n=4 the smallest near-sorters need 5 comparators (as many as an
+        # optimal sorter!), so give the search a budget of 5 and check only a
+        # couple of words to keep the test fast.
+        for sigma in [(0, 0, 1, 0), (1, 0, 1, 1)]:
+            brute = brute_force_near_sorter(sigma, max_size=5)
+            assert brute is not None
+            assert brute.size == 5
+            assert sorts_exactly_all_but(brute, sigma)
+            assert sorts_exactly_all_but(near_sorter(sigma), sigma)

@@ -1,0 +1,205 @@
+"""Unit tests for the builder, layer decomposition, serialisation and diagrams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Comparator,
+    ComparatorNetwork,
+    NetworkBuilder,
+    decompose_into_layers,
+    network_depth,
+    network_from_dict,
+    network_from_json,
+    network_from_knuth,
+    network_from_layers,
+    network_to_dict,
+    network_to_json,
+    network_to_knuth,
+    render_network,
+    render_trace,
+)
+from repro.exceptions import (
+    InvalidComparatorError,
+    LineCountError,
+    SerializationError,
+)
+
+
+class TestBuilder:
+    def test_compare_and_build(self):
+        net = NetworkBuilder(4).compare(0, 2).compare(1, 3).build()
+        assert net.size == 2
+        assert net.n_lines == 4
+
+    def test_compare_many(self):
+        net = NetworkBuilder(3).compare_many([(0, 1), (1, 2)]).build()
+        assert net.size == 2
+
+    def test_out_of_range_comparator_rejected(self):
+        with pytest.raises(InvalidComparatorError):
+            NetworkBuilder(3).compare(0, 3)
+
+    def test_append_network_same_width(self, four_sorter):
+        net = NetworkBuilder(4).append_network(four_sorter).build()
+        assert net == four_sorter
+
+    def test_append_network_wrong_width_raises(self, four_sorter):
+        with pytest.raises(LineCountError):
+            NetworkBuilder(5).append_network(four_sorter)
+
+    def test_append_on_lines_embeds(self):
+        gadget = ComparatorNetwork.from_pairs(2, [(0, 1)])
+        net = NetworkBuilder(5).append_on_lines(gadget, [1, 4]).build()
+        assert net.comparators[0] == Comparator(1, 4)
+
+    def test_append_on_range(self):
+        gadget = ComparatorNetwork.from_pairs(2, [(0, 1)])
+        net = NetworkBuilder(5).append_on_range(gadget, 2).build()
+        assert net.comparators[0] == Comparator(2, 3)
+
+    def test_sort_range_appends_a_sorter(self):
+        from repro.properties import sorts_all_words
+        from repro.words import all_binary_words
+
+        net = NetworkBuilder(5).sort_range(1, 5).build()
+        # Lines 1..4 end up sorted for every input.
+        for word in all_binary_words(5):
+            output = net.apply(word)
+            assert list(output[1:]) == sorted(output[1:])
+
+    def test_sort_range_empty_is_noop(self):
+        assert NetworkBuilder(4).sort_range(2, 3).build().size == 0
+
+    def test_sort_range_out_of_bounds_raises(self):
+        with pytest.raises(LineCountError):
+            NetworkBuilder(4).sort_range(0, 5)
+
+    def test_sort_lines_non_contiguous(self):
+        net = NetworkBuilder(6).sort_lines([0, 2, 5]).build()
+        for comp in net:
+            assert comp.low in (0, 2, 5) and comp.high in (0, 2, 5)
+
+    def test_len_and_size(self):
+        builder = NetworkBuilder(3).compare(0, 1)
+        assert len(builder) == 1
+        assert builder.size == 1
+
+
+class TestLayers:
+    def test_depth_of_empty_network(self):
+        assert network_depth(ComparatorNetwork.identity(4)) == 0
+
+    def test_fig1_depth(self, fig1_network):
+        assert fig1_network.depth == 2
+
+    def test_layers_partition_comparators(self, batcher8):
+        layers = decompose_into_layers(batcher8)
+        assert sum(len(layer) for layer in layers) == batcher8.size
+        assert len(layers) == batcher8.depth
+
+    def test_layers_have_no_line_conflicts(self, batcher8):
+        for layer in decompose_into_layers(batcher8):
+            used = set()
+            for comp in layer:
+                assert comp.low not in used and comp.high not in used
+                used.update(comp.lines)
+
+    def test_layer_flattening_preserves_behaviour(self, batcher8):
+        from repro.words import all_binary_words
+
+        rebuilt = network_from_layers(8, decompose_into_layers(batcher8))
+        for word in list(all_binary_words(8))[::7]:
+            assert rebuilt.apply(word) == batcher8.apply(word)
+
+    def test_network_from_layers_rejects_conflicts(self):
+        with pytest.raises(ValueError):
+            network_from_layers(3, [[Comparator(0, 1), Comparator(1, 2)]])
+
+    def test_sequential_chain_has_depth_equal_to_size(self):
+        net = ComparatorNetwork.from_pairs(3, [(0, 1), (1, 2), (0, 1), (1, 2)])
+        assert net.depth == net.size
+
+
+class TestKnuthNotation:
+    def test_round_trip(self, fig1_network):
+        text = network_to_knuth(fig1_network)
+        assert text == "[1,3][2,4][1,2][3,4]"
+        assert network_from_knuth(4, text) == fig1_network
+
+    def test_whitespace_tolerated(self):
+        net = network_from_knuth(3, " [1,2]  [2,3] ")
+        assert net.size == 2
+
+    def test_reversed_comparators_round_trip(self):
+        net = ComparatorNetwork(3, [Comparator(0, 2, reversed=True)])
+        text = network_to_knuth(net)
+        assert text == "~[1,3]"
+        assert network_from_knuth(3, text) == net
+
+    def test_larger_first_endpoint_means_reversed(self):
+        net = network_from_knuth(3, "[3,1]")
+        assert net.comparators[0] == Comparator(0, 2, reversed=True)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_knuth(3, "[1,4]")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_knuth(3, "[1,2]nonsense")
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_knuth(3, "[2,2]")
+
+
+class TestJsonSerialisation:
+    def test_dict_round_trip(self, batcher8):
+        assert network_from_dict(network_to_dict(batcher8)) == batcher8
+
+    def test_json_round_trip(self, fig1_network):
+        assert network_from_json(network_to_json(fig1_network)) == fig1_network
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"format": "something-else"})
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_dict(
+                {
+                    "format": "repro.comparator_network",
+                    "version": 1,
+                    "n_lines": 3,
+                    "comparators": [{"low": 0}],
+                }
+            )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_json("{not json")
+
+    def test_network_methods_delegate(self, fig1_network):
+        assert ComparatorNetwork.from_dict(fig1_network.to_dict()) == fig1_network
+        assert ComparatorNetwork.from_knuth(4, fig1_network.to_knuth()) == fig1_network
+
+
+class TestDiagram:
+    def test_render_contains_all_lines(self, fig1_network):
+        text = render_network(fig1_network)
+        for i in range(4):
+            assert f"line {i}" in text
+
+    def test_render_with_input_annotations(self, four_sorter):
+        text = render_network(four_sorter, input_word=(4, 1, 3, 2))
+        assert "4" in text and "1" in text
+
+    def test_render_trace_mentions_each_comparator(self, fig1_network):
+        text = render_trace(fig1_network, (4, 1, 3, 2))
+        assert text.count("-->") == fig1_network.size
+
+    def test_render_trace_empty_network(self):
+        text = render_trace(ComparatorNetwork.identity(3), (1, 2, 3))
+        assert "empty network" in text

@@ -1,0 +1,172 @@
+"""Unit tests for :mod:`repro.words.chains` (symmetric chain decompositions)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import TestSetError
+from repro.words import (
+    all_binary_words,
+    binary_words_with_zero_count,
+    bracket_match,
+    chain_lowest_member,
+    chain_through,
+    count_ones,
+    cover_of_permutation_set,
+    dominates,
+    extend_to_maximal_chain,
+    identity_permutation,
+    is_sorted_word,
+    minimum_chain_cover_via_matching,
+    scd_permutations,
+    selector_cover_permutations,
+    sorting_cover_permutations,
+    symmetric_chain_decomposition,
+    unsorted_binary_words,
+)
+
+
+class TestBracketMatching:
+    def test_simple_match(self):
+        matched, unmatched = bracket_match((1, 0))
+        assert matched == [(0, 1)]
+        assert unmatched == []
+
+    def test_all_zeros_all_unmatched(self):
+        matched, unmatched = bracket_match((0, 0, 0))
+        assert matched == []
+        assert unmatched == [0, 1, 2]
+
+    def test_unmatched_zeros_precede_unmatched_ones(self):
+        _, unmatched = bracket_match((0, 1, 1, 0, 1))
+        # positions: 0 (unmatched zero), then the unmatched ones.
+        values_in_order = [(0, 1, 1, 0, 1)[i] for i in unmatched]
+        assert values_in_order == sorted(values_in_order)
+
+
+class TestSymmetricChains:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_chain_count_is_central_binomial(self, n):
+        chains = symmetric_chain_decomposition(n)
+        assert len(chains) == math.comb(n, n // 2)
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_chains_partition_the_cube(self, n):
+        chains = symmetric_chain_decomposition(n)
+        words = [w for chain in chains for w in chain]
+        assert len(words) == 2**n
+        assert len(set(words)) == 2**n
+
+    @pytest.mark.parametrize("n", range(2, 8))
+    def test_chains_are_symmetric_and_consecutive(self, n):
+        for chain in symmetric_chain_decomposition(n):
+            weights = [count_ones(w) for w in chain]
+            assert weights == list(range(weights[0], weights[-1] + 1))
+            assert weights[0] + weights[-1] == n
+
+    @pytest.mark.parametrize("n", range(2, 8))
+    def test_chains_are_chains_in_dominance_order(self, n):
+        for chain in symmetric_chain_decomposition(n):
+            for lower, upper in zip(chain, chain[1:]):
+                assert dominates(lower, upper)
+
+    def test_chain_through_and_lowest_member_consistent(self):
+        word = (0, 1, 1, 0, 1, 0)
+        chain = chain_through(word)
+        assert word in chain
+        assert chain[0] == chain_lowest_member(word)
+
+    def test_sorted_words_form_one_chain(self):
+        chain = chain_through((0,) * 5)
+        assert all(is_sorted_word(w) for w in chain)
+        assert len(chain) == 6
+
+
+class TestMaximalChainExtension:
+    def test_extension_has_all_weights(self):
+        chain = [(0, 1, 0, 0), (0, 1, 0, 1), (0, 1, 1, 1)]
+        full = extend_to_maximal_chain(chain)
+        assert [count_ones(w) for w in full] == list(range(5))
+
+    def test_extension_preserves_given_words(self):
+        chain = [(0, 1, 1, 0)]
+        full = extend_to_maximal_chain(chain)
+        assert (0, 1, 1, 0) in full
+
+    def test_rejects_non_chain(self):
+        with pytest.raises(TestSetError):
+            extend_to_maximal_chain([(0, 1), (1, 0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TestSetError):
+            extend_to_maximal_chain([])
+
+
+class TestCoveringPermutations:
+    @pytest.mark.parametrize("n", range(2, 8))
+    def test_scd_permutations_cover_every_word(self, n):
+        covered = cover_of_permutation_set(scd_permutations(n))
+        assert covered == set(all_binary_words(n))
+
+    @pytest.mark.parametrize("n", range(2, 8))
+    def test_sorting_cover_permutations_size_and_validity(self, n):
+        perms = sorting_cover_permutations(n)
+        assert len(perms) == math.comb(n, n // 2) - 1
+        assert identity_permutation(n) not in perms
+        covered = cover_of_permutation_set(perms)
+        assert all(w in covered for w in unsorted_binary_words(n))
+
+    def test_sorting_cover_permutations_can_include_identity(self):
+        perms = sorting_cover_permutations(4, include_identity=True)
+        assert identity_permutation(4) in perms
+        assert len(perms) == math.comb(4, 2)
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (5, 2), (6, 2), (6, 3), (7, 3), (6, 5)])
+    def test_selector_cover_permutations(self, n, k):
+        perms = selector_cover_permutations(n, k)
+        assert len(perms) == math.comb(n, min(k, n // 2)) - 1
+        covered = cover_of_permutation_set(perms)
+        for zeros in range(k + 1):
+            for word in binary_words_with_zero_count(n, zeros):
+                if not is_sorted_word(word):
+                    assert word in covered
+
+    def test_selector_cover_permutations_bad_k(self):
+        with pytest.raises(TestSetError):
+            selector_cover_permutations(5, 0)
+
+
+class TestMatchingBasedChainCover:
+    @pytest.mark.parametrize("n,max_zeros", [(4, 1), (4, 2), (5, 2), (6, 3), (7, 2)])
+    def test_chain_count_matches_binomial(self, n, max_zeros):
+        chains = minimum_chain_cover_via_matching(n, max_zeros)
+        assert len(chains) == math.comb(n, max_zeros)
+
+    @pytest.mark.parametrize("n,max_zeros", [(4, 2), (5, 2), (6, 3)])
+    def test_cover_includes_all_required_words(self, n, max_zeros):
+        chains = minimum_chain_cover_via_matching(n, max_zeros)
+        covered = {w for chain in chains for w in chain}
+        for zeros in range(max_zeros + 1):
+            for word in binary_words_with_zero_count(n, zeros):
+                assert word in covered
+
+    @pytest.mark.parametrize("n,max_zeros", [(5, 2), (6, 3)])
+    def test_chains_are_chains(self, n, max_zeros):
+        for chain in minimum_chain_cover_via_matching(n, max_zeros):
+            for lower, upper in zip(chain, chain[1:]):
+                assert dominates(lower, upper)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TestSetError):
+            minimum_chain_cover_via_matching(4, 3)
+
+    def test_agrees_with_bracketing_construction(self):
+        # Same number of chains as the number of SCD chains reaching the top
+        # max_zeros+1 levels.
+        n, max_zeros = 6, 2
+        matching_chains = minimum_chain_cover_via_matching(n, max_zeros)
+        scd = symmetric_chain_decomposition(n)
+        reaching = [c for c in scd if count_ones(c[0]) <= max_zeros]
+        assert len(matching_chains) == len(reaching)

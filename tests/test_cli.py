@@ -1,0 +1,145 @@
+"""Tests for the ``repro-networks`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["verify", "--n", "4", "--network", "[1,2]", "--property", "sorter"]
+        )
+        assert args.command == "verify"
+        assert args.n == 4
+
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestVerifyCommand:
+    def test_verify_sorter_yes(self, capsys):
+        code = main(
+            [
+                "verify",
+                "--n",
+                "4",
+                "--network",
+                "[1,2][3,4][1,3][2,4][2,3]",
+                "--property",
+                "sorter",
+            ]
+        )
+        assert code == 0
+        assert "YES" in capsys.readouterr().out
+
+    def test_verify_sorter_no(self, capsys):
+        code = main(
+            ["verify", "--n", "4", "--network", "[1,3][2,4][1,2][3,4]"]
+        )
+        assert code == 1
+        assert "NO" in capsys.readouterr().out
+
+    def test_verify_selector(self, capsys):
+        # One bubble pass on three lines is a (1, 3)-selector.
+        code = main(
+            [
+                "verify",
+                "--n",
+                "3",
+                "--network",
+                "[2,3][1,2]",
+                "--property",
+                "selector",
+                "--k",
+                "1",
+            ]
+        )
+        assert code == 0
+
+    def test_verify_merger(self, capsys):
+        code = main(
+            [
+                "verify",
+                "--n",
+                "4",
+                "--network",
+                "[1,3][2,4][2,3]",
+                "--property",
+                "merger",
+            ]
+        )
+        assert code == 0
+
+
+class TestTestsetCommand:
+    def test_sorting_binary_testset(self, capsys):
+        assert main(["testset", "--property", "sorting", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "11 inputs" in out
+
+    def test_selection_permutation_testset(self, capsys):
+        assert (
+            main(
+                [
+                    "testset",
+                    "--property",
+                    "selection",
+                    "--n",
+                    "5",
+                    "--k",
+                    "2",
+                    "--model",
+                    "permutation",
+                ]
+            )
+            == 0
+        )
+        assert "9 inputs" in capsys.readouterr().out
+
+    def test_merging_testset_with_limit(self, capsys):
+        assert (
+            main(
+                ["testset", "--property", "merging", "--n", "8", "--limit", "3"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "16 inputs" in out
+        assert "more)" in out
+
+
+class TestAdversaryCommand:
+    def test_adversary_output(self, capsys):
+        assert main(["adversary", "--sigma", "0110"]) == 0
+        out = capsys.readouterr().out
+        assert "H_sigma" in out
+        assert "[" in out
+
+    def test_adversary_with_diagram(self, capsys):
+        assert main(["adversary", "--sigma", "10", "--diagram"]) == 0
+        assert "line 0" in capsys.readouterr().out
+
+
+class TestConstructAndExperiments:
+    @pytest.mark.parametrize(
+        "kind,n",
+        [("batcher", 6), ("bose-nelson", 5), ("bubble", 4), ("merger", 6)],
+    )
+    def test_construct(self, capsys, kind, n):
+        assert main(["construct", "--kind", kind, "--n", str(n)]) == 0
+        assert "size=" in capsys.readouterr().out
+
+    def test_construct_selector(self, capsys):
+        assert main(["construct", "--kind", "selector", "--n", "6", "--k", "2"]) == 0
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "--fast", "--only", "E1,E8"]) == 0
+        out = capsys.readouterr().out
+        assert "== E1 ==" in out
+        assert "== E8 ==" in out
+        assert "== E3 ==" not in out

@@ -1,0 +1,120 @@
+"""Unit tests for :mod:`repro.core.comparator`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Comparator
+from repro.exceptions import InvalidComparatorError
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        comp = Comparator(1, 3)
+        assert comp.low == 1
+        assert comp.high == 3
+        assert comp.standard
+        assert not comp.reversed
+
+    def test_reversed_construction(self):
+        comp = Comparator(0, 2, reversed=True)
+        assert comp.reversed
+        assert not comp.standard
+
+    def test_equal_endpoints_rejected(self):
+        with pytest.raises(InvalidComparatorError):
+            Comparator(2, 2)
+
+    def test_descending_endpoints_rejected(self):
+        with pytest.raises(InvalidComparatorError):
+            Comparator(3, 1)
+
+    def test_negative_endpoints_rejected(self):
+        with pytest.raises(InvalidComparatorError):
+            Comparator(-1, 2)
+
+    def test_non_integer_endpoints_rejected(self):
+        with pytest.raises(InvalidComparatorError):
+            Comparator(0.5, 2)  # type: ignore[arg-type]
+
+    def test_comparators_are_hashable_and_equal_by_value(self):
+        assert Comparator(0, 1) == Comparator(0, 1)
+        assert Comparator(0, 1) != Comparator(0, 1, reversed=True)
+        assert len({Comparator(0, 1), Comparator(0, 1)}) == 1
+
+
+class TestIntrospection:
+    def test_lines_and_span(self):
+        comp = Comparator(2, 6)
+        assert comp.lines == (2, 6)
+        assert comp.span == 4
+
+    def test_adjacent_comparator_has_span_one(self):
+        assert Comparator(3, 4).span == 1
+
+    def test_touches(self):
+        comp = Comparator(1, 4)
+        assert comp.touches(1)
+        assert comp.touches(4)
+        assert not comp.touches(2)
+
+    def test_overlaps(self):
+        assert Comparator(0, 2).overlaps(Comparator(2, 3))
+        assert Comparator(0, 2).overlaps(Comparator(0, 5))
+        assert not Comparator(0, 1).overlaps(Comparator(2, 3))
+
+    def test_iteration_yields_endpoints(self):
+        assert list(Comparator(5, 9)) == [5, 9]
+
+
+class TestApplication:
+    def test_standard_routes_min_to_low(self):
+        assert Comparator(0, 2).apply((3, 5, 1)) == (1, 5, 3)
+
+    def test_standard_leaves_ordered_pair(self):
+        assert Comparator(0, 1).apply((1, 2)) == (1, 2)
+
+    def test_reversed_routes_max_to_low(self):
+        assert Comparator(0, 2, reversed=True).apply((1, 5, 3)) == (3, 5, 1)
+
+    def test_apply_out_of_range_raises(self):
+        with pytest.raises(InvalidComparatorError):
+            Comparator(0, 5).apply((1, 2))
+
+    def test_apply_handles_equal_values(self):
+        assert Comparator(0, 1).apply((7, 7)) == (7, 7)
+
+
+class TestTransformations:
+    def test_shifted(self):
+        assert Comparator(1, 3).shifted(2) == Comparator(3, 5)
+
+    def test_relabelled_preserving_order(self):
+        comp = Comparator(0, 1).relabelled({0: 2, 1: 5})
+        assert comp == Comparator(2, 5)
+
+    def test_relabelled_swapping_order_flips_reversed(self):
+        comp = Comparator(0, 1).relabelled({0: 5, 1: 2})
+        assert comp.low == 2 and comp.high == 5
+        assert comp.reversed
+
+    def test_relabelled_collision_raises(self):
+        with pytest.raises(InvalidComparatorError):
+            Comparator(0, 1).relabelled({0: 3, 1: 3})
+
+    def test_dual_mirrors_endpoints(self):
+        assert Comparator(0, 2).dual(4) == Comparator(1, 3)
+        assert Comparator(1, 3).dual(4) == Comparator(0, 2)
+
+    def test_dual_out_of_range_raises(self):
+        with pytest.raises(InvalidComparatorError):
+            Comparator(0, 5).dual(4)
+
+    def test_dual_is_involution(self):
+        comp = Comparator(2, 6, reversed=True)
+        assert comp.dual(9).dual(9) == comp
+
+    def test_flipped_toggles_orientation(self):
+        comp = Comparator(0, 3)
+        assert comp.flipped().reversed
+        assert comp.flipped().flipped() == comp

@@ -1,0 +1,112 @@
+"""Unit tests for selector and merger constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import (
+    batcher_merging_network,
+    batcher_sorting_network,
+    bubble_selection_network,
+    merger_from_sorter,
+    odd_even_merge_network,
+    pruned_selection_network,
+    prune_to_output_lines,
+    selector_from_sorter,
+    zipper_merging_network,
+)
+from repro.exceptions import ConstructionError
+from repro.properties import is_merger, is_selector, is_sorter
+
+
+class TestSelectorConstructions:
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (5, 3), (6, 2), (7, 4), (8, 3)])
+    def test_bubble_selector_selects(self, n, k):
+        assert is_selector(bubble_selection_network(n, k), k, strategy="binary")
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (5, 2), (6, 3), (8, 4)])
+    def test_pruned_selector_selects(self, n, k):
+        assert is_selector(pruned_selection_network(n, k), k, strategy="binary")
+
+    @pytest.mark.parametrize("n,k", [(5, 2), (6, 3)])
+    def test_sorter_is_a_selector(self, n, k):
+        assert is_selector(selector_from_sorter(n, k), k, strategy="binary")
+
+    def test_bubble_selector_size(self):
+        # k passes of lengths n-1, n-2, ..., n-k.
+        net = bubble_selection_network(6, 2)
+        assert net.size == 5 + 4
+
+    def test_bubble_selector_is_primitive(self):
+        assert bubble_selection_network(7, 3).height == 1
+
+    def test_bubble_selector_usually_not_a_sorter(self):
+        assert not is_sorter(bubble_selection_network(5, 2), strategy="binary")
+
+    def test_pruned_selector_not_larger_than_sorter(self):
+        for n, k in [(8, 1), (8, 2), (8, 4)]:
+            assert (
+                pruned_selection_network(n, k).size
+                <= batcher_sorting_network(n).size
+            )
+
+    def test_pruning_to_all_lines_keeps_everything(self):
+        sorter = batcher_sorting_network(6)
+        assert prune_to_output_lines(sorter, list(range(6))) == sorter
+
+    def test_pruning_preserves_selected_outputs(self):
+        sorter = batcher_sorting_network(6)
+        pruned = prune_to_output_lines(sorter, [0, 1])
+        from repro.words import all_binary_words
+
+        for word in all_binary_words(6):
+            assert pruned.apply(word)[:2] == sorter.apply(word)[:2]
+
+    def test_prune_bad_lines_rejected(self):
+        with pytest.raises(ConstructionError):
+            prune_to_output_lines(batcher_sorting_network(4), [4])
+
+    @pytest.mark.parametrize("n,k", [(0, 1), (4, 0), (4, 5)])
+    def test_bad_parameters_rejected(self, n, k):
+        with pytest.raises(ConstructionError):
+            bubble_selection_network(n, k)
+
+
+class TestMergerConstructions:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10, 12, 16])
+    def test_batcher_merger_merges(self, n):
+        assert is_merger(batcher_merging_network(n), strategy="binary")
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_zipper_merger_merges(self, n):
+        assert is_merger(zipper_merging_network(n), strategy="binary")
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_sorter_merges(self, n):
+        assert is_merger(merger_from_sorter(n), strategy="binary")
+
+    def test_batcher_merger_is_not_a_sorter_in_general(self):
+        assert not is_sorter(batcher_merging_network(8), strategy="binary")
+
+    def test_merger_size_power_of_two(self):
+        # Odd-even merge of two sorted halves of length 4 uses 9 comparators.
+        assert odd_even_merge_network(4).size == 9
+
+    def test_merger_smaller_than_sorter(self):
+        for n in (8, 16):
+            assert (
+                batcher_merging_network(n).size
+                < batcher_sorting_network(n).size
+            )
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ConstructionError):
+            batcher_merging_network(5)
+
+    def test_zero_half_rejected(self):
+        with pytest.raises(ConstructionError):
+            odd_even_merge_network(0)
+
+    def test_non_power_of_two_halves(self):
+        for half in (3, 5, 6, 7):
+            assert is_merger(odd_even_merge_network(half), strategy="binary")

@@ -1,0 +1,149 @@
+"""Unit tests for the classical sorting-network constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import (
+    batcher_size,
+    batcher_sorting_network,
+    bitonic_sorting_network,
+    bitonic_sorting_network_standard,
+    bose_nelson_sorting_network,
+    bubble_sorting_network,
+    insertion_sorting_network,
+    known_optimal_sizes,
+    next_power_of_two,
+    odd_even_transposition_network,
+    optimal_sorting_network,
+    primitive_network_size_lower_bound,
+)
+from repro.exceptions import ConstructionError
+from repro.properties import is_sorter
+
+
+class TestBatcher:
+    @pytest.mark.parametrize("n", range(1, 13))
+    def test_is_a_sorter_for_every_size(self, n):
+        assert is_sorter(batcher_sorting_network(n), strategy="binary")
+
+    def test_size_matches_known_values_for_powers_of_two(self):
+        # Odd-even merge-sort sizes: 1->0, 2->1, 4->5, 8->19, 16->63.
+        assert batcher_size(2) == 1
+        assert batcher_size(4) == 5
+        assert batcher_size(8) == 19
+        assert batcher_size(16) == 63
+
+    def test_depth_for_powers_of_two(self):
+        assert batcher_sorting_network(4).depth == 3
+        assert batcher_sorting_network(8).depth == 6
+
+    def test_network_is_standard(self):
+        assert batcher_sorting_network(10).standard
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConstructionError):
+            batcher_sorting_network(0)
+
+    def test_caching_returns_same_object(self):
+        assert batcher_sorting_network(6) is batcher_sorting_network(6)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(8) == 8
+        assert next_power_of_two(0) == 1
+
+
+class TestBoseNelson:
+    @pytest.mark.parametrize("n", range(1, 12))
+    def test_is_a_sorter_for_every_size(self, n):
+        assert is_sorter(bose_nelson_sorting_network(n), strategy="binary")
+
+    def test_known_small_sizes(self):
+        # Bose-Nelson produces the optimal sizes for n <= 4.
+        assert bose_nelson_sorting_network(2).size == 1
+        assert bose_nelson_sorting_network(3).size == 3
+        assert bose_nelson_sorting_network(4).size == 5
+
+    def test_standard(self):
+        assert bose_nelson_sorting_network(9).standard
+
+
+class TestPrimitiveNetworks:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_bubble_sorts(self, n):
+        assert is_sorter(bubble_sorting_network(n), strategy="binary")
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_insertion_sorts(self, n):
+        assert is_sorter(insertion_sorting_network(n), strategy="binary")
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_odd_even_transposition_sorts(self, n):
+        assert is_sorter(odd_even_transposition_network(n), strategy="binary")
+
+    def test_all_have_height_one(self):
+        assert bubble_sorting_network(6).height == 1
+        assert insertion_sorting_network(6).height == 1
+        assert odd_even_transposition_network(6).height == 1
+
+    def test_bubble_meets_the_primitive_lower_bound(self):
+        for n in range(2, 8):
+            assert bubble_sorting_network(n).size == primitive_network_size_lower_bound(n)
+
+    def test_too_few_transposition_rounds_fail(self):
+        # n-2 rounds cannot sort the reverse permutation for n >= 3.
+        net = odd_even_transposition_network(5, rounds=3)
+        assert not is_sorter(net, strategy="binary")
+
+    def test_zero_rounds_is_empty(self):
+        assert odd_even_transposition_network(4, rounds=0).size == 0
+
+
+class TestBitonic:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_textbook_variant_sorts(self, n):
+        assert is_sorter(bitonic_sorting_network(n), strategy="binary")
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_standard_variant_sorts(self, n):
+        assert is_sorter(bitonic_sorting_network_standard(n), strategy="binary")
+
+    def test_textbook_variant_is_nonstandard(self):
+        # The paper's point: the bitonic sorter is not a network in its sense.
+        assert not bitonic_sorting_network(4).standard
+
+    def test_standard_variant_is_standard(self):
+        assert bitonic_sorting_network_standard(8).standard
+
+    def test_both_variants_have_equal_size(self):
+        for n in (4, 8, 16):
+            assert (
+                bitonic_sorting_network(n).size
+                == bitonic_sorting_network_standard(n).size
+            )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConstructionError):
+            bitonic_sorting_network(6)
+        with pytest.raises(ConstructionError):
+            bitonic_sorting_network_standard(6)
+
+
+class TestOptimalNetworks:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_tabulated_networks_sort(self, n):
+        assert is_sorter(optimal_sorting_network(n), strategy="binary")
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_tabulated_sizes_match_literature(self, n):
+        assert optimal_sorting_network(n).size == known_optimal_sizes[n]
+
+    def test_no_table_beyond_eight(self):
+        with pytest.raises(ConstructionError):
+            optimal_sorting_network(9)
+
+    def test_optimal_networks_beat_or_match_batcher(self):
+        for n in range(2, 9):
+            assert optimal_sorting_network(n).size <= batcher_sorting_network(n).size

@@ -1,0 +1,148 @@
+"""Unit tests for :mod:`repro.words.covers` (the covering-set machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TestSetError
+from repro.words import (
+    all_permutations,
+    chain_of_permutation,
+    count_ones,
+    cover_of_permutation,
+    cover_of_permutation_set,
+    cover_word,
+    dominates,
+    find_covering_permutation,
+    identity_permutation,
+    is_cover_test_set_for_sorting,
+    no_permutation_covers_both,
+    permutation_covers,
+    permutation_from_chain,
+    permutation_from_one_based,
+    sorted_binary_words,
+    uncovered_words,
+    unsorted_binary_words,
+)
+
+
+class TestPaperExample:
+    """The paper's worked example: the cover of (3 1 4 2) is
+    {1111, 1011, 1010, 0010, 0000}."""
+
+    PERM = permutation_from_one_based((3, 1, 4, 2))
+    EXPECTED = {
+        (1, 1, 1, 1),
+        (1, 0, 1, 1),
+        (1, 0, 1, 0),
+        (0, 0, 1, 0),
+        (0, 0, 0, 0),
+    }
+
+    def test_cover_matches_paper(self):
+        assert set(cover_of_permutation(self.PERM)) == self.EXPECTED
+
+    def test_cover_levels(self):
+        assert cover_word(self.PERM, 0) == (0, 0, 0, 0)
+        assert cover_word(self.PERM, 1) == (0, 0, 1, 0)
+        assert cover_word(self.PERM, 4) == (1, 1, 1, 1)
+
+    def test_permutation_covers_predicate(self):
+        assert permutation_covers(self.PERM, (1, 0, 1, 0))
+        assert not permutation_covers(self.PERM, (0, 1, 0, 1))
+
+
+class TestCoverStructure:
+    def test_cover_has_one_word_per_weight(self):
+        for perm in all_permutations(4):
+            cover = cover_of_permutation(perm)
+            assert sorted(count_ones(w) for w in cover) == list(range(5))
+
+    def test_cover_is_a_chain_in_dominance_order(self):
+        for perm in list(all_permutations(4))[:10]:
+            cover = chain_of_permutation(perm)
+            for lower, upper in zip(cover, cover[1:]):
+                assert dominates(lower, upper)
+
+    def test_identity_cover_is_the_sorted_words(self):
+        assert set(cover_of_permutation(identity_permutation(5))) == set(
+            sorted_binary_words(5)
+        )
+
+    def test_cover_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            cover_word((0, 1, 2), 4)
+
+    def test_cover_of_set_is_union(self):
+        perms = [identity_permutation(3), (2, 1, 0)]
+        union = cover_of_permutation_set(perms)
+        assert union == set(cover_of_permutation(perms[0])) | set(
+            cover_of_permutation(perms[1])
+        )
+
+
+class TestChainPermutationBijection:
+    def test_round_trip_for_all_permutations(self):
+        for perm in all_permutations(4):
+            assert permutation_from_chain(cover_of_permutation(perm)) == perm
+
+    def test_chain_order_does_not_matter(self):
+        perm = (2, 0, 3, 1)
+        chain = cover_of_permutation(perm)
+        assert permutation_from_chain(list(reversed(chain))) == perm
+
+    def test_rejects_incomplete_chain(self):
+        with pytest.raises(TestSetError):
+            permutation_from_chain([(0, 0), (1, 1)])
+
+    def test_rejects_non_chain(self):
+        with pytest.raises(TestSetError):
+            permutation_from_chain([(0, 0), (0, 1), (1, 0), (1, 1)])
+
+
+class TestFindCoveringPermutation:
+    def test_finds_cover_for_single_word(self):
+        word = (0, 1, 1, 0)
+        perm = find_covering_permutation([word])
+        assert perm is not None
+        assert permutation_covers(perm, word)
+
+    def test_finds_cover_for_a_chain_of_words(self):
+        words = [(0, 0, 1, 0), (0, 1, 1, 0), (1, 1, 1, 0)]
+        perm = find_covering_permutation(words)
+        assert perm is not None
+        for word in words:
+            assert permutation_covers(perm, word)
+
+    def test_no_cover_for_equal_weight_distinct_words(self):
+        assert find_covering_permutation([(0, 1, 1), (1, 1, 0)]) is None
+
+    def test_no_cover_for_incomparable_words(self):
+        assert find_covering_permutation([(1, 1, 0, 0), (0, 0, 1, 1)]) is None
+
+    def test_empty_input(self):
+        assert find_covering_permutation([]) is None
+
+    def test_no_permutation_covers_both_same_word(self):
+        assert not no_permutation_covers_both((1, 0, 1), (1, 0, 1))
+
+    def test_no_permutation_covers_both_equal_weight(self):
+        # The antichain argument behind the Theorem 2.2 (ii) lower bound.
+        assert no_permutation_covers_both((0, 1, 1, 0), (1, 0, 0, 1))
+
+
+class TestTestSetPredicates:
+    def test_scd_permutations_cover_everything(self):
+        from repro.words import sorting_cover_permutations
+
+        assert is_cover_test_set_for_sorting(sorting_cover_permutations(5))
+
+    def test_identity_alone_is_not_a_test_set(self):
+        assert not is_cover_test_set_for_sorting([identity_permutation(4)])
+
+    def test_uncovered_words_reports_gaps(self):
+        missing = uncovered_words([identity_permutation(3)], 3)
+        assert set(missing) == set(unsorted_binary_words(3))
+
+    def test_empty_set_is_not_a_test_set(self):
+        assert not is_cover_test_set_for_sorting([])

@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.core.evaluation` (vectorised evaluation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ComparatorNetwork,
+    all_binary_words,
+    all_binary_words_array,
+    apply_network_to_batch,
+    array_to_words,
+    batch_is_sorted,
+    evaluate_on_all_binary_inputs,
+    outputs_on_words,
+    unsorted_binary_words_array,
+    words_to_array,
+)
+from repro.exceptions import InputLengthError
+
+
+class TestWordEnumeration:
+    def test_all_binary_words_count_and_order(self):
+        words = list(all_binary_words(3))
+        assert len(words) == 8
+        assert words[0] == (0, 0, 0)
+        assert words[-1] == (1, 1, 1)
+        assert words[5] == (1, 0, 1)
+
+    def test_array_agrees_with_generator(self):
+        for n in range(0, 6):
+            array = all_binary_words_array(n)
+            assert array.shape == (2**n, n)
+            assert [tuple(int(v) for v in row) for row in array] == list(
+                all_binary_words(n)
+            )
+
+    def test_unsorted_words_array_size(self):
+        for n in range(1, 8):
+            assert unsorted_binary_words_array(n).shape[0] == 2**n - n - 1
+
+    def test_batch_is_sorted(self):
+        batch = np.array([[0, 1, 1], [1, 0, 1], [0, 0, 0], [1, 1, 0]])
+        assert batch_is_sorted(batch).tolist() == [True, False, True, False]
+
+    def test_batch_is_sorted_single_column(self):
+        assert batch_is_sorted(np.array([[0], [1]])).tolist() == [True, True]
+
+
+class TestBatchApplication:
+    def test_batch_matches_scalar(self, four_sorter):
+        inputs = all_binary_words_array(4)
+        outputs = apply_network_to_batch(four_sorter, inputs)
+        for row_in, row_out in zip(inputs, outputs):
+            assert tuple(int(v) for v in row_out) == four_sorter.apply(
+                tuple(int(v) for v in row_in)
+            )
+
+    def test_batch_does_not_modify_input_by_default(self, four_sorter):
+        inputs = all_binary_words_array(4)
+        original = inputs.copy()
+        apply_network_to_batch(four_sorter, inputs)
+        assert np.array_equal(inputs, original)
+
+    def test_batch_in_place(self, four_sorter):
+        inputs = all_binary_words_array(4)
+        out = apply_network_to_batch(four_sorter, inputs, copy=False)
+        assert out is inputs
+
+    def test_batch_wrong_width_raises(self, four_sorter):
+        with pytest.raises(InputLengthError):
+            apply_network_to_batch(four_sorter, np.zeros((3, 5), dtype=np.int8))
+
+    def test_batch_wrong_ndim_raises(self, four_sorter):
+        with pytest.raises(InputLengthError):
+            apply_network_to_batch(four_sorter, np.zeros(4, dtype=np.int8))
+
+    def test_empty_batch(self, four_sorter):
+        out = apply_network_to_batch(four_sorter, np.zeros((0, 4), dtype=np.int8))
+        assert out.shape == (0, 4)
+
+    def test_evaluate_on_all_binary_inputs_sorter(self, batcher8):
+        outputs = evaluate_on_all_binary_inputs(batcher8)
+        assert bool(np.all(batch_is_sorted(outputs)))
+
+    def test_reversed_comparators_in_batch(self):
+        from repro.core import Comparator
+
+        net = ComparatorNetwork(2, [Comparator(0, 1, reversed=True)])
+        outputs = apply_network_to_batch(net, all_binary_words_array(2))
+        assert [tuple(int(v) for v in row) for row in outputs] == [
+            (0, 0),
+            (1, 0),
+            (1, 0),
+            (1, 1),
+        ]
+
+    def test_outputs_on_words_infers_dtype_for_permutations(self, four_sorter):
+        outputs = outputs_on_words(four_sorter, [(3, 2, 1, 0), (0, 3, 2, 1)])
+        assert outputs.dtype == np.int64
+        assert tuple(outputs[0]) == (0, 1, 2, 3)
+
+    def test_outputs_on_words_empty(self, four_sorter):
+        assert outputs_on_words(four_sorter, []).shape == (0, 4)
+
+
+class TestConversionHelpers:
+    def test_words_to_array_and_back(self):
+        words = [(0, 1, 0), (1, 1, 0)]
+        array = words_to_array(words)
+        assert array.shape == (2, 3)
+        assert array_to_words(array) == words
+
+    def test_words_to_array_empty(self):
+        assert words_to_array([]).shape == (0, 0)

@@ -1,0 +1,210 @@
+"""Unit tests for the VLSI fault-model substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constructions import batcher_sorting_network, optimal_sorting_network
+from repro.core import all_binary_words_array, apply_network_to_batch
+from repro.exceptions import FaultModelError
+from repro.faults import (
+    FAULT_KINDS,
+    LineStuckFault,
+    ReversedComparatorFault,
+    StuckPassFault,
+    StuckSwapFault,
+    compare_test_sets,
+    coverage_report,
+    detected_faults,
+    enumerate_single_faults,
+    equivalent_fault_classes,
+    fault_coverage,
+    fault_detection_matrix,
+    greedy_test_selection,
+    undetected_faults,
+)
+from repro.properties import is_sorter
+from repro.testsets import sorting_binary_test_set
+from repro.words import all_binary_words
+
+
+class TestFaultModels:
+    def test_stuck_pass_removes_a_comparator(self, four_sorter):
+        faulty = StuckPassFault(0).apply_to(four_sorter)
+        assert faulty.size == four_sorter.size - 1
+        assert not is_sorter(faulty, strategy="binary")
+
+    def test_reversed_fault_flips_a_comparator(self, four_sorter):
+        faulty = ReversedComparatorFault(1).apply_to(four_sorter)
+        assert faulty.size == four_sorter.size
+        assert not faulty.standard
+        assert not is_sorter(faulty, strategy="binary")
+
+    def test_stuck_swap_always_exchanges(self, four_sorter):
+        faulty = StuckSwapFault(0).apply_to(four_sorter)
+        # On an input where the first comparator would not normally act,
+        # the faulty device swaps anyway.
+        comp = four_sorter.comparators[0]
+        word = [0] * 4
+        word[comp.low], word[comp.high] = 0, 1  # already in order
+        clean = four_sorter.apply(tuple(word))
+        broken = faulty.apply(tuple(word))
+        assert clean != broken or not is_sorter(faulty, strategy="binary")
+
+    def test_stuck_swap_batch_agrees_with_scalar(self, four_sorter):
+        faulty = StuckSwapFault(2).apply_to(four_sorter)
+        inputs = all_binary_words_array(4)
+        batch_outputs = apply_network_to_batch(faulty, inputs)
+        for row_in, row_out in zip(inputs, batch_outputs):
+            assert tuple(int(v) for v in row_out) == faulty.apply(
+                tuple(int(v) for v in row_in)
+            )
+
+    def test_line_stuck_fault(self, four_sorter):
+        faulty = LineStuckFault(line=0, value=1).apply_to(four_sorter)
+        # With line 0 stuck at 1, the all-zero input cannot come out all-zero.
+        assert faulty.apply((0, 0, 0, 0)) != (0, 0, 0, 0)
+        assert not is_sorter(faulty, strategy="binary")
+
+    def test_line_stuck_batch_agrees_with_scalar(self, four_sorter):
+        faulty = LineStuckFault(line=2, value=0, stage=1).apply_to(four_sorter)
+        inputs = all_binary_words_array(4)
+        batch_outputs = apply_network_to_batch(faulty, inputs)
+        for row_in, row_out in zip(inputs, batch_outputs):
+            assert tuple(int(v) for v in row_out) == faulty.apply(
+                tuple(int(v) for v in row_in)
+            )
+
+    def test_invalid_parameters_rejected(self, four_sorter):
+        with pytest.raises(FaultModelError):
+            StuckPassFault(99).apply_to(four_sorter)
+        with pytest.raises(FaultModelError):
+            LineStuckFault(line=0, value=2)
+        with pytest.raises(FaultModelError):
+            LineStuckFault(line=9, value=0).apply_to(four_sorter)
+
+    def test_fault_descriptions(self):
+        assert "stuck-pass" in StuckPassFault(3).describe()
+        assert "stuck-at-1" in LineStuckFault(2, 1).describe()
+
+
+class TestFaultEnumeration:
+    def test_enumeration_counts(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter)
+        expected = 3 * four_sorter.size + 2 * four_sorter.n_lines
+        assert len(faults) == expected
+
+    def test_enumeration_subset_of_kinds(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter, kinds=("stuck-pass",))
+        assert len(faults) == four_sorter.size
+        assert all(isinstance(f, StuckPassFault) for f in faults)
+
+    def test_unknown_kind_rejected(self, four_sorter):
+        with pytest.raises(FaultModelError):
+            enumerate_single_faults(four_sorter, kinds=("gremlin",))
+
+    def test_equivalent_fault_classes_group_identical_behaviour(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter, kinds=("stuck-pass", "reversed"))
+        classes = equivalent_fault_classes(four_sorter, faults)
+        assert sum(len(c) for c in classes) == len(faults)
+        assert len(classes) >= 2
+
+
+class TestFaultSimulation:
+    def test_detection_matrix_shape(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter, kinds=("stuck-pass",))
+        vectors = sorting_binary_test_set(4)
+        matrix = fault_detection_matrix(four_sorter, faults, vectors)
+        assert matrix.shape == (len(faults), len(vectors))
+
+    def test_specification_criterion_equals_nonsorter_detection(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter, kinds=("stuck-pass",))
+        vectors = list(all_binary_words(4))
+        matrix = fault_detection_matrix(
+            four_sorter, faults, vectors, criterion="specification"
+        )
+        for fault, row in zip(faults, matrix):
+            faulty = fault.apply_to(four_sorter)
+            assert bool(row.any()) == (not is_sorter(faulty, strategy="binary"))
+
+    def test_reference_criterion_is_at_least_as_sensitive(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter)
+        vectors = list(all_binary_words(4))
+        spec = fault_detection_matrix(four_sorter, faults, vectors, criterion="specification")
+        ref = fault_detection_matrix(four_sorter, faults, vectors, criterion="reference")
+        assert bool(np.all(ref | ~spec))
+
+    def test_unknown_criterion_rejected(self, four_sorter):
+        with pytest.raises(FaultModelError):
+            fault_detection_matrix(four_sorter, [], [], criterion="psychic")
+
+    def test_detected_and_undetected_partition(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter)
+        vectors = sorting_binary_test_set(4)
+        found = detected_faults(four_sorter, faults, vectors)
+        missed = undetected_faults(four_sorter, faults, vectors)
+        assert len(found) + len(missed) == len(faults)
+
+
+class TestCoverage:
+    def test_paper_test_set_achieves_full_specification_coverage_for_standard_faults(self):
+        """Theorem 2.2's test set detects every specification-visible fault
+        whose faulty device is still a *standard* network (stuck-pass faults).
+
+        For such devices sorted inputs can never fail, so testing only the
+        unsorted words loses nothing relative to the full cube.
+        """
+        device = optimal_sorting_network(5)
+        faults = enumerate_single_faults(device, kinds=("stuck-pass",))
+        full_cube = list(all_binary_words(5))
+        testset = sorting_binary_test_set(5)
+        assert fault_coverage(device, faults, testset) == fault_coverage(
+            device, faults, full_cube
+        )
+
+    def test_nonstandard_faults_can_escape_the_paper_test_set(self):
+        """A stuck-swap fault can corrupt *sorted* inputs only, escaping the
+        unsorted-words test set — the paper's model (standard comparators)
+        genuinely matters for the VLSI application."""
+        device = optimal_sorting_network(5)
+        faults = enumerate_single_faults(device, kinds=("stuck-swap",))
+        full_cube = list(all_binary_words(5))
+        testset = sorting_binary_test_set(5)
+        assert fault_coverage(device, faults, testset) <= fault_coverage(
+            device, faults, full_cube
+        )
+
+    def test_coverage_report_breakdown(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter)
+        report = coverage_report(four_sorter, faults, sorting_binary_test_set(4))
+        assert report.total_faults == len(faults)
+        assert 0.0 <= report.coverage <= 1.0
+        assert sum(total for _, total in report.by_kind.values()) == len(faults)
+
+    def test_empty_fault_list_gives_full_coverage(self, four_sorter):
+        assert fault_coverage(four_sorter, [], [(0, 1, 1, 0)]) == 1.0
+
+    def test_greedy_selection_reaches_full_coverage_with_few_vectors(self):
+        device = batcher_sorting_network(6)
+        faults = enumerate_single_faults(device, kinds=("stuck-pass", "reversed"))
+        candidates = sorting_binary_test_set(6)
+        selected = greedy_test_selection(device, faults, candidates)
+        assert 0 < len(selected) < len(candidates)
+        assert fault_coverage(device, faults, selected) == fault_coverage(
+            device, faults, candidates
+        )
+
+    def test_greedy_selection_bad_target(self, four_sorter):
+        with pytest.raises(FaultModelError):
+            greedy_test_selection(four_sorter, [], [], target_coverage=0.0)
+
+    def test_compare_test_sets_returns_one_report_per_set(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter)
+        reports = compare_test_sets(
+            four_sorter,
+            faults,
+            {"paper": sorting_binary_test_set(4), "tiny": [(1, 0, 0, 0)]},
+        )
+        assert set(reports) == {"paper", "tiny"}
+        assert reports["paper"].coverage >= reports["tiny"].coverage

@@ -1,0 +1,124 @@
+"""Unit tests for the closed-form test-set sizes (all theorems of the paper)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import TestSetError
+from repro.testsets import (
+    central_binomial_approximation,
+    exhaustive_binary_size,
+    exhaustive_permutation_size,
+    merging_permutation_test_set_size,
+    merging_test_set_size,
+    primitive_sorting_test_set_size,
+    selector_permutation_test_set_size,
+    selector_test_set_size,
+    sorting_permutation_test_set_size,
+    sorting_test_set_size,
+    yao_ratio,
+)
+
+
+class TestTheorem22:
+    def test_binary_values_from_the_paper(self):
+        # 2^n - n - 1
+        assert sorting_test_set_size(2) == 1
+        assert sorting_test_set_size(3) == 4
+        assert sorting_test_set_size(4) == 11
+        assert sorting_test_set_size(10) == 2**10 - 11
+
+    def test_permutation_values(self):
+        # C(n, floor(n/2)) - 1
+        assert sorting_permutation_test_set_size(2) == 1
+        assert sorting_permutation_test_set_size(4) == 5
+        assert sorting_permutation_test_set_size(5) == 9
+        assert sorting_permutation_test_set_size(10) == math.comb(10, 5) - 1
+
+    def test_permutation_bound_never_exceeds_binary_bound(self):
+        for n in range(2, 20):
+            assert sorting_permutation_test_set_size(n) <= sorting_test_set_size(n)
+
+    def test_invalid_n(self):
+        with pytest.raises(TestSetError):
+            sorting_test_set_size(0)
+
+
+class TestTheorem24:
+    def test_selector_binary_values(self):
+        # sum_{i=0..k} C(n,i) - k - 1
+        assert selector_test_set_size(4, 1) == (1 + 4) - 2
+        assert selector_test_set_size(4, 2) == (1 + 4 + 6) - 3
+        assert selector_test_set_size(6, 3) == sum(math.comb(6, i) for i in range(4)) - 4
+
+    def test_selector_equals_sorting_when_k_is_n(self):
+        for n in range(2, 10):
+            assert selector_test_set_size(n, n) == sorting_test_set_size(n)
+
+    def test_selector_permutation_values(self):
+        assert selector_permutation_test_set_size(6, 2) == math.comb(6, 2) - 1
+        assert selector_permutation_test_set_size(6, 5) == math.comb(6, 3) - 1
+        # k beyond floor(n/2) saturates at the sorting bound.
+        for n in range(2, 10):
+            assert (
+                selector_permutation_test_set_size(n, n)
+                == sorting_permutation_test_set_size(n)
+            )
+
+    def test_selector_monotone_in_k(self):
+        for n in range(3, 9):
+            sizes = [selector_test_set_size(n, k) for k in range(1, n + 1)]
+            assert sizes == sorted(sizes)
+
+    def test_invalid_k(self):
+        with pytest.raises(TestSetError):
+            selector_test_set_size(5, 0)
+        with pytest.raises(TestSetError):
+            selector_permutation_test_set_size(5, 6)
+
+
+class TestTheorem25:
+    def test_binary_values(self):
+        assert merging_test_set_size(4) == 4
+        assert merging_test_set_size(6) == 9
+        assert merging_test_set_size(10) == 25
+
+    def test_permutation_values(self):
+        assert merging_permutation_test_set_size(4) == 2
+        assert merging_permutation_test_set_size(10) == 5
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(TestSetError):
+            merging_test_set_size(5)
+        with pytest.raises(TestSetError):
+            merging_permutation_test_set_size(7)
+
+
+class TestBaselinesAndAsymptotics:
+    def test_exhaustive_sizes(self):
+        assert exhaustive_binary_size(5) == 32
+        assert exhaustive_permutation_size(5) == 120
+
+    def test_minimum_test_set_strictly_smaller_than_exhaustive(self):
+        for n in range(2, 15):
+            assert sorting_test_set_size(n) < exhaustive_binary_size(n)
+            assert sorting_permutation_test_set_size(n) < exhaustive_permutation_size(n)
+
+    def test_primitive_bound_is_one(self):
+        assert primitive_sorting_test_set_size(5) == 1
+        assert primitive_sorting_test_set_size(1) == 0
+
+    def test_central_binomial_approximation_accuracy(self):
+        # The paper's 2^{n+1}/sqrt(2 pi n) estimate is within ~10% already at n=16.
+        for n in (8, 12, 16, 20):
+            exact = math.comb(n, n // 2)
+            approx = central_binomial_approximation(n)
+            assert abs(approx - exact) / exact < 0.15
+
+    def test_yao_ratio_grows(self):
+        # The binary test set is larger by a factor growing like sqrt(n).
+        ratios = [yao_ratio(n) for n in (4, 8, 16, 24)]
+        assert ratios == sorted(ratios)
+        assert ratios[0] > 1

@@ -1,0 +1,147 @@
+"""Integration tests: end-to-end workflows across subpackages.
+
+These tests exercise the library the way the examples and benchmarks do:
+build devices, generate test sets, verify properties, inject faults and run
+the experiment harness — checking that the pieces compose, not just that
+each module works in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ComparatorNetwork,
+    is_sorter,
+    near_sorter,
+    sorting_binary_test_set,
+    sorting_test_set_size,
+)
+from repro.analysis.experiments import run_all_experiments
+from repro.constructions import (
+    batcher_merging_network,
+    batcher_sorting_network,
+    bubble_selection_network,
+)
+from repro.core import random_sorter_mutation
+from repro.faults import enumerate_single_faults, fault_coverage
+from repro.properties import is_merger, is_selector, sorts_all_words
+from repro.testsets import (
+    merging_binary_test_set,
+    near_merger,
+    selector_binary_test_set,
+    sorting_permutation_test_set,
+)
+from repro.words import cover_of_permutation_set, unsorted_binary_words
+
+
+class TestTopLevelApi:
+    def test_lazy_exports_work(self):
+        # The quickstart from the package docstring.
+        fig1 = ComparatorNetwork.from_pairs(4, [(0, 2), (1, 3), (0, 1), (2, 3)])
+        assert fig1((4, 1, 3, 2)) == (1, 3, 2, 4)
+        assert is_sorter(fig1) is False
+        assert sorting_test_set_size(4) == 11
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.not_a_real_symbol  # noqa: B018
+
+
+class TestAcceptanceWorkflow:
+    """A 'chip acceptance' flow: test candidate devices with the minimum test set."""
+
+    def test_accepts_good_devices_and_rejects_faulty_ones(self, rng):
+        n = 6
+        test_set = sorting_binary_test_set(n)
+        good = batcher_sorting_network(n)
+        assert sorts_all_words(good, test_set)
+
+        rejected = 0
+        for _ in range(10):
+            candidate = random_sorter_mutation(good, rng, num_mutations=1)
+            passes = sorts_all_words(candidate, test_set)
+            assert passes == is_sorter(candidate, strategy="binary")
+            rejected += not passes
+        assert rejected > 0
+
+    def test_permutation_test_set_gives_identical_verdicts(self, rng):
+        n = 5
+        binary_set = sorting_binary_test_set(n)
+        permutation_set = sorting_permutation_test_set(n)
+        good = batcher_sorting_network(n)
+        candidates = [good] + [
+            random_sorter_mutation(good, rng, num_mutations=1) for _ in range(8)
+        ]
+        for candidate in candidates:
+            assert sorts_all_words(candidate, binary_set) == sorts_all_words(
+                candidate, permutation_set
+            )
+
+    def test_worst_case_adversary_slips_past_any_smaller_set(self):
+        n = 5
+        test_set = sorting_binary_test_set(n)
+        # Remove one word; the corresponding adversary now passes inspection.
+        removed = test_set[7]
+        weakened = [w for w in test_set if w != removed]
+        trojan = near_sorter(removed)
+        assert sorts_all_words(trojan, weakened)
+        assert not is_sorter(trojan, strategy="binary")
+
+
+class TestSelectorAndMergerWorkflows:
+    def test_selector_acceptance(self):
+        n, k = 6, 2
+        device = bubble_selection_network(n, k)
+        test_set = selector_binary_test_set(n, k)
+        from repro.properties import selects_correctly
+
+        assert all(selects_correctly(device, k, w) for w in test_set)
+        assert is_selector(device, k)
+
+    def test_merger_acceptance_and_adversary(self):
+        n = 6
+        device = batcher_merging_network(n)
+        assert is_merger(device)
+        sigma = merging_binary_test_set(n)[0]
+        trojan = near_merger(sigma)
+        assert not is_merger(trojan)
+        from repro.properties import merges_correctly
+
+        others = [w for w in merging_binary_test_set(n) if w != sigma]
+        assert all(merges_correctly(trojan, w) for w in others)
+
+
+class TestCoverConsistency:
+    def test_permutation_testset_cover_equals_binary_requirements(self):
+        n = 6
+        covered = cover_of_permutation_set(sorting_permutation_test_set(n))
+        assert set(unsorted_binary_words(n)) <= covered
+
+
+class TestFaultWorkflow:
+    def test_paper_test_set_dominates_small_random_sets(self, rng):
+        n = 6
+        device = batcher_sorting_network(n)
+        faults = enumerate_single_faults(device)
+        paper_cov = fault_coverage(device, faults, sorting_binary_test_set(n))
+        random_vectors = [
+            tuple(int(b) for b in rng.integers(0, 2, size=n)) for _ in range(5)
+        ]
+        random_cov = fault_coverage(device, faults, random_vectors)
+        assert paper_cov >= random_cov
+
+
+class TestExperimentHarnessEndToEnd:
+    def test_fast_run_produces_all_eleven_experiments(self):
+        results = run_all_experiments(fast=True)
+        assert set(results) == {f"E{i}" for i in range(1, 12)}
+        for rows in results.values():
+            assert rows
+        # Every row that carries a 'match' flag must pass.
+        for rows in results.values():
+            for row in rows:
+                if "match" in row:
+                    assert row["match"], row

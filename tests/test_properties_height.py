@@ -1,0 +1,97 @@
+"""Unit tests for the height-restricted network machinery (§3 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import (
+    batcher_sorting_network,
+    bubble_sorting_network,
+    insertion_sorting_network,
+    odd_even_transposition_network,
+)
+from repro.core import ComparatorNetwork, random_height_limited_network
+from repro.exceptions import TestSetError
+from repro.properties import (
+    de_bruijn_criterion_agrees,
+    is_height_at_most,
+    is_primitive,
+    is_sorter,
+    network_height,
+    primitive_networks_of_size,
+    primitive_sorter_by_reverse_permutation,
+    sorts_reverse_permutation,
+)
+
+
+class TestHeightClassification:
+    def test_primitive_networks_have_height_one(self):
+        assert network_height(bubble_sorting_network(5)) == 1
+        assert is_primitive(insertion_sorting_network(6))
+        assert is_primitive(odd_even_transposition_network(7))
+
+    def test_batcher_is_not_primitive(self):
+        assert not is_primitive(batcher_sorting_network(8))
+        assert network_height(batcher_sorting_network(8)) == 4
+
+    def test_empty_network_is_primitive(self):
+        assert is_primitive(ComparatorNetwork.identity(4))
+        assert network_height(ComparatorNetwork.identity(4)) == 0
+
+    def test_is_height_at_most(self):
+        net = ComparatorNetwork.from_pairs(5, [(0, 2), (2, 3)])
+        assert is_height_at_most(net, 2)
+        assert not is_height_at_most(net, 1)
+        with pytest.raises(TestSetError):
+            is_height_at_most(net, -1)
+
+
+class TestDeBruijnCriterion:
+    def test_primitive_sorters_sort_the_reverse_permutation(self):
+        for n in range(2, 7):
+            assert primitive_sorter_by_reverse_permutation(bubble_sorting_network(n))
+
+    def test_truncated_primitive_networks_fail_the_single_test(self):
+        # Too few odd-even transposition rounds: not a sorter, and the
+        # reverse permutation already witnesses it.
+        for n in (4, 5, 6):
+            net = odd_even_transposition_network(n, rounds=n - 2)
+            assert not primitive_sorter_by_reverse_permutation(net)
+            assert not is_sorter(net, strategy="binary")
+
+    def test_criterion_rejected_for_non_primitive_networks(self, batcher8):
+        with pytest.raises(TestSetError):
+            primitive_sorter_by_reverse_permutation(batcher8)
+        with pytest.raises(TestSetError):
+            de_bruijn_criterion_agrees(batcher8)
+
+    def test_de_bruijn_theorem_on_random_primitive_networks(self, rng):
+        """The single reverse-permutation test decides sorting for height-1 networks."""
+        for _ in range(30):
+            size = int(rng.integers(0, 12))
+            net = random_height_limited_network(5, size, 1, rng)
+            assert de_bruijn_criterion_agrees(net)
+
+    def test_reverse_permutation_is_necessary_but_not_sufficient_for_height_two(self, rng):
+        """For height-2 networks, sorting the reverse permutation is NOT enough.
+
+        This is exactly why the paper poses height-2 as an open problem: we
+        exhibit a height-2 network that sorts the reverse permutation but is
+        not a sorter, so no single-input test set can exist for height 2.
+        """
+        found = False
+        for _ in range(300):
+            net = random_height_limited_network(4, int(rng.integers(3, 7)), 2, rng)
+            if sorts_reverse_permutation(net) and not is_sorter(net, strategy="binary"):
+                found = True
+                break
+        assert found
+
+    def test_exhaustive_de_bruijn_for_small_primitive_networks(self):
+        for size in range(0, 4):
+            for net in primitive_networks_of_size(4, size):
+                assert de_bruijn_criterion_agrees(net)
+
+    def test_primitive_enumeration_count(self):
+        assert len(primitive_networks_of_size(4, 2)) == 9
+        assert len(primitive_networks_of_size(5, 0)) == 1

@@ -1,0 +1,157 @@
+"""Unit tests for the selector and merger property checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import (
+    batcher_merging_network,
+    batcher_sorting_network,
+    bubble_selection_network,
+    pruned_selection_network,
+    zipper_merging_network,
+)
+from repro.core import ComparatorNetwork
+from repro.exceptions import TestSetError
+from repro.properties import (
+    MERGER_STRATEGIES,
+    SELECTOR_STRATEGIES,
+    all_sorted_half_pairs,
+    find_merging_counterexample,
+    find_selection_counterexample,
+    is_merger,
+    is_selector,
+    merges_correctly,
+    permutation_merge_inputs,
+    selects_correctly,
+)
+from repro.testsets import near_merger, near_selector
+
+
+class TestSelectorChecker:
+    @pytest.mark.parametrize("strategy", SELECTOR_STRATEGIES)
+    def test_strategies_accept_real_selectors(self, strategy):
+        assert is_selector(bubble_selection_network(6, 2), 2, strategy=strategy)
+        assert is_selector(pruned_selection_network(6, 3), 3, strategy=strategy)
+
+    @pytest.mark.parametrize("strategy", SELECTOR_STRATEGIES)
+    def test_strategies_reject_non_selectors(self, strategy):
+        # One bubble pass is a (1, n)-selector but not a (2, n)-selector.
+        network = bubble_selection_network(5, 1)
+        assert not is_selector(network, 2, strategy=strategy)
+
+    @pytest.mark.parametrize("strategy", SELECTOR_STRATEGIES)
+    def test_strategies_reject_lemma23_adversaries(self, strategy):
+        sigma = (1, 0, 1, 1, 1)  # one zero => member of T_1
+        adversary = near_selector(sigma, 1)
+        assert not is_selector(adversary, 1, strategy=strategy)
+
+    def test_a_sorter_selects_for_every_k(self, batcher8):
+        for k in range(1, 9):
+            assert is_selector(batcher8, k, strategy="testset")
+
+    def test_k_out_of_range(self, batcher8):
+        with pytest.raises(TestSetError):
+            is_selector(batcher8, 0)
+        with pytest.raises(TestSetError):
+            is_selector(batcher8, 9)
+
+    def test_unknown_strategy(self, batcher8):
+        with pytest.raises(TestSetError):
+            is_selector(batcher8, 2, strategy="guess")
+
+    def test_strategies_agree_on_random_networks(self, rng):
+        from repro.core import random_network
+
+        for _ in range(10):
+            net = random_network(5, 6, rng)
+            verdicts = {
+                is_selector(net, 2, strategy=s) for s in SELECTOR_STRATEGIES
+            }
+            assert len(verdicts) == 1
+
+    def test_selects_correctly_on_general_words(self):
+        selector = bubble_selection_network(5, 2)
+        assert selects_correctly(selector, 2, (9, 3, 7, 1, 5))
+        assert selects_correctly(selector, 2, (2, 2, 1, 1, 3))
+
+    def test_selection_counterexample(self):
+        network = bubble_selection_network(5, 1)
+        witness = find_selection_counterexample(network, 2)
+        assert witness is not None
+        assert not selects_correctly(network, 2, witness)
+
+    def test_selection_counterexample_none_for_selector(self):
+        assert find_selection_counterexample(bubble_selection_network(5, 2), 2) is None
+
+
+class TestMergerChecker:
+    @pytest.mark.parametrize("strategy", MERGER_STRATEGIES)
+    def test_strategies_accept_real_mergers(self, strategy):
+        assert is_merger(batcher_merging_network(8), strategy=strategy)
+        assert is_merger(zipper_merging_network(6), strategy=strategy)
+
+    @pytest.mark.parametrize("strategy", MERGER_STRATEGIES)
+    def test_strategies_reject_the_empty_network(self, strategy):
+        assert not is_merger(ComparatorNetwork.identity(4), strategy=strategy)
+
+    @pytest.mark.parametrize("strategy", MERGER_STRATEGIES)
+    def test_strategies_reject_theorem25_adversaries(self, strategy):
+        sigma = (0, 1, 0, 1)  # sorted halves, unsorted whole
+        adversary = near_merger(sigma)
+        assert not is_merger(adversary, strategy=strategy)
+
+    def test_merger_requires_even_width(self):
+        with pytest.raises(TestSetError):
+            is_merger(ComparatorNetwork.identity(5))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(TestSetError):
+            is_merger(batcher_merging_network(4), strategy="guess")
+
+    def test_strategies_agree_on_random_networks(self, rng):
+        from repro.core import random_network
+
+        for _ in range(10):
+            net = random_network(6, 5, rng)
+            verdicts = {is_merger(net, strategy=s) for s in MERGER_STRATEGIES}
+            assert len(verdicts) == 1
+
+    def test_merges_correctly_checks_input_legality(self):
+        merger = batcher_merging_network(4)
+        assert merges_correctly(merger, (0, 1, 0, 1))
+        with pytest.raises(TestSetError):
+            merges_correctly(merger, (1, 0, 0, 1))
+
+    def test_merging_counterexample(self):
+        witness = find_merging_counterexample(ComparatorNetwork.identity(6))
+        assert witness is not None
+        half = 3
+        assert witness[:half] == tuple(sorted(witness[:half]))
+        assert witness[half:] == tuple(sorted(witness[half:]))
+
+    def test_merging_counterexample_none_for_merger(self):
+        assert find_merging_counterexample(batcher_merging_network(6)) is None
+
+
+class TestMergeInputEnumerations:
+    def test_all_sorted_half_pairs_count(self):
+        for n in (2, 4, 6, 8):
+            assert len(all_sorted_half_pairs(n)) == (n // 2 + 1) ** 2
+
+    def test_permutation_merge_inputs_count(self):
+        import math
+
+        for n in (2, 4, 6):
+            assert len(permutation_merge_inputs(n)) == math.comb(n, n // 2)
+
+    def test_permutation_merge_inputs_have_sorted_halves(self):
+        for word in permutation_merge_inputs(6):
+            assert list(word[:3]) == sorted(word[:3])
+            assert list(word[3:]) == sorted(word[3:])
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(TestSetError):
+            all_sorted_half_pairs(5)
+        with pytest.raises(TestSetError):
+            permutation_merge_inputs(3)

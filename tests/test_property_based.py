@@ -1,0 +1,200 @@
+"""Hypothesis property-based tests for the core invariants.
+
+These cover the library's load-bearing identities on randomly generated
+networks and words:
+
+* scalar and vectorised evaluation agree;
+* standard networks are monotone and never unsort sorted inputs;
+* the zero–one principle (via threshold images);
+* complement–reverse duality;
+* serialisation round-trips;
+* cover/chain bijections;
+* the Lemma 2.1 construction on random unsorted words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComparatorNetwork, apply_network_to_batch
+from repro.core.serialization import (
+    network_from_json,
+    network_from_knuth,
+    network_to_json,
+    network_to_knuth,
+)
+from repro.testsets import near_sorter, sorts_exactly_all_but
+from repro.words import (
+    complement_reverse,
+    count_ones,
+    cover_of_permutation,
+    dominates,
+    is_sorted_word,
+    permutation_from_chain,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def networks(draw, min_lines: int = 2, max_lines: int = 7, max_size: int = 12):
+    """A random standard comparator network."""
+    n = draw(st.integers(min_lines, max_lines))
+    size = draw(st.integers(0, max_size))
+    comparators = []
+    for _ in range(size):
+        low = draw(st.integers(0, n - 2))
+        high = draw(st.integers(low + 1, n - 1))
+        comparators.append((low, high))
+    return ComparatorNetwork.from_pairs(n, comparators)
+
+
+@st.composite
+def network_and_word(draw):
+    network = draw(networks())
+    word = tuple(
+        draw(st.lists(st.integers(0, 1), min_size=network.n_lines, max_size=network.n_lines))
+    )
+    return network, word
+
+
+@st.composite
+def network_and_general_word(draw):
+    network = draw(networks())
+    word = tuple(
+        draw(
+            st.lists(
+                st.integers(-50, 50),
+                min_size=network.n_lines,
+                max_size=network.n_lines,
+            )
+        )
+    )
+    return network, word
+
+
+@st.composite
+def permutations_strategy(draw, min_n: int = 1, max_n: int = 7):
+    n = draw(st.integers(min_n, max_n))
+    return tuple(draw(st.permutations(range(n))))
+
+
+# ----------------------------------------------------------------------
+# Evaluation invariants
+# ----------------------------------------------------------------------
+
+
+@given(network_and_word())
+def test_scalar_and_batch_evaluation_agree(data):
+    network, word = data
+    scalar = network.apply(word)
+    batch = apply_network_to_batch(network, np.asarray([word], dtype=np.int8))
+    assert tuple(int(v) for v in batch[0]) == scalar
+
+
+@given(network_and_general_word())
+def test_output_is_a_permutation_of_the_input(data):
+    network, word = data
+    assert sorted(network.apply(word)) == sorted(word)
+
+
+@given(network_and_general_word())
+def test_sorted_inputs_stay_sorted(data):
+    network, word = data
+    sorted_word = tuple(sorted(word))
+    assert network.apply(sorted_word) == sorted_word
+
+
+@given(networks(), st.data())
+def test_monotonicity_of_standard_networks(network, data):
+    n = network.n_lines
+    lower = tuple(data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)))
+    upper = tuple(min(1, l + data.draw(st.integers(0, 1))) for l in lower)
+    assert dominates(lower, upper)
+    assert dominates(network.apply(lower), network.apply(upper))
+
+
+@given(network_and_general_word())
+def test_zero_one_principle_via_threshold_images(data):
+    from repro.properties import threshold_words
+
+    network, word = data
+    sorts_word_directly = is_sorted_word(network.apply(word))
+    sorts_all_images = all(
+        is_sorted_word(network.apply(image)) for image in threshold_words(word)
+    )
+    assert sorts_word_directly == sorts_all_images
+
+
+@given(network_and_word())
+def test_complement_reverse_duality(data):
+    network, word = data
+    assert network.dual().apply(complement_reverse(word)) == complement_reverse(
+        network.apply(word)
+    )
+
+
+@given(networks())
+def test_dual_is_an_involution(network):
+    assert network.dual().dual() == network
+
+
+@given(networks())
+def test_depth_bounds(network):
+    layers = network.layers()
+    assert len(layers) == network.depth
+    assert network.depth <= network.size
+    if network.size:
+        assert network.depth >= 1
+
+
+# ----------------------------------------------------------------------
+# Serialisation round-trips
+# ----------------------------------------------------------------------
+
+
+@given(networks())
+def test_knuth_round_trip(network):
+    assert network_from_knuth(network.n_lines, network_to_knuth(network)) == network
+
+
+@given(networks())
+def test_json_round_trip(network):
+    assert network_from_json(network_to_json(network)) == network
+
+
+# ----------------------------------------------------------------------
+# Covers and chains
+# ----------------------------------------------------------------------
+
+
+@given(permutations_strategy())
+def test_cover_chain_bijection(perm):
+    assert permutation_from_chain(cover_of_permutation(perm)) == perm
+
+
+@given(permutations_strategy(min_n=2))
+def test_cover_contains_extremes_and_is_graded(perm):
+    cover = cover_of_permutation(perm)
+    n = len(perm)
+    assert cover[0] == (0,) * n
+    assert cover[-1] == (1,) * n
+    assert [count_ones(w) for w in cover] == list(range(n + 1))
+
+
+# ----------------------------------------------------------------------
+# Lemma 2.1 on random words
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(st.integers(2, 8), st.data())
+def test_near_sorter_on_random_unsorted_words(n, data):
+    word = tuple(data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)))
+    assume(not is_sorted_word(word))
+    network = near_sorter(word)
+    assert sorts_exactly_all_but(network, word)

@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.core.random_networks`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    all_standard_comparators,
+    random_height_limited_network,
+    random_network,
+    random_networks,
+    random_sorter_mutation,
+    random_standard_comparator,
+)
+from repro.core.random_networks import as_rng, iter_random_words
+from repro.exceptions import ConstructionError
+
+
+class TestComparatorAlphabet:
+    def test_full_alphabet_size(self):
+        assert len(all_standard_comparators(5)) == 10
+
+    def test_span_limited_alphabet(self):
+        adjacent = all_standard_comparators(5, max_span=1)
+        assert len(adjacent) == 4
+        assert all(c.span == 1 for c in adjacent)
+
+    def test_alphabet_all_standard(self):
+        assert all(c.standard for c in all_standard_comparators(6))
+
+
+class TestRandomGeneration:
+    def test_random_network_shape(self, rng):
+        net = random_network(6, 12, rng)
+        assert net.n_lines == 6
+        assert net.size == 12
+        assert net.standard
+
+    def test_random_network_reproducible_with_seed(self):
+        assert random_network(5, 7, 42) == random_network(5, 7, 42)
+
+    def test_random_network_zero_size(self, rng):
+        assert random_network(4, 0, rng).size == 0
+
+    def test_random_network_too_few_lines(self):
+        with pytest.raises(ConstructionError):
+            random_network(1, 3, 0)
+
+    def test_random_networks_count(self, rng):
+        nets = random_networks(5, 4, 7, rng)
+        assert len(nets) == 7
+
+    def test_height_limited_network_respects_span(self, rng):
+        net = random_height_limited_network(8, 20, 2, rng)
+        assert net.height <= 2
+
+    def test_height_limited_rejects_bad_height(self, rng):
+        with pytest.raises(ConstructionError):
+            random_height_limited_network(8, 5, 0, rng)
+
+    def test_random_standard_comparator_in_range(self, rng):
+        for _ in range(20):
+            comp = random_standard_comparator(6, rng)
+            assert 0 <= comp.low < comp.high < 6
+
+    def test_as_rng_accepts_generator_and_seed(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+        assert isinstance(as_rng(3), np.random.Generator)
+
+    def test_iter_random_words(self, rng):
+        words = list(iter_random_words(5, 10, rng))
+        assert len(words) == 10
+        assert all(len(w) == 5 and set(w) <= {0, 1} for w in words)
+
+
+class TestMutations:
+    def test_delete_mutation_shrinks(self, four_sorter, rng):
+        mutated = random_sorter_mutation(
+            four_sorter, rng, operations=("delete",)
+        )
+        assert mutated.size == four_sorter.size - 1
+
+    def test_reverse_mutation_keeps_size(self, four_sorter, rng):
+        mutated = random_sorter_mutation(
+            four_sorter, rng, operations=("reverse",)
+        )
+        assert mutated.size == four_sorter.size
+        assert not mutated.standard
+
+    def test_rewire_mutation_keeps_size_and_standardness(self, four_sorter, rng):
+        mutated = random_sorter_mutation(
+            four_sorter, rng, operations=("rewire",)
+        )
+        assert mutated.size == four_sorter.size
+        assert mutated.standard
+
+    def test_unknown_operation_rejected(self, four_sorter, rng):
+        with pytest.raises(ConstructionError):
+            random_sorter_mutation(four_sorter, rng, operations=("scramble",))
+
+    def test_empty_network_rejected(self, rng):
+        from repro.core import ComparatorNetwork
+
+        with pytest.raises(ConstructionError):
+            random_sorter_mutation(ComparatorNetwork.identity(4), rng)
+
+    def test_mutations_usually_break_sorting(self, batcher8, rng):
+        """Deleting a comparator from Batcher-8 always breaks it (no redundancy)."""
+        from repro.properties import is_sorter
+
+        broken = 0
+        for _ in range(10):
+            mutated = random_sorter_mutation(batcher8, rng, operations=("delete",))
+            if not is_sorter(mutated, strategy="binary"):
+                broken += 1
+        assert broken >= 8

@@ -1,0 +1,115 @@
+"""Unit tests for behavioural equivalence and redundant-comparator removal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import (
+    batcher_sorting_network,
+    bubble_sorting_network,
+    optimal_sorting_network,
+)
+from repro.core import (
+    ComparatorNetwork,
+    active_comparator_counts,
+    comparator_is_redundant,
+    networks_equivalent,
+    redundant_comparator_indices,
+    remove_redundant_comparators,
+)
+from repro.faults import StuckPassFault, enumerate_single_faults, fault_coverage
+from repro.properties import is_sorter
+from repro.testsets import sorting_binary_test_set
+
+
+class TestEquivalence:
+    def test_network_is_equivalent_to_itself(self, batcher8):
+        assert networks_equivalent(batcher8, batcher8)
+
+    def test_different_sorters_are_equivalent(self):
+        assert networks_equivalent(batcher_sorting_network(5), bubble_sorting_network(5))
+        assert networks_equivalent(optimal_sorting_network(6), batcher_sorting_network(6))
+
+    def test_sorter_and_non_sorter_are_not_equivalent(self, four_sorter, non_sorter_4):
+        assert not networks_equivalent(four_sorter, non_sorter_4)
+
+    def test_different_widths_are_not_equivalent(self):
+        assert not networks_equivalent(
+            ComparatorNetwork.identity(3), ComparatorNetwork.identity(4)
+        )
+
+    def test_duplicate_comparator_is_equivalent_to_single(self):
+        once = ComparatorNetwork.from_pairs(3, [(0, 1)])
+        twice = ComparatorNetwork.from_pairs(3, [(0, 1), (0, 1)])
+        assert networks_equivalent(once, twice)
+
+
+class TestRedundancy:
+    def test_duplicated_comparator_is_redundant(self):
+        net = ComparatorNetwork.from_pairs(3, [(0, 1), (0, 1), (1, 2)])
+        assert comparator_is_redundant(net, 1)
+        assert comparator_is_redundant(net, 0)  # either copy can go
+        assert not comparator_is_redundant(net, 2)
+
+    def test_optimal_networks_have_no_redundancy(self):
+        for n in range(2, 8):
+            assert redundant_comparator_indices(optimal_sorting_network(n)) == []
+
+    def test_batcher_networks_have_no_redundancy(self):
+        for n in (4, 6, 8):
+            assert redundant_comparator_indices(batcher_sorting_network(n)) == []
+
+    def test_comparators_after_a_full_sorter_are_redundant(self):
+        sorter = batcher_sorting_network(5)
+        padded = sorter.extended([(0, 1), (2, 4)])
+        indices = redundant_comparator_indices(padded)
+        assert sorter.size in indices and sorter.size + 1 in indices
+
+    def test_active_counts_flag_never_swapping_comparators(self):
+        sorter = batcher_sorting_network(4)
+        padded = sorter.extended([(0, 3)])
+        counts = active_comparator_counts(padded)
+        assert counts[-1] == 0
+        assert all(count > 0 for count in counts[:-1])
+
+    def test_active_counts_example(self):
+        # On 3 lines: [0,1] swaps on inputs 10x (2 of them), then [1,2] ...
+        counts = active_comparator_counts(bubble_sorting_network(3))
+        assert counts == [2, 3, 1]
+
+
+class TestRemoval:
+    def test_removal_preserves_behaviour_and_shrinks(self):
+        combo = batcher_sorting_network(5).then(bubble_sorting_network(5))
+        simplified, removed = remove_redundant_comparators(combo)
+        assert removed > 0
+        assert simplified.size + removed == combo.size
+        assert networks_equivalent(simplified, combo)
+        assert is_sorter(simplified, strategy="binary")
+
+    def test_removal_is_idempotent(self):
+        combo = batcher_sorting_network(4).then(optimal_sorting_network(4))
+        simplified, _ = remove_redundant_comparators(combo)
+        again, removed_again = remove_redundant_comparators(simplified)
+        assert removed_again == 0
+        assert again == simplified
+
+    def test_removal_on_irredundant_network_is_a_noop(self, four_sorter):
+        simplified, removed = remove_redundant_comparators(four_sorter)
+        assert removed == 0
+        assert simplified == four_sorter
+
+    def test_redundant_comparators_are_undetectable_stuck_pass_faults(self):
+        """The tie-in with the fault experiments: a redundant comparator's
+        stuck-pass fault cannot be detected by any test vector."""
+        sorter = optimal_sorting_network(4)
+        padded = sorter.extended([(0, 1)])
+        redundant = redundant_comparator_indices(padded)
+        assert padded.size - 1 in redundant
+        fault = StuckPassFault(padded.size - 1)
+        coverage = fault_coverage(padded, [fault], sorting_binary_test_set(4))
+        assert coverage == 0.0
+        # Whereas the network as a whole still has full coverage of the
+        # detectable faults.
+        all_faults = enumerate_single_faults(padded, kinds=("stuck-pass",))
+        assert fault_coverage(padded, all_faults, sorting_binary_test_set(4)) < 1.0

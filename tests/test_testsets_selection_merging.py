@@ -1,0 +1,188 @@
+"""Unit tests for the Theorem 2.4 and 2.5 test-set generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constructions import (
+    batcher_merging_network,
+    bubble_selection_network,
+    pruned_selection_network,
+    zipper_merging_network,
+)
+from repro.exceptions import TestSetError
+from repro.properties import (
+    is_merger,
+    is_selector,
+    merges_correctly,
+    selects_correctly,
+)
+from repro.testsets import (
+    half_sorted_words,
+    merging_binary_test_set,
+    merging_lower_bound_witnesses,
+    merging_permutation_test_set,
+    merging_permutation_test_set_size,
+    merging_test_set_size,
+    near_merger,
+    near_selector,
+    selector_binary_test_set,
+    selector_permutation_test_set,
+    selector_permutation_test_set_size,
+    selector_test_set_size,
+)
+from repro.words import (
+    count_ones,
+    count_zeros,
+    is_sorted_word,
+    no_permutation_covers_both,
+    permutation_covers,
+)
+
+
+class TestSelectorBinaryTestSet:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 2), (6, 3), (7, 4), (8, 8)])
+    def test_size_matches_theorem(self, n, k):
+        assert len(selector_binary_test_set(n, k)) == selector_test_set_size(n, k)
+
+    def test_members_are_unsorted_with_few_zeros(self):
+        for word in selector_binary_test_set(6, 2):
+            assert not is_sorted_word(word)
+            assert count_zeros(word) <= 2
+
+    def test_k_equals_n_recovers_the_sorting_test_set(self):
+        from repro.testsets import sorting_binary_test_set
+
+        assert set(selector_binary_test_set(5, 5)) == set(sorting_binary_test_set(5))
+
+    @pytest.mark.parametrize("n,k", [(5, 2), (6, 2), (6, 3)])
+    def test_sufficiency_real_selectors_pass(self, n, k):
+        words = selector_binary_test_set(n, k)
+        for network in (bubble_selection_network(n, k), pruned_selection_network(n, k)):
+            assert all(selects_correctly(network, k, w) for w in words)
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (5, 2)])
+    def test_necessity_no_word_can_be_dropped(self, n, k):
+        words = selector_binary_test_set(n, k)
+        for dropped in words:
+            adversary = near_selector(dropped, k)
+            others = [w for w in words if w != dropped]
+            assert all(selects_correctly(adversary, k, w) for w in others)
+            assert not is_selector(adversary, k, strategy="binary")
+
+    def test_bad_parameters(self):
+        with pytest.raises(TestSetError):
+            selector_binary_test_set(5, 0)
+        with pytest.raises(TestSetError):
+            selector_binary_test_set(5, 6)
+
+
+class TestSelectorPermutationTestSet:
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (5, 2), (6, 3), (6, 5), (7, 3)])
+    def test_size_matches_theorem(self, n, k):
+        assert (
+            len(selector_permutation_test_set(n, k))
+            == selector_permutation_test_set_size(n, k)
+        )
+
+    @pytest.mark.parametrize("n,k", [(5, 2), (6, 2)])
+    def test_selectors_pass_and_adversaries_fail(self, n, k):
+        perms = selector_permutation_test_set(n, k)
+        selector = bubble_selection_network(n, k)
+        assert all(selects_correctly(selector, k, p) for p in perms)
+        # Every Lemma 2.3 adversary is exposed by some permutation in the set.
+        for sigma in selector_binary_test_set(n, k):
+            adversary = near_selector(sigma, k)
+            assert not all(selects_correctly(adversary, k, p) for p in perms), sigma
+
+    @pytest.mark.parametrize("n,k", [(5, 2), (6, 2), (6, 3)])
+    def test_every_required_word_is_covered(self, n, k):
+        perms = selector_permutation_test_set(n, k)
+        for word in selector_binary_test_set(n, k):
+            assert any(permutation_covers(p, word) for p in perms)
+
+
+class TestMergingBinaryTestSet:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10])
+    def test_size_matches_theorem(self, n):
+        assert len(merging_binary_test_set(n)) == merging_test_set_size(n)
+
+    def test_members_have_sorted_halves_but_are_unsorted(self):
+        for word in merging_binary_test_set(8):
+            assert is_sorted_word(word[:4])
+            assert is_sorted_word(word[4:])
+            assert not is_sorted_word(word)
+
+    def test_half_sorted_words_count(self):
+        assert len(half_sorted_words(6)) == 16
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_sufficiency_mergers_pass(self, n):
+        words = merging_binary_test_set(n)
+        for network in (batcher_merging_network(n), zipper_merging_network(n)):
+            assert all(merges_correctly(network, w) for w in words)
+
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_necessity_no_word_can_be_dropped(self, n):
+        words = merging_binary_test_set(n)
+        for dropped in words:
+            adversary = near_merger(dropped)
+            others = [w for w in words if w != dropped]
+            assert all(merges_correctly(adversary, w) for w in others)
+            assert not is_merger(adversary, strategy="binary")
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(TestSetError):
+            merging_binary_test_set(5)
+
+
+class TestMergingPermutationTestSet:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 12])
+    def test_size_matches_theorem(self, n):
+        assert (
+            len(merging_permutation_test_set(n))
+            == merging_permutation_test_set_size(n)
+        )
+
+    def test_members_are_legal_merge_inputs(self):
+        for perm in merging_permutation_test_set(8):
+            assert sorted(perm) == list(range(8))
+            assert list(perm[:4]) == sorted(perm[:4])
+            assert list(perm[4:]) == sorted(perm[4:])
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_mergers_pass_and_adversaries_fail(self, n):
+        perms = merging_permutation_test_set(n)
+        merger = batcher_merging_network(n)
+        assert all(merges_correctly(merger, p) for p in perms)
+        for sigma in merging_binary_test_set(n):
+            adversary = near_merger(sigma)
+            assert not all(merges_correctly(adversary, p) for p in perms), sigma
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_covers_the_binary_test_set(self, n):
+        perms = merging_permutation_test_set(n)
+        for word in merging_binary_test_set(n):
+            assert any(permutation_covers(p, word) for p in perms)
+
+
+class TestMergingLowerBound:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10])
+    def test_witness_count(self, n):
+        assert len(merging_lower_bound_witnesses(n)) == n // 2
+
+    def test_witnesses_are_valid_unsorted_merge_inputs_of_equal_weight(self):
+        witnesses = merging_lower_bound_witnesses(8)
+        for w in witnesses:
+            assert is_sorted_word(w[:4]) and is_sorted_word(w[4:])
+            assert not is_sorted_word(w)
+            assert count_ones(w) == 4
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_no_permutation_covers_two_witnesses(self, n):
+        witnesses = merging_lower_bound_witnesses(n)
+        for i in range(len(witnesses)):
+            for j in range(i + 1, len(witnesses)):
+                assert no_permutation_covers_both(witnesses[i], witnesses[j])

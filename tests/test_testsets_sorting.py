@@ -1,0 +1,131 @@
+"""Unit tests for the Theorem 2.2 test-set generators (sorting)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constructions import (
+    batcher_sorting_network,
+    bose_nelson_sorting_network,
+    optimal_sorting_network,
+)
+from repro.core import random_sorter_mutation
+from repro.properties import is_sorter, sorts_all_words
+from repro.testsets import (
+    near_sorter,
+    sorting_binary_test_set,
+    sorting_lower_bound_witnesses_binary,
+    sorting_lower_bound_witnesses_permutation,
+    sorting_permutation_test_set,
+    sorting_permutation_test_set_size,
+    sorting_test_set_size,
+)
+from repro.words import (
+    count_ones,
+    is_sorted_word,
+    no_permutation_covers_both,
+    permutation_covers,
+)
+
+
+class TestBinaryTestSet:
+    @pytest.mark.parametrize("n", range(1, 12))
+    def test_size_matches_theorem(self, n):
+        assert len(sorting_binary_test_set(n)) == sorting_test_set_size(n)
+
+    def test_contains_only_unsorted_words(self):
+        assert all(not is_sorted_word(w) for w in sorting_binary_test_set(6))
+
+    def test_words_are_unique(self):
+        words = sorting_binary_test_set(7)
+        assert len(set(words)) == len(words)
+
+    @pytest.mark.parametrize(
+        "factory,n",
+        [(batcher_sorting_network, 6), (bose_nelson_sorting_network, 5), (optimal_sorting_network, 7)],
+    )
+    def test_sufficiency_sorters_pass(self, factory, n):
+        assert sorts_all_words(factory(n), sorting_binary_test_set(n))
+
+    def test_sufficiency_matches_full_verdict_for_mutants(self, rng):
+        """Passing the test set == being a sorter, for a population of mutants."""
+        sorter = batcher_sorting_network(6)
+        test_set = sorting_binary_test_set(6)
+        for _ in range(20):
+            mutant = random_sorter_mutation(sorter, rng, num_mutations=1)
+            assert sorts_all_words(mutant, test_set) == is_sorter(
+                mutant, strategy="binary"
+            )
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_necessity_no_word_can_be_dropped(self, n):
+        """Dropping any single word breaks the test set (Lemma 2.1)."""
+        test_set = sorting_binary_test_set(n)
+        for dropped in test_set:
+            remaining = [w for w in test_set if w != dropped]
+            adversary = near_sorter(dropped)
+            # The adversary passes the weakened test set but is not a sorter.
+            assert sorts_all_words(adversary, remaining)
+            assert not is_sorter(adversary, strategy="binary")
+
+
+class TestPermutationTestSet:
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_size_matches_theorem(self, n):
+        assert (
+            len(sorting_permutation_test_set(n))
+            == sorting_permutation_test_set_size(n)
+        )
+
+    @pytest.mark.parametrize("n", range(2, 8))
+    def test_sorters_pass_and_adversaries_fail(self, n):
+        perms = sorting_permutation_test_set(n)
+        sorter = batcher_sorting_network(n)
+        assert sorts_all_words(sorter, perms)
+        # An adversary for a weight-floor(n/2) word must be caught.
+        witnesses = sorting_lower_bound_witnesses_permutation(n)
+        adversary = near_sorter(witnesses[0])
+        assert not sorts_all_words(adversary, perms)
+
+    @pytest.mark.parametrize("n", range(2, 8))
+    def test_every_adversary_is_caught(self, n):
+        """Sufficiency: every Lemma 2.1 adversary fails on some test permutation."""
+        perms = sorting_permutation_test_set(n)
+        for sigma in sorting_binary_test_set(n):
+            adversary = near_sorter(sigma)
+            assert not sorts_all_words(adversary, perms), sigma
+
+    def test_identity_not_included(self):
+        from repro.words import identity_permutation
+
+        assert identity_permutation(6) not in sorting_permutation_test_set(6)
+
+
+class TestLowerBoundWitnesses:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_witness_count_matches_bound(self, n):
+        witnesses = sorting_lower_bound_witnesses_permutation(n)
+        assert len(witnesses) == math.comb(n, n // 2) - 1
+
+    def test_witnesses_have_central_weight(self):
+        for w in sorting_lower_bound_witnesses_permutation(6):
+            assert count_ones(w) == 3
+            assert not is_sorted_word(w)
+
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_no_permutation_covers_two_witnesses(self, n):
+        witnesses = sorting_lower_bound_witnesses_permutation(n)
+        for i in range(len(witnesses)):
+            for j in range(i + 1, len(witnesses)):
+                assert no_permutation_covers_both(witnesses[i], witnesses[j])
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_each_witness_is_covered_by_some_test_permutation(self, n):
+        perms = sorting_permutation_test_set(n)
+        for witness in sorting_lower_bound_witnesses_permutation(n):
+            assert any(permutation_covers(p, witness) for p in perms)
+
+    def test_binary_witnesses_equal_the_test_set(self):
+        assert sorting_lower_bound_witnesses_binary(5) == sorting_binary_test_set(5)

@@ -1,0 +1,173 @@
+"""Unit tests for test-set validation and the empirical minimum-test-set search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TestSetError
+from repro.testsets import (
+    detection_sets_for_sorting,
+    empirical_sorting_test_set_size,
+    exact_minimum_hitting_set,
+    greedy_hitting_set,
+    is_merging_test_set_binary,
+    is_merging_test_set_permutation,
+    is_selector_test_set_binary,
+    is_selector_test_set_permutation,
+    is_sorting_test_set_binary,
+    is_sorting_test_set_permutation,
+    merging_binary_test_set,
+    merging_permutation_test_set,
+    minimum_test_set_for_population,
+    missing_required_words,
+    near_sorter,
+    selector_binary_test_set,
+    selector_permutation_test_set,
+    sorting_binary_test_set,
+    sorting_permutation_test_set,
+    sorting_test_set_size,
+    uncovered_required_words,
+)
+from repro.words import all_binary_words, unsorted_binary_words
+
+
+class TestSortingValidation:
+    def test_the_generated_set_is_valid(self):
+        assert is_sorting_test_set_binary(sorting_binary_test_set(5), 5)
+
+    def test_the_full_cube_is_valid(self):
+        assert is_sorting_test_set_binary(all_binary_words(4), 4)
+
+    def test_dropping_a_word_invalidates(self):
+        words = sorting_binary_test_set(4)[1:]
+        assert not is_sorting_test_set_binary(words, 4)
+
+    def test_missing_required_words_reports_the_gap(self):
+        full = sorting_binary_test_set(4)
+        missing = missing_required_words(full[1:], full)
+        assert missing == [full[0]]
+
+    def test_wrong_length_words_rejected(self):
+        with pytest.raises(TestSetError):
+            is_sorting_test_set_binary([(0, 1, 1)], 4)
+
+    def test_permutation_set_is_valid(self):
+        assert is_sorting_test_set_permutation(sorting_permutation_test_set(5), 5)
+
+    def test_identity_alone_is_not_valid(self):
+        assert not is_sorting_test_set_permutation([(0, 1, 2, 3)], 4)
+
+    def test_uncovered_required_words(self):
+        required = sorting_binary_test_set(3)
+        gaps = uncovered_required_words([(0, 1, 2)], required)
+        assert set(gaps) == set(required)
+
+
+class TestSelectorAndMergingValidation:
+    def test_selector_binary_validation(self):
+        assert is_selector_test_set_binary(selector_binary_test_set(5, 2), 5, 2)
+        assert not is_selector_test_set_binary(
+            selector_binary_test_set(5, 2)[1:], 5, 2
+        )
+
+    def test_selector_binary_superset_still_valid(self):
+        words = selector_binary_test_set(5, 2) + list(unsorted_binary_words(5))
+        assert is_selector_test_set_binary(words, 5, 2)
+
+    def test_selector_permutation_validation(self):
+        assert is_selector_test_set_permutation(
+            selector_permutation_test_set(6, 2), 6, 2
+        )
+        assert not is_selector_test_set_permutation(
+            selector_permutation_test_set(6, 2)[2:], 6, 2
+        )
+
+    def test_merging_binary_validation(self):
+        assert is_merging_test_set_binary(merging_binary_test_set(6), 6)
+        assert not is_merging_test_set_binary(merging_binary_test_set(6)[1:], 6)
+
+    def test_merging_rejects_illegal_candidate_inputs(self):
+        with pytest.raises(TestSetError):
+            is_merging_test_set_binary([(1, 0, 0, 1)], 4)
+
+    def test_merging_permutation_validation(self):
+        assert is_merging_test_set_permutation(merging_permutation_test_set(6), 6)
+        assert not is_merging_test_set_permutation(
+            merging_permutation_test_set(6)[1:], 6
+        )
+
+    def test_merging_permutation_rejects_illegal_inputs(self):
+        with pytest.raises(TestSetError):
+            is_merging_test_set_permutation([(1, 0, 2, 3)], 4)
+
+
+class TestHittingSetSolvers:
+    def test_greedy_on_singletons(self):
+        sets = [frozenset({0}), frozenset({3}), frozenset({1})]
+        assert greedy_hitting_set(sets) == [0, 1, 3]
+
+    def test_exact_beats_or_matches_greedy(self):
+        sets = [
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+            frozenset({3, 0}),
+        ]
+        exact = exact_minimum_hitting_set(sets)
+        greedy = greedy_hitting_set(sets)
+        assert len(exact) <= len(greedy)
+        assert len(exact) == 2
+
+    def test_exact_on_disjoint_sets(self):
+        sets = [frozenset({0}), frozenset({1}), frozenset({2})]
+        assert len(exact_minimum_hitting_set(sets)) == 3
+
+    def test_empty_detection_set_rejected(self):
+        with pytest.raises(TestSetError):
+            greedy_hitting_set([frozenset()])
+        with pytest.raises(TestSetError):
+            exact_minimum_hitting_set([frozenset({1}), frozenset()])
+
+    def test_no_sets_means_empty_hitting_set(self):
+        assert exact_minimum_hitting_set([]) == []
+
+
+class TestEmpiricalMinimum:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_matches_theorem_22(self, n):
+        assert empirical_sorting_test_set_size(n, exact=True) == sorting_test_set_size(n)
+
+    def test_greedy_variant_also_matches_for_singletons(self):
+        # With singleton detection sets the greedy solution is already optimal.
+        assert empirical_sorting_test_set_size(3, exact=False) == sorting_test_set_size(3)
+
+    def test_detection_sets_for_adversaries_are_singletons(self):
+        n = 4
+        candidates = list(all_binary_words(n))
+        population = [near_sorter(s) for s in unsorted_binary_words(n)]
+        sets = detection_sets_for_sorting(population, candidates)
+        assert all(len(s) == 1 for s in sets)
+
+    def test_weaker_population_needs_fewer_tests(self):
+        """A population of single-deletion mutants of Batcher-4 is covered by
+        far fewer vectors than the full 2^n - n - 1 bound."""
+        from repro.constructions import batcher_sorting_network
+        from repro.properties import is_sorter
+
+        n = 4
+        sorter = batcher_sorting_network(n)
+        population = [
+            sorter.without_comparator(i)
+            for i in range(sorter.size)
+            if not is_sorter(sorter.without_comparator(i), strategy="binary")
+        ]
+        assert population
+        chosen = minimum_test_set_for_population(
+            population, list(all_binary_words(n)), exact=True
+        )
+        assert 1 <= len(chosen) < sorting_test_set_size(n)
+
+    def test_population_not_covered_by_candidates_raises(self):
+        population = [near_sorter((1, 0, 1, 0))]
+        with pytest.raises(TestSetError):
+            minimum_test_set_for_population(population, [(0, 0, 0, 0)], exact=True)

@@ -1,0 +1,163 @@
+"""Unit tests for :mod:`repro.words.binary`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import NotBinaryError
+from repro.words import (
+    all_binary_words,
+    binary_words_with_weight,
+    binary_words_with_zero_count,
+    check_binary,
+    complement_reverse,
+    count_ones,
+    count_zeros,
+    dominated_words,
+    dominates,
+    dominating_words,
+    hamming_distance,
+    is_binary,
+    is_one_transposition_from_sorted,
+    is_sorted_word,
+    sort_word,
+    sorted_binary_words,
+    support,
+    transposition_distance_to_sorted,
+    unsorted_binary_words,
+    word_from_rank,
+    word_from_zero_positions,
+    word_rank,
+    zero_positions,
+)
+
+
+class TestValidation:
+    def test_check_binary_accepts_binary(self):
+        assert check_binary([0, 1, 1]) == (0, 1, 1)
+
+    def test_check_binary_rejects_other_values(self):
+        with pytest.raises(NotBinaryError):
+            check_binary((0, 2, 1))
+
+    def test_is_binary(self):
+        assert is_binary((0, 1, 0))
+        assert not is_binary((0, 3))
+
+
+class TestSortednessAndCounts:
+    def test_is_sorted_word(self):
+        assert is_sorted_word((0, 0, 1, 1))
+        assert not is_sorted_word((0, 1, 0))
+        assert is_sorted_word(())
+        assert is_sorted_word((1,))
+
+    def test_sort_word(self):
+        assert sort_word((1, 0, 1, 0)) == (0, 0, 1, 1)
+
+    def test_counts_match_paper_notation(self):
+        word = (0, 1, 1, 0, 1)
+        assert count_zeros(word) == 2
+        assert count_ones(word) == 3
+
+    def test_sorted_words_enumeration(self):
+        assert sorted_binary_words(3) == [
+            (0, 0, 0),
+            (0, 0, 1),
+            (0, 1, 1),
+            (1, 1, 1),
+        ]
+
+    def test_unsorted_words_count_matches_theorem(self):
+        for n in range(1, 10):
+            assert len(unsorted_binary_words(n)) == 2**n - n - 1
+
+    def test_words_with_weight(self):
+        words = binary_words_with_weight(4, 2)
+        assert len(words) == math.comb(4, 2)
+        assert all(count_ones(w) == 2 for w in words)
+
+    def test_words_with_zero_count(self):
+        words = binary_words_with_zero_count(5, 1)
+        assert len(words) == 5
+        assert all(count_zeros(w) == 1 for w in words)
+
+    def test_weight_out_of_range_gives_empty(self):
+        assert binary_words_with_weight(3, 5) == []
+
+
+class TestRanking:
+    def test_rank_round_trip(self):
+        for n in range(1, 7):
+            for rank in range(2**n):
+                assert word_rank(word_from_rank(n, rank)) == rank
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            word_from_rank(3, 8)
+
+
+class TestDominance:
+    def test_dominates_basic(self):
+        assert dominates((0, 0, 1), (0, 1, 1))
+        assert not dominates((1, 0, 0), (0, 1, 1))
+
+    def test_dominates_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            dominates((0, 1), (0, 1, 1))
+
+    def test_dominated_words_count(self):
+        word = (1, 0, 1, 1)
+        assert len(dominated_words(word)) == 2 ** count_ones(word)
+        assert all(dominates(w, word) for w in dominated_words(word))
+
+    def test_dominating_words_count(self):
+        word = (1, 0, 0, 1)
+        assert len(dominating_words(word)) == 2 ** count_zeros(word)
+        assert all(dominates(word, w) for w in dominating_words(word))
+
+
+class TestComplementReverse:
+    def test_example(self):
+        assert complement_reverse((1, 0, 0)) == (1, 1, 0)
+
+    def test_involution(self):
+        for word in all_binary_words(5):
+            assert complement_reverse(complement_reverse(word)) == word
+
+    def test_preserves_sortedness(self):
+        for word in all_binary_words(5):
+            assert is_sorted_word(word) == is_sorted_word(complement_reverse(word))
+
+
+class TestDistances:
+    def test_hamming(self):
+        assert hamming_distance((0, 1, 1), (1, 1, 0)) == 2
+        with pytest.raises(ValueError):
+            hamming_distance((0, 1), (0, 1, 1))
+
+    def test_transposition_distance_examples(self):
+        assert transposition_distance_to_sorted((0, 0, 1, 1)) == 0
+        assert transposition_distance_to_sorted((1, 0, 0, 1)) == 1
+        assert transposition_distance_to_sorted((1, 1, 0, 0)) == 2
+
+    def test_one_transposition_predicate(self):
+        assert is_one_transposition_from_sorted((0, 1, 0, 1))
+        assert not is_one_transposition_from_sorted((0, 0, 1, 1))
+        assert not is_one_transposition_from_sorted((1, 1, 0, 0))
+
+
+class TestPositions:
+    def test_support_and_zero_positions_partition(self):
+        word = (1, 0, 0, 1, 1)
+        assert support(word) == (0, 3, 4)
+        assert zero_positions(word) == (1, 2)
+
+    def test_word_from_zero_positions(self):
+        assert word_from_zero_positions(4, [1, 3]) == (1, 0, 1, 0)
+
+    def test_word_from_zero_positions_out_of_range(self):
+        with pytest.raises(ValueError):
+            word_from_zero_positions(3, [3])

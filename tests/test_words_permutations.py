@@ -1,0 +1,108 @@
+"""Unit tests for :mod:`repro.words.permutations`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import NotAPermutationError
+from repro.words import (
+    all_permutations,
+    apply_permutation_to_positions,
+    check_permutation,
+    compose_permutations,
+    identity_permutation,
+    invert_permutation,
+    inversions,
+    is_permutation,
+    is_sorted_permutation,
+    num_permutations,
+    permutation_from_one_based,
+    permutation_from_priority_order,
+    permutation_to_one_based,
+    random_permutation,
+    reverse_permutation,
+)
+
+
+class TestValidation:
+    def test_check_permutation_accepts(self):
+        assert check_permutation([2, 0, 1]) == (2, 0, 1)
+
+    def test_check_permutation_rejects_repeats(self):
+        with pytest.raises(NotAPermutationError):
+            check_permutation((0, 0, 1))
+
+    def test_check_permutation_rejects_out_of_range(self):
+        with pytest.raises(NotAPermutationError):
+            check_permutation((1, 2, 3))
+
+    def test_is_permutation(self):
+        assert is_permutation((1, 0))
+        assert not is_permutation((1, 1))
+
+
+class TestBasicPermutations:
+    def test_identity_and_reverse(self):
+        assert identity_permutation(4) == (0, 1, 2, 3)
+        assert reverse_permutation(4) == (3, 2, 1, 0)
+
+    def test_all_permutations_count(self):
+        assert len(list(all_permutations(4))) == 24
+        assert num_permutations(6) == math.factorial(6)
+
+    def test_random_permutation_is_valid(self, rng):
+        assert is_permutation(random_permutation(8, rng))
+
+    def test_is_sorted_permutation(self):
+        assert is_sorted_permutation((0, 1, 2))
+        assert not is_sorted_permutation((0, 2, 1))
+
+
+class TestAlgebra:
+    def test_inverse(self):
+        perm = (2, 0, 3, 1)
+        inv = invert_permutation(perm)
+        assert compose_permutations(perm, inv) == identity_permutation(4)
+        assert compose_permutations(inv, perm) == identity_permutation(4)
+
+    def test_compose_sizes_must_match(self):
+        with pytest.raises(NotAPermutationError):
+            compose_permutations((0, 1), (0, 1, 2))
+
+    def test_apply_permutation_to_positions(self):
+        # perm[i] says which input index feeds output position i.
+        assert apply_permutation_to_positions((2, 0, 1), (10, 20, 30)) == (30, 10, 20)
+
+    def test_apply_permutation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_permutation_to_positions((0, 1), (1, 2, 3))
+
+
+class TestNotationConversions:
+    def test_one_based_round_trip(self):
+        paper = (4, 1, 3, 2)
+        zero_based = permutation_from_one_based(paper)
+        assert zero_based == (3, 0, 2, 1)
+        assert permutation_to_one_based(zero_based) == paper
+
+    def test_priority_order(self):
+        # Line 2 gets the smallest value, then line 0, then line 1.
+        perm = permutation_from_priority_order([2, 0, 1])
+        assert perm == (1, 2, 0)
+
+    def test_priority_order_must_cover_all_lines(self):
+        with pytest.raises(NotAPermutationError):
+            permutation_from_priority_order([0, 0, 1])
+
+
+class TestInversions:
+    def test_identity_has_no_inversions(self):
+        assert inversions(identity_permutation(5)) == 0
+
+    def test_reverse_has_maximum_inversions(self):
+        assert inversions(reverse_permutation(5)) == 10
+
+    def test_single_swap(self):
+        assert inversions((1, 0, 2)) == 1
