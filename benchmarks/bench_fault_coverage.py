@@ -27,12 +27,16 @@ def test_fault_coverage_table(reporter):
     )
 
 
+@pytest.mark.parametrize("engine", ["vectorized", "bitpacked"])
 @pytest.mark.parametrize("n", [6, 8])
-def test_full_fault_simulation(benchmark, n):
+def test_full_fault_simulation(benchmark, n, engine):
     device = batcher_sorting_network(n)
     faults = enumerate_single_faults(device)
     vectors = sorting_binary_test_set(n)
-    matrix = benchmark(lambda: fault_detection_matrix(device, faults, vectors))
+    benchmark.group = f"fault-simulation-n{n}"
+    matrix = benchmark(
+        lambda: fault_detection_matrix(device, faults, vectors, engine=engine)
+    )
     assert matrix.shape == (len(faults), len(vectors))
 
 

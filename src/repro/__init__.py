@@ -4,7 +4,10 @@
 The package is organised in layers:
 
 ``repro.core``
-    Comparator-network data model and vectorised evaluation.
+    Comparator-network data model and the batch evaluation engines
+    (``engine={"scalar", "vectorized", "bitpacked"}``; the bit-packed
+    engine evaluates 0/1 batches 64 words per uint64, see
+    :mod:`repro.core.bitpacked`).
 ``repro.words``
     Binary words, permutations, covers, chain decompositions.
 ``repro.constructions``
@@ -17,7 +20,9 @@ The package is organised in layers:
     sets for sorting / selection / merging in both input models, closed-form
     sizes, validation and empirical minimum-test-set search.
 ``repro.faults``
-    VLSI-testing substrate: fault models, fault simulation, coverage.
+    VLSI-testing substrate: fault models, fault simulation (including the
+    batched bit-packed engine sharing fault-free prefixes across faults),
+    coverage.
 ``repro.analysis``
     Experiment harness used by ``benchmarks/`` and ``EXPERIMENTS.md``.
 
@@ -41,6 +46,7 @@ from .core import (
 from .exceptions import (
     AdversaryError,
     ConstructionError,
+    EngineError,
     FaultModelError,
     InputLengthError,
     InvalidComparatorError,
@@ -61,6 +67,7 @@ __all__ = [
     "NetworkBuilder",
     "AdversaryError",
     "ConstructionError",
+    "EngineError",
     "FaultModelError",
     "InputLengthError",
     "InvalidComparatorError",

@@ -451,9 +451,19 @@ def experiment_decision_cost(
 # E11 — fault coverage (VLSI motivation)
 # ----------------------------------------------------------------------
 def experiment_fault_coverage(
-    n: int = 8, *, seed: int = 0, random_set_sizes: Iterable[int] = (8, 32)
+    n: int = 8,
+    *,
+    seed: int = 0,
+    random_set_sizes: Iterable[int] = (8, 32),
+    engine: str = "vectorized",
 ) -> List[Row]:
-    """Fault coverage of the paper's test sets vs random vectors on a Batcher sorter."""
+    """Fault coverage of the paper's test sets vs random vectors on a Batcher sorter.
+
+    ``engine`` selects the fault-simulation engine
+    (:data:`repro.faults.simulation.SIMULATION_ENGINES`); the bit-packed
+    engine shares fault-free prefix states across all single faults and is
+    the one that scales this experiment to large ``n``.
+    """
     from ..faults.coverage import compare_test_sets
     from ..faults.injection import enumerate_single_faults
 
@@ -468,13 +478,14 @@ def experiment_fault_coverage(
             tuple(int(b) for b in rng.integers(0, 2, size=n)) for _ in range(size)
         ]
         test_sets[f"random-{size}"] = vectors
-    reports = compare_test_sets(device, faults, test_sets)
+    reports = compare_test_sets(device, faults, test_sets, engine=engine)
     rows: List[Row] = []
     for name, report in reports.items():
         rows.append(
             {
                 "experiment": "E11",
                 "device": f"batcher({n})",
+                "engine": engine,
                 "test_set": name,
                 "vectors": report.vectors_used,
                 "total_faults": report.total_faults,
@@ -488,8 +499,15 @@ def experiment_fault_coverage(
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
-def run_all_experiments(*, fast: bool = True) -> Dict[str, List[Row]]:
-    """Run every experiment with small (fast) or full (slow) parameters."""
+def run_all_experiments(
+    *, fast: bool = True, engine: str = "vectorized"
+) -> Dict[str, List[Row]]:
+    """Run every experiment with small (fast) or full (slow) parameters.
+
+    ``engine`` is forwarded to the evaluation-heavy experiments (currently
+    the E11 fault-coverage run); see
+    :data:`repro.core.evaluation.EVALUATION_ENGINES`.
+    """
     if fast:
         return {
             "E1": experiment_fig1(),
@@ -504,7 +522,9 @@ def run_all_experiments(*, fast: bool = True) -> Dict[str, List[Row]]:
                 cases=[(3, 1, "permutation"), (4, 1, "permutation"), (3, 2, "binary"), (4, 2, "binary")]
             ),
             "E10": experiment_decision_cost(n=5, vector_counts=(1, 8), trials_per_adversary=5, num_adversaries=10),
-            "E11": experiment_fault_coverage(n=6, random_set_sizes=(8,)),
+            "E11": experiment_fault_coverage(
+                n=6, random_set_sizes=(8,), engine=engine
+            ),
         }
     return {
         "E1": experiment_fig1(),
@@ -517,5 +537,5 @@ def run_all_experiments(*, fast: bool = True) -> Dict[str, List[Row]]:
         "E8": experiment_yao_comparison(),
         "E9": experiment_height_restricted(),
         "E10": experiment_decision_cost(),
-        "E11": experiment_fault_coverage(),
+        "E11": experiment_fault_coverage(engine=engine),
     }

@@ -14,17 +14,29 @@ Subcommands
 ``construct``
     Print one of the classical constructions (batcher, bose-nelson, bubble,
     bitonic-standard, selector, merger).
+``faults``
+    Run a fault-coverage report for one of the classical constructions:
+    enumerate the single-fault universe and measure how well the paper's
+    minimum sorting test set exposes it.
 ``experiments``
     Run the experiment harness (E1–E11) and print the tables; this is the
     textual companion of the benchmark suite.
+
+``verify``, ``faults`` and ``experiments`` accept ``--engine
+{scalar,vectorized,bitpacked}`` to pick the batch-evaluation engine;
+``bitpacked`` packs 0/1 batches 64 words per uint64 (see
+:mod:`repro.core.bitpacked`) and is the fast choice for exhaustive
+strategies and fault simulation.
 
 Examples
 --------
 ::
 
     repro-networks verify --n 4 --network "[1,3][2,4][1,2][3,4]" --property sorter
+    repro-networks verify --n 16 --strategy binary --engine bitpacked --construct batcher
     repro-networks testset --property sorting --n 4 --model binary
     repro-networks adversary --sigma 0110 --diagram
+    repro-networks faults --n 8 --engine bitpacked
     repro-networks experiments --fast
 """
 
@@ -35,9 +47,40 @@ import sys
 from typing import List, Optional
 
 from .analysis.tables import format_rows
+from .core.evaluation import EVALUATION_ENGINES
 from .core.network import ComparatorNetwork
 
 __all__ = ["main", "build_parser"]
+
+_CONSTRUCTIONS = (
+    "batcher",
+    "bose-nelson",
+    "bubble",
+    "bitonic-standard",
+    "selector",
+    "merger",
+)
+
+
+def _build_construction(kind: str, n: int, k: int) -> ComparatorNetwork:
+    from .constructions import (
+        batcher_merging_network,
+        batcher_sorting_network,
+        bitonic_sorting_network_standard,
+        bose_nelson_sorting_network,
+        bubble_sorting_network,
+        pruned_selection_network,
+    )
+
+    builders = {
+        "batcher": lambda: batcher_sorting_network(n),
+        "bose-nelson": lambda: bose_nelson_sorting_network(n),
+        "bubble": lambda: bubble_sorting_network(n),
+        "bitonic-standard": lambda: bitonic_sorting_network_standard(n),
+        "selector": lambda: pruned_selection_network(n, k),
+        "merger": lambda: batcher_merging_network(n),
+    }
+    return builders[kind]()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,8 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="verify a network property")
     verify.add_argument("--n", type=int, required=True, help="number of lines")
-    verify.add_argument(
-        "--network", required=True, help="network in Knuth bracket notation, 1-indexed"
+    group = verify.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--network", help="network in Knuth bracket notation, 1-indexed"
+    )
+    group.add_argument(
+        "--construct",
+        choices=_CONSTRUCTIONS,
+        help="verify a classical construction instead of an explicit network",
     )
     verify.add_argument(
         "--property",
@@ -63,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy",
         default="testset",
         help="verification strategy (binary, testset, permutation, permutation-testset)",
+    )
+    verify.add_argument(
+        "--engine",
+        choices=EVALUATION_ENGINES,
+        default="vectorized",
+        help="batch evaluation engine (bitpacked = 64 words per machine word)",
     )
 
     testset = sub.add_parser("testset", help="print a minimum test set")
@@ -98,10 +153,40 @@ def build_parser() -> argparse.ArgumentParser:
     construct.add_argument("--n", type=int, required=True)
     construct.add_argument("--k", type=int, default=1)
 
+    faults = sub.add_parser("faults", help="fault-coverage report for a construction")
+    faults.add_argument("--n", type=int, required=True, help="number of lines")
+    faults.add_argument(
+        "--kind",
+        # Sorting networks only: the report applies the sorting test set and
+        # judges outputs against the sorting specification, which is
+        # meaningless for selector/merger devices (a healthy selector
+        # already leaves these vectors unsorted).
+        choices=("batcher", "bose-nelson", "bubble", "bitonic-standard"),
+        default="batcher",
+        help="sorting-network construction to inject faults into",
+    )
+    faults.add_argument(
+        "--criterion",
+        choices=("specification", "reference"),
+        default="specification",
+    )
+    faults.add_argument(
+        "--engine",
+        choices=EVALUATION_ENGINES,
+        default="bitpacked",
+        help="fault-simulation engine (bitpacked shares fault-free prefixes)",
+    )
+
     experiments = sub.add_parser("experiments", help="run the experiment harness")
     experiments.add_argument("--fast", action="store_true", help="small parameters")
     experiments.add_argument(
         "--only", default=None, help="comma-separated experiment ids, e.g. E4,E5"
+    )
+    experiments.add_argument(
+        "--engine",
+        choices=EVALUATION_ENGINES,
+        default="vectorized",
+        help="engine forwarded to the evaluation-heavy experiments",
     )
     return parser
 
@@ -109,14 +194,22 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .properties import is_merger, is_selector, is_sorter
 
-    network = ComparatorNetwork.from_knuth(args.n, args.network)
-    if args.property == "sorter":
-        verdict = is_sorter(network, strategy=args.strategy)
-    elif args.property == "selector":
-        verdict = is_selector(network, args.k, strategy=args.strategy)
+    if args.construct is not None:
+        network = _build_construction(args.construct, args.n, args.k)
     else:
-        verdict = is_merger(network, strategy=args.strategy)
-    print(f"property={args.property} verdict={'YES' if verdict else 'NO'}")
+        network = ComparatorNetwork.from_knuth(args.n, args.network)
+    if args.property == "sorter":
+        verdict = is_sorter(network, strategy=args.strategy, engine=args.engine)
+    elif args.property == "selector":
+        verdict = is_selector(
+            network, args.k, strategy=args.strategy, engine=args.engine
+        )
+    else:
+        verdict = is_merger(network, strategy=args.strategy, engine=args.engine)
+    print(
+        f"property={args.property} engine={args.engine} "
+        f"verdict={'YES' if verdict else 'NO'}"
+    )
     return 0 if verdict else 1
 
 
@@ -166,24 +259,7 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
 
 
 def _cmd_construct(args: argparse.Namespace) -> int:
-    from .constructions import (
-        batcher_merging_network,
-        batcher_sorting_network,
-        bitonic_sorting_network_standard,
-        bose_nelson_sorting_network,
-        bubble_sorting_network,
-        pruned_selection_network,
-    )
-
-    builders = {
-        "batcher": lambda: batcher_sorting_network(args.n),
-        "bose-nelson": lambda: bose_nelson_sorting_network(args.n),
-        "bubble": lambda: bubble_sorting_network(args.n),
-        "bitonic-standard": lambda: bitonic_sorting_network_standard(args.n),
-        "selector": lambda: pruned_selection_network(args.n, args.k),
-        "merger": lambda: batcher_merging_network(args.n),
-    }
-    network = builders[args.kind]()
+    network = _build_construction(args.kind, args.n, args.k)
     print(
         f"{args.kind} on {args.n} lines: size={network.size} depth={network.depth} "
         f"height={network.height}"
@@ -192,10 +268,33 @@ def _cmd_construct(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import coverage_report, enumerate_single_faults
+    from .testsets import sorting_binary_test_set
+
+    device = _build_construction(args.kind, args.n, 1)
+    faults = enumerate_single_faults(device)
+    vectors = sorting_binary_test_set(args.n)
+    report = coverage_report(
+        device, faults, vectors, criterion=args.criterion, engine=args.engine
+    )
+    print(
+        f"device={args.kind}({args.n}) engine={args.engine} "
+        f"criterion={args.criterion}"
+    )
+    print(
+        f"vectors={report.vectors_used} faults={report.total_faults} "
+        f"detected={report.detected_faults} coverage={report.coverage:.4f}"
+    )
+    for kind, (found, total) in sorted(report.by_kind.items()):
+        print(f"  {kind}: {found}/{total}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_all_experiments
 
-    results = run_all_experiments(fast=args.fast)
+    results = run_all_experiments(fast=args.fast, engine=args.engine)
     wanted = None
     if args.only:
         wanted = {name.strip().upper() for name in args.only.split(",")}
@@ -216,6 +315,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "testset": _cmd_testset,
         "adversary": _cmd_adversary,
         "construct": _cmd_construct,
+        "faults": _cmd_faults,
         "experiments": _cmd_experiments,
     }
     return handlers[args.command](args)

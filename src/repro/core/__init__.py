@@ -15,7 +15,14 @@ Public surface
 Evaluation helpers
     :func:`apply_network_to_batch`, :func:`all_binary_words`,
     :func:`all_binary_words_array`, :func:`evaluate_on_all_binary_inputs`,
-    :func:`outputs_on_words`, :func:`batch_is_sorted`.
+    :func:`outputs_on_words`, :func:`batch_is_sorted`.  Batch helpers accept
+    an ``engine`` keyword selecting one of :data:`EVALUATION_ENGINES`
+    (``"scalar"``, ``"vectorized"``, ``"bitpacked"``).
+Bit-packed engine
+    :class:`PackedBatch`, :func:`pack_batch`, :func:`unpack_batch`,
+    :func:`packed_all_binary_words`, :func:`apply_network_packed`,
+    :func:`packed_is_sorted` — 0/1 batches stored as uint64 bit planes, 64
+    words per machine word (see :mod:`repro.core.bitpacked`).
 Random generators
     :func:`random_network`, :func:`random_sorter_mutation`,
     :func:`random_height_limited_network`.
@@ -25,15 +32,28 @@ from .comparator import Comparator
 from .network import ComparatorNetwork
 from .builder import NetworkBuilder
 from .evaluation import (
+    EVALUATION_ENGINES,
     all_binary_words,
     all_binary_words_array,
     apply_network_to_batch,
     array_to_words,
     batch_is_sorted,
+    check_engine,
     evaluate_on_all_binary_inputs,
+    min_word_dtype,
     outputs_on_words,
     unsorted_binary_words_array,
     words_to_array,
+)
+from .bitpacked import (
+    PackedBatch,
+    apply_network_packed,
+    pack_batch,
+    pack_words,
+    packed_all_binary_words,
+    packed_equal,
+    packed_is_sorted,
+    unpack_batch,
 )
 from .layers import decompose_into_layers, network_depth, network_from_layers
 from .serialization import (
@@ -65,15 +85,26 @@ __all__ = [
     "Comparator",
     "ComparatorNetwork",
     "NetworkBuilder",
+    "EVALUATION_ENGINES",
     "all_binary_words",
     "all_binary_words_array",
     "apply_network_to_batch",
     "array_to_words",
     "batch_is_sorted",
+    "check_engine",
     "evaluate_on_all_binary_inputs",
+    "min_word_dtype",
     "outputs_on_words",
     "unsorted_binary_words_array",
     "words_to_array",
+    "PackedBatch",
+    "apply_network_packed",
+    "pack_batch",
+    "pack_words",
+    "packed_all_binary_words",
+    "packed_equal",
+    "packed_is_sorted",
+    "unpack_batch",
     "decompose_into_layers",
     "network_depth",
     "network_from_layers",

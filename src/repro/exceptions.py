@@ -20,6 +20,7 @@ __all__ = [
     "AdversaryError",
     "TestSetError",
     "FaultModelError",
+    "EngineError",
 ]
 
 
@@ -79,3 +80,9 @@ class TestSetError(ReproError, ValueError):
 
 class FaultModelError(ReproError, ValueError):
     """A fault cannot be applied to the given network."""
+
+
+class EngineError(ReproError, ValueError):
+    """An evaluation engine was requested that does not exist or does not
+    apply to the given data (e.g. the bit-packed engine on non-binary words).
+    """

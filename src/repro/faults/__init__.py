@@ -22,6 +22,7 @@ from .injection import (
 )
 from .simulation import (
     DETECTION_CRITERIA,
+    SIMULATION_ENGINES,
     detected_faults,
     fault_detection_matrix,
     undetected_faults,
@@ -45,6 +46,7 @@ __all__ = [
     "equivalent_fault_classes",
     "faulty_networks",
     "DETECTION_CRITERIA",
+    "SIMULATION_ENGINES",
     "detected_faults",
     "fault_detection_matrix",
     "undetected_faults",

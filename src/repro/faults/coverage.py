@@ -64,12 +64,13 @@ def fault_coverage(
     test_vectors: Sequence[WordLike],
     *,
     criterion: str = "specification",
+    engine: str = "vectorized",
 ) -> float:
     """Fraction of *faults* detected by *test_vectors* (1.0 for an empty fault list)."""
     if not faults:
         return 1.0
     matrix = fault_detection_matrix(
-        network, faults, test_vectors, criterion=criterion
+        network, faults, test_vectors, criterion=criterion, engine=engine
     )
     return float(np.mean(np.any(matrix, axis=1)))
 
@@ -80,10 +81,15 @@ def coverage_report(
     test_vectors: Sequence[WordLike],
     *,
     criterion: str = "specification",
+    engine: str = "vectorized",
 ) -> CoverageReport:
-    """Full coverage report with a per-fault-kind breakdown."""
+    """Full coverage report with a per-fault-kind breakdown.
+
+    ``engine`` selects the fault-simulation engine (see
+    :data:`repro.faults.simulation.SIMULATION_ENGINES`).
+    """
     matrix = fault_detection_matrix(
-        network, faults, test_vectors, criterion=criterion
+        network, faults, test_vectors, criterion=criterion, engine=engine
     )
     detected = np.any(matrix, axis=1) if matrix.size else np.zeros(len(faults), bool)
     by_kind: Dict[str, Tuple[int, int]] = {}
@@ -108,6 +114,7 @@ def greedy_test_selection(
     candidate_vectors: Sequence[WordLike],
     *,
     criterion: str = "specification",
+    engine: str = "vectorized",
     target_coverage: float = 1.0,
 ) -> List[Tuple[int, ...]]:
     """Greedy selection of vectors until *target_coverage* of detectable faults.
@@ -122,7 +129,9 @@ def greedy_test_selection(
             f"target_coverage must be in (0, 1], got {target_coverage}"
         )
     vectors = [tuple(int(v) for v in w) for w in candidate_vectors]
-    matrix = fault_detection_matrix(network, faults, vectors, criterion=criterion)
+    matrix = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine=engine
+    )
     detectable = np.any(matrix, axis=1)
     needed = int(np.ceil(target_coverage * int(np.sum(detectable))))
     selected: List[int] = []
@@ -145,9 +154,12 @@ def compare_test_sets(
     test_sets: Mapping[str, Sequence[WordLike]],
     *,
     criterion: str = "specification",
+    engine: str = "vectorized",
 ) -> Dict[str, CoverageReport]:
     """Coverage of several named test sets against the same fault universe."""
     return {
-        name: coverage_report(network, faults, vectors, criterion=criterion)
+        name: coverage_report(
+            network, faults, vectors, criterion=criterion, engine=engine
+        )
         for name, vectors in test_sets.items()
     }

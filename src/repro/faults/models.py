@@ -20,6 +20,12 @@ assumptions for comparator networks:
 Each fault knows how to produce the faulty network (or faulty behaviour) from
 the fault-free reference; enumeration of all single faults of a network lives
 in :mod:`repro.faults.injection`.
+
+The faulty-behaviour subclasses override both ``apply_batch`` (vectorised
+engine) and ``apply_packed`` (bit-packed engine, see
+:mod:`repro.core.bitpacked`) so every evaluation engine observes the same
+faulty semantics; the test suite cross-checks all three against the scalar
+``apply``.
 """
 
 from __future__ import annotations
@@ -191,6 +197,19 @@ class SwappingNetwork(ComparatorNetwork):
             data[:, comp.high] = hi
         return data
 
+    def apply_packed(self, packed, *, copy: bool = True):
+        from ..core.bitpacked import apply_comparators_packed
+
+        result = packed.copy() if copy else packed
+        planes = result.planes
+        swap = self._swap_index
+        apply_comparators_packed(planes, self.comparators[:swap])
+        if swap < len(self.comparators):
+            comp = self.comparators[swap]
+            planes[[comp.low, comp.high]] = planes[[comp.high, comp.low]]
+            apply_comparators_packed(planes, self.comparators[swap + 1 :])
+        return result
+
 
 class StuckLineNetwork(ComparatorNetwork):
     """A network with one line stuck at a constant from a given stage onwards."""
@@ -244,3 +263,19 @@ class StuckLineNetwork(ComparatorNetwork):
             if position + 1 >= self._stuck_stage:
                 data[:, self._stuck_line] = self._stuck_value
         return data
+
+    def apply_packed(self, packed, *, copy: bool = True):
+        from ..core.bitpacked import apply_comparators_packed
+
+        result = packed.copy() if copy else packed
+        planes = result.planes
+        # Stuck-at-1 must not leak into the padding bits of the last block,
+        # so the forced plane is the pad mask rather than all-ones.
+        forced = result.pad_mask() if self._stuck_value else np.uint64(0)
+        if self._stuck_stage == 0:
+            planes[self._stuck_line] = forced
+        for position, comp in enumerate(self.comparators):
+            apply_comparators_packed(planes, (comp,))
+            if position + 1 >= self._stuck_stage:
+                planes[self._stuck_line] = forced
+        return result

@@ -1,4 +1,4 @@
-"""Vectorised fault simulation.
+"""Fault simulation: scalar, vectorised, and batched bit-packed engines.
 
 A *fault simulation* answers: for every (fault, test vector) pair, does the
 faulty device produce an output different from the fault-free device — or,
@@ -17,6 +17,25 @@ questions:
     fault-free output at all (classical stuck-at testing with a golden
     reference).  Strictly more sensitive than ``"specification"``.
 
+Three simulation engines are available (``engine=`` keyword, cross-checked
+against each other by the test suite):
+
+``"scalar"``
+    One :meth:`~repro.core.network.ComparatorNetwork.apply` call per
+    (fault, vector) pair.  The slow reference.
+``"vectorized"`` (default)
+    One vectorised batch evaluation per fault (the classical serial fault
+    simulation loop, one full network pass per fault).
+``"bitpacked"``
+    0/1 vectors only.  The batch is packed as uint64 bit planes (64 words
+    per machine word, :mod:`repro.core.bitpacked`) and all single-comparator
+    faults are simulated in one pass over the network: the fault-free packed
+    state *before every stage* is recorded once, and each fault restarts
+    from the prefix state at its fault site and only re-evaluates the
+    suffix.  Total work is ``O(size**2 / 2)`` comparator-block operations
+    instead of ``O(size**2)`` full passes, on top of the ~64× density win —
+    in practice two orders of magnitude faster than the vectorised loop.
+
 The main entry point :func:`fault_detection_matrix` returns a boolean matrix
 ``(num_faults, num_vectors)``, from which coverage metrics and test-selection
 problems (in :mod:`repro.faults.coverage`) are derived.
@@ -24,28 +43,49 @@ problems (in :mod:`repro.faults.coverage`) are derived.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
 from .._typing import WordLike
+from ..core.bitpacked import (
+    PackedBatch,
+    apply_comparators_packed,
+    apply_network_packed,
+    pack_words,
+    packed_equal,
+    packed_is_sorted,
+)
 from ..core.evaluation import (
     apply_network_to_batch,
     batch_is_sorted,
+    check_engine,
     words_to_array,
 )
 from ..core.network import ComparatorNetwork
 from ..exceptions import FaultModelError
-from .models import Fault
+from ..words.binary import is_sorted_word
+from .models import (
+    Fault,
+    LineStuckFault,
+    ReversedComparatorFault,
+    StuckPassFault,
+    StuckSwapFault,
+    _check_index,
+)
 
 __all__ = [
     "DETECTION_CRITERIA",
+    "SIMULATION_ENGINES",
     "fault_detection_matrix",
     "detected_faults",
     "undetected_faults",
 ]
 
 DETECTION_CRITERIA = ("specification", "reference")
+
+#: Engine choices accepted by :func:`fault_detection_matrix`.
+SIMULATION_ENGINES = ("scalar", "vectorized", "bitpacked")
 
 
 def fault_detection_matrix(
@@ -54,20 +94,42 @@ def fault_detection_matrix(
     test_vectors: Sequence[WordLike],
     *,
     criterion: str = "specification",
+    engine: str = "vectorized",
 ) -> np.ndarray:
     """Boolean matrix ``D[f, t]``: does test vector ``t`` detect fault ``f``?
 
     Rows follow the order of *faults*, columns the order of *test_vectors*.
+    The ``engine`` keyword selects the simulation strategy (see the module
+    docstring); all engines produce identical matrices on 0/1 vectors.
     """
     if criterion not in DETECTION_CRITERIA:
         raise FaultModelError(
             f"unknown detection criterion {criterion!r}; "
             f"choose one of {DETECTION_CRITERIA}"
         )
+    check_engine(engine)
     vectors = [tuple(int(v) for v in w) for w in test_vectors]
     if not vectors:
         return np.zeros((len(faults), 0), dtype=bool)
-    batch = words_to_array(vectors)
+    if engine == "scalar":
+        return _scalar_detection_matrix(network, faults, vectors, criterion)
+    if engine == "bitpacked":
+        return _bitpacked_detection_matrix(network, faults, vectors, criterion)
+    return _vectorized_detection_matrix(network, faults, vectors, criterion)
+
+
+def _vectorized_detection_matrix(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    vectors: List[tuple],
+    criterion: str,
+) -> np.ndarray:
+    # Build wide and narrow only after a numpy range check: permutation
+    # vectors with values > 127 must never land in int8, where they would
+    # silently wrap and corrupt both criteria.
+    batch = words_to_array(vectors, dtype=np.int64, n_lines=network.n_lines)
+    if 0 <= batch.min() and batch.max() <= 1:
+        batch = batch.astype(np.int8)
     reference_outputs = None
     if criterion == "reference":
         reference_outputs = apply_network_to_batch(network, batch)
@@ -82,16 +144,144 @@ def fault_detection_matrix(
     return matrix
 
 
+def _scalar_detection_matrix(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    vectors: List[tuple],
+    criterion: str,
+) -> np.ndarray:
+    reference = None
+    if criterion == "reference":
+        reference = [network.apply(vector) for vector in vectors]
+    matrix = np.zeros((len(faults), len(vectors)), dtype=bool)
+    for row, fault in enumerate(faults):
+        faulty = fault.apply_to(network)
+        for column, vector in enumerate(vectors):
+            output = faulty.apply(vector)
+            if criterion == "specification":
+                matrix[row, column] = not is_sorted_word(output)
+            else:
+                matrix[row, column] = output != reference[column]
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Bit-packed batched engine with shared fault-free prefixes
+# ----------------------------------------------------------------------
+def _detection_row(
+    state: PackedBatch, reference: PackedBatch, criterion: str
+) -> np.ndarray:
+    if criterion == "specification":
+        return ~packed_is_sorted(state)
+    return ~packed_equal(state, reference)
+
+
+def _bitpacked_detection_matrix(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    vectors: List[tuple],
+    criterion: str,
+) -> np.ndarray:
+    packed_input = pack_words(vectors, n_lines=network.n_lines)
+    comparators = network.comparators
+    size = network.size
+    num_words = packed_input.num_words
+    # Fault-free prefix states: prefix[i] holds the packed planes after the
+    # first i comparators.  Recorded once and shared by every fault, so each
+    # fault only re-evaluates its suffix instead of the whole network.
+    prefix = np.empty(
+        (size + 1,) + packed_input.planes.shape, dtype=packed_input.planes.dtype
+    )
+    prefix[0] = packed_input.planes
+    running = packed_input.planes.copy()
+    for index, comp in enumerate(comparators):
+        apply_comparators_packed(running, (comp,))
+        prefix[index + 1] = running
+    reference = PackedBatch(prefix[size], num_words)
+    pad_mask = packed_input.pad_mask()
+
+    def suffix_state(start: int) -> PackedBatch:
+        return PackedBatch(prefix[start].copy(), num_words)
+
+    matrix = np.zeros((len(faults), len(vectors)), dtype=bool)
+    for row, fault in enumerate(faults):
+        if isinstance(fault, StuckPassFault):
+            index = _checked_index(network, fault.index)
+            state = suffix_state(index)
+            apply_comparators_packed(state.planes, comparators[index + 1 :])
+        elif isinstance(fault, StuckSwapFault):
+            index = _checked_index(network, fault.index)
+            state = suffix_state(index)
+            comp = comparators[index]
+            state.planes[[comp.low, comp.high]] = state.planes[[comp.high, comp.low]]
+            apply_comparators_packed(state.planes, comparators[index + 1 :])
+        elif isinstance(fault, ReversedComparatorFault):
+            index = _checked_index(network, fault.index)
+            state = suffix_state(index)
+            apply_comparators_packed(
+                state.planes, (comparators[index].flipped(),)
+            )
+            apply_comparators_packed(state.planes, comparators[index + 1 :])
+        elif isinstance(fault, LineStuckFault):
+            state = _stuck_line_state(
+                network, fault, prefix, num_words, pad_mask
+            )
+        else:
+            # Unknown fault model: fall back to materialising the faulty
+            # device and running it through the generic packed engine.
+            faulty = fault.apply_to(network)
+            state = apply_network_packed(faulty, packed_input)
+        matrix[row] = _detection_row(state, reference, criterion)
+    return matrix
+
+
+def _checked_index(network: ComparatorNetwork, index: int) -> int:
+    _check_index(network, index)
+    return index
+
+
+def _stuck_line_state(
+    network: ComparatorNetwork,
+    fault: LineStuckFault,
+    prefix: np.ndarray,
+    num_words: int,
+    pad_mask: np.ndarray,
+) -> PackedBatch:
+    if fault.line < 0 or fault.line >= network.n_lines:
+        raise FaultModelError(
+            f"line {fault.line} out of range for {network.n_lines} lines"
+        )
+    if fault.stage < 0 or fault.stage > network.size:
+        raise FaultModelError(
+            f"stage {fault.stage} out of range for a network of size "
+            f"{network.size}"
+        )
+    forced = pad_mask if fault.value else np.uint64(0)
+    # The faulty state first diverges when the line is forced: at the input
+    # for stage 0, otherwise right after comparator stage-1 — so the shared
+    # fault-free prefix extends through comparator stage-2.
+    start = max(fault.stage - 1, 0)
+    state = PackedBatch(prefix[start].copy(), num_words)
+    if fault.stage == 0:
+        state.planes[fault.line] = forced
+    for position in range(start, network.size):
+        apply_comparators_packed(state.planes, (network.comparators[position],))
+        if position + 1 >= fault.stage:
+            state.planes[fault.line] = forced
+    return state
+
+
 def detected_faults(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
     test_vectors: Sequence[WordLike],
     *,
     criterion: str = "specification",
+    engine: str = "vectorized",
 ) -> List[Fault]:
     """The faults detected by at least one of the given test vectors."""
     matrix = fault_detection_matrix(
-        network, faults, test_vectors, criterion=criterion
+        network, faults, test_vectors, criterion=criterion, engine=engine
     )
     detected_rows = np.any(matrix, axis=1)
     return [fault for fault, hit in zip(faults, detected_rows) if hit]
@@ -103,6 +293,7 @@ def undetected_faults(
     test_vectors: Sequence[WordLike],
     *,
     criterion: str = "specification",
+    engine: str = "vectorized",
 ) -> List[Fault]:
     """The faults that escape the given test vectors entirely.
 
@@ -112,7 +303,7 @@ def undetected_faults(
     chip that, while physically defective, still meets its specification.
     """
     matrix = fault_detection_matrix(
-        network, faults, test_vectors, criterion=criterion
+        network, faults, test_vectors, criterion=criterion, engine=engine
     )
     detected_rows = np.any(matrix, axis=1)
     return [fault for fault, hit in zip(faults, detected_rows) if not hit]

@@ -20,6 +20,11 @@ Strategies:
     order) — the exhaustive permutation-model check.
 ``permutation-testset``
     The ``n/2`` permutations of Theorem 2.5 (ii).
+
+``is_merger`` accepts an ``engine`` keyword
+(:data:`repro.core.evaluation.EVALUATION_ENGINES`); the 0/1 strategies can
+run on the bit-packed engine, the permutation strategies fall back from
+``"bitpacked"`` to ``"vectorized"``.
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import BinaryWord
-from ..core.evaluation import batch_is_sorted, outputs_on_words
+from ..core.evaluation import batch_is_sorted, check_engine, outputs_on_words
 from ..core.network import ComparatorNetwork
 from ..exceptions import TestSetError
 from ..words.binary import is_sorted_word, sorted_binary_words
@@ -93,12 +98,18 @@ def merges_correctly(network: ComparatorNetwork, word) -> bool:
     return is_sorted_word(network.apply(values))
 
 
-def is_merger(network: ComparatorNetwork, *, strategy: str = "testset") -> bool:
+def is_merger(
+    network: ComparatorNetwork,
+    *,
+    strategy: str = "testset",
+    engine: str = "vectorized",
+) -> bool:
     """Decide whether *network* is an ``(n/2, n/2)``-merging network."""
     if strategy not in MERGER_STRATEGIES:
         raise TestSetError(
             f"unknown strategy {strategy!r}; choose one of {MERGER_STRATEGIES}"
         )
+    check_engine(engine)
     half = _check_even(network)
     n = network.n_lines
     if strategy == "binary":
@@ -115,7 +126,9 @@ def is_merger(network: ComparatorNetwork, *, strategy: str = "testset") -> bool:
         words = merging_permutation_test_set(n)
     if not words:
         return True
-    outputs = outputs_on_words(network, words)
+    if engine == "bitpacked" and strategy not in ("binary", "testset"):
+        engine = "vectorized"  # permutation inputs carry values above 1
+    outputs = outputs_on_words(network, words, engine=engine)
     return bool(np.all(batch_is_sorted(outputs)))
 
 

@@ -22,6 +22,12 @@ Strategies:
 ``permutation-testset``
     The ``C(n, min(k, floor(n/2))) - 1`` cover permutations of
     Theorem 2.4 (ii).
+
+Checkers accept an ``engine`` keyword
+(:data:`repro.core.evaluation.EVALUATION_ENGINES`); the bit-packed engine
+evaluates the 0/1 strategies' batches as uint64 bit planes, while the
+permutation strategies fall back from ``"bitpacked"`` to ``"vectorized"``
+(their values exceed 1).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from .._typing import BinaryWord
 from ..core.evaluation import (
     all_binary_words_array,
     apply_network_to_batch,
+    check_engine,
     outputs_on_words,
 )
 from ..core.network import ComparatorNetwork
@@ -71,10 +78,14 @@ def selects_correctly(network: ComparatorNetwork, k: int, word) -> bool:
 
 
 def _binary_batch_selected(
-    network: ComparatorNetwork, batch: np.ndarray, k: int
+    network: ComparatorNetwork,
+    batch: np.ndarray,
+    k: int,
+    *,
+    engine: str = "vectorized",
 ) -> np.ndarray:
     """Boolean vector: for each binary word row, is it correctly k-selected?"""
-    outputs = apply_network_to_batch(network, batch)
+    outputs = apply_network_to_batch(network, batch, engine=engine)
     zero_counts = np.sum(np.asarray(batch) == 0, axis=1)
     # For each word, the first min(k, zeros) outputs must be 0; the remaining
     # outputs among the first k must be 1 (they correspond to positions past
@@ -91,18 +102,24 @@ def _binary_batch_selected(
 
 
 def is_selector(
-    network: ComparatorNetwork, k: int, *, strategy: str = "testset"
+    network: ComparatorNetwork,
+    k: int,
+    *,
+    strategy: str = "testset",
+    engine: str = "vectorized",
 ) -> bool:
     """Decide whether *network* is a ``(k, n)``-selector."""
     if strategy not in SELECTOR_STRATEGIES:
         raise TestSetError(
             f"unknown strategy {strategy!r}; choose one of {SELECTOR_STRATEGIES}"
         )
+    check_engine(engine)
+    permutation_engine = "vectorized" if engine == "bitpacked" else engine
     _check_k(network, k)
     n = network.n_lines
     if strategy == "binary":
         batch = all_binary_words_array(n)
-        return bool(np.all(_binary_batch_selected(network, batch, k)))
+        return bool(np.all(_binary_batch_selected(network, batch, k, engine=engine)))
     if strategy == "testset":
         from ..testsets.selection import selector_binary_test_set
 
@@ -110,9 +127,11 @@ def is_selector(
         if not words:
             return True
         batch = np.asarray(words, dtype=np.int8)
-        return bool(np.all(_binary_batch_selected(network, batch, k)))
+        return bool(np.all(_binary_batch_selected(network, batch, k, engine=engine)))
     if strategy == "permutation":
-        outputs = outputs_on_words(network, all_permutations(n))
+        outputs = outputs_on_words(
+            network, all_permutations(n), engine=permutation_engine
+        )
         expected = np.arange(k)
         return bool(np.all(outputs[:, :k] == expected[None, :]))
     # permutation-testset
@@ -121,7 +140,7 @@ def is_selector(
     perms = selector_cover_permutations(n, k)
     if not perms:
         return True
-    outputs = outputs_on_words(network, perms)
+    outputs = outputs_on_words(network, perms, engine=permutation_engine)
     expected = np.arange(k)
     return bool(np.all(outputs[:, :k] == expected[None, :]))
 

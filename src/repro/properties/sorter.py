@@ -18,6 +18,13 @@ test-set size governs verification cost:
 All strategies agree for standard networks; the exhaustive ones remain
 correct for non-standard networks as well (the test-set strategies assume
 the standard model, exactly as the paper does).
+
+Every checker additionally accepts an ``engine`` keyword selecting the batch
+evaluation engine (:data:`repro.core.evaluation.EVALUATION_ENGINES`).  The
+bit-packed engine applies to the 0/1-input strategies, where with
+``strategy="binary"`` it also generates the input cube directly in packed
+form; permutation-model strategies carry values above 1 and silently fall
+back from ``"bitpacked"`` to ``"vectorized"``.
 """
 
 from __future__ import annotations
@@ -27,10 +34,17 @@ from typing import Iterable, Optional
 import numpy as np
 
 from .._typing import BinaryWord, WordLike
+from ..core.bitpacked import (
+    apply_network_packed,
+    pack_batch,
+    packed_all_binary_words,
+    packed_is_sorted,
+)
 from ..core.evaluation import (
     all_binary_words_array,
     apply_network_to_batch,
     batch_is_sorted,
+    check_engine,
     outputs_on_words,
     unsorted_binary_words_array,
 )
@@ -47,12 +61,29 @@ __all__ = [
 SORTER_STRATEGIES = ("binary", "permutation", "testset", "permutation-testset")
 
 
-def _outputs_all_sorted(network: ComparatorNetwork, batch: np.ndarray) -> bool:
-    outputs = apply_network_to_batch(network, batch, copy=False)
+def _nonbinary_engine(engine: str) -> str:
+    """The engine to use on batches that are not 0/1 (no bit planes there)."""
+    check_engine(engine)
+    return "vectorized" if engine == "bitpacked" else engine
+
+
+def _outputs_all_sorted(
+    network: ComparatorNetwork, batch: np.ndarray, *, engine: str = "vectorized"
+) -> bool:
+    if engine == "bitpacked":
+        packed = pack_batch(batch, n_lines=network.n_lines)
+        outputs = apply_network_packed(network, packed, copy=False)
+        return bool(np.all(packed_is_sorted(outputs)))
+    outputs = apply_network_to_batch(network, batch, copy=False, engine=engine)
     return bool(np.all(batch_is_sorted(outputs)))
 
 
-def is_sorter(network: ComparatorNetwork, *, strategy: str = "testset") -> bool:
+def is_sorter(
+    network: ComparatorNetwork,
+    *,
+    strategy: str = "testset",
+    engine: str = "vectorized",
+) -> bool:
     """Decide whether *network* sorts every input.
 
     Parameters
@@ -63,18 +94,32 @@ def is_sorter(network: ComparatorNetwork, *, strategy: str = "testset") -> bool:
         One of :data:`SORTER_STRATEGIES`; see the module docstring.  The
         default uses the paper's minimum 0/1 test set, which is both correct
         and the cheapest of the exhaustive-style strategies.
+    engine:
+        Batch evaluation engine.  ``"bitpacked"`` is the fast path for the
+        0/1 strategies (on ``strategy="binary"`` the cube never leaves
+        packed form); the permutation strategies fall back to
+        ``"vectorized"``.
     """
     if strategy not in SORTER_STRATEGIES:
         raise TestSetError(
             f"unknown strategy {strategy!r}; choose one of {SORTER_STRATEGIES}"
         )
+    check_engine(engine)
     n = network.n_lines
     if strategy == "binary":
-        return _outputs_all_sorted(network, all_binary_words_array(n))
+        if engine == "bitpacked":
+            packed = packed_all_binary_words(n)
+            outputs = apply_network_packed(network, packed, copy=False)
+            return bool(np.all(packed_is_sorted(outputs)))
+        return _outputs_all_sorted(network, all_binary_words_array(n), engine=engine)
     if strategy == "testset":
-        return _outputs_all_sorted(network, unsorted_binary_words_array(n))
+        return _outputs_all_sorted(
+            network, unsorted_binary_words_array(n), engine=engine
+        )
     if strategy == "permutation":
-        outputs = outputs_on_words(network, all_permutations(n))
+        outputs = outputs_on_words(
+            network, all_permutations(n), engine=_nonbinary_engine(engine)
+        )
         return bool(np.all(batch_is_sorted(outputs)))
     # permutation-testset
     from ..words.chains import sorting_cover_permutations
@@ -82,7 +127,7 @@ def is_sorter(network: ComparatorNetwork, *, strategy: str = "testset") -> bool:
     perms = sorting_cover_permutations(n)
     if not perms:  # n == 1: nothing to test
         return True
-    outputs = outputs_on_words(network, perms)
+    outputs = outputs_on_words(network, perms, engine=_nonbinary_engine(engine))
     return bool(np.all(batch_is_sorted(outputs)))
 
 
@@ -90,6 +135,7 @@ def find_sorting_counterexample(
     network: ComparatorNetwork,
     *,
     candidates: Optional[Iterable[WordLike]] = None,
+    engine: str = "vectorized",
 ) -> Optional[BinaryWord]:
     """Return a binary word the network fails to sort, or ``None`` if it sorts all.
 
@@ -98,6 +144,7 @@ def find_sorting_counterexample(
     search only a restricted test set in the empirical lower-bound
     experiments.
     """
+    check_engine(engine)
     if candidates is None:
         batch = unsorted_binary_words_array(network.n_lines)
     else:
@@ -105,8 +152,13 @@ def find_sorting_counterexample(
         if not word_list:
             return None
         batch = np.asarray(word_list, dtype=np.int8)
-    outputs = apply_network_to_batch(network, batch)
-    sorted_mask = batch_is_sorted(outputs)
+    if engine == "bitpacked":
+        packed = pack_batch(batch, n_lines=network.n_lines)
+        outputs = apply_network_packed(network, packed, copy=False)
+        sorted_mask = packed_is_sorted(outputs)
+    else:
+        outputs = apply_network_to_batch(network, batch, engine=engine)
+        sorted_mask = batch_is_sorted(outputs)
     if bool(np.all(sorted_mask)):
         return None
     index = int(np.flatnonzero(~sorted_mask)[0])

@@ -65,6 +65,7 @@ from .validation import (
     is_sorting_test_set_binary,
     is_sorting_test_set_permutation,
     missing_required_words,
+    network_passes_test_set,
     uncovered_required_words,
 )
 from .minimal import (
@@ -115,6 +116,7 @@ __all__ = [
     "is_sorting_test_set_binary",
     "is_sorting_test_set_permutation",
     "missing_required_words",
+    "network_passes_test_set",
     "uncovered_required_words",
     "detection_sets_for_sorting",
     "empirical_sorting_test_set_size",

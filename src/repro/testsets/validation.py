@@ -19,13 +19,28 @@ Each ``is_*_test_set`` function below implements the corresponding
 characterisation and, where useful, can also report *which* required words
 are missing / uncovered.  The empirical cross-check against explicit
 adversary populations lives in :mod:`repro.testsets.minimal`.
+
+:func:`network_passes_test_set` is the other half of the story — the
+decision procedure a tester actually runs: apply every word of a test set to
+a device and accept iff every observed output is sorted.  It accepts an
+``engine`` keyword (:data:`repro.core.evaluation.EVALUATION_ENGINES`) so
+exhaustive-scale test sets can be applied through the bit-packed engine.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from .._typing import BinaryWord, WordLike
+from ..core.evaluation import (
+    apply_network_to_batch,
+    batch_is_sorted,
+    check_engine,
+    words_to_array,
+)
+from ..core.network import ComparatorNetwork
 from ..exceptions import TestSetError
 from ..words.binary import check_binary, is_sorted_word
 from ..words.covers import cover_of_permutation_set
@@ -35,6 +50,7 @@ from .selection import selector_binary_test_set
 from .sorting import sorting_binary_test_set
 
 __all__ = [
+    "network_passes_test_set",
     "is_sorting_test_set_binary",
     "is_sorting_test_set_permutation",
     "is_selector_test_set_binary",
@@ -91,6 +107,39 @@ def uncovered_required_words(
     perms = _as_permutation_list(candidate_permutations, n)
     covered = cover_of_permutation_set(perms)
     return [w for w in required if w not in covered]
+
+
+def network_passes_test_set(
+    network: ComparatorNetwork,
+    test_words: Iterable[WordLike],
+    *,
+    engine: str = "vectorized",
+) -> bool:
+    """Apply a test set to a device: ``True`` iff every output is sorted.
+
+    This is the tester's decision procedure from the paper: feed each word
+    of ``T`` to the chip and accept exactly when every observed output is
+    sorted.  For a valid test set the verdict equals "the device has the
+    property"; for an arbitrary word collection it is simply "no applied
+    word exposed the device".  Works for binary words and permutations
+    alike (a sorted permutation output is ``0..n-1``).  ``engine`` selects
+    the evaluation engine; ``"bitpacked"`` requires 0/1 test words and
+    falls back to ``"vectorized"`` when the words are not binary.
+    """
+    check_engine(engine)
+    rows = list(test_words)
+    if not rows:
+        return True
+    # One C-level pass to build the batch, numpy min/max for the dtype and
+    # binary decisions — exhaustive-scale test sets must not pay per-element
+    # Python loops before the fast engine even starts.
+    batch = words_to_array(rows, dtype=np.int64, n_lines=network.n_lines)
+    if 0 <= batch.min() and batch.max() <= 1:
+        batch = batch.astype(np.int8)
+    elif engine == "bitpacked":
+        engine = "vectorized"
+    outputs = apply_network_to_batch(network, batch, copy=False, engine=engine)
+    return bool(np.all(batch_is_sorted(outputs)))
 
 
 # ----------------------------------------------------------------------

@@ -75,6 +75,41 @@ class TestVerifyCommand:
         )
         assert code == 0
 
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized", "bitpacked"])
+    def test_verify_engines_agree(self, capsys, engine):
+        code = main(
+            [
+                "verify",
+                "--n",
+                "4",
+                "--network",
+                "[1,2][3,4][1,3][2,4][2,3]",
+                "--strategy",
+                "binary",
+                "--engine",
+                engine,
+            ]
+        )
+        assert code == 0
+        assert f"engine={engine}" in capsys.readouterr().out
+
+    def test_verify_construction_bitpacked(self, capsys):
+        code = main(
+            [
+                "verify",
+                "--n",
+                "12",
+                "--construct",
+                "batcher",
+                "--strategy",
+                "binary",
+                "--engine",
+                "bitpacked",
+            ]
+        )
+        assert code == 0
+        assert "YES" in capsys.readouterr().out
+
 
 class TestTestsetCommand:
     def test_sorting_binary_testset(self, capsys):
@@ -143,3 +178,28 @@ class TestConstructAndExperiments:
         assert "== E1 ==" in out
         assert "== E8 ==" in out
         assert "== E3 ==" not in out
+
+    def test_experiments_engine_flag(self, capsys):
+        assert (
+            main(
+                ["experiments", "--fast", "--only", "E11", "--engine", "bitpacked"]
+            )
+            == 0
+        )
+        assert "bitpacked" in capsys.readouterr().out
+
+
+class TestFaultsCommand:
+    @pytest.mark.parametrize("engine", ["vectorized", "bitpacked"])
+    def test_faults_report(self, capsys, engine):
+        assert main(["faults", "--n", "6", "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert f"engine={engine}" in out
+        assert "coverage=" in out
+        assert "StuckPassFault" in out
+
+    def test_faults_reference_criterion(self, capsys):
+        assert (
+            main(["faults", "--n", "4", "--criterion", "reference"]) == 0
+        )
+        assert "criterion=reference" in capsys.readouterr().out

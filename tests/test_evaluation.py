@@ -13,6 +13,7 @@ from repro.core import (
     array_to_words,
     batch_is_sorted,
     evaluate_on_all_binary_inputs,
+    min_word_dtype,
     outputs_on_words,
     unsorted_binary_words_array,
     words_to_array,
@@ -114,3 +115,26 @@ class TestConversionHelpers:
 
     def test_words_to_array_empty(self):
         assert words_to_array([]).shape == (0, 0)
+
+    def test_words_to_array_empty_with_hint_keeps_width(self):
+        array = words_to_array([], n_lines=5)
+        assert array.shape == (0, 5)
+
+    def test_words_to_array_hint_validates_width(self):
+        with pytest.raises(InputLengthError):
+            words_to_array([(0, 1)], n_lines=5)
+
+    def test_empty_batch_flows_through_evaluation(self, four_sorter):
+        """Regression: an empty word list used to collapse to shape (0, 0)
+        and make apply_network_to_batch raise a misleading InputLengthError
+        ("0 columns"); with the hint it returns an empty result."""
+        batch = words_to_array([], n_lines=four_sorter.n_lines)
+        out = apply_network_to_batch(four_sorter, batch)
+        assert out.shape == (0, 4)
+
+    def test_min_word_dtype(self):
+        assert min_word_dtype([(0, 1, 1)]) is np.int8
+        assert min_word_dtype([]) is np.int8
+        assert min_word_dtype([(0, 2)]) is np.int64
+        assert min_word_dtype([(200, 0)]) is np.int64
+        assert min_word_dtype([(-500, 1)]) is np.int64

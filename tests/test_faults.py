@@ -146,6 +146,61 @@ class TestFaultSimulation:
         missed = undetected_faults(four_sorter, faults, vectors)
         assert len(found) + len(missed) == len(faults)
 
+    def test_large_valued_vectors_do_not_overflow(self, four_sorter):
+        """Regression: the detection batch used to be built with the default
+        int8 dtype, so permutation-style vectors with values above 127
+        silently wrapped (e.g. 200 -> -56) and corrupted both criteria.  The
+        matrix must now match the scalar reference exactly."""
+        faults = enumerate_single_faults(
+            four_sorter, kinds=("stuck-pass", "stuck-swap", "reversed")
+        )
+        vectors = [
+            (400, 300, 200, 100),
+            (100, 400, 200, 300),
+            (1, 128, 129, 127),
+        ]
+        for criterion in ("specification", "reference"):
+            matrix = fault_detection_matrix(
+                four_sorter, faults, vectors, criterion=criterion
+            )
+            reference = fault_detection_matrix(
+                four_sorter, faults, vectors, criterion=criterion, engine="scalar"
+            )
+            assert np.array_equal(matrix, reference), criterion
+
+    def test_large_valued_reference_criterion_detects_reversed_fault(self):
+        """Concrete overflow witness: with values straddling the int8 wrap
+        point a reversed comparator must still be seen as a defect."""
+        network = batcher_sorting_network(4)
+        faults = [ReversedComparatorFault(0)]
+        vectors = [(200, 150, 300, 250)]
+        matrix = fault_detection_matrix(
+            network, faults, vectors, criterion="reference"
+        )
+        assert bool(matrix[0, 0])
+
+    def test_empty_vector_list(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter)
+        matrix = fault_detection_matrix(four_sorter, faults, [])
+        assert matrix.shape == (len(faults), 0)
+
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized", "bitpacked"])
+    def test_engine_selection(self, four_sorter, engine):
+        faults = enumerate_single_faults(four_sorter)
+        vectors = sorting_binary_test_set(4)
+        matrix = fault_detection_matrix(
+            four_sorter, faults, vectors, engine=engine
+        )
+        assert matrix.shape == (len(faults), len(vectors))
+
+    def test_unknown_engine_rejected(self, four_sorter):
+        from repro.exceptions import EngineError
+
+        with pytest.raises(EngineError):
+            fault_detection_matrix(
+                four_sorter, [], [(0, 1, 1, 0)], engine="psychic"
+            )
+
 
 class TestCoverage:
     def test_paper_test_set_achieves_full_specification_coverage_for_standard_faults(self):
