@@ -1,0 +1,224 @@
+"""Benchmark smoke run for the parallel subsystem → BENCH_parallel.json.
+
+Two workloads, both cross-checked for bit-identical results before timing:
+
+* **Streamed exhaustive verification** — sortedness of a Batcher sorter
+  over the full ``2**n`` cube (default ``n = 24``), comparing the
+  single-shot bit-packed engine against the streamed engine (fixed-size
+  block ranges, constant memory) serially and across worker processes.
+* **Sharded fault simulation** — the extended single-fault universe of a
+  Batcher sorter (default ``n = 18``; comparator faults plus line
+  stuck-at faults at *every* stage, ``line_stuck_at_input_only=False``)
+  against the paper's Theorem 2.2 test set (as a vector array, the
+  zero-copy fast path), comparing the single-process bit-packed engine
+  against the fault-axis-sharded pool (delta-compressed fault-free prefix
+  states computed once and published through shared memory).  The sharded
+  detection matrix must be *exactly* equal, and the multi-worker run must
+  beat the single-process run by ``--min-speedup`` (the CI quality gate;
+  set 0 to skip, e.g. on single-core machines).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/parallel_smoke.py \
+        --out BENCH_parallel.json [--stream-n 24] [--fault-n 18] \
+        [--workers 4] [--repeats 3] [--min-speedup 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.constructions import batcher_sorting_network
+from repro.core.evaluation import unsorted_binary_words_array
+from repro.faults import enumerate_single_faults, fault_detection_matrix
+from repro.parallel import DEFAULT_CHUNK_WORDS, ExecutionConfig
+from repro.properties import is_sorter
+
+
+def _best_of(repeats: int, thunk) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def stream_workload(n: int, workers: int, chunk_size: int, repeats: int) -> dict:
+    network = batcher_sorting_network(n)
+    serial_cfg = ExecutionConfig(max_workers=1, chunk_size=chunk_size)
+    parallel_cfg = ExecutionConfig(max_workers=workers, chunk_size=chunk_size)
+
+    verdicts = {
+        "single_shot": is_sorter(network, strategy="binary", engine="bitpacked"),
+        "streamed_1_worker": is_sorter(
+            network, strategy="binary", engine="bitpacked", config=serial_cfg
+        ),
+        f"streamed_{workers}_workers": is_sorter(
+            network, strategy="binary", engine="bitpacked", config=parallel_cfg
+        ),
+    }
+    if len(set(verdicts.values())) != 1:
+        raise AssertionError(f"streamed verdicts disagree: {verdicts}")
+
+    seconds = {
+        "single_shot": _best_of(
+            repeats,
+            lambda: is_sorter(network, strategy="binary", engine="bitpacked"),
+        ),
+        "streamed_1_worker": _best_of(
+            repeats,
+            lambda: is_sorter(
+                network, strategy="binary", engine="bitpacked", config=serial_cfg
+            ),
+        ),
+        f"streamed_{workers}_workers": _best_of(
+            repeats,
+            lambda: is_sorter(
+                network,
+                strategy="binary",
+                engine="bitpacked",
+                config=parallel_cfg,
+            ),
+        ),
+    }
+    chunk_bytes = n * (chunk_size // 64) * 8
+    return {
+        "n": n,
+        "device": f"batcher({n})",
+        "words": 2**n,
+        "chunk_size_words": chunk_size,
+        "streamed_chunk_plane_bytes": chunk_bytes,
+        "single_shot_plane_bytes": n * (2**n // 64) * 8,
+        "verdict": verdicts["single_shot"],
+        "seconds": seconds,
+        "streamed_overhead_vs_single_shot": (
+            seconds["streamed_1_worker"] / seconds["single_shot"]
+        ),
+        "parallel_speedup_over_1_worker": (
+            seconds["streamed_1_worker"] / seconds[f"streamed_{workers}_workers"]
+        ),
+    }
+
+
+def fault_workload(n: int, workers: int, repeats: int) -> dict:
+    device = batcher_sorting_network(n)
+    faults = enumerate_single_faults(device, line_stuck_at_input_only=False)
+    # The Theorem 2.2 test set as a vector array (same words as
+    # sorting_binary_test_set, minus the Python-tuple materialisation).
+    vectors = unsorted_binary_words_array(n)
+    sharded_cfg = ExecutionConfig(max_workers=workers)
+
+    serial_matrix = fault_detection_matrix(
+        device, faults, vectors, engine="bitpacked"
+    )
+    sharded_matrix = fault_detection_matrix(
+        device, faults, vectors, engine="bitpacked", config=sharded_cfg
+    )
+    if not np.array_equal(serial_matrix, sharded_matrix):
+        raise AssertionError(
+            "sharded fault-detection matrix differs from the single-process one"
+        )
+    del sharded_matrix
+
+    seconds = {
+        "bitpacked_1_worker": _best_of(
+            repeats,
+            lambda: fault_detection_matrix(
+                device, faults, vectors, engine="bitpacked"
+            ),
+        ),
+        f"bitpacked_{workers}_workers": _best_of(
+            repeats,
+            lambda: fault_detection_matrix(
+                device, faults, vectors, engine="bitpacked", config=sharded_cfg
+            ),
+        ),
+    }
+    return {
+        "n": n,
+        "device": f"batcher({n})",
+        "faults": len(faults),
+        "vectors": len(vectors),
+        "matrices_identical": True,
+        "seconds": seconds,
+        "sharded_speedup_over_1_worker": (
+            seconds["bitpacked_1_worker"] / seconds[f"bitpacked_{workers}_workers"]
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--stream-n", type=int, default=24, help="streamed exhaustive size"
+    )
+    parser.add_argument(
+        "--fault-n", type=int, default=18, help="sharded fault-simulation size"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_WORDS,
+        help="streamed chunk size in words",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required sharded fault-sim speedup over 1 worker (0 disables)",
+    )
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    report = {
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "workloads": {
+            "streamed_exhaustive_is_sorter": stream_workload(
+                args.stream_n, workers, args.chunk_size, args.repeats
+            ),
+            "sharded_fault_simulation": fault_workload(
+                args.fault_n, workers, args.repeats
+            ),
+        },
+        "results_identical": True,
+    }
+    speedup = report["workloads"]["sharded_fault_simulation"][
+        "sharded_speedup_over_1_worker"
+    ]
+    report["min_speedup_required"] = args.min_speedup
+    report["passed"] = speedup >= args.min_speedup
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(json.dumps(report, indent=2))
+    if not report["passed"]:
+        print(
+            f"FAIL: sharded fault-sim speedup {speedup:.2f}x below the "
+            f"{args.min_speedup:.1f}x floor ({workers} workers)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: fault-sim n={args.fault_n} sharded speedup {speedup:.2f}x with "
+        f"{workers} workers (floor {args.min_speedup:.1f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,11 +27,8 @@ Experiment index (matching DESIGN.md):
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from ..constructions.batcher import batcher_sorting_network
 from ..core.network import ComparatorNetwork
@@ -202,8 +199,16 @@ def experiment_thm22_binary(
     ns: Iterable[int] = (2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16),
     *,
     empirical_up_to: int = 5,
+    timing_up_to: int = 16,
 ) -> List[Row]:
-    """Theorem 2.2 (i): size of the minimum 0/1 test set for sorting."""
+    """Theorem 2.2 (i): size of the minimum 0/1 test set for sorting.
+
+    Rows also record per-engine wall-clock for *applying* the test set (a
+    Batcher sorter verified with ``strategy="testset"``) up to
+    ``timing_up_to`` lines, so EXPERIMENTS.md shows the engine speedups
+    alongside the sizes.
+    """
+    from ..properties.sorter import is_sorter
     from ..testsets.minimal import empirical_sorting_test_set_size
 
     rows: List[Row] = []
@@ -213,17 +218,29 @@ def experiment_thm22_binary(
         empirical: Optional[int] = None
         if n <= empirical_up_to:
             empirical = empirical_sorting_test_set_size(n, exact=True)
-        rows.append(
-            {
-                "experiment": "E4",
-                "n": n,
-                "paper_size": paper,
-                "generated_size": generated,
-                "empirical_minimum": empirical,
-                "match": generated == paper
-                and (empirical is None or empirical == paper),
-            }
-        )
+        row: Row = {
+            "experiment": "E4",
+            "n": n,
+            "paper_size": paper,
+            "generated_size": generated,
+            "empirical_minimum": empirical,
+            "match": generated == paper
+            and (empirical is None or empirical == paper),
+        }
+        if n <= timing_up_to:
+            device = batcher_sorting_network(n)
+            seconds: Dict[str, float] = {}
+            for eng in ("vectorized", "bitpacked"):
+                start = time.perf_counter()
+                verdict = is_sorter(device, strategy="testset", engine=eng)
+                seconds[eng] = time.perf_counter() - start
+                assert verdict, f"batcher({n}) must verify as a sorter"
+            row["verify_seconds_vectorized"] = round(seconds["vectorized"], 5)
+            row["verify_seconds_bitpacked"] = round(seconds["bitpacked"], 5)
+            row["verify_speedup_bitpacked"] = round(
+                seconds["vectorized"] / max(seconds["bitpacked"], 1e-9), 1
+            )
+        rows.append(row)
     return rows
 
 
@@ -456,16 +473,23 @@ def experiment_fault_coverage(
     seed: int = 0,
     random_set_sizes: Iterable[int] = (8, 32),
     engine: str = "vectorized",
+    worker_counts: Iterable[int] = (1,),
 ) -> List[Row]:
     """Fault coverage of the paper's test sets vs random vectors on a Batcher sorter.
 
     ``engine`` selects the fault-simulation engine
     (:data:`repro.faults.simulation.SIMULATION_ENGINES`); the bit-packed
     engine shares fault-free prefix states across all single faults and is
-    the one that scales this experiment to large ``n``.
+    the one that scales this experiment to large ``n``.  Every row records
+    the simulation wall-clock; ``worker_counts`` additionally re-runs the
+    theorem test set with the fault axis sharded across that many worker
+    processes (:class:`repro.parallel.ExecutionConfig`), so EXPERIMENTS.md
+    shows the per-engine and per-worker-count speedups alongside the
+    coverage numbers.
     """
-    from ..faults.coverage import compare_test_sets
+    from ..faults.coverage import coverage_report
     from ..faults.injection import enumerate_single_faults
+    from ..parallel import ExecutionConfig
 
     rng = as_rng(seed)
     device = batcher_sorting_network(n)
@@ -478,21 +502,38 @@ def experiment_fault_coverage(
             tuple(int(b) for b in rng.integers(0, 2, size=n)) for _ in range(size)
         ]
         test_sets[f"random-{size}"] = vectors
-    reports = compare_test_sets(device, faults, test_sets, engine=engine)
+    scaling_counts = [1] + [int(w) for w in worker_counts if int(w) != 1]
     rows: List[Row] = []
-    for name, report in reports.items():
-        rows.append(
-            {
-                "experiment": "E11",
-                "device": f"batcher({n})",
-                "engine": engine,
-                "test_set": name,
-                "vectors": report.vectors_used,
-                "total_faults": report.total_faults,
-                "detected_faults": report.detected_faults,
-                "coverage": round(report.coverage, 4),
-            }
-        )
+    baseline_seconds: Optional[float] = None
+    for name, vectors in test_sets.items():
+        counts = scaling_counts if name == "theorem22-binary-testset" else [1]
+        for workers in counts:
+            config = ExecutionConfig(max_workers=workers) if workers != 1 else None
+            start = time.perf_counter()
+            report = coverage_report(
+                device, faults, vectors, engine=engine, config=config
+            )
+            elapsed = time.perf_counter() - start
+            if name == "theorem22-binary-testset" and workers == 1:
+                baseline_seconds = elapsed
+            speedup: Optional[float] = None
+            if name == "theorem22-binary-testset" and baseline_seconds:
+                speedup = round(baseline_seconds / max(elapsed, 1e-9), 2)
+            rows.append(
+                {
+                    "experiment": "E11",
+                    "device": f"batcher({n})",
+                    "engine": engine,
+                    "workers": workers,
+                    "test_set": name,
+                    "vectors": report.vectors_used,
+                    "total_faults": report.total_faults,
+                    "detected_faults": report.detected_faults,
+                    "coverage": round(report.coverage, 4),
+                    "sim_seconds": round(elapsed, 5),
+                    "speedup_vs_1_worker": speedup,
+                }
+            )
     return rows
 
 
@@ -500,14 +541,22 @@ def experiment_fault_coverage(
 # Runner
 # ----------------------------------------------------------------------
 def run_all_experiments(
-    *, fast: bool = True, engine: str = "vectorized"
+    *, fast: bool = True, engine: str = "vectorized", workers: int = 1
 ) -> Dict[str, List[Row]]:
     """Run every experiment with small (fast) or full (slow) parameters.
 
     ``engine`` is forwarded to the evaluation-heavy experiments (currently
     the E11 fault-coverage run); see
-    :data:`repro.core.evaluation.EVALUATION_ENGINES`.
+    :data:`repro.core.evaluation.EVALUATION_ENGINES`.  ``workers != 1``
+    additionally records E11 timings with the fault axis sharded across
+    that many processes (``0`` = one worker per CPU, matching the CLI and
+    :class:`repro.parallel.ExecutionConfig`).
     """
+    import os
+
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    worker_counts = (1,) if workers == 1 else (1, workers)
     if fast:
         return {
             "E1": experiment_fig1(),
@@ -523,7 +572,8 @@ def run_all_experiments(
             ),
             "E10": experiment_decision_cost(n=5, vector_counts=(1, 8), trials_per_adversary=5, num_adversaries=10),
             "E11": experiment_fault_coverage(
-                n=6, random_set_sizes=(8,), engine=engine
+                n=6, random_set_sizes=(8,), engine=engine,
+                worker_counts=worker_counts,
             ),
         }
     return {
@@ -537,5 +587,5 @@ def run_all_experiments(
         "E8": experiment_yao_comparison(),
         "E9": experiment_height_restricted(),
         "E10": experiment_decision_cost(),
-        "E11": experiment_fault_coverage(engine=engine),
+        "E11": experiment_fault_coverage(engine=engine, worker_counts=worker_counts),
     }

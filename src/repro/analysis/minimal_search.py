@@ -27,7 +27,7 @@ cross-check in the test suite.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 import numpy as np
 

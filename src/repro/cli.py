@@ -26,7 +26,10 @@ Subcommands
 {scalar,vectorized,bitpacked}`` to pick the batch-evaluation engine;
 ``bitpacked`` packs 0/1 batches 64 words per uint64 (see
 :mod:`repro.core.bitpacked`) and is the fast choice for exhaustive
-strategies and fault simulation.
+strategies and fault simulation.  The same three subcommands accept
+``--workers N`` (shard the work axis across ``N`` processes; ``0`` = one
+per CPU) and ``--chunk-size W`` (stream exhaustive workloads ``W`` words
+at a time in constant memory) — see :mod:`repro.parallel`.
 
 Examples
 --------
@@ -34,9 +37,11 @@ Examples
 
     repro-networks verify --n 4 --network "[1,3][2,4][1,2][3,4]" --property sorter
     repro-networks verify --n 16 --strategy binary --engine bitpacked --construct batcher
+    repro-networks verify --n 28 --strategy binary --engine bitpacked \
+        --construct batcher --workers 0 --chunk-size 1048576
     repro-networks testset --property sorting --n 4 --model binary
     repro-networks adversary --sigma 0110 --diagram
-    repro-networks faults --n 8 --engine bitpacked
+    repro-networks faults --n 18 --engine bitpacked --workers 4
     repro-networks experiments --fast
 """
 
@@ -83,6 +88,33 @@ def _build_construction(kind: str, n: int, k: int) -> ComparatorNetwork:
     return builders[kind]()
 
 
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for sharded execution (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="words per streamed chunk (constant-memory exhaustive runs)",
+    )
+
+
+def _execution_config(args: argparse.Namespace):
+    """Build an ExecutionConfig from --workers/--chunk-size, or ``None``."""
+    if args.workers is None and args.chunk_size is None:
+        return None
+    from .parallel import ExecutionConfig
+
+    return ExecutionConfig(
+        max_workers=args.workers if args.workers is not None else 1,
+        chunk_size=args.chunk_size,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -119,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="batch evaluation engine (bitpacked = 64 words per machine word)",
     )
+    _add_execution_arguments(verify)
 
     testset = sub.add_parser("testset", help="print a minimum test set")
     testset.add_argument(
@@ -176,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitpacked",
         help="fault-simulation engine (bitpacked shares fault-free prefixes)",
     )
+    _add_execution_arguments(faults)
 
     experiments = sub.add_parser("experiments", help="run the experiment harness")
     experiments.add_argument("--fast", action="store_true", help="small parameters")
@@ -188,6 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="engine forwarded to the evaluation-heavy experiments",
     )
+    experiments.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="also record E11 timings sharded across this many processes",
+    )
     return parser
 
 
@@ -198,16 +238,50 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         network = _build_construction(args.construct, args.n, args.k)
     else:
         network = ComparatorNetwork.from_knuth(args.n, args.network)
+    config = _execution_config(args)
+    if config is not None:
+        # Streaming coverage: merger chunks its word lists with any engine,
+        # sorter chunks the permutation strategies, and the 0/1 strategies
+        # stream the packed cube (sorter/selector, bitpacked engine only).
+        # Anywhere else the config would be silently ignored — be honest
+        # about the run being serial single-shot rather than printing a
+        # worker count that never materialised.
+        streams = (
+            args.property == "merger"
+            or (
+                args.property == "sorter"
+                and args.strategy not in ("binary", "testset")
+            )
+            or (
+                args.property in ("sorter", "selector")
+                and args.strategy in ("binary", "testset")
+                and args.engine == "bitpacked"
+            )
+        )
+        if not streams:
+            print(
+                "note: --workers/--chunk-size do not apply to "
+                f"--property {args.property} --strategy {args.strategy} "
+                f"--engine {args.engine}; running single-shot",
+                file=sys.stderr,
+            )
+            config = None
     if args.property == "sorter":
-        verdict = is_sorter(network, strategy=args.strategy, engine=args.engine)
+        verdict = is_sorter(
+            network, strategy=args.strategy, engine=args.engine, config=config
+        )
     elif args.property == "selector":
         verdict = is_selector(
-            network, args.k, strategy=args.strategy, engine=args.engine
+            network, args.k, strategy=args.strategy, engine=args.engine,
+            config=config,
         )
     else:
-        verdict = is_merger(network, strategy=args.strategy, engine=args.engine)
+        verdict = is_merger(
+            network, strategy=args.strategy, engine=args.engine, config=config
+        )
+    workers = config.resolved_workers() if config is not None else 1
     print(
-        f"property={args.property} engine={args.engine} "
+        f"property={args.property} engine={args.engine} workers={workers} "
         f"verdict={'YES' if verdict else 'NO'}"
     )
     return 0 if verdict else 1
@@ -275,12 +349,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     device = _build_construction(args.kind, args.n, 1)
     faults = enumerate_single_faults(device)
     vectors = sorting_binary_test_set(args.n)
+    config = _execution_config(args)
     report = coverage_report(
-        device, faults, vectors, criterion=args.criterion, engine=args.engine
+        device, faults, vectors, criterion=args.criterion, engine=args.engine,
+        config=config,
     )
+    workers = config.resolved_workers() if config is not None else 1
     print(
         f"device={args.kind}({args.n}) engine={args.engine} "
-        f"criterion={args.criterion}"
+        f"workers={workers} criterion={args.criterion}"
     )
     print(
         f"vectors={report.vectors_used} faults={report.total_faults} "
@@ -294,7 +371,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_all_experiments
 
-    results = run_all_experiments(fast=args.fast, engine=args.engine)
+    results = run_all_experiments(
+        fast=args.fast, engine=args.engine, workers=args.workers
+    )
     wanted = None
     if args.only:
         wanted = {name.strip().upper() for name in args.only.split(",")}

@@ -41,6 +41,7 @@ from .evaluation import (
     check_engine,
     evaluate_on_all_binary_inputs,
     min_word_dtype,
+    narrow_binary_batch,
     outputs_on_words,
     unsorted_binary_words_array,
     words_to_array,
@@ -94,6 +95,7 @@ __all__ = [
     "check_engine",
     "evaluate_on_all_binary_inputs",
     "min_word_dtype",
+    "narrow_binary_batch",
     "outputs_on_words",
     "unsorted_binary_words_array",
     "words_to_array",

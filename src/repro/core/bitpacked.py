@@ -55,10 +55,15 @@ __all__ = [
     "pack_words",
     "unpack_batch",
     "packed_all_binary_words",
+    "packed_cube_range",
     "apply_network_packed",
     "apply_comparators_packed",
     "packed_is_sorted",
+    "packed_unsorted_blocks",
     "packed_equal",
+    "packed_zero_count_planes",
+    "packed_count_gt_blocks",
+    "packed_selection_violation_blocks",
     "unpack_bits",
 ]
 
@@ -147,6 +152,14 @@ def pack_batch(batch, *, n_lines: Optional[int] = None) -> PackedBatch:
                 "the bit-packed engine requires 0/1 data; batch contains "
                 f"values in [{low}, {high}]"
             )
+        # Integer dtypes in [0, 1] are exactly {0, 1}; anything else (e.g.
+        # floats) must be checked for fractional values, which `data != 0`
+        # below would otherwise silently round up to 1.
+        if data.dtype.kind not in "biu" and not bool(np.all(data % 1 == 0)):
+            raise NotBinaryError(
+                "the bit-packed engine requires 0/1 data; batch contains "
+                "fractional values"
+            )
     num_words, lines = data.shape
     n_blocks = _blocks_for(num_words)
     bits = np.zeros((lines, n_blocks * BLOCK_BITS), dtype=np.uint8)
@@ -187,13 +200,15 @@ def unpack_bits(blocks: np.ndarray, num_words: int) -> np.ndarray:
     return bits[:num_words].astype(bool)
 
 
-def packed_all_binary_words(n: int) -> PackedBatch:
-    """All ``2**n`` binary words, generated *directly* in packed form.
+def packed_cube_range(n: int, block_start: int, block_stop: int) -> PackedBatch:
+    """Blocks ``[block_start, block_stop)`` of the packed ``2**n`` cube.
 
-    Equivalent to ``pack_batch(all_binary_words_array(n))`` (same word order:
-    word ``r`` is the binary expansion of ``r``, most significant bit on line
-    0) but never materialises the ``(2**n, n)`` unpacked array, so exhaustive
-    workloads stay ``O(2**n * n / 64)`` end to end.
+    The returned batch equals the corresponding block columns of
+    :func:`packed_all_binary_words` (word ``64*block_start + j`` of the chunk
+    is the binary expansion of that rank, most significant bit on line 0),
+    but only the requested range is ever materialised — this is the primitive
+    the streaming executor (:mod:`repro.parallel`) iterates to keep
+    exhaustive verification at ``n >= 28`` in constant memory.
 
     Line ``i`` of word ``r`` is bit ``n - 1 - i`` of ``r``, which inside the
     bit-plane layout is either constant per block (shift ``>= 6``) or a fixed
@@ -201,14 +216,24 @@ def packed_all_binary_words(n: int) -> PackedBatch:
     """
     if n < 0:
         raise ValueError("n must be non-negative")
-    num_words = 1 << n
-    n_blocks = _blocks_for(num_words)
+    total_words = 1 << n
+    total_blocks = _blocks_for(total_words)
+    if not 0 <= block_start <= block_stop <= total_blocks:
+        raise ValueError(
+            f"block range [{block_start}, {block_stop}) out of bounds for "
+            f"{total_blocks} cube blocks at n={n}"
+        )
+    n_blocks = block_stop - block_start
+    num_words = max(
+        0, min(total_words, block_stop * BLOCK_BITS) - block_start * BLOCK_BITS
+    )
     planes = np.empty((n, n_blocks), dtype=_BLOCK_DTYPE)
+    block_index = np.arange(block_start, block_stop, dtype=np.uint64)
     for line in range(n):
         shift = n - 1 - line
         if shift >= 6:
             # The bit is constant across each 64-word block.
-            block_bit = (np.arange(n_blocks, dtype=np.uint64) >> np.uint64(shift - 6)) & np.uint64(1)
+            block_bit = (block_index >> np.uint64(shift - 6)) & np.uint64(1)
             planes[line] = np.where(block_bit.astype(bool), _ALL_ONES, np.uint64(0))
         else:
             pattern = 0
@@ -217,9 +242,23 @@ def packed_all_binary_words(n: int) -> PackedBatch:
                     pattern |= 1 << j
             planes[line] = np.uint64(pattern)
     packed = PackedBatch(planes, num_words)
-    if num_words < BLOCK_BITS:
+    if num_words < n_blocks * BLOCK_BITS:
         packed.planes &= packed.pad_mask()[None, :]
     return packed
+
+
+def packed_all_binary_words(n: int) -> PackedBatch:
+    """All ``2**n`` binary words, generated *directly* in packed form.
+
+    Equivalent to ``pack_batch(all_binary_words_array(n))`` (same word order:
+    word ``r`` is the binary expansion of ``r``, most significant bit on line
+    0) but never materialises the ``(2**n, n)`` unpacked array, so exhaustive
+    workloads stay ``O(2**n * n / 64)`` end to end.  This is the single-shot
+    form of :func:`packed_cube_range`.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return packed_cube_range(n, 0, _blocks_for(1 << n))
 
 
 def apply_comparators_packed(
@@ -273,21 +312,115 @@ def apply_network_packed(
     return result
 
 
-def packed_is_sorted(packed: PackedBatch) -> np.ndarray:
-    """Boolean vector: for each word, is it non-decreasing across lines?
+def packed_unsorted_blocks(packed: PackedBatch) -> np.ndarray:
+    """Per-block uint64 mask with a 1 for every word that is NOT sorted.
 
     A 0/1 word is unsorted exactly when some line carries 1 while the next
     line carries 0, so the unsorted mask is ``OR_i planes[i] & ~planes[i+1]``
-    — one AND-NOT per adjacent line pair over the whole batch.
+    — one AND-NOT per adjacent line pair over the whole batch.  Padding bits
+    are always 0 in the result, so callers can test ``np.any(mask)`` without
+    expanding to per-word booleans (the constant-memory streaming path).
     """
+    unsorted_mask = np.zeros(packed.n_blocks, dtype=_BLOCK_DTYPE)
+    planes = packed.planes
+    for i in range(packed.n_lines - 1):
+        unsorted_mask |= planes[i] & ~planes[i + 1]
+    if packed.n_lines > 1:
+        unsorted_mask &= packed.pad_mask()
+    return unsorted_mask
+
+
+def packed_is_sorted(packed: PackedBatch) -> np.ndarray:
+    """Boolean vector: for each word, is it non-decreasing across lines?"""
     num_words = packed.num_words
     if packed.n_lines <= 1:
         return np.ones(num_words, dtype=bool)
-    planes = packed.planes
-    unsorted_mask = np.zeros(packed.n_blocks, dtype=_BLOCK_DTYPE)
-    for i in range(packed.n_lines - 1):
-        unsorted_mask |= planes[i] & ~planes[i + 1]
-    return ~unpack_bits(unsorted_mask, num_words)
+    return ~unpack_bits(packed_unsorted_blocks(packed), num_words)
+
+
+def packed_zero_count_planes(packed: PackedBatch) -> np.ndarray:
+    """Bit-sliced per-word count of *zero* lines (a vertical popcount).
+
+    Returns a ``(m, n_blocks)`` uint64 array ``counter`` with
+    ``m = n_lines.bit_length()`` planes, least significant first: bit ``w``
+    of ``counter[j]`` is bit ``j`` of the number of 0-valued lines of word
+    ``w``.  Each line is added with a ripple-carry over the counter planes,
+    so the whole batch is counted in ``O(n_lines * log n_lines)`` bitwise
+    block operations — this is what lets the ``(k, n)``-selection check stay
+    fully packed instead of round-tripping through the unpacked engine.
+
+    Padding bits of every counter plane are 0 (padding words count zero
+    zeroes).
+    """
+    pad = packed.pad_mask()
+    m = max(1, packed.n_lines.bit_length())
+    counter = np.zeros((m, packed.n_blocks), dtype=_BLOCK_DTYPE)
+    for i in range(packed.n_lines):
+        carry = ~packed.planes[i] & pad
+        for j in range(m):
+            counter[j], carry = counter[j] ^ carry, counter[j] & carry
+    return counter
+
+
+def packed_count_gt_blocks(
+    counter: np.ndarray, threshold: int, pad_mask: np.ndarray
+) -> np.ndarray:
+    """Per-block uint64 mask: is the bit-sliced count > *threshold*?
+
+    ``counter`` is a ``(m, n_blocks)`` LSB-first plane array as produced by
+    :func:`packed_zero_count_planes`; the comparison against the constant is
+    one masked sweep from the most significant plane down.
+    """
+    m = counter.shape[0]
+    if threshold < 0:
+        return pad_mask.copy()
+    if threshold >> m:
+        # The counter cannot represent any value above the threshold.
+        return np.zeros(counter.shape[1], dtype=_BLOCK_DTYPE)
+    gt = np.zeros(counter.shape[1], dtype=_BLOCK_DTYPE)
+    eq = pad_mask.copy()
+    for j in range(m - 1, -1, -1):
+        if (threshold >> j) & 1:
+            eq &= counter[j]
+        else:
+            gt |= eq & counter[j]
+            eq &= ~counter[j]
+    return gt
+
+
+def packed_selection_violation_blocks(
+    inputs: PackedBatch,
+    outputs: PackedBatch,
+    k: int,
+    *,
+    restrict_to_test_words: bool = False,
+) -> np.ndarray:
+    """Per-block uint64 mask of words on which ``(k, n)``-selection fails.
+
+    For a 0/1 word with ``z`` zeroes the ``i``-th smallest value is 0 for
+    ``i < z`` and 1 otherwise, so output line ``i < k`` must equal
+    ``[z <= i]`` — checked entirely on the bit planes via the vertical zero
+    counter, with no unpacking.  *inputs* must be the pre-network batch and
+    *outputs* the corresponding post-network batch (same block layout).
+
+    With ``restrict_to_test_words=True`` only words of the paper's
+    ``T_k^n`` test set (unsorted inputs with at most ``k`` zeroes) can
+    report a violation, which makes the streamed check agree exactly with
+    the ``strategy="testset"`` verdict.
+    """
+    pad = inputs.pad_mask()
+    counter = packed_zero_count_planes(inputs)
+    violation = np.zeros(inputs.n_blocks, dtype=_BLOCK_DTYPE)
+    for i in range(min(k, outputs.n_lines)):
+        gt = packed_count_gt_blocks(counter, i, pad)
+        # Desired: outputs[i] == ~gt on every valid word.
+        violation |= ~(outputs.planes[i] ^ gt) & pad
+    if restrict_to_test_words:
+        eligible = packed_unsorted_blocks(inputs) & ~packed_count_gt_blocks(
+            counter, k, pad
+        )
+        violation &= eligible
+    return violation
 
 
 def packed_equal(a: PackedBatch, b: PackedBatch) -> np.ndarray:

@@ -49,6 +49,7 @@ __all__ = [
     "words_to_array",
     "array_to_words",
     "min_word_dtype",
+    "narrow_binary_batch",
 ]
 
 #: The interchangeable batch-evaluation engines (see the module docstring).
@@ -83,6 +84,25 @@ def min_word_dtype(words: Iterable[Sequence[int]]):
             if value > highest:
                 highest = value
     return np.int8 if lowest >= -128 and highest <= 1 else np.int64
+
+
+def narrow_binary_batch(batch: np.ndarray, engine: str = "vectorized"):
+    """Narrow a 0/1 integer batch to int8 and validate the engine choice.
+
+    Returns ``(batch, engine)``: batches whose values are all 0/1 are
+    downcast to ``int8`` (the cheap dtype every engine accepts — two numpy
+    reductions instead of a per-element Python scan); anything else keeps
+    its dtype and falls back from ``"bitpacked"`` to ``"vectorized"``
+    (non-binary values cannot be bit-packed).  This is the single
+    binary-detection rule shared by the fault simulator, the test-set
+    validator and the chunked executor, so the engines cannot drift apart.
+    """
+    binary = bool(batch.size) and 0 <= batch.min() and batch.max() <= 1
+    if binary and batch.dtype.kind in "biu" and batch.dtype != np.int8:
+        batch = batch.astype(np.int8)
+    if not binary and engine == "bitpacked":
+        engine = "vectorized"
+    return batch, engine
 
 
 def words_to_array(
@@ -244,28 +264,51 @@ def batch_is_sorted(batch: Batch) -> np.ndarray:
 
 
 def evaluate_on_all_binary_inputs(
-    network: ComparatorNetwork, *, dtype=np.int8, engine: str = "vectorized"
+    network: ComparatorNetwork,
+    *,
+    dtype=np.int8,
+    engine: str = "vectorized",
+    config=None,
 ) -> Batch:
     """Outputs of *network* on every binary word, ordered by input rank.
 
     With ``engine="bitpacked"`` the input cube is generated directly in
     packed form (never materialising the ``(2**n, n)`` input array) and only
-    the outputs are expanded.
+    the outputs are expanded.  A streaming *config*
+    (:class:`repro.parallel.ExecutionConfig`) additionally generates and
+    evaluates the cube chunk by chunk, so the packed working set stays
+    bounded by the chunk size (the unpacked output array is still the full
+    ``(2**n, n)`` — use the property checkers for constant-memory verdicts).
     """
     check_engine(engine)
+    n = network.n_lines
     if engine == "bitpacked":
         from .bitpacked import (
+            BLOCK_BITS,
             apply_network_packed,
             packed_all_binary_words,
+            packed_cube_range,
             unpack_batch,
         )
 
-        packed = packed_all_binary_words(network.n_lines)
+        if config is not None and config.streaming:
+            from ..parallel.chunking import cube_block_spans
+
+            out = np.empty((1 << n, n), dtype=dtype)
+            for start, stop in cube_block_spans(n, config.chunk_words()):
+                chunk = packed_cube_range(n, start, stop)
+                outputs = apply_network_packed(network, chunk, copy=False)
+                first = start * BLOCK_BITS
+                out[first : first + chunk.num_words] = unpack_batch(
+                    outputs, dtype=dtype
+                )
+            return out
+        packed = packed_all_binary_words(n)
         outputs = apply_network_packed(network, packed, copy=False)
         return unpack_batch(outputs, dtype=dtype)
     return apply_network_to_batch(
         network,
-        all_binary_words_array(network.n_lines, dtype=dtype),
+        all_binary_words_array(n, dtype=dtype),
         copy=False,
         engine=engine,
     )
@@ -290,6 +333,11 @@ def outputs_on_words(
     if not rows:
         return np.zeros((0, network.n_lines), dtype=np.int8)
     if dtype is None:
-        dtype = min_word_dtype(rows)
-    batch = words_to_array(rows, dtype=dtype, n_lines=network.n_lines)
+        # Build wide once and narrow with numpy reductions — scanning the
+        # rows element by element in Python would dominate permutation-scale
+        # workloads before evaluation even starts.
+        batch = words_to_array(rows, dtype=np.int64, n_lines=network.n_lines)
+        batch, _ = narrow_binary_batch(batch)
+    else:
+        batch = words_to_array(rows, dtype=dtype, n_lines=network.n_lines)
     return apply_network_to_batch(network, batch, copy=False, engine=engine)

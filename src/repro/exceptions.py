@@ -21,6 +21,7 @@ __all__ = [
     "TestSetError",
     "FaultModelError",
     "EngineError",
+    "ExecutionConfigError",
 ]
 
 
@@ -86,3 +87,7 @@ class EngineError(ReproError, ValueError):
     """An evaluation engine was requested that does not exist or does not
     apply to the given data (e.g. the bit-packed engine on non-binary words).
     """
+
+
+class ExecutionConfigError(ReproError, ValueError):
+    """An invalid execution configuration (worker count / chunk size)."""

@@ -14,7 +14,7 @@ Built on the detection matrix of :mod:`repro.faults.simulation`:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -65,12 +65,14 @@ def fault_coverage(
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
+    config=None,
 ) -> float:
     """Fraction of *faults* detected by *test_vectors* (1.0 for an empty fault list)."""
     if not faults:
         return 1.0
     matrix = fault_detection_matrix(
-        network, faults, test_vectors, criterion=criterion, engine=engine
+        network, faults, test_vectors, criterion=criterion, engine=engine,
+        config=config,
     )
     return float(np.mean(np.any(matrix, axis=1)))
 
@@ -82,14 +84,18 @@ def coverage_report(
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
+    config=None,
 ) -> CoverageReport:
     """Full coverage report with a per-fault-kind breakdown.
 
     ``engine`` selects the fault-simulation engine (see
-    :data:`repro.faults.simulation.SIMULATION_ENGINES`).
+    :data:`repro.faults.simulation.SIMULATION_ENGINES`); *config* (an
+    :class:`repro.parallel.ExecutionConfig`) shards the fault axis across
+    worker processes.
     """
     matrix = fault_detection_matrix(
-        network, faults, test_vectors, criterion=criterion, engine=engine
+        network, faults, test_vectors, criterion=criterion, engine=engine,
+        config=config,
     )
     detected = np.any(matrix, axis=1) if matrix.size else np.zeros(len(faults), bool)
     by_kind: Dict[str, Tuple[int, int]] = {}
@@ -115,6 +121,7 @@ def greedy_test_selection(
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
+    config=None,
     target_coverage: float = 1.0,
 ) -> List[Tuple[int, ...]]:
     """Greedy selection of vectors until *target_coverage* of detectable faults.
@@ -130,7 +137,8 @@ def greedy_test_selection(
         )
     vectors = [tuple(int(v) for v in w) for w in candidate_vectors]
     matrix = fault_detection_matrix(
-        network, faults, vectors, criterion=criterion, engine=engine
+        network, faults, vectors, criterion=criterion, engine=engine,
+        config=config,
     )
     detectable = np.any(matrix, axis=1)
     needed = int(np.ceil(target_coverage * int(np.sum(detectable))))
@@ -155,11 +163,13 @@ def compare_test_sets(
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
+    config=None,
 ) -> Dict[str, CoverageReport]:
     """Coverage of several named test sets against the same fault universe."""
     return {
         name: coverage_report(
-            network, faults, vectors, criterion=criterion, engine=engine
+            network, faults, vectors, criterion=criterion, engine=engine,
+            config=config,
         )
         for name, vectors in test_sets.items()
     }

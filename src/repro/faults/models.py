@@ -31,11 +31,8 @@ faulty semantics; the test suite cross-checks all three against the scalar
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
-
 import numpy as np
 
-from ..core.comparator import Comparator
 from ..core.network import ComparatorNetwork
 from ..exceptions import FaultModelError
 

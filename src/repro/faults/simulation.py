@@ -43,7 +43,7 @@ problems (in :mod:`repro.faults.coverage`) are derived.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -60,6 +60,7 @@ from ..core.evaluation import (
     apply_network_to_batch,
     batch_is_sorted,
     check_engine,
+    narrow_binary_batch,
     words_to_array,
 )
 from ..core.network import ComparatorNetwork
@@ -95,12 +96,21 @@ def fault_detection_matrix(
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
+    config=None,
 ) -> np.ndarray:
     """Boolean matrix ``D[f, t]``: does test vector ``t`` detect fault ``f``?
 
     Rows follow the order of *faults*, columns the order of *test_vectors*.
     The ``engine`` keyword selects the simulation strategy (see the module
     docstring); all engines produce identical matrices on 0/1 vectors.
+
+    *config* (an :class:`repro.parallel.ExecutionConfig`) shards the fault
+    axis across a process pool when ``max_workers > 1``: faults are
+    embarrassingly parallel once the fault-free prefix states are computed,
+    so the bit-packed engine computes them once in the parent, publishes
+    them through shared memory, and each worker fills its own row slice of
+    the (shared) detection matrix.  The result is bit-identical to the
+    single-process path for every engine.
     """
     if criterion not in DETECTION_CRITERIA:
         raise FaultModelError(
@@ -108,9 +118,31 @@ def fault_detection_matrix(
             f"choose one of {DETECTION_CRITERIA}"
         )
     check_engine(engine)
-    vectors = [tuple(int(v) for v in w) for w in test_vectors]
-    if not vectors:
+    if isinstance(test_vectors, np.ndarray):
+        # Fast path for exhaustive-scale vector batches: a 2-D integer
+        # array is used as-is, skipping the per-element normalisation loop
+        # (which would dominate the packed engines' wall-clock).
+        if test_vectors.ndim != 2:
+            raise FaultModelError(
+                "test-vector arrays must be 2-D (num_vectors, n_lines), "
+                f"got shape {test_vectors.shape}"
+            )
+        vectors = test_vectors
+    else:
+        vectors = [tuple(int(v) for v in w) for w in test_vectors]
+    if len(vectors) == 0:
         return np.zeros((len(faults), 0), dtype=bool)
+    if config is not None and config.parallel and len(faults) > 1:
+        from ..parallel.fault_shard import sharded_fault_detection_matrix
+
+        return sharded_fault_detection_matrix(
+            network,
+            list(faults),
+            vectors,
+            criterion=criterion,
+            engine=engine,
+            config=config,
+        )  # vectors already normalised (list of tuples or 2-D array)
     if engine == "scalar":
         return _scalar_detection_matrix(network, faults, vectors, criterion)
     if engine == "bitpacked":
@@ -121,15 +153,22 @@ def fault_detection_matrix(
 def _vectorized_detection_matrix(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
-    vectors: List[tuple],
+    vectors,
     criterion: str,
 ) -> np.ndarray:
     # Build wide and narrow only after a numpy range check: permutation
     # vectors with values > 127 must never land in int8, where they would
     # silently wrap and corrupt both criteria.
-    batch = words_to_array(vectors, dtype=np.int64, n_lines=network.n_lines)
-    if 0 <= batch.min() and batch.max() <= 1:
-        batch = batch.astype(np.int8)
+    if isinstance(vectors, np.ndarray):
+        batch = np.ascontiguousarray(vectors)
+        if batch.shape[1] != network.n_lines:
+            raise FaultModelError(
+                f"test vectors have {batch.shape[1]} columns but the network "
+                f"has {network.n_lines} lines"
+            )
+    else:
+        batch = words_to_array(vectors, dtype=np.int64, n_lines=network.n_lines)
+    batch, _ = narrow_binary_batch(batch)
     reference_outputs = None
     if criterion == "reference":
         reference_outputs = apply_network_to_batch(network, batch)
@@ -147,9 +186,11 @@ def _vectorized_detection_matrix(
 def _scalar_detection_matrix(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
-    vectors: List[tuple],
+    vectors,
     criterion: str,
 ) -> np.ndarray:
+    if isinstance(vectors, np.ndarray):
+        vectors = [tuple(int(v) for v in row) for row in vectors]
     reference = None
     if criterion == "reference":
         reference = [network.apply(vector) for vector in vectors]
@@ -176,63 +217,163 @@ def _detection_row(
     return ~packed_equal(state, reference)
 
 
+class PrefixStates:
+    """Delta-compressed fault-free prefix states.
+
+    A comparator writes exactly two planes, so the state after every prefix
+    of the network is recorded as ``deltas[i] = (planes[low_i],
+    planes[high_i])`` *after* comparator ``i`` — ``O(size * 2 * n_blocks)``
+    memory and build work instead of the ``O(size * n_lines * n_blocks)``
+    of full per-stage snapshots.  :meth:`state_after` reconstructs the full
+    planes after any prefix by pulling, for each line, the delta of the
+    last comparator that wrote it (same bytes copied as a full-snapshot
+    read).  Recorded once and shared by every fault, so each fault only
+    re-evaluates its suffix instead of the whole network; the sharded
+    executor publishes ``input_planes`` and ``deltas`` through shared
+    memory and workers rebuild the (tiny) last-writer table locally.
+    """
+
+    def __init__(
+        self,
+        network: ComparatorNetwork,
+        input_planes: np.ndarray,
+        deltas: np.ndarray,
+        num_words: int,
+    ) -> None:
+        self.network = network
+        self.input_planes = input_planes
+        self.deltas = deltas
+        self.num_words = num_words
+        self.pad_mask = PackedBatch(input_planes, num_words).pad_mask()
+        size = network.size
+        n = network.n_lines
+        # last_writer[s, l]: index of the last comparator before stage s
+        # writing line l (-1 = untouched input); writer_pos picks the
+        # low/high half of the delta pair.
+        last_writer = np.full((size + 1, n), -1, dtype=np.int32)
+        writer_pos = np.zeros((size + 1, n), dtype=np.int8)
+        for index, comp in enumerate(network.comparators):
+            last_writer[index + 1] = last_writer[index]
+            writer_pos[index + 1] = writer_pos[index]
+            last_writer[index + 1, comp.low] = index
+            writer_pos[index + 1, comp.low] = 0
+            last_writer[index + 1, comp.high] = index
+            writer_pos[index + 1, comp.high] = 1
+        self._last_writer = last_writer
+        self._writer_pos = writer_pos
+
+    @classmethod
+    def build(
+        cls,
+        network: ComparatorNetwork,
+        packed_input: PackedBatch,
+        deltas_out: Optional[np.ndarray] = None,
+    ) -> "PrefixStates":
+        """Record the deltas (optionally into a shared-memory array)."""
+        size = network.size
+        n_blocks = packed_input.n_blocks
+        deltas = (
+            deltas_out
+            if deltas_out is not None
+            else np.empty((size, 2, n_blocks), dtype=packed_input.planes.dtype)
+        )
+        running = packed_input.planes.copy()
+        for index, comp in enumerate(network.comparators):
+            apply_comparators_packed(running, (comp,))
+            deltas[index, 0] = running[comp.low]
+            deltas[index, 1] = running[comp.high]
+        return cls(network, packed_input.planes, deltas, packed_input.num_words)
+
+    def state_after(self, stage: int) -> PackedBatch:
+        """A fresh copy of the packed planes after the first *stage* comparators."""
+        planes = np.empty_like(self.input_planes)
+        last_writer = self._last_writer[stage]
+        writer_pos = self._writer_pos[stage]
+        for line in range(self.network.n_lines):
+            index = int(last_writer[line])
+            if index < 0:
+                planes[line] = self.input_planes[line]
+            else:
+                planes[line] = self.deltas[index, int(writer_pos[line])]
+        return PackedBatch(planes, self.num_words)
+
+    def reference(self) -> PackedBatch:
+        """The fault-free output planes."""
+        return self.state_after(self.network.size)
+
+
+def _fault_state(
+    network: ComparatorNetwork,
+    fault: Fault,
+    prefix: PrefixStates,
+) -> PackedBatch:
+    """The packed output planes of the faulty device, restarted from the
+    shared fault-free prefix state at the fault site."""
+    comparators = network.comparators
+
+    if isinstance(fault, StuckPassFault):
+        index = _checked_index(network, fault.index)
+        state = prefix.state_after(index)
+        apply_comparators_packed(state.planes, comparators[index + 1 :])
+    elif isinstance(fault, StuckSwapFault):
+        index = _checked_index(network, fault.index)
+        state = prefix.state_after(index)
+        comp = comparators[index]
+        state.planes[[comp.low, comp.high]] = state.planes[[comp.high, comp.low]]
+        apply_comparators_packed(state.planes, comparators[index + 1 :])
+    elif isinstance(fault, ReversedComparatorFault):
+        index = _checked_index(network, fault.index)
+        state = prefix.state_after(index)
+        apply_comparators_packed(state.planes, (comparators[index].flipped(),))
+        apply_comparators_packed(state.planes, comparators[index + 1 :])
+    elif isinstance(fault, LineStuckFault):
+        state = _stuck_line_state(network, fault, prefix)
+    else:
+        # Unknown fault model: fall back to materialising the faulty
+        # device and running it through the generic packed engine.
+        faulty = fault.apply_to(network)
+        state = apply_network_packed(faulty, prefix.state_after(0), copy=False)
+    return state
+
+
+def _fault_rows(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    prefix: PrefixStates,
+    criterion: str,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Fill ``out[row]`` with the detection row of ``faults[row]``.
+
+    ``out`` may be a slice of a shared-memory matrix — this is the unit of
+    work a sharded worker executes on its fault slice.
+    """
+    reference = prefix.reference()
+    for row, fault in enumerate(faults):
+        state = _fault_state(network, fault, prefix)
+        out[row] = _detection_row(state, reference, criterion)
+    return out
+
+
 def _bitpacked_detection_matrix(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
-    vectors: List[tuple],
+    vectors,
     criterion: str,
 ) -> np.ndarray:
-    packed_input = pack_words(vectors, n_lines=network.n_lines)
-    comparators = network.comparators
-    size = network.size
-    num_words = packed_input.num_words
-    # Fault-free prefix states: prefix[i] holds the packed planes after the
-    # first i comparators.  Recorded once and shared by every fault, so each
-    # fault only re-evaluates its suffix instead of the whole network.
-    prefix = np.empty(
-        (size + 1,) + packed_input.planes.shape, dtype=packed_input.planes.dtype
-    )
-    prefix[0] = packed_input.planes
-    running = packed_input.planes.copy()
-    for index, comp in enumerate(comparators):
-        apply_comparators_packed(running, (comp,))
-        prefix[index + 1] = running
-    reference = PackedBatch(prefix[size], num_words)
-    pad_mask = packed_input.pad_mask()
+    packed_input = _pack_vectors(network, vectors)
+    prefix = PrefixStates.build(network, packed_input)
+    matrix = np.zeros((len(faults), packed_input.num_words), dtype=bool)
+    return _fault_rows(network, faults, prefix, criterion, matrix)
 
-    def suffix_state(start: int) -> PackedBatch:
-        return PackedBatch(prefix[start].copy(), num_words)
 
-    matrix = np.zeros((len(faults), len(vectors)), dtype=bool)
-    for row, fault in enumerate(faults):
-        if isinstance(fault, StuckPassFault):
-            index = _checked_index(network, fault.index)
-            state = suffix_state(index)
-            apply_comparators_packed(state.planes, comparators[index + 1 :])
-        elif isinstance(fault, StuckSwapFault):
-            index = _checked_index(network, fault.index)
-            state = suffix_state(index)
-            comp = comparators[index]
-            state.planes[[comp.low, comp.high]] = state.planes[[comp.high, comp.low]]
-            apply_comparators_packed(state.planes, comparators[index + 1 :])
-        elif isinstance(fault, ReversedComparatorFault):
-            index = _checked_index(network, fault.index)
-            state = suffix_state(index)
-            apply_comparators_packed(
-                state.planes, (comparators[index].flipped(),)
-            )
-            apply_comparators_packed(state.planes, comparators[index + 1 :])
-        elif isinstance(fault, LineStuckFault):
-            state = _stuck_line_state(
-                network, fault, prefix, num_words, pad_mask
-            )
-        else:
-            # Unknown fault model: fall back to materialising the faulty
-            # device and running it through the generic packed engine.
-            faulty = fault.apply_to(network)
-            state = apply_network_packed(faulty, packed_input)
-        matrix[row] = _detection_row(state, reference, criterion)
-    return matrix
+def _pack_vectors(network: ComparatorNetwork, vectors) -> PackedBatch:
+    """Pack normalised test vectors (tuple list or 2-D ndarray fast path)."""
+    if isinstance(vectors, np.ndarray):
+        from ..core.bitpacked import pack_batch
+
+        return pack_batch(vectors, n_lines=network.n_lines)
+    return pack_words(vectors, n_lines=network.n_lines)
 
 
 def _checked_index(network: ComparatorNetwork, index: int) -> int:
@@ -243,9 +384,7 @@ def _checked_index(network: ComparatorNetwork, index: int) -> int:
 def _stuck_line_state(
     network: ComparatorNetwork,
     fault: LineStuckFault,
-    prefix: np.ndarray,
-    num_words: int,
-    pad_mask: np.ndarray,
+    prefix: PrefixStates,
 ) -> PackedBatch:
     if fault.line < 0 or fault.line >= network.n_lines:
         raise FaultModelError(
@@ -256,12 +395,12 @@ def _stuck_line_state(
             f"stage {fault.stage} out of range for a network of size "
             f"{network.size}"
         )
-    forced = pad_mask if fault.value else np.uint64(0)
+    forced = prefix.pad_mask if fault.value else np.uint64(0)
     # The faulty state first diverges when the line is forced: at the input
     # for stage 0, otherwise right after comparator stage-1 — so the shared
     # fault-free prefix extends through comparator stage-2.
     start = max(fault.stage - 1, 0)
-    state = PackedBatch(prefix[start].copy(), num_words)
+    state = prefix.state_after(start)
     if fault.stage == 0:
         state.planes[fault.line] = forced
     for position in range(start, network.size):
@@ -278,10 +417,12 @@ def detected_faults(
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
+    config=None,
 ) -> List[Fault]:
     """The faults detected by at least one of the given test vectors."""
     matrix = fault_detection_matrix(
-        network, faults, test_vectors, criterion=criterion, engine=engine
+        network, faults, test_vectors, criterion=criterion, engine=engine,
+        config=config,
     )
     detected_rows = np.any(matrix, axis=1)
     return [fault for fault, hit in zip(faults, detected_rows) if hit]
@@ -294,6 +435,7 @@ def undetected_faults(
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
+    config=None,
 ) -> List[Fault]:
     """The faults that escape the given test vectors entirely.
 
@@ -303,7 +445,8 @@ def undetected_faults(
     chip that, while physically defective, still meets its specification.
     """
     matrix = fault_detection_matrix(
-        network, faults, test_vectors, criterion=criterion, engine=engine
+        network, faults, test_vectors, criterion=criterion, engine=engine,
+        config=config,
     )
     detected_rows = np.any(matrix, axis=1)
     return [fault for fault, hit in zip(faults, detected_rows) if not hit]

@@ -1,0 +1,50 @@
+"""Sharded streaming execution subsystem.
+
+The paper's heavy workloads — exhaustive 0/1 verification over the ``2**n``
+cube and single-fault simulation over the fault universe — are both
+embarrassingly parallel along one axis.  This package turns that axis into
+fixed-size chunks (constant memory) and, when asked, shards the chunks
+across a process pool (all cores):
+
+* :class:`ExecutionConfig` — the ``max_workers`` x ``chunk_size`` knob
+  threaded through the property checkers, the fault simulator, the test-set
+  validator and the CLI (``--workers`` / ``--chunk-size``).
+* :mod:`~repro.parallel.executor` — streamed cube verification
+  (sortedness / selection) in packed block ranges, and chunked evaluation
+  of explicit word lists.
+* :mod:`~repro.parallel.fault_shard` — the fault-axis sharded simulator
+  with shared-memory fault-free prefix states.
+* :mod:`~repro.parallel.chunking` / :mod:`~repro.parallel.shm` — span
+  arithmetic and the shared-memory plumbing.
+
+``config=None`` everywhere reproduces the legacy single-process,
+single-shot behaviour bit for bit.
+"""
+
+from .chunking import chunk_spans, cube_block_spans, shard_spans
+from .config import DEFAULT_CHUNK_WORDS, ExecutionConfig, resolve_config
+from .executor import (
+    chunked_words_all_sorted,
+    rank_to_word,
+    streamed_is_selector,
+    streamed_is_sorter,
+    streamed_selection_failure_rank,
+    streamed_sorting_failure_rank,
+)
+from .fault_shard import sharded_fault_detection_matrix
+
+__all__ = [
+    "DEFAULT_CHUNK_WORDS",
+    "ExecutionConfig",
+    "resolve_config",
+    "chunk_spans",
+    "cube_block_spans",
+    "shard_spans",
+    "chunked_words_all_sorted",
+    "rank_to_word",
+    "streamed_is_sorter",
+    "streamed_is_selector",
+    "streamed_sorting_failure_rank",
+    "streamed_selection_failure_rank",
+    "sharded_fault_detection_matrix",
+]

@@ -1,0 +1,59 @@
+"""Chunk-range arithmetic for the streaming / sharded executor.
+
+All the parallel paths split one integer work axis — cube blocks, fault
+indices, word rows — into half-open ``[start, stop)`` spans.  Keeping the
+span arithmetic in one place makes the chunk-boundary edge cases (empty
+axis, chunk larger than the axis, odd tail chunk) testable on their own.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..core.bitpacked import BLOCK_BITS
+
+__all__ = ["chunk_spans", "cube_block_spans", "shard_spans"]
+
+Span = Tuple[int, int]
+
+
+def chunk_spans(total: int, chunk: int) -> Iterator[Span]:
+    """Half-open ``[start, stop)`` spans covering ``range(total)``.
+
+    Every span has length *chunk* except possibly the last; a non-positive
+    *chunk* or *total* yields nothing / everything sensibly (``total <= 0``
+    yields no spans, ``chunk < 1`` is clamped to 1).
+    """
+    chunk = max(1, chunk)
+    start = 0
+    while start < total:
+        stop = min(total, start + chunk)
+        yield start, stop
+        start = stop
+
+
+def cube_block_spans(n: int, chunk_words: int) -> List[Span]:
+    """Block-index spans covering the packed ``2**n`` cube.
+
+    The chunk size is given in *words* and rounded up to whole uint64
+    blocks, so every span is a legal ``packed_cube_range`` argument.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    total_blocks = ((1 << n) + BLOCK_BITS - 1) // BLOCK_BITS
+    chunk_blocks = max(1, (max(1, chunk_words) + BLOCK_BITS - 1) // BLOCK_BITS)
+    return list(chunk_spans(total_blocks, chunk_blocks))
+
+
+def shard_spans(total: int, workers: int, *, min_chunk: int = 1) -> List[Span]:
+    """Spans for sharding *total* items across *workers* processes.
+
+    Aims for a few chunks per worker (dynamic load balancing without
+    flooding the pool queue with tiny tasks); every chunk holds at least
+    *min_chunk* items.
+    """
+    if total <= 0:
+        return []
+    target_chunks = max(1, workers) * 4
+    chunk = max(min_chunk, -(-total // target_chunks))
+    return list(chunk_spans(total, chunk))

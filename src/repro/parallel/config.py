@@ -1,0 +1,97 @@
+"""Execution configuration for the streaming / sharded execution subsystem.
+
+An :class:`ExecutionConfig` describes *how* an exhaustive workload is
+executed — it never changes *what* is computed.  The two axes are:
+
+``max_workers``
+    Number of worker processes.  ``1`` (the default) keeps the existing
+    single-process engines as the fast path; ``0`` means "one worker per
+    CPU"; anything above 1 shards the work axis (cube block ranges, fault
+    slices, word chunks) across a
+    :class:`concurrent.futures.ProcessPoolExecutor`.
+``chunk_size``
+    Number of words per streamed chunk.  ``None`` means "pick a default
+    when streaming is active, single-shot otherwise"; any explicit value
+    activates streaming even with one worker, which is how exhaustive
+    verification at ``n >= 28`` runs in constant memory.
+
+Passing ``config=None`` to any accepting function reproduces the legacy
+single-shot behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.bitpacked import BLOCK_BITS
+from ..exceptions import ExecutionConfigError
+
+__all__ = ["DEFAULT_CHUNK_WORDS", "ExecutionConfig", "resolve_config"]
+
+#: Default streamed chunk size in words: ``2**20`` words is 16384 uint64
+#: blocks, i.e. ``n_lines * 128`` KiB of planes per chunk — small enough to
+#: sit in cache-friendly territory, large enough to amortise dispatch.
+DEFAULT_CHUNK_WORDS = 1 << 20
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How to execute an exhaustive workload (see the module docstring).
+
+    Attributes
+    ----------
+    max_workers:
+        Worker process count; ``1`` = in-process, ``0`` = one per CPU.
+    chunk_size:
+        Words per streamed chunk, or ``None`` for the default when
+        streaming / single-shot otherwise.
+    """
+
+    max_workers: int = 1
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 0:
+            raise ExecutionConfigError(
+                f"max_workers must be >= 0 (0 = one per CPU), got {self.max_workers}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ExecutionConfigError(
+                f"chunk_size must be >= 1 words, got {self.chunk_size}"
+            )
+
+    def resolved_workers(self) -> int:
+        """The concrete worker count (``0`` resolved to the CPU count)."""
+        if self.max_workers == 0:
+            return os.cpu_count() or 1
+        return self.max_workers
+
+    @property
+    def parallel(self) -> bool:
+        """Does this configuration use more than one worker process?"""
+        return self.resolved_workers() > 1
+
+    @property
+    def streaming(self) -> bool:
+        """Is chunked (constant-memory) streaming active?
+
+        Streaming is active when a chunk size was requested explicitly or
+        when the work is sharded across workers (each worker then owns a
+        bounded range at a time).
+        """
+        return self.chunk_size is not None or self.parallel
+
+    def chunk_words(self) -> int:
+        """The streamed chunk size in words."""
+        return self.chunk_size if self.chunk_size is not None else DEFAULT_CHUNK_WORDS
+
+    def chunk_blocks(self) -> int:
+        """The streamed chunk size in uint64 blocks (at least one)."""
+        return max(1, (self.chunk_words() + BLOCK_BITS - 1) // BLOCK_BITS)
+
+
+def resolve_config(config: Optional[ExecutionConfig]) -> ExecutionConfig:
+    """``None`` -> the serial single-shot default."""
+    return config if config is not None else ExecutionConfig()

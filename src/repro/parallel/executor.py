@@ -1,0 +1,299 @@
+"""Streamed (constant-memory) and sharded execution of exhaustive checks.
+
+Two work shapes live here:
+
+* **Cube streaming** — exhaustive 0/1 verification over the ``2**n`` cube
+  is evaluated in fixed-size block ranges generated directly in packed form
+  (:func:`repro.core.bitpacked.packed_cube_range`), so the full
+  ``packed_all_binary_words(n)`` batch is never materialised and
+  verification at ``n >= 28`` runs under a constant memory ceiling.  With
+  ``max_workers > 1`` the block ranges shard across a
+  :class:`concurrent.futures.ProcessPoolExecutor`; each worker regenerates
+  its own range from ``(n, block_start, block_stop)`` alone, so no input
+  data crosses the process boundary at all.
+* **Word-chunk streaming** — explicit word collections (test sets, merge
+  inputs) are evaluated chunk by chunk, optionally across processes.
+
+All results are bit-identical to the single-shot engines: chunks are
+scanned in rank order and the first failing rank wins deterministically,
+parallel or not.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InputLengthError
+from ..core.bitpacked import (
+    BLOCK_BITS,
+    apply_network_packed,
+    packed_cube_range,
+    packed_selection_violation_blocks,
+    packed_unsorted_blocks,
+)
+from ..core.network import ComparatorNetwork
+from .chunking import chunk_spans, cube_block_spans
+from .config import ExecutionConfig, resolve_config
+
+
+def _cube_spans(n: int, config: ExecutionConfig):
+    """Cube block spans sized for this configuration.
+
+    An explicit ``chunk_size`` wins.  Otherwise a parallel run sizes chunks
+    so every worker gets a few spans (~4 per worker, the same load-balance
+    target as :func:`repro.parallel.chunking.shard_spans`) — without this, a
+    cube smaller than the default chunk would collapse to one span and run
+    serially no matter how many workers were requested.
+    """
+    chunk_words = config.chunk_words()
+    if config.chunk_size is None and config.parallel:
+        target_chunks = config.resolved_workers() * 4
+        fair_share = -(-(1 << n) // target_chunks)
+        chunk_words = max(BLOCK_BITS, min(chunk_words, fair_share))
+    return cube_block_spans(n, chunk_words)
+
+__all__ = [
+    "streamed_sorting_failure_rank",
+    "streamed_is_sorter",
+    "streamed_selection_failure_rank",
+    "streamed_is_selector",
+    "chunked_words_all_sorted",
+    "rank_to_word",
+]
+
+
+def rank_to_word(rank: int, n: int) -> Tuple[int, ...]:
+    """The cube word of the given rank (most significant bit on line 0)."""
+    return tuple((rank >> (n - 1 - i)) & 1 for i in range(n))
+
+
+def _first_rank(violation_blocks: np.ndarray, block_start: int) -> Optional[int]:
+    """Rank of the first set bit in a per-block violation mask, or ``None``."""
+    nonzero = np.flatnonzero(violation_blocks)
+    if nonzero.size == 0:
+        return None
+    block = int(nonzero[0])
+    value = int(violation_blocks[block])
+    return (block_start + block) * BLOCK_BITS + ((value & -value).bit_length() - 1)
+
+
+def _sorting_chunk_failure(
+    network: ComparatorNetwork,
+    restrict_to_unsorted_inputs: bool,
+    span: Tuple[int, int],
+) -> Optional[int]:
+    """First rank in the block span the network fails to sort, or ``None``."""
+    start, stop = span
+    packed = packed_cube_range(network.n_lines, start, stop)
+    eligible = None
+    if restrict_to_unsorted_inputs:
+        eligible = packed_unsorted_blocks(packed)
+        if not np.any(eligible):
+            return None
+    outputs = apply_network_packed(network, packed, copy=False)
+    violation = packed_unsorted_blocks(outputs)
+    if eligible is not None:
+        violation &= eligible
+    return _first_rank(violation, start)
+
+
+def _selection_chunk_failure(
+    network: ComparatorNetwork,
+    k: int,
+    restrict_to_test_words: bool,
+    span: Tuple[int, int],
+) -> Optional[int]:
+    """First rank in the block span mis-selected by the network, or ``None``."""
+    start, stop = span
+    inputs = packed_cube_range(network.n_lines, start, stop)
+    outputs = apply_network_packed(network, inputs, copy=True)
+    violation = packed_selection_violation_blocks(
+        inputs, outputs, k, restrict_to_test_words=restrict_to_test_words
+    )
+    return _first_rank(violation, start)
+
+
+def _scan_spans(task, spans: Sequence[Tuple[int, int]], config: ExecutionConfig):
+    """Run ``task(span)`` over all spans, returning the first non-``None``.
+
+    Serial configurations iterate in place; parallel ones submit every span
+    and harvest results in submission (= rank) order, cancelling the rest as
+    soon as a failure is known, so the answer is deterministic either way.
+    """
+    if not config.parallel or len(spans) <= 1:
+        for span in spans:
+            result = task(span)
+            if result is not None:
+                return result
+        return None
+    workers = min(config.resolved_workers(), len(spans))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(task, span) for span in spans]
+        failure = None
+        for future in futures:
+            result = future.result()
+            if result is not None:
+                failure = result
+                break
+        if failure is not None:
+            for future in futures:
+                future.cancel()
+        return failure
+
+
+class _SpanTask:
+    """Picklable ``span -> result`` closure over a chunk function."""
+
+    def __init__(self, fn, *args) -> None:
+        self._fn = fn
+        self._args = args
+
+    def __call__(self, span: Tuple[int, int]):
+        return self._fn(*self._args, span)
+
+
+def streamed_sorting_failure_rank(
+    network: ComparatorNetwork,
+    *,
+    restrict_to_unsorted_inputs: bool = False,
+    config: Optional[ExecutionConfig] = None,
+) -> Optional[int]:
+    """Rank of the first cube word the network fails to sort, or ``None``.
+
+    With ``restrict_to_unsorted_inputs=True`` only non-sorted inputs (the
+    paper's Theorem 2.2 test set) are eligible, matching the
+    ``strategy="testset"`` verdict for standard networks.
+    """
+    cfg = resolve_config(config)
+    spans = _cube_spans(network.n_lines, cfg)
+    task = _SpanTask(_sorting_chunk_failure, network, restrict_to_unsorted_inputs)
+    return _scan_spans(task, spans, cfg)
+
+
+def streamed_is_sorter(
+    network: ComparatorNetwork,
+    *,
+    restrict_to_unsorted_inputs: bool = False,
+    config: Optional[ExecutionConfig] = None,
+) -> bool:
+    """Streamed exhaustive sortedness verification (see the module docstring)."""
+    return (
+        streamed_sorting_failure_rank(
+            network,
+            restrict_to_unsorted_inputs=restrict_to_unsorted_inputs,
+            config=config,
+        )
+        is None
+    )
+
+
+def streamed_selection_failure_rank(
+    network: ComparatorNetwork,
+    k: int,
+    *,
+    restrict_to_test_words: bool = False,
+    config: Optional[ExecutionConfig] = None,
+) -> Optional[int]:
+    """Rank of the first cube word mis-``(k, n)``-selected, or ``None``.
+
+    With ``restrict_to_test_words=True`` only words of the paper's
+    ``T_k^n`` (unsorted, at most ``k`` zeroes) are eligible.
+    """
+    cfg = resolve_config(config)
+    spans = _cube_spans(network.n_lines, cfg)
+    task = _SpanTask(_selection_chunk_failure, network, k, restrict_to_test_words)
+    return _scan_spans(task, spans, cfg)
+
+
+def streamed_is_selector(
+    network: ComparatorNetwork,
+    k: int,
+    *,
+    restrict_to_test_words: bool = False,
+    config: Optional[ExecutionConfig] = None,
+) -> bool:
+    """Streamed exhaustive ``(k, n)``-selection verification."""
+    return (
+        streamed_selection_failure_rank(
+            network, k, restrict_to_test_words=restrict_to_test_words, config=config
+        )
+        is None
+    )
+
+
+def _words_chunk_all_sorted(
+    network: ComparatorNetwork, engine: str, batch: np.ndarray
+) -> bool:
+    """Does the network sort every word of this (already normalised) chunk?"""
+    from ..core.evaluation import apply_network_to_batch, batch_is_sorted
+
+    outputs = apply_network_to_batch(network, batch, copy=True, engine=engine)
+    return bool(np.all(batch_is_sorted(outputs)))
+
+
+def chunked_words_all_sorted(
+    network: ComparatorNetwork,
+    words,
+    *,
+    engine: str = "vectorized",
+    config: Optional[ExecutionConfig] = None,
+) -> bool:
+    """Chunked / sharded "every output is sorted" over an explicit word list.
+
+    The chunked backend of :func:`repro.testsets.validation.network_passes_test_set`
+    and the merger/strategy checks: the words are normalised to a single
+    integer array once (a 2-D ndarray input is used as-is — no per-element
+    Python work at all), then evaluated and judged chunk by chunk, so peak
+    *evaluation* memory follows the chunk size and chunks shard across
+    processes when ``max_workers > 1``.
+    """
+    from ..core.evaluation import words_to_array
+
+    cfg = resolve_config(config)
+    if isinstance(words, np.ndarray):
+        if words.ndim != 2:
+            raise InputLengthError(
+                f"word arrays must be 2-D (num_words, n_lines), got shape "
+                f"{words.shape}"
+            )
+        batch = words
+    else:
+        batch = words_to_array(
+            list(words), dtype=np.int64, n_lines=network.n_lines
+        )
+    if batch.shape[0] == 0:
+        return True
+    from ..core.evaluation import narrow_binary_batch
+
+    batch, engine = narrow_binary_batch(batch, engine)
+    total = batch.shape[0]
+    chunk = cfg.chunk_words()
+    if cfg.chunk_size is None and cfg.parallel:
+        # Same fair-share sizing as _cube_spans: without it a word list
+        # smaller than the default chunk collapses to one span and the
+        # requested workers silently do nothing.
+        chunk = max(1, min(chunk, -(-total // (cfg.resolved_workers() * 4))))
+    spans = list(chunk_spans(total, chunk))
+    if not cfg.parallel or len(spans) <= 1:
+        return all(
+            _words_chunk_all_sorted(network, engine, batch[start:stop])
+            for start, stop in spans
+        )
+    workers = min(cfg.resolved_workers(), len(spans))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_words_chunk_all_sorted, network, engine, batch[start:stop])
+            for start, stop in spans
+        ]
+        verdict = True
+        for future in futures:
+            if not future.result():
+                verdict = False
+                break
+        if not verdict:
+            for future in futures:
+                future.cancel()
+        return verdict

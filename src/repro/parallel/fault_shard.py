@@ -1,0 +1,191 @@
+"""Sharding the fault axis of the bit-packed fault simulator.
+
+Single faults are embarrassingly parallel once the fault-free packed prefix
+states exist: every fault restarts from the prefix at its fault site and
+re-evaluates only its suffix.  The parent therefore
+
+1. packs the test vectors and records the delta-compressed prefix states
+   (:class:`repro.faults.simulation.PrefixStates`) **once**,
+2. publishes the packed input planes, the per-comparator deltas and a
+   zeroed detection matrix through POSIX shared memory
+   (:mod:`repro.parallel.shm`), and
+3. hands each worker a ``[start, stop)`` slice of the fault list; the
+   worker rebuilds the (tiny) last-writer table locally and fills
+   ``matrix[start:stop]`` in place, so no bulk data is ever pickled per
+   task — only the small span tuples.
+
+For the non-bit-packed engines there is a generic fallback that runs the
+requested serial engine on each fault slice (no prefix sharing, but the
+same shared output matrix).  Either way the result is bit-identical to the
+single-process engine.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.network import ComparatorNetwork
+from ..faults.models import Fault
+from .chunking import shard_spans
+from .config import ExecutionConfig, resolve_config
+from .shm import SharedArray, attach_shared_array, create_shared_array
+
+__all__ = ["sharded_fault_detection_matrix"]
+
+#: Per-worker state installed by the pool initializer (each worker process
+#: gets its own copy; the shared arrays are attached, not copied).
+_WORKER: Dict[str, object] = {}
+
+
+def _init_bitpacked_worker(
+    network: ComparatorNetwork,
+    faults: List[Fault],
+    criterion: str,
+    num_words: int,
+    input_spec,
+    deltas_spec,
+    matrix_spec,
+) -> None:
+    from ..faults.simulation import PrefixStates
+
+    _WORKER["faults"] = faults
+    _WORKER["criterion"] = criterion
+    _WORKER["network"] = network
+    input_shared = attach_shared_array(input_spec)
+    deltas_shared = attach_shared_array(deltas_spec)
+    # Keep the handles alive: the PrefixStates views borrow their buffers.
+    _WORKER["input"] = input_shared
+    _WORKER["deltas"] = deltas_shared
+    _WORKER["prefix"] = PrefixStates(
+        network, input_shared.array, deltas_shared.array, num_words
+    )
+    _WORKER["matrix"] = attach_shared_array(matrix_spec)
+
+
+def _run_bitpacked_span(span: Tuple[int, int]) -> int:
+    from ..faults.simulation import _fault_rows
+
+    start, stop = span
+    network: ComparatorNetwork = _WORKER["network"]  # type: ignore[assignment]
+    faults: List[Fault] = _WORKER["faults"]  # type: ignore[assignment]
+    matrix: SharedArray = _WORKER["matrix"]  # type: ignore[assignment]
+    _fault_rows(
+        network,
+        faults[start:stop],
+        _WORKER["prefix"],  # type: ignore[arg-type]
+        str(_WORKER["criterion"]),
+        matrix.array[start:stop],
+    )
+    return stop - start
+
+
+def _init_generic_worker(
+    network: ComparatorNetwork,
+    faults: List[Fault],
+    vectors,
+    criterion: str,
+    engine: str,
+    matrix_spec,
+) -> None:
+    _WORKER["network"] = network
+    _WORKER["faults"] = faults
+    _WORKER["vectors"] = vectors
+    _WORKER["criterion"] = criterion
+    _WORKER["engine"] = engine
+    _WORKER["matrix"] = attach_shared_array(matrix_spec)
+
+
+def _run_generic_span(span: Tuple[int, int]) -> int:
+    from ..faults.simulation import fault_detection_matrix
+
+    start, stop = span
+    network: ComparatorNetwork = _WORKER["network"]  # type: ignore[assignment]
+    faults: List[Fault] = _WORKER["faults"]  # type: ignore[assignment]
+    matrix: SharedArray = _WORKER["matrix"]  # type: ignore[assignment]
+    rows = fault_detection_matrix(
+        network,
+        faults[start:stop],
+        _WORKER["vectors"],  # type: ignore[arg-type]
+        criterion=str(_WORKER["criterion"]),
+        engine=str(_WORKER["engine"]),
+    )
+    matrix.array[start:stop] = rows
+    return stop - start
+
+
+def sharded_fault_detection_matrix(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    vectors,
+    *,
+    criterion: str = "specification",
+    engine: str = "bitpacked",
+    config: Optional[ExecutionConfig] = None,
+) -> np.ndarray:
+    """Fault-sharded detection matrix, bit-identical to the serial engines.
+
+    Callers normally reach this through
+    :func:`repro.faults.simulation.fault_detection_matrix` with a parallel
+    *config*; *vectors* must be non-empty and normalised (a list of int
+    tuples or a 2-D integer array).
+    """
+    cfg = resolve_config(config)
+    fault_list = list(faults)
+    num_vectors = len(vectors)
+    spans = shard_spans(len(fault_list), cfg.resolved_workers())
+    if not spans:
+        return np.zeros((0, num_vectors), dtype=bool)
+    workers = min(cfg.resolved_workers(), len(spans))
+    matrix_shared = create_shared_array((len(fault_list), num_vectors), np.bool_)
+    try:
+        if engine == "bitpacked":
+            from ..faults.simulation import PrefixStates, _pack_vectors
+
+            packed_input = _pack_vectors(network, vectors)
+            dtype = packed_input.planes.dtype
+            input_shared = create_shared_array(packed_input.planes.shape, dtype)
+            deltas_shared = create_shared_array(
+                (network.size, 2, packed_input.n_blocks), dtype
+            )
+            try:
+                input_shared.array[...] = packed_input.planes
+                PrefixStates.build(
+                    network, packed_input, deltas_out=deltas_shared.array
+                )
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_bitpacked_worker,
+                    initargs=(
+                        network,
+                        fault_list,
+                        criterion,
+                        packed_input.num_words,
+                        input_shared.spec,
+                        deltas_shared.spec,
+                        matrix_shared.spec,
+                    ),
+                ) as pool:
+                    list(pool.map(_run_bitpacked_span, spans))
+            finally:
+                input_shared.unlink()
+                deltas_shared.unlink()
+        else:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_generic_worker,
+                initargs=(
+                    network,
+                    fault_list,
+                    vectors,
+                    criterion,
+                    engine,
+                    matrix_shared.spec,
+                ),
+            ) as pool:
+                list(pool.map(_run_generic_span, spans))
+        return matrix_shared.array.copy()
+    finally:
+        matrix_shared.unlink()

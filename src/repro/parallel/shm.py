@@ -1,0 +1,92 @@
+"""Shared-memory plumbing: zero-copy numpy arrays across worker processes.
+
+The sharded fault simulator computes the fault-free packed prefix states
+once in the parent and every worker reads them; the detection matrix is
+written by every worker into disjoint row slices.  Both arrays travel
+through :class:`multiprocessing.shared_memory.SharedMemory` so no pickling
+of bulk data happens per task — only the small ``SharedSpec`` (name, shape,
+dtype) crosses the process boundary.
+
+Lifecycle: the parent creates the segment (:func:`create_shared_array`),
+workers attach via :func:`attach_shared_array` inside the pool initializer,
+and the parent unlinks in a ``finally`` once the pool has shut down.  On
+fork-start platforms (Linux) the attach is effectively free; on spawn
+platforms it is still zero-copy.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedSpec",
+    "SharedArray",
+    "create_shared_array",
+    "attach_shared_array",
+]
+
+
+@dataclass(frozen=True)
+class SharedSpec:
+    """Everything a worker needs to attach to a shared numpy array."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass
+class SharedArray:
+    """A numpy view over a shared-memory segment plus its handle.
+
+    Keep the :class:`SharedArray` alive for as long as the view is used —
+    the view borrows the segment's buffer.
+    """
+
+    shm: shared_memory.SharedMemory
+    array: np.ndarray
+    spec: SharedSpec
+
+    def close(self) -> None:
+        """Detach from the segment (workers call this implicitly at exit)."""
+        self.array = None  # type: ignore[assignment]
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (parent side, after the pool is done)."""
+        self.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+
+
+def create_shared_array(shape: Tuple[int, ...], dtype) -> SharedArray:
+    """Allocate a shared array owned by the calling process.
+
+    Fresh POSIX shared-memory segments are zero-filled by the kernel, so no
+    explicit fill (and no page-touching cost) is needed.
+    """
+    dt = np.dtype(dtype)
+    size = max(1, int(np.prod(shape)) * dt.itemsize)
+    name = f"repro-{secrets.token_hex(8)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    array = np.ndarray(shape, dtype=dt, buffer=shm.buf)
+    return SharedArray(shm=shm, array=array, spec=SharedSpec(name, tuple(shape), dt.str))
+
+
+def attach_shared_array(spec: SharedSpec) -> SharedArray:
+    """Attach to an existing shared array from a worker process.
+
+    Pool workers share the parent's resource-tracker process, so the
+    attach-side registration is a duplicate no-op there and the segment is
+    unregistered exactly once by the parent's :meth:`SharedArray.unlink`.
+    """
+    shm = shared_memory.SharedMemory(name=spec.name, create=False)
+    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return SharedArray(shm=shm, array=array, spec=spec)

@@ -24,7 +24,10 @@ Strategies:
 ``is_merger`` accepts an ``engine`` keyword
 (:data:`repro.core.evaluation.EVALUATION_ENGINES`); the 0/1 strategies can
 run on the bit-packed engine, the permutation strategies fall back from
-``"bitpacked"`` to ``"vectorized"``.
+``"bitpacked"`` to ``"vectorized"``.  A ``config`` keyword
+(:class:`repro.parallel.ExecutionConfig`) evaluates the chosen strategy's
+word list chunk by chunk (bounded memory on the ``C(n, n/2)``-sized
+permutation model), optionally sharded across worker processes.
 """
 
 from __future__ import annotations
@@ -103,6 +106,7 @@ def is_merger(
     *,
     strategy: str = "testset",
     engine: str = "vectorized",
+    config=None,
 ) -> bool:
     """Decide whether *network* is an ``(n/2, n/2)``-merging network."""
     if strategy not in MERGER_STRATEGIES:
@@ -128,6 +132,10 @@ def is_merger(
         return True
     if engine == "bitpacked" and strategy not in ("binary", "testset"):
         engine = "vectorized"  # permutation inputs carry values above 1
+    if config is not None and config.streaming:
+        from ..parallel.executor import chunked_words_all_sorted
+
+        return chunked_words_all_sorted(network, words, engine=engine, config=config)
     outputs = outputs_on_words(network, words, engine=engine)
     return bool(np.all(batch_is_sorted(outputs)))
 

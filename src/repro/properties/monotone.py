@@ -18,12 +18,11 @@ the *transfer functions* that apply the facts.
 
 from __future__ import annotations
 
-from itertools import permutations as _permutations
 from typing import Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
-from .._typing import BinaryWord, Permutation, WordLike
+from .._typing import BinaryWord, WordLike
 from ..core.evaluation import (
     all_binary_words_array,
     apply_network_to_batch,
@@ -31,7 +30,6 @@ from ..core.evaluation import (
     outputs_on_words,
 )
 from ..core.network import ComparatorNetwork
-from ..words.binary import check_binary, dominates, is_sorted_word
 from ..words.covers import cover_of_permutation
 from ..words.permutations import all_permutations, check_permutation
 

@@ -25,9 +25,13 @@ Strategies:
 
 Checkers accept an ``engine`` keyword
 (:data:`repro.core.evaluation.EVALUATION_ENGINES`); the bit-packed engine
-evaluates the 0/1 strategies' batches as uint64 bit planes, while the
+runs the 0/1 strategies *fully packed* — zero counts come from a vertical
+(bit-sliced) popcount over the input planes and the first ``k`` output
+planes are compared against them without ever unpacking — while the
 permutation strategies fall back from ``"bitpacked"`` to ``"vectorized"``
-(their values exceed 1).
+(their values exceed 1).  A ``config`` keyword
+(:class:`repro.parallel.ExecutionConfig`) streams the 0/1 strategies over
+the cube in fixed-size block ranges, optionally across worker processes.
 """
 
 from __future__ import annotations
@@ -37,6 +41,12 @@ from typing import Optional
 import numpy as np
 
 from .._typing import BinaryWord
+from ..core.bitpacked import (
+    apply_network_packed,
+    pack_batch,
+    packed_selection_violation_blocks,
+    unpack_bits,
+)
 from ..core.evaluation import (
     all_binary_words_array,
     apply_network_to_batch,
@@ -84,7 +94,19 @@ def _binary_batch_selected(
     *,
     engine: str = "vectorized",
 ) -> np.ndarray:
-    """Boolean vector: for each binary word row, is it correctly k-selected?"""
+    """Boolean vector: for each binary word row, is it correctly k-selected?
+
+    With ``engine="bitpacked"`` the check runs fully packed: the batch is
+    packed once, zero counts are taken as a vertical popcount over the
+    input planes, and the first ``k`` output planes are compared in place
+    (:func:`repro.core.bitpacked.packed_selection_violation_blocks`) — no
+    round trip through the unpacked engine.
+    """
+    if engine == "bitpacked":
+        packed = pack_batch(batch, n_lines=network.n_lines)
+        outputs = apply_network_packed(network, packed, copy=True)
+        violations = packed_selection_violation_blocks(packed, outputs, k)
+        return ~unpack_bits(violations, packed.num_words)
     outputs = apply_network_to_batch(network, batch, engine=engine)
     zero_counts = np.sum(np.asarray(batch) == 0, axis=1)
     # For each word, the first min(k, zeros) outputs must be 0; the remaining
@@ -107,8 +129,16 @@ def is_selector(
     *,
     strategy: str = "testset",
     engine: str = "vectorized",
+    config=None,
 ) -> bool:
-    """Decide whether *network* is a ``(k, n)``-selector."""
+    """Decide whether *network* is a ``(k, n)``-selector.
+
+    *config* (an :class:`repro.parallel.ExecutionConfig`) streams the 0/1
+    strategies over the packed cube in fixed-size block ranges when
+    ``engine="bitpacked"`` — constant memory at any ``n``, optionally
+    sharded across worker processes — with a verdict identical to the
+    single-shot path.
+    """
     if strategy not in SELECTOR_STRATEGIES:
         raise TestSetError(
             f"unknown strategy {strategy!r}; choose one of {SELECTOR_STRATEGIES}"
@@ -117,6 +147,20 @@ def is_selector(
     permutation_engine = "vectorized" if engine == "bitpacked" else engine
     _check_k(network, k)
     n = network.n_lines
+    if (
+        config is not None
+        and config.streaming
+        and engine == "bitpacked"
+        and strategy in ("binary", "testset")
+    ):
+        from ..parallel.executor import streamed_is_selector
+
+        return streamed_is_selector(
+            network,
+            k,
+            restrict_to_test_words=(strategy == "testset"),
+            config=config,
+        )
     if strategy == "binary":
         batch = all_binary_words_array(n)
         return bool(np.all(_binary_batch_selected(network, batch, k, engine=engine)))

@@ -25,6 +25,11 @@ bit-packed engine applies to the 0/1-input strategies, where with
 ``strategy="binary"`` it also generates the input cube directly in packed
 form; permutation-model strategies carry values above 1 and silently fall
 back from ``"bitpacked"`` to ``"vectorized"``.
+
+A ``config`` keyword (:class:`repro.parallel.ExecutionConfig`) streams the
+0/1 strategies through the bit-packed engine in fixed-size block ranges —
+constant memory at any ``n`` — and shards the ranges across processes when
+``max_workers > 1``; verdicts are identical to the single-shot path.
 """
 
 from __future__ import annotations
@@ -83,6 +88,7 @@ def is_sorter(
     *,
     strategy: str = "testset",
     engine: str = "vectorized",
+    config=None,
 ) -> bool:
     """Decide whether *network* sorts every input.
 
@@ -99,6 +105,11 @@ def is_sorter(
         0/1 strategies (on ``strategy="binary"`` the cube never leaves
         packed form); the permutation strategies fall back to
         ``"vectorized"``.
+    config:
+        Optional :class:`repro.parallel.ExecutionConfig`.  With the
+        bit-packed engine the 0/1 strategies stream the cube in fixed-size
+        block ranges (constant memory, optionally across worker processes);
+        the permutation strategies chunk their word batches.
     """
     if strategy not in SORTER_STRATEGIES:
         raise TestSetError(
@@ -106,6 +117,27 @@ def is_sorter(
         )
     check_engine(engine)
     n = network.n_lines
+    streaming = config is not None and config.streaming
+    if streaming and engine == "bitpacked" and strategy in ("binary", "testset"):
+        from ..parallel.executor import streamed_is_sorter
+
+        return streamed_is_sorter(
+            network,
+            restrict_to_unsorted_inputs=(strategy == "testset"),
+            config=config,
+        )
+    if streaming and strategy in ("permutation", "permutation-testset"):
+        from ..parallel.executor import chunked_words_all_sorted
+        from ..words.chains import sorting_cover_permutations
+
+        words = (
+            list(all_permutations(n))
+            if strategy == "permutation"
+            else sorting_cover_permutations(n)
+        )
+        return chunked_words_all_sorted(
+            network, words, engine=_nonbinary_engine(engine), config=config
+        )
     if strategy == "binary":
         if engine == "bitpacked":
             packed = packed_all_binary_words(n)
@@ -136,15 +168,30 @@ def find_sorting_counterexample(
     *,
     candidates: Optional[Iterable[WordLike]] = None,
     engine: str = "vectorized",
+    config=None,
 ) -> Optional[BinaryWord]:
     """Return a binary word the network fails to sort, or ``None`` if it sorts all.
 
     By default searches the minimum test set (equivalently, all unsorted
     binary words); a custom candidate iterable can be supplied, e.g. to
     search only a restricted test set in the empirical lower-bound
-    experiments.
+    experiments.  With ``engine="bitpacked"`` and a streaming *config* the
+    default search never materialises the word array and returns the same
+    (first-in-rank-order) counterexample.
     """
     check_engine(engine)
+    if (
+        candidates is None
+        and engine == "bitpacked"
+        and config is not None
+        and config.streaming
+    ):
+        from ..parallel.executor import rank_to_word, streamed_sorting_failure_rank
+
+        rank = streamed_sorting_failure_rank(
+            network, restrict_to_unsorted_inputs=True, config=config
+        )
+        return None if rank is None else rank_to_word(rank, network.n_lines)
     if candidates is None:
         batch = unsorted_binary_words_array(network.n_lines)
     else:

@@ -42,7 +42,7 @@ checked by :func:`one_interchange_observation_holds`.
 from __future__ import annotations
 
 from itertools import product
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 

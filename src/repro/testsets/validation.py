@@ -38,13 +38,14 @@ from ..core.evaluation import (
     apply_network_to_batch,
     batch_is_sorted,
     check_engine,
+    narrow_binary_batch,
     words_to_array,
 )
 from ..core.network import ComparatorNetwork
 from ..exceptions import TestSetError
 from ..words.binary import check_binary, is_sorted_word
 from ..words.covers import cover_of_permutation_set
-from ..words.permutations import check_permutation, is_permutation
+from ..words.permutations import check_permutation
 from .merging import merging_binary_test_set
 from .selection import selector_binary_test_set
 from .sorting import sorting_binary_test_set
@@ -114,6 +115,7 @@ def network_passes_test_set(
     test_words: Iterable[WordLike],
     *,
     engine: str = "vectorized",
+    config=None,
 ) -> bool:
     """Apply a test set to a device: ``True`` iff every output is sorted.
 
@@ -125,19 +127,23 @@ def network_passes_test_set(
     alike (a sorted permutation output is ``0..n-1``).  ``engine`` selects
     the evaluation engine; ``"bitpacked"`` requires 0/1 test words and
     falls back to ``"vectorized"`` when the words are not binary.
+    *config* (an :class:`repro.parallel.ExecutionConfig`) applies the test
+    set chunk by chunk — bounded memory on exhaustive-scale sets,
+    optionally sharded across worker processes — with the same verdict.
     """
     check_engine(engine)
     rows = list(test_words)
     if not rows:
         return True
+    if config is not None and config.streaming:
+        from ..parallel.executor import chunked_words_all_sorted
+
+        return chunked_words_all_sorted(network, rows, engine=engine, config=config)
     # One C-level pass to build the batch, numpy min/max for the dtype and
     # binary decisions — exhaustive-scale test sets must not pay per-element
     # Python loops before the fast engine even starts.
     batch = words_to_array(rows, dtype=np.int64, n_lines=network.n_lines)
-    if 0 <= batch.min() and batch.max() <= 1:
-        batch = batch.astype(np.int8)
-    elif engine == "bitpacked":
-        engine = "vectorized"
+    batch, engine = narrow_binary_batch(batch, engine)
     outputs = apply_network_to_batch(network, batch, copy=False, engine=engine)
     return bool(np.all(batch_is_sorted(outputs)))
 

@@ -12,7 +12,7 @@ Words are plain tuples of ints; batch/array forms live in
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from .._typing import BinaryWord, WordLike, as_word
 from ..exceptions import NotBinaryError

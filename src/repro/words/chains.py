@@ -33,7 +33,7 @@ unmatched positions grow from 0 to ``r``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from .._typing import BinaryWord, Permutation, WordLike
 from ..exceptions import TestSetError

@@ -28,12 +28,12 @@ in :mod:`repro.words.chains` exploit this correspondence.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from .._typing import BinaryWord, Permutation, WordLike
 from ..exceptions import TestSetError
-from .binary import check_binary, count_ones, is_sorted_word
-from .permutations import check_permutation, invert_permutation
+from .binary import check_binary, count_ones
+from .permutations import check_permutation
 
 __all__ = [
     "cover_word",

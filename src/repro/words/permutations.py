@@ -13,7 +13,7 @@ The covering-set machinery that connects the two input models lives in
 from __future__ import annotations
 
 from itertools import permutations as _itertools_permutations
-from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import Iterator, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from repro.testsets import (
     sorts_exactly_all_but,
     verify_near_sorter,
 )
-from repro.words import count_zeros, unsorted_binary_words
+from repro.words import unsorted_binary_words
 
 
 class TestLemma21Exhaustive:

@@ -20,7 +20,7 @@ from repro.core import (
     packed_is_sorted,
     unpack_batch,
 )
-from repro.core.bitpacked import BLOCK_BITS, PackedBatch
+from repro.core.bitpacked import BLOCK_BITS
 from repro.exceptions import EngineError, InputLengthError, NotBinaryError
 
 
@@ -197,3 +197,41 @@ class TestFaultyNetworksPacked:
         packed = pack_words([(0, 0, 0, 0)] * 3)  # 3 words, 61 padding bits
         out = apply_network_packed(faulty, packed)
         assert np.array_equal(out.planes & ~out.pad_mask()[None, :], 0 * out.planes)
+
+
+class TestFloatBatches:
+    def test_fractional_floats_raise_not_binary(self):
+        network = ComparatorNetwork.from_pairs(2, [(0, 1)])
+        batch = np.array([[0.75, 0.25]])
+        with pytest.raises(NotBinaryError):
+            pack_batch(batch)
+        with pytest.raises(NotBinaryError):
+            apply_network_to_batch(network, batch, engine="bitpacked")
+
+    def test_integral_floats_are_accepted(self):
+        network = ComparatorNetwork.from_pairs(2, [(0, 1)])
+        batch = np.array([[1.0, 0.0], [0.0, 1.0]])
+        outputs = apply_network_to_batch(network, batch, engine="bitpacked")
+        assert np.array_equal(
+            outputs, apply_network_to_batch(network, batch, engine="vectorized")
+        )
+
+
+class TestNarrowBinaryBatch:
+    def test_narrows_binary_ints_and_keeps_engine(self):
+        from repro.core import narrow_binary_batch
+
+        batch, engine = narrow_binary_batch(
+            np.array([[0, 1]], dtype=np.int64), "bitpacked"
+        )
+        assert batch.dtype == np.int8 and engine == "bitpacked"
+
+    def test_falls_back_for_non_binary_and_preserves_floats(self):
+        from repro.core import narrow_binary_batch
+
+        batch, engine = narrow_binary_batch(
+            np.array([[0, 5]], dtype=np.int64), "bitpacked"
+        )
+        assert batch.dtype == np.int64 and engine == "vectorized"
+        floats, engine = narrow_binary_batch(np.array([[0.25, 0.75]]), "vectorized")
+        assert floats.dtype == np.float64 and engine == "vectorized"

@@ -60,7 +60,6 @@ class TestBuilder:
         assert net.comparators[0] == Comparator(2, 3)
 
     def test_sort_range_appends_a_sorter(self):
-        from repro.properties import sorts_all_words
         from repro.words import all_binary_words
 
         net = NetworkBuilder(5).sort_range(1, 5).build()

@@ -9,7 +9,6 @@ from repro.constructions import batcher_sorting_network, optimal_sorting_network
 from repro.core import all_binary_words_array, apply_network_to_batch
 from repro.exceptions import FaultModelError
 from repro.faults import (
-    FAULT_KINDS,
     LineStuckFault,
     ReversedComparatorFault,
     StuckPassFault,

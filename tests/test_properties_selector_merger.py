@@ -6,7 +6,6 @@ import pytest
 
 from repro.constructions import (
     batcher_merging_network,
-    batcher_sorting_network,
     bubble_selection_network,
     pruned_selection_network,
     zipper_merging_network,

@@ -9,7 +9,6 @@ from repro.constructions import (
     bitonic_sorting_network,
     bose_nelson_sorting_network,
     bubble_sorting_network,
-    odd_even_transposition_network,
     optimal_sorting_network,
 )
 from repro.core import ComparatorNetwork
