@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.experiments import experiment_decision_cost
 from repro.analysis import monte_carlo_is_sorter
+from repro.analysis.experiments import experiment_decision_cost
 from repro.constructions import batcher_sorting_network
 from repro.properties import is_sorter
 from repro.testsets import near_sorter

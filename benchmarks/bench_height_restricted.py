@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.experiments import experiment_height_restricted
 from repro.analysis import minimum_test_set_for_height_class, reachable_function_tables
+from repro.analysis.experiments import experiment_height_restricted
 from repro.constructions import bubble_sorting_network
 from repro.properties import primitive_sorter_by_reverse_permutation
 from repro.testsets import sorting_test_set_size

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.experiments import experiment_yao_comparison
 from repro.analysis import sorting_strategy_costs
+from repro.analysis.experiments import experiment_yao_comparison
 from repro.constructions import batcher_sorting_network
 from repro.properties import is_sorter
 

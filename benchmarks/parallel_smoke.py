@@ -1,6 +1,6 @@
 """Benchmark smoke run for the parallel subsystem → BENCH_parallel.json.
 
-Two workloads, both cross-checked for bit-identical results before timing:
+Three workloads, all cross-checked for bit-identical results before timing:
 
 * **Streamed exhaustive verification** — sortedness of a Batcher sorter
   over the full ``2**n`` cube (default ``n = 24``), comparing the
@@ -16,12 +16,19 @@ Two workloads, both cross-checked for bit-identical results before timing:
   detection matrix must be *exactly* equal, and the multi-worker run must
   beat the single-process run by ``--min-speedup`` (the CI quality gate;
   set 0 to skip, e.g. on single-core machines).
+* **Dominated-state pruning** — the same fault universe run through the
+  streamed coverage path (``fault_detection_any``, vector chunks of
+  ``2**16`` words) with and without pruning.  The detected-fault vectors
+  must be identical, the streamed cube matrix must equal the explicit-cube
+  matrix at a small cross-check size, and the pruned run must beat the
+  unpruned run by ``--min-prune-speedup`` (second CI gate).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/parallel_smoke.py \
         --out BENCH_parallel.json [--stream-n 24] [--fault-n 18] \
-        [--workers 4] [--repeats 3] [--min-speedup 2]
+        [--workers 4] [--repeats 3] [--min-speedup 2] \
+        [--min-prune-speedup 1.3]
 """
 
 from __future__ import annotations
@@ -35,8 +42,14 @@ import time
 import numpy as np
 
 from repro.constructions import batcher_sorting_network
-from repro.core.evaluation import unsorted_binary_words_array
-from repro.faults import enumerate_single_faults, fault_detection_matrix
+from repro.core.evaluation import all_binary_words_array, unsorted_binary_words_array
+from repro.faults import (
+    CubeVectors,
+    SimulationStats,
+    enumerate_single_faults,
+    fault_detection_any,
+    fault_detection_matrix,
+)
 from repro.parallel import DEFAULT_CHUNK_WORDS, ExecutionConfig
 from repro.properties import is_sorter
 
@@ -154,6 +167,72 @@ def fault_workload(n: int, workers: int, repeats: int) -> dict:
     }
 
 
+def prune_workload(n: int, repeats: int, cross_check_n: int = 10) -> dict:
+    """Dominated-state pruning on the streamed coverage path (module docstring)."""
+    device = batcher_sorting_network(n)
+    faults = enumerate_single_faults(device, line_stuck_at_input_only=False)
+    vectors = unsorted_binary_words_array(n)
+    config = ExecutionConfig(chunk_size=1 << 16)
+
+    # Cross-check 1: streamed-cube matrix equals the explicit-cube matrix.
+    small = batcher_sorting_network(cross_check_n)
+    small_faults = enumerate_single_faults(small, line_stuck_at_input_only=False)
+    explicit = fault_detection_matrix(
+        small, small_faults, all_binary_words_array(cross_check_n),
+        engine="bitpacked", prune=False,
+    )
+    streamed = fault_detection_matrix(
+        small, small_faults, CubeVectors(cross_check_n), engine="bitpacked",
+        config=ExecutionConfig(chunk_size=1 << 8),
+    )
+    if not np.array_equal(streamed, explicit):
+        raise AssertionError(
+            "streamed-cube detection matrix differs from the explicit cube"
+        )
+
+    # Cross-check 2: pruned and unpruned coverage verdicts are identical.
+    unpruned = fault_detection_any(
+        device, faults, vectors, engine="bitpacked", config=config, prune=False
+    )
+    stats = SimulationStats()
+    pruned = fault_detection_any(
+        device, faults, vectors, engine="bitpacked", config=config, prune=True,
+        stats=stats,
+    )
+    if not np.array_equal(unpruned, pruned):
+        raise AssertionError("pruned coverage verdicts differ from unpruned")
+
+    seconds = {
+        "unpruned": _best_of(
+            repeats,
+            lambda: fault_detection_any(
+                device, faults, vectors, engine="bitpacked", config=config,
+                prune=False,
+            ),
+        ),
+        "pruned": _best_of(
+            repeats,
+            lambda: fault_detection_any(
+                device, faults, vectors, engine="bitpacked", config=config,
+                prune=True,
+            ),
+        ),
+    }
+    return {
+        "n": n,
+        "device": f"batcher({n})",
+        "faults": len(faults),
+        "vectors": int(vectors.shape[0]),
+        "chunk_size_words": 1 << 16,
+        "results_identical": True,
+        "prune_ratio": round(stats.prune_ratio, 4),
+        "converged_faults": stats.converged_faults,
+        "dropped_faults": stats.dropped_faults,
+        "seconds": seconds,
+        "prune_speedup": seconds["unpruned"] / seconds["pruned"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -181,6 +260,13 @@ def main(argv=None) -> int:
         default=2.0,
         help="required sharded fault-sim speedup over 1 worker (0 disables)",
     )
+    parser.add_argument(
+        "--min-prune-speedup",
+        type=float,
+        default=1.3,
+        help="required dominated-state-pruning speedup on the streamed "
+        "coverage path (0 disables)",
+    )
     parser.add_argument("--out", default="BENCH_parallel.json")
     args = parser.parse_args(argv)
 
@@ -195,27 +281,44 @@ def main(argv=None) -> int:
             "sharded_fault_simulation": fault_workload(
                 args.fault_n, workers, args.repeats
             ),
+            "pruned_fault_simulation": prune_workload(
+                args.fault_n, args.repeats
+            ),
         },
         "results_identical": True,
     }
     speedup = report["workloads"]["sharded_fault_simulation"][
         "sharded_speedup_over_1_worker"
     ]
+    prune_speedup = report["workloads"]["pruned_fault_simulation"][
+        "prune_speedup"
+    ]
     report["min_speedup_required"] = args.min_speedup
-    report["passed"] = speedup >= args.min_speedup
+    report["min_prune_speedup_required"] = args.min_prune_speedup
+    report["passed"] = (
+        speedup >= args.min_speedup and prune_speedup >= args.min_prune_speedup
+    )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
     print(json.dumps(report, indent=2))
-    if not report["passed"]:
+    if speedup < args.min_speedup:
         print(
             f"FAIL: sharded fault-sim speedup {speedup:.2f}x below the "
             f"{args.min_speedup:.1f}x floor ({workers} workers)",
             file=sys.stderr,
         )
         return 1
+    if prune_speedup < args.min_prune_speedup:
+        print(
+            f"FAIL: pruning speedup {prune_speedup:.2f}x below the "
+            f"{args.min_prune_speedup:.1f}x floor at n={args.fault_n}",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"OK: fault-sim n={args.fault_n} sharded speedup {speedup:.2f}x with "
-        f"{workers} workers (floor {args.min_speedup:.1f}x)"
+        f"{workers} workers (floor {args.min_speedup:.1f}x), pruning speedup "
+        f"{prune_speedup:.2f}x (floor {args.min_prune_speedup:.1f}x)"
     )
     return 0
 

@@ -16,7 +16,7 @@ Internally the evaluation engine converts batches of words to numpy arrays.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple, Union
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 import numpy.typing as npt
@@ -32,16 +32,16 @@ __all__ = [
 ]
 
 #: A word: an n-tuple of integers (inputs or outputs of a network).
-Word = Tuple[int, ...]
+Word = tuple[int, ...]
 
 #: A word over {0, 1}.
-BinaryWord = Tuple[int, ...]
+BinaryWord = tuple[int, ...]
 
 #: A permutation of 0..n-1 represented in one-line notation.
-Permutation = Tuple[int, ...]
+Permutation = tuple[int, ...]
 
 #: Anything acceptable where a word is expected.
-WordLike = Union[Sequence[int], np.ndarray]
+WordLike = Sequence[int] | np.ndarray
 
 #: A batch of words: 2-D integer array of shape (num_words, num_lines).
 Batch = npt.NDArray[np.integer]
@@ -50,7 +50,7 @@ Batch = npt.NDArray[np.integer]
 IntArray = npt.NDArray[np.integer]
 
 #: A pair of line indices (0-based, low < high for standard comparators).
-LinePair = Tuple[int, int]
+LinePair = tuple[int, int]
 
 
 def as_word(values: WordLike) -> Word:
@@ -67,6 +67,6 @@ def as_word(values: WordLike) -> Word:
     return tuple(int(v) for v in values)
 
 
-def as_words(items: Iterable[WordLike]) -> Tuple[Word, ...]:
+def as_words(items: Iterable[WordLike]) -> tuple[Word, ...]:
     """Normalise an iterable of word-like values into a tuple of words."""
     return tuple(as_word(item) for item in items)

@@ -12,13 +12,6 @@ from .decision import (
     false_accept_rate_against_adversaries,
     monte_carlo_is_sorter,
 )
-from .minimal_search import (
-    INPUT_MODELS,
-    height_class_summary,
-    minimum_test_set_for_height_class,
-    reachable_function_tables,
-)
-from .tables import format_rows, format_table
 from .experiments import (
     experiment_decision_cost,
     experiment_fault_coverage,
@@ -33,6 +26,13 @@ from .experiments import (
     experiment_yao_comparison,
     run_all_experiments,
 )
+from .minimal_search import (
+    INPUT_MODELS,
+    height_class_summary,
+    minimum_test_set_for_height_class,
+    reachable_function_tables,
+)
+from .tables import format_rows, format_table
 
 __all__ = [
     "StrategyCost",

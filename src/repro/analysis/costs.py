@@ -15,8 +15,8 @@ functions here produce the cost tables behind both discussions:
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
 
 from ..core.network import ComparatorNetwork
 from ..testsets.formulas import (
@@ -57,8 +57,8 @@ class StrategyCost:
 
 
 def sorting_strategy_costs(
-    n: int, *, network: Optional[ComparatorNetwork] = None
-) -> List[StrategyCost]:
+    n: int, *, network: ComparatorNetwork | None = None
+) -> list[StrategyCost]:
     """Vector and work counts of the four sorting-verification strategies.
 
     When *network* is omitted, the Batcher sorter of width *n* is used for
@@ -80,7 +80,7 @@ def sorting_strategy_costs(
     ]
 
 
-def yao_comparison_row(n: int) -> Dict[str, float]:
+def yao_comparison_row(n: int) -> dict[str, float]:
     """One row of the E8 table: binary vs. permutation test-set sizes for *n*."""
     return {
         "n": n,
@@ -93,6 +93,6 @@ def yao_comparison_row(n: int) -> Dict[str, float]:
     }
 
 
-def yao_comparison_table(ns: Iterable[int]) -> List[Dict[str, float]]:
+def yao_comparison_table(ns: Iterable[int]) -> list[dict[str, float]]:
     """The full E8 table over a range of *n* values."""
     return [yao_comparison_row(n) for n in ns]

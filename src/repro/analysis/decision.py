@@ -19,8 +19,8 @@ that discussion concrete for experiments E10:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class VerificationOutcome:
 def monte_carlo_is_sorter(
     network: ComparatorNetwork,
     num_vectors: int,
-    rng: Union[int, np.random.Generator, None] = None,
+    rng: int | np.random.Generator | None = None,
 ) -> VerificationOutcome:
     """Randomised sorter test: accept iff *num_vectors* random 0/1 inputs all sort.
 
@@ -74,9 +74,9 @@ def false_accept_rate_against_adversaries(
     n: int,
     num_vectors: int,
     *,
-    num_adversaries: Optional[int] = None,
+    num_adversaries: int | None = None,
     trials_per_adversary: int = 20,
-    rng: Union[int, np.random.Generator, None] = 0,
+    rng: int | np.random.Generator | None = 0,
 ) -> float:
     """Empirical false-accept rate of the Monte-Carlo tester on Lemma 2.1 adversaries.
 
@@ -119,7 +119,7 @@ def deterministic_strategy_outcomes(
     network: ComparatorNetwork,
     *,
     strategies: Sequence[str] = ("binary", "testset", "permutation-testset"),
-) -> List[VerificationOutcome]:
+) -> list[VerificationOutcome]:
     """Run the deterministic sorter-verification strategies on one network."""
     from ..testsets.formulas import (
         exhaustive_binary_size,
@@ -127,7 +127,7 @@ def deterministic_strategy_outcomes(
         sorting_test_set_size,
     )
 
-    budgets: Dict[str, int] = {
+    budgets: dict[str, int] = {
         "binary": exhaustive_binary_size(network.n_lines),
         "testset": sorting_test_set_size(network.n_lines),
         "permutation-testset": sorting_permutation_test_set_size(network.n_lines),

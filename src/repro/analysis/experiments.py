@@ -27,8 +27,8 @@ Experiment index (matching DESIGN.md):
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..constructions.batcher import batcher_sorting_network
 from ..core.network import ComparatorNetwork
@@ -77,13 +77,13 @@ __all__ = [
     "run_all_experiments",
 ]
 
-Row = Dict[str, object]
+Row = dict[str, object]
 
 
 # ----------------------------------------------------------------------
 # E1 — Fig. 1
 # ----------------------------------------------------------------------
-def experiment_fig1() -> List[Row]:
+def experiment_fig1() -> list[Row]:
     """Reproduce Fig. 1: the network ``[1,3][2,4][1,2][3,4]`` processing ``(4 1 3 2)``.
 
     The paper uses Fig. 1 to illustrate how comparators route values; as
@@ -94,7 +94,7 @@ def experiment_fig1() -> List[Row]:
     optimal 4-sorter.
     """
     paper_input = (4, 1, 3, 2)
-    rows: List[Row] = []
+    rows: list[Row] = []
     for label, knuth in (
         ("fig1-as-transcribed", "[1,3][2,4][1,2][3,4]"),
         ("fig1-completed", "[1,3][2,4][1,2][3,4][2,3]"),
@@ -132,7 +132,7 @@ def _is_sorter(network: ComparatorNetwork) -> bool:
 # ----------------------------------------------------------------------
 # E2 — Fig. 2
 # ----------------------------------------------------------------------
-def experiment_fig2(*, brute_force_max_size: int = 3) -> List[Row]:
+def experiment_fig2(*, brute_force_max_size: int = 3) -> list[Row]:
     """Reproduce Fig. 2: a near-sorter ``H_sigma`` for every unsorted 3-bit word.
 
     The paper draws four specific small networks; the artwork is not
@@ -140,7 +140,7 @@ def experiment_fig2(*, brute_force_max_size: int = 3) -> List[Row]:
     (b) the smallest network found by brute force, and (c) that both are
     valid near-sorters — which is the property the figure exists to witness.
     """
-    rows: List[Row] = []
+    rows: list[Row] = []
     for sigma in unsorted_binary_words(3):
         constructed = near_sorter(sigma)
         brute = brute_force_near_sorter(sigma, max_size=brute_force_max_size)
@@ -160,9 +160,9 @@ def experiment_fig2(*, brute_force_max_size: int = 3) -> List[Row]:
 # ----------------------------------------------------------------------
 # E3 — Lemma 2.1
 # ----------------------------------------------------------------------
-def experiment_lemma21(ns: Iterable[int] = (4, 5, 6, 7, 8)) -> List[Row]:
+def experiment_lemma21(ns: Iterable[int] = (4, 5, 6, 7, 8)) -> list[Row]:
     """Verify the Lemma 2.1 construction exhaustively for each *n*."""
-    rows: List[Row] = []
+    rows: list[Row] = []
     for n in ns:
         sigmas = unsorted_binary_words(n)
         start = time.perf_counter()
@@ -200,7 +200,7 @@ def experiment_thm22_binary(
     *,
     empirical_up_to: int = 5,
     timing_up_to: int = 16,
-) -> List[Row]:
+) -> list[Row]:
     """Theorem 2.2 (i): size of the minimum 0/1 test set for sorting.
 
     Rows also record per-engine wall-clock for *applying* the test set (a
@@ -211,11 +211,11 @@ def experiment_thm22_binary(
     from ..properties.sorter import is_sorter
     from ..testsets.minimal import empirical_sorting_test_set_size
 
-    rows: List[Row] = []
+    rows: list[Row] = []
     for n in ns:
         paper = formulas.sorting_test_set_size(n)
         generated = len(sorting_binary_test_set(n))
-        empirical: Optional[int] = None
+        empirical: int | None = None
         if n <= empirical_up_to:
             empirical = empirical_sorting_test_set_size(n, exact=True)
         row: Row = {
@@ -229,7 +229,7 @@ def experiment_thm22_binary(
         }
         if n <= timing_up_to:
             device = batcher_sorting_network(n)
-            seconds: Dict[str, float] = {}
+            seconds: dict[str, float] = {}
             for eng in ("vectorized", "bitpacked"):
                 start = time.perf_counter()
                 verdict = is_sorter(device, strategy="testset", engine=eng)
@@ -251,14 +251,14 @@ def experiment_thm22_permutation(
     ns: Iterable[int] = (2, 3, 4, 5, 6, 7, 8, 9, 10),
     *,
     antichain_check_up_to: int = 7,
-) -> List[Row]:
+) -> list[Row]:
     """Theorem 2.2 (ii): size and validity of the permutation test set."""
-    rows: List[Row] = []
+    rows: list[Row] = []
     for n in ns:
         paper = formulas.sorting_permutation_test_set_size(n)
         perms = sorting_permutation_test_set(n)
         valid = is_sorting_test_set_permutation(perms, n)
-        antichain_ok: Optional[bool] = None
+        antichain_ok: bool | None = None
         witnesses = sorting_lower_bound_witnesses_permutation(n)
         if n <= antichain_check_up_to:
             antichain_ok = all(
@@ -285,8 +285,8 @@ def experiment_thm22_permutation(
 # E6 — Theorem 2.4
 # ----------------------------------------------------------------------
 def experiment_thm24_selector(
-    cases: Optional[Sequence[Tuple[int, int]]] = None,
-) -> List[Row]:
+    cases: Sequence[tuple[int, int]] | None = None,
+) -> list[Row]:
     """Theorem 2.4: selector test-set sizes for a sweep of ``(n, k)`` pairs."""
     if cases is None:
         cases = [
@@ -295,7 +295,7 @@ def experiment_thm24_selector(
         # De-duplicate while keeping order.
         seen = set()
         cases = [c for c in cases if not (c in seen or seen.add(c))]
-    rows: List[Row] = []
+    rows: list[Row] = []
     for n, k in cases:
         paper_binary = formulas.selector_test_set_size(n, k)
         paper_perm = formulas.selector_permutation_test_set_size(n, k)
@@ -322,9 +322,9 @@ def experiment_thm24_selector(
 # ----------------------------------------------------------------------
 def experiment_thm25_merging(
     ns: Iterable[int] = (4, 6, 8, 10, 12, 16, 20),
-) -> List[Row]:
+) -> list[Row]:
     """Theorem 2.5: merging test-set sizes in both input models."""
-    rows: List[Row] = []
+    rows: list[Row] = []
     for n in ns:
         paper_binary = formulas.merging_test_set_size(n)
         paper_perm = formulas.merging_permutation_test_set_size(n)
@@ -352,7 +352,7 @@ def experiment_thm25_merging(
 # ----------------------------------------------------------------------
 def experiment_yao_comparison(
     ns: Iterable[int] = (2, 4, 6, 8, 10, 12, 16, 20, 24),
-) -> List[Row]:
+) -> list[Row]:
     """The §2 discussion: binary vs permutation test-set sizes and baselines."""
     from .costs import yao_comparison_row
 
@@ -371,8 +371,8 @@ def experiment_yao_comparison(
 # E9 — Height-restricted networks
 # ----------------------------------------------------------------------
 def experiment_height_restricted(
-    cases: Optional[Sequence[Tuple[int, int, str]]] = None,
-) -> List[Row]:
+    cases: Sequence[tuple[int, int, str]] | None = None,
+) -> list[Row]:
     """Section 3: minimum test sets for height-restricted classes of networks.
 
     Rows include the de Bruijn height-1 result (minimum permutation test set
@@ -394,10 +394,10 @@ def experiment_height_restricted(
             (4, 2, "permutation"),
             (4, 3, "binary"),
         ]
-    rows: List[Row] = []
+    rows: list[Row] = []
     for n, span, model in cases:
         summary = height_class_summary(n, span, input_model=model)
-        paper_size: Optional[int] = None
+        paper_size: int | None = None
         if span == 1 and model == "permutation":
             paper_size = formulas.primitive_sorting_test_set_size(n)
         elif span >= n - 1 and model == "binary":
@@ -426,9 +426,9 @@ def experiment_decision_cost(
     vector_counts: Iterable[int] = (1, 4, 16, 64),
     *,
     trials_per_adversary: int = 10,
-    num_adversaries: Optional[int] = 30,
+    num_adversaries: int | None = 30,
     seed: int = 0,
-) -> List[Row]:
+) -> list[Row]:
     """The §1 complexity link, experimentally: random testing barely helps.
 
     For each budget of random vectors, measure the false-accept rate against
@@ -438,7 +438,7 @@ def experiment_decision_cost(
     """
     from .decision import false_accept_rate_against_adversaries
 
-    rows: List[Row] = []
+    rows: list[Row] = []
     for budget in vector_counts:
         measured = false_accept_rate_against_adversaries(
             n,
@@ -474,7 +474,7 @@ def experiment_fault_coverage(
     random_set_sizes: Iterable[int] = (8, 32),
     engine: str = "vectorized",
     worker_counts: Iterable[int] = (1,),
-) -> List[Row]:
+) -> list[Row]:
     """Fault coverage of the paper's test sets vs random vectors on a Batcher sorter.
 
     ``engine`` selects the fault-simulation engine
@@ -485,16 +485,22 @@ def experiment_fault_coverage(
     theorem test set with the fault axis sharded across that many worker
     processes (:class:`repro.parallel.ExecutionConfig`), so EXPERIMENTS.md
     shows the per-engine and per-worker-count speedups alongside the
-    coverage numbers.
+    coverage numbers.  With the bit-packed engine two extra artefacts
+    appear: an ``exhaustive-cube`` row (the full ``2**n`` cube streamed as
+    a :class:`repro.faults.CubeVectors` test set — the upper bound any
+    vector set can reach) and a ``prune_ratio`` column (fraction of suffix
+    stage-blocks skipped by dominated-state pruning,
+    :class:`repro.faults.SimulationStats`).
     """
     from ..faults.coverage import coverage_report
     from ..faults.injection import enumerate_single_faults
+    from ..faults.simulation import CubeVectors, SimulationStats
     from ..parallel import ExecutionConfig
 
     rng = as_rng(seed)
     device = batcher_sorting_network(n)
     faults = enumerate_single_faults(device)
-    test_sets: Dict[str, List[Tuple[int, ...]]] = {
+    test_sets: dict[str, object] = {
         "theorem22-binary-testset": sorting_binary_test_set(n),
     }
     for size in random_set_sizes:
@@ -502,23 +508,33 @@ def experiment_fault_coverage(
             tuple(int(b) for b in rng.integers(0, 2, size=n)) for _ in range(size)
         ]
         test_sets[f"random-{size}"] = vectors
+    if engine == "bitpacked":
+        # The exhaustive cube as a fault-simulation test set: streamed in
+        # packed chunks (never materialised), it bounds what any test set
+        # can detect under the chosen criterion.
+        test_sets["exhaustive-cube"] = CubeVectors(n)
     scaling_counts = [1] + [int(w) for w in worker_counts if int(w) != 1]
-    rows: List[Row] = []
-    baseline_seconds: Optional[float] = None
+    rows: list[Row] = []
+    baseline_seconds: float | None = None
     for name, vectors in test_sets.items():
         counts = scaling_counts if name == "theorem22-binary-testset" else [1]
         for workers in counts:
             config = ExecutionConfig(max_workers=workers) if workers != 1 else None
+            stats = SimulationStats() if engine == "bitpacked" else None
             start = time.perf_counter()
             report = coverage_report(
-                device, faults, vectors, engine=engine, config=config
+                device, faults, vectors, engine=engine, config=config,
+                stats=stats,
             )
             elapsed = time.perf_counter() - start
             if name == "theorem22-binary-testset" and workers == 1:
                 baseline_seconds = elapsed
-            speedup: Optional[float] = None
+            speedup: float | None = None
             if name == "theorem22-binary-testset" and baseline_seconds:
                 speedup = round(baseline_seconds / max(elapsed, 1e-9), 2)
+            prune_ratio: float | None = None
+            if stats is not None and stats.total_stage_blocks:
+                prune_ratio = round(stats.prune_ratio, 4)
             rows.append(
                 {
                     "experiment": "E11",
@@ -532,6 +548,7 @@ def experiment_fault_coverage(
                     "coverage": round(report.coverage, 4),
                     "sim_seconds": round(elapsed, 5),
                     "speedup_vs_1_worker": speedup,
+                    "prune_ratio": prune_ratio,
                 }
             )
     return rows
@@ -542,7 +559,7 @@ def experiment_fault_coverage(
 # ----------------------------------------------------------------------
 def run_all_experiments(
     *, fast: bool = True, engine: str = "vectorized", workers: int = 1
-) -> Dict[str, List[Row]]:
+) -> dict[str, list[Row]]:
     """Run every experiment with small (fast) or full (slow) parameters.
 
     ``engine`` is forwarded to the evaluation-heavy experiments (currently

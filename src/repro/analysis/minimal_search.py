@@ -27,8 +27,6 @@ cross-check in the test suite.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
-
 import numpy as np
 
 from ..core.evaluation import all_binary_words_array, batch_is_sorted
@@ -71,7 +69,7 @@ def reachable_function_tables(
     *,
     input_model: str = "binary",
     max_tables: int = 2_000_000,
-) -> Dict[FunctionTable, np.ndarray]:
+) -> dict[FunctionTable, np.ndarray]:
     """All input/output behaviours of networks on *n* lines with span <= *max_span*.
 
     Returns a mapping from the hashable table to the output array (one row
@@ -95,7 +93,7 @@ def reachable_function_tables(
         (a, b) for a in range(n) for b in range(a + 1, n) if b - a <= max_span
     ]
     identity = inputs.copy()
-    tables: Dict[FunctionTable, np.ndarray] = {_table_of(identity): identity}
+    tables: dict[FunctionTable, np.ndarray] = {_table_of(identity): identity}
     frontier = [identity]
     while frontier:
         next_frontier = []
@@ -125,7 +123,7 @@ def minimum_test_set_for_height_class(
     *,
     input_model: str = "binary",
     exact: bool = True,
-) -> List[Tuple[int, ...]]:
+) -> list[tuple[int, ...]]:
     """Smallest test set deciding "is this height-``max_span`` network a sorter?".
 
     The returned words (binary words or permutations, per *input_model*) are
@@ -138,7 +136,7 @@ def minimum_test_set_for_height_class(
     """
     inputs = _input_matrix(n, input_model)
     tables = reachable_function_tables(n, max_span, input_model=input_model)
-    failure_sets: List[FrozenSet[int]] = []
+    failure_sets: list[frozenset[int]] = []
     for outputs in tables.values():
         failing = np.flatnonzero(~batch_is_sorted(outputs))
         if failing.size:
@@ -152,7 +150,7 @@ def minimum_test_set_for_height_class(
 
 def height_class_summary(
     n: int, max_span: int, *, input_model: str = "binary", exact: bool = True
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """One row of the E9 table: class size, sorter count and minimum test set."""
     tables = reachable_function_tables(n, max_span, input_model=input_model)
     sorter_count = 0

@@ -6,7 +6,7 @@ that output readable without pulling in a plotting or table dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 __all__ = ["format_table", "format_rows"]
 
@@ -15,10 +15,10 @@ def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],
     *,
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> str:
     """Render rows of values as a fixed-width ASCII table."""
-    materialised: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    materialised: list[list[str]] = [[_cell(v) for v in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in materialised:
         for index, cell in enumerate(row):
@@ -42,8 +42,8 @@ def format_table(
 def format_rows(
     rows: Sequence[Mapping[str, object]],
     *,
-    columns: Optional[Sequence[str]] = None,
-    title: Optional[str] = None,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
 ) -> str:
     """Render a list of dictionaries (one per row) as an ASCII table."""
     if not rows:

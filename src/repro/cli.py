@@ -49,7 +49,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
 
 from .analysis.tables import format_rows
 from .core.evaluation import EVALUATION_ENGINES
@@ -186,7 +185,31 @@ def build_parser() -> argparse.ArgumentParser:
     construct.add_argument("--n", type=int, required=True)
     construct.add_argument("--k", type=int, default=1)
 
-    faults = sub.add_parser("faults", help="fault-coverage report for a construction")
+    faults = sub.add_parser(
+        "faults",
+        help="fault-coverage report for a construction",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+test-vector strategies:
+  --strategy testset   the paper's minimum sorting test set (default)
+  --strategy binary    the exhaustive 2**n cube, streamed in packed chunks —
+                       never materialised, so it stays in bounded memory at
+                       any n (bitpacked engine)
+
+examples:
+  # Theorem 2.2 test set against batcher(18), fault axis sharded:
+  repro-networks faults --n 18 --engine bitpacked --workers 4
+
+  # Exhaustive cube coverage at n=24 in bounded (~tens of MB/worker)
+  # memory: vector chunks of 2**20 words regenerated per worker on a
+  # 2-D (faults x vector-chunks) grid:
+  repro-networks faults --n 24 --strategy binary --engine bitpacked \\
+      --workers 0 --chunk-size 1048576
+
+  # Same run without dominated-state pruning (for timing comparisons):
+  repro-networks faults --n 18 --engine bitpacked --no-prune
+""",
+    )
     faults.add_argument("--n", type=int, required=True, help="number of lines")
     faults.add_argument(
         "--kind",
@@ -204,10 +227,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="specification",
     )
     faults.add_argument(
+        "--strategy",
+        choices=("testset", "binary"),
+        default="testset",
+        help="test vectors: the minimum sorting test set, or the exhaustive "
+        "2**n cube streamed in packed chunks (constant memory)",
+    )
+    faults.add_argument(
         "--engine",
         choices=EVALUATION_ENGINES,
         default="bitpacked",
         help="fault-simulation engine (bitpacked shares fault-free prefixes)",
+    )
+    faults.add_argument(
+        "--no-prune",
+        dest="prune",
+        action="store_false",
+        help="disable dominated-state pruning in the bit-packed engine "
+        "(results are identical; useful for timing comparisons)",
     )
     _add_execution_arguments(faults)
 
@@ -343,26 +380,50 @@ def _cmd_construct(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from .faults import coverage_report, enumerate_single_faults
+    from .faults import (
+        CubeVectors,
+        SimulationStats,
+        coverage_report,
+        enumerate_single_faults,
+    )
     from .testsets import sorting_binary_test_set
 
     device = _build_construction(args.kind, args.n, 1)
     faults = enumerate_single_faults(device)
-    vectors = sorting_binary_test_set(args.n)
+    if args.strategy == "binary":
+        if args.engine != "bitpacked" and args.n > 20:
+            print(
+                "error: --strategy binary above n=20 requires "
+                "--engine bitpacked (the other engines materialise the cube)",
+                file=sys.stderr,
+            )
+            return 2
+        vectors = CubeVectors(args.n)
+    else:
+        vectors = sorting_binary_test_set(args.n)
     config = _execution_config(args)
+    stats = SimulationStats() if args.engine == "bitpacked" else None
     report = coverage_report(
         device, faults, vectors, criterion=args.criterion, engine=args.engine,
-        config=config,
+        config=config, prune=args.prune, stats=stats,
     )
     workers = config.resolved_workers() if config is not None else 1
     print(
         f"device={args.kind}({args.n}) engine={args.engine} "
-        f"workers={workers} criterion={args.criterion}"
+        f"workers={workers} criterion={args.criterion} "
+        f"strategy={args.strategy} prune={args.prune}"
     )
     print(
         f"vectors={report.vectors_used} faults={report.total_faults} "
         f"detected={report.detected_faults} coverage={report.coverage:.4f}"
     )
+    if stats is not None and stats.total_stage_blocks:
+        print(
+            f"pruned_stage_blocks={stats.pruned_stage_blocks} "
+            f"prune_ratio={stats.prune_ratio:.4f} "
+            f"converged_faults={stats.converged_faults} "
+            f"dropped_faults={stats.dropped_faults}"
+        )
     for kind, (found, total) in sorted(report.by_kind.items()):
         print(f"  {kind}: {found}/{total}")
     return 0
@@ -385,7 +446,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-networks`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)

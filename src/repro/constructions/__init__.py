@@ -27,8 +27,8 @@ from .mergers import (
 from .optimal import OPTIMAL_NETWORKS, known_optimal_sizes, optimal_sorting_network
 from .selectors import (
     bubble_selection_network,
-    pruned_selection_network,
     prune_to_output_lines,
+    pruned_selection_network,
     selector_from_sorter,
 )
 

@@ -19,8 +19,8 @@ dropped and the remaining comparators relabelled onto the real lines.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from functools import lru_cache
-from typing import Iterator, List, Tuple
 
 from ..core.network import ComparatorNetwork
 from ..exceptions import ConstructionError
@@ -43,7 +43,7 @@ def next_power_of_two(n: int) -> int:
     return power
 
 
-def _odd_even_merge(lo: int, hi: int, stride: int) -> Iterator[Tuple[int, int]]:
+def _odd_even_merge(lo: int, hi: int, stride: int) -> Iterator[tuple[int, int]]:
     """Comparators merging the sorted subsequences of ``lo..hi`` at *stride*.
 
     ``hi`` is inclusive and ``hi - lo + 1`` must be a power of two times the
@@ -61,7 +61,7 @@ def _odd_even_merge(lo: int, hi: int, stride: int) -> Iterator[Tuple[int, int]]:
         yield (lo, lo + stride)
 
 
-def _odd_even_merge_sort_range(lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+def _odd_even_merge_sort_range(lo: int, hi: int) -> Iterator[tuple[int, int]]:
     """Comparators sorting lines ``lo..hi`` (inclusive, power-of-two width)."""
     if (hi - lo) >= 1:
         mid = lo + ((hi - lo) // 2)
@@ -120,7 +120,7 @@ def odd_even_merge_network(half: int) -> ComparatorNetwork:
     top_pad = padded_half - half  # lines 0 .. top_pad-1 hold -inf
     # Real first-half lines occupy padded positions top_pad .. padded_half-1;
     # real second-half lines occupy padded_half .. padded_half + half - 1.
-    pairs: List[Tuple[int, int]] = []
+    pairs: list[tuple[int, int]] = []
     for a, b in _odd_even_merge(0, padded_n - 1, 1):
         real = []
         for index in (a, b):

@@ -19,8 +19,6 @@ Two variants are provided:
 
 from __future__ import annotations
 
-from typing import List
-
 from ..core.comparator import Comparator
 from ..core.network import ComparatorNetwork
 from ..exceptions import ConstructionError
@@ -32,7 +30,7 @@ def _is_power_of_two(n: int) -> bool:
     return n >= 1 and (n & (n - 1)) == 0
 
 
-def _bitonic_sort(lo: int, count: int, ascending: bool, out: List[Comparator]) -> None:
+def _bitonic_sort(lo: int, count: int, ascending: bool, out: list[Comparator]) -> None:
     if count <= 1:
         return
     half = count // 2
@@ -41,7 +39,7 @@ def _bitonic_sort(lo: int, count: int, ascending: bool, out: List[Comparator]) -
     _bitonic_merge(lo, count, ascending, out)
 
 
-def _bitonic_merge(lo: int, count: int, ascending: bool, out: List[Comparator]) -> None:
+def _bitonic_merge(lo: int, count: int, ascending: bool, out: list[Comparator]) -> None:
     if count <= 1:
         return
     half = count // 2
@@ -62,12 +60,12 @@ def bitonic_sorting_network(n: int) -> ComparatorNetwork:
         raise ConstructionError(
             f"the bitonic construction requires a power-of-two size, got {n}"
         )
-    comparators: List[Comparator] = []
+    comparators: list[Comparator] = []
     _bitonic_sort(0, n, True, comparators)
     return ComparatorNetwork(n, comparators)
 
 
-def _bitonic_cleaner(lo: int, count: int, out: List[Comparator]) -> None:
+def _bitonic_cleaner(lo: int, count: int, out: list[Comparator]) -> None:
     """Sort a bitonic sequence on lines ``lo..lo+count-1`` (standard comparators)."""
     if count <= 1:
         return
@@ -78,7 +76,7 @@ def _bitonic_cleaner(lo: int, count: int, out: List[Comparator]) -> None:
     _bitonic_cleaner(lo + half, count - half, out)
 
 
-def _flip_merge(lo: int, count: int, out: List[Comparator]) -> None:
+def _flip_merge(lo: int, count: int, out: list[Comparator]) -> None:
     """Merge two ascending halves of ``lo..lo+count-1`` using the flip trick.
 
     Comparing line ``lo + i`` with line ``lo + count - 1 - i`` (the mirrored
@@ -96,7 +94,7 @@ def _flip_merge(lo: int, count: int, out: List[Comparator]) -> None:
     _bitonic_cleaner(lo + half, count - half, out)
 
 
-def _flip_sort(lo: int, count: int, out: List[Comparator]) -> None:
+def _flip_sort(lo: int, count: int, out: list[Comparator]) -> None:
     if count <= 1:
         return
     half = count // 2
@@ -117,6 +115,6 @@ def bitonic_sorting_network_standard(n: int) -> ComparatorNetwork:
         raise ConstructionError(
             f"the bitonic construction requires a power-of-two size, got {n}"
         )
-    comparators: List[Comparator] = []
+    comparators: list[Comparator] = []
     _flip_sort(0, n, comparators)
     return ComparatorNetwork(n, comparators)

@@ -16,7 +16,6 @@ sorted lines starting at ``j``.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple
 
 from ..core.network import ComparatorNetwork
 from ..exceptions import ConstructionError
@@ -24,7 +23,7 @@ from ..exceptions import ConstructionError
 __all__ = ["bose_nelson_sorting_network", "bose_nelson_size"]
 
 
-def _merge(i: int, x: int, j: int, y: int, out: List[Tuple[int, int]]) -> None:
+def _merge(i: int, x: int, j: int, y: int, out: list[tuple[int, int]]) -> None:
     """Emit comparators merging x sorted lines at *i* with y sorted lines at *j*."""
     if x == 1 and y == 1:
         out.append((i, j))
@@ -42,7 +41,7 @@ def _merge(i: int, x: int, j: int, y: int, out: List[Tuple[int, int]]) -> None:
         _merge(i + a, x - a, j, b, out)
 
 
-def _sort(i: int, m: int, out: List[Tuple[int, int]]) -> None:
+def _sort(i: int, m: int, out: list[tuple[int, int]]) -> None:
     """Emit comparators sorting *m* consecutive lines starting at *i*."""
     if m > 1:
         a = m // 2
@@ -56,7 +55,7 @@ def bose_nelson_sorting_network(n: int) -> ComparatorNetwork:
     """The Bose–Nelson sorting network on *n* lines (any ``n >= 1``)."""
     if n < 1:
         raise ConstructionError(f"cannot build a sorting network on {n} lines")
-    pairs: List[Tuple[int, int]] = []
+    pairs: list[tuple[int, int]] = []
     _sort(0, n, pairs)
     return ComparatorNetwork.from_pairs(n, pairs)
 

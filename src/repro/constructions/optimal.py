@@ -18,8 +18,6 @@ from the literature, not re-proved here.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
 from ..core.network import ComparatorNetwork
 from ..exceptions import ConstructionError
 
@@ -30,7 +28,7 @@ __all__ = [
 ]
 
 #: Exact minimum comparator counts for n = 1..8 (Knuth, §5.3.4).
-known_optimal_sizes: Dict[int, int] = {
+known_optimal_sizes: dict[int, int] = {
     1: 0,
     2: 1,
     3: 3,
@@ -42,7 +40,7 @@ known_optimal_sizes: Dict[int, int] = {
 }
 
 #: Classical optimal networks, 0-indexed comparator lists.
-OPTIMAL_NETWORKS: Dict[int, List[Tuple[int, int]]] = {
+OPTIMAL_NETWORKS: dict[int, list[tuple[int, int]]] = {
     1: [],
     2: [(0, 1)],
     3: [(1, 2), (0, 2), (0, 1)],

@@ -18,8 +18,6 @@ are provided:
 
 from __future__ import annotations
 
-from typing import List
-
 from ..core.comparator import Comparator
 from ..core.network import ComparatorNetwork
 from ..exceptions import ConstructionError
@@ -69,7 +67,7 @@ def bubble_selection_network(n: int, k: int) -> ComparatorNetwork:
 
 
 def prune_to_output_lines(
-    network: ComparatorNetwork, output_lines: List[int]
+    network: ComparatorNetwork, output_lines: list[int]
 ) -> ComparatorNetwork:
     """Remove comparators outside the cone of influence of *output_lines*.
 
@@ -87,7 +85,7 @@ def prune_to_output_lines(
             f"output lines {sorted(relevant)!r} out of range for "
             f"{network.n_lines} lines"
         )
-    kept_reversed: List[Comparator] = []
+    kept_reversed: list[Comparator] = []
     for comp in reversed(network.comparators):
         if comp.low in relevant or comp.high in relevant:
             kept_reversed.append(comp)

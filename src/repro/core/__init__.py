@@ -28,9 +28,19 @@ Random generators
     :func:`random_height_limited_network`.
 """
 
-from .comparator import Comparator
-from .network import ComparatorNetwork
+from .bitpacked import (
+    PackedBatch,
+    apply_network_packed,
+    pack_batch,
+    pack_words,
+    packed_all_binary_words,
+    packed_equal,
+    packed_is_sorted,
+    unpack_batch,
+)
 from .builder import NetworkBuilder
+from .comparator import Comparator
+from .diagram import render_network, render_trace
 from .evaluation import (
     EVALUATION_ENGINES,
     all_binary_words,
@@ -46,17 +56,16 @@ from .evaluation import (
     unsorted_binary_words_array,
     words_to_array,
 )
-from .bitpacked import (
-    PackedBatch,
-    apply_network_packed,
-    pack_batch,
-    pack_words,
-    packed_all_binary_words,
-    packed_equal,
-    packed_is_sorted,
-    unpack_batch,
-)
 from .layers import decompose_into_layers, network_depth, network_from_layers
+from .network import ComparatorNetwork
+from .random_networks import (
+    all_standard_comparators,
+    random_height_limited_network,
+    random_network,
+    random_networks,
+    random_sorter_mutation,
+    random_standard_comparator,
+)
 from .serialization import (
     network_from_dict,
     network_from_json,
@@ -65,21 +74,12 @@ from .serialization import (
     network_to_json,
     network_to_knuth,
 )
-from .diagram import render_network, render_trace
 from .simplify import (
     active_comparator_counts,
     comparator_is_redundant,
     networks_equivalent,
     redundant_comparator_indices,
     remove_redundant_comparators,
-)
-from .random_networks import (
-    all_standard_comparators,
-    random_height_limited_network,
-    random_network,
-    random_networks,
-    random_sorter_mutation,
-    random_standard_comparator,
 )
 
 __all__ = [

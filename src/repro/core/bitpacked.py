@@ -40,8 +40,8 @@ Only 0/1 data can be packed — packing non-binary values raises
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -106,7 +106,7 @@ class PackedBatch:
     def n_blocks(self) -> int:
         return self.planes.shape[1]
 
-    def copy(self) -> "PackedBatch":
+    def copy(self) -> PackedBatch:
         return PackedBatch(self.planes.copy(), self.num_words)
 
     def pad_mask(self) -> np.ndarray:
@@ -118,7 +118,7 @@ class PackedBatch:
         return mask
 
 
-def pack_batch(batch, *, n_lines: Optional[int] = None) -> PackedBatch:
+def pack_batch(batch, *, n_lines: int | None = None) -> PackedBatch:
     """Pack a ``(num_words, n_lines)`` 0/1 array into bit planes.
 
     Parameters
@@ -170,7 +170,7 @@ def pack_batch(batch, *, n_lines: Optional[int] = None) -> PackedBatch:
 
 
 def pack_words(
-    words: Iterable[Sequence[int]], *, n_lines: Optional[int] = None
+    words: Iterable[Sequence[int]], *, n_lines: int | None = None
 ) -> PackedBatch:
     """Pack an iterable of equal-length 0/1 words (see :func:`pack_batch`)."""
     from .evaluation import words_to_array
@@ -262,7 +262,7 @@ def packed_all_binary_words(n: int) -> PackedBatch:
 
 
 def apply_comparators_packed(
-    planes: np.ndarray, comparators: Iterable, *, out: Optional[np.ndarray] = None
+    planes: np.ndarray, comparators: Iterable, *, out: np.ndarray | None = None
 ) -> np.ndarray:
     """Apply a comparator sequence to bit planes in place.
 

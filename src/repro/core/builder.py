@@ -13,7 +13,7 @@ the result into an immutable :class:`~repro.core.network.ComparatorNetwork`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..exceptions import InvalidComparatorError, LineCountError
 from .comparator import Comparator
@@ -42,7 +42,7 @@ class NetworkBuilder:
         if n_lines < 1:
             raise LineCountError(f"n_lines must be >= 1, got {n_lines}")
         self._n_lines = n_lines
-        self._comparators: List[Comparator] = []
+        self._comparators: list[Comparator] = []
 
     # ------------------------------------------------------------------
     @property
@@ -56,7 +56,7 @@ class NetworkBuilder:
         return len(self._comparators)
 
     # ------------------------------------------------------------------
-    def compare(self, low: int, high: int, *, reversed: bool = False) -> "NetworkBuilder":
+    def compare(self, low: int, high: int, *, reversed: bool = False) -> NetworkBuilder:
         """Append a single comparator between lines *low* and *high*."""
         comp = Comparator(low, high, reversed)
         if comp.high >= self._n_lines:
@@ -66,13 +66,13 @@ class NetworkBuilder:
         self._comparators.append(comp)
         return self
 
-    def compare_many(self, pairs: Iterable[Sequence[int]]) -> "NetworkBuilder":
+    def compare_many(self, pairs: Iterable[Sequence[int]]) -> NetworkBuilder:
         """Append several ``(low, high)`` comparators in order."""
         for low, high in pairs:
             self.compare(low, high)
         return self
 
-    def append_comparator(self, comparator: Comparator) -> "NetworkBuilder":
+    def append_comparator(self, comparator: Comparator) -> NetworkBuilder:
         """Append an existing :class:`Comparator` object."""
         if comparator.high >= self._n_lines:
             raise InvalidComparatorError(
@@ -81,7 +81,7 @@ class NetworkBuilder:
         self._comparators.append(comparator)
         return self
 
-    def append_network(self, network: ComparatorNetwork) -> "NetworkBuilder":
+    def append_network(self, network: ComparatorNetwork) -> NetworkBuilder:
         """Append all comparators of *network* (which must have the same width)."""
         if network.n_lines != self._n_lines:
             raise LineCountError(
@@ -93,7 +93,7 @@ class NetworkBuilder:
 
     def append_on_lines(
         self, network: ComparatorNetwork, lines: Sequence[int]
-    ) -> "NetworkBuilder":
+    ) -> NetworkBuilder:
         """Append *network* routed onto the given (strictly increasing) lines.
 
         This is the builder form of the paper's "all other lines bypass"
@@ -106,12 +106,12 @@ class NetworkBuilder:
 
     def append_on_range(
         self, network: ComparatorNetwork, start: int
-    ) -> "NetworkBuilder":
+    ) -> NetworkBuilder:
         """Append *network* onto the contiguous lines ``start .. start+width-1``."""
         lines = list(range(start, start + network.n_lines))
         return self.append_on_lines(network, lines)
 
-    def sort_range(self, start: int, stop: int) -> "NetworkBuilder":
+    def sort_range(self, start: int, stop: int) -> NetworkBuilder:
         """Append a Batcher sorter on the contiguous line range ``[start, stop)``.
 
         The paper's figures write this as ``S(m)`` attached to a block of
@@ -128,7 +128,7 @@ class NetworkBuilder:
 
         return self.append_on_range(batcher_sorting_network(width), start)
 
-    def sort_lines(self, lines: Sequence[int]) -> "NetworkBuilder":
+    def sort_lines(self, lines: Sequence[int]) -> NetworkBuilder:
         """Append a Batcher sorter attached to an arbitrary increasing line set."""
         lines = list(lines)
         if len(lines) <= 1:

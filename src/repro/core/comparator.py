@@ -21,8 +21,8 @@ Lines are 0-indexed throughout the library.  The paper and Knuth use
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator, Tuple
 
 from ..exceptions import InvalidComparatorError
 
@@ -88,7 +88,7 @@ class Comparator:
         return not self.reversed
 
     @property
-    def lines(self) -> Tuple[int, int]:
+    def lines(self) -> tuple[int, int]:
         """The pair of line indices ``(low, high)`` touched by the comparator."""
         return (self.low, self.high)
 
@@ -106,7 +106,7 @@ class Comparator:
         """Return ``True`` if the comparator is attached to *line*."""
         return line == self.low or line == self.high
 
-    def overlaps(self, other: "Comparator") -> bool:
+    def overlaps(self, other: Comparator) -> bool:
         """Return ``True`` if the two comparators share a line.
 
         Comparators that do not overlap may be executed in the same parallel
@@ -122,11 +122,11 @@ class Comparator:
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
-    def shifted(self, offset: int) -> "Comparator":
+    def shifted(self, offset: int) -> Comparator:
         """Return a copy with both endpoints shifted by *offset*."""
         return Comparator(self.low + offset, self.high + offset, self.reversed)
 
-    def relabelled(self, mapping) -> "Comparator":
+    def relabelled(self, mapping) -> Comparator:
         """Return a copy with endpoints relabelled through *mapping*.
 
         *mapping* is any ``line -> line`` callable or indexable.  If the
@@ -144,7 +144,7 @@ class Comparator:
             return Comparator(a, b, self.reversed)
         return Comparator(b, a, not self.reversed)
 
-    def dual(self, n_lines: int) -> "Comparator":
+    def dual(self, n_lines: int) -> Comparator:
         """Complement–reverse dual on a network with *n_lines* lines.
 
         Reversing the line order (line ``i`` becomes ``n-1-i``) and
@@ -160,14 +160,14 @@ class Comparator:
             )
         return Comparator(n_lines - 1 - self.high, n_lines - 1 - self.low, self.reversed)
 
-    def flipped(self) -> "Comparator":
+    def flipped(self) -> Comparator:
         """Return the same comparator with its orientation reversed."""
         return Comparator(self.low, self.high, not self.reversed)
 
     # ------------------------------------------------------------------
     # Application
     # ------------------------------------------------------------------
-    def apply(self, word) -> Tuple[int, ...]:
+    def apply(self, word) -> tuple[int, ...]:
         """Apply the comparator to a single word, returning a new tuple.
 
         This is the scalar reference implementation; batch evaluation lives

@@ -19,7 +19,7 @@ group) so the picture doubles as a depth visualisation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from .layers import decompose_into_layers
 from .network import ComparatorNetwork
@@ -30,7 +30,7 @@ __all__ = ["render_network", "render_trace"]
 def render_network(
     network: ComparatorNetwork,
     *,
-    input_word: Optional[Sequence[int]] = None,
+    input_word: Sequence[int] | None = None,
     line_labels: bool = True,
     column_width: int = 4,
 ) -> str:
@@ -76,7 +76,7 @@ def render_network(
     if input_word is not None:
         outputs = network.apply(tuple(input_word))
 
-    lines_text: List[str] = []
+    lines_text: list[str] = []
     label_width = len(f"line {n - 1} ") if line_labels else 0
     for row in range(rows):
         body = "".join(grid[row])

@@ -28,7 +28,7 @@ treated as the reference.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -106,7 +106,7 @@ def narrow_binary_batch(batch: np.ndarray, engine: str = "vectorized"):
 
 
 def words_to_array(
-    words: Iterable[Sequence[int]], dtype=np.int8, *, n_lines: Optional[int] = None
+    words: Iterable[Sequence[int]], dtype=np.int8, *, n_lines: int | None = None
 ) -> Batch:
     """Stack an iterable of equal-length words into a 2-D integer array.
 
@@ -318,7 +318,7 @@ def outputs_on_words(
     network: ComparatorNetwork,
     words: Iterable[Sequence[int]],
     *,
-    dtype: Optional[type] = None,
+    dtype: type | None = None,
     engine: str = "vectorized",
 ) -> Batch:
     """Evaluate *network* on an explicit collection of words.

@@ -17,15 +17,13 @@ bound for any order-preserving schedule.
 
 from __future__ import annotations
 
-from typing import List
-
 from .comparator import Comparator
 from .network import ComparatorNetwork
 
 __all__ = ["decompose_into_layers", "network_depth", "network_from_layers"]
 
 
-def decompose_into_layers(network: ComparatorNetwork) -> List[List[Comparator]]:
+def decompose_into_layers(network: ComparatorNetwork) -> list[list[Comparator]]:
     """Greedy ASAP decomposition of *network* into parallel layers.
 
     Returns a list of layers; each layer is a list of comparators no two of
@@ -33,7 +31,7 @@ def decompose_into_layers(network: ComparatorNetwork) -> List[List[Comparator]]:
     equivalent to the input (the relative order of comparators that share a
     line is preserved, and comparators that do not share a line commute).
     """
-    layers: List[List[Comparator]] = []
+    layers: list[list[Comparator]] = []
     # earliest[i] = index of the first layer that line i is still free in.
     earliest = [0] * network.n_lines
     for comp in network.comparators:
@@ -62,7 +60,7 @@ def network_depth(network: ComparatorNetwork) -> int:
 
 
 def network_from_layers(
-    n_lines: int, layers: List[List[Comparator]]
+    n_lines: int, layers: list[list[Comparator]]
 ) -> ComparatorNetwork:
     """Flatten an explicit layer list back into a network.
 

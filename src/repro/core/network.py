@@ -16,7 +16,7 @@ network.  Equality is structural (same line count, same comparator sequence).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -58,7 +58,7 @@ class ComparatorNetwork:
             raise LineCountError(f"n_lines must be an int, got {n_lines!r}")
         if n_lines < 1:
             raise LineCountError(f"n_lines must be >= 1, got {n_lines}")
-        comps: List[Comparator] = []
+        comps: list[Comparator] = []
         for item in comparators:
             comp = item if isinstance(item, Comparator) else Comparator(*item)
             if comp.high >= n_lines:
@@ -68,20 +68,20 @@ class ComparatorNetwork:
             comps.append(comp)
         self._n_lines = n_lines
         self._comparators = tuple(comps)
-        self._hash: Optional[int] = None
+        self._hash: int | None = None
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
     def from_pairs(
-        cls, n_lines: int, pairs: Iterable[Tuple[int, int]]
-    ) -> "ComparatorNetwork":
+        cls, n_lines: int, pairs: Iterable[tuple[int, int]]
+    ) -> ComparatorNetwork:
         """Build a standard network from ``(low, high)`` pairs (0-indexed)."""
         return cls(n_lines, [Comparator(a, b) for a, b in pairs])
 
     @classmethod
-    def identity(cls, n_lines: int) -> "ComparatorNetwork":
+    def identity(cls, n_lines: int) -> ComparatorNetwork:
         """The empty network: passes every input through unchanged."""
         return cls(n_lines, ())
 
@@ -94,7 +94,7 @@ class ComparatorNetwork:
         return self._n_lines
 
     @property
-    def comparators(self) -> Tuple[Comparator, ...]:
+    def comparators(self) -> tuple[Comparator, ...]:
         """The comparator sequence, in application order."""
         return self._comparators
 
@@ -119,7 +119,7 @@ class ComparatorNetwork:
             return 0
         return max(c.span for c in self._comparators)
 
-    def lines_touched(self) -> Tuple[int, ...]:
+    def lines_touched(self) -> tuple[int, ...]:
         """Sorted tuple of lines touched by at least one comparator."""
         touched = set()
         for c in self._comparators:
@@ -179,7 +179,7 @@ class ComparatorNetwork:
 
         return apply_network_to_batch(self, batch)
 
-    def trace(self, word: WordLike) -> List[Word]:
+    def trace(self, word: WordLike) -> list[Word]:
         """Return the sequence of intermediate words, one per comparator.
 
         ``trace(w)[0]`` is the input and ``trace(w)[-1]`` is the output; the
@@ -204,7 +204,7 @@ class ComparatorNetwork:
     # ------------------------------------------------------------------
     # Structural operations (all return new networks)
     # ------------------------------------------------------------------
-    def then(self, other: "ComparatorNetwork") -> "ComparatorNetwork":
+    def then(self, other: ComparatorNetwork) -> ComparatorNetwork:
         """Sequential composition: run ``self`` first, then *other*.
 
         Both networks must have the same number of lines.
@@ -217,17 +217,17 @@ class ComparatorNetwork:
             self._n_lines, self._comparators + other.comparators
         )
 
-    def __add__(self, other: "ComparatorNetwork") -> "ComparatorNetwork":
+    def __add__(self, other: ComparatorNetwork) -> ComparatorNetwork:
         return self.then(other)
 
-    def extended(self, comparators: Iterable) -> "ComparatorNetwork":
+    def extended(self, comparators: Iterable) -> ComparatorNetwork:
         """Return a copy with extra comparators appended."""
         extra = [
             c if isinstance(c, Comparator) else Comparator(*c) for c in comparators
         ]
         return ComparatorNetwork(self._n_lines, self._comparators + tuple(extra))
 
-    def prefix(self, num_comparators: int) -> "ComparatorNetwork":
+    def prefix(self, num_comparators: int) -> ComparatorNetwork:
         """Return the network consisting of the first *num_comparators* stages."""
         if num_comparators < 0:
             raise ValueError("num_comparators must be non-negative")
@@ -235,7 +235,7 @@ class ComparatorNetwork:
             self._n_lines, self._comparators[:num_comparators]
         )
 
-    def without_comparator(self, index: int) -> "ComparatorNetwork":
+    def without_comparator(self, index: int) -> ComparatorNetwork:
         """Return a copy with the comparator at *index* removed.
 
         Used by the fault models ("stuck-pass" faults delete a comparator).
@@ -246,7 +246,7 @@ class ComparatorNetwork:
 
     def with_comparator_replaced(
         self, index: int, comparator: Comparator
-    ) -> "ComparatorNetwork":
+    ) -> ComparatorNetwork:
         """Return a copy with the comparator at *index* replaced."""
         comps = list(self._comparators)
         comps[index] = comparator
@@ -254,7 +254,7 @@ class ComparatorNetwork:
 
     def on_lines(
         self, n_lines: int, lines: Sequence[int]
-    ) -> "ComparatorNetwork":
+    ) -> ComparatorNetwork:
         """Embed this network into a larger network.
 
         The *i*-th line of ``self`` is routed to line ``lines[i]`` of a new
@@ -278,13 +278,13 @@ class ComparatorNetwork:
         comps = [c.relabelled(mapping) for c in self._comparators]
         return ComparatorNetwork(n_lines, comps)
 
-    def shifted(self, offset: int, n_lines: Optional[int] = None) -> "ComparatorNetwork":
+    def shifted(self, offset: int, n_lines: int | None = None) -> ComparatorNetwork:
         """Return a copy on ``n_lines`` lines with every comparator shifted."""
         total = n_lines if n_lines is not None else self._n_lines + offset
         comps = [c.shifted(offset) for c in self._comparators]
         return ComparatorNetwork(total, comps)
 
-    def dual(self) -> "ComparatorNetwork":
+    def dual(self) -> ComparatorNetwork:
         """Complement–reverse dual network.
 
         If ``phi`` denotes the complement–reverse map on binary words
@@ -297,7 +297,7 @@ class ComparatorNetwork:
         comps = [c.dual(self._n_lines) for c in self._comparators]
         return ComparatorNetwork(self._n_lines, comps)
 
-    def reversed_order(self) -> "ComparatorNetwork":
+    def reversed_order(self) -> ComparatorNetwork:
         """Return the network with its comparator sequence reversed.
 
         Note that this is *not* an inverse: comparator networks are not
@@ -306,7 +306,7 @@ class ComparatorNetwork:
         """
         return ComparatorNetwork(self._n_lines, tuple(reversed(self._comparators)))
 
-    def relabelled(self, mapping: Callable[[int], int]) -> "ComparatorNetwork":
+    def relabelled(self, mapping: Callable[[int], int]) -> ComparatorNetwork:
         """Return a copy with lines relabelled through *mapping*.
 
         The mapping must be a bijection on ``0..n_lines-1``; comparators
@@ -319,7 +319,7 @@ class ComparatorNetwork:
     # ------------------------------------------------------------------
     # Derived structure
     # ------------------------------------------------------------------
-    def layers(self) -> List[List[Comparator]]:
+    def layers(self) -> list[list[Comparator]]:
         """Greedy decomposition into parallel layers (see :mod:`repro.core.layers`)."""
         from .layers import decompose_into_layers
 
@@ -341,7 +341,7 @@ class ComparatorNetwork:
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
-    def to_pairs(self) -> List[Tuple[int, int]]:
+    def to_pairs(self) -> list[tuple[int, int]]:
         """Return the comparators as a list of ``(low, high)`` pairs.
 
         Raises ``ValueError`` if the network contains reversed comparators
@@ -360,7 +360,7 @@ class ComparatorNetwork:
         return network_to_dict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ComparatorNetwork":
+    def from_dict(cls, data: dict) -> ComparatorNetwork:
         from .serialization import network_from_dict
 
         return network_from_dict(data)
@@ -372,7 +372,7 @@ class ComparatorNetwork:
         return network_to_knuth(self)
 
     @classmethod
-    def from_knuth(cls, n_lines: int, text: str) -> "ComparatorNetwork":
+    def from_knuth(cls, n_lines: int, text: str) -> ComparatorNetwork:
         from .serialization import network_from_knuth
 
         return network_from_knuth(n_lines, text)

@@ -10,7 +10,7 @@ reproducible.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -29,7 +29,7 @@ __all__ = [
 ]
 
 
-def as_rng(rng: Union[int, np.random.Generator, None]) -> np.random.Generator:
+def as_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
     """Coerce ``None`` / seed / generator into a :class:`numpy.random.Generator`."""
     if isinstance(rng, np.random.Generator):
         return rng
@@ -37,8 +37,8 @@ def as_rng(rng: Union[int, np.random.Generator, None]) -> np.random.Generator:
 
 
 def all_standard_comparators(
-    n_lines: int, *, max_span: Optional[int] = None
-) -> List[Comparator]:
+    n_lines: int, *, max_span: int | None = None
+) -> list[Comparator]:
     """Every standard comparator on *n_lines* lines, optionally span-limited.
 
     There are ``n*(n-1)/2`` of them without a span limit; with
@@ -54,7 +54,7 @@ def all_standard_comparators(
 
 
 def random_standard_comparator(
-    n_lines: int, rng: Union[int, np.random.Generator, None] = None
+    n_lines: int, rng: int | np.random.Generator | None = None
 ) -> Comparator:
     """A uniformly random standard comparator on *n_lines* lines."""
     if n_lines < 2:
@@ -67,9 +67,9 @@ def random_standard_comparator(
 def random_network(
     n_lines: int,
     size: int,
-    rng: Union[int, np.random.Generator, None] = None,
+    rng: int | np.random.Generator | None = None,
     *,
-    max_span: Optional[int] = None,
+    max_span: int | None = None,
 ) -> ComparatorNetwork:
     """A random standard network with exactly *size* comparators.
 
@@ -92,10 +92,10 @@ def random_networks(
     n_lines: int,
     size: int,
     count: int,
-    rng: Union[int, np.random.Generator, None] = None,
+    rng: int | np.random.Generator | None = None,
     *,
-    max_span: Optional[int] = None,
-) -> List[ComparatorNetwork]:
+    max_span: int | None = None,
+) -> list[ComparatorNetwork]:
     """A list of *count* independent random networks (shared generator)."""
     gen = as_rng(rng)
     return [
@@ -107,7 +107,7 @@ def random_height_limited_network(
     n_lines: int,
     size: int,
     height: int,
-    rng: Union[int, np.random.Generator, None] = None,
+    rng: int | np.random.Generator | None = None,
 ) -> ComparatorNetwork:
     """A random network whose comparators all have span at most *height*.
 
@@ -121,7 +121,7 @@ def random_height_limited_network(
 
 def random_sorter_mutation(
     sorter: ComparatorNetwork,
-    rng: Union[int, np.random.Generator, None] = None,
+    rng: int | np.random.Generator | None = None,
     *,
     num_mutations: int = 1,
     operations: Sequence[str] = ("delete", "reverse", "rewire"),
@@ -172,7 +172,7 @@ def random_sorter_mutation(
 def iter_random_words(
     n_lines: int,
     count: int,
-    rng: Union[int, np.random.Generator, None] = None,
+    rng: int | np.random.Generator | None = None,
 ) -> Iterable[tuple]:
     """Yield *count* uniformly random binary words of length *n_lines*."""
     gen = as_rng(rng)

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Union
 
 from ..exceptions import SerializationError
 from .comparator import Comparator
@@ -118,7 +117,7 @@ def network_from_dict(data: dict) -> ComparatorNetwork:
     return ComparatorNetwork(n_lines, comparators)
 
 
-def network_to_json(network: ComparatorNetwork, *, indent: Union[int, None] = None) -> str:
+def network_to_json(network: ComparatorNetwork, *, indent: int | None = None) -> str:
     """Serialise *network* to a JSON string."""
     return json.dumps(network_to_dict(network), indent=indent, sort_keys=True)
 

@@ -14,8 +14,6 @@ for the moderate ``n`` used throughout the experiments (``n <= ~16``).
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
 import numpy as np
 
 from .evaluation import all_binary_words_array, apply_network_to_batch
@@ -47,7 +45,7 @@ def networks_equivalent(a: ComparatorNetwork, b: ComparatorNetwork) -> bool:
     )
 
 
-def active_comparator_counts(network: ComparatorNetwork) -> List[int]:
+def active_comparator_counts(network: ComparatorNetwork) -> list[int]:
     """For each comparator, on how many binary inputs does it actually swap?
 
     A comparator "swaps" on an input when the value pair it sees at its stage
@@ -56,7 +54,7 @@ def active_comparator_counts(network: ComparatorNetwork) -> List[int]:
     """
     inputs = all_binary_words_array(network.n_lines)
     state = np.array(inputs, copy=True)
-    counts: List[int] = []
+    counts: list[int] = []
     for comp in network.comparators:
         a = state[:, comp.low]
         b = state[:, comp.high]
@@ -85,7 +83,7 @@ def comparator_is_redundant(network: ComparatorNetwork, index: int) -> bool:
     return networks_equivalent(network, network.without_comparator(index))
 
 
-def redundant_comparator_indices(network: ComparatorNetwork) -> List[int]:
+def redundant_comparator_indices(network: ComparatorNetwork) -> list[int]:
     """Indices of comparators whose individual removal changes nothing."""
     return [
         index
@@ -96,7 +94,7 @@ def redundant_comparator_indices(network: ComparatorNetwork) -> List[int]:
 
 def remove_redundant_comparators(
     network: ComparatorNetwork,
-) -> Tuple[ComparatorNetwork, int]:
+) -> tuple[ComparatorNetwork, int]:
     """Greedily delete redundant comparators until none remain.
 
     Returns ``(simplified_network, removed_count)``.  The result is

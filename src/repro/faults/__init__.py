@@ -5,14 +5,20 @@ provides the machinery to run that experiment end to end — inject single
 faults into a sorting network, simulate the faulty devices on candidate test
 vectors and measure how well the paper's minimum test sets expose defects
 compared with random vectors (experiment E11).
+
+The bit-packed simulator streams the vector axis (including the exhaustive
+cube as a lazy :class:`CubeVectors` test set), applies dominated-state
+pruning (:class:`SimulationStats` reports the skipped work) and shards
+across processes via :class:`repro.parallel.ExecutionConfig`; see
+``docs/ARCHITECTURE.md`` for the execution-model deep-dive.
 """
 
-from .models import (
-    Fault,
-    LineStuckFault,
-    ReversedComparatorFault,
-    StuckPassFault,
-    StuckSwapFault,
+from .coverage import (
+    CoverageReport,
+    compare_test_sets,
+    coverage_report,
+    fault_coverage,
+    greedy_test_selection,
 )
 from .injection import (
     FAULT_KINDS,
@@ -20,19 +26,22 @@ from .injection import (
     equivalent_fault_classes,
     faulty_networks,
 )
+from .models import (
+    Fault,
+    LineStuckFault,
+    ReversedComparatorFault,
+    StuckPassFault,
+    StuckSwapFault,
+)
 from .simulation import (
     DETECTION_CRITERIA,
     SIMULATION_ENGINES,
+    CubeVectors,
+    SimulationStats,
     detected_faults,
+    fault_detection_any,
     fault_detection_matrix,
     undetected_faults,
-)
-from .coverage import (
-    CoverageReport,
-    compare_test_sets,
-    coverage_report,
-    fault_coverage,
-    greedy_test_selection,
 )
 
 __all__ = [
@@ -47,7 +56,10 @@ __all__ = [
     "faulty_networks",
     "DETECTION_CRITERIA",
     "SIMULATION_ENGINES",
+    "CubeVectors",
+    "SimulationStats",
     "detected_faults",
+    "fault_detection_any",
     "fault_detection_matrix",
     "undetected_faults",
     "CoverageReport",

@@ -1,6 +1,6 @@
 """Fault-coverage metrics and test-vector selection (ATPG-style).
 
-Built on the detection matrix of :mod:`repro.faults.simulation`:
+Built on the detection machinery of :mod:`repro.faults.simulation`:
 
 * :func:`fault_coverage` — fraction of faults detected by a vector set;
 * :func:`coverage_report` — per-fault-kind breakdown used by experiment E11;
@@ -9,12 +9,19 @@ Built on the detection matrix of :mod:`repro.faults.simulation`:
 * :func:`compare_test_sets` — side-by-side coverage of several candidate
   test sets (e.g. the paper's minimum sorting test set vs. random vectors of
   the same size), which is the core of the VLSI-motivation experiment.
+
+The coverage helpers reduce the vector axis on the fly
+(:func:`repro.faults.simulation.fault_detection_any`), so the exhaustive
+cube (:class:`repro.faults.simulation.CubeVectors`) can be used as a test
+set in constant memory; only :func:`greedy_test_selection` needs the full
+per-vector matrix.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,7 +29,15 @@ from .._typing import WordLike
 from ..core.network import ComparatorNetwork
 from ..exceptions import FaultModelError
 from .models import Fault
-from .simulation import fault_detection_matrix
+from .simulation import (
+    CubeVectors,
+    SimulationStats,
+    fault_detection_any,
+    fault_detection_matrix,
+)
+
+if TYPE_CHECKING:
+    from ..parallel.config import ExecutionConfig
 
 __all__ = [
     "fault_coverage",
@@ -39,66 +54,103 @@ class CoverageReport:
 
     Attributes
     ----------
-    total_faults:
+    total_faults : int
         Number of faults simulated.
-    detected_faults:
+    detected_faults : int
         Number detected by at least one vector.
-    coverage:
+    coverage : float
         ``detected_faults / total_faults`` (1.0 when there are no faults).
-    by_kind:
+    by_kind : mapping of str to (int, int)
         Mapping from fault class name to ``(detected, total)`` pairs.
-    vectors_used:
+    vectors_used : int
         Number of test vectors applied.
     """
 
     total_faults: int
     detected_faults: int
     coverage: float
-    by_kind: Mapping[str, Tuple[int, int]]
+    by_kind: Mapping[str, tuple[int, int]]
     vectors_used: int
+
+
+def _num_vectors(test_vectors: Sequence[WordLike] | CubeVectors) -> int:
+    """Vector count without materialising lazy sources."""
+    if isinstance(test_vectors, (CubeVectors, np.ndarray)):
+        return len(test_vectors)
+    return len(list(test_vectors))
 
 
 def fault_coverage(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
-    test_vectors: Sequence[WordLike],
+    test_vectors: Sequence[WordLike] | CubeVectors,
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
-    config=None,
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+    stats: SimulationStats | None = None,
 ) -> float:
-    """Fraction of *faults* detected by *test_vectors* (1.0 for an empty fault list)."""
+    """Fraction of *faults* detected by *test_vectors*.
+
+    Parameters
+    ----------
+    network : ComparatorNetwork
+        The fault-free reference device.
+    faults : sequence of Fault
+        The fault universe (1.0 is returned when it is empty).
+    test_vectors : sequence of words, 2-D array, or CubeVectors
+        Vectors to apply; :class:`~repro.faults.simulation.CubeVectors`
+        streams the exhaustive cube in constant memory.
+    criterion, engine, config, prune, stats :
+        Forwarded to :func:`repro.faults.simulation.fault_detection_any`.
+
+    Returns
+    -------
+    float
+        Detected fraction in ``[0, 1]``.
+    """
     if not faults:
         return 1.0
-    matrix = fault_detection_matrix(
+    detected = fault_detection_any(
         network, faults, test_vectors, criterion=criterion, engine=engine,
-        config=config,
+        config=config, prune=prune, stats=stats,
     )
-    return float(np.mean(np.any(matrix, axis=1)))
+    return float(np.mean(detected))
 
 
 def coverage_report(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
-    test_vectors: Sequence[WordLike],
+    test_vectors: Sequence[WordLike] | CubeVectors,
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
-    config=None,
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+    stats: SimulationStats | None = None,
 ) -> CoverageReport:
     """Full coverage report with a per-fault-kind breakdown.
 
-    ``engine`` selects the fault-simulation engine (see
-    :data:`repro.faults.simulation.SIMULATION_ENGINES`); *config* (an
-    :class:`repro.parallel.ExecutionConfig`) shards the fault axis across
-    worker processes.
+    Parameters are those of :func:`fault_coverage`; the per-vector matrix
+    is never materialised, so exhaustive
+    (:class:`~repro.faults.simulation.CubeVectors`) test sets run in
+    constant memory.
+
+    Returns
+    -------
+    CoverageReport
+        Totals, coverage fraction and the per-fault-kind breakdown.
     """
-    matrix = fault_detection_matrix(
-        network, faults, test_vectors, criterion=criterion, engine=engine,
-        config=config,
+    detected = (
+        fault_detection_any(
+            network, faults, test_vectors, criterion=criterion, engine=engine,
+            config=config, prune=prune, stats=stats,
+        )
+        if faults
+        else np.zeros(0, dtype=bool)
     )
-    detected = np.any(matrix, axis=1) if matrix.size else np.zeros(len(faults), bool)
-    by_kind: Dict[str, Tuple[int, int]] = {}
+    by_kind: dict[str, tuple[int, int]] = {}
     for fault, hit in zip(faults, detected):
         kind = type(fault).__name__
         found, total = by_kind.get(kind, (0, 0))
@@ -110,7 +162,7 @@ def coverage_report(
         detected_faults=detected_count,
         coverage=(detected_count / total_faults) if total_faults else 1.0,
         by_kind=by_kind,
-        vectors_used=len(list(test_vectors)),
+        vectors_used=_num_vectors(test_vectors),
     )
 
 
@@ -121,15 +173,22 @@ def greedy_test_selection(
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
-    config=None,
+    config: ExecutionConfig | None = None,
     target_coverage: float = 1.0,
-) -> List[Tuple[int, ...]]:
+) -> list[tuple[int, ...]]:
     """Greedy selection of vectors until *target_coverage* of detectable faults.
 
     Coverage is measured relative to the faults detectable by the *full*
     candidate set (undetectable faults cannot be covered by any selection and
     are excluded from the target), so ``target_coverage=1.0`` always
-    terminates.
+    terminates.  This is the one coverage helper that materialises the full
+    detection matrix (set cover needs the per-vector columns), so cube-scale
+    candidate sets are out of scope — pass an explicit candidate list.
+
+    Returns
+    -------
+    list of tuple of int
+        The selected vectors, in greedy order.
     """
     if not 0.0 < target_coverage <= 1.0:
         raise FaultModelError(
@@ -142,7 +201,7 @@ def greedy_test_selection(
     )
     detectable = np.any(matrix, axis=1)
     needed = int(np.ceil(target_coverage * int(np.sum(detectable))))
-    selected: List[int] = []
+    selected: list[int] = []
     covered = np.zeros(len(faults), dtype=bool)
     while int(np.sum(covered & detectable)) < needed:
         gains = np.sum(matrix[:, :] & ~covered[:, None], axis=0)
@@ -159,17 +218,24 @@ def greedy_test_selection(
 def compare_test_sets(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
-    test_sets: Mapping[str, Sequence[WordLike]],
+    test_sets: Mapping[str, Sequence[WordLike] | CubeVectors],
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
-    config=None,
-) -> Dict[str, CoverageReport]:
-    """Coverage of several named test sets against the same fault universe."""
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+) -> dict[str, CoverageReport]:
+    """Coverage of several named test sets against the same fault universe.
+
+    Returns
+    -------
+    dict of str to CoverageReport
+        One report per entry of *test_sets*, in input order.
+    """
     return {
         name: coverage_report(
             network, faults, vectors, criterion=criterion, engine=engine,
-            config=config,
+            config=config, prune=prune,
         )
         for name, vectors in test_sets.items()
     }

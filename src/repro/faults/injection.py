@@ -9,7 +9,7 @@ plus the line stuck-at faults at the network boundary.  The companion
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 from ..core.network import ComparatorNetwork
 from ..exceptions import FaultModelError
@@ -36,7 +36,7 @@ def enumerate_single_faults(
     *,
     kinds: Sequence[str] = FAULT_KINDS,
     line_stuck_at_input_only: bool = True,
-) -> List[Fault]:
+) -> list[Fault]:
     """All single faults of *network* for the requested fault kinds.
 
     Parameters
@@ -56,7 +56,7 @@ def enumerate_single_faults(
         raise FaultModelError(
             f"unknown fault kinds {sorted(unknown)!r}; known kinds are {FAULT_KINDS}"
         )
-    faults: List[Fault] = []
+    faults: list[Fault] = []
     if "stuck-pass" in kinds:
         faults.extend(StuckPassFault(i) for i in range(network.size))
     if "stuck-swap" in kinds:
@@ -74,15 +74,28 @@ def enumerate_single_faults(
 
 def faulty_networks(
     network: ComparatorNetwork, faults: Iterable[Fault]
-) -> Iterator[Tuple[Fault, ComparatorNetwork]]:
-    """Yield ``(fault, faulty_network)`` pairs for the given faults."""
+) -> Iterator[tuple[Fault, ComparatorNetwork]]:
+    """Materialise the faulty device of each fault.
+
+    Parameters
+    ----------
+    network : ComparatorNetwork
+        The fault-free reference.
+    faults : iterable of Fault
+        Faults to apply, e.g. from :func:`enumerate_single_faults`.
+
+    Yields
+    ------
+    tuple of (Fault, ComparatorNetwork)
+        Each fault paired with ``fault.apply_to(network)``.
+    """
     for fault in faults:
         yield fault, fault.apply_to(network)
 
 
 def equivalent_fault_classes(
     network: ComparatorNetwork, faults: Sequence[Fault]
-) -> List[List[Fault]]:
+) -> list[list[Fault]]:
     """Group faults whose faulty networks behave identically on all 0/1 inputs.
 
     Two faults are *equivalent* when no test vector can distinguish them —

@@ -31,6 +31,7 @@ faulty semantics; the test suite cross-checks all three against the scalar
 from __future__ import annotations
 
 from dataclasses import dataclass
+
 import numpy as np
 
 from ..core.network import ComparatorNetwork

@@ -36,25 +36,51 @@ against each other by the test suite):
     instead of ``O(size**2)`` full passes, on top of the ~64× density win —
     in practice two orders of magnitude faster than the vectorised loop.
 
+Dominated-state pruning (``prune=True``, the default for the bit-packed
+engine) cuts the ``O(size**2 / 2)`` suffix work further: after every suffix
+stage the faulty planes are compared against the fault-free planes that
+:class:`PrefixStates` already holds, per line.  Lines whose planes agree
+with the fault-free run are *clean* and comparators whose inputs are all
+clean are skipped outright (their outputs are fault-free by determinism);
+a fault whose state has fully converged stops re-evaluating altogether and
+inherits the fault-free detection row.  The skipped work is reported
+through :class:`SimulationStats` and the result is bit-identical to the
+unpruned path by construction (see ``tests/test_fault_streaming.py``).
+
+The vector axis streams exactly like exhaustive verification does: pass a
+:class:`CubeVectors` marker (the full ``2**n`` cube, never materialised) or
+any explicit batch together with a streaming
+:class:`~repro.parallel.config.ExecutionConfig` and the packed chunks are
+(re)generated per block range via
+:func:`repro.core.bitpacked.packed_cube_range` — constant memory at any
+``n``, and a 2-D (faults × vector-chunks) work grid across processes when
+``max_workers > 1``.
+
 The main entry point :func:`fault_detection_matrix` returns a boolean matrix
-``(num_faults, num_vectors)``, from which coverage metrics and test-selection
-problems (in :mod:`repro.faults.coverage`) are derived.
+``(num_faults, num_vectors)``; :func:`fault_detection_any` reduces the
+vector axis on the fly (the constant-memory form used by the coverage
+helpers in :mod:`repro.faults.coverage`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .._typing import WordLike
 from ..core.bitpacked import (
+    BLOCK_BITS,
     PackedBatch,
     apply_comparators_packed,
     apply_network_packed,
     pack_words,
+    packed_cube_range,
     packed_equal,
     packed_is_sorted,
+    packed_unsorted_blocks,
 )
 from ..core.evaluation import (
     apply_network_to_batch,
@@ -75,42 +101,192 @@ from .models import (
     _check_index,
 )
 
+if TYPE_CHECKING:
+    from ..parallel.config import ExecutionConfig
+
 __all__ = [
     "DETECTION_CRITERIA",
     "SIMULATION_ENGINES",
+    "CubeVectors",
+    "SimulationStats",
     "fault_detection_matrix",
+    "fault_detection_any",
     "detected_faults",
     "undetected_faults",
 ]
 
+#: Detection criteria accepted by :func:`fault_detection_matrix`.
 DETECTION_CRITERIA = ("specification", "reference")
 
 #: Engine choices accepted by :func:`fault_detection_matrix`.
 SIMULATION_ENGINES = ("scalar", "vectorized", "bitpacked")
 
 
+@dataclass(frozen=True)
+class CubeVectors:
+    """The exhaustive 0/1 test set ``{0,1}**n`` as a *lazy* vector source.
+
+    Passing an instance as the ``test_vectors`` argument of
+    :func:`fault_detection_matrix`, :func:`fault_detection_any` or the
+    coverage helpers makes the bit-packed engine (re)generate the cube
+    chunk by chunk in packed form (:func:`repro.core.bitpacked.packed_cube_range`)
+    instead of materialising the ``(2**n, n)`` vector array — the fault
+    simulation analogue of streamed exhaustive verification.  Word ``r`` is
+    the binary expansion of rank ``r``, most significant bit on line 0, so
+    results are column-for-column identical to passing
+    ``all_binary_words_array(n)`` explicitly.
+
+    Parameters
+    ----------
+    n : int
+        Number of network lines; the source stands for all ``2**n`` words.
+
+    Examples
+    --------
+    >>> from repro.faults import CubeVectors
+    >>> len(CubeVectors(4))
+    16
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise FaultModelError(f"CubeVectors needs n >= 0, got {self.n}")
+
+    def __len__(self) -> int:
+        """Number of vectors in the cube (``2**n``)."""
+        return 1 << self.n
+
+
+@dataclass
+class SimulationStats:
+    """Work counters reported by the pruned bit-packed fault simulator.
+
+    One *stage-block* is a single comparator evaluated on one uint64 block
+    (64 packed words) — the unit of work of the bit-packed engine.  Pass an
+    instance through the ``stats=`` keyword of
+    :func:`fault_detection_matrix` (or the coverage helpers) and the
+    counters accumulate across chunks, faults and worker processes.
+
+    Attributes
+    ----------
+    faults : int
+        Number of faults simulated by the pruned engine.
+    converged_faults : int
+        Faults whose suffix state converged to the fault-free state (they
+        inherit the fault-free detection row without finishing the suffix).
+    dropped_faults : int
+        Fault × chunk simulations skipped entirely by fault dropping: in
+        the streamed any-reduction a fault already detected by an earlier
+        vector chunk cannot change the verdict, so later chunks skip it.
+    evaluated_stage_blocks : int
+        Comparator-block operations actually performed.
+    pruned_stage_blocks : int
+        Comparator-block operations skipped by dominated-state pruning
+        (clean-input comparators plus the tail after full convergence).
+
+    Examples
+    --------
+    >>> from repro.faults import SimulationStats
+    >>> stats = SimulationStats()
+    >>> stats.prune_ratio
+    0.0
+    """
+
+    faults: int = 0
+    converged_faults: int = 0
+    dropped_faults: int = 0
+    evaluated_stage_blocks: int = 0
+    pruned_stage_blocks: int = 0
+
+    @property
+    def total_stage_blocks(self) -> int:
+        """Stage-blocks the unpruned engine would have evaluated."""
+        return self.evaluated_stage_blocks + self.pruned_stage_blocks
+
+    @property
+    def prune_ratio(self) -> float:
+        """Fraction of suffix stage-blocks skipped (0.0 when idle).
+
+        Counts dominated-state pruning only; fault dropping is reported
+        separately through :attr:`dropped_faults`.
+        """
+        total = self.total_stage_blocks
+        return (self.pruned_stage_blocks / total) if total else 0.0
+
+    def counts(self) -> tuple[int, int, int, int, int]:
+        """The raw counters as a picklable tuple (worker → parent)."""
+        return (
+            self.faults,
+            self.converged_faults,
+            self.dropped_faults,
+            self.evaluated_stage_blocks,
+            self.pruned_stage_blocks,
+        )
+
+    def merge_counts(self, counts: Sequence[int]) -> None:
+        """Accumulate a :meth:`counts` tuple from another instance."""
+        self.faults += counts[0]
+        self.converged_faults += counts[1]
+        self.dropped_faults += counts[2]
+        self.evaluated_stage_blocks += counts[3]
+        self.pruned_stage_blocks += counts[4]
+
+
 def fault_detection_matrix(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
-    test_vectors: Sequence[WordLike],
+    test_vectors: Sequence[WordLike] | CubeVectors,
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
-    config=None,
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+    stats: SimulationStats | None = None,
 ) -> np.ndarray:
     """Boolean matrix ``D[f, t]``: does test vector ``t`` detect fault ``f``?
 
     Rows follow the order of *faults*, columns the order of *test_vectors*.
-    The ``engine`` keyword selects the simulation strategy (see the module
-    docstring); all engines produce identical matrices on 0/1 vectors.
+    All engines and all execution configurations produce bit-identical
+    matrices on 0/1 vectors.
 
-    *config* (an :class:`repro.parallel.ExecutionConfig`) shards the fault
-    axis across a process pool when ``max_workers > 1``: faults are
-    embarrassingly parallel once the fault-free prefix states are computed,
-    so the bit-packed engine computes them once in the parent, publishes
-    them through shared memory, and each worker fills its own row slice of
-    the (shared) detection matrix.  The result is bit-identical to the
-    single-process path for every engine.
+    Parameters
+    ----------
+    network : ComparatorNetwork
+        The fault-free reference device.
+    faults : sequence of Fault
+        Faults to simulate, one matrix row each.
+    test_vectors : sequence of words, 2-D integer array, or CubeVectors
+        The vectors to apply, one matrix column each.  A 2-D array is used
+        as-is (zero-copy fast path); a :class:`CubeVectors` marker streams
+        the exhaustive cube in packed block ranges without materialising it
+        (bit-packed engine; other engines expand the cube first).
+    criterion : {"specification", "reference"}, optional
+        Detection criterion (module docstring).
+    engine : {"vectorized", "scalar", "bitpacked"}, optional
+        Simulation engine (module docstring).
+    config : ExecutionConfig, optional
+        Execution configuration.  ``max_workers > 1`` shards the work across
+        a process pool: the fault axis alone when the vector batch fits one
+        chunk (fault-free prefix states computed once, published through
+        shared memory), or a 2-D (faults × vector-chunks) grid when the
+        vector axis streams — each worker then regenerates its own packed
+        chunk and fills disjoint slices of the shared matrix.  An explicit
+        ``chunk_size`` bounds the packed working set per process.
+    prune : bool, optional
+        Enable dominated-state pruning in the bit-packed engine (default).
+        ``False`` forces the full suffix re-evaluation; the matrix is
+        identical either way.
+    stats : SimulationStats, optional
+        Accumulates pruning counters across chunks and workers.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of shape ``(len(faults), num_vectors)``.  For
+        cube-scale vector counts prefer :func:`fault_detection_any`, which
+        never materialises the matrix.
     """
     if criterion not in DETECTION_CRITERIA:
         raise FaultModelError(
@@ -118,20 +294,80 @@ def fault_detection_matrix(
             f"choose one of {DETECTION_CRITERIA}"
         )
     check_engine(engine)
-    if isinstance(test_vectors, np.ndarray):
-        # Fast path for exhaustive-scale vector batches: a 2-D integer
-        # array is used as-is, skipping the per-element normalisation loop
-        # (which would dominate the packed engines' wall-clock).
-        if test_vectors.ndim != 2:
-            raise FaultModelError(
-                "test-vector arrays must be 2-D (num_vectors, n_lines), "
-                f"got shape {test_vectors.shape}"
-            )
-        vectors = test_vectors
-    else:
-        vectors = [tuple(int(v) for v in w) for w in test_vectors]
-    if len(vectors) == 0:
-        return np.zeros((len(faults), 0), dtype=bool)
+    return _detection_run(
+        network,
+        faults,
+        test_vectors,
+        criterion=criterion,
+        engine=engine,
+        config=config,
+        prune=prune,
+        stats=stats,
+        reduce="matrix",
+    )
+
+
+def fault_detection_any(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    test_vectors: Sequence[WordLike] | CubeVectors,
+    *,
+    criterion: str = "specification",
+    engine: str = "vectorized",
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+    stats: SimulationStats | None = None,
+) -> np.ndarray:
+    """Per-fault detection verdicts: is fault ``f`` detected by *any* vector?
+
+    Exactly ``fault_detection_matrix(...).any(axis=1)``, but the reduction
+    happens chunk by chunk, so exhaustive (:class:`CubeVectors`) and other
+    streamed runs never materialise the ``(num_faults, num_vectors)``
+    matrix — this is what keeps cube-scale coverage reports in constant
+    memory.  Parameters are those of :func:`fault_detection_matrix`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean vector of length ``len(faults)``.
+    """
+    if criterion not in DETECTION_CRITERIA:
+        raise FaultModelError(
+            f"unknown detection criterion {criterion!r}; "
+            f"choose one of {DETECTION_CRITERIA}"
+        )
+    check_engine(engine)
+    return _detection_run(
+        network,
+        faults,
+        test_vectors,
+        criterion=criterion,
+        engine=engine,
+        config=config,
+        prune=prune,
+        stats=stats,
+        reduce="any",
+    )
+
+
+def _detection_run(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    test_vectors: Sequence[WordLike] | CubeVectors,
+    *,
+    criterion: str,
+    engine: str,
+    config: ExecutionConfig | None,
+    prune: bool,
+    stats: SimulationStats | None,
+    reduce: str,
+) -> np.ndarray:
+    """Shared dispatcher behind the two public entry points."""
+    vectors = _normalise_vectors(network, test_vectors, engine)
+    num_vectors = len(vectors)
+    if num_vectors == 0:
+        shape = (len(faults), 0) if reduce == "matrix" else (len(faults),)
+        return np.zeros(shape, dtype=bool)
     if config is not None and config.parallel and len(faults) > 1:
         from ..parallel.fault_shard import sharded_fault_detection_matrix
 
@@ -142,12 +378,66 @@ def fault_detection_matrix(
             criterion=criterion,
             engine=engine,
             config=config,
-        )  # vectors already normalised (list of tuples or 2-D array)
+            prune=prune,
+            stats=stats,
+            reduce=reduce,
+        )
+    if engine == "bitpacked" and (
+        reduce == "any"
+        or isinstance(vectors, CubeVectors)
+        or (config is not None and config.streaming)
+    ):
+        return _streamed_bitpacked_detection(
+            network,
+            faults,
+            vectors,
+            criterion,
+            config,
+            prune=prune,
+            stats=stats,
+            reduce=reduce,
+        )
     if engine == "scalar":
-        return _scalar_detection_matrix(network, faults, vectors, criterion)
-    if engine == "bitpacked":
-        return _bitpacked_detection_matrix(network, faults, vectors, criterion)
-    return _vectorized_detection_matrix(network, faults, vectors, criterion)
+        matrix = _scalar_detection_matrix(network, faults, vectors, criterion)
+    elif engine == "bitpacked":
+        matrix = _bitpacked_detection_matrix(
+            network, faults, vectors, criterion, prune=prune, stats=stats
+        )
+    else:
+        matrix = _vectorized_detection_matrix(network, faults, vectors, criterion)
+    return matrix if reduce == "matrix" else matrix.any(axis=1)
+
+
+def _normalise_vectors(
+    network: ComparatorNetwork,
+    test_vectors: Sequence[WordLike] | CubeVectors,
+    engine: str,
+):
+    """Normalise the vector source: cube marker, 2-D array, or tuple list."""
+    if isinstance(test_vectors, CubeVectors):
+        if test_vectors.n != network.n_lines:
+            raise FaultModelError(
+                f"CubeVectors(n={test_vectors.n}) does not match a network "
+                f"with {network.n_lines} lines"
+            )
+        if engine == "bitpacked":
+            return test_vectors
+        # The other engines cannot consume packed block ranges; expand the
+        # cube (small n only — the bit-packed engine is the scalable path).
+        from ..core.evaluation import all_binary_words_array
+
+        return all_binary_words_array(test_vectors.n)
+    if isinstance(test_vectors, np.ndarray):
+        # Fast path for exhaustive-scale vector batches: a 2-D integer
+        # array is used as-is, skipping the per-element normalisation loop
+        # (which would dominate the packed engines' wall-clock).
+        if test_vectors.ndim != 2:
+            raise FaultModelError(
+                "test-vector arrays must be 2-D (num_vectors, n_lines), "
+                f"got shape {test_vectors.shape}"
+            )
+        return test_vectors
+    return [tuple(int(v) for v in w) for w in test_vectors]
 
 
 def _vectorized_detection_matrix(
@@ -227,10 +517,23 @@ class PrefixStates:
     of full per-stage snapshots.  :meth:`state_after` reconstructs the full
     planes after any prefix by pulling, for each line, the delta of the
     last comparator that wrote it (same bytes copied as a full-snapshot
-    read).  Recorded once and shared by every fault, so each fault only
-    re-evaluates its suffix instead of the whole network; the sharded
-    executor publishes ``input_planes`` and ``deltas`` through shared
-    memory and workers rebuild the (tiny) last-writer table locally.
+    read); :meth:`line_value` serves a single line, which is what the
+    dominated-state pruner uses to lazily refresh clean lines.  Recorded
+    once and shared by every fault, so each fault only re-evaluates its
+    suffix instead of the whole network; the sharded executor publishes
+    ``input_planes`` and ``deltas`` through shared memory and workers
+    rebuild the (tiny) last-writer table locally.
+
+    Parameters
+    ----------
+    network : ComparatorNetwork
+        The fault-free device the deltas were recorded from.
+    input_planes : numpy.ndarray
+        Packed input planes of shape ``(n_lines, n_blocks)``.
+    deltas : numpy.ndarray
+        Per-comparator output planes of shape ``(size, 2, n_blocks)``.
+    num_words : int
+        Number of valid packed words.
     """
 
     def __init__(
@@ -261,15 +564,46 @@ class PrefixStates:
             writer_pos[index + 1, comp.high] = 1
         self._last_writer = last_writer
         self._writer_pos = writer_pos
+        self._writer_lists: tuple[list[list[int]], list[list[int]]] | None = None
+
+    def writer_tables(self) -> tuple[list[list[int]], list[list[int]]]:
+        """The last-writer tables as plain nested lists (cached).
+
+        The dominated-state pruner indexes these per comparator in its hot
+        loop; Python list indexing is an order of magnitude cheaper than
+        numpy scalar indexing at that call rate.
+        """
+        if self._writer_lists is None:
+            self._writer_lists = (
+                self._last_writer.tolist(),
+                self._writer_pos.tolist(),
+            )
+        return self._writer_lists
 
     @classmethod
     def build(
         cls,
         network: ComparatorNetwork,
         packed_input: PackedBatch,
-        deltas_out: Optional[np.ndarray] = None,
-    ) -> "PrefixStates":
-        """Record the deltas (optionally into a shared-memory array)."""
+        deltas_out: np.ndarray | None = None,
+    ) -> PrefixStates:
+        """Record the deltas (optionally into a shared-memory array).
+
+        Parameters
+        ----------
+        network : ComparatorNetwork
+            The fault-free device to record.
+        packed_input : PackedBatch
+            The packed test-vector chunk.
+        deltas_out : numpy.ndarray, optional
+            Pre-allocated ``(size, 2, n_blocks)`` destination (the sharded
+            executor passes a shared-memory array here).
+
+        Returns
+        -------
+        PrefixStates
+            The recorded prefix states.
+        """
         size = network.size
         n_blocks = packed_input.n_blocks
         deltas = (
@@ -284,17 +618,22 @@ class PrefixStates:
             deltas[index, 1] = running[comp.high]
         return cls(network, packed_input.planes, deltas, packed_input.num_words)
 
+    def line_value(self, stage: int, line: int) -> np.ndarray:
+        """The fault-free plane of *line* after the first *stage* comparators.
+
+        Returns a read-only view (the input plane or the delta of the last
+        comparator writing the line) — callers must copy before mutating.
+        """
+        index = int(self._last_writer[stage, line])
+        if index < 0:
+            return self.input_planes[line]
+        return self.deltas[index, int(self._writer_pos[stage, line])]
+
     def state_after(self, stage: int) -> PackedBatch:
         """A fresh copy of the packed planes after the first *stage* comparators."""
         planes = np.empty_like(self.input_planes)
-        last_writer = self._last_writer[stage]
-        writer_pos = self._writer_pos[stage]
         for line in range(self.network.n_lines):
-            index = int(last_writer[line])
-            if index < 0:
-                planes[line] = self.input_planes[line]
-            else:
-                planes[line] = self.deltas[index, int(writer_pos[line])]
+            planes[line] = self.line_value(stage, line)
         return PackedBatch(planes, self.num_words)
 
     def reference(self) -> PackedBatch:
@@ -336,22 +675,417 @@ def _fault_state(
     return state
 
 
+# ----------------------------------------------------------------------
+# Dominated-state pruning
+# ----------------------------------------------------------------------
+def _pruned_fault_errors(
+    network: ComparatorNetwork,
+    fault: Fault,
+    prefix: PrefixStates,
+    stats: SimulationStats,
+) -> dict[int, np.ndarray] | PackedBatch | None:
+    """Suffix re-evaluation with dominated-state pruning (difference form).
+
+    Instead of re-running the faulty suffix on full value planes, only the
+    *error planes* ``err[line] = faulty_plane XOR fault_free_plane`` of the
+    currently-diverged (*dirty*) lines are propagated.  Comparators whose
+    inputs are all clean are skipped outright (their outputs are the
+    fault-free outputs by determinism); a comparator with one dirty input
+    needs just two bitwise operations, because for a standard comparator
+    with clean line ``b``::
+
+        err_low  = err_in & ff_b          # error survives the AND where b = 1
+        err_high = err_in ^ err_low       # ... and the OR where b = 0
+
+    (swapped for a reversed comparator; the two-dirty-input case evaluates
+    the comparator on reconstructed values).  A line whose error plane
+    becomes all-zero is clean again — *dominated* by the fault-free state —
+    and a fault with no dirty lines left stops re-evaluating altogether.
+
+    Returns ``None`` when the state converged to the fault-free state, a
+    ``{line: error_plane}`` dict for the lines still diverged at the output,
+    or a full :class:`~repro.core.bitpacked.PackedBatch` for unknown fault
+    models (generic fallback).  Bit-identical to :func:`_fault_state` by
+    construction.
+    """
+    comparators = network.comparators
+    size = network.size
+    n = network.n_lines
+    deltas = prefix.deltas
+    input_planes = prefix.input_planes
+    n_blocks = input_planes.shape[1]
+    last_writer, writer_pos = prefix.writer_tables()
+    # A diverged plane almost always carries a set bit in the middle block,
+    # so probing one scalar first makes "still dirty?" checks cheap; the
+    # full reduction only runs when the probe is zero.
+    probe = n_blocks >> 1
+
+    def line_value(stage: int, line: int) -> np.ndarray:
+        index = last_writer[stage][line]
+        if index < 0:
+            return input_planes[line]
+        return deltas[index, writer_pos[stage][line]]
+
+    err: dict[int, np.ndarray] = {}
+    forced_line = -1
+    forced_plane: np.ndarray | None = None
+
+    if isinstance(
+        fault, (StuckPassFault, StuckSwapFault, ReversedComparatorFault)
+    ):
+        index = _checked_index(network, fault.index)
+        start = index + 1
+        comp = comparators[index]
+        a = line_value(index, comp.low)
+        b = line_value(index, comp.high)
+        evaluated = 0
+        if isinstance(fault, ReversedComparatorFault):
+            baseline = size - index
+            evaluated = 1
+            # Swapping min and max flips exactly the positions where the
+            # inputs differ — on both output lines.
+            e = a ^ b
+            if e[probe] or e.any():
+                err[comp.low] = e
+                err[comp.high] = e
+        else:
+            baseline = size - start
+            lo_src, hi_src = (
+                (a, b) if isinstance(fault, StuckPassFault) else (b, a)
+            )
+            e_lo = lo_src ^ deltas[index, 0]
+            e_hi = hi_src ^ deltas[index, 1]
+            if e_lo[probe] or e_lo.any():
+                err[comp.low] = e_lo
+            if e_hi[probe] or e_hi.any():
+                err[comp.high] = e_hi
+    elif isinstance(fault, LineStuckFault):
+        if fault.line < 0 or fault.line >= n:
+            raise FaultModelError(
+                f"line {fault.line} out of range for {n} lines"
+            )
+        if fault.stage < 0 or fault.stage > size:
+            raise FaultModelError(
+                f"stage {fault.stage} out of range for a network of size {size}"
+            )
+        forced_line = fault.line
+        forced_plane = (
+            prefix.pad_mask
+            if fault.value
+            else np.zeros(n_blocks, dtype=input_planes.dtype)
+        )
+        start = fault.stage
+        baseline = size - max(fault.stage - 1, 0)
+        evaluated = 0
+        e = forced_plane ^ line_value(start, forced_line)
+        if e[probe] or e.any():
+            err[forced_line] = e
+    else:
+        # Unknown fault model: no prefix-restart structure to exploit.
+        stats.evaluated_stage_blocks += size * n_blocks
+        stats.faults += 1
+        return _fault_state(network, fault, prefix)
+
+    stats.faults += 1
+    for i in range(start, size):
+        comp = comparators[i]
+        lo = comp.low
+        hi = comp.high
+        e_a = err.get(lo)
+        e_b = err.get(hi)
+        if e_a is None and e_b is None:
+            # Clean inputs: fault-free outputs by determinism.  Only a
+            # stuck line needs re-checking, because forcing re-applies
+            # after every stage that writes it.
+            if forced_line == lo or forced_line == hi:
+                assert forced_plane is not None
+                e = forced_plane ^ deltas[i, 0 if forced_line == lo else 1]
+                if e[probe] or e.any():
+                    err[forced_line] = e
+            continue
+        evaluated += 1
+        if e_b is None:
+            assert e_a is not None
+            e_and = e_a & line_value(i, hi)
+            e_or = e_a ^ e_and
+        elif e_a is None:
+            e_and = e_b & line_value(i, lo)
+            e_or = e_b ^ e_and
+        else:
+            v_a = line_value(i, lo) ^ e_a
+            v_b = line_value(i, hi) ^ e_b
+            if comp.reversed:
+                e_and = (v_a & v_b) ^ deltas[i, 1]
+                e_or = (v_a | v_b) ^ deltas[i, 0]
+            else:
+                e_and = (v_a & v_b) ^ deltas[i, 0]
+                e_or = (v_a | v_b) ^ deltas[i, 1]
+        e_lo, e_hi = (e_or, e_and) if comp.reversed else (e_and, e_or)
+        if e_lo[probe] or e_lo.any():
+            err[lo] = e_lo
+        else:
+            err.pop(lo, None)
+        if e_hi[probe] or e_hi.any():
+            err[hi] = e_hi
+        else:
+            err.pop(hi, None)
+        if forced_line == lo or forced_line == hi:
+            assert forced_plane is not None
+            e = forced_plane ^ deltas[i, 0 if forced_line == lo else 1]
+            if e[probe] or e.any():
+                err[forced_line] = e
+            else:
+                err.pop(forced_line, None)
+        if not err and forced_line < 0:
+            # Converged: the remaining suffix maps equal states to equal
+            # states, so the faulty output equals the fault-free output.
+            # (A stuck line cannot take this exit — forcing may re-diverge
+            # later — but the skip branch above keeps its tail cheap.)
+            break
+    stats.evaluated_stage_blocks += evaluated * n_blocks
+    stats.pruned_stage_blocks += (baseline - evaluated) * n_blocks
+    if not err:
+        stats.converged_faults += 1
+        return None
+    return err
+
+
+def _row_from_errors(
+    reference: PackedBatch,
+    err: dict[int, np.ndarray],
+    criterion: str,
+    pad_mask: np.ndarray,
+) -> np.ndarray:
+    """Detection row of a fault given its output error planes.
+
+    The faulty output is ``reference XOR err`` line by line, so the
+    ``"reference"`` criterion is just the OR of the error planes, and the
+    ``"specification"`` criterion fuses the XOR into the usual adjacent-pair
+    sortedness sweep — no full faulty state is ever materialised.
+    """
+    from ..core.bitpacked import unpack_bits
+
+    if criterion == "reference":
+        acc: np.ndarray | None = None
+        for e in err.values():
+            acc = e.copy() if acc is None else (acc | e)
+        assert acc is not None
+        return unpack_bits(acc, reference.num_words)
+    planes = reference.planes
+    n = planes.shape[0]
+    if n <= 1:
+        return np.zeros(reference.num_words, dtype=bool)
+    mask = np.zeros(planes.shape[1], dtype=planes.dtype)
+    prev = planes[0] ^ err[0] if 0 in err else planes[0]
+    for i in range(1, n):
+        cur = planes[i] ^ err[i] if i in err else planes[i]
+        mask |= prev & ~cur
+        prev = cur
+    mask &= pad_mask
+    return unpack_bits(mask, reference.num_words)
+
+
 def _fault_rows(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
     prefix: PrefixStates,
     criterion: str,
     out: np.ndarray,
+    *,
+    prune: bool = False,
+    stats: SimulationStats | None = None,
 ) -> np.ndarray:
     """Fill ``out[row]`` with the detection row of ``faults[row]``.
 
     ``out`` may be a slice of a shared-memory matrix — this is the unit of
-    work a sharded worker executes on its fault slice.
+    work a sharded worker executes on its (fault-slice × vector-chunk)
+    tile.  With ``prune=True`` the dominated-state pruner runs and faults
+    whose state converged inherit the fault-free detection row.
     """
     reference = prefix.reference()
+    if not prune:
+        for row, fault in enumerate(faults):
+            state = _fault_state(network, fault, prefix)
+            out[row] = _detection_row(state, reference, criterion)
+        return out
+    if stats is None:
+        stats = SimulationStats()
+    converged_row = _detection_row(reference, reference, criterion)
+    pad_mask = reference.pad_mask()
     for row, fault in enumerate(faults):
-        state = _fault_state(network, fault, prefix)
-        out[row] = _detection_row(state, reference, criterion)
+        result = _pruned_fault_errors(network, fault, prefix, stats)
+        if result is None:
+            out[row] = converged_row
+        elif isinstance(result, PackedBatch):
+            out[row] = _detection_row(result, reference, criterion)
+        else:
+            out[row] = _row_from_errors(reference, result, criterion, pad_mask)
+    return out
+
+
+def _errors_detect(
+    reference: PackedBatch,
+    err: dict[int, np.ndarray],
+    criterion: str,
+    pad_mask: np.ndarray,
+    ref_pair_any: Sequence[bool],
+) -> bool:
+    """Does a fault with output error planes *err* detect on any word?
+
+    The ``"reference"`` criterion is immediate: a non-empty error dict means
+    some output line differs somewhere.  For ``"specification"`` only the
+    adjacent-line pairs touching a diverged line can change their violation
+    mask, so the sweep recomputes just those pairs (early-exiting on the
+    first violation) and reads the untouched pairs' verdicts from the
+    per-chunk precomputed *ref_pair_any*.
+    """
+    if criterion == "reference":
+        return True
+    planes = reference.planes
+    n = planes.shape[0]
+    pairs: set[int] = set()
+    for line in err:
+        if line > 0:
+            pairs.add(line - 1)
+        if line < n - 1:
+            pairs.add(line)
+    for j, ref_violates in enumerate(ref_pair_any):
+        if ref_violates and j not in pairs:
+            return True
+    for j in pairs:
+        prev = planes[j] ^ err[j] if j in err else planes[j]
+        nxt = planes[j + 1] ^ err[j + 1] if j + 1 in err else planes[j + 1]
+        violation = prev & ~nxt & pad_mask
+        if violation.any():
+            return True
+    return False
+
+
+def _fault_any(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    prefix: PrefixStates,
+    criterion: str,
+    detected: np.ndarray,
+    *,
+    prune: bool = False,
+    stats: SimulationStats | None = None,
+) -> np.ndarray:
+    """OR one vector chunk's detection verdicts into ``detected``.
+
+    The any-reduction unit of work: with ``prune=True`` the dominated-state
+    pruner runs, verdicts are taken straight from the packed violation
+    masks (no boolean row is ever expanded), and faults already detected by
+    an earlier chunk are *dropped* — skipped entirely, since another
+    detection cannot change the OR.  ``prune=False`` reproduces the plain
+    row-building loop.  Either way ``detected`` ends up identical.
+    """
+    if not prune:
+        rows = np.zeros((len(faults), prefix.num_words), dtype=bool)
+        _fault_rows(network, faults, prefix, criterion, rows)
+        detected |= rows.any(axis=1)
+        return detected
+    if stats is None:
+        stats = SimulationStats()
+    reference = prefix.reference()
+    pad_mask = reference.pad_mask()
+    planes = reference.planes
+    ref_pair_any: list[bool] = []
+    if criterion == "specification":
+        ref_pair_any = [
+            bool((planes[j] & ~planes[j + 1] & pad_mask).any())
+            for j in range(reference.n_lines - 1)
+        ]
+    ref_detect = any(ref_pair_any)
+    for row, fault in enumerate(faults):
+        if detected[row]:
+            stats.dropped_faults += 1
+            continue
+        result = _pruned_fault_errors(network, fault, prefix, stats)
+        if result is None:
+            detected[row] = ref_detect
+        elif isinstance(result, PackedBatch):
+            detected[row] = bool(
+                _detection_row(result, reference, criterion).any()
+            )
+        else:
+            detected[row] = _errors_detect(
+                reference, result, criterion, pad_mask, ref_pair_any
+            )
+    return detected
+
+
+# ----------------------------------------------------------------------
+# Streamed vector axis (serial; the sharded grid lives in repro.parallel)
+# ----------------------------------------------------------------------
+def _iter_packed_chunks(
+    network: ComparatorNetwork,
+    vectors,
+    config: ExecutionConfig | None,
+) -> Iterator[tuple[int, PackedBatch]]:
+    """Yield ``(word_start, packed_chunk)`` pairs along the vector axis.
+
+    :class:`CubeVectors` chunks are generated directly in packed form via
+    :func:`repro.core.bitpacked.packed_cube_range`; explicit batches are
+    normalised once and packed slice by slice.  The chunk size follows
+    ``config.chunk_words()`` (the streaming default when *config* is
+    ``None``).
+    """
+    from ..parallel.chunking import chunk_spans, cube_block_spans
+    from ..parallel.config import DEFAULT_CHUNK_WORDS
+
+    chunk_words = config.chunk_words() if config is not None else DEFAULT_CHUNK_WORDS
+    if isinstance(vectors, CubeVectors):
+        for block_start, block_stop in cube_block_spans(vectors.n, chunk_words):
+            yield (
+                block_start * BLOCK_BITS,
+                packed_cube_range(vectors.n, block_start, block_stop),
+            )
+        return
+    if isinstance(vectors, np.ndarray):
+        batch = vectors
+    else:
+        batch = words_to_array(vectors, dtype=np.int8, n_lines=network.n_lines)
+    for start, stop in chunk_spans(batch.shape[0], chunk_words):
+        yield start, _pack_vectors(network, batch[start:stop])
+
+
+def _streamed_bitpacked_detection(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    vectors,
+    criterion: str,
+    config: ExecutionConfig | None,
+    *,
+    prune: bool,
+    stats: SimulationStats | None,
+    reduce: str,
+) -> np.ndarray:
+    """Serial streamed detection: one packed chunk (and its prefix states)
+    resident at a time, matrix columns or the any-reduction filled per
+    chunk.  In any-reduction mode verdicts come straight from the packed
+    violation masks and (with *prune*) faults detected by an earlier chunk
+    are dropped from later ones."""
+    num_faults = len(faults)
+    if reduce == "any":
+        detected = np.zeros(num_faults, dtype=bool)
+        for _word_start, packed in _iter_packed_chunks(network, vectors, config):
+            prefix = PrefixStates.build(network, packed)
+            _fault_any(
+                network, faults, prefix, criterion, detected,
+                prune=prune, stats=stats,
+            )
+        return detected
+    out = np.zeros((num_faults, len(vectors)), dtype=bool)
+    rows: np.ndarray | None = None
+    for word_start, packed in _iter_packed_chunks(network, vectors, config):
+        prefix = PrefixStates.build(network, packed)
+        if rows is None or rows.shape[1] != packed.num_words:
+            rows = np.zeros((num_faults, packed.num_words), dtype=bool)
+        _fault_rows(
+            network, faults, prefix, criterion, rows, prune=prune, stats=stats
+        )
+        out[:, word_start : word_start + packed.num_words] = rows
     return out
 
 
@@ -360,11 +1094,16 @@ def _bitpacked_detection_matrix(
     faults: Sequence[Fault],
     vectors,
     criterion: str,
+    *,
+    prune: bool = True,
+    stats: SimulationStats | None = None,
 ) -> np.ndarray:
     packed_input = _pack_vectors(network, vectors)
     prefix = PrefixStates.build(network, packed_input)
     matrix = np.zeros((len(faults), packed_input.num_words), dtype=bool)
-    return _fault_rows(network, faults, prefix, criterion, matrix)
+    return _fault_rows(
+        network, faults, prefix, criterion, matrix, prune=prune, stats=stats
+    )
 
 
 def _pack_vectors(network: ComparatorNetwork, vectors) -> PackedBatch:
@@ -413,30 +1152,34 @@ def _stuck_line_state(
 def detected_faults(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
-    test_vectors: Sequence[WordLike],
+    test_vectors: Sequence[WordLike] | CubeVectors,
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
-    config=None,
-) -> List[Fault]:
-    """The faults detected by at least one of the given test vectors."""
-    matrix = fault_detection_matrix(
+    config: ExecutionConfig | None = None,
+) -> list[Fault]:
+    """The faults detected by at least one of the given test vectors.
+
+    Parameters are those of :func:`fault_detection_matrix`; the reduction
+    runs through :func:`fault_detection_any`, so exhaustive
+    (:class:`CubeVectors`) sources stay in constant memory.
+    """
+    detected_rows = fault_detection_any(
         network, faults, test_vectors, criterion=criterion, engine=engine,
         config=config,
     )
-    detected_rows = np.any(matrix, axis=1)
     return [fault for fault, hit in zip(faults, detected_rows) if hit]
 
 
 def undetected_faults(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
-    test_vectors: Sequence[WordLike],
+    test_vectors: Sequence[WordLike] | CubeVectors,
     *,
     criterion: str = "specification",
     engine: str = "vectorized",
-    config=None,
-) -> List[Fault]:
+    config: ExecutionConfig | None = None,
+) -> list[Fault]:
     """The faults that escape the given test vectors entirely.
 
     Note that some faults are genuinely *undetectable* under the
@@ -444,9 +1187,8 @@ def undetected_faults(
     input (e.g. a stuck-pass fault on a redundant comparator) produces a
     chip that, while physically defective, still meets its specification.
     """
-    matrix = fault_detection_matrix(
+    detected_rows = fault_detection_any(
         network, faults, test_vectors, criterion=criterion, engine=engine,
         config=config,
     )
-    detected_rows = np.any(matrix, axis=1)
     return [fault for fault, hit in zip(faults, detected_rows) if not hit]

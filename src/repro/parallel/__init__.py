@@ -1,10 +1,10 @@
 """Sharded streaming execution subsystem.
 
 The paper's heavy workloads — exhaustive 0/1 verification over the ``2**n``
-cube and single-fault simulation over the fault universe — are both
-embarrassingly parallel along one axis.  This package turns that axis into
-fixed-size chunks (constant memory) and, when asked, shards the chunks
-across a process pool (all cores):
+cube and single-fault simulation over the fault universe — are
+embarrassingly parallel along their work axes.  This package turns those
+axes into fixed-size chunks (constant memory) and, when asked, shards the
+chunks across a process pool (all cores):
 
 * :class:`ExecutionConfig` — the ``max_workers`` x ``chunk_size`` knob
   threaded through the property checkers, the fault simulator, the test-set
@@ -12,16 +12,21 @@ across a process pool (all cores):
 * :mod:`~repro.parallel.executor` — streamed cube verification
   (sortedness / selection) in packed block ranges, and chunked evaluation
   of explicit word lists.
-* :mod:`~repro.parallel.fault_shard` — the fault-axis sharded simulator
-  with shared-memory fault-free prefix states.
-* :mod:`~repro.parallel.chunking` / :mod:`~repro.parallel.shm` — span
-  arithmetic and the shared-memory plumbing.
+* :mod:`~repro.parallel.fault_shard` — the sharded fault simulator: the
+  pure fault-axis shard with shared-memory fault-free prefix states, and
+  the 2-D (faults × vector-chunks) grid when the vector axis streams too
+  (exhaustive :class:`repro.faults.CubeVectors` test sets, oversized
+  batches).
+* :mod:`~repro.parallel.chunking` / :mod:`~repro.parallel.shm` — span /
+  grid arithmetic and the shared-memory plumbing.
 
 ``config=None`` everywhere reproduces the legacy single-process,
-single-shot behaviour bit for bit.
+single-shot behaviour bit for bit.  ``docs/ARCHITECTURE.md`` holds the
+deep-dive: the execution matrix, prefix-state delta-compression, the work
+grid and dominated-state pruning.
 """
 
-from .chunking import chunk_spans, cube_block_spans, shard_spans
+from .chunking import chunk_spans, cube_block_spans, grid_tiles, shard_spans
 from .config import DEFAULT_CHUNK_WORDS, ExecutionConfig, resolve_config
 from .executor import (
     chunked_words_all_sorted,
@@ -39,6 +44,7 @@ __all__ = [
     "resolve_config",
     "chunk_spans",
     "cube_block_spans",
+    "grid_tiles",
     "shard_spans",
     "chunked_words_all_sorted",
     "rank_to_word",

@@ -8,21 +8,30 @@ axis, chunk larger than the axis, odd tail chunk) testable on their own.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from collections.abc import Iterator
 
 from ..core.bitpacked import BLOCK_BITS
 
-__all__ = ["chunk_spans", "cube_block_spans", "shard_spans"]
+__all__ = ["chunk_spans", "cube_block_spans", "grid_tiles", "shard_spans"]
 
-Span = Tuple[int, int]
+Span = tuple[int, int]
 
 
 def chunk_spans(total: int, chunk: int) -> Iterator[Span]:
     """Half-open ``[start, stop)`` spans covering ``range(total)``.
 
-    Every span has length *chunk* except possibly the last; a non-positive
-    *chunk* or *total* yields nothing / everything sensibly (``total <= 0``
-    yields no spans, ``chunk < 1`` is clamped to 1).
+    Parameters
+    ----------
+    total : int
+        Length of the work axis; ``total <= 0`` yields no spans.
+    chunk : int
+        Items per span (clamped to at least 1); every span has length
+        *chunk* except possibly the last.
+
+    Yields
+    ------
+    tuple of (int, int)
+        Consecutive, non-overlapping spans in ascending order.
     """
     chunk = max(1, chunk)
     start = 0
@@ -32,11 +41,22 @@ def chunk_spans(total: int, chunk: int) -> Iterator[Span]:
         start = stop
 
 
-def cube_block_spans(n: int, chunk_words: int) -> List[Span]:
+def cube_block_spans(n: int, chunk_words: int) -> list[Span]:
     """Block-index spans covering the packed ``2**n`` cube.
 
-    The chunk size is given in *words* and rounded up to whole uint64
-    blocks, so every span is a legal ``packed_cube_range`` argument.
+    Parameters
+    ----------
+    n : int
+        Cube dimension (number of lines); must be non-negative.
+    chunk_words : int
+        Chunk size in *words*, rounded up to whole uint64 blocks so every
+        span is a legal :func:`repro.core.bitpacked.packed_cube_range`
+        argument.
+
+    Returns
+    -------
+    list of (int, int)
+        Half-open block spans covering all ``ceil(2**n / 64)`` blocks.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
@@ -45,7 +65,7 @@ def cube_block_spans(n: int, chunk_words: int) -> List[Span]:
     return list(chunk_spans(total_blocks, chunk_blocks))
 
 
-def shard_spans(total: int, workers: int, *, min_chunk: int = 1) -> List[Span]:
+def shard_spans(total: int, workers: int, *, min_chunk: int = 1) -> list[Span]:
     """Spans for sharding *total* items across *workers* processes.
 
     Aims for a few chunks per worker (dynamic load balancing without
@@ -57,3 +77,29 @@ def shard_spans(total: int, workers: int, *, min_chunk: int = 1) -> List[Span]:
     target_chunks = max(1, workers) * 4
     chunk = max(min_chunk, -(-total // target_chunks))
     return list(chunk_spans(total, chunk))
+
+
+def grid_tiles(
+    num_faults: int, num_chunks: int, workers: int
+) -> list[tuple[int, int, int]]:
+    """Tiles ``(chunk_index, fault_start, fault_stop)`` of the 2-D grid.
+
+    The fault axis is split into just enough slices that the grid holds a
+    few tiles per worker (the :func:`shard_spans` load-balance target
+    applied to the whole grid, not per axis): with many vector chunks the
+    fault axis stays coarse, with a single chunk this degenerates to the
+    pure fault shard.  Tiles are ordered chunk-major so consecutive tiles
+    handed to one worker usually share a vector chunk — workers cache the
+    chunk's prefix states between tiles.
+    """
+    if num_faults <= 0 or num_chunks <= 0:
+        return []
+    target_tiles = max(1, workers) * 4
+    fault_pieces = max(1, -(-target_tiles // num_chunks))
+    fault_chunk = max(1, -(-num_faults // fault_pieces))
+    fault_spans = list(chunk_spans(num_faults, fault_chunk))
+    return [
+        (chunk_index, start, stop)
+        for chunk_index in range(num_chunks)
+        for start, stop in fault_spans
+    ]

@@ -21,9 +21,8 @@ single-shot behaviour exactly.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
-from typing import Optional
+import os
 
 from ..core.bitpacked import BLOCK_BITS
 from ..exceptions import ExecutionConfigError
@@ -50,7 +49,7 @@ class ExecutionConfig:
     """
 
     max_workers: int = 1
-    chunk_size: Optional[int] = None
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 0:
@@ -91,7 +90,19 @@ class ExecutionConfig:
         """The streamed chunk size in uint64 blocks (at least one)."""
         return max(1, (self.chunk_words() + BLOCK_BITS - 1) // BLOCK_BITS)
 
+    def wants_vector_chunking(self, num_words: int) -> bool:
+        """Should a *num_words*-wide vector axis stream in chunks?
 
-def resolve_config(config: Optional[ExecutionConfig]) -> ExecutionConfig:
+        This is how the fault simulator picks between the pure fault-axis
+        shard (vector batch packed once, prefix states shared) and the 2-D
+        (faults × vector-chunks) grid: a batch that fits a single chunk has
+        nothing to stream.  Exhaustive :class:`repro.faults.CubeVectors`
+        sources always stream regardless of this answer — they are never
+        materialised in the first place.
+        """
+        return self.streaming and num_words > self.chunk_words()
+
+
+def resolve_config(config: ExecutionConfig | None) -> ExecutionConfig:
     """``None`` -> the serial single-shot default."""
     return config if config is not None else ExecutionConfig()

@@ -21,12 +21,11 @@ parallel or not.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..exceptions import InputLengthError
 from ..core.bitpacked import (
     BLOCK_BITS,
     apply_network_packed,
@@ -35,6 +34,7 @@ from ..core.bitpacked import (
     packed_unsorted_blocks,
 )
 from ..core.network import ComparatorNetwork
+from ..exceptions import InputLengthError
 from .chunking import chunk_spans, cube_block_spans
 from .config import ExecutionConfig, resolve_config
 
@@ -65,12 +65,26 @@ __all__ = [
 ]
 
 
-def rank_to_word(rank: int, n: int) -> Tuple[int, ...]:
-    """The cube word of the given rank (most significant bit on line 0)."""
+def rank_to_word(rank: int, n: int) -> tuple[int, ...]:
+    """The cube word of the given rank.
+
+    Parameters
+    ----------
+    rank : int
+        Position in the lexicographic cube order, ``0 <= rank < 2**n``.
+    n : int
+        Word length (number of network lines).
+
+    Returns
+    -------
+    tuple of int
+        The binary expansion of *rank*, most significant bit on line 0 —
+        the inverse of the rank returned by the streamed failure scans.
+    """
     return tuple((rank >> (n - 1 - i)) & 1 for i in range(n))
 
 
-def _first_rank(violation_blocks: np.ndarray, block_start: int) -> Optional[int]:
+def _first_rank(violation_blocks: np.ndarray, block_start: int) -> int | None:
     """Rank of the first set bit in a per-block violation mask, or ``None``."""
     nonzero = np.flatnonzero(violation_blocks)
     if nonzero.size == 0:
@@ -83,8 +97,8 @@ def _first_rank(violation_blocks: np.ndarray, block_start: int) -> Optional[int]
 def _sorting_chunk_failure(
     network: ComparatorNetwork,
     restrict_to_unsorted_inputs: bool,
-    span: Tuple[int, int],
-) -> Optional[int]:
+    span: tuple[int, int],
+) -> int | None:
     """First rank in the block span the network fails to sort, or ``None``."""
     start, stop = span
     packed = packed_cube_range(network.n_lines, start, stop)
@@ -104,8 +118,8 @@ def _selection_chunk_failure(
     network: ComparatorNetwork,
     k: int,
     restrict_to_test_words: bool,
-    span: Tuple[int, int],
-) -> Optional[int]:
+    span: tuple[int, int],
+) -> int | None:
     """First rank in the block span mis-selected by the network, or ``None``."""
     start, stop = span
     inputs = packed_cube_range(network.n_lines, start, stop)
@@ -116,7 +130,7 @@ def _selection_chunk_failure(
     return _first_rank(violation, start)
 
 
-def _scan_spans(task, spans: Sequence[Tuple[int, int]], config: ExecutionConfig):
+def _scan_spans(task, spans: Sequence[tuple[int, int]], config: ExecutionConfig):
     """Run ``task(span)`` over all spans, returning the first non-``None``.
 
     Serial configurations iterate in place; parallel ones submit every span
@@ -151,7 +165,7 @@ class _SpanTask:
         self._fn = fn
         self._args = args
 
-    def __call__(self, span: Tuple[int, int]):
+    def __call__(self, span: tuple[int, int]):
         return self._fn(*self._args, span)
 
 
@@ -159,13 +173,27 @@ def streamed_sorting_failure_rank(
     network: ComparatorNetwork,
     *,
     restrict_to_unsorted_inputs: bool = False,
-    config: Optional[ExecutionConfig] = None,
-) -> Optional[int]:
+    config: ExecutionConfig | None = None,
+) -> int | None:
     """Rank of the first cube word the network fails to sort, or ``None``.
 
-    With ``restrict_to_unsorted_inputs=True`` only non-sorted inputs (the
-    paper's Theorem 2.2 test set) are eligible, matching the
-    ``strategy="testset"`` verdict for standard networks.
+    Parameters
+    ----------
+    network : ComparatorNetwork
+        The device under verification.
+    restrict_to_unsorted_inputs : bool, optional
+        When ``True`` only non-sorted inputs (the paper's Theorem 2.2 test
+        set) are eligible, matching the ``strategy="testset"`` verdict for
+        standard networks.
+    config : ExecutionConfig, optional
+        Chunk size and worker count; ``None`` streams serially with the
+        default chunk.
+
+    Returns
+    -------
+    int or None
+        The smallest failing input rank (deterministic, parallel or not),
+        or ``None`` when the network sorts every eligible word.
     """
     cfg = resolve_config(config)
     spans = _cube_spans(network.n_lines, cfg)
@@ -177,7 +205,7 @@ def streamed_is_sorter(
     network: ComparatorNetwork,
     *,
     restrict_to_unsorted_inputs: bool = False,
-    config: Optional[ExecutionConfig] = None,
+    config: ExecutionConfig | None = None,
 ) -> bool:
     """Streamed exhaustive sortedness verification (see the module docstring)."""
     return (
@@ -195,12 +223,27 @@ def streamed_selection_failure_rank(
     k: int,
     *,
     restrict_to_test_words: bool = False,
-    config: Optional[ExecutionConfig] = None,
-) -> Optional[int]:
+    config: ExecutionConfig | None = None,
+) -> int | None:
     """Rank of the first cube word mis-``(k, n)``-selected, or ``None``.
 
-    With ``restrict_to_test_words=True`` only words of the paper's
-    ``T_k^n`` (unsorted, at most ``k`` zeroes) are eligible.
+    Parameters
+    ----------
+    network : ComparatorNetwork
+        The device under verification.
+    k : int
+        Selection order: the smallest ``k`` values must land on the first
+        ``k`` output lines.
+    restrict_to_test_words : bool, optional
+        When ``True`` only words of the paper's ``T_k^n`` (unsorted, at
+        most ``k`` zeroes) are eligible.
+    config : ExecutionConfig, optional
+        Chunk size and worker count.
+
+    Returns
+    -------
+    int or None
+        The smallest failing input rank, or ``None`` if none fails.
     """
     cfg = resolve_config(config)
     spans = _cube_spans(network.n_lines, cfg)
@@ -213,7 +256,7 @@ def streamed_is_selector(
     k: int,
     *,
     restrict_to_test_words: bool = False,
-    config: Optional[ExecutionConfig] = None,
+    config: ExecutionConfig | None = None,
 ) -> bool:
     """Streamed exhaustive ``(k, n)``-selection verification."""
     return (
@@ -239,7 +282,7 @@ def chunked_words_all_sorted(
     words,
     *,
     engine: str = "vectorized",
-    config: Optional[ExecutionConfig] = None,
+    config: ExecutionConfig | None = None,
 ) -> bool:
     """Chunked / sharded "every output is sorted" over an explicit word list.
 

@@ -1,35 +1,54 @@
-"""Sharding the fault axis of the bit-packed fault simulator.
+"""Sharding the fault and vector axes of the bit-packed fault simulator.
 
 Single faults are embarrassingly parallel once the fault-free packed prefix
 states exist: every fault restarts from the prefix at its fault site and
-re-evaluates only its suffix.  The parent therefore
+re-evaluates only its suffix.  Two work shapes live here:
 
-1. packs the test vectors and records the delta-compressed prefix states
-   (:class:`repro.faults.simulation.PrefixStates`) **once**,
-2. publishes the packed input planes, the per-comparator deltas and a
-   zeroed detection matrix through POSIX shared memory
-   (:mod:`repro.parallel.shm`), and
-3. hands each worker a ``[start, stop)`` slice of the fault list; the
-   worker rebuilds the (tiny) last-writer table locally and fills
-   ``matrix[start:stop]`` in place, so no bulk data is ever pickled per
-   task — only the small span tuples.
+* **Fault-axis shard** (vector batch fits one chunk).  The parent packs the
+  test vectors and records the delta-compressed prefix states
+  (:class:`repro.faults.simulation.PrefixStates`) **once**, publishes the
+  packed input planes, the per-comparator deltas and a zeroed detection
+  matrix through POSIX shared memory (:mod:`repro.parallel.shm`), and hands
+  each worker a ``[start, stop)`` slice of the fault list; the worker
+  rebuilds the (tiny) last-writer table locally and fills
+  ``matrix[start:stop]`` in place, so no bulk data is ever pickled per
+  task — only the small span tuples.
+
+* **2-D (faults × vector-chunks) grid** (streamed vector axis).  When the
+  vector axis is larger than one chunk — an explicit batch above
+  ``chunk_size``, or the exhaustive cube passed as
+  :class:`repro.faults.simulation.CubeVectors` — the work splits into
+  (fault-slice × vector-chunk) tiles.  Each worker *regenerates* its own
+  packed chunk (via :func:`repro.core.bitpacked.packed_cube_range` for the
+  cube — zero input transfer — or by packing a slice of the shared raw
+  vector array), builds the chunk's prefix states locally (cached between
+  consecutive tiles of the same chunk), and fills either its column slice
+  of the shared matrix or its column of a per-chunk any-reduction
+  accumulator.  Any-reduction tiles seed their verdicts from the columns
+  already published by other chunks, so faults detected earlier are
+  dropped exactly as in the serial streamed path (the OR is monotone — an
+  unsynchronised read can only under-drop, never change the result).
+  Peak memory per process is bounded by the chunk size at any ``n``.
 
 For the non-bit-packed engines there is a generic fallback that runs the
 requested serial engine on each fault slice (no prefix sharing, but the
 same shared output matrix).  Either way the result is bit-identical to the
-single-process engine.
+single-process engine, and dominated-state pruning counters
+(:class:`repro.faults.simulation.SimulationStats`) are merged back from the
+workers.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.bitpacked import BLOCK_BITS
 from ..core.network import ComparatorNetwork
 from ..faults.models import Fault
-from .chunking import shard_spans
+from .chunking import chunk_spans, cube_block_spans, grid_tiles, shard_spans
 from .config import ExecutionConfig, resolve_config
 from .shm import SharedArray, attach_shared_array, create_shared_array
 
@@ -37,13 +56,14 @@ __all__ = ["sharded_fault_detection_matrix"]
 
 #: Per-worker state installed by the pool initializer (each worker process
 #: gets its own copy; the shared arrays are attached, not copied).
-_WORKER: Dict[str, object] = {}
+_WORKER: dict[str, object] = {}
 
 
 def _init_bitpacked_worker(
     network: ComparatorNetwork,
-    faults: List[Fault],
+    faults: list[Fault],
     criterion: str,
+    prune: bool,
     num_words: int,
     input_spec,
     deltas_spec,
@@ -54,6 +74,7 @@ def _init_bitpacked_worker(
     _WORKER["faults"] = faults
     _WORKER["criterion"] = criterion
     _WORKER["network"] = network
+    _WORKER["prune"] = prune
     input_shared = attach_shared_array(input_spec)
     deltas_shared = attach_shared_array(deltas_spec)
     # Keep the handles alive: the PrefixStates views borrow their buffers.
@@ -65,26 +86,112 @@ def _init_bitpacked_worker(
     _WORKER["matrix"] = attach_shared_array(matrix_spec)
 
 
-def _run_bitpacked_span(span: Tuple[int, int]) -> int:
-    from ..faults.simulation import _fault_rows
+def _run_bitpacked_span(span: tuple[int, int]) -> tuple[int, int, int, int, int]:
+    from ..faults.simulation import SimulationStats, _fault_rows
 
     start, stop = span
     network: ComparatorNetwork = _WORKER["network"]  # type: ignore[assignment]
-    faults: List[Fault] = _WORKER["faults"]  # type: ignore[assignment]
+    faults: list[Fault] = _WORKER["faults"]  # type: ignore[assignment]
     matrix: SharedArray = _WORKER["matrix"]  # type: ignore[assignment]
+    stats = SimulationStats()
     _fault_rows(
         network,
         faults[start:stop],
         _WORKER["prefix"],  # type: ignore[arg-type]
         str(_WORKER["criterion"]),
         matrix.array[start:stop],
+        prune=bool(_WORKER["prune"]),
+        stats=stats,
     )
-    return stop - start
+    return stats.counts()
+
+
+def _init_grid_worker(
+    network: ComparatorNetwork,
+    faults: list[Fault],
+    criterion: str,
+    prune: bool,
+    cube_n: int,
+    raw_spec,
+    chunks: list[tuple[int, int, int]],
+    out_spec,
+    reduce: str,
+) -> None:
+    _WORKER["network"] = network
+    _WORKER["faults"] = faults
+    _WORKER["criterion"] = criterion
+    _WORKER["prune"] = prune
+    _WORKER["cube_n"] = cube_n
+    _WORKER["chunks"] = chunks
+    _WORKER["reduce"] = reduce
+    _WORKER["raw"] = attach_shared_array(raw_spec) if raw_spec is not None else None
+    _WORKER["out"] = attach_shared_array(out_spec)
+    _WORKER["chunk_cache"] = None
+
+
+def _grid_chunk_prefix(chunk_index: int):
+    """The (cached) prefix states of one vector chunk, built locally."""
+    from ..core.bitpacked import pack_batch, packed_cube_range
+    from ..faults.simulation import PrefixStates
+
+    cached = _WORKER.get("chunk_cache")
+    if cached is not None and cached[0] == chunk_index:  # type: ignore[index]
+        return cached[1]  # type: ignore[index]
+    network: ComparatorNetwork = _WORKER["network"]  # type: ignore[assignment]
+    chunks: list[tuple[int, int, int]] = _WORKER["chunks"]  # type: ignore[assignment]
+    _word_start, lo, hi = chunks[chunk_index]
+    cube_n = int(_WORKER["cube_n"])  # type: ignore[arg-type]
+    if cube_n >= 0:
+        packed = packed_cube_range(cube_n, lo, hi)
+    else:
+        raw: SharedArray = _WORKER["raw"]  # type: ignore[assignment]
+        packed = pack_batch(raw.array[lo:hi], n_lines=network.n_lines)
+    prefix = PrefixStates.build(network, packed)
+    _WORKER["chunk_cache"] = (chunk_index, prefix)
+    return prefix
+
+
+def _run_grid_tile(
+    tile: tuple[int, int, int],
+) -> tuple[int, int, int, int, int]:
+    from ..faults.simulation import SimulationStats, _fault_any, _fault_rows
+
+    chunk_index, f_start, f_stop = tile
+    network: ComparatorNetwork = _WORKER["network"]  # type: ignore[assignment]
+    faults: list[Fault] = _WORKER["faults"]  # type: ignore[assignment]
+    chunks: list[tuple[int, int, int]] = _WORKER["chunks"]  # type: ignore[assignment]
+    out: SharedArray = _WORKER["out"]  # type: ignore[assignment]
+    prefix = _grid_chunk_prefix(chunk_index)
+    stats = SimulationStats()
+    prune = bool(_WORKER["prune"])
+    criterion = str(_WORKER["criterion"])
+    if _WORKER["reduce"] == "matrix":
+        rows = np.zeros((f_stop - f_start, prefix.num_words), dtype=bool)
+        _fault_rows(
+            network, faults[f_start:f_stop], prefix, criterion, rows,
+            prune=prune, stats=stats,
+        )
+        word_start = chunks[chunk_index][0]
+        out.array[f_start:f_stop, word_start : word_start + prefix.num_words] = rows
+    else:
+        # Seed with the verdicts other chunks have already published for
+        # this fault slice: the OR-reduction is monotone, so reading the
+        # shared matrix without synchronisation can only *under*-drop
+        # (a not-yet-written column reads as False), never change the
+        # result — and faults detected by an earlier chunk-major tile are
+        # dropped here exactly as in the serial streamed path.
+        detected = out.array[f_start:f_stop, :].any(axis=1)
+        _fault_any(
+            network, faults[f_start:f_stop], prefix, criterion, detected,
+            prune=prune, stats=stats,
+        )
+        out.array[f_start:f_stop, chunk_index] = detected
+    return stats.counts()
 
 
 def _init_generic_worker(
     network: ComparatorNetwork,
-    faults: List[Fault],
+    faults: list[Fault],
     vectors,
     criterion: str,
     engine: str,
@@ -98,12 +205,12 @@ def _init_generic_worker(
     _WORKER["matrix"] = attach_shared_array(matrix_spec)
 
 
-def _run_generic_span(span: Tuple[int, int]) -> int:
+def _run_generic_span(span: tuple[int, int]) -> int:
     from ..faults.simulation import fault_detection_matrix
 
     start, stop = span
     network: ComparatorNetwork = _WORKER["network"]  # type: ignore[assignment]
-    faults: List[Fault] = _WORKER["faults"]  # type: ignore[assignment]
+    faults: list[Fault] = _WORKER["faults"]  # type: ignore[assignment]
     matrix: SharedArray = _WORKER["matrix"]  # type: ignore[assignment]
     rows = fault_detection_matrix(
         network,
@@ -116,6 +223,23 @@ def _run_generic_span(span: Tuple[int, int]) -> int:
     return stop - start
 
 
+def _vector_chunk_table(vectors, chunk_words: int) -> tuple[int, list[tuple[int, int, int]]]:
+    """``(cube_n, chunks)`` describing the streamed vector axis.
+
+    Each chunk entry is ``(word_start, lo, hi)`` where ``[lo, hi)`` is a
+    cube *block* span (``cube_n >= 0``) or a raw *row* span
+    (``cube_n == -1``) — everything a worker needs to regenerate its own
+    packed chunk.
+    """
+    from ..faults.simulation import CubeVectors
+
+    if isinstance(vectors, CubeVectors):
+        spans = cube_block_spans(vectors.n, chunk_words)
+        return vectors.n, [(lo * BLOCK_BITS, lo, hi) for lo, hi in spans]
+    total = len(vectors)
+    return -1, [(lo, lo, hi) for lo, hi in chunk_spans(total, chunk_words)]
+
+
 def sharded_fault_detection_matrix(
     network: ComparatorNetwork,
     faults: Sequence[Fault],
@@ -123,27 +247,80 @@ def sharded_fault_detection_matrix(
     *,
     criterion: str = "specification",
     engine: str = "bitpacked",
-    config: Optional[ExecutionConfig] = None,
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+    stats=None,
+    reduce: str = "matrix",
 ) -> np.ndarray:
-    """Fault-sharded detection matrix, bit-identical to the serial engines.
+    """Fault- and vector-axis sharded detection, bit-identical to serial.
 
     Callers normally reach this through
-    :func:`repro.faults.simulation.fault_detection_matrix` with a parallel
-    *config*; *vectors* must be non-empty and normalised (a list of int
-    tuples or a 2-D integer array).
+    :func:`repro.faults.simulation.fault_detection_matrix` (or
+    :func:`~repro.faults.simulation.fault_detection_any`) with a parallel
+    *config*.
+
+    Parameters
+    ----------
+    network : ComparatorNetwork
+        The fault-free reference device.
+    faults : sequence of Fault
+        Faults to simulate (the sharded axis).
+    vectors : list of int tuples, 2-D integer array, or CubeVectors
+        Normalised test vectors.  A
+        :class:`~repro.faults.simulation.CubeVectors` marker streams the
+        exhaustive cube; explicit batches larger than one chunk stream as
+        word slices.  Must be non-empty.
+    criterion : {"specification", "reference"}, optional
+        Detection criterion.
+    engine : {"bitpacked", "vectorized", "scalar"}, optional
+        Simulation engine; only ``"bitpacked"`` shares prefix states and
+        streams the vector axis.
+    config : ExecutionConfig, optional
+        Worker count and chunk size; the 2-D grid is chosen automatically
+        via :meth:`ExecutionConfig.wants_vector_chunking`.
+    prune : bool, optional
+        Dominated-state pruning in the workers (bit-packed engine only).
+    stats : SimulationStats, optional
+        Merged with the workers' pruning counters.
+    reduce : {"matrix", "any"}, optional
+        ``"matrix"`` returns the full boolean matrix; ``"any"`` reduces the
+        vector axis per chunk and returns a ``(num_faults,)`` vector, never
+        materialising the matrix (the cube-scale coverage path).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(num_faults, num_vectors)`` boolean matrix, or the
+        ``(num_faults,)`` any-reduction.
     """
+    from ..faults.simulation import CubeVectors, PrefixStates, _pack_vectors
+
     cfg = resolve_config(config)
     fault_list = list(faults)
     num_vectors = len(vectors)
-    spans = shard_spans(len(fault_list), cfg.resolved_workers())
-    if not spans:
-        return np.zeros((0, num_vectors), dtype=bool)
-    workers = min(cfg.resolved_workers(), len(spans))
+    workers = cfg.resolved_workers()
+    if not fault_list:
+        shape = (0, num_vectors) if reduce == "matrix" else (0,)
+        return np.zeros(shape, dtype=bool)
+    if engine == "bitpacked" and (
+        isinstance(vectors, CubeVectors)
+        or cfg.wants_vector_chunking(num_vectors)
+    ):
+        return _grid_detection(
+            network,
+            fault_list,
+            vectors,
+            criterion=criterion,
+            cfg=cfg,
+            prune=prune,
+            stats=stats,
+            reduce=reduce,
+        )
+    spans = shard_spans(len(fault_list), workers)
+    workers = min(workers, len(spans))
     matrix_shared = create_shared_array((len(fault_list), num_vectors), np.bool_)
     try:
         if engine == "bitpacked":
-            from ..faults.simulation import PrefixStates, _pack_vectors
-
             packed_input = _pack_vectors(network, vectors)
             dtype = packed_input.planes.dtype
             input_shared = create_shared_array(packed_input.planes.shape, dtype)
@@ -162,13 +339,16 @@ def sharded_fault_detection_matrix(
                         network,
                         fault_list,
                         criterion,
+                        prune,
                         packed_input.num_words,
                         input_shared.spec,
                         deltas_shared.spec,
                         matrix_shared.spec,
                     ),
                 ) as pool:
-                    list(pool.map(_run_bitpacked_span, spans))
+                    for counts in pool.map(_run_bitpacked_span, spans):
+                        if stats is not None:
+                            stats.merge_counts(counts)
             finally:
                 input_shared.unlink()
                 deltas_shared.unlink()
@@ -186,6 +366,66 @@ def sharded_fault_detection_matrix(
                 ),
             ) as pool:
                 list(pool.map(_run_generic_span, spans))
-        return matrix_shared.array.copy()
+        matrix = matrix_shared.array
+        return matrix.copy() if reduce == "matrix" else matrix.any(axis=1)
     finally:
         matrix_shared.unlink()
+
+
+def _grid_detection(
+    network: ComparatorNetwork,
+    fault_list: list[Fault],
+    vectors,
+    *,
+    criterion: str,
+    cfg: ExecutionConfig,
+    prune: bool,
+    stats,
+    reduce: str,
+) -> np.ndarray:
+    """The 2-D (faults × vector-chunks) grid (module docstring)."""
+    from ..faults.simulation import CubeVectors
+
+    num_vectors = len(vectors)
+    cube_n, chunks = _vector_chunk_table(vectors, cfg.chunk_words())
+    workers = cfg.resolved_workers()
+    tiles = grid_tiles(len(fault_list), len(chunks), workers)
+    workers = min(workers, len(tiles))
+    raw_shared: SharedArray | None = None
+    if not isinstance(vectors, CubeVectors):
+        raw = (
+            np.ascontiguousarray(vectors)
+            if isinstance(vectors, np.ndarray)
+            else np.asarray(vectors, dtype=np.int8)
+        )
+        raw_shared = create_shared_array(raw.shape, raw.dtype)
+        raw_shared.array[...] = raw
+    if reduce == "matrix":
+        out_shared = create_shared_array((len(fault_list), num_vectors), np.bool_)
+    else:
+        out_shared = create_shared_array((len(fault_list), len(chunks)), np.bool_)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_grid_worker,
+            initargs=(
+                network,
+                fault_list,
+                criterion,
+                prune,
+                cube_n,
+                raw_shared.spec if raw_shared is not None else None,
+                chunks,
+                out_shared.spec,
+                reduce,
+            ),
+        ) as pool:
+            for counts in pool.map(_run_grid_tile, tiles):
+                if stats is not None:
+                    stats.merge_counts(counts)
+        out = out_shared.array
+        return out.copy() if reduce == "matrix" else out.any(axis=1)
+    finally:
+        if raw_shared is not None:
+            raw_shared.unlink()
+        out_shared.unlink()

@@ -16,10 +16,9 @@ platforms it is still zero-copy.
 
 from __future__ import annotations
 
-import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Tuple
+import secrets
 
 import numpy as np
 
@@ -36,7 +35,7 @@ class SharedSpec:
     """Everything a worker needs to attach to a shared numpy array."""
 
     name: str
-    shape: Tuple[int, ...]
+    shape: tuple[int, ...]
     dtype: str
 
 
@@ -66,7 +65,7 @@ class SharedArray:
             pass
 
 
-def create_shared_array(shape: Tuple[int, ...], dtype) -> SharedArray:
+def create_shared_array(shape: tuple[int, ...], dtype) -> SharedArray:
     """Allocate a shared array owned by the calling process.
 
     Fresh POSIX shared-memory segments are zero-filled by the kernel, so no

@@ -6,12 +6,22 @@ costs; for standard networks all strategies agree, which is itself one of
 the reproduced results.
 """
 
-from .sortedness import (
-    fraction_sorted,
-    is_sorted_word,
-    sorts_all_words,
-    sorts_word,
-    unsorted_outputs,
+from .height import (
+    de_bruijn_criterion_agrees,
+    is_height_at_most,
+    is_primitive,
+    network_height,
+    primitive_networks_of_size,
+    primitive_sorter_by_reverse_permutation,
+    sorts_reverse_permutation,
+)
+from .merger import (
+    MERGER_STRATEGIES,
+    all_sorted_half_pairs,
+    find_merging_counterexample,
+    is_merger,
+    merges_correctly,
+    permutation_merge_inputs,
 )
 from .monotone import (
     find_monotonicity_violation,
@@ -23,30 +33,20 @@ from .monotone import (
     threshold_words,
     zero_one_principle_holds_for,
 )
-from .sorter import SORTER_STRATEGIES, find_sorting_counterexample, is_sorter
 from .selector import (
     SELECTOR_STRATEGIES,
     find_selection_counterexample,
     is_selector,
     selects_correctly,
 )
-from .merger import (
-    MERGER_STRATEGIES,
-    all_sorted_half_pairs,
-    find_merging_counterexample,
-    is_merger,
-    merges_correctly,
-    permutation_merge_inputs,
+from .sortedness import (
+    fraction_sorted,
+    is_sorted_word,
+    sorts_all_words,
+    sorts_word,
+    unsorted_outputs,
 )
-from .height import (
-    de_bruijn_criterion_agrees,
-    is_height_at_most,
-    is_primitive,
-    network_height,
-    primitive_networks_of_size,
-    primitive_sorter_by_reverse_permutation,
-    sorts_reverse_permutation,
-)
+from .sorter import SORTER_STRATEGIES, find_sorting_counterexample, is_sorter
 
 __all__ = [
     "fraction_sorted",

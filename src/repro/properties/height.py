@@ -11,8 +11,6 @@ explores it empirically for tiny ``n``.
 
 from __future__ import annotations
 
-from typing import List
-
 from ..core.network import ComparatorNetwork
 from ..exceptions import TestSetError
 from ..words.binary import is_sorted_word
@@ -81,7 +79,7 @@ def de_bruijn_criterion_agrees(network: ComparatorNetwork) -> bool:
     return sorts_reverse_permutation(network) == is_sorter(network, strategy="binary")
 
 
-def primitive_networks_of_size(n_lines: int, size: int) -> List[ComparatorNetwork]:
+def primitive_networks_of_size(n_lines: int, size: int) -> list[ComparatorNetwork]:
     """Enumerate every primitive network with exactly *size* comparators.
 
     There are ``(n_lines - 1) ** size`` of them, so this is only usable for

@@ -33,7 +33,6 @@ permutation model), optionally sharded across worker processes.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List, Optional
 
 import numpy as np
 
@@ -64,7 +63,7 @@ def _check_even(network: ComparatorNetwork) -> int:
     return n // 2
 
 
-def all_sorted_half_pairs(n: int) -> List[BinaryWord]:
+def all_sorted_half_pairs(n: int) -> list[BinaryWord]:
     """Every concatenation of two sorted binary halves of length ``n/2``."""
     if n % 2 != 0 or n < 2:
         raise TestSetError(f"merging inputs require even n >= 2, got {n}")
@@ -73,7 +72,7 @@ def all_sorted_half_pairs(n: int) -> List[BinaryWord]:
     return [tuple(a) + tuple(b) for a in halves for b in halves]
 
 
-def permutation_merge_inputs(n: int) -> List[tuple]:
+def permutation_merge_inputs(n: int) -> list[tuple]:
     """Every permutation input whose two halves are individually increasing.
 
     Each way of choosing which ``n/2`` of the values ``0..n-1`` enter the
@@ -142,7 +141,7 @@ def is_merger(
 
 def find_merging_counterexample(
     network: ComparatorNetwork,
-) -> Optional[BinaryWord]:
+) -> BinaryWord | None:
     """A half-sorted binary input the network fails to merge, or ``None``."""
     _check_even(network)
     words = all_sorted_half_pairs(network.n_lines)

@@ -18,7 +18,7 @@ the *transfer functions* that apply the facts.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set, Tuple
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -45,7 +45,7 @@ __all__ = [
 ]
 
 
-def threshold_words(word: WordLike) -> List[BinaryWord]:
+def threshold_words(word: WordLike) -> list[BinaryWord]:
     """The 0/1 *threshold images* of an arbitrary integer word.
 
     For each threshold ``t`` taken from the word's values, replace entries
@@ -53,7 +53,7 @@ def threshold_words(word: WordLike) -> List[BinaryWord]:
     network sorts a word iff it sorts all of its threshold images.
     """
     values = tuple(int(v) for v in word)
-    images: List[BinaryWord] = []
+    images: list[BinaryWord] = []
     for t in sorted(set(values)):
         images.append(tuple(1 if v >= t else 0 for v in values))
     return images
@@ -73,7 +73,7 @@ def monotonicity_holds_for(
 
 def find_monotonicity_violation(
     network: ComparatorNetwork, *, exhaustive_limit: int = 12
-) -> Optional[Tuple[BinaryWord, BinaryWord]]:
+) -> tuple[BinaryWord, BinaryWord] | None:
     """Return a comparable pair whose outputs are not comparable, or ``None``.
 
     For a standard-comparator network the answer is always ``None``; reversed
@@ -130,9 +130,9 @@ def zero_one_principle_holds_for(network: ComparatorNetwork) -> bool:
 
 def floyd_binary_outputs_from_permutation_outputs(
     permutation_outputs: Iterable[WordLike],
-) -> Set[BinaryWord]:
+) -> set[BinaryWord]:
     """Floyd's transfer: 0/1 output set = union of covers of permutation outputs."""
-    covered: Set[BinaryWord] = set()
+    covered: set[BinaryWord] = set()
     for output in permutation_outputs:
         covered.update(cover_of_permutation(check_permutation(output)))
     return covered

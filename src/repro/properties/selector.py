@@ -36,8 +36,6 @@ the cube in fixed-size block ranges, optionally across worker processes.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from .._typing import BinaryWord
@@ -191,7 +189,7 @@ def is_selector(
 
 def find_selection_counterexample(
     network: ComparatorNetwork, k: int
-) -> Optional[BinaryWord]:
+) -> BinaryWord | None:
     """A binary word on which ``(k, n)``-selection fails, or ``None``."""
     _check_k(network, k)
     batch = all_binary_words_array(network.n_lines)

@@ -7,7 +7,7 @@ and on numpy batches; kept separate so the higher-level property modules
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -34,7 +34,7 @@ constant memory at any ``n`` — and shards the ranges across processes when
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -166,10 +166,10 @@ def is_sorter(
 def find_sorting_counterexample(
     network: ComparatorNetwork,
     *,
-    candidates: Optional[Iterable[WordLike]] = None,
+    candidates: Iterable[WordLike] | None = None,
     engine: str = "vectorized",
     config=None,
-) -> Optional[BinaryWord]:
+) -> BinaryWord | None:
     """Return a binary word the network fails to sort, or ``None`` if it sorts all.
 
     By default searches the minimum test set (equivalently, all unsorted

@@ -15,6 +15,17 @@ Modules
     populations).
 """
 
+from .adversary import (
+    brute_force_near_sorter,
+    failing_inputs,
+    near_merger,
+    near_selector,
+    near_sorter,
+    near_sorter_table,
+    one_interchange_observation_holds,
+    sorts_exactly_all_but,
+    verify_near_sorter,
+)
 from .formulas import (
     central_binomial_approximation,
     exhaustive_binary_size,
@@ -28,22 +39,18 @@ from .formulas import (
     sorting_test_set_size,
     yao_ratio,
 )
-from .adversary import (
-    brute_force_near_sorter,
-    failing_inputs,
-    near_merger,
-    near_selector,
-    near_sorter,
-    near_sorter_table,
-    one_interchange_observation_holds,
-    sorts_exactly_all_but,
-    verify_near_sorter,
+from .merging import (
+    half_sorted_words,
+    merging_binary_test_set,
+    merging_lower_bound_witnesses,
+    merging_permutation_test_set,
 )
-from .sorting import (
-    sorting_binary_test_set,
-    sorting_lower_bound_witnesses_binary,
-    sorting_lower_bound_witnesses_permutation,
-    sorting_permutation_test_set,
+from .minimal import (
+    detection_sets_for_sorting,
+    empirical_sorting_test_set_size,
+    exact_minimum_hitting_set,
+    greedy_hitting_set,
+    minimum_test_set_for_population,
 )
 from .selection import (
     selector_binary_test_set,
@@ -51,11 +58,11 @@ from .selection import (
     selector_lower_bound_witnesses_permutation,
     selector_permutation_test_set,
 )
-from .merging import (
-    half_sorted_words,
-    merging_binary_test_set,
-    merging_lower_bound_witnesses,
-    merging_permutation_test_set,
+from .sorting import (
+    sorting_binary_test_set,
+    sorting_lower_bound_witnesses_binary,
+    sorting_lower_bound_witnesses_permutation,
+    sorting_permutation_test_set,
 )
 from .validation import (
     is_merging_test_set_binary,
@@ -67,13 +74,6 @@ from .validation import (
     missing_required_words,
     network_passes_test_set,
     uncovered_required_words,
-)
-from .minimal import (
-    detection_sets_for_sorting,
-    empirical_sorting_test_set_size,
-    exact_minimum_hitting_set,
-    greedy_hitting_set,
-    minimum_test_set_for_population,
 )
 
 __all__ = [

@@ -41,8 +41,8 @@ checked by :func:`one_interchange_observation_holds`.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from itertools import product
-from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -90,7 +90,7 @@ def _default_sorter(width: int) -> ComparatorNetwork:
 
 
 def near_sorter(
-    sigma: WordLike, *, sorter_factory: Optional[SorterFactory] = None
+    sigma: WordLike, *, sorter_factory: SorterFactory | None = None
 ) -> ComparatorNetwork:
     """The Lemma 2.1 network ``H_sigma``: sorts every binary word except *sigma*.
 
@@ -189,8 +189,8 @@ def _append_sorter(
 
 
 def near_sorter_table(
-    n: int, *, sorter_factory: Optional[SorterFactory] = None
-) -> Dict[BinaryWord, ComparatorNetwork]:
+    n: int, *, sorter_factory: SorterFactory | None = None
+) -> dict[BinaryWord, ComparatorNetwork]:
     """``H_sigma`` for every non-sorted word of length *n* (Fig. 2 generalised)."""
     return {
         sigma: near_sorter(sigma, sorter_factory=sorter_factory)
@@ -233,7 +233,7 @@ def near_merger(sigma: WordLike) -> ComparatorNetwork:
     return near_sorter(word)
 
 
-def failing_inputs(network: ComparatorNetwork) -> List[BinaryWord]:
+def failing_inputs(network: ComparatorNetwork) -> list[BinaryWord]:
     """All binary words the network fails to sort (exhaustive over ``2**n``)."""
     inputs = all_binary_words_array(network.n_lines)
     outputs = apply_network_to_batch(network, inputs)
@@ -265,7 +265,7 @@ def verify_near_sorter(sigma: WordLike, network: ComparatorNetwork) -> None:
 
 
 def one_interchange_observation_holds(
-    sigma: WordLike, network: Optional[ComparatorNetwork] = None
+    sigma: WordLike, network: ComparatorNetwork | None = None
 ) -> bool:
     """Check the paper's observation that ``H_sigma(sigma)`` is one swap from sorted."""
     word = check_binary(sigma)
@@ -275,7 +275,7 @@ def one_interchange_observation_holds(
 
 def brute_force_near_sorter(
     sigma: WordLike, *, max_size: int = 4
-) -> Optional[ComparatorNetwork]:
+) -> ComparatorNetwork | None:
     """Search for a smallest near-sorter for *sigma* by brute force.
 
     Enumerates standard-comparator sequences of size 0, 1, ..., *max_size*

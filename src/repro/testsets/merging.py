@@ -16,8 +16,6 @@
 
 from __future__ import annotations
 
-from typing import List
-
 from .._typing import BinaryWord, Permutation
 from ..exceptions import TestSetError
 from ..words.binary import is_sorted_word
@@ -37,7 +35,7 @@ def _check_even(n: int) -> int:
     return n // 2
 
 
-def half_sorted_words(n: int) -> List[BinaryWord]:
+def half_sorted_words(n: int) -> list[BinaryWord]:
     """Every binary word of length *n* whose two halves are sorted."""
     half = _check_even(n)
     words = []
@@ -49,7 +47,7 @@ def half_sorted_words(n: int) -> List[BinaryWord]:
     return words
 
 
-def merging_binary_test_set(n: int) -> List[BinaryWord]:
+def merging_binary_test_set(n: int) -> list[BinaryWord]:
     """The minimum 0/1 test set for merging: unsorted half-sorted words.
 
     Exactly ``n**2 / 4`` words: the first half must contain at least one 1
@@ -61,7 +59,7 @@ def merging_binary_test_set(n: int) -> List[BinaryWord]:
     return words
 
 
-def merging_permutation_test_set(n: int) -> List[Permutation]:
+def merging_permutation_test_set(n: int) -> list[Permutation]:
     """The minimum permutation test set for merging: the ``n/2`` words ``tau_i``.
 
     In 0-based one-line notation, ``tau_i`` feeds values ``0..i-1`` and
@@ -71,7 +69,7 @@ def merging_permutation_test_set(n: int) -> List[Permutation]:
     half has exactly ``i`` zeroes.
     """
     half = _check_even(n)
-    perms: List[Permutation] = []
+    perms: list[Permutation] = []
     for i in range(half):
         first = tuple(range(i)) + tuple(range(i + half, n))
         second = tuple(range(i, i + half))
@@ -80,7 +78,7 @@ def merging_permutation_test_set(n: int) -> List[Permutation]:
     return perms
 
 
-def merging_lower_bound_witnesses(n: int) -> List[BinaryWord]:
+def merging_lower_bound_witnesses(n: int) -> list[BinaryWord]:
     """The antichain ``0^i 1^(n/2-i) 0^(n/2-i) 1^i`` forcing the ``n/2`` bound.
 
     All witnesses have weight ``n/2``, are valid unsorted merging inputs, and

@@ -23,7 +23,7 @@ the small instances of the experiments.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ __all__ = [
 def detection_sets_for_sorting(
     networks: Iterable[ComparatorNetwork],
     candidate_inputs: Sequence[WordLike],
-) -> List[FrozenSet[int]]:
+) -> list[frozenset[int]]:
     """For each network, the indices of candidate inputs that expose it.
 
     An input *exposes* a network (for the sorting property) when the network
@@ -57,7 +57,7 @@ def detection_sets_for_sorting(
     if not words:
         return [frozenset() for _ in networks]
     batch = np.asarray(words, dtype=np.int8)
-    sets: List[FrozenSet[int]] = []
+    sets: list[frozenset[int]] = []
     for network in networks:
         outputs = apply_network_to_batch(network, batch)
         failing = np.flatnonzero(~batch_is_sorted(outputs))
@@ -65,7 +65,7 @@ def detection_sets_for_sorting(
     return sets
 
 
-def greedy_hitting_set(detection_sets: Sequence[FrozenSet[int]]) -> List[int]:
+def greedy_hitting_set(detection_sets: Sequence[frozenset[int]]) -> list[int]:
     """Classical greedy hitting-set: repeatedly pick the most-covering element.
 
     Returns indices into the candidate universe.  Raises
@@ -79,10 +79,10 @@ def greedy_hitting_set(detection_sets: Sequence[FrozenSet[int]]) -> List[int]:
                 "a faulty network is exposed by no candidate input; "
                 "the candidate universe is not a test set for this population"
             )
-    chosen: List[int] = []
+    chosen: list[int] = []
     uncovered = list(range(len(remaining)))
     while uncovered:
-        counts: Dict[int, int] = {}
+        counts: dict[int, int] = {}
         for index in uncovered:
             for element in remaining[index]:
                 counts[element] = counts.get(element, 0) + 1
@@ -93,10 +93,10 @@ def greedy_hitting_set(detection_sets: Sequence[FrozenSet[int]]) -> List[int]:
 
 
 def exact_minimum_hitting_set(
-    detection_sets: Sequence[FrozenSet[int]],
+    detection_sets: Sequence[frozenset[int]],
     *,
-    upper_bound: Optional[int] = None,
-) -> List[int]:
+    upper_bound: int | None = None,
+) -> list[int]:
     """Exact minimum hitting set by branch and bound.
 
     Branches on an uncovered detection set of minimum size (choosing one of
@@ -114,11 +114,11 @@ def exact_minimum_hitting_set(
     if not sets:
         return []
     greedy = greedy_hitting_set(sets)
-    best: List[int] = list(greedy)
+    best: list[int] = list(greedy)
     if upper_bound is not None and upper_bound < len(best):
         best = best[:]  # keep greedy; upper_bound only tightens pruning below
 
-    def lower_bound(uncovered: List[FrozenSet[int]]) -> int:
+    def lower_bound(uncovered: list[frozenset[int]]) -> int:
         # Count pairwise-disjoint uncovered sets greedily: each needs its own
         # element, giving a valid lower bound.
         used: set = set()
@@ -129,7 +129,7 @@ def exact_minimum_hitting_set(
                 used |= s
         return count
 
-    def recurse(uncovered: List[FrozenSet[int]], chosen: List[int]) -> None:
+    def recurse(uncovered: list[frozenset[int]], chosen: list[int]) -> None:
         nonlocal best
         if not uncovered:
             if len(chosen) < len(best):
@@ -151,7 +151,7 @@ def minimum_test_set_for_population(
     candidate_inputs: Sequence[WordLike],
     *,
     exact: bool = True,
-) -> List[BinaryWord]:
+) -> list[BinaryWord]:
     """Smallest subset of *candidate_inputs* exposing every network in the population.
 
     ``exact=False`` uses the greedy approximation (guaranteed to be a valid
@@ -168,7 +168,7 @@ def empirical_sorting_test_set_size(
     n: int,
     *,
     exact: bool = True,
-    adversary_factory: Optional[Callable[[BinaryWord], ComparatorNetwork]] = None,
+    adversary_factory: Callable[[BinaryWord], ComparatorNetwork] | None = None,
 ) -> int:
     """Reproduce Theorem 2.2 (i) empirically for small *n*.
 

@@ -14,8 +14,6 @@
 
 from __future__ import annotations
 
-from typing import List
-
 from .._typing import BinaryWord, Permutation
 from ..exceptions import TestSetError
 from ..words.binary import binary_words_with_zero_count, is_sorted_word
@@ -40,10 +38,10 @@ def _check_parameters(n: int, k: int) -> None:
         raise TestSetError(f"selector parameter k={k} out of range 1..{n}")
 
 
-def selector_binary_test_set(n: int, k: int) -> List[BinaryWord]:
+def selector_binary_test_set(n: int, k: int) -> list[BinaryWord]:
     """The paper's ``T_k^n``: unsorted words of length *n* with at most *k* zeroes."""
     _check_parameters(n, k)
-    words: List[BinaryWord] = []
+    words: list[BinaryWord] = []
     for zeros in range(k + 1):
         for word in binary_words_with_zero_count(n, zeros):
             if not is_sorted_word(word):
@@ -52,7 +50,7 @@ def selector_binary_test_set(n: int, k: int) -> List[BinaryWord]:
     return words
 
 
-def selector_permutation_test_set(n: int, k: int) -> List[Permutation]:
+def selector_permutation_test_set(n: int, k: int) -> list[Permutation]:
     """The Theorem 2.4 (ii) permutation test set for ``(k, n)``-selection."""
     _check_parameters(n, k)
     perms = selector_cover_permutations(n, k)
@@ -60,12 +58,12 @@ def selector_permutation_test_set(n: int, k: int) -> List[Permutation]:
     return perms
 
 
-def selector_lower_bound_witnesses_binary(n: int, k: int) -> List[BinaryWord]:
+def selector_lower_bound_witnesses_binary(n: int, k: int) -> list[BinaryWord]:
     """Witnesses forcing the Theorem 2.4 (i) bound: the members of ``T_k^n``."""
     return selector_binary_test_set(n, k)
 
 
-def selector_lower_bound_witnesses_permutation(n: int, k: int) -> List[BinaryWord]:
+def selector_lower_bound_witnesses_permutation(n: int, k: int) -> list[BinaryWord]:
     """Witnesses forcing the Theorem 2.4 (ii) bound: the paper's ``U_k^n``.
 
     The unsorted words with exactly ``min(k, floor(n/2))`` zeroes: each must

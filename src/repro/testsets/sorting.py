@@ -19,8 +19,6 @@ experiments are reproducible and results can be cached.
 
 from __future__ import annotations
 
-from typing import List
-
 from .._typing import BinaryWord, Permutation
 from ..exceptions import TestSetError
 from ..words.binary import binary_words_with_weight, is_sorted_word, unsorted_binary_words
@@ -35,7 +33,7 @@ __all__ = [
 ]
 
 
-def sorting_binary_test_set(n: int) -> List[BinaryWord]:
+def sorting_binary_test_set(n: int) -> list[BinaryWord]:
     """The minimum 0/1 test set for sorting: every non-sorted word of length *n*.
 
     The length of the returned list equals
@@ -48,7 +46,7 @@ def sorting_binary_test_set(n: int) -> List[BinaryWord]:
     return words
 
 
-def sorting_permutation_test_set(n: int) -> List[Permutation]:
+def sorting_permutation_test_set(n: int) -> list[Permutation]:
     """The minimum permutation test set for sorting (Theorem 2.2 ii).
 
     ``C(n, floor(n/2)) - 1`` permutations of ``0..n-1`` whose covers contain
@@ -62,7 +60,7 @@ def sorting_permutation_test_set(n: int) -> List[Permutation]:
     return perms
 
 
-def sorting_lower_bound_witnesses_binary(n: int) -> List[BinaryWord]:
+def sorting_lower_bound_witnesses_binary(n: int) -> list[BinaryWord]:
     """Witness family for the Theorem 2.2 (i) lower bound.
 
     Simply the non-sorted words themselves: for each one the Lemma 2.1
@@ -74,7 +72,7 @@ def sorting_lower_bound_witnesses_binary(n: int) -> List[BinaryWord]:
     return sorting_binary_test_set(n)
 
 
-def sorting_lower_bound_witnesses_permutation(n: int) -> List[BinaryWord]:
+def sorting_lower_bound_witnesses_permutation(n: int) -> list[BinaryWord]:
     """Witness family for the Theorem 2.2 (ii) lower bound.
 
     The unsorted words of weight ``floor(n/2)`` (the paper's set ``T_1``):

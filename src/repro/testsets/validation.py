@@ -29,7 +29,7 @@ exhaustive-scale test sets can be applied through the bit-packed engine.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -63,8 +63,8 @@ __all__ = [
 ]
 
 
-def _as_binary_set(words: Iterable[WordLike], n: int) -> Set[BinaryWord]:
-    result: Set[BinaryWord] = set()
+def _as_binary_set(words: Iterable[WordLike], n: int) -> set[BinaryWord]:
+    result: set[BinaryWord] = set()
     for word in words:
         w = check_binary(word)
         if len(w) != n:
@@ -75,7 +75,7 @@ def _as_binary_set(words: Iterable[WordLike], n: int) -> Set[BinaryWord]:
     return result
 
 
-def _as_permutation_list(perms: Iterable[WordLike], n: int) -> List[Tuple[int, ...]]:
+def _as_permutation_list(perms: Iterable[WordLike], n: int) -> list[tuple[int, ...]]:
     result = []
     for perm in perms:
         p = check_permutation(perm)
@@ -89,7 +89,7 @@ def _as_permutation_list(perms: Iterable[WordLike], n: int) -> List[Tuple[int, .
 
 def missing_required_words(
     candidate: Iterable[WordLike], required: Sequence[BinaryWord]
-) -> List[BinaryWord]:
+) -> list[BinaryWord]:
     """Required binary words absent from a candidate binary test set."""
     if not required:
         return []
@@ -100,7 +100,7 @@ def missing_required_words(
 
 def uncovered_required_words(
     candidate_permutations: Iterable[WordLike], required: Sequence[BinaryWord]
-) -> List[BinaryWord]:
+) -> list[BinaryWord]:
     """Required binary words not covered by any candidate permutation."""
     if not required:
         return []
@@ -181,7 +181,7 @@ def is_selector_test_set_permutation(
 # ----------------------------------------------------------------------
 # Merging
 # ----------------------------------------------------------------------
-def _check_merging_candidate_words(candidate: Set[BinaryWord], n: int) -> None:
+def _check_merging_candidate_words(candidate: set[BinaryWord], n: int) -> None:
     half = n // 2
     for word in candidate:
         if not (is_sorted_word(word[:half]) and is_sorted_word(word[half:])):

@@ -12,7 +12,7 @@ Words are plain tuples of ints; batch/array forms live in
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+from collections.abc import Iterable, Iterator
 
 from .._typing import BinaryWord, WordLike, as_word
 from ..exceptions import NotBinaryError
@@ -64,7 +64,7 @@ def is_sorted_word(word: WordLike) -> bool:
     return all(a <= b for a, b in zip(w, w[1:]))
 
 
-def sort_word(word: WordLike) -> Tuple[int, ...]:
+def sort_word(word: WordLike) -> tuple[int, ...]:
     """Return the sorted (non-decreasing) rearrangement of *word*."""
     return tuple(sorted(as_word(word)))
 
@@ -87,17 +87,17 @@ def all_binary_words(n: int) -> Iterator[BinaryWord]:
         yield word_from_rank(n, rank)
 
 
-def sorted_binary_words(n: int) -> List[BinaryWord]:
+def sorted_binary_words(n: int) -> list[BinaryWord]:
     """The ``n + 1`` sorted binary words ``0^(n-t) 1^t`` for ``t = 0..n``."""
     return [tuple([0] * (n - t) + [1] * t) for t in range(n + 1)]
 
 
-def unsorted_binary_words(n: int) -> List[BinaryWord]:
+def unsorted_binary_words(n: int) -> list[BinaryWord]:
     """All non-sorted binary words of length *n* (``2**n - n - 1`` of them)."""
     return [w for w in all_binary_words(n) if not is_sorted_word(w)]
 
 
-def binary_words_with_weight(n: int, ones: int) -> List[BinaryWord]:
+def binary_words_with_weight(n: int, ones: int) -> list[BinaryWord]:
     """All binary words of length *n* with exactly *ones* one-entries."""
     if ones < 0 or ones > n:
         return []
@@ -112,7 +112,7 @@ def binary_words_with_weight(n: int, ones: int) -> List[BinaryWord]:
     return words
 
 
-def binary_words_with_zero_count(n: int, zeros: int) -> List[BinaryWord]:
+def binary_words_with_zero_count(n: int, zeros: int) -> list[BinaryWord]:
     """All binary words of length *n* with exactly *zeros* zero-entries."""
     return binary_words_with_weight(n, n - zeros)
 
@@ -145,7 +145,7 @@ def dominates(lower: WordLike, upper: WordLike) -> bool:
     return all(x <= y for x, y in zip(a, b))
 
 
-def dominated_words(word: WordLike) -> List[BinaryWord]:
+def dominated_words(word: WordLike) -> list[BinaryWord]:
     """All binary words ``<=`` *word* in the componentwise order.
 
     Obtained by independently switching any subset of the 1-entries to 0,
@@ -165,7 +165,7 @@ def dominated_words(word: WordLike) -> List[BinaryWord]:
     return results
 
 
-def dominating_words(word: WordLike) -> List[BinaryWord]:
+def dominating_words(word: WordLike) -> list[BinaryWord]:
     """All binary words ``>=`` *word* in the componentwise order."""
     w = check_binary(word)
     zero_positions_ = [i for i, v in enumerate(w) if v == 0]
@@ -221,12 +221,12 @@ def is_one_transposition_from_sorted(word: WordLike) -> bool:
     return transposition_distance_to_sorted(word) == 1
 
 
-def support(word: WordLike) -> Tuple[int, ...]:
+def support(word: WordLike) -> tuple[int, ...]:
     """Positions (0-based) of the 1-entries."""
     return tuple(i for i, v in enumerate(check_binary(word)) if v == 1)
 
 
-def zero_positions(word: WordLike) -> Tuple[int, ...]:
+def zero_positions(word: WordLike) -> tuple[int, ...]:
     """Positions (0-based) of the 0-entries."""
     return tuple(i for i, v in enumerate(check_binary(word)) if v == 0)
 

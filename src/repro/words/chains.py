@@ -33,7 +33,7 @@ unmatched positions grow from 0 to ``r``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 from .._typing import BinaryWord, Permutation, WordLike
 from ..exceptions import TestSetError
@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 
-def bracket_match(word: WordLike) -> Tuple[List[Tuple[int, int]], List[int]]:
+def bracket_match(word: WordLike) -> tuple[list[tuple[int, int]], list[int]]:
     """Match 1s (as ``(``) against 0s (as ``)``) left to right.
 
     Returns ``(matched_pairs, unmatched_positions)`` where ``matched_pairs``
@@ -63,9 +63,9 @@ def bracket_match(word: WordLike) -> Tuple[List[Tuple[int, int]], List[int]]:
     (all unmatched 0s precede all unmatched 1s).
     """
     w = check_binary(word)
-    stack: List[int] = []
-    matched: List[Tuple[int, int]] = []
-    unmatched_zeros: List[int] = []
+    stack: list[int] = []
+    matched: list[tuple[int, int]] = []
+    unmatched_zeros: list[int] = []
     for index, bit in enumerate(w):
         if bit == 1:
             stack.append(index)
@@ -92,7 +92,7 @@ def chain_lowest_member(word: WordLike) -> BinaryWord:
     return tuple(w)
 
 
-def chain_through(word: WordLike) -> List[BinaryWord]:
+def chain_through(word: WordLike) -> list[BinaryWord]:
     """The full symmetric chain containing *word*, ordered by weight."""
     w = check_binary(word)
     base = list(chain_lowest_member(w))
@@ -109,7 +109,7 @@ def chain_through(word: WordLike) -> List[BinaryWord]:
     return chain
 
 
-def symmetric_chain_decomposition(n: int) -> List[List[BinaryWord]]:
+def symmetric_chain_decomposition(n: int) -> list[list[BinaryWord]]:
     """All symmetric chains of ``{0,1}^n``, each ordered by weight.
 
     The number of chains is ``C(n, floor(n/2))`` and every word appears in
@@ -119,8 +119,8 @@ def symmetric_chain_decomposition(n: int) -> List[List[BinaryWord]]:
         raise ValueError("n must be non-negative")
     if n == 0:
         return [[()]]
-    seen: Set[BinaryWord] = set()
-    chains: List[List[BinaryWord]] = []
+    seen: set[BinaryWord] = set()
+    chains: list[list[BinaryWord]] = []
     for word in all_binary_words(n):
         key = chain_lowest_member(word)
         if key in seen:
@@ -130,7 +130,7 @@ def symmetric_chain_decomposition(n: int) -> List[List[BinaryWord]]:
     return chains
 
 
-def extend_to_maximal_chain(chain: Sequence[WordLike]) -> List[BinaryWord]:
+def extend_to_maximal_chain(chain: Sequence[WordLike]) -> list[BinaryWord]:
     """Extend a chain (consecutive weights, nested) to a maximal chain.
 
     Below the chain's minimum-weight word, 1s are removed right to left;
@@ -169,7 +169,7 @@ def extend_to_maximal_chain(chain: Sequence[WordLike]) -> List[BinaryWord]:
     return full
 
 
-def scd_permutations(n: int) -> List[Permutation]:
+def scd_permutations(n: int) -> list[Permutation]:
     """One covering permutation per symmetric chain (``C(n, floor(n/2))`` of them).
 
     Every binary word of length *n* is covered by at least one of the
@@ -183,7 +183,7 @@ def scd_permutations(n: int) -> List[Permutation]:
     return perms
 
 
-def sorting_cover_permutations(n: int, *, include_identity: bool = False) -> List[Permutation]:
+def sorting_cover_permutations(n: int, *, include_identity: bool = False) -> list[Permutation]:
     """The Theorem 2.2 (ii) permutation test set for sorting.
 
     ``C(n, floor(n/2)) - 1`` permutations whose covers contain every unsorted
@@ -200,7 +200,7 @@ def sorting_cover_permutations(n: int, *, include_identity: bool = False) -> Lis
 
 def selector_cover_permutations(
     n: int, k: int, *, include_identity: bool = False
-) -> List[Permutation]:
+) -> list[Permutation]:
     """The Theorem 2.4 (ii) permutation test set for ``(k, n)``-selection.
 
     Uses the ``C(n, min(k, floor(n/2)))`` symmetric chains whose span reaches
@@ -225,7 +225,7 @@ def selector_cover_permutations(
     return perms
 
 
-def minimum_chain_cover_via_matching(n: int, max_zeros: int) -> List[List[BinaryWord]]:
+def minimum_chain_cover_via_matching(n: int, max_zeros: int) -> list[list[BinaryWord]]:
     """Minimum chain cover of the top levels of the lattice via bipartite matching.
 
     Covers all words with at most *max_zeros* zeroes (weights ``n - max_zeros``
@@ -250,13 +250,13 @@ def minimum_chain_cover_via_matching(n: int, max_zeros: int) -> List[List[Binary
             "(use the bracketing construction beyond it)"
         )
 
-    levels: Dict[int, List[BinaryWord]] = {
+    levels: dict[int, list[BinaryWord]] = {
         z: binary_words_with_zero_count(n, z) for z in range(max_zeros + 1)
     }
     # parent[w] = a word with one more zero (one level "down" in weight) that
     # precedes w in its chain.  Every word with fewer than max_zeros zeroes
     # gets a parent, which is what keeps the chain count at C(n, max_zeros).
-    parent: Dict[BinaryWord, BinaryWord] = {}
+    parent: dict[BinaryWord, BinaryWord] = {}
     for zeros in range(0, max_zeros):
         small = levels[zeros]          # fewer zeros: C(n, zeros) words
         large = levels[zeros + 1]      # more zeros:  C(n, zeros + 1) words
@@ -281,8 +281,8 @@ def minimum_chain_cover_via_matching(n: int, max_zeros: int) -> List[List[Binary
             parent[w] = partner[1]
     # Invert the parent map: each word has at most one child (matchings are
     # injective), so chains are paths from a max_zeros word upward in weight.
-    child: Dict[BinaryWord, BinaryWord] = {p: w for w, p in parent.items()}
-    chains: List[List[BinaryWord]] = []
+    child: dict[BinaryWord, BinaryWord] = {p: w for w, p in parent.items()}
+    chains: list[list[BinaryWord]] = []
     for word in levels[max_zeros]:
         chain = [word]
         while chain[-1] in child:

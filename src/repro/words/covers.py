@@ -28,7 +28,7 @@ in :mod:`repro.words.chains` exploit this correspondence.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from collections.abc import Iterable, Sequence
 
 from .._typing import BinaryWord, Permutation, WordLike
 from ..exceptions import TestSetError
@@ -62,15 +62,15 @@ def cover_word(perm: WordLike, t: int) -> BinaryWord:
     return tuple(1 if value >= threshold else 0 for value in p)
 
 
-def cover_of_permutation(perm: WordLike) -> List[BinaryWord]:
+def cover_of_permutation(perm: WordLike) -> list[BinaryWord]:
     """The full cover of *perm*: one word per level ``t = 0..n`` (n+1 words)."""
     p = check_permutation(perm)
     return [cover_word(p, t) for t in range(len(p) + 1)]
 
 
-def cover_of_permutation_set(perms: Iterable[WordLike]) -> Set[BinaryWord]:
+def cover_of_permutation_set(perms: Iterable[WordLike]) -> set[BinaryWord]:
     """Union of the covers of all permutations in *perms*."""
-    covered: Set[BinaryWord] = set()
+    covered: set[BinaryWord] = set()
     for perm in perms:
         covered.update(cover_of_permutation(perm))
     return covered
@@ -89,7 +89,7 @@ def permutation_covers(perm: WordLike, word: WordLike) -> bool:
     return cover_word(p, count_ones(w)) == w
 
 
-def chain_of_permutation(perm: WordLike) -> List[BinaryWord]:
+def chain_of_permutation(perm: WordLike) -> list[BinaryWord]:
     """Alias of :func:`cover_of_permutation` emphasising the chain structure.
 
     The returned words form a maximal chain ``0^n < ... < 1^n`` in the
@@ -112,7 +112,7 @@ def permutation_from_chain(chain: Sequence[WordLike]) -> Permutation:
     if not words:
         raise TestSetError("empty chain")
     n = len(words[0])
-    by_weight: Dict[int, BinaryWord] = {}
+    by_weight: dict[int, BinaryWord] = {}
     for w in words:
         if len(w) != n:
             raise TestSetError("chain words must all have the same length")
@@ -138,7 +138,7 @@ def permutation_from_chain(chain: Sequence[WordLike]) -> Permutation:
     return tuple(perm)  # type: ignore[arg-type]
 
 
-def find_covering_permutation(words: Iterable[WordLike]) -> Optional[Permutation]:
+def find_covering_permutation(words: Iterable[WordLike]) -> Permutation | None:
     """Find a permutation covering *all* the given binary words, if one exists.
 
     The words must be pairwise comparable in the dominance order (they must
@@ -153,7 +153,7 @@ def find_covering_permutation(words: Iterable[WordLike]) -> Optional[Permutation
     if any(len(w) != n for w in word_list):
         raise ValueError("all words must have the same length")
     # Distinct words of the same weight can never be covered together.
-    by_weight: Dict[int, BinaryWord] = {}
+    by_weight: dict[int, BinaryWord] = {}
     for w in word_list:
         weight = count_ones(w)
         if weight in by_weight and by_weight[weight] != w:
@@ -167,7 +167,7 @@ def find_covering_permutation(words: Iterable[WordLike]) -> Optional[Permutation
     # Greedily extend to a maximal chain: walk the weights 0..n, flipping one
     # 0 to 1 at a time, always choosing a flip compatible with the next
     # constrained word.
-    chain: List[BinaryWord] = [tuple([0] * n)]
+    chain: list[BinaryWord] = [tuple([0] * n)]
     for weight in range(1, n + 1):
         current = list(chain[-1])
         # The next constrained word at weight >= `weight`, if any, limits
@@ -231,7 +231,7 @@ def is_cover_test_set_for_sorting(perms: Iterable[WordLike]) -> bool:
     return all(w in covered for w in unsorted_binary_words(n))
 
 
-def uncovered_words(perms: Iterable[WordLike], n: int) -> List[BinaryWord]:
+def uncovered_words(perms: Iterable[WordLike], n: int) -> list[BinaryWord]:
     """Unsorted binary words of length *n* not covered by any given permutation."""
     covered = cover_of_permutation_set(perms)
     from .binary import unsorted_binary_words

@@ -12,8 +12,8 @@ The covering-set machinery that connects the two input models lives in
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from itertools import permutations as _itertools_permutations
-from typing import Iterator, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -90,7 +90,7 @@ def num_permutations(n: int) -> int:
 
 
 def random_permutation(
-    n: int, rng: Union[int, np.random.Generator, None] = None
+    n: int, rng: int | np.random.Generator | None = None
 ) -> Permutation:
     """A uniformly random permutation of ``0..n-1``."""
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -120,7 +120,7 @@ def compose_permutations(outer: WordLike, inner: WordLike) -> Permutation:
     return tuple(a[b[i]] for i in range(len(a)))
 
 
-def apply_permutation_to_positions(perm: WordLike, word: WordLike) -> Tuple[int, ...]:
+def apply_permutation_to_positions(perm: WordLike, word: WordLike) -> tuple[int, ...]:
     """Rearrange *word* so that output position ``i`` receives ``word[perm[i]]``."""
     p = check_permutation(perm)
     w = as_word(word)
@@ -134,7 +134,7 @@ def permutation_from_one_based(values: Sequence[int]) -> Permutation:
     return check_permutation(tuple(v - 1 for v in values))
 
 
-def permutation_to_one_based(perm: WordLike) -> Tuple[int, ...]:
+def permutation_to_one_based(perm: WordLike) -> tuple[int, ...]:
     """Convert back to the paper's 1-based display notation."""
     return tuple(v + 1 for v in check_permutation(perm))
 

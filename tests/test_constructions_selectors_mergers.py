@@ -10,8 +10,8 @@ from repro.constructions import (
     bubble_selection_network,
     merger_from_sorter,
     odd_even_merge_network,
-    pruned_selection_network,
     prune_to_output_lines,
+    pruned_selection_network,
     selector_from_sorter,
     zipper_merging_network,
 )

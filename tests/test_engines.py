@@ -9,14 +9,14 @@ reference engines on the exhaustive workloads.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.core import (
-    ComparatorNetwork,
     EVALUATION_ENGINES,
+    ComparatorNetwork,
     apply_network_to_batch,
     words_to_array,
 )

@@ -1,0 +1,287 @@
+"""Streamed cube-axis fault simulation and dominated-state pruning.
+
+The load-bearing guarantee of this PR: the pruned, streamed and 2-D-sharded
+fault simulators are *bit-identical* to the serial unpruned engines — across
+random networks (including reversed comparators), both detection criteria,
+odd chunk sizes and the (faults × vector-chunks) work grid.  Hypothesis
+drives the serial cross-checks (cheap); a small number of deterministic
+tests exercise the real process pools.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import numpy as np
+import pytest
+
+from repro.constructions import batcher_sorting_network
+from repro.core import ComparatorNetwork
+from repro.core.evaluation import all_binary_words_array, unsorted_binary_words_array
+from repro.exceptions import FaultModelError
+from repro.faults import (
+    CubeVectors,
+    SimulationStats,
+    coverage_report,
+    enumerate_single_faults,
+    fault_detection_any,
+    fault_detection_matrix,
+)
+from repro.parallel import ExecutionConfig, grid_tiles
+
+
+@st.composite
+def networks(draw, min_lines: int = 2, max_lines: int = 7, max_size: int = 12):
+    n = draw(st.integers(min_lines, max_lines))
+    size = draw(st.integers(0, max_size))
+    comparators = []
+    for _ in range(size):
+        low = draw(st.integers(0, n - 2))
+        high = draw(st.integers(low + 1, n - 1))
+        comparators.append((low, high))
+    return ComparatorNetwork.from_pairs(n, comparators)
+
+
+odd_chunks = st.sampled_from([1, 3, 7, 63, 64, 65, 100])
+criteria = st.sampled_from(["specification", "reference"])
+
+
+# ----------------------------------------------------------------------
+# Pruned vs unpruned vs serial reference: bit-identical
+# ----------------------------------------------------------------------
+@given(networks(), criteria, odd_chunks)
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_pruned_and_streamed_matrices_match_serial(network, criterion, chunk):
+    """The satellite guarantee: pruned == unpruned == vectorised, serial and
+    streamed, on random networks, both criteria, odd chunk sizes."""
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    vectors = all_binary_words_array(network.n_lines)
+    reference = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine="vectorized"
+    )
+    unpruned = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine="bitpacked",
+        prune=False,
+    )
+    pruned = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine="bitpacked",
+        prune=True,
+    )
+    assert np.array_equal(unpruned, reference)
+    assert np.array_equal(pruned, reference)
+    config = ExecutionConfig(max_workers=1, chunk_size=chunk)
+    for prune in (False, True):
+        streamed = fault_detection_matrix(
+            network, faults, CubeVectors(network.n_lines),
+            criterion=criterion, engine="bitpacked", config=config, prune=prune,
+        )
+        assert np.array_equal(streamed, reference)
+        detected = fault_detection_any(
+            network, faults, CubeVectors(network.n_lines),
+            criterion=criterion, engine="bitpacked", config=config, prune=prune,
+        )
+        assert np.array_equal(detected, reference.any(axis=1))
+
+
+@given(networks(min_lines=3), criteria, odd_chunks)
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_streamed_explicit_vectors_match(network, criterion, chunk):
+    """Explicit vector batches stream in word chunks, matrix and any-form."""
+    faults = enumerate_single_faults(network)
+    vectors = unsorted_binary_words_array(network.n_lines)
+    if vectors.shape[0] == 0:
+        return
+    reference = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine="vectorized"
+    )
+    config = ExecutionConfig(max_workers=1, chunk_size=chunk)
+    streamed = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine="bitpacked",
+        config=config,
+    )
+    assert np.array_equal(streamed, reference)
+    detected = fault_detection_any(
+        network, faults, vectors, criterion=criterion, engine="bitpacked",
+        config=config,
+    )
+    assert np.array_equal(detected, reference.any(axis=1))
+
+
+def test_cube_vectors_equivalent_to_explicit_cube():
+    """CubeVectors(n) is column-for-column the explicit cube array."""
+    network = batcher_sorting_network(6)
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    explicit = fault_detection_matrix(
+        network, faults, all_binary_words_array(6), engine="bitpacked"
+    )
+    lazy = fault_detection_matrix(
+        network, faults, CubeVectors(6), engine="bitpacked"
+    )
+    assert np.array_equal(lazy, explicit)
+    # Non-bit-packed engines expand the cube and agree as well.
+    assert np.array_equal(
+        fault_detection_matrix(network, faults, CubeVectors(6), engine="vectorized"),
+        explicit,
+    )
+
+
+def test_cube_vectors_validation():
+    with pytest.raises(FaultModelError):
+        CubeVectors(-1)
+    network = batcher_sorting_network(4)
+    faults = enumerate_single_faults(network)
+    with pytest.raises(FaultModelError):
+        fault_detection_matrix(network, faults, CubeVectors(5), engine="bitpacked")
+    assert len(CubeVectors(10)) == 1024
+
+
+# ----------------------------------------------------------------------
+# The 2-D (faults × vector-chunks) shard grid
+# ----------------------------------------------------------------------
+def test_grid_tiles_cover_every_fault_chunk_pair():
+    assert grid_tiles(0, 4, 2) == []
+    assert grid_tiles(5, 0, 2) == []
+    for num_faults, num_chunks, workers in ((7, 3, 2), (100, 1, 4), (5, 9, 3)):
+        tiles = grid_tiles(num_faults, num_chunks, workers)
+        seen = set()
+        for chunk_index, start, stop in tiles:
+            assert 0 <= chunk_index < num_chunks
+            for f in range(start, stop):
+                key = (chunk_index, f)
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) == num_faults * num_chunks
+        # Chunk-major order: workers reuse their cached chunk prefixes.
+        chunk_order = [tile[0] for tile in tiles]
+        assert chunk_order == sorted(chunk_order)
+
+
+@pytest.mark.parametrize("criterion", ["specification", "reference"])
+@pytest.mark.parametrize("prune", [False, True])
+def test_grid_sharded_matrix_is_bit_identical(criterion, prune):
+    """Real process pool over the 2-D grid: cube chunks × fault slices."""
+    network = batcher_sorting_network(7)
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    reference = fault_detection_matrix(
+        network, faults, all_binary_words_array(7), criterion=criterion,
+        engine="vectorized",
+    )
+    config = ExecutionConfig(max_workers=2, chunk_size=48)
+    stats = SimulationStats()
+    grid = fault_detection_matrix(
+        network, faults, CubeVectors(7), criterion=criterion,
+        engine="bitpacked", config=config, prune=prune, stats=stats,
+    )
+    assert np.array_equal(grid, reference)
+    if prune:
+        assert stats.faults > 0
+    detected = fault_detection_any(
+        network, faults, CubeVectors(7), criterion=criterion,
+        engine="bitpacked", config=config, prune=prune,
+    )
+    assert np.array_equal(detected, reference.any(axis=1))
+
+
+def test_grid_sharded_explicit_vectors():
+    """Explicit batches above the chunk size stream through the grid too."""
+    network = batcher_sorting_network(7)
+    faults = enumerate_single_faults(network)
+    vectors = all_binary_words_array(7)
+    reference = fault_detection_matrix(network, faults, vectors, engine="vectorized")
+    config = ExecutionConfig(max_workers=2, chunk_size=32)
+    assert config.wants_vector_chunking(vectors.shape[0])
+    grid = fault_detection_matrix(
+        network, faults, vectors, engine="bitpacked", config=config
+    )
+    assert np.array_equal(grid, reference)
+    tuples = [tuple(int(v) for v in row) for row in vectors]
+    grid_tuples = fault_detection_matrix(
+        network, faults, tuples, engine="bitpacked", config=config
+    )
+    assert np.array_equal(grid_tuples, reference)
+
+
+def test_wants_vector_chunking_thresholds():
+    assert not ExecutionConfig().wants_vector_chunking(10**9)
+    assert ExecutionConfig(chunk_size=64).wants_vector_chunking(65)
+    assert not ExecutionConfig(chunk_size=64).wants_vector_chunking(64)
+    assert ExecutionConfig(max_workers=2).wants_vector_chunking(2**21)
+
+
+# ----------------------------------------------------------------------
+# Pruning counters
+# ----------------------------------------------------------------------
+def test_prune_counter_monotone_in_network_size():
+    """Regression: pruned stage-blocks grow with the device size — a larger
+    sorter exposes strictly more dominated suffix work, so a counter
+    regression (e.g. skipped accounting) shows up as non-monotonicity."""
+    previous = -1
+    for n in (4, 6, 8, 10):
+        network = batcher_sorting_network(n)
+        faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+        stats = SimulationStats()
+        fault_detection_matrix(
+            network, faults, all_binary_words_array(n), engine="bitpacked",
+            prune=True, stats=stats,
+        )
+        assert stats.pruned_stage_blocks > previous
+        assert stats.total_stage_blocks == (
+            stats.evaluated_stage_blocks + stats.pruned_stage_blocks
+        )
+        assert 0.0 < stats.prune_ratio < 1.0
+        assert stats.faults == len(faults)
+        previous = stats.pruned_stage_blocks
+
+
+def test_fault_dropping_counts_and_identical_verdicts():
+    """Later chunks drop already-detected faults without changing verdicts."""
+    network = batcher_sorting_network(8)
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    config = ExecutionConfig(chunk_size=64)  # 4 chunks at n=8
+    stats = SimulationStats()
+    detected = fault_detection_any(
+        network, faults, CubeVectors(8), engine="bitpacked", config=config,
+        prune=True, stats=stats,
+    )
+    reference = fault_detection_any(
+        network, faults, CubeVectors(8), engine="bitpacked", config=config,
+        prune=False,
+    )
+    assert np.array_equal(detected, reference)
+    assert stats.dropped_faults > 0
+
+
+def test_stats_merge_counts_roundtrip():
+    a = SimulationStats(faults=2, converged_faults=1, dropped_faults=3,
+                        evaluated_stage_blocks=10, pruned_stage_blocks=30)
+    b = SimulationStats()
+    b.merge_counts(a.counts())
+    assert b == a
+    assert a.prune_ratio == 0.75
+
+
+# ----------------------------------------------------------------------
+# Coverage helpers on the streamed cube
+# ----------------------------------------------------------------------
+def test_coverage_report_on_cube_matches_explicit():
+    network = batcher_sorting_network(6)
+    faults = enumerate_single_faults(network)
+    explicit = coverage_report(
+        network, faults, all_binary_words_array(6), engine="bitpacked"
+    )
+    streamed = coverage_report(
+        network, faults, CubeVectors(6), engine="bitpacked",
+        config=ExecutionConfig(chunk_size=16),
+    )
+    assert streamed.coverage == explicit.coverage
+    assert streamed.detected_faults == explicit.detected_faults
+    assert streamed.by_kind == explicit.by_kind
+    assert streamed.vectors_used == 64

@@ -9,21 +9,21 @@ tests exercise the real process pools.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.constructions import batcher_sorting_network
 from repro.core import ComparatorNetwork
 from repro.core.bitpacked import (
     pack_batch,
     packed_all_binary_words,
+    packed_count_gt_blocks,
     packed_cube_range,
     packed_selection_violation_blocks,
     packed_unsorted_blocks,
     packed_zero_count_planes,
-    packed_count_gt_blocks,
     unpack_bits,
 )
 from repro.core.evaluation import (
@@ -38,8 +38,8 @@ from repro.parallel import (
     chunked_words_all_sorted,
     cube_block_spans,
     rank_to_word,
-    sharded_fault_detection_matrix,
     shard_spans,
+    sharded_fault_detection_matrix,
     streamed_is_selector,
     streamed_is_sorter,
     streamed_sorting_failure_rank,

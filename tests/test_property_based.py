@@ -14,9 +14,9 @@ networks and words:
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.core import ComparatorNetwork, apply_network_to_batch
 from repro.core.serialization import (

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-
 from repro.constructions import (
     batcher_sorting_network,
     bubble_sorting_network,

@@ -13,8 +13,8 @@ from repro.words import (
     check_permutation,
     compose_permutations,
     identity_permutation,
-    invert_permutation,
     inversions,
+    invert_permutation,
     is_permutation,
     is_sorted_permutation,
     num_permutations,
