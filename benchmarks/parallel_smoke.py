@@ -1,6 +1,6 @@
 """Benchmark smoke run for the parallel subsystem → BENCH_parallel.json.
 
-Three workloads, all cross-checked for bit-identical results before timing:
+Four workloads, all cross-checked for bit-identical results before timing:
 
 * **Streamed exhaustive verification** — sortedness of a Batcher sorter
   over the full ``2**n`` cube (default ``n = 24``), comparing the
@@ -22,13 +22,21 @@ Three workloads, all cross-checked for bit-identical results before timing:
   must be identical, the streamed cube matrix must equal the explicit-cube
   matrix at a small cross-check size, and the pruned run must beat the
   unpruned run by ``--min-prune-speedup`` (second CI gate).
+* **Scratch-plane arena** — the pruned coverage run with the
+  allocation-free arena engine (the default) against the preserved PR-3
+  allocating path (``arena=False``).  Verdicts and
+  ``SimulationStats`` counters must be identical, the arena engine must
+  beat the allocating path by ``--min-arena-speedup`` (third CI gate), and
+  a tracemalloc probe of the pruned hot loop at ``--alloc-n`` asserts the
+  arena's peak allocation does not regress past the allocating path's
+  (the allocation counter recorded in the JSON report).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/parallel_smoke.py \
         --out BENCH_parallel.json [--stream-n 24] [--fault-n 18] \
         [--workers 4] [--repeats 3] [--min-speedup 2] \
-        [--min-prune-speedup 1.3]
+        [--min-prune-speedup 1.3] [--min-arena-speedup 1.15] [--alloc-n 14]
 """
 
 from __future__ import annotations
@@ -38,11 +46,13 @@ import json
 import os
 import sys
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro.constructions import batcher_sorting_network
 from repro.core.evaluation import all_binary_words_array, unsorted_binary_words_array
+from repro.core.scratch import PlaneArena
 from repro.faults import (
     CubeVectors,
     SimulationStats,
@@ -233,6 +243,111 @@ def prune_workload(n: int, repeats: int, cross_check_n: int = 10) -> dict:
     }
 
 
+def _traced_peak_bytes(thunk) -> int:
+    """Peak tracemalloc bytes allocated while *thunk* runs (warmed up once).
+
+    numpy >= 1.22 reports array-data allocations through tracemalloc, so
+    the per-stage plane churn of the allocating engine is visible here
+    while the arena engine's pre-allocated pool is not (it is created
+    before tracing starts).
+    """
+    thunk()  # warm caches (arena pool, writer tables, numpy internals)
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        thunk()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def arena_workload(n: int, repeats: int, alloc_n: int) -> dict:
+    """Arena-backed pruned engine vs the PR-3 allocating path (module docstring)."""
+    device = batcher_sorting_network(n)
+    faults = enumerate_single_faults(device, line_stuck_at_input_only=False)
+    vectors = unsorted_binary_words_array(n)
+    config = ExecutionConfig(chunk_size=1 << 16)
+
+    # Cross-check: identical verdicts AND identical pruning counters.
+    stats_arena = SimulationStats()
+    stats_alloc = SimulationStats()
+    arena_verdicts = fault_detection_any(
+        device, faults, vectors, engine="bitpacked", config=config, prune=True,
+        stats=stats_arena,
+    )
+    alloc_verdicts = fault_detection_any(
+        device, faults, vectors, engine="bitpacked", config=config, prune=True,
+        stats=stats_alloc, arena=False,
+    )
+    if not np.array_equal(arena_verdicts, alloc_verdicts):
+        raise AssertionError("arena-backed verdicts differ from the allocating path")
+    if stats_arena.counts() != stats_alloc.counts():
+        raise AssertionError(
+            "arena-backed pruning counters differ from the allocating path: "
+            f"{stats_arena.counts()} vs {stats_alloc.counts()}"
+        )
+
+    seconds = {
+        "arena": _best_of(
+            repeats,
+            lambda: fault_detection_any(
+                device, faults, vectors, engine="bitpacked", config=config,
+                prune=True,
+            ),
+        ),
+        "alloc": _best_of(
+            repeats,
+            lambda: fault_detection_any(
+                device, faults, vectors, engine="bitpacked", config=config,
+                prune=True, arena=False,
+            ),
+        ),
+    }
+
+    # Allocation counter: tracemalloc peak of the pruned hot loop alone
+    # (prefix states and output rows are built before tracing, so the peak
+    # isolates the per-stage churn the arena removes).  Smaller n keeps the
+    # traced run fast — tracemalloc slows allocation-heavy code sharply.
+    from repro.faults.simulation import PrefixStates, _fault_rows, _pack_vectors
+
+    small = batcher_sorting_network(alloc_n)
+    small_faults = enumerate_single_faults(small, line_stuck_at_input_only=False)
+    packed = _pack_vectors(small, unsorted_binary_words_array(alloc_n))
+    prefix = PrefixStates.build(small, packed)
+    rows = np.zeros((len(small_faults), packed.num_words), dtype=bool)
+    arena = PlaneArena(small.n_lines, packed.n_blocks)
+    peak_arena = _traced_peak_bytes(
+        lambda: _fault_rows(
+            small, small_faults, prefix, "specification", rows, prune=True,
+            arena=arena,
+        )
+    )
+    peak_alloc = _traced_peak_bytes(
+        lambda: _fault_rows(
+            small, small_faults, prefix, "specification", rows, prune=True,
+            arena=False,
+        )
+    )
+    return {
+        "n": n,
+        "device": f"batcher({n})",
+        "faults": len(faults),
+        "vectors": int(vectors.shape[0]),
+        "chunk_size_words": 1 << 16,
+        "results_identical": True,
+        "stats_identical": True,
+        "prune_ratio": round(stats_arena.prune_ratio, 4),
+        "seconds": seconds,
+        "arena_speedup": seconds["alloc"] / seconds["arena"],
+        "alloc_probe_n": alloc_n,
+        "alloc_peak_bytes": {"arena": peak_arena, "alloc": peak_alloc},
+        "alloc_peak_reduction": (
+            (peak_alloc / peak_arena) if peak_arena else float("inf")
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -267,6 +382,20 @@ def main(argv=None) -> int:
         help="required dominated-state-pruning speedup on the streamed "
         "coverage path (0 disables)",
     )
+    parser.add_argument(
+        "--min-arena-speedup",
+        type=float,
+        default=1.15,
+        help="required scratch-arena speedup over the PR-3 allocating "
+        "pruned engine (0 disables)",
+    )
+    parser.add_argument(
+        "--alloc-n",
+        type=int,
+        default=14,
+        help="device size for the tracemalloc allocation probe "
+        "(tracemalloc slows the traced run; keep this modest)",
+    )
     parser.add_argument("--out", default="BENCH_parallel.json")
     args = parser.parse_args(argv)
 
@@ -284,6 +413,9 @@ def main(argv=None) -> int:
             "pruned_fault_simulation": prune_workload(
                 args.fault_n, args.repeats
             ),
+            "arena_scratch_planes": arena_workload(
+                args.fault_n, args.repeats, args.alloc_n
+            ),
         },
         "results_identical": True,
     }
@@ -293,10 +425,18 @@ def main(argv=None) -> int:
     prune_speedup = report["workloads"]["pruned_fault_simulation"][
         "prune_speedup"
     ]
+    arena = report["workloads"]["arena_scratch_planes"]
+    arena_speedup = arena["arena_speedup"]
+    alloc_peaks = arena["alloc_peak_bytes"]
     report["min_speedup_required"] = args.min_speedup
     report["min_prune_speedup_required"] = args.min_prune_speedup
+    report["min_arena_speedup_required"] = args.min_arena_speedup
+    alloc_gate_ok = alloc_peaks["arena"] <= alloc_peaks["alloc"]
     report["passed"] = (
-        speedup >= args.min_speedup and prune_speedup >= args.min_prune_speedup
+        speedup >= args.min_speedup
+        and prune_speedup >= args.min_prune_speedup
+        and arena_speedup >= args.min_arena_speedup
+        and alloc_gate_ok
     )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -315,10 +455,28 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if arena_speedup < args.min_arena_speedup:
+        print(
+            f"FAIL: scratch-arena speedup {arena_speedup:.2f}x below the "
+            f"{args.min_arena_speedup:.2f}x floor at n={args.fault_n}",
+            file=sys.stderr,
+        )
+        return 1
+    if not alloc_gate_ok:
+        print(
+            f"FAIL: arena peak allocation {alloc_peaks['arena']} B exceeds "
+            f"the allocating path's {alloc_peaks['alloc']} B "
+            f"(n={args.alloc_n} probe)",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"OK: fault-sim n={args.fault_n} sharded speedup {speedup:.2f}x with "
         f"{workers} workers (floor {args.min_speedup:.1f}x), pruning speedup "
-        f"{prune_speedup:.2f}x (floor {args.min_prune_speedup:.1f}x)"
+        f"{prune_speedup:.2f}x (floor {args.min_prune_speedup:.1f}x), "
+        f"arena speedup {arena_speedup:.2f}x (floor "
+        f"{args.min_arena_speedup:.2f}x, peak alloc "
+        f"{alloc_peaks['arena']} B vs {alloc_peaks['alloc']} B)"
     )
     return 0
 

@@ -66,6 +66,7 @@ from .random_networks import (
     random_sorter_mutation,
     random_standard_comparator,
 )
+from .scratch import PlaneArena, shared_arena
 from .serialization import (
     network_from_dict,
     network_from_json,
@@ -100,6 +101,8 @@ __all__ = [
     "unsorted_binary_words_array",
     "words_to_array",
     "PackedBatch",
+    "PlaneArena",
+    "shared_arena",
     "apply_network_packed",
     "pack_batch",
     "pack_words",

@@ -107,6 +107,7 @@ class PackedBatch:
         return self.planes.shape[1]
 
     def copy(self) -> PackedBatch:
+        """A deep copy (fresh plane storage, same word count)."""
         return PackedBatch(self.planes.copy(), self.num_words)
 
     def pad_mask(self) -> np.ndarray:
@@ -268,23 +269,57 @@ def apply_comparators_packed(
 
     The low line receives AND (the minimum of 0/1 values) and the high line
     OR (the maximum); a reversed comparator swaps the two.  Mutates and
-    returns *planes* (ignores *out*; the parameter exists so callers can pass
-    pre-allocated scratch in future revisions without an API break).
+    returns *planes*.
+
+    Parameters
+    ----------
+    planes : numpy.ndarray
+        ``(n_lines, n_blocks)`` packed planes, updated in place.
+    comparators : iterable of Comparator
+        Comparators applied in order.
+    out : numpy.ndarray, optional
+        A ``(n_blocks,)`` scratch row (e.g.
+        :func:`repro.core.scratch.comparator_scratch` or a
+        :class:`~repro.core.scratch.PlaneArena` row).  With scratch the
+        whole sweep runs on ``out=`` ufuncs — one value is staged through
+        the scratch row, the other is written into its destination plane
+        directly — so no per-comparator arrays are allocated.  Without it
+        each comparator allocates its two output planes (the legacy path).
     """
+    if out is None:
+        for comp in comparators:
+            a = planes[comp.low]
+            b = planes[comp.high]
+            lo = a & b
+            hi = a | b
+            if comp.reversed:
+                lo, hi = hi, lo
+            planes[comp.low] = lo
+            planes[comp.high] = hi
+        return planes
     for comp in comparators:
         a = planes[comp.low]
         b = planes[comp.high]
-        lo = a & b
-        hi = a | b
+        # Stage the low-line value through the scratch row, then write the
+        # high-line value straight into its plane (aliasing an elementwise
+        # ufunc input as its own output is well-defined) and copy the
+        # staged value back.
         if comp.reversed:
-            lo, hi = hi, lo
-        planes[comp.low] = lo
-        planes[comp.high] = hi
+            np.bitwise_or(a, b, out=out)
+            np.bitwise_and(a, b, out=b)
+        else:
+            np.bitwise_and(a, b, out=out)
+            np.bitwise_or(a, b, out=b)
+        planes[comp.low] = out
     return planes
 
 
 def apply_network_packed(
-    network: ComparatorNetwork, packed: PackedBatch, *, copy: bool = True
+    network: ComparatorNetwork,
+    packed: PackedBatch,
+    *,
+    copy: bool = True,
+    scratch: np.ndarray | None = None,
 ) -> PackedBatch:
     """Evaluate *network* on a packed batch.
 
@@ -292,7 +327,10 @@ def apply_network_packed(
     faulty-network subclasses in :mod:`repro.faults.models` provide one);
     networks with an ``apply_batch`` override but no packed override are
     round-tripped through the unpacked engine so the behaviour is always the
-    one the network defines.
+    one the network defines.  *scratch* (a ``(n_blocks,)`` row, e.g.
+    :func:`repro.core.scratch.comparator_scratch`) is forwarded to
+    :func:`apply_comparators_packed` on the generic path so the sweep
+    allocates nothing per comparator; overrides ignore it.
     """
     if packed.n_lines != network.n_lines:
         raise InputLengthError(
@@ -308,7 +346,7 @@ def apply_network_packed(
         outputs = apply_network_to_batch(network, unpack_batch(packed))
         return pack_batch(outputs, n_lines=network.n_lines)
     result = packed.copy() if copy else packed
-    apply_comparators_packed(result.planes, network.comparators)
+    apply_comparators_packed(result.planes, network.comparators, out=scratch)
     return result
 
 

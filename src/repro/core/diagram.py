@@ -85,7 +85,7 @@ def render_network(
             label = f"line {line_index} ".ljust(label_width) if line_labels else ""
             prefix = ""
             suffix = ""
-            if input_word is not None:
+            if input_word is not None and outputs is not None:
                 prefix = f"{input_word[line_index]:>3} "
                 suffix = f" {outputs[line_index]:>3}"
             lines_text.append(f"{label}{prefix}{body}{suffix}")

@@ -1,0 +1,266 @@
+"""Scratch-plane arena for allocation-free bit-packed fault simulation.
+
+The pruned difference-form fault simulator (:mod:`repro.faults.simulation`)
+propagates per-line *error planes* through the suffix of the network.  The
+original implementation allocated a fresh uint64 plane for every bitwise
+operation of every suffix stage — two to six ``n_blocks``-word arrays per
+comparator per fault, which the allocator (not the ALU) ends up dominating
+once the logic itself is a handful of AND/XOR block operations.
+
+:class:`PlaneArena` removes that traffic: it owns one pool of scratch
+planes — an error/temp store of ``2 * n_lines`` rows (one error plane and
+one in-flight temporary per line) plus a few extra rows for the
+row-reconstruction sweeps — together with a *dirty-line index* mapping each
+currently-diverged line to the pool row holding its error plane.  The hot
+loop then runs entirely on ``out=`` ufuncs against pool rows: a comparator
+acquires two free rows, writes its outputs into them with
+``np.bitwise_and(..., out=...)`` / ``np.bitwise_xor(..., out=...)``, and
+recycles the rows of the planes it consumed.  Swapping which line owns
+which plane is a slot-index update, never a copy.
+
+One arena is reused across *all* faults of a simulation run (and across
+vector chunks of the same shape — :func:`shared_arena` keeps a small
+process-local cache keyed by ``(n_lines, n_blocks)``, which is what gives
+every pool worker its own long-lived arena).  :meth:`PlaneArena.reset`
+between faults is an ``O(n_lines)`` index wipe; no memory is touched.
+
+The arena is also the home of the value-plane scratch used by the
+allocation-free ``PrefixStates.state_after(..., out=...)`` reconstruction
+and the single-row comparator scratch consumed by
+:func:`repro.core.bitpacked.apply_comparators_packed`.
+
+Examples
+--------
+>>> from repro.core.scratch import PlaneArena
+>>> arena = PlaneArena(4, 2)
+>>> slot = arena.acquire()
+>>> arena.plane(slot).shape
+(2,)
+>>> arena.set_error(1, slot)
+>>> sorted(arena.error_planes())
+[1]
+>>> arena.reset()
+>>> arena.error_planes()
+{}
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PlaneArena", "shared_arena", "comparator_scratch"]
+
+#: Default block dtype — mirrors ``repro.core.bitpacked._BLOCK_DTYPE``
+#: (explicit little-endian uint64).
+_BLOCK_DTYPE = np.dtype("<u8")
+
+#: Extra pool rows beyond the ``2 * n_lines`` error/temp store: head-room
+#: for the detection-row reconstruction sweeps, which hold up to four
+#: temporaries while every line may still own a live error plane.
+_EXTRA_SLOTS = 4
+
+#: Cap on the process-local :func:`shared_arena` cache (distinct
+#: ``(n_lines, n_blocks)`` shapes kept alive at once).
+_CACHE_CAP = 8
+
+_SHARED_ARENAS: dict[tuple[int, int], PlaneArena] = {}
+
+
+class PlaneArena:
+    """A reusable pool of packed scratch planes plus a dirty-line index.
+
+    Parameters
+    ----------
+    n_lines : int
+        Number of network lines the arena serves.
+    n_blocks : int
+        Packed blocks per plane (``ceil(num_words / 64)``).
+    dtype : numpy.dtype, optional
+        Block dtype; defaults to the bit-packed engine's little-endian
+        uint64.
+
+    Attributes
+    ----------
+    store : numpy.ndarray
+        The ``(2 * n_lines + 4, n_blocks)`` error/temp plane pool.  Rows
+        are handed out through :meth:`acquire`; a row's content is only
+        meaningful while it is held.
+    state : numpy.ndarray
+        A ``(n_lines, n_blocks)`` value-plane scratch for full-state
+        reconstruction (``PrefixStates.state_after(..., out=arena.state)``).
+    tmp : numpy.ndarray
+        One ``(n_blocks,)`` row used as comparator scratch by
+        :func:`repro.core.bitpacked.apply_comparators_packed`.
+    zero : numpy.ndarray
+        A read-only all-zero plane (the forced plane of a stuck-at-0 line).
+        Callers must never write through it.
+    err_slot : dict of int to int
+        The dirty-line index: maps a line to the pool row holding its
+        current error plane.  Lines absent from the mapping are *clean*.
+
+    Notes
+    -----
+    The pool is sized so the pruned simulator can never run dry: at most
+    ``n_lines`` rows are owned by error planes while a comparator holds two
+    in-flight temporaries and a stuck-line re-check holds one more; the
+    reconstruction sweeps hold at most four on top of the live error
+    planes.
+
+    Examples
+    --------
+    >>> arena = PlaneArena(2, 1)
+    >>> arena.store.shape
+    (8, 1)
+    """
+
+    def __init__(
+        self, n_lines: int, n_blocks: int, dtype: np.dtype = _BLOCK_DTYPE
+    ) -> None:
+        self.err_slot: dict[int, int] = {}
+        self._free: list[int] = []
+        self._allocate(n_lines, n_blocks, np.dtype(dtype))
+
+    def _allocate(self, n_lines: int, n_blocks: int, dtype: np.dtype) -> None:
+        self.n_lines = n_lines
+        self.n_blocks = n_blocks
+        self.dtype = dtype
+        self.store = np.zeros((2 * n_lines + _EXTRA_SLOTS, n_blocks), dtype=dtype)
+        # Persistent row views: indexing a list is cheaper than re-slicing
+        # the store on every access in the simulator's hot loop.
+        self.views: list[np.ndarray] = list(self.store)
+        self.state = np.zeros((n_lines, n_blocks), dtype=dtype)
+        self.tmp = np.zeros(n_blocks, dtype=dtype)
+        self.zero = np.zeros(n_blocks, dtype=dtype)
+        self.err_slot.clear()
+        self._free = list(range(self.store.shape[0]))
+
+    # ------------------------------------------------------------------
+    # Slot management
+    # ------------------------------------------------------------------
+    def acquire(self) -> int:
+        """Check a free pool row out; returns its index.
+
+        Returns
+        -------
+        int
+            Index of a row of :attr:`store` now owned by the caller.
+        """
+        return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        """Return a row checked out with :meth:`acquire` to the pool."""
+        self._free.append(slot)
+
+    def plane(self, slot: int) -> np.ndarray:
+        """The ``(n_blocks,)`` plane view behind a slot index."""
+        return self.views[slot]
+
+    # ------------------------------------------------------------------
+    # Dirty-line index
+    # ------------------------------------------------------------------
+    def set_error(self, line: int, slot: int) -> None:
+        """Make *slot* the error plane of *line*, recycling any old slot."""
+        old = self.err_slot.get(line)
+        if old is not None:
+            self._free.append(old)
+        self.err_slot[line] = slot
+
+    def clear_error(self, line: int) -> None:
+        """Mark *line* clean, recycling its slot (no-op when already clean)."""
+        old = self.err_slot.pop(line, None)
+        if old is not None:
+            self._free.append(old)
+
+    def error_planes(self) -> dict[int, np.ndarray]:
+        """The dirty lines as a ``{line: error_plane_view}`` mapping.
+
+        Returns
+        -------
+        dict of int to numpy.ndarray
+            Views into :attr:`store`; valid until the next :meth:`reset`.
+        """
+        return {line: self.views[slot] for line, slot in self.err_slot.items()}
+
+    def reset(self) -> None:
+        """Drop every checked-out slot and dirty line (``O(n_lines)``).
+
+        The plane *contents* are not touched — every consumer writes its
+        slots before reading them.
+        """
+        self.err_slot.clear()
+        free = self._free
+        free.clear()
+        free.extend(range(self.store.shape[0]))
+
+    # ------------------------------------------------------------------
+    # Shape adaptation
+    # ------------------------------------------------------------------
+    def matches(self, n_lines: int, n_blocks: int, dtype: np.dtype) -> bool:
+        """Does the arena already serve this plane geometry?"""
+        return (
+            self.n_lines == n_lines
+            and self.n_blocks == n_blocks
+            and self.dtype == np.dtype(dtype)
+        )
+
+    def ensure(self, n_lines: int, n_blocks: int, dtype: np.dtype) -> PlaneArena:
+        """Reset the arena, reallocating its buffers only on a shape change.
+
+        This is what lets one arena be shared across repeated
+        ``fault_detection_matrix`` calls (and across the uneven tail chunk
+        of a streamed run): same shape → a pure index reset; different
+        shape → one reallocation, after which the new shape is served.
+
+        Returns
+        -------
+        PlaneArena
+            ``self``, for chaining.
+        """
+        if not self.matches(n_lines, n_blocks, dtype):
+            self._allocate(n_lines, n_blocks, np.dtype(dtype))
+        else:
+            self.reset()
+        return self
+
+
+def shared_arena(
+    n_lines: int, n_blocks: int, dtype: np.dtype = _BLOCK_DTYPE
+) -> PlaneArena:
+    """A process-local arena for this plane geometry (reset, never copied).
+
+    Arenas are cached per ``(n_lines, n_blocks)`` key, so every worker
+    process of the sharded fault simulator reuses one long-lived arena per
+    chunk shape instead of reallocating between tiles.  The cache holds at
+    most a handful of shapes; the least recently created entry is evicted
+    beyond that.  Not thread-safe (the simulator shards across *processes*).
+
+    Returns
+    -------
+    PlaneArena
+        A reset arena serving ``(n_lines, n_blocks)`` planes.
+    """
+    key = (n_lines, n_blocks)
+    arena = _SHARED_ARENAS.get(key)
+    if arena is None or arena.dtype != np.dtype(dtype):
+        if len(_SHARED_ARENAS) >= _CACHE_CAP:
+            _SHARED_ARENAS.pop(next(iter(_SHARED_ARENAS)))
+        arena = PlaneArena(n_lines, n_blocks, np.dtype(dtype))
+        _SHARED_ARENAS[key] = arena
+    else:
+        arena.reset()
+    return arena
+
+
+def comparator_scratch(n_blocks: int, dtype: np.dtype = _BLOCK_DTYPE) -> np.ndarray:
+    """A process-local ``(n_blocks,)`` comparator scratch row.
+
+    The single temporary :func:`repro.core.bitpacked.apply_comparators_packed`
+    needs to evaluate a comparator without allocating; backed by the same
+    cache as :func:`shared_arena` (key ``(0, n_blocks)`` — no error planes).
+
+    Returns
+    -------
+    numpy.ndarray
+        A reusable ``(n_blocks,)`` array of *dtype*.
+    """
+    return shared_arena(0, n_blocks, dtype).tmp

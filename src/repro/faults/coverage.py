@@ -37,6 +37,7 @@ from .simulation import (
 )
 
 if TYPE_CHECKING:
+    from ..core.scratch import PlaneArena
     from ..parallel.config import ExecutionConfig
 
 __all__ = [
@@ -90,6 +91,7 @@ def fault_coverage(
     config: ExecutionConfig | None = None,
     prune: bool = True,
     stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
 ) -> float:
     """Fraction of *faults* detected by *test_vectors*.
 
@@ -102,8 +104,10 @@ def fault_coverage(
     test_vectors : sequence of words, 2-D array, or CubeVectors
         Vectors to apply; :class:`~repro.faults.simulation.CubeVectors`
         streams the exhaustive cube in constant memory.
-    criterion, engine, config, prune, stats :
-        Forwarded to :func:`repro.faults.simulation.fault_detection_any`.
+    criterion, engine, config, prune, stats, arena :
+        Forwarded to :func:`repro.faults.simulation.fault_detection_any`
+        (*arena* is the scratch-plane arena knob of the bit-packed
+        engine).
 
     Returns
     -------
@@ -114,7 +118,7 @@ def fault_coverage(
         return 1.0
     detected = fault_detection_any(
         network, faults, test_vectors, criterion=criterion, engine=engine,
-        config=config, prune=prune, stats=stats,
+        config=config, prune=prune, stats=stats, arena=arena,
     )
     return float(np.mean(detected))
 
@@ -129,6 +133,7 @@ def coverage_report(
     config: ExecutionConfig | None = None,
     prune: bool = True,
     stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
 ) -> CoverageReport:
     """Full coverage report with a per-fault-kind breakdown.
 
@@ -145,7 +150,7 @@ def coverage_report(
     detected = (
         fault_detection_any(
             network, faults, test_vectors, criterion=criterion, engine=engine,
-            config=config, prune=prune, stats=stats,
+            config=config, prune=prune, stats=stats, arena=arena,
         )
         if faults
         else np.zeros(0, dtype=bool)
@@ -224,6 +229,7 @@ def compare_test_sets(
     engine: str = "vectorized",
     config: ExecutionConfig | None = None,
     prune: bool = True,
+    arena: PlaneArena | bool | None = None,
 ) -> dict[str, CoverageReport]:
     """Coverage of several named test sets against the same fault universe.
 
@@ -235,7 +241,7 @@ def compare_test_sets(
     return {
         name: coverage_report(
             network, faults, vectors, criterion=criterion, engine=engine,
-            config=config, prune=prune,
+            config=config, prune=prune, arena=arena,
         )
         for name, vectors in test_sets.items()
     }

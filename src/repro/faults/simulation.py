@@ -47,6 +47,14 @@ inherits the fault-free detection row.  The skipped work is reported
 through :class:`SimulationStats` and the result is bit-identical to the
 unpruned path by construction (see ``tests/test_fault_streaming.py``).
 
+The pruned hot loop runs allocation-free on a scratch-plane arena
+(:class:`repro.core.scratch.PlaneArena`): every error plane lives in a
+reusable slot pool written through ``out=`` ufuncs, one arena serving all
+faults of a run (and, in the sharded executors, all tiles of a worker
+process).  Pass ``arena=`` to share an arena across calls, or
+``arena=False`` to force the legacy per-stage-allocating path (kept as the
+baseline for the benchmark gate in ``benchmarks/parallel_smoke.py``).
+
 The vector axis streams exactly like exhaustive verification does: pass a
 :class:`CubeVectors` marker (the full ``2**n`` cube, never materialised) or
 any explicit batch together with a streaming
@@ -90,6 +98,7 @@ from ..core.evaluation import (
     words_to_array,
 )
 from ..core.network import ComparatorNetwork
+from ..core.scratch import PlaneArena, shared_arena
 from ..exceptions import FaultModelError
 from ..words.binary import is_sorted_word
 from .models import (
@@ -244,6 +253,7 @@ def fault_detection_matrix(
     config: ExecutionConfig | None = None,
     prune: bool = True,
     stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
 ) -> np.ndarray:
     """Boolean matrix ``D[f, t]``: does test vector ``t`` detect fault ``f``?
 
@@ -280,6 +290,15 @@ def fault_detection_matrix(
         identical either way.
     stats : SimulationStats, optional
         Accumulates pruning counters across chunks and workers.
+    arena : PlaneArena or bool, optional
+        Scratch-plane arena for the bit-packed engine
+        (:class:`repro.core.scratch.PlaneArena`).  ``None`` (default) uses
+        a process-shared arena keyed by the plane geometry — the pruned hot
+        loop then allocates nothing per stage.  Pass an explicit instance
+        to reuse it across calls (it is resized on a geometry change), or
+        ``False`` to force the legacy per-stage-allocating path (the
+        benchmark baseline).  Worker processes of a sharded run always use
+        their own worker-local arenas; ``False`` is forwarded to them.
 
     Returns
     -------
@@ -303,6 +322,7 @@ def fault_detection_matrix(
         config=config,
         prune=prune,
         stats=stats,
+        arena=arena,
         reduce="matrix",
     )
 
@@ -317,6 +337,7 @@ def fault_detection_any(
     config: ExecutionConfig | None = None,
     prune: bool = True,
     stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
 ) -> np.ndarray:
     """Per-fault detection verdicts: is fault ``f`` detected by *any* vector?
 
@@ -346,6 +367,7 @@ def fault_detection_any(
         config=config,
         prune=prune,
         stats=stats,
+        arena=arena,
         reduce="any",
     )
 
@@ -360,6 +382,7 @@ def _detection_run(
     config: ExecutionConfig | None,
     prune: bool,
     stats: SimulationStats | None,
+    arena: PlaneArena | bool | None,
     reduce: str,
 ) -> np.ndarray:
     """Shared dispatcher behind the two public entry points."""
@@ -380,6 +403,7 @@ def _detection_run(
             config=config,
             prune=prune,
             stats=stats,
+            arena=arena,
             reduce=reduce,
         )
     if engine == "bitpacked" and (
@@ -395,13 +419,15 @@ def _detection_run(
             config,
             prune=prune,
             stats=stats,
+            arena=arena,
             reduce=reduce,
         )
     if engine == "scalar":
         matrix = _scalar_detection_matrix(network, faults, vectors, criterion)
     elif engine == "bitpacked":
         matrix = _bitpacked_detection_matrix(
-            network, faults, vectors, criterion, prune=prune, stats=stats
+            network, faults, vectors, criterion, prune=prune, stats=stats,
+            arena=arena,
         )
     else:
         matrix = _vectorized_detection_matrix(network, faults, vectors, criterion)
@@ -565,6 +591,9 @@ class PrefixStates:
         self._last_writer = last_writer
         self._writer_pos = writer_pos
         self._writer_lists: tuple[list[list[int]], list[list[int]]] | None = None
+        self._comp_table: list[tuple[int, int, bool]] | None = None
+        self._delta_views: list[tuple[np.ndarray, np.ndarray]] | None = None
+        self._input_views: list[np.ndarray] | None = None
 
     def writer_tables(self) -> tuple[list[list[int]], list[list[int]]]:
         """The last-writer tables as plain nested lists (cached).
@@ -579,6 +608,38 @@ class PrefixStates:
                 self._writer_pos.tolist(),
             )
         return self._writer_lists
+
+    def comp_table(self) -> list[tuple[int, int, bool]]:
+        """``(low, high, reversed)`` per comparator as plain tuples (cached).
+
+        Tuple unpacking beats three dataclass attribute reads per loop
+        iteration at the pruner's call rate.
+        """
+        if self._comp_table is None:
+            self._comp_table = [
+                (c.low, c.high, c.reversed) for c in self.network.comparators
+            ]
+        return self._comp_table
+
+    def delta_views(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Cached ``(low_plane, high_plane)`` views per comparator.
+
+        ``deltas[i, pos]`` re-slices the 3-D array on every access
+        (~hundreds of ns of numpy indexing); the pruner instead pulls
+        pre-built views out of a plain list.
+        """
+        if self._delta_views is None:
+            deltas = self.deltas
+            self._delta_views = [
+                (deltas[i, 0], deltas[i, 1]) for i in range(self.network.size)
+            ]
+        return self._delta_views
+
+    def input_views(self) -> list[np.ndarray]:
+        """Cached per-line views of the packed input planes."""
+        if self._input_views is None:
+            self._input_views = list(self.input_planes)
+        return self._input_views
 
     @classmethod
     def build(
@@ -612,10 +673,22 @@ class PrefixStates:
             else np.empty((size, 2, n_blocks), dtype=packed_input.planes.dtype)
         )
         running = packed_input.planes.copy()
+        # Write each comparator's outputs straight into its delta pair and
+        # copy them back into the running state — the recording sweep then
+        # allocates nothing per stage.
         for index, comp in enumerate(network.comparators):
-            apply_comparators_packed(running, (comp,))
-            deltas[index, 0] = running[comp.low]
-            deltas[index, 1] = running[comp.high]
+            a = running[comp.low]
+            b = running[comp.high]
+            d_lo = deltas[index, 0]
+            d_hi = deltas[index, 1]
+            if comp.reversed:
+                np.bitwise_or(a, b, out=d_lo)
+                np.bitwise_and(a, b, out=d_hi)
+            else:
+                np.bitwise_and(a, b, out=d_lo)
+                np.bitwise_or(a, b, out=d_hi)
+            running[comp.low] = d_lo
+            running[comp.high] = d_hi
         return cls(network, packed_input.planes, deltas, packed_input.num_words)
 
     def line_value(self, stage: int, line: int) -> np.ndarray:
@@ -629,9 +702,20 @@ class PrefixStates:
             return self.input_planes[line]
         return self.deltas[index, int(self._writer_pos[stage, line])]
 
-    def state_after(self, stage: int) -> PackedBatch:
-        """A fresh copy of the packed planes after the first *stage* comparators."""
-        planes = np.empty_like(self.input_planes)
+    def state_after(self, stage: int, out: np.ndarray | None = None) -> PackedBatch:
+        """A copy of the packed planes after the first *stage* comparators.
+
+        Parameters
+        ----------
+        stage : int
+            Prefix length (0 = the inputs).
+        out : numpy.ndarray, optional
+            A ``(n_lines, n_blocks)`` destination (e.g. the ``state``
+            buffer of a :class:`repro.core.scratch.PlaneArena`); when given
+            the reconstruction is pure ``np.copyto`` row pulls with no
+            allocation at all.
+        """
+        planes = np.empty_like(self.input_planes) if out is None else out
         for line in range(self.network.n_lines):
             planes[line] = self.line_value(stage, line)
         return PackedBatch(planes, self.num_words)
@@ -645,33 +729,59 @@ def _fault_state(
     network: ComparatorNetwork,
     fault: Fault,
     prefix: PrefixStates,
+    arena: PlaneArena | None = None,
 ) -> PackedBatch:
     """The packed output planes of the faulty device, restarted from the
-    shared fault-free prefix state at the fault site."""
+    shared fault-free prefix state at the fault site.
+
+    With an *arena* the state planes are reconstructed into the arena's
+    ``state`` buffer and the suffix sweep runs on its comparator scratch —
+    no per-stage allocation; the returned batch is a view of the arena and
+    only valid until its next use.
+    """
     comparators = network.comparators
+    out = arena.state if arena is not None else None
+    scratch = arena.tmp if arena is not None else None
 
     if isinstance(fault, StuckPassFault):
         index = _checked_index(network, fault.index)
-        state = prefix.state_after(index)
-        apply_comparators_packed(state.planes, comparators[index + 1 :])
+        state = prefix.state_after(index, out=out)
+        apply_comparators_packed(
+            state.planes, comparators[index + 1 :], out=scratch
+        )
     elif isinstance(fault, StuckSwapFault):
         index = _checked_index(network, fault.index)
-        state = prefix.state_after(index)
+        state = prefix.state_after(index, out=out)
         comp = comparators[index]
-        state.planes[[comp.low, comp.high]] = state.planes[[comp.high, comp.low]]
-        apply_comparators_packed(state.planes, comparators[index + 1 :])
+        if scratch is None:
+            state.planes[[comp.low, comp.high]] = state.planes[
+                [comp.high, comp.low]
+            ]
+        else:
+            np.copyto(scratch, state.planes[comp.low])
+            state.planes[comp.low] = state.planes[comp.high]
+            state.planes[comp.high] = scratch
+        apply_comparators_packed(
+            state.planes, comparators[index + 1 :], out=scratch
+        )
     elif isinstance(fault, ReversedComparatorFault):
         index = _checked_index(network, fault.index)
-        state = prefix.state_after(index)
-        apply_comparators_packed(state.planes, (comparators[index].flipped(),))
-        apply_comparators_packed(state.planes, comparators[index + 1 :])
+        state = prefix.state_after(index, out=out)
+        apply_comparators_packed(
+            state.planes, (comparators[index].flipped(),), out=scratch
+        )
+        apply_comparators_packed(
+            state.planes, comparators[index + 1 :], out=scratch
+        )
     elif isinstance(fault, LineStuckFault):
-        state = _stuck_line_state(network, fault, prefix)
+        state = _stuck_line_state(network, fault, prefix, arena=arena)
     else:
         # Unknown fault model: fall back to materialising the faulty
         # device and running it through the generic packed engine.
         faulty = fault.apply_to(network)
-        state = apply_network_packed(faulty, prefix.state_after(0), copy=False)
+        state = apply_network_packed(
+            faulty, prefix.state_after(0, out=out), copy=False, scratch=scratch
+        )
     return state
 
 
@@ -683,6 +793,7 @@ def _pruned_fault_errors(
     fault: Fault,
     prefix: PrefixStates,
     stats: SimulationStats,
+    arena: PlaneArena,
 ) -> dict[int, np.ndarray] | PackedBatch | None:
     """Suffix re-evaluation with dominated-state pruning (difference form).
 
@@ -702,11 +813,241 @@ def _pruned_fault_errors(
     becomes all-zero is clean again — *dominated* by the fault-free state —
     and a fault with no dirty lines left stops re-evaluating altogether.
 
+    Every error plane lives in a slot of the scratch *arena*
+    (:class:`repro.core.scratch.PlaneArena`): a comparator acquires two
+    free pool rows, writes its outputs into them with ``out=`` ufuncs and
+    recycles the rows it consumed, so the whole loop allocates **nothing**
+    per stage.  The allocating PR-3 implementation is preserved as
+    :func:`_pruned_fault_errors_alloc` (the benchmark baseline) and both
+    are cross-checked bit-identical by the test suite.
+
     Returns ``None`` when the state converged to the fault-free state, a
-    ``{line: error_plane}`` dict for the lines still diverged at the output,
-    or a full :class:`~repro.core.bitpacked.PackedBatch` for unknown fault
-    models (generic fallback).  Bit-identical to :func:`_fault_state` by
+    ``{line: error_plane}`` dict (views into the arena, valid until its
+    next reset) for the lines still diverged at the output, or a full
+    :class:`~repro.core.bitpacked.PackedBatch` for unknown fault models
+    (generic fallback).  Bit-identical to :func:`_fault_state` by
     construction.
+    """
+    size = network.size
+    n = network.n_lines
+    n_blocks = prefix.input_planes.shape[1]
+    last_writer, writer_pos = prefix.writer_tables()
+    comps = prefix.comp_table()
+    dviews = prefix.delta_views()
+    iviews = prefix.input_views()
+    nonzero = np.count_nonzero
+    bxor = np.bitwise_xor
+    band = np.bitwise_and
+    bor = np.bitwise_or
+    # A diverged plane almost always carries a set bit in the middle block,
+    # so probing one scalar first makes "still dirty?" checks cheap; the
+    # full reduction (count_nonzero — ~2.5× cheaper than ``.any()`` on
+    # uint64 planes) only runs when the probe is zero.
+    probe = n_blocks >> 1
+
+    arena.reset()
+    views = arena.views
+    free = arena._free
+    err = arena.err_slot  # the dirty-line index: line -> pool slot
+
+    def line_value(stage: int, line: int) -> np.ndarray:
+        index = last_writer[stage][line]
+        if index < 0:
+            return iviews[line]
+        return dviews[index][writer_pos[stage][line]]
+
+    forced_line = -1
+    forced_plane: np.ndarray | None = None
+
+    if isinstance(
+        fault, (StuckPassFault, StuckSwapFault, ReversedComparatorFault)
+    ):
+        index = _checked_index(network, fault.index)
+        start = index + 1
+        c_lo, c_hi, _c_rev = comps[index]
+        a = line_value(index, c_lo)
+        b = line_value(index, c_hi)
+        evaluated = 0
+        if isinstance(fault, ReversedComparatorFault):
+            baseline = size - index
+            evaluated = 1
+            # Swapping min and max flips exactly the positions where the
+            # inputs differ — on both output lines (one slot per line, so
+            # the second plane is a copy, not a shared row).
+            s = free.pop()
+            e = views[s]
+            bxor(a, b, out=e)
+            if e[probe] or nonzero(e):
+                s_twin = free.pop()
+                np.copyto(views[s_twin], e)
+                err[c_lo] = s
+                err[c_hi] = s_twin
+            else:
+                free.append(s)
+        else:
+            baseline = size - start
+            lo_src, hi_src = (
+                (a, b) if isinstance(fault, StuckPassFault) else (b, a)
+            )
+            d_lo, d_hi = dviews[index]
+            s = free.pop()
+            e = views[s]
+            bxor(lo_src, d_lo, out=e)
+            if e[probe] or nonzero(e):
+                err[c_lo] = s
+            else:
+                free.append(s)
+            s = free.pop()
+            e = views[s]
+            bxor(hi_src, d_hi, out=e)
+            if e[probe] or nonzero(e):
+                err[c_hi] = s
+            else:
+                free.append(s)
+    elif isinstance(fault, LineStuckFault):
+        if fault.line < 0 or fault.line >= n:
+            raise FaultModelError(
+                f"line {fault.line} out of range for {n} lines"
+            )
+        if fault.stage < 0 or fault.stage > size:
+            raise FaultModelError(
+                f"stage {fault.stage} out of range for a network of size {size}"
+            )
+        forced_line = fault.line
+        forced_plane = prefix.pad_mask if fault.value else arena.zero
+        start = fault.stage
+        # The difference-form loop restarts at the forcing stage itself,
+        # so its no-pruning baseline is the `size - stage` suffix stages it
+        # can actually evaluate (the full-state path restarts one stage
+        # earlier, but that extra stage is a restart artefact, not
+        # dominated-state pruning).
+        baseline = size - start
+        evaluated = 0
+        s = free.pop()
+        e = views[s]
+        bxor(forced_plane, line_value(start, forced_line), out=e)
+        if e[probe] or nonzero(e):
+            err[forced_line] = s
+        else:
+            free.append(s)
+    else:
+        # Unknown fault model: no prefix-restart structure to exploit.
+        stats.evaluated_stage_blocks += size * n_blocks
+        stats.faults += 1
+        return _fault_state(network, fault, prefix, arena=arena)
+
+    stats.faults += 1
+    err_get = err.get
+    for i in range(start, size):
+        lo, hi, rev = comps[i]
+        s_a = err_get(lo)
+        s_b = err_get(hi)
+        if s_a is None and s_b is None:
+            # Clean inputs: fault-free outputs by determinism.  Only a
+            # stuck line needs re-checking, because forcing re-applies
+            # after every stage that writes it.
+            if forced_line == lo or forced_line == hi:
+                assert forced_plane is not None
+                s = free.pop()
+                e = views[s]
+                bxor(
+                    forced_plane,
+                    dviews[i][0 if forced_line == lo else 1],
+                    out=e,
+                )
+                if e[probe] or nonzero(e):
+                    err[forced_line] = s
+                else:
+                    free.append(s)
+            continue
+        evaluated += 1
+        s_and = free.pop()
+        s_or = free.pop()
+        t_and = views[s_and]
+        t_or = views[s_or]
+        if s_b is None:
+            assert s_a is not None
+            e_in = views[s_a]
+            band(e_in, line_value(i, hi), out=t_and)
+            bxor(e_in, t_and, out=t_or)
+        elif s_a is None:
+            e_in = views[s_b]
+            band(e_in, line_value(i, lo), out=t_and)
+            bxor(e_in, t_and, out=t_or)
+        else:
+            e_a = views[s_a]
+            e_b = views[s_b]
+            d_lo, d_hi = dviews[i]
+            # Reconstruct the faulty values in the temp rows, then reuse
+            # the (now dead) old error rows for the AND/OR intermediates.
+            bxor(line_value(i, lo), e_a, out=t_and)  # v_a
+            bxor(line_value(i, hi), e_b, out=t_or)   # v_b
+            band(t_and, t_or, out=e_a)
+            bor(t_and, t_or, out=e_b)
+            if rev:
+                bxor(e_a, d_hi, out=t_and)
+                bxor(e_b, d_lo, out=t_or)
+            else:
+                bxor(e_a, d_lo, out=t_and)
+                bxor(e_b, d_hi, out=t_or)
+        if s_a is not None:
+            del err[lo]
+            free.append(s_a)
+        if s_b is not None:
+            del err[hi]
+            free.append(s_b)
+        s_lo, s_hi = (s_or, s_and) if rev else (s_and, s_or)
+        e_lo = views[s_lo]
+        if e_lo[probe] or nonzero(e_lo):
+            err[lo] = s_lo
+        else:
+            free.append(s_lo)
+        e_hi = views[s_hi]
+        if e_hi[probe] or nonzero(e_hi):
+            err[hi] = s_hi
+        else:
+            free.append(s_hi)
+        if forced_line == lo or forced_line == hi:
+            assert forced_plane is not None
+            s = free.pop()
+            e = views[s]
+            bxor(
+                forced_plane, dviews[i][0 if forced_line == lo else 1], out=e
+            )
+            old = err.pop(forced_line, None)
+            if old is not None:
+                free.append(old)
+            if e[probe] or nonzero(e):
+                err[forced_line] = s
+            else:
+                free.append(s)
+        if not err and forced_line < 0:
+            # Converged: the remaining suffix maps equal states to equal
+            # states, so the faulty output equals the fault-free output.
+            # (A stuck line cannot take this exit — forcing may re-diverge
+            # later — but the skip branch above keeps its tail cheap.)
+            break
+    stats.evaluated_stage_blocks += evaluated * n_blocks
+    stats.pruned_stage_blocks += (baseline - evaluated) * n_blocks
+    if not err:
+        stats.converged_faults += 1
+        return None
+    return arena.error_planes()
+
+
+def _pruned_fault_errors_alloc(
+    network: ComparatorNetwork,
+    fault: Fault,
+    prefix: PrefixStates,
+    stats: SimulationStats,
+) -> dict[int, np.ndarray] | PackedBatch | None:
+    """The PR-3 allocating form of :func:`_pruned_fault_errors`.
+
+    Identical algorithm (and identical :class:`SimulationStats`
+    accounting), but every bitwise operation allocates a fresh plane.
+    Kept as the measured baseline of the scratch-arena speedup gate in
+    ``benchmarks/parallel_smoke.py`` (``arena=False`` selects it) and as a
+    bit-identity oracle in the test suite.
     """
     comparators = network.comparators
     size = network.size
@@ -715,9 +1056,6 @@ def _pruned_fault_errors(
     input_planes = prefix.input_planes
     n_blocks = input_planes.shape[1]
     last_writer, writer_pos = prefix.writer_tables()
-    # A diverged plane almost always carries a set bit in the middle block,
-    # so probing one scalar first makes "still dirty?" checks cheap; the
-    # full reduction only runs when the probe is zero.
     probe = n_blocks >> 1
 
     def line_value(stage: int, line: int) -> np.ndarray:
@@ -775,7 +1113,9 @@ def _pruned_fault_errors(
             else np.zeros(n_blocks, dtype=input_planes.dtype)
         )
         start = fault.stage
-        baseline = size - max(fault.stage - 1, 0)
+        # Same corrected baseline as the arena path: `size - stage` stages
+        # are all the difference-form loop could ever evaluate.
+        baseline = size - start
         evaluated = 0
         e = forced_plane ^ line_value(start, forced_line)
         if e[probe] or e.any():
@@ -855,34 +1195,111 @@ def _row_from_errors(
     err: dict[int, np.ndarray],
     criterion: str,
     pad_mask: np.ndarray,
+    arena: PlaneArena | None = None,
 ) -> np.ndarray:
     """Detection row of a fault given its output error planes.
 
     The faulty output is ``reference XOR err`` line by line, so the
     ``"reference"`` criterion is just the OR of the error planes, and the
     ``"specification"`` criterion fuses the XOR into the usual adjacent-pair
-    sortedness sweep — no full faulty state is ever materialised.
+    sortedness sweep — no full faulty state is ever materialised.  With an
+    *arena* the sweep temporaries live in pool rows (``out=`` ufuncs, no
+    per-line allocation).
+
+    An empty *err* means the faulty output equals the reference on every
+    word: all-false under ``"reference"``, the reference's own violation
+    row under ``"specification"`` (which the sweep below yields naturally).
+    Today the pruned engine returns ``None`` instead of an empty dict, so
+    this is defensive — future callers must not trip an assertion.
     """
     from ..core.bitpacked import unpack_bits
 
     if criterion == "reference":
-        acc: np.ndarray | None = None
+        if not err:
+            return np.zeros(reference.num_words, dtype=bool)
+        if arena is None:
+            acc: np.ndarray | None = None
+            for e in err.values():
+                acc = e.copy() if acc is None else (acc | e)
+            assert acc is not None
+            return unpack_bits(acc, reference.num_words)
+        s_acc = arena.acquire()
+        acc_row = arena.plane(s_acc)
+        first = True
         for e in err.values():
-            acc = e.copy() if acc is None else (acc | e)
-        assert acc is not None
-        return unpack_bits(acc, reference.num_words)
+            if first:
+                np.copyto(acc_row, e)
+                first = False
+            else:
+                np.bitwise_or(acc_row, e, out=acc_row)
+        row = unpack_bits(acc_row, reference.num_words)
+        arena.release(s_acc)
+        return row
     planes = reference.planes
     n = planes.shape[0]
     if n <= 1:
         return np.zeros(reference.num_words, dtype=bool)
-    mask = np.zeros(planes.shape[1], dtype=planes.dtype)
-    prev = planes[0] ^ err[0] if 0 in err else planes[0]
+    if arena is None:
+        mask = np.zeros(planes.shape[1], dtype=planes.dtype)
+        prev = planes[0] ^ err[0] if 0 in err else planes[0]
+        for i in range(1, n):
+            cur = planes[i] ^ err[i] if i in err else planes[i]
+            mask |= prev & ~cur
+            prev = cur
+        mask &= pad_mask
+        return unpack_bits(mask, reference.num_words)
+    s_mask = arena.acquire()
+    s_even = arena.acquire()
+    s_odd = arena.acquire()
+    s_tmp = arena.acquire()
+    mask = arena.plane(s_mask)
+    mask[...] = 0
+    faulty = (arena.plane(s_even), arena.plane(s_odd))
+    tmp = arena.plane(s_tmp)
+    if 0 in err:
+        np.bitwise_xor(planes[0], err[0], out=faulty[0])
+        prev = faulty[0]
+    else:
+        prev = planes[0]
     for i in range(1, n):
-        cur = planes[i] ^ err[i] if i in err else planes[i]
-        mask |= prev & ~cur
+        if i in err:
+            # Alternate the two line buffers so `prev` survives this write.
+            cur = faulty[i & 1]
+            np.bitwise_xor(planes[i], err[i], out=cur)
+        else:
+            cur = planes[i]
+        np.invert(cur, out=tmp)
+        np.bitwise_and(tmp, prev, out=tmp)
+        np.bitwise_or(mask, tmp, out=mask)
         prev = cur
-    mask &= pad_mask
-    return unpack_bits(mask, reference.num_words)
+    np.bitwise_and(mask, pad_mask, out=mask)
+    row = unpack_bits(mask, reference.num_words)
+    arena.release(s_tmp)
+    arena.release(s_odd)
+    arena.release(s_even)
+    arena.release(s_mask)
+    return row
+
+
+def _resolve_arena(
+    arena: PlaneArena | bool | None,
+    n_lines: int,
+    n_blocks: int,
+    dtype: np.dtype,
+) -> PlaneArena | None:
+    """Resolve the public ``arena`` knob into a ready arena (or ``None``).
+
+    ``None``/``True`` → the process-shared arena for this plane geometry
+    (worker-local in pool processes — reset between tiles, never
+    reallocated while the geometry is stable); a :class:`PlaneArena` →
+    that instance, resized on a geometry change; ``False`` → ``None``,
+    selecting the legacy allocating code paths.
+    """
+    if arena is False:
+        return None
+    if isinstance(arena, PlaneArena):
+        return arena.ensure(n_lines, n_blocks, dtype)
+    return shared_arena(n_lines, n_blocks, dtype)
 
 
 def _fault_rows(
@@ -894,18 +1311,27 @@ def _fault_rows(
     *,
     prune: bool = False,
     stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
 ) -> np.ndarray:
     """Fill ``out[row]`` with the detection row of ``faults[row]``.
 
     ``out`` may be a slice of a shared-memory matrix — this is the unit of
     work a sharded worker executes on its (fault-slice × vector-chunk)
     tile.  With ``prune=True`` the dominated-state pruner runs and faults
-    whose state converged inherit the fault-free detection row.
+    whose state converged inherit the fault-free detection row.  One
+    resolved *arena* (see :func:`_resolve_arena`) serves every fault of
+    the call; ``arena=False`` keeps the legacy allocating paths.
     """
     reference = prefix.reference()
+    pool = _resolve_arena(
+        arena,
+        network.n_lines,
+        prefix.input_planes.shape[1],
+        prefix.input_planes.dtype,
+    )
     if not prune:
         for row, fault in enumerate(faults):
-            state = _fault_state(network, fault, prefix)
+            state = _fault_state(network, fault, prefix, arena=pool)
             out[row] = _detection_row(state, reference, criterion)
         return out
     if stats is None:
@@ -913,13 +1339,19 @@ def _fault_rows(
     converged_row = _detection_row(reference, reference, criterion)
     pad_mask = reference.pad_mask()
     for row, fault in enumerate(faults):
-        result = _pruned_fault_errors(network, fault, prefix, stats)
+        result = (
+            _pruned_fault_errors(network, fault, prefix, stats, pool)
+            if pool is not None
+            else _pruned_fault_errors_alloc(network, fault, prefix, stats)
+        )
         if result is None:
             out[row] = converged_row
         elif isinstance(result, PackedBatch):
             out[row] = _detection_row(result, reference, criterion)
         else:
-            out[row] = _row_from_errors(reference, result, criterion, pad_mask)
+            out[row] = _row_from_errors(
+                reference, result, criterion, pad_mask, arena=pool
+            )
     return out
 
 
@@ -929,6 +1361,7 @@ def _errors_detect(
     criterion: str,
     pad_mask: np.ndarray,
     ref_pair_any: Sequence[bool],
+    arena: PlaneArena | None = None,
 ) -> bool:
     """Does a fault with output error planes *err* detect on any word?
 
@@ -937,7 +1370,8 @@ def _errors_detect(
     adjacent-line pairs touching a diverged line can change their violation
     mask, so the sweep recomputes just those pairs (early-exiting on the
     first violation) and reads the untouched pairs' verdicts from the
-    per-chunk precomputed *ref_pair_any*.
+    per-chunk precomputed *ref_pair_any*.  With an *arena* the pair sweep
+    runs on pool rows via ``out=`` ufuncs (no allocation).
     """
     if criterion == "reference":
         return True
@@ -952,13 +1386,42 @@ def _errors_detect(
     for j, ref_violates in enumerate(ref_pair_any):
         if ref_violates and j not in pairs:
             return True
+    if arena is None:
+        for j in pairs:
+            prev = planes[j] ^ err[j] if j in err else planes[j]
+            nxt = planes[j + 1] ^ err[j + 1] if j + 1 in err else planes[j + 1]
+            violation = prev & ~nxt & pad_mask
+            if violation.any():
+                return True
+        return False
+    s_prev = arena.acquire()
+    s_next = arena.acquire()
+    s_tmp = arena.acquire()
+    t_prev = arena.plane(s_prev)
+    t_next = arena.plane(s_next)
+    tmp = arena.plane(s_tmp)
+    detected = False
     for j in pairs:
-        prev = planes[j] ^ err[j] if j in err else planes[j]
-        nxt = planes[j + 1] ^ err[j + 1] if j + 1 in err else planes[j + 1]
-        violation = prev & ~nxt & pad_mask
-        if violation.any():
-            return True
-    return False
+        if j in err:
+            np.bitwise_xor(planes[j], err[j], out=t_prev)
+            prev = t_prev
+        else:
+            prev = planes[j]
+        if j + 1 in err:
+            np.bitwise_xor(planes[j + 1], err[j + 1], out=t_next)
+            nxt = t_next
+        else:
+            nxt = planes[j + 1]
+        np.invert(nxt, out=tmp)
+        np.bitwise_and(tmp, prev, out=tmp)
+        np.bitwise_and(tmp, pad_mask, out=tmp)
+        if tmp.any():
+            detected = True
+            break
+    arena.release(s_tmp)
+    arena.release(s_next)
+    arena.release(s_prev)
+    return detected
 
 
 def _fault_any(
@@ -970,6 +1433,7 @@ def _fault_any(
     *,
     prune: bool = False,
     stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
 ) -> np.ndarray:
     """OR one vector chunk's detection verdicts into ``detected``.
 
@@ -978,15 +1442,22 @@ def _fault_any(
     masks (no boolean row is ever expanded), and faults already detected by
     an earlier chunk are *dropped* — skipped entirely, since another
     detection cannot change the OR.  ``prune=False`` reproduces the plain
-    row-building loop.  Either way ``detected`` ends up identical.
+    row-building loop.  Either way ``detected`` ends up identical.  The
+    *arena* knob follows :func:`_fault_rows`.
     """
     if not prune:
         rows = np.zeros((len(faults), prefix.num_words), dtype=bool)
-        _fault_rows(network, faults, prefix, criterion, rows)
+        _fault_rows(network, faults, prefix, criterion, rows, arena=arena)
         detected |= rows.any(axis=1)
         return detected
     if stats is None:
         stats = SimulationStats()
+    pool = _resolve_arena(
+        arena,
+        network.n_lines,
+        prefix.input_planes.shape[1],
+        prefix.input_planes.dtype,
+    )
     reference = prefix.reference()
     pad_mask = reference.pad_mask()
     planes = reference.planes
@@ -1001,7 +1472,11 @@ def _fault_any(
         if detected[row]:
             stats.dropped_faults += 1
             continue
-        result = _pruned_fault_errors(network, fault, prefix, stats)
+        result = (
+            _pruned_fault_errors(network, fault, prefix, stats, pool)
+            if pool is not None
+            else _pruned_fault_errors_alloc(network, fault, prefix, stats)
+        )
         if result is None:
             detected[row] = ref_detect
         elif isinstance(result, PackedBatch):
@@ -1010,7 +1485,7 @@ def _fault_any(
             )
         else:
             detected[row] = _errors_detect(
-                reference, result, criterion, pad_mask, ref_pair_any
+                reference, result, criterion, pad_mask, ref_pair_any, arena=pool
             )
     return detected
 
@@ -1059,13 +1534,15 @@ def _streamed_bitpacked_detection(
     *,
     prune: bool,
     stats: SimulationStats | None,
+    arena: PlaneArena | bool | None = None,
     reduce: str,
 ) -> np.ndarray:
     """Serial streamed detection: one packed chunk (and its prefix states)
     resident at a time, matrix columns or the any-reduction filled per
     chunk.  In any-reduction mode verdicts come straight from the packed
     violation masks and (with *prune*) faults detected by an earlier chunk
-    are dropped from later ones."""
+    are dropped from later ones.  The scratch arena is resolved per chunk
+    (same geometry → a pure reset, so equal-sized chunks share one arena)."""
     num_faults = len(faults)
     if reduce == "any":
         detected = np.zeros(num_faults, dtype=bool)
@@ -1073,7 +1550,7 @@ def _streamed_bitpacked_detection(
             prefix = PrefixStates.build(network, packed)
             _fault_any(
                 network, faults, prefix, criterion, detected,
-                prune=prune, stats=stats,
+                prune=prune, stats=stats, arena=arena,
             )
         return detected
     out = np.zeros((num_faults, len(vectors)), dtype=bool)
@@ -1083,7 +1560,8 @@ def _streamed_bitpacked_detection(
         if rows is None or rows.shape[1] != packed.num_words:
             rows = np.zeros((num_faults, packed.num_words), dtype=bool)
         _fault_rows(
-            network, faults, prefix, criterion, rows, prune=prune, stats=stats
+            network, faults, prefix, criterion, rows, prune=prune, stats=stats,
+            arena=arena,
         )
         out[:, word_start : word_start + packed.num_words] = rows
     return out
@@ -1097,12 +1575,14 @@ def _bitpacked_detection_matrix(
     *,
     prune: bool = True,
     stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
 ) -> np.ndarray:
     packed_input = _pack_vectors(network, vectors)
     prefix = PrefixStates.build(network, packed_input)
     matrix = np.zeros((len(faults), packed_input.num_words), dtype=bool)
     return _fault_rows(
-        network, faults, prefix, criterion, matrix, prune=prune, stats=stats
+        network, faults, prefix, criterion, matrix, prune=prune, stats=stats,
+        arena=arena,
     )
 
 
@@ -1124,6 +1604,7 @@ def _stuck_line_state(
     network: ComparatorNetwork,
     fault: LineStuckFault,
     prefix: PrefixStates,
+    arena: PlaneArena | None = None,
 ) -> PackedBatch:
     if fault.line < 0 or fault.line >= network.n_lines:
         raise FaultModelError(
@@ -1139,11 +1620,15 @@ def _stuck_line_state(
     # for stage 0, otherwise right after comparator stage-1 — so the shared
     # fault-free prefix extends through comparator stage-2.
     start = max(fault.stage - 1, 0)
-    state = prefix.state_after(start)
+    out = arena.state if arena is not None else None
+    scratch = arena.tmp if arena is not None else None
+    state = prefix.state_after(start, out=out)
     if fault.stage == 0:
         state.planes[fault.line] = forced
     for position in range(start, network.size):
-        apply_comparators_packed(state.planes, (network.comparators[position],))
+        apply_comparators_packed(
+            state.planes, (network.comparators[position],), out=scratch
+        )
         if position + 1 >= fault.stage:
             state.planes[fault.line] = forced
     return state

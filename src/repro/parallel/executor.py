@@ -34,6 +34,7 @@ from ..core.bitpacked import (
     packed_unsorted_blocks,
 )
 from ..core.network import ComparatorNetwork
+from ..core.scratch import comparator_scratch
 from ..exceptions import InputLengthError
 from .chunking import chunk_spans, cube_block_spans
 from .config import ExecutionConfig, resolve_config
@@ -107,7 +108,12 @@ def _sorting_chunk_failure(
         eligible = packed_unsorted_blocks(packed)
         if not np.any(eligible):
             return None
-    outputs = apply_network_packed(network, packed, copy=False)
+    # The worker-local scratch row keeps the comparator sweep free of
+    # per-stage allocations (reused across every span this process scans).
+    outputs = apply_network_packed(
+        network, packed, copy=False,
+        scratch=comparator_scratch(packed.n_blocks, packed.planes.dtype),
+    )
     violation = packed_unsorted_blocks(outputs)
     if eligible is not None:
         violation &= eligible
@@ -123,7 +129,10 @@ def _selection_chunk_failure(
     """First rank in the block span mis-selected by the network, or ``None``."""
     start, stop = span
     inputs = packed_cube_range(network.n_lines, start, stop)
-    outputs = apply_network_packed(network, inputs, copy=True)
+    outputs = apply_network_packed(
+        network, inputs, copy=True,
+        scratch=comparator_scratch(inputs.n_blocks, inputs.planes.dtype),
+    )
     violation = packed_selection_violation_blocks(
         inputs, outputs, k, restrict_to_test_words=restrict_to_test_words
     )

@@ -30,6 +30,13 @@ re-evaluates only its suffix.  Two work shapes live here:
   unsynchronised read can only under-drop, never change the result).
   Peak memory per process is bounded by the chunk size at any ``n``.
 
+Every bit-packed worker owns a **worker-local scratch arena**
+(:class:`repro.core.scratch.PlaneArena`, resolved through the
+process-local :func:`repro.core.scratch.shared_arena` cache keyed by the
+``(n_lines, n_blocks)`` chunk geometry): between the tiles a worker
+executes it is reset, never reallocated, so the pruned hot loop runs
+allocation-free inside every process exactly as it does serially.
+
 For the non-bit-packed engines there is a generic fallback that runs the
 requested serial engine on each fault slice (no prefix sharing, but the
 same shared output matrix).  Either way the result is bit-identical to the
@@ -64,6 +71,7 @@ def _init_bitpacked_worker(
     faults: list[Fault],
     criterion: str,
     prune: bool,
+    use_arena: bool,
     num_words: int,
     input_spec,
     deltas_spec,
@@ -75,6 +83,7 @@ def _init_bitpacked_worker(
     _WORKER["criterion"] = criterion
     _WORKER["network"] = network
     _WORKER["prune"] = prune
+    _WORKER["use_arena"] = use_arena
     input_shared = attach_shared_array(input_spec)
     deltas_shared = attach_shared_array(deltas_spec)
     # Keep the handles alive: the PrefixStates views borrow their buffers.
@@ -86,6 +95,24 @@ def _init_bitpacked_worker(
     _WORKER["matrix"] = attach_shared_array(matrix_spec)
 
 
+def _worker_arena(network: ComparatorNetwork, prefix):
+    """This worker's scratch arena for the current chunk geometry.
+
+    Resolved through :func:`repro.core.scratch.shared_arena`, whose
+    process-local cache keyed by ``(n_lines, n_blocks)`` makes the arena
+    *worker-local*: it is reset — never reallocated — between the tiles a
+    worker executes at a stable chunk geometry (only the uneven tail chunk
+    triggers a second allocation).  Returns ``False`` (the legacy
+    allocating path marker) when the run disabled arenas.
+    """
+    if not _WORKER.get("use_arena", True):
+        return False
+    from ..core.scratch import shared_arena
+
+    planes = prefix.input_planes
+    return shared_arena(network.n_lines, planes.shape[1], planes.dtype)
+
+
 def _run_bitpacked_span(span: tuple[int, int]) -> tuple[int, int, int, int, int]:
     from ..faults.simulation import SimulationStats, _fault_rows
 
@@ -93,15 +120,17 @@ def _run_bitpacked_span(span: tuple[int, int]) -> tuple[int, int, int, int, int]
     network: ComparatorNetwork = _WORKER["network"]  # type: ignore[assignment]
     faults: list[Fault] = _WORKER["faults"]  # type: ignore[assignment]
     matrix: SharedArray = _WORKER["matrix"]  # type: ignore[assignment]
+    prefix = _WORKER["prefix"]
     stats = SimulationStats()
     _fault_rows(
         network,
         faults[start:stop],
-        _WORKER["prefix"],  # type: ignore[arg-type]
+        prefix,  # type: ignore[arg-type]
         str(_WORKER["criterion"]),
         matrix.array[start:stop],
         prune=bool(_WORKER["prune"]),
         stats=stats,
+        arena=_worker_arena(network, prefix),
     )
     return stats.counts()
 
@@ -111,6 +140,7 @@ def _init_grid_worker(
     faults: list[Fault],
     criterion: str,
     prune: bool,
+    use_arena: bool,
     cube_n: int,
     raw_spec,
     chunks: list[tuple[int, int, int]],
@@ -121,6 +151,7 @@ def _init_grid_worker(
     _WORKER["faults"] = faults
     _WORKER["criterion"] = criterion
     _WORKER["prune"] = prune
+    _WORKER["use_arena"] = use_arena
     _WORKER["cube_n"] = cube_n
     _WORKER["chunks"] = chunks
     _WORKER["reduce"] = reduce
@@ -165,11 +196,12 @@ def _run_grid_tile(
     stats = SimulationStats()
     prune = bool(_WORKER["prune"])
     criterion = str(_WORKER["criterion"])
+    arena = _worker_arena(network, prefix)
     if _WORKER["reduce"] == "matrix":
         rows = np.zeros((f_stop - f_start, prefix.num_words), dtype=bool)
         _fault_rows(
             network, faults[f_start:f_stop], prefix, criterion, rows,
-            prune=prune, stats=stats,
+            prune=prune, stats=stats, arena=arena,
         )
         word_start = chunks[chunk_index][0]
         out.array[f_start:f_stop, word_start : word_start + prefix.num_words] = rows
@@ -183,7 +215,7 @@ def _run_grid_tile(
         detected = out.array[f_start:f_stop, :].any(axis=1)
         _fault_any(
             network, faults[f_start:f_stop], prefix, criterion, detected,
-            prune=prune, stats=stats,
+            prune=prune, stats=stats, arena=arena,
         )
         out.array[f_start:f_stop, chunk_index] = detected
     return stats.counts()
@@ -250,6 +282,7 @@ def sharded_fault_detection_matrix(
     config: ExecutionConfig | None = None,
     prune: bool = True,
     stats=None,
+    arena=None,
     reduce: str = "matrix",
 ) -> np.ndarray:
     """Fault- and vector-axis sharded detection, bit-identical to serial.
@@ -282,6 +315,12 @@ def sharded_fault_detection_matrix(
         Dominated-state pruning in the workers (bit-packed engine only).
     stats : SimulationStats, optional
         Merged with the workers' pruning counters.
+    arena : PlaneArena or bool, optional
+        The scratch-arena knob of :func:`repro.faults.simulation.fault_detection_matrix`.
+        Worker processes always build their own worker-local arenas (a
+        parent-owned arena cannot cross the process boundary usefully);
+        only ``False`` — disable arenas, run the legacy allocating path —
+        is forwarded to them.
     reduce : {"matrix", "any"}, optional
         ``"matrix"`` returns the full boolean matrix; ``"any"`` reduces the
         vector axis per chunk and returns a ``(num_faults,)`` vector, never
@@ -299,6 +338,7 @@ def sharded_fault_detection_matrix(
     fault_list = list(faults)
     num_vectors = len(vectors)
     workers = cfg.resolved_workers()
+    use_arena = arena is not False
     if not fault_list:
         shape = (0, num_vectors) if reduce == "matrix" else (0,)
         return np.zeros(shape, dtype=bool)
@@ -314,6 +354,7 @@ def sharded_fault_detection_matrix(
             cfg=cfg,
             prune=prune,
             stats=stats,
+            use_arena=use_arena,
             reduce=reduce,
         )
     spans = shard_spans(len(fault_list), workers)
@@ -340,6 +381,7 @@ def sharded_fault_detection_matrix(
                         fault_list,
                         criterion,
                         prune,
+                        use_arena,
                         packed_input.num_words,
                         input_shared.spec,
                         deltas_shared.spec,
@@ -381,6 +423,7 @@ def _grid_detection(
     cfg: ExecutionConfig,
     prune: bool,
     stats,
+    use_arena: bool,
     reduce: str,
 ) -> np.ndarray:
     """The 2-D (faults × vector-chunks) grid (module docstring)."""
@@ -413,6 +456,7 @@ def _grid_detection(
                 fault_list,
                 criterion,
                 prune,
+                use_arena,
                 cube_n,
                 raw_shared.spec if raw_shared is not None else None,
                 chunks,

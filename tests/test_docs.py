@@ -31,6 +31,8 @@ DOCUMENTED_MODULES = [
     "repro.faults.injection",
     "repro.faults.simulation",
     "repro.faults.coverage",
+    "repro.core.bitpacked",
+    "repro.core.scratch",
 ]
 
 

@@ -1,0 +1,272 @@
+"""Scratch-plane arena: reuse semantics, bit-identity, stats accounting.
+
+The tentpole guarantee of the arena PR: the allocation-free pruned engine
+(`PlaneArena` + ``out=`` ufuncs) is bit-identical to both the unpruned
+serial engines and the preserved PR-3 allocating path (``arena=False``) —
+across repeated calls sharing one arena, mixed fault models, odd chunk
+sizes and the 2-D shard grid.  Also the regression tests for the
+`LineStuckFault` pruning-stats baseline off-by-one and the empty-error-dict
+detection row.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import numpy as np
+import pytest
+
+from repro.constructions import batcher_sorting_network
+from repro.core import ComparatorNetwork
+from repro.core.evaluation import all_binary_words_array
+from repro.core.scratch import PlaneArena, comparator_scratch, shared_arena
+from repro.faults import (
+    CubeVectors,
+    LineStuckFault,
+    ReversedComparatorFault,
+    SimulationStats,
+    StuckPassFault,
+    StuckSwapFault,
+    enumerate_single_faults,
+    fault_detection_any,
+    fault_detection_matrix,
+)
+from repro.parallel import ExecutionConfig
+
+
+@st.composite
+def networks(draw, min_lines: int = 2, max_lines: int = 7, max_size: int = 12):
+    n = draw(st.integers(min_lines, max_lines))
+    size = draw(st.integers(0, max_size))
+    comparators = []
+    for _ in range(size):
+        low = draw(st.integers(0, n - 2))
+        high = draw(st.integers(low + 1, n - 1))
+        comparators.append((low, high))
+    return ComparatorNetwork.from_pairs(n, comparators)
+
+
+odd_chunks = st.sampled_from([1, 3, 7, 63, 64, 65, 100])
+criteria = st.sampled_from(["specification", "reference"])
+
+
+# ----------------------------------------------------------------------
+# PlaneArena mechanics
+# ----------------------------------------------------------------------
+def test_arena_slot_accounting():
+    arena = PlaneArena(4, 8)
+    assert arena.store.shape == (12, 8)
+    total_free = len(arena._free)
+    slot = arena.acquire()
+    assert len(arena._free) == total_free - 1
+    arena.plane(slot)[...] = 7
+    arena.set_error(2, slot)
+    assert arena.err_slot == {2: slot}
+    assert list(arena.error_planes()) == [2]
+    assert np.all(arena.error_planes()[2] == 7)
+    # Replacing an error recycles the old slot.
+    other = arena.acquire()
+    arena.set_error(2, other)
+    assert slot in arena._free
+    arena.clear_error(2)
+    assert arena.err_slot == {}
+    assert len(arena._free) == total_free
+    arena.clear_error(2)  # idempotent
+    assert len(arena._free) == total_free
+
+
+def test_arena_reset_restores_all_slots():
+    arena = PlaneArena(3, 4)
+    for line in range(3):
+        arena.set_error(line, arena.acquire())
+    arena.acquire()
+    arena.reset()
+    assert arena.err_slot == {}
+    assert len(arena._free) == arena.store.shape[0]
+    assert np.all(arena.zero == 0)
+
+
+def test_arena_ensure_reallocates_only_on_geometry_change():
+    arena = PlaneArena(4, 8)
+    store = arena.store
+    assert arena.ensure(4, 8, arena.dtype) is arena
+    assert arena.store is store  # same geometry: pure reset
+    arena.ensure(5, 16, arena.dtype)
+    assert arena.store.shape == (14, 16)
+    assert arena.state.shape == (5, 16)
+
+
+def test_shared_arena_is_cached_per_geometry():
+    a = shared_arena(6, 32)
+    b = shared_arena(6, 32)
+    assert a is b
+    c = shared_arena(6, 64)
+    assert c is not a
+    scratch = comparator_scratch(32)
+    assert scratch.shape == (32,)
+    assert scratch is comparator_scratch(32)
+
+
+# ----------------------------------------------------------------------
+# Arena reuse is bit-identical (tentpole cross-check)
+# ----------------------------------------------------------------------
+@given(networks(), criteria, odd_chunks)
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_shared_arena_reuse_bit_identical(network, criterion, chunk):
+    """Repeated calls sharing one arena, mixed fault models, odd chunks and
+    the allocating legacy path all reproduce the unpruned serial matrix."""
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    vectors = all_binary_words_array(network.n_lines)
+    reference = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine="vectorized"
+    )
+    config = ExecutionConfig(max_workers=1, chunk_size=chunk)
+    # Deliberately mis-sized: the first call must adapt it, later calls
+    # (and the streamed tail chunk) must reuse it.
+    arena = PlaneArena(1, 1)
+    for _ in range(2):
+        pruned = fault_detection_matrix(
+            network, faults, vectors, criterion=criterion, engine="bitpacked",
+            config=config, prune=True, arena=arena,
+        )
+        assert np.array_equal(pruned, reference)
+    legacy = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine="bitpacked",
+        config=config, prune=True, arena=False,
+    )
+    assert np.array_equal(legacy, reference)
+    detected = fault_detection_any(
+        network, faults, CubeVectors(network.n_lines), criterion=criterion,
+        engine="bitpacked", config=config, prune=True, arena=arena,
+    )
+    assert np.array_equal(detected, reference.any(axis=1))
+
+
+@given(networks(min_lines=3), criteria)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_arena_and_alloc_paths_agree_on_stats(network, criterion):
+    """The arena and allocating paths count the exact same pruning work."""
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    vectors = all_binary_words_array(network.n_lines)
+    stats_arena = SimulationStats()
+    stats_alloc = SimulationStats()
+    arena_matrix = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine="bitpacked",
+        prune=True, stats=stats_arena,
+    )
+    alloc_matrix = fault_detection_matrix(
+        network, faults, vectors, criterion=criterion, engine="bitpacked",
+        prune=True, stats=stats_alloc, arena=False,
+    )
+    assert np.array_equal(arena_matrix, alloc_matrix)
+    assert stats_arena.counts() == stats_alloc.counts()
+
+
+@pytest.mark.parametrize("arena", [None, False])
+def test_grid_sharded_matrix_with_and_without_arena(arena):
+    """The 2-D (faults × vector-chunks) process grid honours the arena knob
+    and stays bit-identical to the serial vectorised engine."""
+    network = batcher_sorting_network(7)
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    reference = fault_detection_matrix(
+        network, faults, all_binary_words_array(7), engine="vectorized"
+    )
+    config = ExecutionConfig(max_workers=2, chunk_size=48)
+    grid = fault_detection_matrix(
+        network, faults, CubeVectors(7), engine="bitpacked", config=config,
+        prune=True, arena=arena,
+    )
+    assert np.array_equal(grid, reference)
+    detected = fault_detection_any(
+        network, faults, CubeVectors(7), engine="bitpacked", config=config,
+        prune=True, arena=arena,
+    )
+    assert np.array_equal(detected, reference.any(axis=1))
+
+
+# ----------------------------------------------------------------------
+# Pruning-stats baseline regression (the LineStuckFault off-by-one)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("use_arena", [None, False])
+def test_stats_baseline_per_fault_model(use_arena):
+    """`evaluated + pruned` equals the analytic no-pruning baseline for
+    every fault model — the LineStuckFault baseline used to be off by one
+    stage (`size - max(stage - 1, 0)` for a loop that can evaluate at most
+    `size - stage` stages), inflating `prune_ratio`."""
+    network = batcher_sorting_network(4)
+    size = network.size
+    vectors = all_binary_words_array(4)
+    n_blocks = 1  # 16 words -> one uint64 block
+    cases = [
+        (StuckPassFault(2), (size - 3) * n_blocks),
+        (StuckSwapFault(2), (size - 3) * n_blocks),
+        (ReversedComparatorFault(2), (size - 2) * n_blocks),
+        (LineStuckFault(line=1, stage=0, value=1), size * n_blocks),
+        (LineStuckFault(line=1, stage=3, value=0), (size - 3) * n_blocks),
+        (LineStuckFault(line=1, stage=size, value=1), 0),
+    ]
+    for fault, baseline in cases:
+        stats = SimulationStats()
+        fault_detection_matrix(
+            network, [fault], vectors, engine="bitpacked", prune=True,
+            stats=stats, arena=use_arena,
+        )
+        assert stats.total_stage_blocks == baseline, fault
+        assert (
+            stats.evaluated_stage_blocks + stats.pruned_stage_blocks == baseline
+        )
+
+
+@pytest.mark.parametrize("use_arena", [None, False])
+def test_never_converging_fault_reports_zero_pruned(use_arena):
+    """A stuck line that keeps every stage dirty evaluates the full suffix:
+    nothing was pruned, so `pruned_stage_blocks` must be exactly 0."""
+    network = ComparatorNetwork.from_pairs(2, [(0, 1), (0, 1), (0, 1)])
+    fault = LineStuckFault(line=0, stage=1, value=1)
+    stats = SimulationStats()
+    fault_detection_matrix(
+        network, [fault], all_binary_words_array(2), engine="bitpacked",
+        prune=True, stats=stats, arena=use_arena,
+    )
+    assert stats.evaluated_stage_blocks == 2  # stages 1 and 2, one block
+    assert stats.pruned_stage_blocks == 0
+    assert stats.converged_faults == 0
+
+
+# ----------------------------------------------------------------------
+# _row_from_errors on an empty error dict (defensive satellite)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("with_arena", [False, True])
+def test_row_from_errors_empty_dict(with_arena):
+    from repro.faults.simulation import (
+        PrefixStates,
+        _detection_row,
+        _pack_vectors,
+        _row_from_errors,
+    )
+
+    network = batcher_sorting_network(4)
+    packed = _pack_vectors(network, all_binary_words_array(4))
+    prefix = PrefixStates.build(network, packed)
+    reference = prefix.reference()
+    pad_mask = reference.pad_mask()
+    arena = PlaneArena(4, packed.n_blocks) if with_arena else None
+    row = _row_from_errors(reference, {}, "reference", pad_mask, arena=arena)
+    assert row.shape == (packed.num_words,)
+    assert not row.any()
+    # Under "specification" an empty dict degenerates to the reference's
+    # own violation row (all-false for a sorter).
+    spec_row = _row_from_errors(
+        reference, {}, "specification", pad_mask, arena=arena
+    )
+    assert np.array_equal(
+        spec_row, _detection_row(reference, reference, "specification")
+    )
