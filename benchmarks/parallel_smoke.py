@@ -30,13 +30,22 @@ Four workloads, all cross-checked for bit-identical results before timing:
   a tracemalloc probe of the pruned hot loop at ``--alloc-n`` asserts the
   arena's peak allocation does not regress past the allocating path's
   (the allocation counter recorded in the JSON report).
+* **Session reuse** — repeated ``fault_coverage`` calls through the
+  :class:`repro.api.Session` facade vs the legacy free functions
+  (``--session-n``, smaller than the main fault size because each side
+  runs several calls).  Coverage numbers must be identical, the serial
+  Session may cost at most ``--max-session-overhead`` (ratio, e.g. 1.05 =
+  5 %) over direct calls, and the multi-worker Session's persistent pool
+  + owned arena must beat the per-call-pool direct path by
+  ``--min-reuse-speedup`` across repeated calls (fourth CI gate).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/parallel_smoke.py \
         --out BENCH_parallel.json [--stream-n 24] [--fault-n 18] \
         [--workers 4] [--repeats 3] [--min-speedup 2] \
-        [--min-prune-speedup 1.3] [--min-arena-speedup 1.15] [--alloc-n 14]
+        [--min-prune-speedup 1.3] [--min-arena-speedup 1.15] [--alloc-n 14] \
+        [--session-n 12] [--max-session-overhead 1.05] [--min-reuse-speedup 1.05]
 """
 
 from __future__ import annotations
@@ -348,6 +357,89 @@ def arena_workload(n: int, repeats: int, alloc_n: int) -> dict:
     }
 
 
+def session_reuse_workload(n: int, workers: int, repeats: int, calls: int = 5) -> dict:
+    """Session facade vs direct calls on repeated coverage runs (module docstring)."""
+    import warnings
+
+    from repro.api import Session
+    from repro.faults import coverage_report
+
+    # The pool-reuse comparison is about amortising worker-pool spawn cost,
+    # so it needs an actual pool even on a single-core box (where the main
+    # --workers resolution collapses to 1 and both sides would degenerate
+    # to the serial path, measuring nothing).
+    workers = max(2, workers)
+    device = batcher_sorting_network(n)
+    faults = enumerate_single_faults(device, line_stuck_at_input_only=False)
+    vectors = unsorted_binary_words_array(n)
+    sharded_cfg = ExecutionConfig(max_workers=workers)
+
+    def direct_coverage(config=None):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return coverage_report(
+                device, faults, vectors, engine="bitpacked", config=config
+            )
+
+    # Cross-check: the facade's numbers are the legacy function's numbers.
+    legacy = direct_coverage()
+    serial_session = Session(engine="bitpacked")
+    parallel_session = Session(engine="bitpacked", workers=workers)
+    facade = serial_session.fault_coverage(device, faults, vectors)
+    sharded = parallel_session.fault_coverage(device, faults, vectors)  # warms pool
+    for name, report in (("serial", facade), ("sharded", sharded)):
+        if (report.coverage, report.detected_faults, dict(report.by_kind)) != (
+            legacy.coverage, legacy.detected_faults, dict(legacy.by_kind)
+        ):
+            raise AssertionError(
+                f"Session {name} coverage differs from the legacy free function"
+            )
+
+    seconds = {
+        "direct_serial": _best_of(
+            repeats, lambda: [direct_coverage() for _ in range(calls)]
+        ),
+        "session_serial": _best_of(
+            repeats,
+            lambda: [
+                serial_session.fault_coverage(device, faults, vectors)
+                for _ in range(calls)
+            ],
+        ),
+        # Direct sharded calls spawn (and tear down) a worker pool per call;
+        # the Session submits every call to its one persistent pool.
+        "direct_sharded_pool_per_call": _best_of(
+            repeats, lambda: [direct_coverage(sharded_cfg) for _ in range(calls)]
+        ),
+        "session_sharded_persistent_pool": _best_of(
+            repeats,
+            lambda: [
+                parallel_session.fault_coverage(device, faults, vectors)
+                for _ in range(calls)
+            ],
+        ),
+    }
+    serial_session.close()
+    parallel_session.close()
+    return {
+        "n": n,
+        "device": f"batcher({n})",
+        "faults": len(faults),
+        "vectors": int(vectors.shape[0]),
+        "workers": workers,
+        "calls_per_measurement": calls,
+        "results_identical": True,
+        "seconds": seconds,
+        "session_overhead_vs_direct": (
+            seconds["session_serial"] / seconds["direct_serial"]
+        ),
+        "pool_reuse_speedup": (
+            seconds["direct_sharded_pool_per_call"]
+            / seconds["session_sharded_persistent_pool"]
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -396,6 +488,28 @@ def main(argv=None) -> int:
         help="device size for the tracemalloc allocation probe "
         "(tracemalloc slows the traced run; keep this modest)",
     )
+    parser.add_argument(
+        "--session-n",
+        type=int,
+        default=12,
+        help="device size for the session-reuse workload (each side runs "
+        "several repeated coverage calls; modest on purpose — the pool "
+        "spawn cost being amortised must stay visible next to the compute)",
+    )
+    parser.add_argument(
+        "--max-session-overhead",
+        type=float,
+        default=1.05,
+        help="allowed serial Session/direct wall-clock ratio on repeated "
+        "coverage calls (1.05 = 5%% facade overhead; 0 disables)",
+    )
+    parser.add_argument(
+        "--min-reuse-speedup",
+        type=float,
+        default=1.05,
+        help="required speedup of the Session's persistent pool over "
+        "per-call pools on repeated sharded coverage calls (0 disables)",
+    )
     parser.add_argument("--out", default="BENCH_parallel.json")
     args = parser.parse_args(argv)
 
@@ -416,6 +530,9 @@ def main(argv=None) -> int:
             "arena_scratch_planes": arena_workload(
                 args.fault_n, args.repeats, args.alloc_n
             ),
+            "session_reuse": session_reuse_workload(
+                args.session_n, workers, args.repeats
+            ),
         },
         "results_identical": True,
     }
@@ -428,15 +545,25 @@ def main(argv=None) -> int:
     arena = report["workloads"]["arena_scratch_planes"]
     arena_speedup = arena["arena_speedup"]
     alloc_peaks = arena["alloc_peak_bytes"]
+    session = report["workloads"]["session_reuse"]
+    session_overhead = session["session_overhead_vs_direct"]
+    reuse_speedup = session["pool_reuse_speedup"]
     report["min_speedup_required"] = args.min_speedup
     report["min_prune_speedup_required"] = args.min_prune_speedup
     report["min_arena_speedup_required"] = args.min_arena_speedup
+    report["max_session_overhead_allowed"] = args.max_session_overhead
+    report["min_reuse_speedup_required"] = args.min_reuse_speedup
     alloc_gate_ok = alloc_peaks["arena"] <= alloc_peaks["alloc"]
+    session_gate_ok = (
+        args.max_session_overhead <= 0
+        or session_overhead <= args.max_session_overhead
+    ) and (args.min_reuse_speedup <= 0 or reuse_speedup >= args.min_reuse_speedup)
     report["passed"] = (
         speedup >= args.min_speedup
         and prune_speedup >= args.min_prune_speedup
         and arena_speedup >= args.min_arena_speedup
         and alloc_gate_ok
+        and session_gate_ok
     )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -470,13 +597,32 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.max_session_overhead > 0 and session_overhead > args.max_session_overhead:
+        print(
+            f"FAIL: serial Session facade costs {session_overhead:.3f}x the "
+            f"direct calls, above the {args.max_session_overhead:.2f}x "
+            f"ceiling at n={args.session_n}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_reuse_speedup > 0 and reuse_speedup < args.min_reuse_speedup:
+        print(
+            f"FAIL: Session pool reuse speedup {reuse_speedup:.2f}x below "
+            f"the {args.min_reuse_speedup:.2f}x floor on repeated sharded "
+            f"coverage calls at n={args.session_n}",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"OK: fault-sim n={args.fault_n} sharded speedup {speedup:.2f}x with "
         f"{workers} workers (floor {args.min_speedup:.1f}x), pruning speedup "
         f"{prune_speedup:.2f}x (floor {args.min_prune_speedup:.1f}x), "
         f"arena speedup {arena_speedup:.2f}x (floor "
         f"{args.min_arena_speedup:.2f}x, peak alloc "
-        f"{alloc_peaks['arena']} B vs {alloc_peaks['alloc']} B)"
+        f"{alloc_peaks['arena']} B vs {alloc_peaks['alloc']} B), "
+        f"session overhead {session_overhead:.3f}x (ceiling "
+        f"{args.max_session_overhead:.2f}x), pool-reuse speedup "
+        f"{reuse_speedup:.2f}x (floor {args.min_reuse_speedup:.2f}x)"
     )
     return 0
 

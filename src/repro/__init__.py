@@ -25,6 +25,11 @@ The package is organised in layers:
     coverage.
 ``repro.analysis``
     Experiment harness used by ``benchmarks/`` and ``EXPERIMENTS.md``.
+``repro.api``
+    The stable public facade: :class:`repro.api.Session` (one configured
+    entry point for verification, test-set application and fault
+    workloads, returning typed result objects) and the engine /
+    fault-model registry.
 
 Quickstart
 ----------
@@ -89,6 +94,8 @@ def __getattr__(name):
     friends in examples and interactive use.
     """
     lazy = {
+        # public facade
+        "Session": ("repro.api", "Session"),
         # properties
         "is_sorter": ("repro.properties", "is_sorter"),
         "is_selector": ("repro.properties", "is_selector"),

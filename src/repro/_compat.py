@@ -1,0 +1,53 @@
+"""Deprecation plumbing for the legacy per-call execution kwargs.
+
+Since the :mod:`repro.api` facade landed, the supported way to choose an
+engine, a worker pool, a chunk size, pruning or an arena is a
+:class:`repro.api.Session`.  The old free functions keep working — they are
+thin shims over the same implementations the Session calls, so results are
+bit-identical — but *explicitly* passing the execution kwargs
+(``engine=``, ``config=``, ``prune=``, ``arena=``) to them emits a
+:class:`DeprecationWarning` pointing at the facade.  Calls that leave the
+kwargs at their defaults stay silent: the plain domain API
+(``is_sorter(network)``, ``fault_coverage(network, faults, vectors)``)
+is not deprecated, only the per-call execution-knob threading is.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+import warnings
+
+__all__ = ["UNSET", "unset_or", "warn_legacy_exec_kwargs"]
+
+#: Sentinel distinguishing "kwarg not passed" from every meaningful value
+#: (``config=None`` and ``arena=None`` are meaningful defaults).  Typed
+#: ``Any`` so shim signatures can keep their real annotations.
+UNSET: Any = object()
+
+
+def unset_or(value: Any, default: Any) -> Any:
+    """*value* unless it is the :data:`UNSET` sentinel, else *default*."""
+    return default if value is UNSET else value
+
+
+def warn_legacy_exec_kwargs(func_name: str, **passed: Any) -> None:
+    """Warn (once per call site) when legacy execution kwargs were passed.
+
+    Parameters
+    ----------
+    func_name : str
+        The public name of the shim, for the warning text.
+    **passed :
+        The execution kwargs as received — any value that is not
+        :data:`UNSET` counts as explicitly passed and triggers the
+        deprecation.
+    """
+    names = sorted(name for name, value in passed.items() if value is not UNSET)
+    if names:
+        warnings.warn(
+            f"passing {', '.join(names)} to {func_name}() is deprecated; "
+            "configure a repro.api.Session instead "
+            "(e.g. Session(engine=..., workers=...))",
+            DeprecationWarning,
+            stacklevel=3,
+        )

@@ -204,13 +204,16 @@ def experiment_thm22_binary(
     """Theorem 2.2 (i): size of the minimum 0/1 test set for sorting.
 
     Rows also record per-engine wall-clock for *applying* the test set (a
-    Batcher sorter verified with ``strategy="testset"``) up to
+    Batcher sorter verified with ``strategy="testset"`` through the
+    :class:`repro.api.Session` facade — the timings are the
+    ``execution.seconds`` the result objects report) up to
     ``timing_up_to`` lines, so EXPERIMENTS.md shows the engine speedups
     alongside the sizes.
     """
-    from ..properties.sorter import is_sorter
+    from ..api import Session
     from ..testsets.minimal import empirical_sorting_test_set_size
 
+    sessions = {eng: Session(engine=eng) for eng in ("vectorized", "bitpacked")}
     rows: list[Row] = []
     for n in ns:
         paper = formulas.sorting_test_set_size(n)
@@ -230,11 +233,10 @@ def experiment_thm22_binary(
         if n <= timing_up_to:
             device = batcher_sorting_network(n)
             seconds: dict[str, float] = {}
-            for eng in ("vectorized", "bitpacked"):
-                start = time.perf_counter()
-                verdict = is_sorter(device, strategy="testset", engine=eng)
-                seconds[eng] = time.perf_counter() - start
-                assert verdict, f"batcher({n}) must verify as a sorter"
+            for eng, session in sessions.items():
+                result = session.verify(device, "sorter", strategy="testset")
+                seconds[eng] = result.execution.seconds
+                assert result.verdict, f"batcher({n}) must verify as a sorter"
             row["verify_seconds_vectorized"] = round(seconds["vectorized"], 5)
             row["verify_seconds_bitpacked"] = round(seconds["bitpacked"], 5)
             row["verify_speedup_bitpacked"] = round(
@@ -492,10 +494,9 @@ def experiment_fault_coverage(
     stage-blocks skipped by dominated-state pruning,
     :class:`repro.faults.SimulationStats`).
     """
-    from ..faults.coverage import coverage_report
+    from ..api import Session
     from ..faults.injection import enumerate_single_faults
-    from ..faults.simulation import CubeVectors, SimulationStats
-    from ..parallel import ExecutionConfig
+    from ..faults.simulation import CubeVectors
 
     rng = as_rng(seed)
     device = batcher_sorting_network(n)
@@ -514,43 +515,47 @@ def experiment_fault_coverage(
         # can detect under the chosen criterion.
         test_sets["exhaustive-cube"] = CubeVectors(n)
     scaling_counts = [1] + [int(w) for w in worker_counts if int(w) != 1]
+    # One Session per worker count: the multi-worker Session keeps its pool
+    # alive across the scaling rows, which is exactly the reuse the facade
+    # exists for (the 1-worker Session is the plain serial path).
+    sessions = {count: Session(engine=engine, workers=count) for count in scaling_counts}
     rows: list[Row] = []
     baseline_seconds: float | None = None
-    for name, vectors in test_sets.items():
-        counts = scaling_counts if name == "theorem22-binary-testset" else [1]
-        for workers in counts:
-            config = ExecutionConfig(max_workers=workers) if workers != 1 else None
-            stats = SimulationStats() if engine == "bitpacked" else None
-            start = time.perf_counter()
-            report = coverage_report(
-                device, faults, vectors, engine=engine, config=config,
-                stats=stats,
-            )
-            elapsed = time.perf_counter() - start
-            if name == "theorem22-binary-testset" and workers == 1:
-                baseline_seconds = elapsed
-            speedup: float | None = None
-            if name == "theorem22-binary-testset" and baseline_seconds:
-                speedup = round(baseline_seconds / max(elapsed, 1e-9), 2)
-            prune_ratio: float | None = None
-            if stats is not None and stats.total_stage_blocks:
-                prune_ratio = round(stats.prune_ratio, 4)
-            rows.append(
-                {
-                    "experiment": "E11",
-                    "device": f"batcher({n})",
-                    "engine": engine,
-                    "workers": workers,
-                    "test_set": name,
-                    "vectors": report.vectors_used,
-                    "total_faults": report.total_faults,
-                    "detected_faults": report.detected_faults,
-                    "coverage": round(report.coverage, 4),
-                    "sim_seconds": round(elapsed, 5),
-                    "speedup_vs_1_worker": speedup,
-                    "prune_ratio": prune_ratio,
-                }
-            )
+    try:
+        for name, vectors in test_sets.items():
+            counts = scaling_counts if name == "theorem22-binary-testset" else [1]
+            for workers in counts:
+                report = sessions[workers].fault_coverage(
+                    device, faults, vectors
+                )
+                elapsed = report.execution.seconds
+                if name == "theorem22-binary-testset" and workers == 1:
+                    baseline_seconds = elapsed
+                speedup: float | None = None
+                if name == "theorem22-binary-testset" and baseline_seconds:
+                    speedup = round(baseline_seconds / max(elapsed, 1e-9), 2)
+                prune_ratio: float | None = None
+                if report.stats.total_stage_blocks:
+                    prune_ratio = round(report.stats.prune_ratio, 4)
+                rows.append(
+                    {
+                        "experiment": "E11",
+                        "device": f"batcher({n})",
+                        "engine": engine,
+                        "workers": workers,
+                        "test_set": name,
+                        "vectors": report.vectors_used,
+                        "total_faults": report.total_faults,
+                        "detected_faults": report.detected_faults,
+                        "coverage": round(report.coverage, 4),
+                        "sim_seconds": round(elapsed, 5),
+                        "speedup_vs_1_worker": speedup,
+                        "prune_ratio": prune_ratio,
+                    }
+                )
+    finally:
+        for session in sessions.values():
+            session.close()
     return rows
 
 

@@ -1,0 +1,47 @@
+"""``repro.api`` — the stable public facade of the repro package.
+
+One entry point for the paper's four workloads, replacing the four
+generations of loose keyword arguments (``engine=``, ``config=``,
+``prune=``, ``arena=``) that used to thread through every call site:
+
+:class:`Session`
+    Owns the execution configuration *and* the reusable resources behind
+    it (persistent worker pool, scratch-plane arena) and exposes
+    ``verify`` / ``passes_test_set`` / ``fault_matrix`` /
+    ``fault_coverage``, each returning a typed result object.
+:mod:`repro.api.registry`
+    The engine / fault-model registry that replaced the hard-coded
+    ``EVALUATION_ENGINES`` tuple — plug-in engines become valid
+    ``engine=`` choices everywhere.
+:mod:`repro.api.results`
+    The frozen result dataclasses (:class:`VerificationResult`,
+    :class:`TestSetResult`, :class:`FaultMatrixResult`,
+    :class:`CoverageReport`) carrying verdicts bit-identical to the
+    legacy free functions plus timings, the effective engine after
+    binary-only downgrades, and the planned work grid.
+
+The legacy free functions still work; explicitly passing execution
+kwargs to them emits a :class:`DeprecationWarning` pointing here.  See
+the README's "Public API" section for the migration table.
+"""
+
+from . import registry
+from .results import (
+    CoverageReport,
+    ExecutionInfo,
+    FaultMatrixResult,
+    TestSetResult,
+    VerificationResult,
+)
+from .session import PROPERTIES, Session
+
+__all__ = [
+    "Session",
+    "PROPERTIES",
+    "ExecutionInfo",
+    "VerificationResult",
+    "TestSetResult",
+    "FaultMatrixResult",
+    "CoverageReport",
+    "registry",
+]

@@ -1,0 +1,203 @@
+"""Typed result objects returned by the :class:`repro.api.Session` facade.
+
+Every workload method of the Session returns a frozen dataclass instead of
+a bare bool / float / ndarray, so callers get the execution metadata the
+legacy free functions used to swallow: wall-clock, the *effective* engine
+after the automatic binary-only → vectorized downgrade
+(:func:`repro.core.evaluation.narrow_binary_batch`), the worker / chunk
+configuration the call actually ran with, and — for the fault workloads —
+the planned (fault-shards × vector-chunks) work grid and the
+:class:`repro.faults.SimulationStats` pruning counters.
+
+The payload fields keep the exact values of the legacy functions (the
+result objects *wrap* them, bit-identically), so migrating is mechanical:
+``is_sorter(n, engine=e)`` → ``session.verify(n).verdict``,
+``coverage_report(...)`` → ``session.fault_coverage(...)`` whose
+:class:`CoverageReport` carries the same ``coverage`` / ``by_kind``
+numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..faults.simulation import SimulationStats
+
+__all__ = [
+    "ExecutionInfo",
+    "VerificationResult",
+    "TestSetResult",
+    "FaultMatrixResult",
+    "CoverageReport",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionInfo:
+    """How one Session call actually executed.
+
+    Attributes
+    ----------
+    engine_requested : str
+        The engine the Session was configured with.
+    engine_effective : str
+        The engine that actually ran — differs from the request when a
+        binary-only engine (e.g. ``"bitpacked"``) met non-binary data and
+        downgraded to ``"vectorized"`` (see
+        :func:`repro.core.evaluation.narrow_binary_batch`).
+    workers : int
+        Resolved worker-process count (1 = in-process).
+    chunk_words : int or None
+        Streamed chunk size in words, ``None`` for single-shot execution.
+    grid_shape : tuple of (int, int) or None
+        Planned (fault-shards × vector-chunks) work grid of a fault
+        workload; ``(1, 1)`` for a serial single-chunk run, ``None`` for
+        the non-fault workloads.
+    seconds : float
+        Wall-clock of the call (``time.perf_counter`` based).
+    """
+
+    engine_requested: str
+    engine_effective: str
+    workers: int
+    chunk_words: int | None
+    grid_shape: tuple[int, int] | None
+    seconds: float
+
+    @property
+    def engine_downgraded(self) -> bool:
+        """Did the call downgrade from the requested engine?"""
+        return self.engine_requested != self.engine_effective
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of :meth:`repro.api.Session.verify`.
+
+    Attributes
+    ----------
+    verdict : bool
+        Does the network have the property?
+    property_name : {"sorter", "selector", "merger"}
+        The property that was checked.
+    strategy : str
+        Verification strategy (see the property checkers' docstrings).
+    k : int or None
+        Selection order for the selector property, ``None`` otherwise.
+    n_lines : int
+        Line count of the verified network.
+    execution : ExecutionInfo
+        Timing and effective-engine metadata.
+    """
+
+    verdict: bool
+    property_name: str
+    strategy: str
+    k: int | None
+    n_lines: int
+    execution: ExecutionInfo
+
+    def __bool__(self) -> bool:
+        """Truthiness follows the verdict (drop-in for the legacy bool)."""
+        return self.verdict
+
+
+@dataclass(frozen=True)
+class TestSetResult:
+    """Outcome of :meth:`repro.api.Session.passes_test_set`.
+
+    Attributes
+    ----------
+    passed : bool
+        ``True`` iff every applied word came out sorted.
+    vectors_used : int
+        Number of test words applied.
+    n_lines : int
+        Line count of the device under test.
+    execution : ExecutionInfo
+        Timing and effective-engine metadata.
+    """
+
+    passed: bool
+    vectors_used: int
+    n_lines: int
+    execution: ExecutionInfo
+
+    def __bool__(self) -> bool:
+        """Truthiness follows the verdict (drop-in for the legacy bool)."""
+        return self.passed
+
+
+@dataclass(frozen=True)
+class FaultMatrixResult:
+    """Outcome of :meth:`repro.api.Session.fault_matrix`.
+
+    Attributes
+    ----------
+    matrix : numpy.ndarray
+        The boolean ``(num_faults, num_vectors)`` detection matrix —
+        bit-identical to
+        :func:`repro.faults.simulation.fault_detection_matrix`.
+    criterion : {"specification", "reference"}
+        Detection criterion.
+    num_faults, num_vectors : int
+        Matrix dimensions.
+    stats : SimulationStats
+        Pruning / work counters of the run (all-zero for the non-pruned
+        engines).
+    execution : ExecutionInfo
+        Timing, effective engine and the planned work grid.
+    """
+
+    matrix: np.ndarray = field(repr=False)
+    criterion: str
+    num_faults: int
+    num_vectors: int
+    stats: SimulationStats
+    execution: ExecutionInfo
+
+    @property
+    def detected(self) -> np.ndarray:
+        """Per-fault any-vector detection verdicts (``matrix.any(axis=1)``)."""
+        return self.matrix.any(axis=1)
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Outcome of :meth:`repro.api.Session.fault_coverage`.
+
+    Same payload as the legacy :class:`repro.faults.coverage.CoverageReport`
+    (field for field), extended with the detection criterion, the
+    simulation counters and the execution metadata.
+
+    Attributes
+    ----------
+    total_faults : int
+        Number of faults simulated.
+    detected_faults : int
+        Number detected by at least one vector.
+    coverage : float
+        ``detected_faults / total_faults`` (1.0 when there are no faults).
+    by_kind : mapping of str to (int, int)
+        Fault class name → ``(detected, total)``.
+    vectors_used : int
+        Number of test vectors applied.
+    criterion : {"specification", "reference"}
+        Detection criterion.
+    stats : SimulationStats
+        Pruning / work counters of the run.
+    execution : ExecutionInfo
+        Timing, effective engine and the planned work grid.
+    """
+
+    total_faults: int
+    detected_faults: int
+    coverage: float
+    by_kind: Mapping[str, tuple[int, int]]
+    vectors_used: int
+    criterion: str
+    stats: SimulationStats
+    execution: ExecutionInfo

@@ -1,0 +1,484 @@
+"""The :class:`Session` facade: one configured entry point for all workloads.
+
+A Session owns the execution knobs that used to be threaded through every
+free function as loose keyword arguments — evaluation engine, worker
+count, chunk size, pruning policy, scratch arena — plus the *resources*
+behind them: a lazily-created persistent worker pool
+(:class:`repro.parallel.WorkerPool`) and a process-local scratch-plane
+arena (:class:`repro.core.scratch.PlaneArena`), both reused across calls
+so repeated workloads pay the spawn / allocation cost once.
+
+The four paper workloads run through it::
+
+    from repro.api import Session
+
+    session = Session(engine="bitpacked", workers=4)
+    session.verify(network, "sorter")             # VerificationResult
+    session.passes_test_set(network, words)        # TestSetResult
+    session.fault_matrix(network, faults, words)   # FaultMatrixResult
+    session.fault_coverage(network, faults, words) # CoverageReport
+    session.close()                                # or: with Session(...) as s:
+
+Results are **bit-identical** to the legacy free functions (the Session
+calls the same implementations); the result objects add timings, the
+effective engine after binary-only downgrades, and the planned work grid.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+import os
+import time
+
+from .._typing import WordLike
+from ..core.evaluation import (
+    check_engine,
+    engine_downgrade_count,
+    nonbinary_engine,
+)
+from ..core.network import ComparatorNetwork
+from ..core.scratch import PlaneArena
+from ..exceptions import ExecutionConfigError, TestSetError
+from ..faults.coverage import _coverage_report_impl
+from ..faults.models import Fault
+from ..faults.simulation import (
+    CubeVectors,
+    SimulationStats,
+    _fault_detection_matrix_impl,
+)
+from ..parallel.config import ExecutionConfig
+from ..parallel.pool import WorkerPool
+from ..properties.merger import _is_merger_impl
+from ..properties.selector import _is_selector_impl
+from ..properties.sorter import _is_sorter_impl
+from ..testsets.validation import _network_passes_test_set_impl
+from .results import (
+    CoverageReport,
+    ExecutionInfo,
+    FaultMatrixResult,
+    TestSetResult,
+    VerificationResult,
+)
+
+__all__ = ["Session", "PROPERTIES"]
+
+#: The verifiable network properties (first argument of :meth:`Session.verify`).
+PROPERTIES = ("sorter", "selector", "merger")
+
+#: Strategies whose inputs are permutations — they carry values above 1,
+#: so a binary-only engine predictably downgrades to ``"vectorized"``.
+_PERMUTATION_STRATEGIES = ("permutation", "permutation-testset")
+
+
+def _env_bool(name: str, default: bool) -> bool:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    lowered = value.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ExecutionConfigError(f"{name} must be a boolean-ish value, got {value!r}")
+
+
+class Session:
+    """A configured execution context for verification and fault workloads.
+
+    Parameters
+    ----------
+    engine : str, optional
+        Batch-evaluation engine for every call (any name known to
+        :mod:`repro.api.registry`; default ``"vectorized"``).
+    workers : int, optional
+        Worker-process count: ``1`` (default) runs in-process, ``0`` means
+        one worker per CPU, anything above 1 shards the work axes across a
+        **persistent** pool owned by the Session (spawned on first use,
+        reused by every later call, shut down by :meth:`close`).
+    chunk_size : int or None, optional
+        Words per streamed chunk; any explicit value activates
+        constant-memory streaming exactly like
+        :class:`repro.parallel.ExecutionConfig`.
+    prune : bool, optional
+        Dominated-state pruning in the bit-packed fault simulator
+        (default ``True``; results are identical either way).
+    arena : PlaneArena, bool or None, optional
+        Scratch-plane arena policy for the bit-packed fault simulator:
+        ``None`` (default) uses a Session-owned arena reused across calls,
+        an explicit :class:`~repro.core.scratch.PlaneArena` shares that
+        instance, ``False`` forces the legacy allocating path.
+
+    Examples
+    --------
+    >>> from repro.api import Session
+    >>> from repro.constructions import batcher_sorting_network
+    >>> with Session() as session:
+    ...     result = session.verify(batcher_sorting_network(4), "sorter")
+    >>> bool(result)
+    True
+    >>> result.execution.engine_effective
+    'vectorized'
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: str = "vectorized",
+        workers: int = 1,
+        chunk_size: int | None = None,
+        prune: bool = True,
+        arena: PlaneArena | bool | None = None,
+    ) -> None:
+        self.engine = check_engine(engine)
+        if workers < 0:
+            raise ExecutionConfigError(
+                f"workers must be >= 0 (0 = one per CPU), got {workers}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ExecutionConfigError(
+                f"chunk_size must be >= 1 words, got {chunk_size}"
+            )
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.prune = prune
+        self.arena = arena
+        self._pool: WorkerPool | None = None
+        self._owned_arena: PlaneArena | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers and lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls) -> Session:
+        """A Session configured from ``REPRO_*`` environment variables.
+
+        Recognised variables (all optional): ``REPRO_ENGINE`` (engine
+        name), ``REPRO_WORKERS`` (int, 0 = one per CPU), ``REPRO_CHUNK_SIZE``
+        (words per streamed chunk), ``REPRO_PRUNE`` (bool), ``REPRO_ARENA``
+        (bool; ``0`` selects the legacy allocating path).
+        """
+        chunk = os.environ.get("REPRO_CHUNK_SIZE")
+        return cls(
+            engine=os.environ.get("REPRO_ENGINE", "vectorized"),
+            workers=int(os.environ.get("REPRO_WORKERS", "1")),
+            chunk_size=int(chunk) if chunk else None,
+            prune=_env_bool("REPRO_PRUNE", True),
+            arena=None if _env_bool("REPRO_ARENA", True) else False,
+        )
+
+    def close(self) -> None:
+        """Release the Session's resources (worker pool); idempotent.
+
+        The Session stays usable — a later parallel call simply respawns
+        the pool.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> Session:
+        """Context-manager entry (returns the Session itself)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    def __repr__(self) -> str:
+        """Knob summary (pool/arena state included for debugging)."""
+        return (
+            f"Session(engine={self.engine!r}, workers={self.workers}, "
+            f"chunk_size={self.chunk_size}, prune={self.prune}, "
+            f"arena={'owned' if self.arena is None else self.arena!r}, "
+            f"pool={'live' if self._pool is not None and self._pool.active else 'idle'})"
+        )
+
+    def _config(self) -> ExecutionConfig | None:
+        """The per-call :class:`ExecutionConfig`, or ``None`` for the
+        legacy single-shot path (workers=1, no chunking)."""
+        if self.workers == 1 and self.chunk_size is None:
+            return None
+        pool = None
+        if self.workers != 1:
+            if self._pool is None:
+                self._pool = WorkerPool(self.workers)
+            pool = self._pool
+        return ExecutionConfig(
+            max_workers=self.workers, chunk_size=self.chunk_size, pool=pool
+        )
+
+    def _fault_arena(self) -> PlaneArena | bool | None:
+        """The arena handle for a fault-simulation call.
+
+        ``None`` policy → the Session-owned arena (created on first use and
+        resized by the simulator's ``ensure`` on geometry changes), so
+        repeated calls reuse one plane pool.
+        """
+        if self.arena is None:
+            if self._owned_arena is None:
+                self._owned_arena = PlaneArena(1, 1)
+            return self._owned_arena
+        return self.arena
+
+    # ------------------------------------------------------------------
+    # Execution metadata
+    # ------------------------------------------------------------------
+    def _resolved_workers(self, config: ExecutionConfig | None) -> int:
+        return config.resolved_workers() if config is not None else 1
+
+    def _chunk_words(self, config: ExecutionConfig | None) -> int | None:
+        if config is None or not config.streaming:
+            return None
+        return config.chunk_words()
+
+    def _execution_info(
+        self,
+        config: ExecutionConfig | None,
+        engine_effective: str,
+        grid_shape: tuple[int, int] | None,
+        seconds: float,
+    ) -> ExecutionInfo:
+        return ExecutionInfo(
+            engine_requested=self.engine,
+            engine_effective=engine_effective,
+            workers=self._resolved_workers(config),
+            chunk_words=self._chunk_words(config),
+            grid_shape=grid_shape,
+            seconds=seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Workloads
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        network: ComparatorNetwork,
+        prop: str = "sorter",
+        *,
+        k: int = 1,
+        strategy: str = "testset",
+    ) -> VerificationResult:
+        """Verify a network property (sorter / selector / merger).
+
+        Parameters
+        ----------
+        network : ComparatorNetwork
+            The device under verification.
+        prop : {"sorter", "selector", "merger"}, optional
+            The property to check.
+        k : int, optional
+            Selection order for ``prop="selector"`` (ignored otherwise).
+        strategy : str, optional
+            Verification strategy, forwarded to the property checker
+            (``"binary"``, ``"testset"``, ``"permutation"``,
+            ``"permutation-testset"``).
+
+        Returns
+        -------
+        VerificationResult
+            The verdict plus execution metadata; truthiness follows the
+            verdict, so ``if session.verify(network):`` reads naturally.
+        """
+        if prop not in PROPERTIES:
+            raise TestSetError(
+                f"unknown property {prop!r}; choose one of {PROPERTIES}"
+            )
+        config = self._config()
+        before = engine_downgrade_count()
+        start = time.perf_counter()
+        if prop == "sorter":
+            verdict = _is_sorter_impl(
+                network, strategy=strategy, engine=self.engine, config=config
+            )
+        elif prop == "selector":
+            verdict = _is_selector_impl(
+                network, k, strategy=strategy, engine=self.engine, config=config
+            )
+        else:
+            verdict = _is_merger_impl(
+                network, strategy=strategy, engine=self.engine, config=config
+            )
+        seconds = time.perf_counter() - start
+        effective = self.engine
+        if self.engine != "vectorized" and (
+            engine_downgrade_count() > before
+            or (
+                strategy in _PERMUTATION_STRATEGIES
+                and nonbinary_engine(self.engine) != self.engine
+            )
+        ):
+            effective = "vectorized"
+        return VerificationResult(
+            verdict=verdict,
+            property_name=prop,
+            strategy=strategy,
+            k=k if prop == "selector" else None,
+            n_lines=network.n_lines,
+            execution=self._execution_info(config, effective, None, seconds),
+        )
+
+    def passes_test_set(
+        self,
+        network: ComparatorNetwork,
+        test_words: Iterable[WordLike],
+    ) -> TestSetResult:
+        """Apply a test set to a device (the paper's decision procedure).
+
+        Parameters
+        ----------
+        network : ComparatorNetwork
+            The device under test.
+        test_words : iterable of words
+            The test set; binary words and permutations both work.
+
+        Returns
+        -------
+        TestSetResult
+            ``passed`` iff every observed output was sorted, plus
+            execution metadata (non-binary words on a binary-only engine
+            surface as ``engine_effective="vectorized"``).
+        """
+        words = list(test_words)
+        config = self._config()
+        before = engine_downgrade_count()
+        start = time.perf_counter()
+        passed = _network_passes_test_set_impl(
+            network, words, engine=self.engine, config=config
+        )
+        seconds = time.perf_counter() - start
+        effective = self.engine
+        if self.engine != "vectorized" and engine_downgrade_count() > before:
+            effective = "vectorized"
+        return TestSetResult(
+            passed=passed,
+            vectors_used=len(words),
+            n_lines=network.n_lines,
+            execution=self._execution_info(config, effective, None, seconds),
+        )
+
+    def fault_matrix(
+        self,
+        network: ComparatorNetwork,
+        faults: Sequence[Fault],
+        test_vectors: Sequence[WordLike] | CubeVectors,
+        *,
+        criterion: str = "specification",
+    ) -> FaultMatrixResult:
+        """The full boolean fault-detection matrix ``D[f, t]``.
+
+        Parameters
+        ----------
+        network : ComparatorNetwork
+            The fault-free reference device.
+        faults : sequence of Fault
+            Faults to simulate, one matrix row each.
+        test_vectors : sequence of words, 2-D array, or CubeVectors
+            Vectors to apply, one matrix column each.
+        criterion : {"specification", "reference"}, optional
+            Detection criterion.
+
+        Returns
+        -------
+        FaultMatrixResult
+            The matrix (bit-identical to the legacy free function), the
+            :class:`~repro.faults.SimulationStats` counters and execution
+            metadata including the planned work grid.
+        """
+        config = self._config()
+        stats = SimulationStats()
+        start = time.perf_counter()
+        matrix = _fault_detection_matrix_impl(
+            network,
+            faults,
+            test_vectors,
+            criterion=criterion,
+            engine=self.engine,
+            config=config,
+            prune=self.prune,
+            stats=stats,
+            arena=self._fault_arena(),
+        )
+        seconds = time.perf_counter() - start
+        return FaultMatrixResult(
+            matrix=matrix,
+            criterion=criterion,
+            num_faults=matrix.shape[0],
+            num_vectors=matrix.shape[1],
+            stats=stats,
+            execution=self._execution_info(
+                config, self.engine, stats.planned_grid, seconds
+            ),
+        )
+
+    def fault_coverage(
+        self,
+        network: ComparatorNetwork,
+        faults: Sequence[Fault],
+        test_vectors: Sequence[WordLike] | CubeVectors,
+        *,
+        criterion: str = "specification",
+    ) -> CoverageReport:
+        """Fault coverage of a test set, with the per-kind breakdown.
+
+        The constant-memory any-reduction path: the per-vector matrix is
+        never materialised, so exhaustive (:class:`~repro.faults.CubeVectors`)
+        test sets run at any ``n``.
+
+        Parameters are those of :meth:`fault_matrix`.
+
+        Returns
+        -------
+        CoverageReport
+            Coverage numbers bit-identical to the legacy
+            :func:`repro.faults.coverage.coverage_report`, plus the
+            simulation counters and execution metadata.
+        """
+        config = self._config()
+        stats = SimulationStats()
+        start = time.perf_counter()
+        legacy = _coverage_report_impl(
+            network,
+            faults,
+            test_vectors,
+            criterion=criterion,
+            engine=self.engine,
+            config=config,
+            prune=self.prune,
+            stats=stats,
+            arena=self._fault_arena(),
+        )
+        seconds = time.perf_counter() - start
+        return CoverageReport(
+            total_faults=legacy.total_faults,
+            detected_faults=legacy.detected_faults,
+            coverage=legacy.coverage,
+            by_kind=legacy.by_kind,
+            vectors_used=legacy.vectors_used,
+            criterion=criterion,
+            stats=stats,
+            execution=self._execution_info(
+                config, self.engine, stats.planned_grid, seconds
+            ),
+        )
+
+    def compare_test_sets(
+        self,
+        network: ComparatorNetwork,
+        faults: Sequence[Fault],
+        test_sets: Mapping[str, Sequence[WordLike] | CubeVectors],
+        *,
+        criterion: str = "specification",
+    ) -> dict[str, CoverageReport]:
+        """Coverage of several named test sets (one report per entry).
+
+        The Session-native form of
+        :func:`repro.faults.coverage.compare_test_sets`: the same pool and
+        arena serve every entry, so comparing many candidate sets amortises
+        the setup cost once.
+        """
+        return {
+            name: self.fault_coverage(
+                network, faults, vectors, criterion=criterion
+            )
+            for name, vectors in test_sets.items()
+        }

@@ -22,14 +22,16 @@ Subcommands
     Run the experiment harness (E1–E11) and print the tables; this is the
     textual companion of the benchmark suite.
 
-``verify``, ``faults`` and ``experiments`` accept ``--engine
-{scalar,vectorized,bitpacked}`` to pick the batch-evaluation engine;
-``bitpacked`` packs 0/1 batches 64 words per uint64 (see
-:mod:`repro.core.bitpacked`) and is the fast choice for exhaustive
-strategies and fault simulation.  The same three subcommands accept
+``verify``, ``faults`` and ``experiments`` accept ``--engine`` to pick
+the batch-evaluation engine — the choices come from the engine registry
+(:mod:`repro.api.registry`; built-ins are ``scalar``, ``vectorized`` and
+``bitpacked``, the latter packing 0/1 batches 64 words per uint64, see
+:mod:`repro.core.bitpacked`).  The same three subcommands accept
 ``--workers N`` (shard the work axis across ``N`` processes; ``0`` = one
 per CPU) and ``--chunk-size W`` (stream exhaustive workloads ``W`` words
-at a time in constant memory) — see :mod:`repro.parallel`.
+at a time in constant memory) — see :mod:`repro.parallel`.  The commands
+run through the :class:`repro.api.Session` facade, so their results match
+the public API bit for bit.
 
 Examples
 --------
@@ -50,8 +52,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ._registry import engine_names
 from .analysis.tables import format_rows
-from .core.evaluation import EVALUATION_ENGINES
 from .core.network import ComparatorNetwork
 
 __all__ = ["main", "build_parser"]
@@ -102,15 +104,15 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _execution_config(args: argparse.Namespace):
-    """Build an ExecutionConfig from --workers/--chunk-size, or ``None``."""
-    if args.workers is None and args.chunk_size is None:
-        return None
-    from .parallel import ExecutionConfig
+def _build_session(args: argparse.Namespace, *, default_engine: str = "vectorized"):
+    """Build a :class:`repro.api.Session` from the CLI execution flags."""
+    from .api import Session
 
-    return ExecutionConfig(
-        max_workers=args.workers if args.workers is not None else 1,
+    return Session(
+        engine=getattr(args, "engine", default_engine),
+        workers=args.workers if args.workers is not None else 1,
         chunk_size=args.chunk_size,
+        prune=getattr(args, "prune", True),
     )
 
 
@@ -146,7 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--engine",
-        choices=EVALUATION_ENGINES,
+        choices=engine_names(),
         default="vectorized",
         help="batch evaluation engine (bitpacked = 64 words per machine word)",
     )
@@ -235,7 +237,7 @@ examples:
     )
     faults.add_argument(
         "--engine",
-        choices=EVALUATION_ENGINES,
+        choices=engine_names(),
         default="bitpacked",
         help="fault-simulation engine (bitpacked shares fault-free prefixes)",
     )
@@ -255,7 +257,7 @@ examples:
     )
     experiments.add_argument(
         "--engine",
-        choices=EVALUATION_ENGINES,
+        choices=engine_names(),
         default="vectorized",
         help="engine forwarded to the evaluation-heavy experiments",
     )
@@ -269,14 +271,11 @@ examples:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from .properties import is_merger, is_selector, is_sorter
-
     if args.construct is not None:
         network = _build_construction(args.construct, args.n, args.k)
     else:
         network = ComparatorNetwork.from_knuth(args.n, args.network)
-    config = _execution_config(args)
-    if config is not None:
+    if args.workers is not None or args.chunk_size is not None:
         # Streaming coverage: merger chunks its word lists with any engine,
         # sorter chunks the permutation strategies, and the 0/1 strategies
         # stream the packed cube (sorter/selector, bitpacked engine only).
@@ -302,26 +301,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 f"--engine {args.engine}; running single-shot",
                 file=sys.stderr,
             )
-            config = None
-    if args.property == "sorter":
-        verdict = is_sorter(
-            network, strategy=args.strategy, engine=args.engine, config=config
+            args.workers = None
+            args.chunk_size = None
+    with _build_session(args) as session:
+        result = session.verify(
+            network, args.property, k=args.k, strategy=args.strategy
         )
-    elif args.property == "selector":
-        verdict = is_selector(
-            network, args.k, strategy=args.strategy, engine=args.engine,
-            config=config,
-        )
-    else:
-        verdict = is_merger(
-            network, strategy=args.strategy, engine=args.engine, config=config
-        )
-    workers = config.resolved_workers() if config is not None else 1
     print(
-        f"property={args.property} engine={args.engine} workers={workers} "
-        f"verdict={'YES' if verdict else 'NO'}"
+        f"property={args.property} engine={args.engine} "
+        f"workers={result.execution.workers} "
+        f"verdict={'YES' if result.verdict else 'NO'}"
     )
-    return 0 if verdict else 1
+    return 0 if result.verdict else 1
 
 
 def _cmd_testset(args: argparse.Namespace) -> int:
@@ -380,12 +371,7 @@ def _cmd_construct(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from .faults import (
-        CubeVectors,
-        SimulationStats,
-        coverage_report,
-        enumerate_single_faults,
-    )
+    from .faults import CubeVectors, enumerate_single_faults
     from .testsets import sorting_binary_test_set
 
     device = _build_construction(args.kind, args.n, 1)
@@ -401,28 +387,28 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         vectors = CubeVectors(args.n)
     else:
         vectors = sorting_binary_test_set(args.n)
-    config = _execution_config(args)
-    stats = SimulationStats() if args.engine == "bitpacked" else None
-    report = coverage_report(
-        device, faults, vectors, criterion=args.criterion, engine=args.engine,
-        config=config, prune=args.prune, stats=stats,
-    )
-    workers = config.resolved_workers() if config is not None else 1
+    with _build_session(args) as session:
+        report = session.fault_coverage(
+            device, faults, vectors, criterion=args.criterion
+        )
+    stats = report.stats
     print(
         f"device={args.kind}({args.n}) engine={args.engine} "
-        f"workers={workers} criterion={args.criterion} "
+        f"workers={report.execution.workers} criterion={args.criterion} "
         f"strategy={args.strategy} prune={args.prune}"
     )
     print(
         f"vectors={report.vectors_used} faults={report.total_faults} "
         f"detected={report.detected_faults} coverage={report.coverage:.4f}"
     )
-    if stats is not None and stats.total_stage_blocks:
+    if stats.total_stage_blocks:
         print(
             f"pruned_stage_blocks={stats.pruned_stage_blocks} "
             f"prune_ratio={stats.prune_ratio:.4f} "
             f"converged_faults={stats.converged_faults} "
-            f"dropped_faults={stats.dropped_faults}"
+            f"dropped_faults={stats.dropped_faults} "
+            f"grid={report.execution.grid_shape} "
+            f"sim_seconds={report.execution.seconds:.3f}"
         )
     for kind, (found, total) in sorted(report.by_kind.items()):
         print(f"  {kind}: {found}/{total}")

@@ -29,11 +29,13 @@ treated as the reference.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+import warnings
 
 import numpy as np
 
+from .._registry import get_engine
 from .._typing import Batch
-from ..exceptions import EngineError, InputLengthError
+from ..exceptions import EngineDowngradeWarning, InputLengthError
 from .network import ComparatorNetwork
 
 __all__ = [
@@ -50,20 +52,84 @@ __all__ = [
     "array_to_words",
     "min_word_dtype",
     "narrow_binary_batch",
+    "nonbinary_engine",
+    "engine_downgrade_count",
+    "reset_engine_downgrade_warning",
 ]
 
-#: The interchangeable batch-evaluation engines (see the module docstring).
+#: The *built-in* batch-evaluation engines (see the module docstring).
+#: Kept for backwards compatibility; the source of truth is the engine
+#: registry (:mod:`repro.api.registry`), which additionally lists plug-in
+#: engines registered at runtime.
 EVALUATION_ENGINES = ("scalar", "vectorized", "bitpacked")
 
 
 def check_engine(engine: str) -> str:
-    """Validate an engine name, returning it (raises :class:`EngineError`)."""
-    if engine not in EVALUATION_ENGINES:
-        raise EngineError(
-            f"unknown evaluation engine {engine!r}; "
-            f"choose one of {EVALUATION_ENGINES}"
+    """Validate an engine name, returning it (raises :class:`EngineError`).
+
+    Consults the engine registry (:mod:`repro.api.registry`), so plug-in
+    engines registered at runtime validate exactly like the built-ins.
+    """
+    return get_engine(engine).name
+
+
+def nonbinary_engine(engine: str) -> str:
+    """The engine to use on batches that cannot be 0/1 (no bit planes there).
+
+    Binary-only engines — the built-in ``"bitpacked"`` and any plug-in
+    registered with ``binary_only=True`` — fall back to ``"vectorized"``;
+    everything else passes through.  This is the static form of the
+    :func:`narrow_binary_batch` downgrade, used where the data is known
+    non-binary up front (permutation-model strategies).
+    """
+    return "vectorized" if get_engine(engine).binary_only else engine
+
+
+# Downgrade bookkeeping for narrow_binary_batch: a monotone per-process
+# counter (the repro.api Session snapshots it around a call to report the
+# effective engine) plus a one-time-warning latch.
+_DOWNGRADE_COUNT = 0
+_DOWNGRADE_WARNED = False
+
+
+def engine_downgrade_count() -> int:
+    """Number of binary-only → vectorized engine downgrades this process.
+
+    Incremented by :func:`narrow_binary_batch` every time a non-binary
+    batch forces a binary-only engine (e.g. ``"bitpacked"``) down to
+    ``"vectorized"``.  The :mod:`repro.api` Session diffs this counter
+    around a call to fill the ``engine_effective`` field of its result
+    objects.  Worker processes of a sharded run count in their own
+    processes; the parent-side counter still moves for every path that
+    narrows in the parent (all current ones do).
+    """
+    return _DOWNGRADE_COUNT
+
+
+def reset_engine_downgrade_warning() -> None:
+    """Re-arm the one-time :class:`EngineDowngradeWarning`.
+
+    The warning fires once per process so exhaustive sweeps do not spam;
+    long-lived processes (or tests asserting on the warning) can re-arm it
+    here.
+    """
+    global _DOWNGRADE_WARNED
+    _DOWNGRADE_WARNED = False
+
+
+def _note_engine_downgrade(engine: str) -> None:
+    global _DOWNGRADE_COUNT, _DOWNGRADE_WARNED
+    _DOWNGRADE_COUNT += 1
+    if not _DOWNGRADE_WARNED:
+        _DOWNGRADE_WARNED = True
+        warnings.warn(
+            f"engine {engine!r} only accepts 0/1 batches; this non-binary "
+            "batch runs on the 'vectorized' engine instead (reported once "
+            "per process; repro.api result objects carry the effective "
+            "engine per call)",
+            EngineDowngradeWarning,
+            stacklevel=4,
         )
-    return engine
 
 
 def min_word_dtype(words: Iterable[Sequence[int]]):
@@ -92,15 +158,23 @@ def narrow_binary_batch(batch: np.ndarray, engine: str = "vectorized"):
     Returns ``(batch, engine)``: batches whose values are all 0/1 are
     downcast to ``int8`` (the cheap dtype every engine accepts — two numpy
     reductions instead of a per-element Python scan); anything else keeps
-    its dtype and falls back from ``"bitpacked"`` to ``"vectorized"``
-    (non-binary values cannot be bit-packed).  This is the single
-    binary-detection rule shared by the fault simulator, the test-set
-    validator and the chunked executor, so the engines cannot drift apart.
+    its dtype and falls back from any *binary-only* engine (the built-in
+    ``"bitpacked"``, or a plug-in registered with ``binary_only=True``) to
+    ``"vectorized"`` (non-binary values cannot be bit-packed).  This is the
+    single binary-detection rule shared by the fault simulator, the
+    test-set validator and the chunked executor, so the engines cannot
+    drift apart.
+
+    The downgrade is no longer silent: it bumps
+    :func:`engine_downgrade_count` and emits a one-time
+    :class:`~repro.exceptions.EngineDowngradeWarning`; the
+    :mod:`repro.api` result objects report the effective engine per call.
     """
     binary = bool(batch.size) and 0 <= batch.min() and batch.max() <= 1
     if binary and batch.dtype.kind in "biu" and batch.dtype != np.int8:
         batch = batch.astype(np.int8)
-    if not binary and engine == "bitpacked":
+    if not binary and engine != "vectorized" and get_engine(engine).binary_only:
+        _note_engine_downgrade(engine)
         engine = "vectorized"
     return batch, engine
 
@@ -204,6 +278,12 @@ def apply_network_to_batch(
         return _apply_scalar(network, data)
     if engine == "bitpacked":
         return _apply_bitpacked(network, data)
+    spec = get_engine(engine)
+    if spec.apply is not None:
+        # Plug-in engine from the registry (repro.api.registry): the
+        # registered callable owns the whole evaluation, including any
+        # faulty-subclass dispatch it wants to honour.
+        return spec.apply(network, data)
     # Faulty-network subclasses (repro.faults.models) override apply_batch to
     # model behaviour that a plain comparator sequence cannot express (e.g. a
     # stuck-swap stage).  Dispatch to the override so every caller — property

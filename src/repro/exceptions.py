@@ -22,6 +22,7 @@ __all__ = [
     "FaultModelError",
     "EngineError",
     "ExecutionConfigError",
+    "EngineDowngradeWarning",
 ]
 
 
@@ -91,3 +92,15 @@ class EngineError(ReproError, ValueError):
 
 class ExecutionConfigError(ReproError, ValueError):
     """An invalid execution configuration (worker count / chunk size)."""
+
+
+class EngineDowngradeWarning(UserWarning):
+    """A binary-only engine was silently downgraded to ``"vectorized"``.
+
+    Emitted (once per process, see
+    :func:`repro.core.evaluation.narrow_binary_batch`) when a batch with
+    values outside {0, 1} forces the requested bit-packed (or other
+    binary-only registered) engine down to the vectorised engine.  The
+    downgrade also surfaces as the ``engine_effective`` field of the
+    :mod:`repro.api` result objects.
+    """

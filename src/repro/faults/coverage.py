@@ -15,6 +15,14 @@ The coverage helpers reduce the vector axis on the fly
 cube (:class:`repro.faults.simulation.CubeVectors`) can be used as a test
 set in constant memory; only :func:`greedy_test_selection` needs the full
 per-vector matrix.
+
+These free functions are the legacy spelling of the coverage workload:
+the supported entry point is :meth:`repro.api.Session.fault_coverage`,
+which returns a typed report carrying the same numbers plus timings and
+execution metadata.  The free functions share the Session's implementation
+bit for bit, but explicitly passing the execution kwargs (``engine=``,
+``config=``, ``prune=``, ``arena=``) to them emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .._compat import UNSET, unset_or, warn_legacy_exec_kwargs
 from .._typing import WordLike
 from ..core.network import ComparatorNetwork
 from ..exceptions import FaultModelError
@@ -32,8 +41,8 @@ from .models import Fault
 from .simulation import (
     CubeVectors,
     SimulationStats,
-    fault_detection_any,
-    fault_detection_matrix,
+    _fault_detection_any_impl,
+    _fault_detection_matrix_impl,
 )
 
 if TYPE_CHECKING:
@@ -87,11 +96,11 @@ def fault_coverage(
     test_vectors: Sequence[WordLike] | CubeVectors,
     *,
     criterion: str = "specification",
-    engine: str = "vectorized",
-    config: ExecutionConfig | None = None,
-    prune: bool = True,
+    engine: str = UNSET,
+    config: ExecutionConfig | None = UNSET,
+    prune: bool = UNSET,
     stats: SimulationStats | None = None,
-    arena: PlaneArena | bool | None = None,
+    arena: PlaneArena | bool | None = UNSET,
 ) -> float:
     """Fraction of *faults* detected by *test_vectors*.
 
@@ -107,16 +116,41 @@ def fault_coverage(
     criterion, engine, config, prune, stats, arena :
         Forwarded to :func:`repro.faults.simulation.fault_detection_any`
         (*arena* is the scratch-plane arena knob of the bit-packed
-        engine).
+        engine).  Explicitly passing *engine*, *config*, *prune* or
+        *arena* is deprecated — configure a :class:`repro.api.Session`
+        instead.
 
     Returns
     -------
     float
         Detected fraction in ``[0, 1]``.
     """
+    warn_legacy_exec_kwargs(
+        "fault_coverage", engine=engine, config=config, prune=prune, arena=arena
+    )
+    return _fault_coverage_impl(
+        network, faults, test_vectors, criterion=criterion,
+        engine=unset_or(engine, "vectorized"), config=unset_or(config, None),
+        prune=unset_or(prune, True), stats=stats, arena=unset_or(arena, None),
+    )
+
+
+def _fault_coverage_impl(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    test_vectors: Sequence[WordLike] | CubeVectors,
+    *,
+    criterion: str = "specification",
+    engine: str = "vectorized",
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+    stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
+) -> float:
+    """Non-deprecating form of :func:`fault_coverage` (Session backend)."""
     if not faults:
         return 1.0
-    detected = fault_detection_any(
+    detected = _fault_detection_any_impl(
         network, faults, test_vectors, criterion=criterion, engine=engine,
         config=config, prune=prune, stats=stats, arena=arena,
     )
@@ -129,16 +163,17 @@ def coverage_report(
     test_vectors: Sequence[WordLike] | CubeVectors,
     *,
     criterion: str = "specification",
-    engine: str = "vectorized",
-    config: ExecutionConfig | None = None,
-    prune: bool = True,
+    engine: str = UNSET,
+    config: ExecutionConfig | None = UNSET,
+    prune: bool = UNSET,
     stats: SimulationStats | None = None,
-    arena: PlaneArena | bool | None = None,
+    arena: PlaneArena | bool | None = UNSET,
 ) -> CoverageReport:
     """Full coverage report with a per-fault-kind breakdown.
 
-    Parameters are those of :func:`fault_coverage`; the per-vector matrix
-    is never materialised, so exhaustive
+    Parameters are those of :func:`fault_coverage` (including the
+    deprecation of explicitly passed execution kwargs); the per-vector
+    matrix is never materialised, so exhaustive
     (:class:`~repro.faults.simulation.CubeVectors`) test sets run in
     constant memory.
 
@@ -147,8 +182,32 @@ def coverage_report(
     CoverageReport
         Totals, coverage fraction and the per-fault-kind breakdown.
     """
+    warn_legacy_exec_kwargs(
+        "coverage_report", engine=engine, config=config, prune=prune,
+        arena=arena,
+    )
+    return _coverage_report_impl(
+        network, faults, test_vectors, criterion=criterion,
+        engine=unset_or(engine, "vectorized"), config=unset_or(config, None),
+        prune=unset_or(prune, True), stats=stats, arena=unset_or(arena, None),
+    )
+
+
+def _coverage_report_impl(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    test_vectors: Sequence[WordLike] | CubeVectors,
+    *,
+    criterion: str = "specification",
+    engine: str = "vectorized",
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+    stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
+) -> CoverageReport:
+    """Non-deprecating form of :func:`coverage_report` (Session backend)."""
     detected = (
-        fault_detection_any(
+        _fault_detection_any_impl(
             network, faults, test_vectors, criterion=criterion, engine=engine,
             config=config, prune=prune, stats=stats, arena=arena,
         )
@@ -200,7 +259,7 @@ def greedy_test_selection(
             f"target_coverage must be in (0, 1], got {target_coverage}"
         )
     vectors = [tuple(int(v) for v in w) for w in candidate_vectors]
-    matrix = fault_detection_matrix(
+    matrix = _fault_detection_matrix_impl(
         network, faults, vectors, criterion=criterion, engine=engine,
         config=config,
     )
@@ -226,22 +285,34 @@ def compare_test_sets(
     test_sets: Mapping[str, Sequence[WordLike] | CubeVectors],
     *,
     criterion: str = "specification",
-    engine: str = "vectorized",
-    config: ExecutionConfig | None = None,
-    prune: bool = True,
-    arena: PlaneArena | bool | None = None,
+    engine: str = UNSET,
+    config: ExecutionConfig | None = UNSET,
+    prune: bool = UNSET,
+    arena: PlaneArena | bool | None = UNSET,
 ) -> dict[str, CoverageReport]:
     """Coverage of several named test sets against the same fault universe.
+
+    Explicitly passing the execution kwargs is deprecated (see
+    :func:`fault_coverage`).
 
     Returns
     -------
     dict of str to CoverageReport
         One report per entry of *test_sets*, in input order.
     """
+    warn_legacy_exec_kwargs(
+        "compare_test_sets", engine=engine, config=config, prune=prune,
+        arena=arena,
+    )
+    resolved_engine = unset_or(engine, "vectorized")
+    resolved_config = unset_or(config, None)
+    resolved_prune = unset_or(prune, True)
+    resolved_arena = unset_or(arena, None)
     return {
-        name: coverage_report(
-            network, faults, vectors, criterion=criterion, engine=engine,
-            config=config, prune=prune, arena=arena,
+        name: _coverage_report_impl(
+            network, faults, vectors, criterion=criterion,
+            engine=resolved_engine, config=resolved_config,
+            prune=resolved_prune, arena=resolved_arena,
         )
         for name, vectors in test_sets.items()
     }

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._registry import register_fault_model
 from ..core.network import ComparatorNetwork
 from ..exceptions import FaultModelError
 
@@ -277,3 +278,16 @@ class StuckLineNetwork(ComparatorNetwork):
             if position + 1 >= self._stuck_stage:
                 planes[self._stuck_line] = forced
         return result
+
+
+# Register the built-in single-fault models so tools can enumerate them
+# through repro.api.registry without hard-coding the class list
+# (replace=True keeps importlib.reload idempotent).
+for _model in (
+    StuckPassFault,
+    StuckSwapFault,
+    ReversedComparatorFault,
+    LineStuckFault,
+):
+    register_fault_model(_model, replace=True)
+del _model

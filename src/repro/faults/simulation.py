@@ -78,6 +78,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .._compat import UNSET, unset_or, warn_legacy_exec_kwargs
 from .._typing import WordLike
 from ..core.bitpacked import (
     BLOCK_BITS,
@@ -194,6 +195,14 @@ class SimulationStats:
     pruned_stage_blocks : int
         Comparator-block operations skipped by dominated-state pruning
         (clean-input comparators plus the tail after full convergence).
+    planned_grid : tuple of (int, int) or None
+        The (fault-shards × vector-chunks) work grid the dispatcher planned
+        for the most recent run that used this instance — ``(1, 1)`` for a
+        serial single-shot run, ``(0, 0)`` for an empty vector set, ``None``
+        until a run records one.  Recorded parent-side by the dispatcher
+        (not merged across workers, not part of :meth:`counts`); this is
+        what the :mod:`repro.api` result objects report, so the label can
+        never drift from the dispatch that actually ran.
 
     Examples
     --------
@@ -208,6 +217,7 @@ class SimulationStats:
     dropped_faults: int = 0
     evaluated_stage_blocks: int = 0
     pruned_stage_blocks: int = 0
+    planned_grid: tuple[int, int] | None = None
 
     @property
     def total_stage_blocks(self) -> int:
@@ -249,17 +259,24 @@ def fault_detection_matrix(
     test_vectors: Sequence[WordLike] | CubeVectors,
     *,
     criterion: str = "specification",
-    engine: str = "vectorized",
-    config: ExecutionConfig | None = None,
-    prune: bool = True,
+    engine: str = UNSET,
+    config: ExecutionConfig | None = UNSET,
+    prune: bool = UNSET,
     stats: SimulationStats | None = None,
-    arena: PlaneArena | bool | None = None,
+    arena: PlaneArena | bool | None = UNSET,
 ) -> np.ndarray:
     """Boolean matrix ``D[f, t]``: does test vector ``t`` detect fault ``f``?
 
     Rows follow the order of *faults*, columns the order of *test_vectors*.
     All engines and all execution configurations produce bit-identical
     matrices on 0/1 vectors.
+
+    .. deprecated::
+        Passing the execution kwargs (``engine``, ``config``, ``prune``,
+        ``arena``) here is deprecated; configure a
+        :class:`repro.api.Session` instead (``session.fault_matrix(...)``
+        returns the same matrix inside a typed result object).  Calls that
+        leave them at their defaults are not deprecated.
 
     Parameters
     ----------
@@ -307,6 +324,41 @@ def fault_detection_matrix(
         cube-scale vector counts prefer :func:`fault_detection_any`, which
         never materialises the matrix.
     """
+    warn_legacy_exec_kwargs(
+        "fault_detection_matrix", engine=engine, config=config, prune=prune,
+        arena=arena,
+    )
+    return _fault_detection_matrix_impl(
+        network,
+        faults,
+        test_vectors,
+        criterion=criterion,
+        engine=unset_or(engine, "vectorized"),
+        config=unset_or(config, None),
+        prune=unset_or(prune, True),
+        stats=stats,
+        arena=unset_or(arena, None),
+    )
+
+
+def _fault_detection_matrix_impl(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    test_vectors: Sequence[WordLike] | CubeVectors,
+    *,
+    criterion: str = "specification",
+    engine: str = "vectorized",
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+    stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
+) -> np.ndarray:
+    """Non-deprecating form of :func:`fault_detection_matrix`.
+
+    This is what the :class:`repro.api.Session` facade (and the other
+    internal callers) invoke; the public free function is a thin shim over
+    it that warns when legacy execution kwargs are passed explicitly.
+    """
     if criterion not in DETECTION_CRITERIA:
         raise FaultModelError(
             f"unknown detection criterion {criterion!r}; "
@@ -333,11 +385,11 @@ def fault_detection_any(
     test_vectors: Sequence[WordLike] | CubeVectors,
     *,
     criterion: str = "specification",
-    engine: str = "vectorized",
-    config: ExecutionConfig | None = None,
-    prune: bool = True,
+    engine: str = UNSET,
+    config: ExecutionConfig | None = UNSET,
+    prune: bool = UNSET,
     stats: SimulationStats | None = None,
-    arena: PlaneArena | bool | None = None,
+    arena: PlaneArena | bool | None = UNSET,
 ) -> np.ndarray:
     """Per-fault detection verdicts: is fault ``f`` detected by *any* vector?
 
@@ -345,13 +397,45 @@ def fault_detection_any(
     happens chunk by chunk, so exhaustive (:class:`CubeVectors`) and other
     streamed runs never materialise the ``(num_faults, num_vectors)``
     matrix — this is what keeps cube-scale coverage reports in constant
-    memory.  Parameters are those of :func:`fault_detection_matrix`.
+    memory.  Parameters are those of :func:`fault_detection_matrix`,
+    including the deprecation of explicitly passed execution kwargs
+    (configure a :class:`repro.api.Session` instead).
 
     Returns
     -------
     numpy.ndarray
         Boolean vector of length ``len(faults)``.
     """
+    warn_legacy_exec_kwargs(
+        "fault_detection_any", engine=engine, config=config, prune=prune,
+        arena=arena,
+    )
+    return _fault_detection_any_impl(
+        network,
+        faults,
+        test_vectors,
+        criterion=criterion,
+        engine=unset_or(engine, "vectorized"),
+        config=unset_or(config, None),
+        prune=unset_or(prune, True),
+        stats=stats,
+        arena=unset_or(arena, None),
+    )
+
+
+def _fault_detection_any_impl(
+    network: ComparatorNetwork,
+    faults: Sequence[Fault],
+    test_vectors: Sequence[WordLike] | CubeVectors,
+    *,
+    criterion: str = "specification",
+    engine: str = "vectorized",
+    config: ExecutionConfig | None = None,
+    prune: bool = True,
+    stats: SimulationStats | None = None,
+    arena: PlaneArena | bool | None = None,
+) -> np.ndarray:
+    """Non-deprecating form of :func:`fault_detection_any` (Session backend)."""
     if criterion not in DETECTION_CRITERIA:
         raise FaultModelError(
             f"unknown detection criterion {criterion!r}; "
@@ -389,8 +473,14 @@ def _detection_run(
     vectors = _normalise_vectors(network, test_vectors, engine)
     num_vectors = len(vectors)
     if num_vectors == 0:
+        if stats is not None:
+            stats.planned_grid = (0, 0)
         shape = (len(faults), 0) if reduce == "matrix" else (len(faults),)
         return np.zeros(shape, dtype=bool)
+    if stats is not None:
+        # Serial single-shot unless a dispatcher below overwrites it with
+        # the shard / streamed grid it actually plans.
+        stats.planned_grid = (1, 1)
     if config is not None and config.parallel and len(faults) > 1:
         from ..parallel.fault_shard import sharded_fault_detection_matrix
 
@@ -430,7 +520,9 @@ def _detection_run(
             arena=arena,
         )
     else:
-        matrix = _vectorized_detection_matrix(network, faults, vectors, criterion)
+        matrix = _vectorized_detection_matrix(
+            network, faults, vectors, criterion, engine=engine
+        )
     return matrix if reduce == "matrix" else matrix.any(axis=1)
 
 
@@ -471,10 +563,14 @@ def _vectorized_detection_matrix(
     faults: Sequence[Fault],
     vectors,
     criterion: str,
+    engine: str = "vectorized",
 ) -> np.ndarray:
     # Build wide and narrow only after a numpy range check: permutation
     # vectors with values > 127 must never land in int8, where they would
-    # silently wrap and corrupt both criteria.
+    # silently wrap and corrupt both criteria.  *engine* is "vectorized" or
+    # a registered plug-in (the generic fall-through of _detection_run) —
+    # binary-only plug-ins downgrade through narrow_binary_batch exactly
+    # like every other call site.
     if isinstance(vectors, np.ndarray):
         batch = np.ascontiguousarray(vectors)
         if batch.shape[1] != network.n_lines:
@@ -484,14 +580,14 @@ def _vectorized_detection_matrix(
             )
     else:
         batch = words_to_array(vectors, dtype=np.int64, n_lines=network.n_lines)
-    batch, _ = narrow_binary_batch(batch)
+    batch, engine = narrow_binary_batch(batch, engine)
     reference_outputs = None
     if criterion == "reference":
-        reference_outputs = apply_network_to_batch(network, batch)
+        reference_outputs = apply_network_to_batch(network, batch, engine=engine)
     matrix = np.zeros((len(faults), len(vectors)), dtype=bool)
     for row, fault in enumerate(faults):
         faulty = fault.apply_to(network)
-        outputs = apply_network_to_batch(faulty, batch)
+        outputs = apply_network_to_batch(faulty, batch, engine=engine)
         if criterion == "specification":
             matrix[row] = ~batch_is_sorted(outputs)
         else:
@@ -526,11 +622,49 @@ def _scalar_detection_matrix(
 # Bit-packed batched engine with shared fault-free prefixes
 # ----------------------------------------------------------------------
 def _detection_row(
-    state: PackedBatch, reference: PackedBatch, criterion: str
+    state: PackedBatch,
+    reference: PackedBatch,
+    criterion: str,
+    arena: PlaneArena | None = None,
 ) -> np.ndarray:
+    """Detection row of a fully materialised faulty state.
+
+    Without an *arena* this is the legacy allocating form (one fresh plane
+    per bitwise step of ``packed_is_sorted`` / ``packed_equal``, then the
+    boolean expansion).  With an *arena* the packed temporaries — the
+    adjacent-pair sortedness sweep or the per-line XOR/OR difference
+    accumulation — run on pool rows through ``out=`` ufuncs, so the only
+    remaining allocation is the unpacked boolean row itself (the caller's
+    output).  Padding bits need no masking here: ``unpack_bits`` truncates
+    to ``num_words``, which drops them by construction.
+    """
+    if arena is None:
+        if criterion == "specification":
+            return ~packed_is_sorted(state)
+        return ~packed_equal(state, reference)
+    from ..core.bitpacked import unpack_bits
+
+    planes = state.planes
+    n = planes.shape[0]
+    num_words = state.num_words
+    s_acc = arena.acquire()
+    s_tmp = arena.acquire()
+    acc = arena.plane(s_acc)
+    tmp = arena.plane(s_tmp)
+    acc[...] = 0
     if criterion == "specification":
-        return ~packed_is_sorted(state)
-    return ~packed_equal(state, reference)
+        for i in range(n - 1):
+            np.invert(planes[i + 1], out=tmp)
+            np.bitwise_and(tmp, planes[i], out=tmp)
+            np.bitwise_or(acc, tmp, out=acc)
+    else:
+        for i in range(n):
+            np.bitwise_xor(planes[i], reference.planes[i], out=tmp)
+            np.bitwise_or(acc, tmp, out=acc)
+    row = unpack_bits(acc, num_words)
+    arena.release(s_tmp)
+    arena.release(s_acc)
+    return row
 
 
 class PrefixStates:
@@ -1332,11 +1466,11 @@ def _fault_rows(
     if not prune:
         for row, fault in enumerate(faults):
             state = _fault_state(network, fault, prefix, arena=pool)
-            out[row] = _detection_row(state, reference, criterion)
+            out[row] = _detection_row(state, reference, criterion, arena=pool)
         return out
     if stats is None:
         stats = SimulationStats()
-    converged_row = _detection_row(reference, reference, criterion)
+    converged_row = _detection_row(reference, reference, criterion, arena=pool)
     pad_mask = reference.pad_mask()
     for row, fault in enumerate(faults):
         result = (
@@ -1347,7 +1481,7 @@ def _fault_rows(
         if result is None:
             out[row] = converged_row
         elif isinstance(result, PackedBatch):
-            out[row] = _detection_row(result, reference, criterion)
+            out[row] = _detection_row(result, reference, criterion, arena=pool)
         else:
             out[row] = _row_from_errors(
                 reference, result, criterion, pad_mask, arena=pool
@@ -1481,7 +1615,7 @@ def _fault_any(
             detected[row] = ref_detect
         elif isinstance(result, PackedBatch):
             detected[row] = bool(
-                _detection_row(result, reference, criterion).any()
+                _detection_row(result, reference, criterion, arena=pool).any()
             )
         else:
             detected[row] = _errors_detect(
@@ -1544,18 +1678,23 @@ def _streamed_bitpacked_detection(
     are dropped from later ones.  The scratch arena is resolved per chunk
     (same geometry → a pure reset, so equal-sized chunks share one arena)."""
     num_faults = len(faults)
+    chunks_seen = 0
     if reduce == "any":
         detected = np.zeros(num_faults, dtype=bool)
         for _word_start, packed in _iter_packed_chunks(network, vectors, config):
+            chunks_seen += 1
             prefix = PrefixStates.build(network, packed)
             _fault_any(
                 network, faults, prefix, criterion, detected,
                 prune=prune, stats=stats, arena=arena,
             )
+        if stats is not None:
+            stats.planned_grid = (1, chunks_seen)
         return detected
     out = np.zeros((num_faults, len(vectors)), dtype=bool)
     rows: np.ndarray | None = None
     for word_start, packed in _iter_packed_chunks(network, vectors, config):
+        chunks_seen += 1
         prefix = PrefixStates.build(network, packed)
         if rows is None or rows.shape[1] != packed.num_words:
             rows = np.zeros((num_faults, packed.num_words), dtype=bool)
@@ -1564,6 +1703,8 @@ def _streamed_bitpacked_detection(
             arena=arena,
         )
         out[:, word_start : word_start + packed.num_words] = rows
+    if stats is not None:
+        stats.planned_grid = (1, chunks_seen)
     return out
 
 
@@ -1649,7 +1790,7 @@ def detected_faults(
     runs through :func:`fault_detection_any`, so exhaustive
     (:class:`CubeVectors`) sources stay in constant memory.
     """
-    detected_rows = fault_detection_any(
+    detected_rows = _fault_detection_any_impl(
         network, faults, test_vectors, criterion=criterion, engine=engine,
         config=config,
     )
@@ -1672,7 +1813,7 @@ def undetected_faults(
     input (e.g. a stuck-pass fault on a redundant comparator) produces a
     chip that, while physically defective, still meets its specification.
     """
-    detected_rows = fault_detection_any(
+    detected_rows = _fault_detection_any_impl(
         network, faults, test_vectors, criterion=criterion, engine=engine,
         config=config,
     )

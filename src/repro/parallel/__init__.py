@@ -19,6 +19,10 @@ chunks across a process pool (all cores):
   batches).
 * :mod:`~repro.parallel.chunking` / :mod:`~repro.parallel.shm` — span /
   grid arithmetic and the shared-memory plumbing.
+* :mod:`~repro.parallel.pool` — :class:`WorkerPool`, the persistent
+  process-pool handle a :class:`repro.api.Session` threads through
+  repeated calls via :attr:`ExecutionConfig.pool` (workers spawned once,
+  reused across runs).
 
 ``config=None`` everywhere reproduces the legacy single-process,
 single-shot behaviour bit for bit.  ``docs/ARCHITECTURE.md`` holds the
@@ -37,10 +41,12 @@ from .executor import (
     streamed_sorting_failure_rank,
 )
 from .fault_shard import sharded_fault_detection_matrix
+from .pool import WorkerPool
 
 __all__ = [
     "DEFAULT_CHUNK_WORDS",
     "ExecutionConfig",
+    "WorkerPool",
     "resolve_config",
     "chunk_spans",
     "cube_block_spans",

@@ -21,11 +21,15 @@ single-shot behaviour exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 import os
+from typing import TYPE_CHECKING
 
 from ..core.bitpacked import BLOCK_BITS
 from ..exceptions import ExecutionConfigError
+
+if TYPE_CHECKING:
+    from .pool import WorkerPool
 
 __all__ = ["DEFAULT_CHUNK_WORDS", "ExecutionConfig", "resolve_config"]
 
@@ -46,10 +50,19 @@ class ExecutionConfig:
     chunk_size:
         Words per streamed chunk, or ``None`` for the default when
         streaming / single-shot otherwise.
+    pool:
+        Optional persistent :class:`repro.parallel.pool.WorkerPool`.  When
+        set, sharded runs submit to this long-lived executor instead of
+        creating (and tearing down) one per call — the reuse handle a
+        :class:`repro.api.Session` threads through repeated calls.  Never
+        crosses a process boundary and does not participate in equality.
     """
 
     max_workers: int = 1
     chunk_size: int | None = None
+    pool: WorkerPool | None = field(
+        default=None, compare=False, repr=False, hash=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_workers < 0:

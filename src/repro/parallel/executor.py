@@ -139,12 +139,28 @@ def _selection_chunk_failure(
     return _first_rank(violation, start)
 
 
+def _harvest_first(futures):
+    """First non-``None`` result in submission order, cancelling the rest."""
+    failure = None
+    for future in futures:
+        result = future.result()
+        if result is not None:
+            failure = result
+            break
+    if failure is not None:
+        for future in futures:
+            future.cancel()
+    return failure
+
+
 def _scan_spans(task, spans: Sequence[tuple[int, int]], config: ExecutionConfig):
     """Run ``task(span)`` over all spans, returning the first non-``None``.
 
     Serial configurations iterate in place; parallel ones submit every span
     and harvest results in submission (= rank) order, cancelling the rest as
     soon as a failure is known, so the answer is deterministic either way.
+    A persistent :attr:`ExecutionConfig.pool` is reused (workers survive the
+    call); otherwise an ephemeral pool is created and torn down.
     """
     if not config.parallel or len(spans) <= 1:
         for span in spans:
@@ -152,19 +168,12 @@ def _scan_spans(task, spans: Sequence[tuple[int, int]], config: ExecutionConfig)
             if result is not None:
                 return result
         return None
+    if config.pool is not None:
+        shared = config.pool.executor()
+        return _harvest_first([shared.submit(task, span) for span in spans])
     workers = min(config.resolved_workers(), len(spans))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(task, span) for span in spans]
-        failure = None
-        for future in futures:
-            result = future.result()
-            if result is not None:
-                failure = result
-                break
-        if failure is not None:
-            for future in futures:
-                future.cancel()
-        return failure
+        return _harvest_first([pool.submit(task, span) for span in spans])
 
 
 class _SpanTask:
@@ -334,10 +343,12 @@ def chunked_words_all_sorted(
             _words_chunk_all_sorted(network, engine, batch[start:stop])
             for start, stop in spans
         )
-    workers = min(cfg.resolved_workers(), len(spans))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+
+    def _harvest_all_sorted(executor) -> bool:
         futures = [
-            pool.submit(_words_chunk_all_sorted, network, engine, batch[start:stop])
+            executor.submit(
+                _words_chunk_all_sorted, network, engine, batch[start:stop]
+            )
             for start, stop in spans
         ]
         verdict = True
@@ -349,3 +360,9 @@ def chunked_words_all_sorted(
             for future in futures:
                 future.cancel()
         return verdict
+
+    if cfg.pool is not None:
+        return _harvest_all_sorted(cfg.pool.executor())
+    workers = min(cfg.resolved_workers(), len(spans))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return _harvest_all_sorted(pool)

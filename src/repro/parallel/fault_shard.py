@@ -47,8 +47,10 @@ workers.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from itertools import count
+import pickle
 
 import numpy as np
 
@@ -57,13 +59,90 @@ from ..core.network import ComparatorNetwork
 from ..faults.models import Fault
 from .chunking import chunk_spans, cube_block_spans, grid_tiles, shard_spans
 from .config import ExecutionConfig, resolve_config
-from .shm import SharedArray, attach_shared_array, create_shared_array
+from .shm import SharedArray, SharedSpec, attach_shared_array, create_shared_array
 
 __all__ = ["sharded_fault_detection_matrix"]
 
 #: Per-worker state installed by the pool initializer (each worker process
 #: gets its own copy; the shared arrays are attached, not copied).
 _WORKER: dict[str, object] = {}
+
+#: Parent-side run tokens for persistent-pool task batches (workers only
+#: ever compare tokens, never generate them, so a plain counter suffices).
+_RUN_TOKENS = count(1)
+
+
+class _PooledTask:
+    """Task wrapper installing per-run worker state on a persistent pool.
+
+    A persistent :class:`repro.parallel.pool.WorkerPool` cannot use the
+    ``initializer=`` mechanism — initializers run once per worker
+    *process*, not once per run, and the shared-memory specs change every
+    run.  Instead the run's init arguments are pickled **once** into a
+    shared-memory blob and each task carries only the blob's spec plus a
+    unique run token: the first task of a run a given worker executes
+    attaches the blob, unpickles the arguments and installs the state
+    (attach shared arrays, rebuild the small writer tables); later tasks
+    of the same run see the matching token and skip straight to the work
+    item.  Runs never interleave on a pool (calls are sequential in the
+    parent), so overwriting the previous run's state is safe.
+    """
+
+    def __init__(
+        self,
+        run_fn: Callable,
+        init_fn: Callable,
+        token: int,
+        blob_spec: SharedSpec,
+    ) -> None:
+        self.run_fn = run_fn
+        self.init_fn = init_fn
+        self.token = token
+        self.blob_spec = blob_spec
+
+    def __call__(self, item):
+        """Install this run's worker state if needed, then run the item."""
+        if _WORKER.get("run_token") != self.token:
+            blob = attach_shared_array(self.blob_spec)
+            try:
+                initargs = pickle.loads(blob.array.tobytes())
+            finally:
+                blob.close()
+            self.init_fn(*initargs)
+            _WORKER["run_token"] = self.token
+        return self.run_fn(item)
+
+
+def _map_work(
+    cfg: ExecutionConfig,
+    workers: int,
+    init_fn: Callable,
+    initargs: tuple,
+    run_fn: Callable,
+    items: Sequence,
+) -> list:
+    """Map ``run_fn`` over work items on an ephemeral or persistent pool.
+
+    Without :attr:`ExecutionConfig.pool` this is the classic shape — an
+    ephemeral :class:`~concurrent.futures.ProcessPoolExecutor` whose
+    initializer installs the worker state once per process.  With a
+    persistent pool the state rides along with the tasks instead
+    (:class:`_PooledTask`, one shared-memory pickle of *initargs* per run,
+    a few bytes per task) and the executor survives the call.
+    """
+    if cfg.pool is not None:
+        payload = pickle.dumps(initargs, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = create_shared_array((len(payload),), np.uint8)
+        blob.array[...] = np.frombuffer(payload, dtype=np.uint8)
+        try:
+            task = _PooledTask(run_fn, init_fn, next(_RUN_TOKENS), blob.spec)
+            return list(cfg.pool.executor().map(task, items))
+        finally:
+            blob.unlink()
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=init_fn, initargs=initargs
+    ) as pool:
+        return list(pool.map(run_fn, items))
 
 
 def _init_bitpacked_worker(
@@ -238,13 +317,13 @@ def _init_generic_worker(
 
 
 def _run_generic_span(span: tuple[int, int]) -> int:
-    from ..faults.simulation import fault_detection_matrix
+    from ..faults.simulation import _fault_detection_matrix_impl
 
     start, stop = span
     network: ComparatorNetwork = _WORKER["network"]  # type: ignore[assignment]
     faults: list[Fault] = _WORKER["faults"]  # type: ignore[assignment]
     matrix: SharedArray = _WORKER["matrix"]  # type: ignore[assignment]
-    rows = fault_detection_matrix(
+    rows = _fault_detection_matrix_impl(
         network,
         faults[start:stop],
         _WORKER["vectors"],  # type: ignore[arg-type]
@@ -359,6 +438,8 @@ def sharded_fault_detection_matrix(
         )
     spans = shard_spans(len(fault_list), workers)
     workers = min(workers, len(spans))
+    if stats is not None:
+        stats.planned_grid = (len(spans), 1)
     matrix_shared = create_shared_array((len(fault_list), num_vectors), np.bool_)
     try:
         if engine == "bitpacked":
@@ -373,10 +454,11 @@ def sharded_fault_detection_matrix(
                 PrefixStates.build(
                     network, packed_input, deltas_out=deltas_shared.array
                 )
-                with ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_init_bitpacked_worker,
-                    initargs=(
+                all_counts = _map_work(
+                    cfg,
+                    workers,
+                    _init_bitpacked_worker,
+                    (
                         network,
                         fault_list,
                         criterion,
@@ -387,18 +469,21 @@ def sharded_fault_detection_matrix(
                         deltas_shared.spec,
                         matrix_shared.spec,
                     ),
-                ) as pool:
-                    for counts in pool.map(_run_bitpacked_span, spans):
-                        if stats is not None:
-                            stats.merge_counts(counts)
+                    _run_bitpacked_span,
+                    spans,
+                )
+                if stats is not None:
+                    for counts in all_counts:
+                        stats.merge_counts(counts)
             finally:
                 input_shared.unlink()
                 deltas_shared.unlink()
         else:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_generic_worker,
-                initargs=(
+            _map_work(
+                cfg,
+                workers,
+                _init_generic_worker,
+                (
                     network,
                     fault_list,
                     vectors,
@@ -406,8 +491,9 @@ def sharded_fault_detection_matrix(
                     engine,
                     matrix_shared.spec,
                 ),
-            ) as pool:
-                list(pool.map(_run_generic_span, spans))
+                _run_generic_span,
+                spans,
+            )
         matrix = matrix_shared.array
         return matrix.copy() if reduce == "matrix" else matrix.any(axis=1)
     finally:
@@ -434,6 +520,8 @@ def _grid_detection(
     workers = cfg.resolved_workers()
     tiles = grid_tiles(len(fault_list), len(chunks), workers)
     workers = min(workers, len(tiles))
+    if stats is not None:
+        stats.planned_grid = (len(tiles) // max(1, len(chunks)), len(chunks))
     raw_shared: SharedArray | None = None
     if not isinstance(vectors, CubeVectors):
         raw = (
@@ -448,10 +536,11 @@ def _grid_detection(
     else:
         out_shared = create_shared_array((len(fault_list), len(chunks)), np.bool_)
     try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_grid_worker,
-            initargs=(
+        all_counts = _map_work(
+            cfg,
+            workers,
+            _init_grid_worker,
+            (
                 network,
                 fault_list,
                 criterion,
@@ -463,10 +552,12 @@ def _grid_detection(
                 out_shared.spec,
                 reduce,
             ),
-        ) as pool:
-            for counts in pool.map(_run_grid_tile, tiles):
-                if stats is not None:
-                    stats.merge_counts(counts)
+            _run_grid_tile,
+            tiles,
+        )
+        if stats is not None:
+            for counts in all_counts:
+                stats.merge_counts(counts)
         out = out_shared.array
         return out.copy() if reduce == "matrix" else out.any(axis=1)
     finally:

@@ -1,0 +1,96 @@
+"""Persistent worker-pool handle for the sharded executors.
+
+Historically every sharded call (:mod:`repro.parallel.executor`,
+:mod:`repro.parallel.fault_shard`) created its own
+:class:`concurrent.futures.ProcessPoolExecutor` and tore it down before
+returning — correct, but the spawn + initializer cost is paid on *every*
+call, which dominates repeated small runs (the shape of a
+:class:`repro.api.Session` doing many ``fault_coverage`` calls).
+
+:class:`WorkerPool` is the reuse handle: a lazily-created executor that
+survives across calls.  It is threaded through
+:attr:`repro.parallel.config.ExecutionConfig.pool` — the one field of the
+configuration that describes a *resource* rather than a shape — so every
+existing sharded entry point picks it up without signature changes.  A
+configuration without a pool behaves exactly as before (ephemeral
+executor per call).
+
+Because a persistent pool cannot re-run ``initializer=`` per call, runs
+that need per-call worker state (the fault shard's shared-memory attach)
+ship their init arguments *with the tasks* instead, keyed by a run token
+(see :class:`repro.parallel.fault_shard._PooledTask`): the first task of a
+run a worker executes installs the state, later tasks of the same run skip
+straight to the work item.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+import os
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """A lazily-created, reusable process pool.
+
+    Parameters
+    ----------
+    max_workers : int
+        Worker process count; ``0`` means one per CPU (resolved at
+        construction time, mirroring
+        :meth:`repro.parallel.config.ExecutionConfig.resolved_workers`).
+
+    Examples
+    --------
+    >>> from repro.parallel import WorkerPool
+    >>> pool = WorkerPool(2)
+    >>> pool.max_workers
+    2
+    >>> pool.active
+    False
+    >>> pool.close()
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        self.max_workers = (
+            max_workers if max_workers > 0 else (os.cpu_count() or 1)
+        )
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def active(self) -> bool:
+        """Has the underlying executor been created yet?"""
+        return self._executor is not None
+
+    def executor(self) -> Executor:
+        """The shared executor, creating its processes on first use.
+
+        A broken pool (a worker died mid-run — ``BrokenProcessPool``
+        propagated to the caller) is discarded and respawned here, so one
+        crashed run does not poison every later call the way a permanently
+        cached executor would; the legacy per-call pools recovered the same
+        way by construction.
+        """
+        executor = self._executor
+        if executor is not None and getattr(executor, "_broken", False):
+            executor.shutdown(wait=False, cancel_futures=True)
+            executor = None
+        if executor is None:
+            executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._executor = executor
+        return executor
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); a later use recreates it."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> WorkerPool:
+        """Context-manager entry (returns the pool itself)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the pool."""
+        self.close()

@@ -33,14 +33,24 @@ permutation model), optionally sharded across worker processes.
 from __future__ import annotations
 
 from itertools import combinations
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .._compat import UNSET, unset_or, warn_legacy_exec_kwargs
 from .._typing import BinaryWord
-from ..core.evaluation import batch_is_sorted, check_engine, outputs_on_words
+from ..core.evaluation import (
+    batch_is_sorted,
+    check_engine,
+    nonbinary_engine,
+    outputs_on_words,
+)
 from ..core.network import ComparatorNetwork
 from ..exceptions import TestSetError
 from ..words.binary import is_sorted_word, sorted_binary_words
+
+if TYPE_CHECKING:
+    from ..parallel.config import ExecutionConfig
 
 __all__ = [
     "is_merger",
@@ -104,10 +114,32 @@ def is_merger(
     network: ComparatorNetwork,
     *,
     strategy: str = "testset",
-    engine: str = "vectorized",
-    config=None,
+    engine: str = UNSET,
+    config: ExecutionConfig | None = UNSET,
 ) -> bool:
-    """Decide whether *network* is an ``(n/2, n/2)``-merging network."""
+    """Decide whether *network* is an ``(n/2, n/2)``-merging network.
+
+    .. deprecated::
+        Explicitly passing ``engine`` / ``config`` is deprecated; use
+        :meth:`repro.api.Session.verify` (same verdict, typed result).
+    """
+    warn_legacy_exec_kwargs("is_merger", engine=engine, config=config)
+    return _is_merger_impl(
+        network,
+        strategy=strategy,
+        engine=unset_or(engine, "vectorized"),
+        config=unset_or(config, None),
+    )
+
+
+def _is_merger_impl(
+    network: ComparatorNetwork,
+    *,
+    strategy: str = "testset",
+    engine: str = "vectorized",
+    config: ExecutionConfig | None = None,
+) -> bool:
+    """Non-deprecating form of :func:`is_merger` (Session backend)."""
     if strategy not in MERGER_STRATEGIES:
         raise TestSetError(
             f"unknown strategy {strategy!r}; choose one of {MERGER_STRATEGIES}"
@@ -129,8 +161,8 @@ def is_merger(
         words = merging_permutation_test_set(n)
     if not words:
         return True
-    if engine == "bitpacked" and strategy not in ("binary", "testset"):
-        engine = "vectorized"  # permutation inputs carry values above 1
+    if strategy not in ("binary", "testset"):
+        engine = nonbinary_engine(engine)  # permutation values exceed 1
     if config is not None and config.streaming:
         from ..parallel.executor import chunked_words_all_sorted
 

@@ -36,8 +36,11 @@ the cube in fixed-size block ranges, optionally across worker processes.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+from .._compat import UNSET, unset_or, warn_legacy_exec_kwargs
 from .._typing import BinaryWord
 from ..core.bitpacked import (
     apply_network_packed,
@@ -49,11 +52,15 @@ from ..core.evaluation import (
     all_binary_words_array,
     apply_network_to_batch,
     check_engine,
+    nonbinary_engine,
     outputs_on_words,
 )
 from ..core.network import ComparatorNetwork
 from ..exceptions import TestSetError
 from ..words.permutations import all_permutations
+
+if TYPE_CHECKING:
+    from ..parallel.config import ExecutionConfig
 
 __all__ = [
     "is_selector",
@@ -126,8 +133,8 @@ def is_selector(
     k: int,
     *,
     strategy: str = "testset",
-    engine: str = "vectorized",
-    config=None,
+    engine: str = UNSET,
+    config: ExecutionConfig | None = UNSET,
 ) -> bool:
     """Decide whether *network* is a ``(k, n)``-selector.
 
@@ -136,13 +143,36 @@ def is_selector(
     ``engine="bitpacked"`` — constant memory at any ``n``, optionally
     sharded across worker processes — with a verdict identical to the
     single-shot path.
+
+    .. deprecated::
+        Explicitly passing ``engine`` / ``config`` is deprecated; use
+        :meth:`repro.api.Session.verify` (same verdict, typed result).
     """
+    warn_legacy_exec_kwargs("is_selector", engine=engine, config=config)
+    return _is_selector_impl(
+        network,
+        k,
+        strategy=strategy,
+        engine=unset_or(engine, "vectorized"),
+        config=unset_or(config, None),
+    )
+
+
+def _is_selector_impl(
+    network: ComparatorNetwork,
+    k: int,
+    *,
+    strategy: str = "testset",
+    engine: str = "vectorized",
+    config: ExecutionConfig | None = None,
+) -> bool:
+    """Non-deprecating form of :func:`is_selector` (Session backend)."""
     if strategy not in SELECTOR_STRATEGIES:
         raise TestSetError(
             f"unknown strategy {strategy!r}; choose one of {SELECTOR_STRATEGIES}"
         )
     check_engine(engine)
-    permutation_engine = "vectorized" if engine == "bitpacked" else engine
+    permutation_engine = nonbinary_engine(engine)
     _check_k(network, k)
     n = network.n_lines
     if (

@@ -35,9 +35,11 @@ constant memory at any ``n`` — and shards the ranges across processes when
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .._compat import UNSET, unset_or, warn_legacy_exec_kwargs
 from .._typing import BinaryWord, WordLike
 from ..core.bitpacked import (
     apply_network_packed,
@@ -50,12 +52,16 @@ from ..core.evaluation import (
     apply_network_to_batch,
     batch_is_sorted,
     check_engine,
+    nonbinary_engine,
     outputs_on_words,
     unsorted_binary_words_array,
 )
 from ..core.network import ComparatorNetwork
 from ..exceptions import TestSetError
 from ..words.permutations import all_permutations
+
+if TYPE_CHECKING:
+    from ..parallel.config import ExecutionConfig
 
 __all__ = [
     "is_sorter",
@@ -69,7 +75,7 @@ SORTER_STRATEGIES = ("binary", "permutation", "testset", "permutation-testset")
 def _nonbinary_engine(engine: str) -> str:
     """The engine to use on batches that are not 0/1 (no bit planes there)."""
     check_engine(engine)
-    return "vectorized" if engine == "bitpacked" else engine
+    return nonbinary_engine(engine)
 
 
 def _outputs_all_sorted(
@@ -87,8 +93,8 @@ def is_sorter(
     network: ComparatorNetwork,
     *,
     strategy: str = "testset",
-    engine: str = "vectorized",
-    config=None,
+    engine: str = UNSET,
+    config: ExecutionConfig | None = UNSET,
 ) -> bool:
     """Decide whether *network* sorts every input.
 
@@ -110,7 +116,28 @@ def is_sorter(
         bit-packed engine the 0/1 strategies stream the cube in fixed-size
         block ranges (constant memory, optionally across worker processes);
         the permutation strategies chunk their word batches.
+
+    .. deprecated::
+        Explicitly passing ``engine`` / ``config`` is deprecated; use
+        :meth:`repro.api.Session.verify` (same verdict, typed result).
     """
+    warn_legacy_exec_kwargs("is_sorter", engine=engine, config=config)
+    return _is_sorter_impl(
+        network,
+        strategy=strategy,
+        engine=unset_or(engine, "vectorized"),
+        config=unset_or(config, None),
+    )
+
+
+def _is_sorter_impl(
+    network: ComparatorNetwork,
+    *,
+    strategy: str = "testset",
+    engine: str = "vectorized",
+    config: ExecutionConfig | None = None,
+) -> bool:
+    """Non-deprecating form of :func:`is_sorter` (Session backend)."""
     if strategy not in SORTER_STRATEGIES:
         raise TestSetError(
             f"unknown strategy {strategy!r}; choose one of {SORTER_STRATEGIES}"
@@ -168,7 +195,7 @@ def find_sorting_counterexample(
     *,
     candidates: Iterable[WordLike] | None = None,
     engine: str = "vectorized",
-    config=None,
+    config: ExecutionConfig | None = None,
 ) -> BinaryWord | None:
     """Return a binary word the network fails to sort, or ``None`` if it sorts all.
 

@@ -33,6 +33,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from .._compat import UNSET, unset_or, warn_legacy_exec_kwargs
 from .._typing import BinaryWord, WordLike
 from ..core.evaluation import (
     apply_network_to_batch,
@@ -114,8 +115,8 @@ def network_passes_test_set(
     network: ComparatorNetwork,
     test_words: Iterable[WordLike],
     *,
-    engine: str = "vectorized",
-    config=None,
+    engine: str = UNSET,
+    config=UNSET,
 ) -> bool:
     """Apply a test set to a device: ``True`` iff every output is sorted.
 
@@ -130,7 +131,31 @@ def network_passes_test_set(
     *config* (an :class:`repro.parallel.ExecutionConfig`) applies the test
     set chunk by chunk — bounded memory on exhaustive-scale sets,
     optionally sharded across worker processes — with the same verdict.
+
+    .. deprecated::
+        Explicitly passing ``engine`` / ``config`` is deprecated; use
+        :meth:`repro.api.Session.passes_test_set`, which returns the same
+        verdict inside a typed result object.
     """
+    warn_legacy_exec_kwargs(
+        "network_passes_test_set", engine=engine, config=config
+    )
+    return _network_passes_test_set_impl(
+        network,
+        test_words,
+        engine=unset_or(engine, "vectorized"),
+        config=unset_or(config, None),
+    )
+
+
+def _network_passes_test_set_impl(
+    network: ComparatorNetwork,
+    test_words: Iterable[WordLike],
+    *,
+    engine: str = "vectorized",
+    config=None,
+) -> bool:
+    """Non-deprecating form of :func:`network_passes_test_set` (Session backend)."""
     check_engine(engine)
     rows = list(test_words)
     if not rows:

@@ -25,6 +25,7 @@ DOCUMENTED_MODULES = [
     "repro.parallel.config",
     "repro.parallel.executor",
     "repro.parallel.fault_shard",
+    "repro.parallel.pool",
     "repro.parallel.shm",
     "repro.faults",
     "repro.faults.models",
@@ -33,6 +34,10 @@ DOCUMENTED_MODULES = [
     "repro.faults.coverage",
     "repro.core.bitpacked",
     "repro.core.scratch",
+    "repro.api",
+    "repro.api.session",
+    "repro.api.results",
+    "repro.api.registry",
 ]
 
 
@@ -95,8 +100,12 @@ def test_architecture_doc_is_committed_and_linked():
         "PrefixStates",
         "CubeVectors",
         "Module map",
+        "Session",
+        "repro.api",
     ):
         assert marker in text, f"docs/ARCHITECTURE.md lost {marker!r}"
     readme = (REPO_ROOT / "README.md").read_text()
     assert "docs/ARCHITECTURE.md" in readme
     assert "EXPERIMENTS.md" in readme
+    assert "Public API" in readme, "README lost the Public API section"
+    assert "Session" in readme

@@ -1,0 +1,299 @@
+"""Session facade: bit-identity with the legacy kwarg paths + resource reuse.
+
+The load-bearing guarantee of the facade PR: every workload run through
+:class:`repro.api.Session` returns results **bit-identical** to the legacy
+free functions with the corresponding kwargs, across random networks, all
+engines, both criteria and streamed configurations (hypothesis-driven).
+A few deterministic tests pin the resource behaviour — persistent pool
+reuse across calls, the Session-owned arena, env-var construction.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.constructions import batcher_sorting_network
+from repro.core import ComparatorNetwork
+from repro.exceptions import ExecutionConfigError, TestSetError
+from repro.faults import (
+    coverage_report,
+    enumerate_single_faults,
+    fault_detection_matrix,
+)
+from repro.properties import is_sorter
+from repro.testsets import network_passes_test_set, sorting_binary_test_set
+
+
+@st.composite
+def networks(draw, min_lines: int = 2, max_lines: int = 6, max_size: int = 10):
+    n = draw(st.integers(min_lines, max_lines))
+    size = draw(st.integers(0, max_size))
+    comparators = []
+    for _ in range(size):
+        low = draw(st.integers(0, n - 2))
+        high = draw(st.integers(low + 1, n - 1))
+        comparators.append((low, high))
+    return ComparatorNetwork.from_pairs(n, comparators)
+
+
+engines = st.sampled_from(["scalar", "vectorized", "bitpacked"])
+criteria = st.sampled_from(["specification", "reference"])
+
+
+def _legacy(call, *args, **kwargs):
+    """Run a legacy free function, swallowing its DeprecationWarning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return call(*args, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis equivalence: Session vs the legacy kwarg paths
+# ----------------------------------------------------------------------
+@given(networks(), engines, st.sampled_from(["binary", "testset"]))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_verify_matches_legacy_is_sorter(network, engine, strategy):
+    legacy = _legacy(is_sorter, network, strategy=strategy, engine=engine)
+    with Session(engine=engine) as session:
+        result = session.verify(network, "sorter", strategy=strategy)
+    assert result.verdict == legacy
+    assert bool(result) == legacy
+    assert result.execution.engine_effective == engine
+
+
+@given(networks(), engines)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_passes_test_set_matches_legacy(network, engine):
+    words = sorting_binary_test_set(network.n_lines)
+    legacy = _legacy(network_passes_test_set, network, words, engine=engine)
+    with Session(engine=engine) as session:
+        result = session.passes_test_set(network, words)
+    assert result.passed == legacy
+    assert result.vectors_used == len(words)
+
+
+@given(networks(), engines, criteria, st.booleans())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_fault_matrix_matches_legacy(network, engine, criterion, prune):
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    vectors = sorting_binary_test_set(network.n_lines)
+    if not vectors:
+        return
+    legacy = _legacy(
+        fault_detection_matrix, network, faults, vectors,
+        criterion=criterion, engine=engine, prune=prune,
+    )
+    with Session(engine=engine, prune=prune) as session:
+        result = session.fault_matrix(network, faults, vectors, criterion=criterion)
+    assert np.array_equal(result.matrix, legacy)
+    assert result.num_faults == len(faults)
+    assert result.num_vectors == len(vectors)
+
+
+@given(networks(), criteria, st.sampled_from([1, 7, 64, 100]))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_streamed_coverage_matches_legacy(network, criterion, chunk):
+    """Chunked (streamed) Session runs agree with the legacy streamed path."""
+    from repro.parallel import ExecutionConfig
+
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    vectors = sorting_binary_test_set(network.n_lines)
+    if not vectors:
+        return
+    legacy = _legacy(
+        coverage_report, network, faults, vectors,
+        criterion=criterion, engine="bitpacked",
+        config=ExecutionConfig(chunk_size=chunk),
+    )
+    with Session(engine="bitpacked", chunk_size=chunk) as session:
+        result = session.fault_coverage(
+            network, faults, vectors, criterion=criterion
+        )
+    assert result.coverage == legacy.coverage
+    assert result.detected_faults == legacy.detected_faults
+    assert result.by_kind == legacy.by_kind
+    assert result.vectors_used == legacy.vectors_used
+
+
+@given(networks())
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_arena_policies_agree(network):
+    """Session-owned arena, explicit arena and arena=False are bit-identical."""
+    faults = enumerate_single_faults(network, line_stuck_at_input_only=False)
+    vectors = sorting_binary_test_set(network.n_lines)
+    if not vectors:
+        return
+    matrices = []
+    for arena in (None, False):
+        with Session(engine="bitpacked", arena=arena) as session:
+            matrices.append(
+                session.fault_matrix(network, faults, vectors).matrix
+            )
+    assert np.array_equal(matrices[0], matrices[1])
+
+
+# ----------------------------------------------------------------------
+# Resource reuse and lifecycle
+# ----------------------------------------------------------------------
+class TestSessionResources:
+    def test_owned_arena_is_reused_across_calls(self, batcher8):
+        faults = enumerate_single_faults(batcher8)
+        vectors = sorting_binary_test_set(8)
+        with Session(engine="bitpacked") as session:
+            session.fault_matrix(batcher8, faults, vectors)
+            arena_first = session._owned_arena
+            session.fault_coverage(batcher8, faults, vectors)
+            assert session._owned_arena is arena_first
+
+    def test_serial_session_creates_no_pool(self, batcher8):
+        with Session(engine="bitpacked") as session:
+            session.verify(batcher8, "sorter")
+            assert session._pool is None
+
+    def test_parallel_session_reuses_one_pool(self, batcher8):
+        faults = enumerate_single_faults(batcher8)
+        vectors = sorting_binary_test_set(8)
+        serial = _legacy(
+            fault_detection_matrix, batcher8, faults, vectors, engine="bitpacked"
+        )
+        with Session(engine="bitpacked", workers=2) as session:
+            first = session.fault_matrix(batcher8, faults, vectors)
+            pool = session._pool
+            assert pool is not None and pool.active
+            second = session.fault_matrix(
+                batcher8, faults, vectors, criterion="reference"
+            )
+            assert session._pool is pool
+        assert not pool.active  # close() shut it down
+        assert np.array_equal(first.matrix, serial)
+        reference = _legacy(
+            fault_detection_matrix, batcher8, faults, vectors,
+            criterion="reference", engine="bitpacked",
+        )
+        assert np.array_equal(second.matrix, reference)
+
+    def test_parallel_verify_through_shared_pool(self, batcher8):
+        with Session(engine="bitpacked", workers=2, chunk_size=64) as session:
+            result = session.verify(batcher8, "sorter", strategy="binary")
+            assert result.verdict
+            assert session._pool is not None and session._pool.active
+            assert result.execution.workers == 2
+            assert result.execution.chunk_words == 64
+
+    def test_grid_shape_reports_streamed_chunks(self, batcher8):
+        faults = enumerate_single_faults(batcher8)
+        with Session(engine="bitpacked", chunk_size=64) as session:
+            from repro.faults import CubeVectors
+
+            report = session.fault_coverage(batcher8, faults, CubeVectors(8))
+        # 2**8 words in 64-word chunks -> 4 vector chunks, one fault shard.
+        assert report.execution.grid_shape == (1, 4)
+
+    def test_close_is_idempotent_and_session_reusable(self, batcher8):
+        session = Session(engine="bitpacked", workers=2)
+        faults = enumerate_single_faults(batcher8)
+        vectors = sorting_binary_test_set(8)
+        session.fault_matrix(batcher8, faults, vectors)
+        session.close()
+        session.close()
+        # A later call simply respawns the pool.
+        again = session.fault_matrix(batcher8, faults, vectors)
+        assert again.matrix.shape == (len(faults), len(vectors))
+        session.close()
+
+
+class TestSessionConstruction:
+    def test_default_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "bitpacked")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", "4096")
+        monkeypatch.setenv("REPRO_PRUNE", "0")
+        monkeypatch.setenv("REPRO_ARENA", "false")
+        session = Session.default()
+        assert session.engine == "bitpacked"
+        assert session.workers == 3
+        assert session.chunk_size == 4096
+        assert session.prune is False
+        assert session.arena is False
+
+    def test_default_without_env_is_plain(self, monkeypatch):
+        for name in (
+            "REPRO_ENGINE",
+            "REPRO_WORKERS",
+            "REPRO_CHUNK_SIZE",
+            "REPRO_PRUNE",
+            "REPRO_ARENA",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        session = Session.default()
+        assert session.engine == "vectorized"
+        assert session.workers == 1
+        assert session.chunk_size is None
+        assert session.prune is True
+        assert session.arena is None
+
+    def test_invalid_knobs_raise(self):
+        with pytest.raises(ExecutionConfigError):
+            Session(workers=-1)
+        with pytest.raises(ExecutionConfigError):
+            Session(chunk_size=0)
+        with pytest.raises(Exception):
+            Session(engine="no-such-engine")
+
+    def test_unknown_property_raises(self, batcher8):
+        with Session() as session:
+            with pytest.raises(TestSetError):
+                session.verify(batcher8, "router")
+
+    def test_compare_test_sets_matches_individual_calls(self, four_sorter):
+        faults = enumerate_single_faults(four_sorter)
+        sets = {
+            "theorem": sorting_binary_test_set(4),
+            "tiny": [(1, 0, 0, 0)],
+        }
+        with Session(engine="bitpacked") as session:
+            combined = session.compare_test_sets(four_sorter, faults, sets)
+            singles = {
+                name: session.fault_coverage(four_sorter, faults, vectors)
+                for name, vectors in sets.items()
+            }
+        assert combined.keys() == singles.keys()
+        for name in sets:
+            assert combined[name].coverage == singles[name].coverage
+            assert combined[name].by_kind == singles[name].by_kind
+
+
+def test_verify_selector_and_merger_match_legacy():
+    from repro.constructions import batcher_merging_network, pruned_selection_network
+    from repro.properties import is_merger, is_selector
+
+    selector = pruned_selection_network(6, 2)
+    merger = batcher_merging_network(6)
+    with Session(engine="bitpacked") as session:
+        sel = session.verify(selector, "selector", k=2)
+        mer = session.verify(merger, "merger")
+    assert sel.verdict == _legacy(is_selector, selector, 2, engine="bitpacked")
+    assert sel.k == 2
+    assert mer.verdict == _legacy(is_merger, merger, engine="bitpacked")
+    assert mer.k is None
+
+
+def test_sharded_session_matches_serial_medium():
+    """One real multi-worker run through the persistent pool, bit-identical."""
+    device = batcher_sorting_network(10)
+    faults = enumerate_single_faults(device, line_stuck_at_input_only=False)
+    vectors = np.asarray(sorting_binary_test_set(10), dtype=np.int8)
+    serial = _legacy(
+        fault_detection_matrix, device, faults, vectors, engine="bitpacked"
+    )
+    with Session(engine="bitpacked", workers=2) as session:
+        first = session.fault_matrix(device, faults, vectors)
+        second = session.fault_matrix(device, faults, vectors)
+    assert np.array_equal(first.matrix, serial)
+    assert np.array_equal(second.matrix, serial)
