@@ -39,6 +39,15 @@ Four workloads, all cross-checked for bit-identical results before timing:
   + owned arena must beat the per-call-pool direct path by
   ``--min-reuse-speedup`` across repeated calls (fourth CI gate).
 
+Every quality gate is recorded in the JSON report under ``gates`` with its
+required floor/ceiling, the measured value and a status: ``passed``,
+``failed``, ``disabled`` (floor set to 0) or ``skipped``.  The report also
+records the host capability (``host.cpu_count``); on a single-CPU machine
+the multi-worker speedup gates (``sharded_speedup``,
+``pool_reuse_speedup``) are physically impossible to pass and are marked
+``skipped`` rather than failed — ``passed`` reflects only gates the host
+could actually run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/parallel_smoke.py \
@@ -548,71 +557,87 @@ def main(argv=None) -> int:
     session = report["workloads"]["session_reuse"]
     session_overhead = session["session_overhead_vs_direct"]
     reuse_speedup = session["pool_reuse_speedup"]
-    report["min_speedup_required"] = args.min_speedup
-    report["min_prune_speedup_required"] = args.min_prune_speedup
-    report["min_arena_speedup_required"] = args.min_arena_speedup
-    report["max_session_overhead_allowed"] = args.max_session_overhead
-    report["min_reuse_speedup_required"] = args.min_reuse_speedup
-    alloc_gate_ok = alloc_peaks["arena"] <= alloc_peaks["alloc"]
-    session_gate_ok = (
-        args.max_session_overhead <= 0
-        or session_overhead <= args.max_session_overhead
-    ) and (args.min_reuse_speedup <= 0 or reuse_speedup >= args.min_reuse_speedup)
-    report["passed"] = (
-        speedup >= args.min_speedup
-        and prune_speedup >= args.min_prune_speedup
-        and arena_speedup >= args.min_arena_speedup
-        and alloc_gate_ok
-        and session_gate_ok
-    )
+
+    # Host capability: a 1-CPU runner cannot physically beat the serial
+    # path with worker processes, so the multi-worker speedup gates are
+    # recorded as "skipped" (informational, not failures) there.  The
+    # serial gates (pruning, arena, allocation, facade overhead) always
+    # run — single-core machines exercise them just as well.
+    cpu_count = os.cpu_count() or 1
+    multiworker_capable = cpu_count >= 2
+    report["host"] = {
+        "cpu_count": cpu_count,
+        "workers_resolved": workers,
+        "multiworker_capable": multiworker_capable,
+    }
+
+    def gate(
+        required: float,
+        measured: float,
+        ok: bool,
+        *,
+        disabled: bool = False,
+        needs_multiworker: bool = False,
+    ) -> dict:
+        if disabled:
+            status = "disabled"
+        elif needs_multiworker and not multiworker_capable:
+            status = "skipped"
+        else:
+            status = "passed" if ok else "failed"
+        return {"required": required, "measured": measured, "status": status}
+
+    gates = {
+        "sharded_speedup": gate(
+            args.min_speedup, speedup, speedup >= args.min_speedup,
+            disabled=args.min_speedup <= 0, needs_multiworker=True,
+        ),
+        "prune_speedup": gate(
+            args.min_prune_speedup, prune_speedup,
+            prune_speedup >= args.min_prune_speedup,
+            disabled=args.min_prune_speedup <= 0,
+        ),
+        "arena_speedup": gate(
+            args.min_arena_speedup, arena_speedup,
+            arena_speedup >= args.min_arena_speedup,
+            disabled=args.min_arena_speedup <= 0,
+        ),
+        "arena_alloc_peak": gate(
+            alloc_peaks["alloc"], alloc_peaks["arena"],
+            alloc_peaks["arena"] <= alloc_peaks["alloc"],
+        ),
+        "session_overhead": gate(
+            args.max_session_overhead, session_overhead,
+            session_overhead <= args.max_session_overhead,
+            disabled=args.max_session_overhead <= 0,
+        ),
+        "pool_reuse_speedup": gate(
+            args.min_reuse_speedup, reuse_speedup,
+            reuse_speedup >= args.min_reuse_speedup,
+            disabled=args.min_reuse_speedup <= 0, needs_multiworker=True,
+        ),
+    }
+    report["gates"] = gates
+    failed = [name for name, g in gates.items() if g["status"] == "failed"]
+    skipped = [name for name, g in gates.items() if g["status"] == "skipped"]
+    report["passed"] = not failed
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
     print(json.dumps(report, indent=2))
-    if speedup < args.min_speedup:
+    for name in failed:
         print(
-            f"FAIL: sharded fault-sim speedup {speedup:.2f}x below the "
-            f"{args.min_speedup:.1f}x floor ({workers} workers)",
+            f"FAIL: gate {name}: measured {gates[name]['measured']:.3f} "
+            f"against required {gates[name]['required']:.3f}",
             file=sys.stderr,
         )
+    if failed:
         return 1
-    if prune_speedup < args.min_prune_speedup:
+    if skipped:
         print(
-            f"FAIL: pruning speedup {prune_speedup:.2f}x below the "
-            f"{args.min_prune_speedup:.1f}x floor at n={args.fault_n}",
+            f"SKIPPED (host has {cpu_count} CPU(s), cannot pass "
+            f"multi-worker gates): {', '.join(skipped)}",
             file=sys.stderr,
         )
-        return 1
-    if arena_speedup < args.min_arena_speedup:
-        print(
-            f"FAIL: scratch-arena speedup {arena_speedup:.2f}x below the "
-            f"{args.min_arena_speedup:.2f}x floor at n={args.fault_n}",
-            file=sys.stderr,
-        )
-        return 1
-    if not alloc_gate_ok:
-        print(
-            f"FAIL: arena peak allocation {alloc_peaks['arena']} B exceeds "
-            f"the allocating path's {alloc_peaks['alloc']} B "
-            f"(n={args.alloc_n} probe)",
-            file=sys.stderr,
-        )
-        return 1
-    if args.max_session_overhead > 0 and session_overhead > args.max_session_overhead:
-        print(
-            f"FAIL: serial Session facade costs {session_overhead:.3f}x the "
-            f"direct calls, above the {args.max_session_overhead:.2f}x "
-            f"ceiling at n={args.session_n}",
-            file=sys.stderr,
-        )
-        return 1
-    if args.min_reuse_speedup > 0 and reuse_speedup < args.min_reuse_speedup:
-        print(
-            f"FAIL: Session pool reuse speedup {reuse_speedup:.2f}x below "
-            f"the {args.min_reuse_speedup:.2f}x floor on repeated sharded "
-            f"coverage calls at n={args.session_n}",
-            file=sys.stderr,
-        )
-        return 1
     print(
         f"OK: fault-sim n={args.fault_n} sharded speedup {speedup:.2f}x with "
         f"{workers} workers (floor {args.min_speedup:.1f}x), pruning speedup "

@@ -87,7 +87,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     """Lazily re-export the most commonly used functions from the subpackages.
 
     Keeps ``import repro`` fast while still allowing ``repro.is_sorter`` and

@@ -169,6 +169,16 @@ def engine_names() -> tuple[str, ...]:
     return tuple(_ENGINES)
 
 
+def builtin_engine_names() -> tuple[str, ...]:
+    """The pre-registered built-in engine names, in registration order.
+
+    This is the single source the legacy ``EVALUATION_ENGINES`` /
+    ``SIMULATION_ENGINES`` tuples derive from — no other module hard-codes
+    the engine names (enforced by ``repro.devtools`` rule RPR002).
+    """
+    return tuple(name for name, spec in _ENGINES.items() if spec.builtin)
+
+
 def get_engine(name: str) -> EngineSpec:
     """Look an engine up by name, raising :class:`EngineError` when unknown."""
     spec = _ENGINES.get(name)

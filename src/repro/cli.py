@@ -51,10 +51,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 from ._registry import engine_names
 from .analysis.tables import format_rows
 from .core.network import ComparatorNetwork
+
+if TYPE_CHECKING:
+    from .api import Session
 
 __all__ = ["main", "build_parser"]
 
@@ -104,7 +108,9 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_session(args: argparse.Namespace, *, default_engine: str = "vectorized"):
+def _build_session(
+    args: argparse.Namespace, *, default_engine: str = "vectorized"
+) -> Session:
     """Build a :class:`repro.api.Session` from the CLI execution flags."""
     from .api import Session
 

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..exceptions import InputLengthError, NotBinaryError
 from .network import ComparatorNetwork
+from .scratch import PlaneArena, allocation_free
 
 __all__ = [
     "BLOCK_BITS",
@@ -262,6 +263,7 @@ def packed_all_binary_words(n: int) -> PackedBatch:
     return packed_cube_range(n, 0, _blocks_for(1 << n))
 
 
+@allocation_free
 def apply_comparators_packed(
     planes: np.ndarray, comparators: Iterable, *, out: np.ndarray | None = None
 ) -> np.ndarray:
@@ -350,7 +352,14 @@ def apply_network_packed(
     return result
 
 
-def packed_unsorted_blocks(packed: PackedBatch) -> np.ndarray:
+@allocation_free
+def packed_unsorted_blocks(
+    packed: PackedBatch,
+    *,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+    pad: np.ndarray | None = None,
+) -> np.ndarray:
     """Per-block uint64 mask with a 1 for every word that is NOT sorted.
 
     A 0/1 word is unsorted exactly when some line carries 1 while the next
@@ -358,14 +367,43 @@ def packed_unsorted_blocks(packed: PackedBatch) -> np.ndarray:
     — one AND-NOT per adjacent line pair over the whole batch.  Padding bits
     are always 0 in the result, so callers can test ``np.any(mask)`` without
     expanding to per-word booleans (the constant-memory streaming path).
+
+    Parameters
+    ----------
+    packed : PackedBatch
+        The batch to judge.
+    out : numpy.ndarray, optional
+        A ``(n_blocks,)`` destination row (e.g. a
+        :class:`~repro.core.scratch.PlaneArena` row).  With *out* the whole
+        sweep runs on ``out=`` ufuncs — nothing is allocated; *scratch*
+        (a second row) is then required.  Without it each pair allocates
+        its intermediates (the legacy path).
+    scratch : numpy.ndarray, optional
+        A ``(n_blocks,)`` temp row, required alongside *out*.
+    pad : numpy.ndarray, optional
+        A precomputed pad-mask row
+        (:meth:`~repro.core.scratch.PlaneArena.pad_row`); defaults to
+        ``packed.pad_mask()``, which allocates one row.
     """
-    unsorted_mask = np.zeros(packed.n_blocks, dtype=_BLOCK_DTYPE)
     planes = packed.planes
-    for i in range(packed.n_lines - 1):
-        unsorted_mask |= planes[i] & ~planes[i + 1]
-    if packed.n_lines > 1:
-        unsorted_mask &= packed.pad_mask()
-    return unsorted_mask
+    n_lines = packed.n_lines
+    if out is None:
+        unsorted_mask = np.zeros(packed.n_blocks, dtype=_BLOCK_DTYPE)  # repro: noqa RPR001 — legacy path result
+        for i in range(n_lines - 1):
+            unsorted_mask |= planes[i] & ~planes[i + 1]
+        if n_lines > 1:
+            unsorted_mask &= packed.pad_mask() if pad is None else pad
+        return unsorted_mask
+    assert scratch is not None, "packed_unsorted_blocks(out=...) needs scratch="
+    out.fill(0)
+    for i in range(n_lines - 1):
+        np.invert(planes[i + 1], out=scratch)
+        np.bitwise_and(planes[i], scratch, out=scratch)
+        np.bitwise_or(out, scratch, out=out)
+    if n_lines > 1:
+        mask = packed.pad_mask() if pad is None else pad
+        np.bitwise_and(out, mask, out=out)
+    return out
 
 
 def packed_is_sorted(packed: PackedBatch) -> np.ndarray:
@@ -376,62 +414,139 @@ def packed_is_sorted(packed: PackedBatch) -> np.ndarray:
     return ~unpack_bits(packed_unsorted_blocks(packed), num_words)
 
 
-def packed_zero_count_planes(packed: PackedBatch) -> np.ndarray:
+@allocation_free
+def packed_zero_count_planes(
+    packed: PackedBatch,
+    *,
+    out: Sequence[np.ndarray] | np.ndarray | None = None,
+    scratch: tuple[np.ndarray, np.ndarray] | None = None,
+    pad: np.ndarray | None = None,
+) -> Sequence[np.ndarray] | np.ndarray:
     """Bit-sliced per-word count of *zero* lines (a vertical popcount).
 
-    Returns a ``(m, n_blocks)`` uint64 array ``counter`` with
-    ``m = n_lines.bit_length()`` planes, least significant first: bit ``w``
-    of ``counter[j]`` is bit ``j`` of the number of 0-valued lines of word
-    ``w``.  Each line is added with a ripple-carry over the counter planes,
-    so the whole batch is counted in ``O(n_lines * log n_lines)`` bitwise
-    block operations — this is what lets the ``(k, n)``-selection check stay
-    fully packed instead of round-tripping through the unpacked engine.
+    Returns ``m = max(1, n_lines.bit_length())`` counter planes, least
+    significant first: bit ``w`` of ``counter[j]`` is bit ``j`` of the
+    number of 0-valued lines of word ``w``.  Each line is added with a
+    ripple-carry over the counter planes, so the whole batch is counted in
+    ``O(n_lines * log n_lines)`` bitwise block operations — this is what
+    lets the ``(k, n)``-selection check stay fully packed instead of
+    round-tripping through the unpacked engine.
 
     Padding bits of every counter plane are 0 (padding words count zero
     zeroes).
+
+    Parameters
+    ----------
+    packed : PackedBatch
+        The batch whose zero lines are counted.
+    out : sequence of numpy.ndarray or numpy.ndarray, optional
+        ``m`` destination rows (a ``(m, n_blocks)`` array or a list of
+        arena rows).  With *out* the whole count runs on ``out=`` ufuncs —
+        nothing is allocated; *scratch* is then required.
+    scratch : tuple of numpy.ndarray, optional
+        Two ``(n_blocks,)`` temp rows ``(carry, tmp)``, required with *out*.
+    pad : numpy.ndarray, optional
+        A precomputed pad-mask row; defaults to ``packed.pad_mask()``.
     """
-    pad = packed.pad_mask()
     m = max(1, packed.n_lines.bit_length())
-    counter = np.zeros((m, packed.n_blocks), dtype=_BLOCK_DTYPE)
+    pad_mask = packed.pad_mask() if pad is None else pad
+    if out is None:
+        counter = np.zeros((m, packed.n_blocks), dtype=_BLOCK_DTYPE)  # repro: noqa RPR001 — legacy path result
+        for i in range(packed.n_lines):
+            carry = ~packed.planes[i] & pad_mask
+            for j in range(m):
+                counter[j], carry = counter[j] ^ carry, counter[j] & carry
+        return counter
+    assert scratch is not None, "packed_zero_count_planes(out=...) needs scratch="
+    carry, tmp = scratch
+    for row in out:
+        row.fill(0)
     for i in range(packed.n_lines):
-        carry = ~packed.planes[i] & pad
+        np.invert(packed.planes[i], out=carry)
+        np.bitwise_and(carry, pad_mask, out=carry)
         for j in range(m):
-            counter[j], carry = counter[j] ^ carry, counter[j] & carry
-    return counter
+            np.bitwise_and(out[j], carry, out=tmp)
+            np.bitwise_xor(out[j], carry, out=out[j])
+            np.copyto(carry, tmp)
+    return out
 
 
+@allocation_free
 def packed_count_gt_blocks(
-    counter: np.ndarray, threshold: int, pad_mask: np.ndarray
+    counter: Sequence[np.ndarray] | np.ndarray,
+    threshold: int,
+    pad_mask: np.ndarray,
+    *,
+    out: np.ndarray | None = None,
+    scratch: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Per-block uint64 mask: is the bit-sliced count > *threshold*?
 
-    ``counter`` is a ``(m, n_blocks)`` LSB-first plane array as produced by
+    ``counter`` holds ``m`` LSB-first planes as produced by
     :func:`packed_zero_count_planes`; the comparison against the constant is
     one masked sweep from the most significant plane down.
+
+    Parameters
+    ----------
+    counter : sequence of numpy.ndarray or numpy.ndarray
+        The counter planes.
+    threshold : int
+        The constant compared against.
+    pad_mask : numpy.ndarray
+        Per-block valid-word mask.
+    out : numpy.ndarray, optional
+        A ``(n_blocks,)`` destination row; with *out* the sweep runs on
+        ``out=`` ufuncs (no allocation) and *scratch* is required.
+    scratch : tuple of numpy.ndarray, optional
+        Two ``(n_blocks,)`` temp rows ``(eq, tmp)``, required with *out*.
     """
-    m = counter.shape[0]
+    m = len(counter)
+    if out is None:
+        if threshold < 0:
+            return pad_mask.copy()  # repro: noqa RPR001 — legacy path result
+        if threshold >> m:
+            # The counter cannot represent any value above the threshold.
+            return np.zeros(pad_mask.shape[0], dtype=_BLOCK_DTYPE)  # repro: noqa RPR001 — legacy path result
+        gt = np.zeros(pad_mask.shape[0], dtype=_BLOCK_DTYPE)  # repro: noqa RPR001 — legacy path result
+        eq = pad_mask.copy()  # repro: noqa RPR001 — legacy path temp
+        for j in range(m - 1, -1, -1):
+            if (threshold >> j) & 1:
+                eq &= counter[j]
+            else:
+                gt |= eq & counter[j]
+                eq &= ~counter[j]
+        return gt
+    assert scratch is not None, "packed_count_gt_blocks(out=...) needs scratch="
+    eq, tmp = scratch
     if threshold < 0:
-        return pad_mask.copy()
+        np.copyto(out, pad_mask)
+        return out
+    out.fill(0)
     if threshold >> m:
         # The counter cannot represent any value above the threshold.
-        return np.zeros(counter.shape[1], dtype=_BLOCK_DTYPE)
-    gt = np.zeros(counter.shape[1], dtype=_BLOCK_DTYPE)
-    eq = pad_mask.copy()
+        return out
+    np.copyto(eq, pad_mask)
     for j in range(m - 1, -1, -1):
         if (threshold >> j) & 1:
-            eq &= counter[j]
+            np.bitwise_and(eq, counter[j], out=eq)
         else:
-            gt |= eq & counter[j]
-            eq &= ~counter[j]
-    return gt
+            # gt |= eq & counter[j]; eq &= ~counter[j] — the second update
+            # reuses the AND already in tmp (eq & ~c == eq ^ (eq & c)).
+            np.bitwise_and(eq, counter[j], out=tmp)
+            np.bitwise_or(out, tmp, out=out)
+            np.bitwise_xor(eq, tmp, out=eq)
+    return out
 
 
+@allocation_free
 def packed_selection_violation_blocks(
     inputs: PackedBatch,
     outputs: PackedBatch,
     k: int,
     *,
     restrict_to_test_words: bool = False,
+    arena: PlaneArena | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-block uint64 mask of words on which ``(k, n)``-selection fails.
 
@@ -445,20 +560,65 @@ def packed_selection_violation_blocks(
     ``T_k^n`` test set (unsorted inputs with at most ``k`` zeroes) can
     report a violation, which makes the streamed check agree exactly with
     the ``strategy="testset"`` verdict.
+
+    Parameters
+    ----------
+    inputs, outputs : PackedBatch
+        Pre-/post-network packed batches (same block layout).
+    k : int
+        Selection order.
+    restrict_to_test_words : bool, optional
+        Restrict eligibility to the paper's ``T_k^n`` test words.
+    arena : PlaneArena, optional
+        Scratch arena for the counter planes and sweep temporaries; with
+        *arena* the whole check allocates nothing and *out* is required.
+        The arena must serve the batch geometry
+        (``(n_lines, n_blocks)``).
+    out : numpy.ndarray, optional
+        A ``(n_blocks,)`` destination row (e.g. an arena row the caller
+        acquired), required with *arena*.
     """
-    pad = inputs.pad_mask()
-    counter = packed_zero_count_planes(inputs)
-    violation = np.zeros(inputs.n_blocks, dtype=_BLOCK_DTYPE)
+    if arena is None:
+        pad = inputs.pad_mask()
+        counter = packed_zero_count_planes(inputs, pad=pad)
+        violation = np.zeros(inputs.n_blocks, dtype=_BLOCK_DTYPE)  # repro: noqa RPR001 — legacy path result
+        for i in range(min(k, outputs.n_lines)):
+            gt = packed_count_gt_blocks(counter, i, pad)
+            # Desired: outputs[i] == ~gt on every valid word.
+            violation |= ~(outputs.planes[i] ^ gt) & pad
+        if restrict_to_test_words:
+            eligible = packed_unsorted_blocks(inputs) & ~packed_count_gt_blocks(
+                counter, k, pad
+            )
+            violation &= eligible
+        return violation
+    assert out is not None, "packed_selection_violation_blocks(arena=...) needs out="
+    m = max(1, inputs.n_lines.bit_length())
+    pad = arena.pad_row(inputs.num_words)
+    slots = [arena.acquire() for _ in range(m + 4)]
+    counter = [arena.plane(s) for s in slots[:m]]
+    carry = arena.plane(slots[m])
+    tmp = arena.plane(slots[m + 1])
+    gt = arena.plane(slots[m + 2])
+    eq = arena.plane(slots[m + 3])
+    packed_zero_count_planes(inputs, out=counter, scratch=(carry, tmp), pad=pad)
+    out.fill(0)
     for i in range(min(k, outputs.n_lines)):
-        gt = packed_count_gt_blocks(counter, i, pad)
+        packed_count_gt_blocks(counter, i, pad, out=gt, scratch=(eq, tmp))
         # Desired: outputs[i] == ~gt on every valid word.
-        violation |= ~(outputs.planes[i] ^ gt) & pad
+        np.bitwise_xor(outputs.planes[i], gt, out=tmp)
+        np.invert(tmp, out=tmp)
+        np.bitwise_and(tmp, pad, out=tmp)
+        np.bitwise_or(out, tmp, out=out)
     if restrict_to_test_words:
-        eligible = packed_unsorted_blocks(inputs) & ~packed_count_gt_blocks(
-            counter, k, pad
-        )
-        violation &= eligible
-    return violation
+        packed_count_gt_blocks(counter, k, pad, out=gt, scratch=(eq, tmp))
+        packed_unsorted_blocks(inputs, out=carry, scratch=tmp, pad=pad)
+        np.invert(gt, out=gt)
+        np.bitwise_and(carry, gt, out=carry)
+        np.bitwise_and(out, carry, out=out)
+    for s in slots:
+        arena.release(s)
+    return out
 
 
 def packed_equal(a: PackedBatch, b: PackedBatch) -> np.ndarray:

@@ -33,7 +33,7 @@ import warnings
 
 import numpy as np
 
-from .._registry import get_engine
+from .._registry import builtin_engine_names, get_engine
 from .._typing import Batch
 from ..exceptions import EngineDowngradeWarning, InputLengthError
 from .network import ComparatorNetwork
@@ -60,8 +60,9 @@ __all__ = [
 #: The *built-in* batch-evaluation engines (see the module docstring).
 #: Kept for backwards compatibility; the source of truth is the engine
 #: registry (:mod:`repro.api.registry`), which additionally lists plug-in
-#: engines registered at runtime.
-EVALUATION_ENGINES = ("scalar", "vectorized", "bitpacked")
+#: engines registered at runtime — this tuple is derived from it, never
+#: hard-coded (devtools rule RPR002).
+EVALUATION_ENGINES = builtin_engine_names()
 
 
 def check_engine(engine: str) -> str:

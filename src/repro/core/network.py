@@ -361,6 +361,7 @@ class ComparatorNetwork:
 
     @classmethod
     def from_dict(cls, data: dict) -> ComparatorNetwork:
+        """Rebuild a network from its :meth:`to_dict` form."""
         from .serialization import network_from_dict
 
         return network_from_dict(data)
@@ -373,6 +374,7 @@ class ComparatorNetwork:
 
     @classmethod
     def from_knuth(cls, n_lines: int, text: str) -> ComparatorNetwork:
+        """Parse the paper's 1-indexed bracket notation (see :meth:`to_knuth`)."""
         from .serialization import network_from_knuth
 
         return network_from_knuth(n_lines, text)

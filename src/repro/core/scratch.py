@@ -46,13 +46,72 @@ Examples
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from typing import TypeVar
+
 import numpy as np
 
-__all__ = ["PlaneArena", "shared_arena", "comparator_scratch"]
+__all__ = [
+    "PlaneArena",
+    "shared_arena",
+    "comparator_scratch",
+    "allocation_free",
+    "allocation_free_functions",
+]
 
 #: Default block dtype — mirrors ``repro.core.bitpacked._BLOCK_DTYPE``
 #: (explicit little-endian uint64).
 _BLOCK_DTYPE = np.dtype("<u8")
+
+#: All-ones uint64 block (every word position set).
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+#: Every function decorated with :func:`allocation_free`, in decoration
+#: order.  The sanitizer test suite enumerates this to prove each entry
+#: has a runtime allocation check; keep it in sync is automatic — the
+#: decorator appends here.
+_ALLOCATION_FREE: list[Callable[..., object]] = []
+
+
+def allocation_free(func: _F) -> _F:
+    """Mark a hot-path function as allocation-free on its scratch path.
+
+    The contract: when the function is given its scratch resources (a
+    :class:`PlaneArena`, an ``out=`` destination, a scratch row — whatever
+    its signature takes), steady-state calls perform **no plane-sized
+    allocations**: every bitwise step runs through ``out=`` ufuncs against
+    caller- or arena-owned storage, and any allocation left is a small
+    constant (Python objects, an unpacked boolean result row) independent
+    of ``n_blocks``.  Functions that also keep a legacy allocating branch
+    (selected by omitting the scratch resources) annotate that branch's
+    allocation sites with ``# repro: noqa RPR001``.
+
+    The decorator itself is zero-cost — it tags the function and records
+    it, returning it unchanged (no wrapper, no per-call overhead):
+
+    * statically, :mod:`repro.devtools` rule **RPR001** scans the bodies of
+      decorated functions for allocating numpy calls;
+    * dynamically, :func:`repro.devtools.sanitize.assert_allocation_free`
+      verifies a steady-state call allocates nothing, and the test suite
+      covers every function registered here.
+    """
+    func.__allocation_free__ = True  # type: ignore[attr-defined]
+    _ALLOCATION_FREE.append(func)
+    return func
+
+
+def allocation_free_functions() -> tuple[Callable[..., object], ...]:
+    """Every function decorated with :func:`allocation_free` so far.
+
+    Returns
+    -------
+    tuple of callable
+        Decoration-ordered snapshot of the registry (import the modules
+        whose functions you expect to see before calling this).
+    """
+    return tuple(_ALLOCATION_FREE)
 
 #: Extra pool rows beyond the ``2 * n_lines`` error/temp store: head-room
 #: for the detection-row reconstruction sweeps, which hold up to four
@@ -131,6 +190,8 @@ class PlaneArena:
         self.state = np.zeros((n_lines, n_blocks), dtype=dtype)
         self.tmp = np.zeros(n_blocks, dtype=dtype)
         self.zero = np.zeros(n_blocks, dtype=dtype)
+        self._pad = np.zeros(n_blocks, dtype=dtype)
+        self._pad_words = -1
         self.err_slot.clear()
         self._free = list(range(self.store.shape[0]))
 
@@ -180,6 +241,29 @@ class PlaneArena:
             Views into :attr:`store`; valid until the next :meth:`reset`.
         """
         return {line: self.views[slot] for line, slot in self.err_slot.items()}
+
+    def pad_row(self, num_words: int) -> np.ndarray:
+        """The cached valid-word mask row for a *num_words* batch.
+
+        Equivalent to ``PackedBatch.pad_mask()`` (a 1 for every valid word
+        position, padding bits 0) but backed by one arena-owned row that is
+        only rewritten when *num_words* changes — repeated calls on the
+        stable chunk geometry of a streamed run allocate nothing.  Callers
+        must not write through the returned view.
+
+        Returns
+        -------
+        numpy.ndarray
+            The ``(n_blocks,)`` pad-mask row.
+        """
+        if self._pad_words != num_words:
+            pad = self._pad
+            pad.fill(_ALL_ONES)
+            tail = num_words % 64
+            if self.n_blocks and tail:
+                pad[-1] = np.uint64((1 << tail) - 1)
+            self._pad_words = num_words
+        return self._pad
 
     def reset(self) -> None:
         """Drop every checked-out slot and dirty line (``O(n_lines)``).

@@ -1,0 +1,568 @@
+"""The built-in rule set: this repository's real invariants, mechanised.
+
+====== =========================================================== ==========
+Rule   Invariant                                                   Scope
+====== =========================================================== ==========
+RPR001 ``@allocation_free`` bodies never call allocating numpy     all files
+       (``np.zeros``/``np.empty``/``.copy()``/... or a ufunc
+       without ``out=``)
+RPR002 engine names are never hard-coded as tuples outside         ``src``
+       ``repro._registry`` — enumeration goes through the registry
+RPR003 internal code never passes the deprecated execution kwargs  ``src``
+       (``engine=``/``config=``/``prune=``/``arena=``) to the
+       legacy free-function shims
+RPR004 task objects shipped to ``WorkerPool`` workers capture no   parallel
+       unpicklable resources or shared mutable class state
+RPR005 public functions in un-grandfathered modules carry          ``src``
+       numpydoc docstrings
+====== =========================================================== ==========
+
+RPR001 is deliberately conservative: it flags *calls* (``np.zeros(...)``,
+``np.bitwise_and(...)`` without ``out=``, ``x.copy()``) including through
+local ufunc aliases (``bxor = np.bitwise_xor``), but not operator
+expressions (``a & b``) — flagging every BinOp would drown the rule in
+noise.  The runtime sanitizer
+(:func:`repro.devtools.sanitize.assert_allocation_free`) covers what the
+AST cannot see; the two checks are paired by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .._registry import builtin_engine_names
+from .findings import Finding
+from .rules import FileContext, Rule, register_rule
+
+__all__ = [
+    "AllocationFreeRule",
+    "EngineTupleRule",
+    "LegacyExecKwargsRule",
+    "WorkerShippingRule",
+    "DocstringRule",
+]
+
+# ----------------------------------------------------------------------
+# RPR001 — no allocating numpy inside @allocation_free functions
+# ----------------------------------------------------------------------
+
+#: numpy module-level callables that allocate a fresh array.
+_NP_ALLOCATING = frozenset(
+    {
+        "zeros", "ones", "empty", "full",
+        "zeros_like", "ones_like", "empty_like", "full_like",
+        "array", "asarray", "ascontiguousarray", "asfortranarray",
+        "copy", "arange", "linspace", "concatenate", "stack",
+        "hstack", "vstack", "dstack", "tile", "repeat", "where",
+        "frombuffer", "fromiter", "packbits", "unpackbits",
+        "nonzero", "flatnonzero", "unique", "sort", "argsort",
+        "meshgrid", "pad", "insert", "delete", "append",
+    }
+)
+
+#: numpy ufuncs that are fine *with* ``out=`` and allocate without it.
+_NP_UFUNCS = frozenset(
+    {
+        "bitwise_and", "bitwise_or", "bitwise_xor", "bitwise_not",
+        "invert", "left_shift", "right_shift",
+        "logical_and", "logical_or", "logical_xor", "logical_not",
+        "add", "subtract", "multiply", "divide", "true_divide",
+        "floor_divide", "mod", "remainder", "power",
+        "minimum", "maximum", "fmin", "fmax",
+        "equal", "not_equal", "less", "less_equal",
+        "greater", "greater_equal",
+        "negative", "positive", "absolute", "abs", "sign",
+        "exp", "log", "log2", "sqrt", "square",
+    }
+)
+
+#: numpy callables that never allocate plane-sized arrays (reductions to
+#: scalars, in-place copies) — allowed anywhere.
+_NP_NEUTRAL = frozenset(
+    {
+        "copyto", "count_nonzero", "may_share_memory", "shares_memory",
+        "can_cast", "result_type", "promote_types", "dtype",
+        "any", "all", "uint64", "int64", "uint8", "int8", "bool_",
+    }
+)
+
+#: Array methods that allocate a fresh array.
+_ALLOCATING_METHODS = frozenset({"copy", "astype", "tolist", "flatten"})
+
+
+def _numpy_aliases(tree: ast.Module) -> tuple[set[str], dict[str, str]]:
+    """Module-level numpy import names.
+
+    Returns ``(module_aliases, from_imports)`` — e.g. ``({"np"},
+    {"bitwise_and": "bitwise_and"})`` for ``import numpy as np`` plus
+    ``from numpy import bitwise_and``.
+    """
+    modules: set[str] = set()
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    modules.add(alias.asname or "numpy")
+        elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for alias in node.names:
+                names[alias.asname or alias.name] = alias.name
+    return modules, names
+
+
+def _is_allocation_free_def(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Name) and deco.id == "allocation_free":
+            return True
+        if isinstance(deco, ast.Attribute) and deco.attr == "allocation_free":
+            return True
+    return False
+
+
+def _has_keyword(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+@register_rule
+class AllocationFreeRule(Rule):
+    """RPR001: no allocating numpy calls inside ``@allocation_free``."""
+
+    id = "RPR001"
+    summary = (
+        "@allocation_free functions must not call allocating numpy "
+        "(np.zeros/np.empty/.copy()/.astype()/ufuncs without out=)"
+    )
+    scope = "all"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Scan each decorated function for allocating numpy calls."""
+        np_modules, np_names = _numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if _is_allocation_free_def(node):
+                assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                yield from self._check_function(
+                    ctx, node, np_modules, dict(np_names)
+                )
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        np_modules: set[str],
+        np_names: dict[str, str],
+    ) -> Iterator[Finding]:
+        # Local ufunc/constructor aliases: ``bxor = np.bitwise_xor``.
+        aliases = dict(np_names)
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id in np_modules
+            ):
+                aliases[node.targets[0].id] = node.value.attr
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._numpy_callee(node, np_modules, aliases)
+            if target is not None:
+                name, qualified = target
+                if name in _NP_NEUTRAL:
+                    continue
+                if name in _NP_ALLOCATING:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"allocating numpy call {qualified}() inside "
+                        f"@allocation_free function {func.name!r}",
+                    )
+                elif name in _NP_UFUNCS and not _has_keyword(node, "out"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"ufunc {qualified}() without out= inside "
+                        f"@allocation_free function {func.name!r} "
+                        "allocates its result",
+                    )
+                continue
+            # Allocating array methods: x.copy(), x.astype(dt) — unless
+            # astype(..., copy=False).
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in _ALLOCATING_METHODS
+            ):
+                if callee.attr == "astype" and any(
+                    kw.arg == "copy"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                    for kw in node.keywords
+                ):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{callee.attr}() call inside @allocation_free "
+                    f"function {func.name!r} allocates a fresh array",
+                )
+
+    @staticmethod
+    def _numpy_callee(
+        call: ast.Call, np_modules: set[str], aliases: dict[str, str]
+    ) -> tuple[str, str] | None:
+        """``(numpy_name, display_name)`` when the callee is numpy, else None."""
+        callee = call.func
+        if (
+            isinstance(callee, ast.Attribute)
+            and isinstance(callee.value, ast.Name)
+            and callee.value.id in np_modules
+        ):
+            return callee.attr, f"{callee.value.id}.{callee.attr}"
+        if isinstance(callee, ast.Name) and callee.id in aliases:
+            return aliases[callee.id], callee.id
+        return None
+
+
+# ----------------------------------------------------------------------
+# RPR002 — no hard-coded engine-name tuples outside repro._registry
+# ----------------------------------------------------------------------
+@register_rule
+class EngineTupleRule(Rule):
+    """RPR002: engine enumeration must come from the registry."""
+
+    id = "RPR002"
+    summary = (
+        "no hard-coded engine-name tuples outside repro._registry — "
+        "derive from repro.api.registry.engine_names()"
+    )
+    scope = "src"
+
+    #: Modules allowed to spell the names out: the registry itself (the
+    #: single source of truth) and this checker.
+    exempt_modules = frozenset({"repro._registry"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag tuple/list/set displays holding two or more engine names."""
+        if ctx.module in self.exempt_modules or (
+            ctx.module is not None and ctx.module.startswith("repro.devtools")
+        ):
+            return
+        engine_names = set(builtin_engine_names())
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+                continue
+            found = {
+                elt.value
+                for elt in node.elts
+                if isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+                and elt.value in engine_names
+            }
+            if len(found) >= 2:
+                names = ", ".join(sorted(found))
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"hard-coded engine names ({names}) — enumerate "
+                    "engines through repro.api.registry "
+                    "(engine_names()/builtin_engine_names()) instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR003 — no deprecated execution kwargs at internal shim call sites
+# ----------------------------------------------------------------------
+@register_rule
+class LegacyExecKwargsRule(Rule):
+    """RPR003: internal code uses Session / the ``_impl`` layer."""
+
+    id = "RPR003"
+    summary = (
+        "internal call sites must not pass deprecated execution kwargs "
+        "(engine=/config=/prune=/arena=) to the legacy free functions"
+    )
+    scope = "src"
+
+    #: The deprecated free-function shims (each has an ``_impl`` form).
+    shims = frozenset(
+        {
+            "is_sorter",
+            "is_selector",
+            "is_merger",
+            "network_passes_test_set",
+            "fault_detection_matrix",
+            "fault_detection_any",
+            "fault_coverage",
+            "coverage_report",
+            "compare_test_sets",
+        }
+    )
+
+    #: The kwargs whose explicit use triggers the deprecation shim.
+    legacy_kwargs = frozenset({"engine", "config", "prune", "arena"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag shim calls passing any of the deprecated kwargs."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Name):
+                name = callee.id
+            elif isinstance(callee, ast.Attribute):
+                name = callee.attr
+            else:
+                continue
+            if name not in self.shims:
+                continue
+            passed = sorted(
+                kw.arg
+                for kw in node.keywords
+                if kw.arg in self.legacy_kwargs
+            )
+            if passed:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"deprecated execution kwarg(s) {', '.join(passed)} "
+                    f"passed to legacy shim {name}() — use "
+                    f"repro.api.Session or {name.lstrip('_')}'s _impl form",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR004 — fork/pickle hazards in objects shipped to WorkerPool workers
+# ----------------------------------------------------------------------
+@register_rule
+class WorkerShippingRule(Rule):
+    """RPR004: task objects must ship no resources or shared mutables."""
+
+    id = "RPR004"
+    summary = (
+        "objects shipped to WorkerPool workers must not capture open "
+        "resources, locks, lambdas or shared mutable class state"
+    )
+    scope = "parallel"
+
+    #: Callables whose result must never be stored on a task instance —
+    #: they do not survive pickling (or silently desynchronise on fork).
+    resource_factories = frozenset(
+        {
+            "open",
+            "Lock",
+            "RLock",
+            "Event",
+            "Condition",
+            "Semaphore",
+            "BoundedSemaphore",
+            "Barrier",
+            "Queue",
+            "SimpleQueue",
+            "socket",
+            "Popen",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag mutable class state, stored resources and lambda submits."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_submit(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        is_task = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in ("__call__", "__reduce__")
+            for stmt in cls.body
+        )
+        for stmt in cls.body:
+            # Shared mutable class attributes: every pickled/forked task
+            # instance believes it owns them; state diverges silently.
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is not None and self._is_mutable_display(value):
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"mutable class attribute on {cls.name!r} — shared "
+                    "across forked/pickled instances; create it in "
+                    "__init__ or use worker-local module state",
+                )
+        if not is_task:
+            return
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and isinstance(node.targets[0].value, ast.Name)
+                    and node.targets[0].value.id == "self"
+                    and isinstance(node.value, ast.Call)
+                ):
+                    callee = node.value.func
+                    factory = (
+                        callee.id
+                        if isinstance(callee, ast.Name)
+                        else callee.attr
+                        if isinstance(callee, ast.Attribute)
+                        else None
+                    )
+                    if factory in self.resource_factories:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{factory}() result stored on "
+                            f"self.{node.targets[0].attr} of task class "
+                            f"{cls.name!r} — does not survive "
+                            "pickling/fork to WorkerPool workers",
+                        )
+
+    def _check_submit(
+        self, ctx: FileContext, call: ast.Call
+    ) -> Iterator[Finding]:
+        callee = call.func
+        if not (
+            isinstance(callee, ast.Attribute)
+            and callee.attr in ("submit", "map", "apply_async")
+        ):
+            return
+        for arg in call.args:
+            if isinstance(arg, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    arg,
+                    f"lambda passed to .{callee.attr}() — lambdas do not "
+                    "pickle; ship a module-level function or a picklable "
+                    "task object",
+                )
+
+    @staticmethod
+    def _is_mutable_display(value: ast.expr) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("list", "dict", "set")
+        )
+
+
+# ----------------------------------------------------------------------
+# RPR005 — numpydoc docstrings on public functions
+# ----------------------------------------------------------------------
+@register_rule
+class DocstringRule(Rule):
+    """RPR005: public API carries (sane) numpydoc docstrings."""
+
+    id = "RPR005"
+    summary = (
+        "public functions/classes in un-grandfathered modules carry "
+        "numpydoc docstrings (sections underlined with dashes)"
+    )
+    scope = "src"
+
+    #: Section headers whose numpydoc underline is checked when present.
+    section_headers = (
+        "Parameters",
+        "Returns",
+        "Yields",
+        "Raises",
+        "Attributes",
+        "Examples",
+        "Notes",
+        "See Also",
+    )
+
+    #: Modules exempted from the docstring requirement (legacy surface
+    #: still being documented; shrink, never grow).
+    grandfathered = frozenset({"repro.cli"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag missing docstrings and malformed numpydoc section headers."""
+        if ctx.module is None or ctx.module in self.grandfathered:
+            return
+        for node, qualname in self._public_defs(ctx.tree):
+            doc = ast.get_docstring(node, clean=True)
+            if doc is None:
+                kind = (
+                    "class" if isinstance(node, ast.ClassDef) else "function"
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public {kind} {qualname!r} has no docstring",
+                )
+                continue
+            yield from self._check_sections(ctx, node, qualname, doc)
+
+    def _public_defs(
+        self, tree: ast.Module
+    ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef, str]]:
+        def walk_body(
+            body: list[ast.stmt], prefix: str, in_class: bool
+        ) -> Iterator[
+            tuple[ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef, str]
+        ]:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if stmt.name.startswith("_"):
+                        continue
+                    if in_class and self._is_trivial_method(stmt):
+                        continue
+                    yield stmt, f"{prefix}{stmt.name}"
+                elif isinstance(stmt, ast.ClassDef):
+                    if stmt.name.startswith("_"):
+                        continue
+                    yield stmt, f"{prefix}{stmt.name}"
+                    yield from walk_body(
+                        stmt.body, f"{prefix}{stmt.name}.", True
+                    )
+
+        yield from walk_body(tree.body, "", False)
+
+    @staticmethod
+    def _is_trivial_method(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        """Skip property getters and tiny delegating methods (≤ 2 stmts)."""
+        has_property = any(
+            (isinstance(d, ast.Name) and d.id in ("property", "cached_property"))
+            or (isinstance(d, ast.Attribute) and d.attr == "cached_property")
+            for d in func.decorator_list
+        )
+        return has_property and len(func.body) <= 2
+
+    def _check_sections(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        qualname: str,
+        doc: str,
+    ) -> Iterator[Finding]:
+        lines = doc.splitlines()
+        for i, line in enumerate(lines):
+            stripped = line.strip()
+            if stripped in self.section_headers:
+                underline = lines[i + 1].strip() if i + 1 < len(lines) else ""
+                if not underline or set(underline) != {"-"}:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"docstring of {qualname!r} has a "
+                        f"{stripped!r} header without a dashed "
+                        "numpydoc underline",
+                    )

@@ -1,0 +1,184 @@
+"""The checker CLI: ``python -m repro.devtools.check [paths...]``.
+
+Walks the given files/directories (default: ``src``, ``tests``,
+``benchmarks`` under the current directory), runs every registered rule
+whose scope covers each file, filters ``# repro: noqa`` suppressions and
+prints the surviving findings.  Exit status is 0 when clean, 1 when any
+finding survives, 2 on usage errors.
+
+Options
+-------
+``--format human|json``
+    Output style (default ``human``: ``path:line:col: RULE message``).
+``--select RPR001,RPR002``
+    Run only the listed rules.
+``--list-rules``
+    Print the rule table and exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Iterable, Sequence
+import json
+from pathlib import Path
+import sys
+
+# Importing the module registers the built-in rules as a side effect.
+from . import builtin  # noqa: F401
+from .findings import Finding, is_suppressed
+from .rules import FileContext, Rule, all_rules, get_rule
+
+__all__ = ["check_file", "check_paths", "iter_python_files", "main"]
+
+#: Directory names never descended into during a directory walk.
+#: Fixture snippets under ``tests/devtools_fixtures`` *intentionally*
+#: violate rules — the golden tests check them one file at a time.
+DEFAULT_EXCLUDE_DIRS = frozenset(
+    {"devtools_fixtures", "__pycache__", ".git", ".ruff_cache",
+     ".mypy_cache", ".pytest_cache", "build", "dist"}
+)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    """Yield the ``.py`` files under *paths* (files pass through as-is).
+
+    Directories are walked recursively, skipping
+    :data:`DEFAULT_EXCLUDE_DIRS`; explicitly named files bypass the
+    exclusion list.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(
+                    part in DEFAULT_EXCLUDE_DIRS or part.startswith(".")
+                    for part in sub.relative_to(path).parts
+                ):
+                    continue
+                yield sub
+        else:
+            yield path
+
+
+def check_file(
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+    *,
+    respect_scope: bool = True,
+) -> list[Finding]:
+    """Run *rules* (default: all registered) over one file.
+
+    Parameters
+    ----------
+    path : str or Path
+        File to check.
+    rules : sequence of Rule, optional
+        Rules to run; defaults to every registered rule.
+    respect_scope : bool
+        When False, every rule runs regardless of its declared scope —
+        used by the fixture tests, which live outside ``src``.
+
+    Returns
+    -------
+    list of Finding
+        Unsuppressed findings, in source order.  A file that fails to
+        parse yields a single ``RPR000`` finding.
+    """
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        ctx = FileContext.from_source(str(path), source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="RPR000",
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    found: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if respect_scope and not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not is_suppressed(finding, ctx.noqa):
+                found.append(finding)
+    found.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return found
+
+
+def check_paths(
+    paths: Sequence[str], rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Run the checker over files and directories; see :func:`check_file`."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(check_file(path, rules))
+    return findings
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.check",
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to check (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.scope:^8}]  {rule.summary}")
+        return 0
+    if args.select:
+        try:
+            rules: Sequence[Rule] | None = tuple(
+                get_rule(rule_id.strip())
+                for rule_id in args.select.split(",")
+                if rule_id.strip()
+            )
+        except KeyError as exc:
+            print(f"unknown rule id: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        rules = None
+    findings = check_paths(args.paths, rules)
+    if args.format == "json":
+        print(json.dumps([f.as_json() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format_human())
+        if findings:
+            print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Findings and ``# repro: noqa`` suppression parsing.
+
+A :class:`Finding` is one rule violation at one source location; the
+checker collects them across files, filters the ones suppressed by an
+inline ``# repro: noqa`` comment and renders the rest in human or JSON
+form (:mod:`repro.devtools.check`).
+
+Suppression syntax
+------------------
+``# repro: noqa``
+    Suppress every rule on this line.
+``# repro: noqa RPR001`` / ``# repro: noqa RPR001, RPR005``
+    Suppress only the listed rules on this line.  Trailing prose after
+    the codes (a justification) is encouraged and ignored by the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import re
+
+__all__ = ["Finding", "parse_noqa", "is_suppressed"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b(?:\s+(?P<codes>RPR\d+(?:\s*,\s*RPR\d+)*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule : str
+        Rule identifier (``"RPR001"`` ... ``"RPR005"``; ``"RPR000"`` is
+        reserved for files the checker could not parse).
+    path : str
+        Path of the offending file, as given to the checker.
+    line : int
+        1-based line of the violation.
+    col : int
+        0-based column of the violation.
+    message : str
+        Human-readable description.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format_human(self) -> str:
+        """The classic ``path:line:col: RULE message`` single-line form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_json(self) -> dict[str, object]:
+        """A JSON-serialisable dict (stable key order)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def parse_noqa(source: str) -> dict[int, frozenset[str] | None]:
+    """Extract the ``# repro: noqa`` suppression table of a source file.
+
+    Parameters
+    ----------
+    source : str
+        Full text of the file.
+
+    Returns
+    -------
+    dict of int to (frozenset of str, or None)
+        Maps a 1-based line number to the rule ids suppressed on that
+        line; ``None`` means every rule is suppressed there.  Lines
+        without a marker are absent.
+    """
+    table: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[lineno] = None
+        else:
+            table[lineno] = frozenset(c.strip() for c in codes.split(","))
+    return table
+
+
+def is_suppressed(
+    finding: Finding, noqa: dict[int, frozenset[str] | None]
+) -> bool:
+    """Is *finding* silenced by the file's suppression table?"""
+    if finding.line not in noqa:
+        return False
+    codes = noqa[finding.line]
+    return codes is None or finding.rule in codes

@@ -1,0 +1,132 @@
+"""Runtime allocation sanitizer for ``@allocation_free`` functions.
+
+The static rule (RPR001) catches allocating *calls* it can see in the
+AST; this module catches what it cannot — operator expressions that
+allocate temporaries (``a & b``), allocations inside callees, slow-path
+regressions.  The tool is :func:`assert_allocation_free`: a context
+manager that runs its body under :mod:`tracemalloc` and raises
+:class:`AllocationError` when the traced block exceeds a byte budget.
+
+Two budgets are enforced:
+
+``max_transient_bytes``
+    Peak-minus-final traced memory: temporaries created and freed inside
+    the block.  A steady-state call of an allocation-free function on
+    pre-acquired arena planes should stay under a small constant —
+    plane-sized temporaries (tens of KiB at realistic block counts) blow
+    it immediately.
+``max_retained_bytes``
+    Final-minus-baseline traced memory: allocations that survive the
+    block.  ``None`` (the default) skips the check — some functions
+    legitimately return a small result object.
+
+Usage::
+
+    with assert_allocation_free(label="apply_comparators_packed"):
+        apply_comparators_packed(planes, pairs, scratch=arena.tmp)
+
+Always warm the function up *before* the ``with`` block: first calls pay
+one-time costs (ufunc caches, lazy imports) that are not steady-state
+allocations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+import tracemalloc
+
+__all__ = ["AllocationError", "AllocationTrace", "trace_allocations",
+           "assert_allocation_free"]
+
+
+class AllocationError(AssertionError):
+    """A traced block exceeded its allocation budget."""
+
+
+@dataclass
+class AllocationTrace:
+    """Byte counts measured by :func:`trace_allocations`.
+
+    Attributes
+    ----------
+    transient_bytes : int
+        Peak traced memory above the block's final level — temporaries
+        allocated and freed inside the block.
+    retained_bytes : int
+        Traced memory still live at block exit, relative to the baseline
+        taken at entry.  Negative when the block *freed* memory.
+    """
+
+    transient_bytes: int = 0
+    retained_bytes: int = 0
+
+
+@contextmanager
+def trace_allocations() -> Iterator[AllocationTrace]:
+    """Measure the allocations of a block; yields an :class:`AllocationTrace`.
+
+    The trace object is filled in when the block exits.  Nesting is safe:
+    tracemalloc is only stopped by the outermost trace that started it.
+    """
+    trace = AllocationTrace()
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        yield trace
+    finally:
+        current, peak = tracemalloc.get_traced_memory()
+        if started_here:
+            tracemalloc.stop()
+        trace.transient_bytes = max(0, peak - current)
+        trace.retained_bytes = current - baseline
+
+
+@contextmanager
+def assert_allocation_free(
+    *,
+    max_transient_bytes: int = 2048,
+    max_retained_bytes: int | None = None,
+    label: str = "",
+) -> Iterator[AllocationTrace]:
+    """Assert that the ``with`` body stays within an allocation budget.
+
+    Parameters
+    ----------
+    max_transient_bytes : int
+        Budget for temporaries created and freed inside the block
+        (default 2048 — generous for bookkeeping objects, far below one
+        bit-plane at realistic sizes).
+    max_retained_bytes : int or None
+        Budget for memory surviving the block; ``None`` (default) skips
+        the retained check.
+    label : str
+        Name included in the error message, typically the function under
+        test.
+
+    Raises
+    ------
+    AllocationError
+        When either budget is exceeded.
+    """
+    with trace_allocations() as trace:
+        yield trace
+    where = f" in {label}" if label else ""
+    if trace.transient_bytes > max_transient_bytes:
+        raise AllocationError(
+            f"transient allocation{where}: {trace.transient_bytes} bytes "
+            f"(budget {max_transient_bytes}) — a plane-sized temporary "
+            "escaped onto the scratch path"
+        )
+    if (
+        max_retained_bytes is not None
+        and trace.retained_bytes > max_retained_bytes
+    ):
+        raise AllocationError(
+            f"retained allocation{where}: {trace.retained_bytes} bytes "
+            f"(budget {max_retained_bytes}) survived the block"
+        )

@@ -74,10 +74,12 @@ class StuckPassFault(Fault):
     index: int
 
     def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        """The network with comparator *index* deleted."""
         _check_index(network, self.index)
         return network.without_comparator(self.index)
 
     def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
         return f"comparator #{self.index} stuck-pass (never exchanges)"
 
 
@@ -95,10 +97,12 @@ class StuckSwapFault(Fault):
     index: int
 
     def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        """A :class:`SwappingNetwork` exchanging unconditionally at *index*."""
         _check_index(network, self.index)
         return SwappingNetwork(network, self.index)
 
     def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
         return f"comparator #{self.index} stuck-swap (always exchanges)"
 
 
@@ -109,11 +113,13 @@ class ReversedComparatorFault(Fault):
     index: int
 
     def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        """The network with comparator *index* flipped upside down."""
         _check_index(network, self.index)
         original = network.comparators[self.index]
         return network.with_comparator_replaced(self.index, original.flipped())
 
     def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
         return f"comparator #{self.index} reversed (max to the low line)"
 
 
@@ -134,6 +140,7 @@ class LineStuckFault(Fault):
             raise FaultModelError(f"stuck-at value must be 0 or 1, got {self.value}")
 
     def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        """A :class:`StuckLineNetwork` forcing the line to *value*."""
         if self.line < 0 or self.line >= network.n_lines:
             raise FaultModelError(
                 f"line {self.line} out of range for {network.n_lines} lines"
@@ -145,6 +152,7 @@ class LineStuckFault(Fault):
         return StuckLineNetwork(network, self.line, self.value, self.stage)
 
     def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
         return f"line {self.line} stuck-at-{self.value} from stage {self.stage}"
 
 
@@ -162,6 +170,7 @@ class SwappingNetwork(ComparatorNetwork):
         self._swap_index = swap_index
 
     def apply(self, word):
+        """Scalar evaluation with the unconditional swap at the faulty stage."""
         values = list(int(v) for v in word)
         if len(values) != self.n_lines:
             raise FaultModelError(
@@ -180,6 +189,7 @@ class SwappingNetwork(ComparatorNetwork):
         return tuple(values)
 
     def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation mirroring :meth:`apply` row-wise."""
         data = np.array(batch, copy=True)
         for position, comp in enumerate(self.comparators):
             a = data[:, comp.low].copy()
@@ -197,6 +207,7 @@ class SwappingNetwork(ComparatorNetwork):
         return data
 
     def apply_packed(self, packed, *, copy: bool = True):
+        """Bit-packed evaluation: a plane swap realises the faulty stage."""
         from ..core.bitpacked import apply_comparators_packed
 
         result = packed.copy() if copy else packed
@@ -228,6 +239,7 @@ class StuckLineNetwork(ComparatorNetwork):
         self._stuck_stage = stage
 
     def apply(self, word):
+        """Scalar evaluation, forcing the stuck line after each late stage."""
         values = list(int(v) for v in word)
         if len(values) != self.n_lines:
             raise FaultModelError(
@@ -247,6 +259,7 @@ class StuckLineNetwork(ComparatorNetwork):
         return tuple(values)
 
     def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation mirroring :meth:`apply` row-wise."""
         data = np.array(batch, copy=True)
         if self._stuck_stage == 0:
             data[:, self._stuck_line] = self._stuck_value
@@ -264,6 +277,7 @@ class StuckLineNetwork(ComparatorNetwork):
         return data
 
     def apply_packed(self, packed, *, copy: bool = True):
+        """Bit-packed evaluation; the forced plane respects the pad mask."""
         from ..core.bitpacked import apply_comparators_packed
 
         result = packed.copy() if copy else packed

@@ -79,6 +79,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from .._compat import UNSET, unset_or, warn_legacy_exec_kwargs
+from .._registry import builtin_engine_names
 from .._typing import WordLike
 from ..core.bitpacked import (
     BLOCK_BITS,
@@ -99,7 +100,7 @@ from ..core.evaluation import (
     words_to_array,
 )
 from ..core.network import ComparatorNetwork
-from ..core.scratch import PlaneArena, shared_arena
+from ..core.scratch import PlaneArena, allocation_free, shared_arena
 from ..exceptions import FaultModelError
 from ..words.binary import is_sorted_word
 from .models import (
@@ -128,8 +129,9 @@ __all__ = [
 #: Detection criteria accepted by :func:`fault_detection_matrix`.
 DETECTION_CRITERIA = ("specification", "reference")
 
-#: Engine choices accepted by :func:`fault_detection_matrix`.
-SIMULATION_ENGINES = ("scalar", "vectorized", "bitpacked")
+#: Engine choices accepted by :func:`fault_detection_matrix` — derived
+#: from the engine registry, never hard-coded (devtools rule RPR002).
+SIMULATION_ENGINES = builtin_engine_names()
 
 
 @dataclass(frozen=True)
@@ -621,6 +623,7 @@ def _scalar_detection_matrix(
 # ----------------------------------------------------------------------
 # Bit-packed batched engine with shared fault-free prefixes
 # ----------------------------------------------------------------------
+@allocation_free
 def _detection_row(
     state: PackedBatch,
     reference: PackedBatch,
@@ -836,6 +839,7 @@ class PrefixStates:
             return self.input_planes[line]
         return self.deltas[index, int(self._writer_pos[stage, line])]
 
+    @allocation_free
     def state_after(self, stage: int, out: np.ndarray | None = None) -> PackedBatch:
         """A copy of the packed planes after the first *stage* comparators.
 
@@ -849,7 +853,11 @@ class PrefixStates:
             the reconstruction is pure ``np.copyto`` row pulls with no
             allocation at all.
         """
-        planes = np.empty_like(self.input_planes) if out is None else out
+        planes = (
+            np.empty_like(self.input_planes)  # repro: noqa RPR001 — legacy path
+            if out is None
+            else out
+        )
         for line in range(self.network.n_lines):
             planes[line] = self.line_value(stage, line)
         return PackedBatch(planes, self.num_words)
@@ -922,6 +930,7 @@ def _fault_state(
 # ----------------------------------------------------------------------
 # Dominated-state pruning
 # ----------------------------------------------------------------------
+@allocation_free
 def _pruned_fault_errors(
     network: ComparatorNetwork,
     fault: Fault,
@@ -1324,21 +1333,58 @@ def _pruned_fault_errors_alloc(
     return err
 
 
+def _row_from_errors_alloc(
+    reference: PackedBatch,
+    err: dict[int, np.ndarray],
+    criterion: str,
+    pad_mask: np.ndarray,
+) -> np.ndarray:
+    """Allocating form of :func:`_row_from_errors` (no arena).
+
+    Selected by ``arena=False`` (the legacy code paths); every bitwise
+    step allocates a fresh plane.  Bit-identical to the arena form.
+    """
+    from ..core.bitpacked import unpack_bits
+
+    if criterion == "reference":
+        if not err:
+            return np.zeros(reference.num_words, dtype=bool)
+        acc: np.ndarray | None = None
+        for e in err.values():
+            acc = e.copy() if acc is None else (acc | e)
+        assert acc is not None
+        return unpack_bits(acc, reference.num_words)
+    planes = reference.planes
+    n = planes.shape[0]
+    if n <= 1:
+        return np.zeros(reference.num_words, dtype=bool)
+    mask = np.zeros(planes.shape[1], dtype=planes.dtype)
+    prev = planes[0] ^ err[0] if 0 in err else planes[0]
+    for i in range(1, n):
+        cur = planes[i] ^ err[i] if i in err else planes[i]
+        mask |= prev & ~cur
+        prev = cur
+    mask &= pad_mask
+    return unpack_bits(mask, reference.num_words)
+
+
+@allocation_free
 def _row_from_errors(
     reference: PackedBatch,
     err: dict[int, np.ndarray],
     criterion: str,
     pad_mask: np.ndarray,
-    arena: PlaneArena | None = None,
+    arena: PlaneArena,
 ) -> np.ndarray:
     """Detection row of a fault given its output error planes.
 
     The faulty output is ``reference XOR err`` line by line, so the
     ``"reference"`` criterion is just the OR of the error planes, and the
     ``"specification"`` criterion fuses the XOR into the usual adjacent-pair
-    sortedness sweep — no full faulty state is ever materialised.  With an
-    *arena* the sweep temporaries live in pool rows (``out=`` ufuncs, no
-    per-line allocation).
+    sortedness sweep — no full faulty state is ever materialised.  The sweep
+    temporaries live in pool rows of the *arena* (``out=`` ufuncs), so the
+    only allocation is the unpacked boolean result row itself;
+    :func:`_row_from_errors_alloc` is the legacy allocating form.
 
     An empty *err* means the faulty output equals the reference on every
     word: all-false under ``"reference"``, the reference's own violation
@@ -1350,13 +1396,7 @@ def _row_from_errors(
 
     if criterion == "reference":
         if not err:
-            return np.zeros(reference.num_words, dtype=bool)
-        if arena is None:
-            acc: np.ndarray | None = None
-            for e in err.values():
-                acc = e.copy() if acc is None else (acc | e)
-            assert acc is not None
-            return unpack_bits(acc, reference.num_words)
+            return np.zeros(reference.num_words, dtype=bool)  # repro: noqa RPR001 — degenerate result row
         s_acc = arena.acquire()
         acc_row = arena.plane(s_acc)
         first = True
@@ -1372,16 +1412,7 @@ def _row_from_errors(
     planes = reference.planes
     n = planes.shape[0]
     if n <= 1:
-        return np.zeros(reference.num_words, dtype=bool)
-    if arena is None:
-        mask = np.zeros(planes.shape[1], dtype=planes.dtype)
-        prev = planes[0] ^ err[0] if 0 in err else planes[0]
-        for i in range(1, n):
-            cur = planes[i] ^ err[i] if i in err else planes[i]
-            mask |= prev & ~cur
-            prev = cur
-        mask &= pad_mask
-        return unpack_bits(mask, reference.num_words)
+        return np.zeros(reference.num_words, dtype=bool)  # repro: noqa RPR001 — degenerate result row
     s_mask = arena.acquire()
     s_even = arena.acquire()
     s_odd = arena.acquire()
@@ -1483,12 +1514,15 @@ def _fault_rows(
         elif isinstance(result, PackedBatch):
             out[row] = _detection_row(result, reference, criterion, arena=pool)
         else:
-            out[row] = _row_from_errors(
-                reference, result, criterion, pad_mask, arena=pool
+            out[row] = (
+                _row_from_errors(reference, result, criterion, pad_mask, pool)
+                if pool is not None
+                else _row_from_errors_alloc(reference, result, criterion, pad_mask)
             )
     return out
 
 
+@allocation_free
 def _errors_detect(
     reference: PackedBatch,
     err: dict[int, np.ndarray],
@@ -1517,9 +1551,11 @@ def _errors_detect(
             pairs.add(line - 1)
         if line < n - 1:
             pairs.add(line)
-    for j, ref_violates in enumerate(ref_pair_any):
-        if ref_violates and j not in pairs:
-            return True
+    if any(
+        ref_violates and j not in pairs
+        for j, ref_violates in enumerate(ref_pair_any)
+    ):
+        return True
     if arena is None:
         for j in pairs:
             prev = planes[j] ^ err[j] if j in err else planes[j]

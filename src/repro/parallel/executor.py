@@ -34,7 +34,7 @@ from ..core.bitpacked import (
     packed_unsorted_blocks,
 )
 from ..core.network import ComparatorNetwork
-from ..core.scratch import comparator_scratch
+from ..core.scratch import shared_arena
 from ..exceptions import InputLengthError
 from .chunking import chunk_spans, cube_block_spans
 from .config import ExecutionConfig, resolve_config
@@ -103,21 +103,34 @@ def _sorting_chunk_failure(
     """First rank in the block span the network fails to sort, or ``None``."""
     start, stop = span
     packed = packed_cube_range(network.n_lines, start, stop)
-    eligible = None
-    if restrict_to_unsorted_inputs:
-        eligible = packed_unsorted_blocks(packed)
-        if not np.any(eligible):
-            return None
-    # The worker-local scratch row keeps the comparator sweep free of
-    # per-stage allocations (reused across every span this process scans).
-    outputs = apply_network_packed(
-        network, packed, copy=False,
-        scratch=comparator_scratch(packed.n_blocks, packed.planes.dtype),
-    )
-    violation = packed_unsorted_blocks(outputs)
-    if eligible is not None:
-        violation &= eligible
-    return _first_rank(violation, start)
+    # The worker-local arena keeps the whole chunk check free of per-stage
+    # allocations: the comparator sweep stages through ``arena.tmp`` and the
+    # eligibility/violation masks live in pool rows, all reused across every
+    # span this process scans.
+    arena = shared_arena(packed.n_lines, packed.n_blocks, packed.planes.dtype)
+    pad = arena.pad_row(packed.num_words)
+    s_eligible = arena.acquire()
+    s_violation = arena.acquire()
+    try:
+        eligible = None
+        if restrict_to_unsorted_inputs:
+            eligible = packed_unsorted_blocks(
+                packed, out=arena.plane(s_eligible), scratch=arena.tmp, pad=pad
+            )
+            if not np.any(eligible):
+                return None
+        outputs = apply_network_packed(
+            network, packed, copy=False, scratch=arena.tmp
+        )
+        violation = packed_unsorted_blocks(
+            outputs, out=arena.plane(s_violation), scratch=arena.tmp, pad=pad
+        )
+        if eligible is not None:
+            np.bitwise_and(violation, eligible, out=violation)
+        return _first_rank(violation, start)
+    finally:
+        arena.release(s_violation)
+        arena.release(s_eligible)
 
 
 def _selection_chunk_failure(
@@ -129,14 +142,23 @@ def _selection_chunk_failure(
     """First rank in the block span mis-selected by the network, or ``None``."""
     start, stop = span
     inputs = packed_cube_range(network.n_lines, start, stop)
-    outputs = apply_network_packed(
-        network, inputs, copy=True,
-        scratch=comparator_scratch(inputs.n_blocks, inputs.planes.dtype),
-    )
-    violation = packed_selection_violation_blocks(
-        inputs, outputs, k, restrict_to_test_words=restrict_to_test_words
-    )
-    return _first_rank(violation, start)
+    # Worker-local arena: comparator scratch plus the counter planes and
+    # violation mask of the packed selection check, all pool rows.
+    arena = shared_arena(inputs.n_lines, inputs.n_blocks, inputs.planes.dtype)
+    outputs = apply_network_packed(network, inputs, copy=True, scratch=arena.tmp)
+    s_violation = arena.acquire()
+    try:
+        violation = packed_selection_violation_blocks(
+            inputs,
+            outputs,
+            k,
+            restrict_to_test_words=restrict_to_test_words,
+            arena=arena,
+            out=arena.plane(s_violation),
+        )
+        return _first_rank(violation, start)
+    finally:
+        arena.release(s_violation)
 
 
 def _harvest_first(futures):

@@ -16,6 +16,7 @@ platforms it is still zero-copy.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 import secrets
@@ -59,10 +60,8 @@ class SharedArray:
     def unlink(self) -> None:
         """Destroy the segment (parent side, after the pool is done)."""
         self.close()
-        try:
+        with contextlib.suppress(FileNotFoundError):  # pragma: no cover
             self.shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already removed
-            pass
 
 
 def create_shared_array(shape: tuple[int, ...], dtype) -> SharedArray:

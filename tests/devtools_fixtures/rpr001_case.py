@@ -1,0 +1,33 @@
+"""RPR001 fixture: allocating numpy inside ``@allocation_free`` bodies."""
+
+import numpy as np
+
+from repro.core.scratch import allocation_free
+
+
+@allocation_free
+def bad(a, out):
+    tmp = np.zeros(a.shape, dtype=a.dtype)  # EXPECT np.zeros allocates
+    np.bitwise_and(a, a, out=out)
+    masked = np.bitwise_or(a, a)  # EXPECT ufunc without out=
+    bxor = np.bitwise_xor
+    r = bxor(a, a)  # EXPECT aliased ufunc without out=
+    s = bxor(a, a, out=out)
+    c = a.copy()  # EXPECT .copy() allocates
+    d = a.astype(np.uint64)  # EXPECT .astype() allocates
+    e = a.astype(np.uint64, copy=False)
+    np.copyto(out, a)
+    quiet = np.empty(4)  # repro: noqa RPR001 — suppressed on purpose
+    return tmp, masked, r, s, c, d, e, quiet
+
+
+@allocation_free
+def clean(a, out, scratch):
+    np.invert(a, out=scratch)
+    np.bitwise_and(a, scratch, out=out)
+    out.fill(0)
+    return out
+
+
+def undecorated(a):
+    return np.zeros(a.shape)

@@ -1,0 +1,12 @@
+"""RPR002 fixture: hard-coded engine-name collections."""
+
+ENGINES = ("scalar", "vectorized", "bitpacked")  # EXPECT tuple of engine names
+FAST = ["vectorized", "bitpacked"]  # EXPECT list of engine names
+LONELY = ("bitpacked",)
+UNRELATED = ("alpha", "beta")
+QUIET = {"scalar", "vectorized"}  # repro: noqa RPR002 — suppressed on purpose
+
+
+def pick(flag):
+    chosen = ["scalar", "bitpacked"]  # EXPECT list inside a function
+    return chosen if flag else None

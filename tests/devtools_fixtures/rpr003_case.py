@@ -1,0 +1,11 @@
+"""RPR003 fixture: deprecated execution kwargs at shim call sites."""
+
+
+def run(repro, network, faults, vectors, tests):
+    a = repro.is_sorter(network, engine="bitpacked")  # EXPECT engine= kwarg
+    b = repro.fault_coverage(network, faults, vectors, config=None, prune=True)  # EXPECT two legacy kwargs
+    c = repro.is_sorter(network)
+    d = repro.is_selector(network, 2, strategy="testset")
+    e = repro.network_passes_test_set(network, tests, arena=None)  # EXPECT arena= kwarg
+    f = repro.is_merger(network, engine="scalar")  # repro: noqa RPR003 — suppressed on purpose
+    return a, b, c, d, e, f

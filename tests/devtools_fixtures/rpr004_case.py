@@ -1,0 +1,31 @@
+"""RPR004 fixture: fork/pickle hazards on worker-shipped objects."""
+
+from threading import Lock
+
+
+class BadTask:
+    cache = {}  # EXPECT shared mutable class attribute
+
+    def __init__(self, path):
+        self.lock = Lock()  # EXPECT lock stored on task instance
+        self.fh = open(path)  # EXPECT open file stored on task instance
+        self.items = []
+
+    def __call__(self):
+        return len(self.items)
+
+
+class PlainHelper:
+    def __init__(self):
+        self.lock = Lock()
+
+
+class QuietTask:
+    registry = {}  # repro: noqa RPR004 — suppressed on purpose
+
+    def __call__(self):
+        return 0
+
+
+def ship(pool, data):
+    return pool.submit(lambda: data)  # EXPECT lambda does not pickle

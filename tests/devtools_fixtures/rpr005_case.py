@@ -1,0 +1,50 @@
+"""RPR005 fixture: docstring presence and numpydoc section underlines."""
+
+
+def documented(x):
+    """Double *x*.
+
+    Parameters
+    ----------
+    x : int
+        The input.
+
+    Returns
+    -------
+    int
+        Twice the input.
+    """
+    return 2 * x
+
+
+def undocumented(x):  # EXPECT missing docstring
+    return x
+
+
+def bad_underline(x):  # EXPECT Parameters header not dash-underlined
+    """Docstring with a malformed section.
+
+    Parameters
+    ==========
+    x : int
+        The input.
+    """
+    return x
+
+
+def _private(x):
+    return x
+
+
+def quiet(x):  # repro: noqa RPR005 — suppressed on purpose
+    return x
+
+
+class Thing:
+    """A documented class."""
+
+    def method(self):  # EXPECT missing method docstring
+        return 1
+
+    def _hidden(self):
+        return 2

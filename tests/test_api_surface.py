@@ -292,10 +292,9 @@ class TestEngineDowngrade:
 
     def test_permutation_strategy_downgrade_on_verify(self, four_sorter):
         reset_engine_downgrade_warning()
-        with api.Session(engine="bitpacked") as session:
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore")
-                result = session.verify(
-                    four_sorter, "sorter", strategy="permutation"
-                )
+        with api.Session(engine="bitpacked") as session, warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = session.verify(
+                four_sorter, "sorter", strategy="permutation"
+            )
         assert result.execution.engine_effective == "vectorized"

@@ -31,13 +31,13 @@ class TestPaperExample:
     {1111, 1011, 1010, 0010, 0000}."""
 
     PERM = permutation_from_one_based((3, 1, 4, 2))
-    EXPECTED = {
+    EXPECTED = frozenset({
         (1, 1, 1, 1),
         (1, 0, 1, 1),
         (1, 0, 1, 0),
         (0, 0, 1, 0),
         (0, 0, 0, 0),
-    }
+    })
 
     def test_cover_matches_paper(self):
         assert set(cover_of_permutation(self.PERM)) == self.EXPECTED

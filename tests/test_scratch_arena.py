@@ -251,6 +251,7 @@ def test_row_from_errors_empty_dict(with_arena):
         _detection_row,
         _pack_vectors,
         _row_from_errors,
+        _row_from_errors_alloc,
     )
 
     network = batcher_sorting_network(4)
@@ -258,15 +259,23 @@ def test_row_from_errors_empty_dict(with_arena):
     prefix = PrefixStates.build(network, packed)
     reference = prefix.reference()
     pad_mask = reference.pad_mask()
-    arena = PlaneArena(4, packed.n_blocks) if with_arena else None
-    row = _row_from_errors(reference, {}, "reference", pad_mask, arena=arena)
+    if with_arena:
+        arena = PlaneArena(4, packed.n_blocks)
+
+        def row_fn(criterion):
+            return _row_from_errors(reference, {}, criterion, pad_mask, arena)
+
+    else:
+
+        def row_fn(criterion):
+            return _row_from_errors_alloc(reference, {}, criterion, pad_mask)
+
+    row = row_fn("reference")
     assert row.shape == (packed.num_words,)
     assert not row.any()
     # Under "specification" an empty dict degenerates to the reference's
     # own violation row (all-false for a sorter).
-    spec_row = _row_from_errors(
-        reference, {}, "specification", pad_mask, arena=arena
-    )
+    spec_row = row_fn("specification")
     assert np.array_equal(
         spec_row, _detection_row(reference, reference, "specification")
     )

@@ -247,9 +247,8 @@ class TestSessionConstruction:
             Session(engine="no-such-engine")
 
     def test_unknown_property_raises(self, batcher8):
-        with Session() as session:
-            with pytest.raises(TestSetError):
-                session.verify(batcher8, "router")
+        with Session() as session, pytest.raises(TestSetError):
+            session.verify(batcher8, "router")
 
     def test_compare_test_sets_matches_individual_calls(self, four_sorter):
         faults = enumerate_single_faults(four_sorter)
