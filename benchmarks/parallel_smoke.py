@@ -30,6 +30,16 @@ Four workloads, all cross-checked for bit-identical results before timing:
   a tracemalloc probe of the pruned hot loop at ``--alloc-n`` asserts the
   arena's peak allocation does not regress past the allocating path's
   (the allocation counter recorded in the JSON report).
+* **Incremental re-verification** — the mutate-one-comparator retest
+  loop (default ``n = 16``): verify an incumbent Batcher sorter, then
+  for each of a dozen single-comparator mutants verify the candidate and
+  re-verify the incumbent, through a warm cache-enabled
+  ``Session(cache=True)`` vs a cold ``Session(cache=False)``.  Verdicts
+  must be identical (the bit-identity contract of ``docs/CACHING.md``),
+  and the warm loop must beat the cold loop by
+  ``--min-incremental-speedup`` (fifth CI gate): the incumbent re-checks
+  are verdict-memo hits and each mutant restores the longest cached
+  comparator prefix and re-simulates only its suffix.
 * **Session reuse** — repeated ``fault_coverage`` calls through the
   :class:`repro.api.Session` facade vs the legacy free functions
   (``--session-n``, smaller than the main fault size because each side
@@ -45,7 +55,8 @@ required floor/ceiling, the measured value and a status: ``passed``,
 records the host capability (``host.cpu_count``); on a single-CPU machine
 the multi-worker speedup gates (``sharded_speedup``,
 ``pool_reuse_speedup``) are physically impossible to pass and are marked
-``skipped`` rather than failed — ``passed`` reflects only gates the host
+``skipped`` rather than failed, with the host reason recorded inline in
+the gate entry (``reason``) — ``passed`` reflects only gates the host
 could actually run.
 
 Usage::
@@ -54,7 +65,8 @@ Usage::
         --out BENCH_parallel.json [--stream-n 24] [--fault-n 18] \
         [--workers 4] [--repeats 3] [--min-speedup 2] \
         [--min-prune-speedup 1.3] [--min-arena-speedup 1.15] [--alloc-n 14] \
-        [--session-n 12] [--max-session-overhead 1.05] [--min-reuse-speedup 1.05]
+        [--session-n 12] [--max-session-overhead 1.05] [--min-reuse-speedup 1.05] \
+        [--incremental-n 16] [--min-incremental-speedup 2]
 """
 
 from __future__ import annotations
@@ -366,6 +378,89 @@ def arena_workload(n: int, repeats: int, alloc_n: int) -> dict:
     }
 
 
+def incremental_workload(
+    n: int, repeats: int, candidates: int = 12, site_span: int = 8
+) -> dict:
+    """Mutate-one-comparator retest loop, warm vs cold cache (module docstring)."""
+    from repro.api import Session
+    from repro.core.network import Comparator, ComparatorNetwork
+
+    incumbent = batcher_sorting_network(n)
+    comps = list(incumbent.comparators)
+
+    def mutated(index: int) -> ComparatorNetwork:
+        out = list(comps)
+        c = out[index]
+        out[index] = Comparator(c.low, c.high, not c.reversed)
+        return ComparatorNetwork(incumbent.n_lines, out)
+
+    # Single-comparator mutants over the last *site_span* positions — the
+    # shape of an adversary/minimal-search loop, where candidates share a
+    # long comparator prefix with the incumbent.
+    mutants = [
+        mutated(len(comps) - 1 - (k % site_span)) for k in range(candidates)
+    ]
+
+    def retest_loop(session) -> list[bool]:
+        verdicts = [session.verify(incumbent, "sorter", strategy="binary").verdict]
+        for m in mutants:
+            verdicts.append(session.verify(m, "sorter", strategy="binary").verdict)
+            # Reject the mutant, re-verify the incumbent (memo hit warm).
+            verdicts.append(
+                session.verify(incumbent, "sorter", strategy="binary").verdict
+            )
+        return verdicts
+
+    cold_session = Session(engine="bitpacked", cache=False)
+    warm_session = Session(engine="bitpacked", cache=True)
+
+    # Cross-check: warm verdicts are bit-identical to the cold run.
+    cold_verdicts = retest_loop(cold_session)
+    warm_verdicts = retest_loop(warm_session)
+    if cold_verdicts != warm_verdicts:
+        raise AssertionError(
+            "warm-cache retest verdicts differ from the cold run: "
+            f"{warm_verdicts} vs {cold_verdicts}"
+        )
+
+    def warm_from_empty():
+        # Each measurement replays the whole loop against an empty store,
+        # so the timing includes recording the incumbent's prefix — the
+        # realistic first-iteration cost, not a pre-warmed best case.
+        warm_session.cache.clear()
+        retest_loop(warm_session)
+
+    seconds = {
+        "cold": _best_of(repeats, lambda: retest_loop(cold_session)),
+        "warm": _best_of(repeats, warm_from_empty),
+    }
+    warm_session.cache.clear()
+    before = warm_session.cache.stats()
+    retest_loop(warm_session)
+    cache_stats = warm_session.cache.stats().delta(before)
+    cold_session.close()
+    warm_session.close()
+    return {
+        "n": n,
+        "device": f"batcher({n})",
+        "comparators": len(comps),
+        "candidates": candidates,
+        "mutation_site_span": site_span,
+        "verifications_per_loop": 1 + 2 * candidates,
+        "results_identical": True,
+        "sorter_verdicts": sum(cold_verdicts),
+        "seconds": seconds,
+        "incremental_speedup": seconds["cold"] / seconds["warm"],
+        "cache": {
+            "hit_rate": round(cache_stats.hit_rate, 4),
+            "verdict_hits": cache_stats.verdict_hits,
+            "prefix_partial_hits": cache_stats.prefix_partial_hits,
+            "reused_comparators": cache_stats.reused_comparators,
+            "stored_bytes": cache_stats.stored_bytes,
+        },
+    }
+
+
 def session_reuse_workload(n: int, workers: int, repeats: int, calls: int = 5) -> dict:
     """Session facade vs direct calls on repeated coverage runs (module docstring)."""
     import warnings
@@ -519,6 +614,20 @@ def main(argv=None) -> int:
         help="required speedup of the Session's persistent pool over "
         "per-call pools on repeated sharded coverage calls (0 disables)",
     )
+    parser.add_argument(
+        "--incremental-n",
+        type=int,
+        default=16,
+        help="device size for the incremental re-verification workload "
+        "(the mutate-one-comparator retest loop)",
+    )
+    parser.add_argument(
+        "--min-incremental-speedup",
+        type=float,
+        default=2.0,
+        help="required warm-cache speedup on the mutate-one-comparator "
+        "retest loop (0 disables)",
+    )
     parser.add_argument("--out", default="BENCH_parallel.json")
     args = parser.parse_args(argv)
 
@@ -542,6 +651,9 @@ def main(argv=None) -> int:
             "session_reuse": session_reuse_workload(
                 args.session_n, workers, args.repeats
             ),
+            "incremental_reverify": incremental_workload(
+                args.incremental_n, args.repeats
+            ),
         },
         "results_identical": True,
     }
@@ -557,6 +669,8 @@ def main(argv=None) -> int:
     session = report["workloads"]["session_reuse"]
     session_overhead = session["session_overhead_vs_direct"]
     reuse_speedup = session["pool_reuse_speedup"]
+    incremental = report["workloads"]["incremental_reverify"]
+    incremental_speedup = incremental["incremental_speedup"]
 
     # Host capability: a 1-CPU runner cannot physically beat the serial
     # path with worker processes, so the multi-worker speedup gates are
@@ -579,13 +693,19 @@ def main(argv=None) -> int:
         disabled: bool = False,
         needs_multiworker: bool = False,
     ) -> dict:
+        entry = {"required": required, "measured": measured}
         if disabled:
-            status = "disabled"
+            entry["status"] = "disabled"
+            entry["reason"] = "threshold set to 0 on the command line"
         elif needs_multiworker and not multiworker_capable:
-            status = "skipped"
+            entry["status"] = "skipped"
+            entry["reason"] = (
+                f"host has {cpu_count} CPU(s); a multi-worker speedup "
+                "over the serial path is physically impossible here"
+            )
         else:
-            status = "passed" if ok else "failed"
-        return {"required": required, "measured": measured, "status": status}
+            entry["status"] = "passed" if ok else "failed"
+        return entry
 
     gates = {
         "sharded_speedup": gate(
@@ -615,6 +735,11 @@ def main(argv=None) -> int:
             args.min_reuse_speedup, reuse_speedup,
             reuse_speedup >= args.min_reuse_speedup,
             disabled=args.min_reuse_speedup <= 0, needs_multiworker=True,
+        ),
+        "incremental_reverify_speedup": gate(
+            args.min_incremental_speedup, incremental_speedup,
+            incremental_speedup >= args.min_incremental_speedup,
+            disabled=args.min_incremental_speedup <= 0,
         ),
     }
     report["gates"] = gates
@@ -647,7 +772,10 @@ def main(argv=None) -> int:
         f"{alloc_peaks['arena']} B vs {alloc_peaks['alloc']} B), "
         f"session overhead {session_overhead:.3f}x (ceiling "
         f"{args.max_session_overhead:.2f}x), pool-reuse speedup "
-        f"{reuse_speedup:.2f}x (floor {args.min_reuse_speedup:.2f}x)"
+        f"{reuse_speedup:.2f}x (floor {args.min_reuse_speedup:.2f}x), "
+        f"incremental re-verify speedup {incremental_speedup:.2f}x (floor "
+        f"{args.min_incremental_speedup:.2f}x, cache hit rate "
+        f"{incremental['cache']['hit_rate']:.2f})"
     )
     return 0
 

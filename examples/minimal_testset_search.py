@@ -25,6 +25,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import format_rows, height_class_summary
+from repro.cache import default_cache
 from repro.constructions import batcher_sorting_network
 from repro.properties import is_sorter
 from repro.testsets import (
@@ -92,6 +93,10 @@ def height_restricted_classes() -> None:
     print("Section 3: exact minimum test sets for height-restricted classes")
     print("=" * 72)
     rows = []
+    # height_class_summary memoises its reachable-behaviour BFS in the
+    # process-wide result cache (docs/CACHING.md); snapshot the counters
+    # so the reuse across these rows is visible.
+    before = default_cache().stats()
     for n, span, model in [
         (3, 1, "permutation"),
         (4, 1, "permutation"),
@@ -115,6 +120,13 @@ def height_restricted_classes() -> None:
             }
         )
     print(format_rows(rows))
+    print()
+    cache = default_cache().stats().delta(before)
+    print(
+        f"result cache: {cache.memo_hits} memo hits / "
+        f"{cache.memo_misses} misses over these rows "
+        f"(hit rate {cache.hit_rate:.0%})"
+    )
     print()
     print("height 1, permutation model: a single test (the reverse permutation)")
     print("suffices — de Bruijn's theorem, quoted in the paper's Section 3.")

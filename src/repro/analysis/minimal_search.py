@@ -69,6 +69,7 @@ def reachable_function_tables(
     *,
     input_model: str = "binary",
     max_tables: int = 2_000_000,
+    cache=None,
 ) -> dict[FunctionTable, np.ndarray]:
     """All input/output behaviours of networks on *n* lines with span <= *max_span*.
 
@@ -78,7 +79,26 @@ def reachable_function_tables(
     deduplicates on the table, so it terminates even though the class of
     networks is infinite.  ``max_tables`` is a safety valve for accidental
     use with large *n* (the count grows very quickly).
+
+    The closure is **memoised by default** in the process-wide
+    :func:`repro.cache.default_cache` — it depends only on
+    ``(n, max_span, input_model)``, and :func:`height_class_summary` walks
+    it twice per row.  ``cache=False`` recomputes from scratch; an
+    explicit :class:`repro.cache.ResultCache` scopes the storage.
+    Callers must treat the returned mapping as read-only.
     """
+    from ..cache.store import resolve_cache
+
+    store = resolve_cache(cache, default=True)
+    if store is not None:
+        key = ("reachable-tables", n, max_span, input_model, max_tables)
+        return store.memo(
+            key,
+            lambda: reachable_function_tables(
+                n, max_span, input_model=input_model,
+                max_tables=max_tables, cache=False,
+            ),
+        )
     if n < 1:
         raise TestSetError(f"n must be >= 1, got {n}")
     if max_span < 1 or max_span > n - 1:
@@ -123,6 +143,7 @@ def minimum_test_set_for_height_class(
     *,
     input_model: str = "binary",
     exact: bool = True,
+    cache=None,
 ) -> list[tuple[int, ...]]:
     """Smallest test set deciding "is this height-``max_span`` network a sorter?".
 
@@ -132,10 +153,13 @@ def minimum_test_set_for_height_class(
     set is a genuine test set for the class.  With ``max_span = 1`` and the
     permutation model the answer is the single reverse permutation
     (de Bruijn); with ``max_span = n - 1`` and the binary model it is the
-    Theorem 2.2 bound ``2**n - n - 1``.
+    Theorem 2.2 bound ``2**n - n - 1``.  *cache* follows
+    :func:`reachable_function_tables` (memoised by default).
     """
     inputs = _input_matrix(n, input_model)
-    tables = reachable_function_tables(n, max_span, input_model=input_model)
+    tables = reachable_function_tables(
+        n, max_span, input_model=input_model, cache=cache
+    )
     failure_sets: list[frozenset[int]] = []
     for outputs in tables.values():
         failing = np.flatnonzero(~batch_is_sorted(outputs))
@@ -149,16 +173,28 @@ def minimum_test_set_for_height_class(
 
 
 def height_class_summary(
-    n: int, max_span: int, *, input_model: str = "binary", exact: bool = True
+    n: int,
+    max_span: int,
+    *,
+    input_model: str = "binary",
+    exact: bool = True,
+    cache=None,
 ) -> dict[str, object]:
-    """One row of the E9 table: class size, sorter count and minimum test set."""
-    tables = reachable_function_tables(n, max_span, input_model=input_model)
+    """One row of the E9 table: class size, sorter count and minimum test set.
+
+    *cache* follows :func:`reachable_function_tables` (memoised by
+    default), so the two BFS walks behind one summary row share a single
+    closure computation.
+    """
+    tables = reachable_function_tables(
+        n, max_span, input_model=input_model, cache=cache
+    )
     sorter_count = 0
     for outputs in tables.values():
         if bool(np.all(batch_is_sorted(outputs))):
             sorter_count += 1
     test_set = minimum_test_set_for_height_class(
-        n, max_span, input_model=input_model, exact=exact
+        n, max_span, input_model=input_model, exact=exact, cache=cache
     )
     return {
         "n": n,

@@ -19,12 +19,17 @@ generations of loose keyword arguments (``engine=``, ``config=``,
     :class:`CoverageReport`) carrying verdicts bit-identical to the
     legacy free functions plus timings, the effective engine after
     binary-only downgrades, and the planned work grid.
+:mod:`repro.cache`
+    The cross-call result cache behind the Session's ``cache=`` knob
+    (re-exported here as :class:`ResultCache` / :class:`CacheStats`);
+    the caching contract lives in ``docs/CACHING.md``.
 
 The legacy free functions still work; explicitly passing execution
 kwargs to them emits a :class:`DeprecationWarning` pointing here.  See
 the README's "Public API" section for the migration table.
 """
 
+from ..cache.store import CacheStats, ResultCache
 from . import registry
 from .results import (
     CoverageReport,
@@ -43,5 +48,7 @@ __all__ = [
     "TestSetResult",
     "FaultMatrixResult",
     "CoverageReport",
+    "ResultCache",
+    "CacheStats",
     "registry",
 ]

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..cache.store import CacheStats
 from ..faults.simulation import SimulationStats
 
 __all__ = [
@@ -58,6 +59,11 @@ class ExecutionInfo:
         the non-fault workloads.
     seconds : float
         Wall-clock of the call (``time.perf_counter`` based).
+    cache : CacheStats or None
+        What this call took from / added to the Session's result cache
+        (counter fields are per-call deltas, ``stored_bytes`` / ``entries``
+        are the store's state after the call); ``None`` when the Session
+        runs uncached.  See ``docs/CACHING.md``.
     """
 
     engine_requested: str
@@ -66,6 +72,7 @@ class ExecutionInfo:
     chunk_words: int | None
     grid_shape: tuple[int, int] | None
     seconds: float
+    cache: CacheStats | None = None
 
     @property
     def engine_downgraded(self) -> bool:

@@ -31,6 +31,7 @@ import os
 import time
 
 from .._typing import WordLike
+from ..cache.store import CacheStats, ResultCache, resolve_cache
 from ..core.evaluation import (
     check_engine,
     engine_downgrade_count,
@@ -107,6 +108,16 @@ class Session:
         ``None`` (default) uses a Session-owned arena reused across calls,
         an explicit :class:`~repro.core.scratch.PlaneArena` shares that
         instance, ``False`` forces the legacy allocating path.
+    cache : ResultCache, bool, int or None, optional
+        Cross-call result cache (:mod:`repro.cache`; contract in
+        ``docs/CACHING.md``).  ``None`` / ``False`` (default) runs
+        uncached; ``True`` creates a Session-owned
+        :class:`~repro.cache.ResultCache` at the default byte bound; an
+        ``int`` is an explicit ``max_bytes`` bound; an explicit
+        :class:`~repro.cache.ResultCache` is shared (e.g. across
+        Sessions).  Cached calls are **bit-identical** to uncached ones;
+        each call's take is reported on
+        :attr:`ExecutionInfo.cache <repro.api.ExecutionInfo.cache>`.
 
     Examples
     --------
@@ -128,6 +139,7 @@ class Session:
         chunk_size: int | None = None,
         prune: bool = True,
         arena: PlaneArena | bool | None = None,
+        cache: ResultCache | bool | int | None = None,
     ) -> None:
         self.engine = check_engine(engine)
         if workers < 0:
@@ -142,6 +154,10 @@ class Session:
         self.chunk_size = chunk_size
         self.prune = prune
         self.arena = arena
+        # ``True`` builds a Session-owned store (the process-wide
+        # ``default_cache`` stays reserved for the opt-in analysis
+        # helpers); everything else follows ``resolve_cache``.
+        self.cache = ResultCache() if cache is True else resolve_cache(cache)
         self._pool: WorkerPool | None = None
         self._owned_arena: PlaneArena | None = None
 
@@ -155,7 +171,8 @@ class Session:
         Recognised variables (all optional): ``REPRO_ENGINE`` (engine
         name), ``REPRO_WORKERS`` (int, 0 = one per CPU), ``REPRO_CHUNK_SIZE``
         (words per streamed chunk), ``REPRO_PRUNE`` (bool), ``REPRO_ARENA``
-        (bool; ``0`` selects the legacy allocating path).
+        (bool; ``0`` selects the legacy allocating path), ``REPRO_CACHE``
+        (bool; ``1`` enables a Session-owned result cache).
         """
         chunk = os.environ.get("REPRO_CHUNK_SIZE")
         return cls(
@@ -164,6 +181,7 @@ class Session:
             chunk_size=int(chunk) if chunk else None,
             prune=_env_bool("REPRO_PRUNE", True),
             arena=None if _env_bool("REPRO_ARENA", True) else False,
+            cache=_env_bool("REPRO_CACHE", False),
         )
 
     def close(self) -> None:
@@ -190,6 +208,7 @@ class Session:
             f"Session(engine={self.engine!r}, workers={self.workers}, "
             f"chunk_size={self.chunk_size}, prune={self.prune}, "
             f"arena={'owned' if self.arena is None else self.arena!r}, "
+            f"cache={'off' if self.cache is None else self.cache!r}, "
             f"pool={'live' if self._pool is not None and self._pool.active else 'idle'})"
         )
 
@@ -231,13 +250,21 @@ class Session:
             return None
         return config.chunk_words()
 
+    def _cache_before(self) -> CacheStats | None:
+        """Counter snapshot taken at the start of a workload call."""
+        return self.cache.stats() if self.cache is not None else None
+
     def _execution_info(
         self,
         config: ExecutionConfig | None,
         engine_effective: str,
         grid_shape: tuple[int, int] | None,
         seconds: float,
+        cache_before: CacheStats | None = None,
     ) -> ExecutionInfo:
+        cache_stats = None
+        if self.cache is not None and cache_before is not None:
+            cache_stats = self.cache.stats().delta(cache_before)
         return ExecutionInfo(
             engine_requested=self.engine,
             engine_effective=engine_effective,
@@ -245,6 +272,7 @@ class Session:
             chunk_words=self._chunk_words(config),
             grid_shape=grid_shape,
             seconds=seconds,
+            cache=cache_stats,
         )
 
     # ------------------------------------------------------------------
@@ -285,10 +313,12 @@ class Session:
             )
         config = self._config()
         before = engine_downgrade_count()
+        cache_before = self._cache_before()
         start = time.perf_counter()
         if prop == "sorter":
             verdict = _is_sorter_impl(
-                network, strategy=strategy, engine=self.engine, config=config
+                network, strategy=strategy, engine=self.engine, config=config,
+                cache=self.cache,
             )
         elif prop == "selector":
             verdict = _is_selector_impl(
@@ -314,7 +344,9 @@ class Session:
             strategy=strategy,
             k=k if prop == "selector" else None,
             n_lines=network.n_lines,
-            execution=self._execution_info(config, effective, None, seconds),
+            execution=self._execution_info(
+                config, effective, None, seconds, cache_before
+            ),
         )
 
     def passes_test_set(
@@ -341,9 +373,10 @@ class Session:
         words = list(test_words)
         config = self._config()
         before = engine_downgrade_count()
+        cache_before = self._cache_before()
         start = time.perf_counter()
         passed = _network_passes_test_set_impl(
-            network, words, engine=self.engine, config=config
+            network, words, engine=self.engine, config=config, cache=self.cache
         )
         seconds = time.perf_counter() - start
         effective = self.engine
@@ -353,7 +386,9 @@ class Session:
             passed=passed,
             vectors_used=len(words),
             n_lines=network.n_lines,
-            execution=self._execution_info(config, effective, None, seconds),
+            execution=self._execution_info(
+                config, effective, None, seconds, cache_before
+            ),
         )
 
     def fault_matrix(
@@ -386,6 +421,7 @@ class Session:
         """
         config = self._config()
         stats = SimulationStats()
+        cache_before = self._cache_before()
         start = time.perf_counter()
         matrix = _fault_detection_matrix_impl(
             network,
@@ -397,6 +433,7 @@ class Session:
             prune=self.prune,
             stats=stats,
             arena=self._fault_arena(),
+            cache=self.cache,
         )
         seconds = time.perf_counter() - start
         return FaultMatrixResult(
@@ -406,7 +443,7 @@ class Session:
             num_vectors=matrix.shape[1],
             stats=stats,
             execution=self._execution_info(
-                config, self.engine, stats.planned_grid, seconds
+                config, self.engine, stats.planned_grid, seconds, cache_before
             ),
         )
 
@@ -435,6 +472,7 @@ class Session:
         """
         config = self._config()
         stats = SimulationStats()
+        cache_before = self._cache_before()
         start = time.perf_counter()
         legacy = _coverage_report_impl(
             network,
@@ -446,6 +484,7 @@ class Session:
             prune=self.prune,
             stats=stats,
             arena=self._fault_arena(),
+            cache=self.cache,
         )
         seconds = time.perf_counter() - start
         return CoverageReport(
@@ -457,7 +496,7 @@ class Session:
             criterion=criterion,
             stats=stats,
             execution=self._execution_info(
-                config, self.engine, stats.planned_grid, seconds
+                config, self.engine, stats.planned_grid, seconds, cache_before
             ),
         )
 

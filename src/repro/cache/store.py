@@ -1,0 +1,495 @@
+"""The content-addressed result store: LRU, byte-bounded, per-process.
+
+A :class:`ResultCache` holds four regions, all charged against one byte
+budget and evicted least-recently-used first (see ``docs/CACHING.md``
+for the full contract):
+
+*prefix region*
+    Fault-free :class:`~repro.faults.simulation.PrefixStates`, keyed by
+    ``(input token, engine, n_lines, n_blocks)`` context plus the
+    comparator-code sequence.  A by-hash index maps **every prefix** of
+    every stored entry to the entry, so the longest cached prefix of a
+    new network is found with one dictionary probe per candidate length
+    (:meth:`ResultCache.prefix_lookup`); hash matches are verified
+    against the code sequence before reuse.
+*verdict region*
+    Small per-chunk / per-call results (detection rows, boolean verdicts,
+    pruning-counter deltas) under exact hashable keys.
+*input region*
+    Packed input planes (:class:`~repro.core.bitpacked.PackedBatch`)
+    keyed by input token, so repeated calls on the same vectors skip
+    re-packing.
+*memo region*
+    A generic ``memo(key, compute)`` for pure derived values (e.g. the
+    reachable-function-table BFS of :mod:`repro.analysis.minimal_search`).
+
+The cache is deliberately per-process and lock-free: worker processes of
+a sharded run build their own (:mod:`repro.parallel.fault_shard`), and
+the parent's entries never cross a process boundary.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, fields, replace
+import sys
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..faults.simulation import PrefixStates
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "CacheStats",
+    "ResultCache",
+    "default_cache",
+    "resolve_cache",
+]
+
+#: Default byte budget: 64 MiB holds ~500 prefix entries at the
+#: benchmark's n=16 full-cube geometry (16 KiB per comparator).
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Flat per-entry bookkeeping charge (keys, dict slots, counters).
+_ENTRY_OVERHEAD = 256
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of (or a delta between) cache counters.
+
+    Attributes
+    ----------
+    prefix_hits : int
+        Prefix-state lookups answered entirely from the store.
+    prefix_partial_hits : int
+        Lookups that restored a shorter cached prefix and recomputed
+        only the suffix.
+    prefix_misses : int
+        Lookups that found no usable prefix.
+    reused_comparators : int
+        Total comparators restored from cached deltas instead of being
+        re-simulated (full hits count the whole network).
+    verdict_hits, verdict_misses : int
+        Verdict-region lookups.
+    input_hits, input_misses : int
+        Packed-input-region lookups.
+    memo_hits, memo_misses : int
+        Generic memo-region lookups.
+    evictions : int
+        Entries evicted to stay inside the byte budget.
+    stored_bytes : int
+        Bytes currently charged against the budget (absolute, even in a
+        per-call delta).
+    entries : int
+        Entries currently stored (absolute, even in a per-call delta).
+    """
+
+    prefix_hits: int = 0
+    prefix_partial_hits: int = 0
+    prefix_misses: int = 0
+    reused_comparators: int = 0
+    verdict_hits: int = 0
+    verdict_misses: int = 0
+    input_hits: int = 0
+    input_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    evictions: int = 0
+    stored_bytes: int = 0
+    entries: int = 0
+
+    #: Counter fields that subtract in :meth:`delta` (the two absolute
+    #: gauges ``stored_bytes`` / ``entries`` are carried over as-is).
+    _COUNTERS = (
+        "prefix_hits", "prefix_partial_hits", "prefix_misses",
+        "reused_comparators", "verdict_hits", "verdict_misses",
+        "input_hits", "input_misses", "memo_hits", "memo_misses",
+        "evictions",
+    )
+
+    @property
+    def hits(self) -> int:
+        """Total hits across all regions (partial prefix hits included)."""
+        return (
+            self.prefix_hits + self.prefix_partial_hits + self.verdict_hits
+            + self.input_hits + self.memo_hits
+        )
+
+    @property
+    def misses(self) -> int:
+        """Total misses across all regions."""
+        return (
+            self.prefix_misses + self.verdict_misses + self.input_misses
+            + self.memo_misses
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 when nothing was looked up."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def delta(self, before: CacheStats) -> CacheStats:
+        """The counter changes since an earlier snapshot.
+
+        Counter fields subtract; the ``stored_bytes`` / ``entries``
+        gauges keep their current absolute values, so a per-call delta
+        still reports how full the cache is.
+
+        Parameters
+        ----------
+        before : CacheStats
+            The earlier snapshot.
+
+        Returns
+        -------
+        CacheStats
+            The per-interval delta.
+        """
+        changes = {
+            name: getattr(self, name) - getattr(before, name)
+            for name in self._COUNTERS
+        }
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, int]:
+        """The raw fields as a plain dict (benchmark / JSON friendly)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class _PrefixEntry:
+    """One stored prefix-state record (internal)."""
+
+    __slots__ = ("key", "context", "codes", "hashes", "states", "nbytes")
+
+    def __init__(self, key, context, codes, hashes, states, nbytes):
+        self.key = key
+        self.context = context
+        self.codes = codes
+        self.hashes = hashes
+        self.states = states
+        self.nbytes = nbytes
+
+
+def _estimate_bytes(value: Any) -> int:
+    """Approximate retained size of a verdict/memo value."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return sys.getsizeof(value) + sum(_estimate_bytes(v) for v in value)
+    if isinstance(value, dict):
+        return sys.getsizeof(value) + sum(
+            _estimate_bytes(k) + _estimate_bytes(v) for k, v in value.items()
+        )
+    return sys.getsizeof(value)
+
+
+class ResultCache:
+    """Byte-bounded, LRU, content-addressed store (module docstring).
+
+    Parameters
+    ----------
+    max_bytes : int
+        Byte budget shared by all four regions.  When an insertion pushes
+        the total above the budget, least-recently-used entries are
+        evicted (prefix region first — its entries are the largest —
+        then inputs, verdicts, memos) until the total fits again; the
+        entry just inserted is never evicted, so a single oversized
+        entry is kept alone rather than thrashing.
+
+    Attributes
+    ----------
+    max_bytes : int
+        The configured budget.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._prefix: OrderedDict[tuple, _PrefixEntry] = OrderedDict()
+        self._prefix_index: dict[tuple, OrderedDict[tuple, None]] = {}
+        self._inputs: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
+        self._verdicts: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
+        self._memos: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
+        self._bytes = 0
+        self._counts = dict.fromkeys(CacheStats._COUNTERS, 0)
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """A frozen snapshot of the current counters and occupancy."""
+        return CacheStats(
+            stored_bytes=self._bytes,
+            entries=(
+                len(self._prefix) + len(self._inputs)
+                + len(self._verdicts) + len(self._memos)
+            ),
+            **self._counts,
+        )
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        self._prefix.clear()
+        self._prefix_index.clear()
+        self._inputs.clear()
+        self._verdicts.clear()
+        self._memos.clear()
+        self._bytes = 0
+
+    # -- prefix region -------------------------------------------------
+    def prefix_lookup(
+        self,
+        context: tuple,
+        codes: tuple[int, ...],
+        hashes: tuple[int, ...],
+    ) -> tuple[PrefixStates | None, int]:
+        """Longest cached prefix of *codes* under *context*.
+
+        Parameters
+        ----------
+        context : tuple
+            ``(input token, engine, n_lines, n_blocks)``.
+        codes : tuple of int
+            Comparator codes of the new network
+            (:func:`repro.cache.keys.comparator_codes`).
+        hashes : tuple of int
+            Rolling prefix hashes of *codes*
+            (:func:`repro.cache.keys.prefix_hashes`).
+
+        Returns
+        -------
+        (PrefixStates or None, int)
+            The donor states and the verified common prefix length; a
+            full hit returns ``(states, len(codes))``, a miss
+            ``(None, 0)``.  Counters are bumped accordingly.
+        """
+        size = len(codes)
+        entry = self._prefix.get((context, codes))
+        if entry is not None:
+            self._prefix.move_to_end((context, codes))
+            self._counts["prefix_hits"] += 1
+            self._counts["reused_comparators"] += size
+            return entry.states, size
+        for length in range(size, 0, -1):
+            bucket = self._prefix_index.get((context, hashes[length], length))
+            if not bucket:
+                continue
+            for key in reversed(bucket):
+                donor = self._prefix.get(key)
+                if donor is not None and donor.codes[:length] == codes[:length]:
+                    self._prefix.move_to_end(key)
+                    self._counts["prefix_partial_hits"] += 1
+                    self._counts["reused_comparators"] += length
+                    return donor.states, length
+        self._counts["prefix_misses"] += 1
+        return None, 0
+
+    def prefix_store(
+        self,
+        context: tuple,
+        codes: tuple[int, ...],
+        hashes: tuple[int, ...],
+        states: PrefixStates,
+    ) -> None:
+        """Insert freshly recorded prefix states (evicting as needed).
+
+        Parameters
+        ----------
+        context, codes, hashes : tuple
+            As in :meth:`prefix_lookup`.
+        states : PrefixStates
+            The record to keep; the cache takes (shared) ownership — the
+            arrays must not be backed by transient shared memory.
+        """
+        key = (context, codes)
+        old = self._prefix.pop(key, None)
+        if old is not None:
+            self._discharge_prefix(old)
+        nbytes = (
+            int(states.deltas.nbytes) + int(states.input_planes.nbytes)
+            + _ENTRY_OVERHEAD * (len(codes) + 1)
+        )
+        entry = _PrefixEntry(key, context, codes, hashes, states, nbytes)
+        self._prefix[key] = entry
+        for length in range(1, len(codes) + 1):
+            self._prefix_index.setdefault(
+                (context, hashes[length], length), OrderedDict()
+            )[key] = None
+        self._bytes += nbytes
+        self._evict(self._prefix, key)
+
+    def _discharge_prefix(self, entry: _PrefixEntry) -> None:
+        self._bytes -= entry.nbytes
+        for length in range(1, len(entry.codes) + 1):
+            index_key = (entry.context, entry.hashes[length], length)
+            bucket = self._prefix_index.get(index_key)
+            if bucket is not None:
+                bucket.pop(entry.key, None)
+                if not bucket:
+                    del self._prefix_index[index_key]
+
+    # -- flat regions --------------------------------------------------
+    def get_input(self, token: tuple) -> Any | None:
+        """The packed batch stored under *token*, or ``None``."""
+        hit = self._inputs.get(token)
+        if hit is None:
+            self._counts["input_misses"] += 1
+            return None
+        self._inputs.move_to_end(token)
+        self._counts["input_hits"] += 1
+        return hit[0]
+
+    def put_input(self, token: tuple, packed: Any) -> None:
+        """Store a packed batch under *token* (charged by plane bytes)."""
+        nbytes = int(packed.planes.nbytes) + _ENTRY_OVERHEAD
+        self._put_flat(self._inputs, token, packed, nbytes)
+
+    def get_verdict(self, key: tuple) -> Any | None:
+        """The verdict stored under *key*, or ``None`` (a miss)."""
+        hit = self._verdicts.get(key)
+        if hit is None:
+            self._counts["verdict_misses"] += 1
+            return None
+        self._verdicts.move_to_end(key)
+        self._counts["verdict_hits"] += 1
+        return hit[0]
+
+    def put_verdict(self, key: tuple, value: Any) -> None:
+        """Store a verdict value (size estimated, ``None`` reserved).
+
+        Values larger than an eighth of the byte budget are silently
+        dropped: a single giant fault matrix would otherwise evict every
+        prefix entry the incremental front end depends on.
+        """
+        if value is None:
+            raise ValueError("None is the miss sentinel; cannot store it")
+        nbytes = _estimate_bytes(value) + _ENTRY_OVERHEAD
+        if nbytes > self.max_bytes // 8:
+            return
+        self._put_flat(self._verdicts, key, value, nbytes)
+
+    def memo(self, key: tuple, compute: Callable[[], Any]) -> Any:
+        """Return the memoised value for *key*, computing it on a miss.
+
+        Parameters
+        ----------
+        key : tuple
+            Exact hashable identity of the computation (inputs + knobs).
+        compute : callable
+            Zero-argument producer, called only on a miss; its result
+            must be treated as immutable by all callers.
+
+        Returns
+        -------
+        Any
+            The cached or freshly computed value.
+        """
+        hit = self._memos.get(key)
+        if hit is not None:
+            self._memos.move_to_end(key)
+            self._counts["memo_hits"] += 1
+            return hit[0]
+        self._counts["memo_misses"] += 1
+        value = compute()
+        if value is not None:
+            self._put_flat(
+                self._memos, key, value, _estimate_bytes(value) + _ENTRY_OVERHEAD
+            )
+        return value
+
+    def _put_flat(
+        self,
+        store: OrderedDict[tuple, tuple[Any, int]],
+        key: tuple,
+        value: Any,
+        nbytes: int,
+    ) -> None:
+        old = store.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        store[key] = (value, nbytes)
+        self._bytes += nbytes
+        self._evict(store, key)
+
+    # -- eviction ------------------------------------------------------
+    def _evict(self, protected_store, protected_key) -> None:
+        """Pop LRU entries until the budget fits (never the newest)."""
+        stores = (self._prefix, self._inputs, self._verdicts, self._memos)
+        while self._bytes > self.max_bytes:
+            victim_store = None
+            for store in stores:
+                floor = 1 if store is protected_store else 0
+                if len(store) > floor:
+                    victim_store = store
+                    break
+            if victim_store is None:
+                return
+            key, entry = victim_store.popitem(last=False)
+            if victim_store is self._prefix:
+                self._discharge_prefix(entry)
+            else:
+                self._bytes -= entry[1]
+            self._counts["evictions"] += 1
+
+
+_DEFAULT_CACHE: ResultCache | None = None
+
+
+def default_cache() -> ResultCache:
+    """The lazily created process-wide cache (:data:`DEFAULT_MAX_BYTES`).
+
+    Used by the workloads that opt in by default
+    (:func:`repro.testsets.adversary.sorts_exactly_all_but`,
+    :func:`repro.analysis.minimal_search.reachable_function_tables`) and
+    by sharded workers; a :class:`repro.api.Session` owns its own store
+    unless one is passed in explicitly.
+
+    Returns
+    -------
+    ResultCache
+        The shared per-process instance.
+    """
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ResultCache()
+    return _DEFAULT_CACHE
+
+
+def resolve_cache(
+    cache: ResultCache | bool | int | None,
+    *,
+    default: bool = False,
+) -> ResultCache | None:
+    """Normalise a public ``cache=`` knob to a store or ``None``.
+
+    Parameters
+    ----------
+    cache : ResultCache, bool, int, or None
+        ``None`` means "the caller's default" (*default* below);
+        ``False`` disables caching; ``True`` selects the process-wide
+        :func:`default_cache`; an int builds a dedicated store with that
+        byte budget; a :class:`ResultCache` is used as-is.
+    default : bool
+        What ``None`` resolves to: ``False`` → no caching (the
+        :class:`repro.api.Session` default), ``True`` → the process-wide
+        cache (the opt-in-by-default analysis workloads).
+
+    Returns
+    -------
+    ResultCache or None
+        The store to consult, or ``None`` for the uncached path.
+    """
+    if cache is None:
+        return default_cache() if default else None
+    if cache is False:
+        return None
+    if cache is True:
+        return default_cache()
+    if isinstance(cache, int):
+        return ResultCache(max_bytes=cache)
+    return cache

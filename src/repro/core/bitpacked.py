@@ -60,6 +60,7 @@ __all__ = [
     "apply_network_packed",
     "apply_comparators_packed",
     "packed_is_sorted",
+    "packed_is_sorted_arena",
     "packed_unsorted_blocks",
     "packed_equal",
     "packed_zero_count_planes",
@@ -412,6 +413,47 @@ def packed_is_sorted(packed: PackedBatch) -> np.ndarray:
     if packed.n_lines <= 1:
         return np.ones(num_words, dtype=bool)
     return ~unpack_bits(packed_unsorted_blocks(packed), num_words)
+
+
+@allocation_free
+def packed_is_sorted_arena(packed: PackedBatch, arena) -> bool:
+    """Single verdict: is *every* word of *packed* sorted?  (Arena-backed.)
+
+    The property checkers' violation mask under the
+    :class:`~repro.core.scratch.PlaneArena` discipline: the unsorted-word
+    mask of :func:`packed_unsorted_blocks` lands in two borrowed arena
+    rows (with the arena's cached pad row) instead of fresh plane-sized
+    allocations, then reduces to one bool.  Same verdict as
+    ``bool(packed_is_sorted(packed).all())``, nothing retained.
+
+    Parameters
+    ----------
+    packed : PackedBatch
+        The batch to judge.
+    arena : PlaneArena
+        An arena already serving this plane geometry; two rows are
+        acquired and released around the sweep.
+
+    Returns
+    -------
+    bool
+        ``True`` when no word violates sortedness.
+    """
+    if packed.n_lines <= 1:
+        return True
+    out_slot = arena.acquire()
+    scratch_slot = arena.acquire()
+    try:
+        mask = packed_unsorted_blocks(
+            packed,
+            out=arena.plane(out_slot),
+            scratch=arena.plane(scratch_slot),
+            pad=arena.pad_row(packed.num_words),
+        )
+        return not bool(mask.any())
+    finally:
+        arena.release(scratch_slot)
+        arena.release(out_slot)
 
 
 @allocation_free

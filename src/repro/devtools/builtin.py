@@ -15,6 +15,10 @@ RPR004 task objects shipped to ``WorkerPool`` workers capture no   parallel
        unpicklable resources or shared mutable class state
 RPR005 public functions in un-grandfathered modules carry          ``src``
        numpydoc docstrings
+RPR006 fault-free prefix states are acquired through               ``src``
+       ``repro.cache.acquire_prefix_states`` — direct
+       ``PrefixStates.build(...)`` calls bypass the cache's
+       incremental front end
 ====== =========================================================== ==========
 
 RPR001 is deliberately conservative: it flags *calls* (``np.zeros(...)``,
@@ -41,6 +45,7 @@ __all__ = [
     "LegacyExecKwargsRule",
     "WorkerShippingRule",
     "DocstringRule",
+    "PrefixBuildRule",
 ]
 
 # ----------------------------------------------------------------------
@@ -566,3 +571,54 @@ class DocstringRule(Rule):
                         f"{stripped!r} header without a dashed "
                         "numpydoc underline",
                     )
+
+
+# ----------------------------------------------------------------------
+# RPR006 — prefix states go through the cache's incremental front end
+# ----------------------------------------------------------------------
+@register_rule
+class PrefixBuildRule(Rule):
+    """RPR006: ``PrefixStates.build`` only inside ``repro.cache``."""
+
+    id = "RPR006"
+    summary = (
+        "fault-free prefix states must be acquired through "
+        "repro.cache.acquire_prefix_states — direct PrefixStates.build() "
+        "calls bypass prefix reuse"
+    )
+    scope = "src"
+
+    #: The sanctioned call site: the incremental front end itself (its
+    #: cold path *is* the build call).
+    exempt_modules = frozenset({"repro.cache.restore"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``PrefixStates.build(...)`` calls (however qualified)."""
+        if ctx.module in self.exempt_modules or (
+            ctx.module is not None and ctx.module.startswith("repro.devtools")
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if not (
+                isinstance(callee, ast.Attribute) and callee.attr == "build"
+            ):
+                continue
+            owner = callee.value
+            owner_name = (
+                owner.id
+                if isinstance(owner, ast.Name)
+                else owner.attr
+                if isinstance(owner, ast.Attribute)
+                else None
+            )
+            if owner_name == "PrefixStates":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct PrefixStates.build() call — acquire prefix "
+                    "states through repro.cache.acquire_prefix_states "
+                    "(prefix reuse, bit-identical) instead",
+                )

@@ -146,13 +146,14 @@ def _fault_coverage_impl(
     prune: bool = True,
     stats: SimulationStats | None = None,
     arena: PlaneArena | bool | None = None,
+    cache=None,
 ) -> float:
     """Non-deprecating form of :func:`fault_coverage` (Session backend)."""
     if not faults:
         return 1.0
     detected = _fault_detection_any_impl(
         network, faults, test_vectors, criterion=criterion, engine=engine,
-        config=config, prune=prune, stats=stats, arena=arena,
+        config=config, prune=prune, stats=stats, arena=arena, cache=cache,
     )
     return float(np.mean(detected))
 
@@ -204,12 +205,13 @@ def _coverage_report_impl(
     prune: bool = True,
     stats: SimulationStats | None = None,
     arena: PlaneArena | bool | None = None,
+    cache=None,
 ) -> CoverageReport:
     """Non-deprecating form of :func:`coverage_report` (Session backend)."""
     detected = (
         _fault_detection_any_impl(
             network, faults, test_vectors, criterion=criterion, engine=engine,
-            config=config, prune=prune, stats=stats, arena=arena,
+            config=config, prune=prune, stats=stats, arena=arena, cache=cache,
         )
         if faults
         else np.zeros(0, dtype=bool)

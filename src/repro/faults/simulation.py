@@ -113,6 +113,7 @@ from .models import (
 )
 
 if TYPE_CHECKING:
+    from ..cache.store import ResultCache
     from ..parallel.config import ExecutionConfig
 
 __all__ = [
@@ -354,12 +355,17 @@ def _fault_detection_matrix_impl(
     prune: bool = True,
     stats: SimulationStats | None = None,
     arena: PlaneArena | bool | None = None,
+    cache: ResultCache | None = None,
 ) -> np.ndarray:
     """Non-deprecating form of :func:`fault_detection_matrix`.
 
     This is what the :class:`repro.api.Session` facade (and the other
     internal callers) invoke; the public free function is a thin shim over
     it that warns when legacy execution kwargs are passed explicitly.
+    *cache* is a :class:`repro.cache.ResultCache` consulted by the
+    bit-packed paths for prefix states, packed inputs and per-chunk
+    verdict rows; results are bit-identical with or without it (other
+    engines ignore it).
     """
     if criterion not in DETECTION_CRITERIA:
         raise FaultModelError(
@@ -377,6 +383,7 @@ def _fault_detection_matrix_impl(
         prune=prune,
         stats=stats,
         arena=arena,
+        cache=cache,
         reduce="matrix",
     )
 
@@ -436,8 +443,12 @@ def _fault_detection_any_impl(
     prune: bool = True,
     stats: SimulationStats | None = None,
     arena: PlaneArena | bool | None = None,
+    cache: ResultCache | None = None,
 ) -> np.ndarray:
-    """Non-deprecating form of :func:`fault_detection_any` (Session backend)."""
+    """Non-deprecating form of :func:`fault_detection_any` (Session backend).
+
+    *cache* follows :func:`_fault_detection_matrix_impl`.
+    """
     if criterion not in DETECTION_CRITERIA:
         raise FaultModelError(
             f"unknown detection criterion {criterion!r}; "
@@ -454,6 +465,7 @@ def _fault_detection_any_impl(
         prune=prune,
         stats=stats,
         arena=arena,
+        cache=cache,
         reduce="any",
     )
 
@@ -470,6 +482,7 @@ def _detection_run(
     stats: SimulationStats | None,
     arena: PlaneArena | bool | None,
     reduce: str,
+    cache: ResultCache | None = None,
 ) -> np.ndarray:
     """Shared dispatcher behind the two public entry points."""
     vectors = _normalise_vectors(network, test_vectors, engine)
@@ -483,6 +496,11 @@ def _detection_run(
         # Serial single-shot unless a dispatcher below overwrites it with
         # the shard / streamed grid it actually plans.
         stats.planned_grid = (1, 1)
+    base_token = (
+        _vectors_token(network, vectors)
+        if cache is not None and engine == "bitpacked"
+        else None
+    )
     if config is not None and config.parallel and len(faults) > 1:
         from ..parallel.fault_shard import sharded_fault_detection_matrix
 
@@ -496,6 +514,8 @@ def _detection_run(
             prune=prune,
             stats=stats,
             arena=arena,
+            cache=cache,
+            base_token=base_token,
             reduce=reduce,
         )
     if engine == "bitpacked" and (
@@ -512,6 +532,8 @@ def _detection_run(
             prune=prune,
             stats=stats,
             arena=arena,
+            cache=cache,
+            base_token=base_token,
             reduce=reduce,
         )
     if engine == "scalar":
@@ -519,13 +541,24 @@ def _detection_run(
     elif engine == "bitpacked":
         matrix = _bitpacked_detection_matrix(
             network, faults, vectors, criterion, prune=prune, stats=stats,
-            arena=arena,
+            arena=arena, cache=cache, base_token=base_token,
         )
     else:
         matrix = _vectorized_detection_matrix(
             network, faults, vectors, criterion, engine=engine
         )
     return matrix if reduce == "matrix" else matrix.any(axis=1)
+
+
+def _vectors_token(network: ComparatorNetwork, vectors) -> tuple:
+    """Content token of a normalised vector source (cache key ingredient)."""
+    from ..cache.keys import array_token, words_token
+
+    if isinstance(vectors, CubeVectors):
+        return ("cube", vectors.n)
+    if isinstance(vectors, np.ndarray):
+        return array_token(vectors)
+    return words_token(vectors, network.n_lines)
 
 
 def _normalise_vectors(
@@ -1705,6 +1738,8 @@ def _streamed_bitpacked_detection(
     prune: bool,
     stats: SimulationStats | None,
     arena: PlaneArena | bool | None = None,
+    cache: ResultCache | None = None,
+    base_token: tuple | None = None,
     reduce: str,
 ) -> np.ndarray:
     """Serial streamed detection: one packed chunk (and its prefix states)
@@ -1712,18 +1747,58 @@ def _streamed_bitpacked_detection(
     chunk.  In any-reduction mode verdicts come straight from the packed
     violation masks and (with *prune*) faults detected by an earlier chunk
     are dropped from later ones.  The scratch arena is resolved per chunk
-    (same geometry → a pure reset, so equal-sized chunks share one arena)."""
+    (same geometry → a pure reset, so equal-sized chunks share one arena).
+    With a *cache*, prefix states are acquired through the incremental
+    front end and whole chunk verdicts (plus their pruning-counter deltas)
+    are replayed on a hit — bit-identical either way, including the
+    accumulated :class:`SimulationStats`."""
+    from ..cache.restore import acquire_prefix_states
+
     num_faults = len(faults)
     chunks_seen = 0
+    caching = cache is not None and base_token is not None
+    net_token: tuple = ()
+    faults_token: tuple = ()
+    if caching:
+        from ..cache.keys import network_token
+
+        net_token = network_token(network)
+        faults_token = tuple(repr(fault) for fault in faults)
     if reduce == "any":
         detected = np.zeros(num_faults, dtype=bool)
-        for _word_start, packed in _iter_packed_chunks(network, vectors, config):
+        for word_start, packed in _iter_packed_chunks(network, vectors, config):
             chunks_seen += 1
-            prefix = PrefixStates.build(network, packed)
+            if not caching:
+                prefix = acquire_prefix_states(network, packed)
+                _fault_any(
+                    network, faults, prefix, criterion, detected,
+                    prune=prune, stats=stats, arena=arena,
+                )
+                continue
+            token = (*base_token, word_start, packed.num_words)
+            # The incoming detected mask is part of the key: under fault
+            # dropping a chunk's work depends on what earlier chunks found.
+            verdict_key = (
+                "fault-any", net_token, token, criterion, bool(prune),
+                faults_token, detected.tobytes(),
+            )
+            hit = cache.get_verdict(verdict_key)
+            if hit is not None:
+                np.copyto(detected, hit[0])
+                if stats is not None:
+                    stats.merge_counts(hit[1])
+                continue
+            local = SimulationStats()
+            prefix = acquire_prefix_states(
+                network, packed, cache=cache, token=token, arena=arena
+            )
             _fault_any(
                 network, faults, prefix, criterion, detected,
-                prune=prune, stats=stats, arena=arena,
+                prune=prune, stats=local, arena=arena,
             )
+            cache.put_verdict(verdict_key, (detected.copy(), local.counts()))
+            if stats is not None:
+                stats.merge_counts(local.counts())
         if stats is not None:
             stats.planned_grid = (1, chunks_seen)
         return detected
@@ -1731,14 +1806,35 @@ def _streamed_bitpacked_detection(
     rows: np.ndarray | None = None
     for word_start, packed in _iter_packed_chunks(network, vectors, config):
         chunks_seen += 1
-        prefix = PrefixStates.build(network, packed)
-        if rows is None or rows.shape[1] != packed.num_words:
-            rows = np.zeros((num_faults, packed.num_words), dtype=bool)
-        _fault_rows(
-            network, faults, prefix, criterion, rows, prune=prune, stats=stats,
+        token = verdict_key = None
+        if caching:
+            token = (*base_token, word_start, packed.num_words)
+            verdict_key = (
+                "fault-rows", net_token, token, criterion, bool(prune),
+                faults_token,
+            )
+            hit = cache.get_verdict(verdict_key)
+            if hit is not None:
+                out[:, word_start : word_start + packed.num_words] = hit[0]
+                if stats is not None:
+                    stats.merge_counts(hit[1])
+                continue
+        prefix = acquire_prefix_states(
+            network, packed, cache=cache if caching else None, token=token,
             arena=arena,
         )
+        if rows is None or rows.shape[1] != packed.num_words:
+            rows = np.zeros((num_faults, packed.num_words), dtype=bool)
+        local = SimulationStats() if caching else None
+        _fault_rows(
+            network, faults, prefix, criterion, rows,
+            prune=prune, stats=local if caching else stats, arena=arena,
+        )
         out[:, word_start : word_start + packed.num_words] = rows
+        if caching:
+            cache.put_verdict(verdict_key, (rows.copy(), local.counts()))
+            if stats is not None:
+                stats.merge_counts(local.counts())
     if stats is not None:
         stats.planned_grid = (1, chunks_seen)
     return out
@@ -1753,14 +1849,49 @@ def _bitpacked_detection_matrix(
     prune: bool = True,
     stats: SimulationStats | None = None,
     arena: PlaneArena | bool | None = None,
+    cache: ResultCache | None = None,
+    base_token: tuple | None = None,
 ) -> np.ndarray:
-    packed_input = _pack_vectors(network, vectors)
-    prefix = PrefixStates.build(network, packed_input)
-    matrix = np.zeros((len(faults), packed_input.num_words), dtype=bool)
-    return _fault_rows(
-        network, faults, prefix, criterion, matrix, prune=prune, stats=stats,
-        arena=arena,
+    from ..cache.restore import acquire_prefix_states
+
+    caching = cache is not None and base_token is not None
+    if not caching:
+        packed_input = _pack_vectors(network, vectors)
+        prefix = acquire_prefix_states(network, packed_input)
+        matrix = np.zeros((len(faults), packed_input.num_words), dtype=bool)
+        return _fault_rows(
+            network, faults, prefix, criterion, matrix, prune=prune,
+            stats=stats, arena=arena,
+        )
+    from ..cache.keys import network_token
+
+    token = (*base_token, 0, len(vectors))
+    verdict_key = (
+        "fault-rows", network_token(network), token, criterion, bool(prune),
+        tuple(repr(fault) for fault in faults),
     )
+    hit = cache.get_verdict(verdict_key)
+    if hit is not None:
+        if stats is not None:
+            stats.merge_counts(hit[1])
+        return hit[0].copy()
+    packed_input = cache.get_input(token)
+    if packed_input is None:
+        packed_input = _pack_vectors(network, vectors)
+        cache.put_input(token, packed_input)
+    prefix = acquire_prefix_states(
+        network, packed_input, cache=cache, token=token, arena=arena
+    )
+    matrix = np.zeros((len(faults), packed_input.num_words), dtype=bool)
+    local = SimulationStats()
+    _fault_rows(
+        network, faults, prefix, criterion, matrix, prune=prune,
+        stats=local, arena=arena,
+    )
+    cache.put_verdict(verdict_key, (matrix.copy(), local.counts()))
+    if stats is not None:
+        stats.merge_counts(local.counts())
+    return matrix
 
 
 def _pack_vectors(network: ComparatorNetwork, vectors) -> PackedBatch:

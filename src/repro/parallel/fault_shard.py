@@ -225,6 +225,8 @@ def _init_grid_worker(
     chunks: list[tuple[int, int, int]],
     out_spec,
     reduce: str,
+    use_cache: bool = False,
+    base_token: tuple | None = None,
 ) -> None:
     _WORKER["network"] = network
     _WORKER["faults"] = faults
@@ -237,26 +239,42 @@ def _init_grid_worker(
     _WORKER["raw"] = attach_shared_array(raw_spec) if raw_spec is not None else None
     _WORKER["out"] = attach_shared_array(out_spec)
     _WORKER["chunk_cache"] = None
+    _WORKER["use_cache"] = use_cache
+    _WORKER["base_token"] = base_token
 
 
 def _grid_chunk_prefix(chunk_index: int):
-    """The (cached) prefix states of one vector chunk, built locally."""
+    """The (cached) prefix states of one vector chunk, built locally.
+
+    With caching enabled the worker consults its own process-local
+    :func:`repro.cache.default_cache` through the incremental front end,
+    so repeated runs against a warm pool reuse prefix states across
+    calls; either way a one-entry memo keeps the current chunk's record
+    alive between the fault tiles that share it.
+    """
+    from ..cache.restore import acquire_prefix_states
     from ..core.bitpacked import pack_batch, packed_cube_range
-    from ..faults.simulation import PrefixStates
 
     cached = _WORKER.get("chunk_cache")
     if cached is not None and cached[0] == chunk_index:  # type: ignore[index]
         return cached[1]  # type: ignore[index]
     network: ComparatorNetwork = _WORKER["network"]  # type: ignore[assignment]
     chunks: list[tuple[int, int, int]] = _WORKER["chunks"]  # type: ignore[assignment]
-    _word_start, lo, hi = chunks[chunk_index]
+    word_start, lo, hi = chunks[chunk_index]
     cube_n = int(_WORKER["cube_n"])  # type: ignore[arg-type]
     if cube_n >= 0:
         packed = packed_cube_range(cube_n, lo, hi)
     else:
         raw: SharedArray = _WORKER["raw"]  # type: ignore[assignment]
         packed = pack_batch(raw.array[lo:hi], n_lines=network.n_lines)
-    prefix = PrefixStates.build(network, packed)
+    cache = token = None
+    base_token = _WORKER.get("base_token")
+    if _WORKER.get("use_cache") and base_token is not None:
+        from ..cache.store import default_cache
+
+        cache = default_cache()
+        token = (*base_token, word_start, packed.num_words)
+    prefix = acquire_prefix_states(network, packed, cache=cache, token=token)
     _WORKER["chunk_cache"] = (chunk_index, prefix)
     return prefix
 
@@ -362,6 +380,8 @@ def sharded_fault_detection_matrix(
     prune: bool = True,
     stats=None,
     arena=None,
+    cache=None,
+    base_token: tuple | None = None,
     reduce: str = "matrix",
 ) -> np.ndarray:
     """Fault- and vector-axis sharded detection, bit-identical to serial.
@@ -400,6 +420,15 @@ def sharded_fault_detection_matrix(
         parent-owned arena cannot cross the process boundary usefully);
         only ``False`` — disable arenas, run the legacy allocating path —
         is forwarded to them.
+    cache : ResultCache, optional
+        Parent-side result store (:mod:`repro.cache`): the shared prefix
+        states of the fault-sharded path are acquired through the
+        incremental front end, and grid workers opt into their own
+        process-local default cache (cache objects never cross the
+        process boundary).  Requires *base_token*.
+    base_token : tuple, optional
+        Content token of the normalised vector source (computed by the
+        dispatcher); ``None`` disables caching.
     reduce : {"matrix", "any"}, optional
         ``"matrix"`` returns the full boolean matrix; ``"any"`` reduces the
         vector axis per chunk and returns a ``(num_faults,)`` vector, never
@@ -411,13 +440,15 @@ def sharded_fault_detection_matrix(
         ``(num_faults, num_vectors)`` boolean matrix, or the
         ``(num_faults,)`` any-reduction.
     """
-    from ..faults.simulation import CubeVectors, PrefixStates, _pack_vectors
+    from ..cache.restore import acquire_prefix_states
+    from ..faults.simulation import CubeVectors, _pack_vectors
 
     cfg = resolve_config(config)
     fault_list = list(faults)
     num_vectors = len(vectors)
     workers = cfg.resolved_workers()
     use_arena = arena is not False
+    caching = cache is not None and base_token is not None
     if not fault_list:
         shape = (0, num_vectors) if reduce == "matrix" else (0,)
         return np.zeros(shape, dtype=bool)
@@ -434,6 +465,8 @@ def sharded_fault_detection_matrix(
             prune=prune,
             stats=stats,
             use_arena=use_arena,
+            use_cache=caching,
+            base_token=base_token if caching else None,
             reduce=reduce,
         )
     spans = shard_spans(len(fault_list), workers)
@@ -443,7 +476,14 @@ def sharded_fault_detection_matrix(
     matrix_shared = create_shared_array((len(fault_list), num_vectors), np.bool_)
     try:
         if engine == "bitpacked":
-            packed_input = _pack_vectors(network, vectors)
+            packed_input = None
+            token = (*base_token, 0, num_vectors) if caching else None
+            if caching:
+                packed_input = cache.get_input(token)
+            if packed_input is None:
+                packed_input = _pack_vectors(network, vectors)
+                if caching:
+                    cache.put_input(token, packed_input)
             dtype = packed_input.planes.dtype
             input_shared = create_shared_array(packed_input.planes.shape, dtype)
             deltas_shared = create_shared_array(
@@ -451,8 +491,12 @@ def sharded_fault_detection_matrix(
             )
             try:
                 input_shared.array[...] = packed_input.planes
-                PrefixStates.build(
-                    network, packed_input, deltas_out=deltas_shared.array
+                acquire_prefix_states(
+                    network,
+                    packed_input,
+                    cache=cache if caching else None,
+                    token=token,
+                    deltas_out=deltas_shared.array,
                 )
                 all_counts = _map_work(
                     cfg,
@@ -510,6 +554,8 @@ def _grid_detection(
     prune: bool,
     stats,
     use_arena: bool,
+    use_cache: bool = False,
+    base_token: tuple | None = None,
     reduce: str,
 ) -> np.ndarray:
     """The 2-D (faults × vector-chunks) grid (module docstring)."""
@@ -551,6 +597,8 @@ def _grid_detection(
                 chunks,
                 out_shared.spec,
                 reduce,
+                use_cache,
+                base_token,
             ),
             _run_grid_tile,
             tiles,

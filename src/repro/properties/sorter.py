@@ -46,7 +46,9 @@ from ..core.bitpacked import (
     pack_batch,
     packed_all_binary_words,
     packed_is_sorted,
+    packed_is_sorted_arena,
 )
+from ..core.scratch import shared_arena
 from ..core.evaluation import (
     all_binary_words_array,
     apply_network_to_batch,
@@ -84,7 +86,10 @@ def _outputs_all_sorted(
     if engine == "bitpacked":
         packed = pack_batch(batch, n_lines=network.n_lines)
         outputs = apply_network_packed(network, packed, copy=False)
-        return bool(np.all(packed_is_sorted(outputs)))
+        # The violation mask lands in arena rows (RPR001 discipline), not
+        # a fresh per-word boolean array.
+        arena = shared_arena(network.n_lines, packed.n_blocks, packed.planes.dtype)
+        return packed_is_sorted_arena(outputs, arena)
     outputs = apply_network_to_batch(network, batch, copy=False, engine=engine)
     return bool(np.all(batch_is_sorted(outputs)))
 
@@ -136,8 +141,15 @@ def _is_sorter_impl(
     strategy: str = "testset",
     engine: str = "vectorized",
     config: ExecutionConfig | None = None,
+    cache=None,
 ) -> bool:
-    """Non-deprecating form of :func:`is_sorter` (Session backend)."""
+    """Non-deprecating form of :func:`is_sorter` (Session backend).
+
+    With a *cache* (:class:`repro.cache.ResultCache`), the bit-packed
+    ``strategy="binary"`` check routes through
+    :func:`repro.cache.cached_cube_sorted` — a verdict memo plus prefix
+    restore, bit-identical to the plain cube sweep.
+    """
     if strategy not in SORTER_STRATEGIES:
         raise TestSetError(
             f"unknown strategy {strategy!r}; choose one of {SORTER_STRATEGIES}"
@@ -145,6 +157,15 @@ def _is_sorter_impl(
     check_engine(engine)
     n = network.n_lines
     streaming = config is not None and config.streaming
+    if (
+        cache is not None
+        and engine == "bitpacked"
+        and strategy == "binary"
+        and not streaming
+    ):
+        from ..cache.restore import cached_cube_sorted
+
+        return cached_cube_sorted(network, cache=cache)
     if streaming and engine == "bitpacked" and strategy in ("binary", "testset"):
         from ..parallel.executor import streamed_is_sorter
 
@@ -169,7 +190,8 @@ def _is_sorter_impl(
         if engine == "bitpacked":
             packed = packed_all_binary_words(n)
             outputs = apply_network_packed(network, packed, copy=False)
-            return bool(np.all(packed_is_sorted(outputs)))
+            arena = shared_arena(n, packed.n_blocks, packed.planes.dtype)
+            return packed_is_sorted_arena(outputs, arena)
         return _outputs_all_sorted(network, all_binary_words_array(n), engine=engine)
     if strategy == "testset":
         return _outputs_all_sorted(

@@ -241,17 +241,85 @@ def failing_inputs(network: ComparatorNetwork) -> list[BinaryWord]:
     return [tuple(int(v) for v in row) for row in inputs[mask]]
 
 
-def sorts_exactly_all_but(network: ComparatorNetwork, sigma: WordLike) -> bool:
-    """Does the network sort every binary word except exactly *sigma*?"""
+def sorts_exactly_all_but(
+    network: ComparatorNetwork, sigma: WordLike, *, cache=None
+) -> bool:
+    """Does the network sort every binary word except exactly *sigma*?
+
+    Caching is **opt-in by default**: ``cache=None`` consults the
+    process-wide :func:`repro.cache.default_cache` (verdict memo per
+    exact network, packed-cube input reuse, and prefix restore — so the
+    brute-force odometer of :func:`brute_force_near_sorter`, whose
+    candidates share long comparator prefixes, re-simulates only
+    suffixes).  Pass ``cache=False`` for the legacy vectorized sweep, or
+    an explicit :class:`repro.cache.ResultCache` to scope the storage.
+    The verdict is identical on every path.
+    """
     word = check_binary(sigma)
     if len(word) != network.n_lines:
         return False
+    from ..cache.store import resolve_cache
+
+    store = resolve_cache(cache, default=True)
+    if store is not None:
+        from ..cache.keys import network_token
+
+        key = ("all-but", network_token(network), word)
+        hit = store.get_verdict(key)
+        if hit is not None:
+            return bool(hit)
+        verdict = _packed_sorts_all_but(network, word, store)
+        store.put_verdict(key, verdict)
+        return verdict
     inputs = all_binary_words_array(network.n_lines)
     outputs = apply_network_to_batch(network, inputs)
     mask = batch_is_sorted(outputs)
     expected = np.ones(inputs.shape[0], dtype=bool)
     expected[word_rank(word)] = False
     return bool(np.array_equal(mask, expected))
+
+
+def _packed_sorts_all_but(
+    network: ComparatorNetwork, word: BinaryWord, store
+) -> bool:
+    """Packed-row compare: unsorted-output mask == {the one expected word}.
+
+    Runs on the cached packed cube with prefix restore; the per-block
+    violation mask lands in arena rows and is compared against the single
+    bit of ``word_rank(word)`` without expanding to per-word booleans.
+    """
+    from ..cache.keys import cube_token
+    from ..cache.restore import acquire_prefix_states, cached_cube_packed
+    from ..core.bitpacked import BLOCK_BITS, packed_unsorted_blocks
+    from ..core.scratch import shared_arena
+
+    n = network.n_lines
+    packed = cached_cube_packed(n, store)
+    states = acquire_prefix_states(
+        network, packed, cache=store, token=cube_token(n)
+    )
+    arena = shared_arena(n, packed.n_blocks, packed.planes.dtype)
+    outputs = states.state_after(network.size, out=arena.state)
+    out_slot = arena.acquire()
+    scratch_slot = arena.acquire()
+    try:
+        mask = packed_unsorted_blocks(
+            outputs,
+            out=arena.plane(out_slot),
+            scratch=arena.plane(scratch_slot),
+            pad=arena.pad_row(outputs.num_words),
+        )
+        block, bit = divmod(word_rank(word), BLOCK_BITS)
+        expected_block = np.uint64(1) << np.uint64(bit)
+        if mask[block] != expected_block:
+            return False
+        mask[block] = np.uint64(0)
+        clean = not bool(mask.any())
+        mask[block] = expected_block
+        return clean
+    finally:
+        arena.release(scratch_slot)
+        arena.release(out_slot)
 
 
 def verify_near_sorter(sigma: WordLike, network: ComparatorNetwork) -> None:

@@ -154,12 +154,23 @@ def _network_passes_test_set_impl(
     *,
     engine: str = "vectorized",
     config=None,
+    cache=None,
 ) -> bool:
-    """Non-deprecating form of :func:`network_passes_test_set` (Session backend)."""
+    """Non-deprecating form of :func:`network_passes_test_set` (Session backend).
+
+    With a *cache* (a :class:`repro.cache.ResultCache`) and the bit-packed
+    engine on binary words, the verdict is memoised per exact network and
+    input fingerprint, and on a verdict miss the simulation reuses the
+    longest cached comparator prefix — same ``True``/``False`` either way.
+    """
     check_engine(engine)
     rows = list(test_words)
     if not rows:
         return True
+    if cache is not None and engine == "bitpacked" and config is None:
+        verdict = _cached_passes(network, rows, cache)
+        if verdict is not None:
+            return verdict
     if config is not None and config.streaming:
         from ..parallel.executor import chunked_words_all_sorted
 
@@ -171,6 +182,42 @@ def _network_passes_test_set_impl(
     batch, engine = narrow_binary_batch(batch, engine)
     outputs = apply_network_to_batch(network, batch, copy=False, engine=engine)
     return bool(np.all(batch_is_sorted(outputs)))
+
+
+def _cached_passes(
+    network: ComparatorNetwork, rows: list, cache
+) -> bool | None:
+    """Cache-served test-set verdict, or ``None`` when not cacheable.
+
+    Non-binary words (permutation test sets) fall back to the ordinary
+    path — the cache only covers the bit-packed 0/1 pipeline.
+    """
+    from ..cache.keys import array_token, network_token
+    from ..cache.restore import acquire_prefix_states
+    from ..core.bitpacked import pack_batch, packed_is_sorted_arena
+    from ..core.scratch import shared_arena
+    from ..exceptions import NotBinaryError
+
+    batch = words_to_array(rows, dtype=np.int64, n_lines=network.n_lines)
+    input_token = array_token(batch)
+    key = ("passes", network_token(network), input_token)
+    hit = cache.get_verdict(key)
+    if hit is not None:
+        return bool(hit)
+    token = (*input_token, 0, len(rows))
+    packed = cache.get_input(token)
+    if packed is None:
+        try:
+            packed = pack_batch(batch, n_lines=network.n_lines)
+        except NotBinaryError:
+            return None
+        cache.put_input(token, packed)
+    states = acquire_prefix_states(network, packed, cache=cache, token=token)
+    arena = shared_arena(network.n_lines, packed.n_blocks, packed.planes.dtype)
+    outputs = states.state_after(network.size, out=arena.state)
+    verdict = bool(packed_is_sorted_arena(outputs, arena))
+    cache.put_verdict(key, verdict)
+    return verdict
 
 
 # ----------------------------------------------------------------------

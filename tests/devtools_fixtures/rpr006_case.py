@@ -1,0 +1,29 @@
+"""RPR006 fixture: direct ``PrefixStates.build`` calls outside the cache."""
+
+from repro.cache import acquire_prefix_states
+from repro.faults import simulation
+from repro.faults.simulation import PrefixStates
+
+
+def naive(network, packed):
+    return PrefixStates.build(network, packed)  # EXPECT bare-name receiver
+
+
+def qualified(network, packed):
+    return simulation.PrefixStates.build(network, packed)  # EXPECT dotted receiver
+
+
+def sanctioned(network, packed, cache, token):
+    return acquire_prefix_states(network, packed, cache=cache, token=token)
+
+
+def constructor_is_fine(deltas, state, codes):
+    return PrefixStates(deltas, state, codes)
+
+
+def other_builders(builder):
+    return builder.build()
+
+
+def suppressed(network, packed):
+    return PrefixStates.build(network, packed)  # repro: noqa RPR006 — suppressed on purpose

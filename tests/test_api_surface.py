@@ -43,10 +43,12 @@ from repro.testsets import network_passes_test_set, sorting_binary_test_set
 class TestApiSurface:
     def test_api_exports(self):
         assert sorted(api.__all__) == [
+            "CacheStats",
             "CoverageReport",
             "ExecutionInfo",
             "FaultMatrixResult",
             "PROPERTIES",
+            "ResultCache",
             "Session",
             "TestSetResult",
             "VerificationResult",
@@ -55,7 +57,9 @@ class TestApiSurface:
 
     def test_session_constructor_signature(self):
         params = inspect.signature(api.Session).parameters
-        assert list(params) == ["engine", "workers", "chunk_size", "prune", "arena"]
+        assert list(params) == [
+            "engine", "workers", "chunk_size", "prune", "arena", "cache",
+        ]
         assert all(
             p.kind is inspect.Parameter.KEYWORD_ONLY for p in params.values()
         )
@@ -66,6 +70,7 @@ class TestApiSurface:
             "chunk_size": None,
             "prune": True,
             "arena": None,
+            "cache": None,
         }
 
     @pytest.mark.parametrize(
@@ -94,6 +99,7 @@ class TestApiSurface:
                     "chunk_words",
                     "grid_shape",
                     "seconds",
+                    "cache",
                 ],
             ),
             (

@@ -48,7 +48,9 @@ def rule_lines(path: Path, rule_id: str) -> list[int]:
 # ----------------------------------------------------------------------
 # Golden fixtures, one per rule
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("rule_id", ["RPR001", "RPR002", "RPR003", "RPR004"])
+@pytest.mark.parametrize(
+    "rule_id", ["RPR001", "RPR002", "RPR003", "RPR004", "RPR006"]
+)
 def test_rule_fires_exactly_on_expect_markers(rule_id):
     fixture = FIXTURES / f"rpr{rule_id[3:]}_case.py"
     assert rule_lines(fixture, rule_id) == expected_lines(fixture)
@@ -81,6 +83,15 @@ def test_rpr002_exempts_the_registry_module():
     exempt = FileContext.from_source("src/repro/_registry.py", source)
     assert list(rule.check(exempt)) == []
     plain = FileContext.from_source("src/repro/other.py", source)
+    assert len(list(rule.check(plain))) == 1
+
+
+def test_rpr006_exempts_the_cache_restore_module():
+    rule = get_rule("RPR006")
+    source = "states = PrefixStates.build(network, packed)\n"
+    exempt = FileContext.from_source("src/repro/cache/restore.py", source)
+    assert list(rule.check(exempt)) == []
+    plain = FileContext.from_source("src/repro/faults/other.py", source)
     assert len(list(rule.check(plain))) == 1
 
 
@@ -171,6 +182,7 @@ def test_every_rule_is_registered():
         "RPR003",
         "RPR004",
         "RPR005",
+        "RPR006",
     ]
 
 

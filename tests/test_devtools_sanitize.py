@@ -23,6 +23,7 @@ from repro.core.bitpacked import (
     apply_comparators_packed,
     apply_network_packed,
     packed_count_gt_blocks,
+    packed_is_sorted_arena,
     packed_selection_violation_blocks,
     packed_unsorted_blocks,
     packed_zero_count_planes,
@@ -156,6 +157,15 @@ def test_packed_count_gt_blocks(env):
     )
 
 
+def test_packed_is_sorted_arena(env):
+    run_budgeted(
+        lambda: packed_is_sorted_arena(env.packed, env.arena),
+        transient=TIGHT,
+        retained=TIGHT,
+        label="packed_is_sorted_arena",
+    )
+
+
 def test_packed_selection_violation_blocks(env):
     run_budgeted(
         lambda: packed_selection_violation_blocks(
@@ -250,6 +260,7 @@ COVERED = {
     "repro.core.bitpacked.packed_unsorted_blocks",
     "repro.core.bitpacked.packed_zero_count_planes",
     "repro.core.bitpacked.packed_count_gt_blocks",
+    "repro.core.bitpacked.packed_is_sorted_arena",
     "repro.core.bitpacked.packed_selection_violation_blocks",
     "repro.faults.simulation.PrefixStates.state_after",
     "repro.faults.simulation._pruned_fault_errors",

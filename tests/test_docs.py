@@ -4,8 +4,8 @@ Two guarantees: (a) every public symbol of :mod:`repro.parallel` and
 :mod:`repro.faults` carries a docstring and the modules render cleanly
 under :mod:`pydoc` (the CI lint job runs the same sweep), and (b) the
 committed documentation artefacts — ``EXPERIMENTS.md``,
-``docs/ARCHITECTURE.md`` — exist and still mention what the README links
-them for, so a stale regeneration fails fast.
+``docs/ARCHITECTURE.md``, ``docs/CACHING.md`` — exist and still mention
+what the README links them for, so a stale regeneration fails fast.
 """
 
 from __future__ import annotations
@@ -38,6 +38,10 @@ DOCUMENTED_MODULES = [
     "repro.api.session",
     "repro.api.results",
     "repro.api.registry",
+    "repro.cache",
+    "repro.cache.keys",
+    "repro.cache.store",
+    "repro.cache.restore",
 ]
 
 
@@ -109,3 +113,31 @@ def test_architecture_doc_is_committed_and_linked():
     assert "EXPERIMENTS.md" in readme
     assert "Public API" in readme, "README lost the Public API section"
     assert "Session" in readme
+
+
+def test_caching_doc_is_committed_and_linked():
+    doc = REPO_ROOT / "docs" / "CACHING.md"
+    assert doc.is_file(), "docs/CACHING.md must be committed (see README)"
+    text = doc.read_text()
+    # The contract's load-bearing sections, as linked from README and
+    # ARCHITECTURE: key anatomy, prefix-hash reuse, eviction,
+    # bit-identity and the negative advice.
+    for marker in (
+        "cube-sorted",
+        "fault-any",
+        "prefix_hashes",
+        "acquire_prefix_states",
+        "bit-identical",
+        "least-recently-used",
+        "RPR006",
+        "When *not* to cache",
+        "ResultCache",
+        "CacheStats",
+    ):
+        assert marker in text, f"docs/CACHING.md lost {marker!r}"
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/CACHING.md" in readme, "README must link docs/CACHING.md"
+    assert "cache=True" in readme
+    architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    assert "CACHING.md" in architecture
+    assert "repro.cache" in architecture
