@@ -1,6 +1,6 @@
 """Benchmark smoke run for the parallel subsystem → BENCH_parallel.json.
 
-Four workloads, all cross-checked for bit-identical results before timing:
+Seven workloads, all cross-checked for bit-identical results before timing:
 
 * **Streamed exhaustive verification** — sortedness of a Batcher sorter
   over the full ``2**n`` cube (default ``n = 24``), comparing the
@@ -40,6 +40,16 @@ Four workloads, all cross-checked for bit-identical results before timing:
   ``--min-incremental-speedup`` (fifth CI gate): the incumbent re-checks
   are verdict-memo hits and each mutant restores the longest cached
   comparator prefix and re-simulates only its suffix.
+* **Multi-fault diagnosis** — the pruned ``k = 2`` :class:`MultiFault`
+  universe of a Batcher sorter (default ``n = 7``; the registry's
+  canonical composite universe over the comparator single faults) against
+  the Theorem 2.2 test set, diagnosed through ``Session.diagnose``.  The
+  fault-axis-sharded pool and the verdict-memo cache must reproduce the
+  serial run's fault dictionary, diagnostic-resolution report and
+  adaptive test order *exactly* (the flag-less
+  ``multi_fault_diagnosis_exact`` gate); the report records the
+  dictionary-build time (serial vs warm cache) and the resolution
+  numbers (classes, singletons, undetected residue).
 * **Session reuse** — repeated ``fault_coverage`` calls through the
   :class:`repro.api.Session` facade vs the legacy free functions
   (``--session-n``, smaller than the main fault size because each side
@@ -66,7 +76,7 @@ Usage::
         [--workers 4] [--repeats 3] [--min-speedup 2] \
         [--min-prune-speedup 1.3] [--min-arena-speedup 1.15] [--alloc-n 14] \
         [--session-n 12] [--max-session-overhead 1.05] [--min-reuse-speedup 1.05] \
-        [--incremental-n 16] [--min-incremental-speedup 2]
+        [--incremental-n 16] [--min-incremental-speedup 2] [--diagnosis-n 7]
 """
 
 from __future__ import annotations
@@ -461,6 +471,83 @@ def incremental_workload(
     }
 
 
+def diagnosis_workload(n: int, workers: int, repeats: int) -> dict:
+    """Multi-fault dictionary build + diagnostic resolution (module docstring)."""
+    from repro.api import Session
+    from repro.faults import enumerate_model_faults
+    from repro.faults.diagnosis import fault_dictionary_from_matrix
+
+    device = batcher_sorting_network(n)
+    # The registry's canonical MultiFault universe: conflict-free k=2
+    # subsets of the comparator single faults, dominance-pruned on the
+    # exhaustive cube (n <= 10 here, so the behavioural screen runs).
+    universe = enumerate_model_faults(device, "MultiFault")
+    vectors = unsorted_binary_words_array(n)
+
+    serial = Session(engine="bitpacked")
+    sharded = Session(engine="bitpacked", workers=max(2, workers))
+    cached = Session(engine="bitpacked", cache=True)
+
+    # Exact-result gate: the sharded pool and the verdict-memo cache must
+    # reproduce the serial dictionary, resolution report and adaptive
+    # order bit-for-bit — the diagnosis face of the bit-identity contract.
+    baseline = serial.diagnose(device, universe, vectors)
+    replays = {
+        "sharded": sharded.diagnose(device, universe, vectors),
+        "cache_fill": cached.diagnose(device, universe, vectors),
+        "warm_cache": cached.diagnose(device, universe, vectors),
+    }
+    for name, result in replays.items():
+        if (
+            result.dictionary.signatures != baseline.dictionary.signatures
+            or result.dictionary.classes != baseline.dictionary.classes
+            or result.resolution != baseline.resolution
+            or result.test_order != baseline.test_order
+        ):
+            raise AssertionError(
+                f"{name} diagnosis differs from the serial run"
+            )
+
+    def build_dictionary(session) -> None:
+        matrix = session.fault_matrix(device, universe, vectors).matrix
+        fault_dictionary_from_matrix(universe, matrix)
+
+    seconds = {
+        "dictionary_serial": _best_of(
+            repeats, lambda: build_dictionary(serial)
+        ),
+        "dictionary_warm_cache": _best_of(
+            repeats, lambda: build_dictionary(cached)
+        ),
+    }
+    resolution = baseline.resolution
+    serial.close()
+    sharded.close()
+    cached.close()
+    return {
+        "n": n,
+        "device": f"batcher({n})",
+        "fault_model": "MultiFault",
+        "faults": len(universe),
+        "vectors": int(vectors.shape[0]),
+        "results_identical": True,
+        "seconds": seconds,
+        # Full Session.diagnose wall-clock (matrix + dictionary +
+        # resolution + greedy adaptive order) of the serial baseline.
+        "diagnose_seconds": baseline.execution.seconds,
+        "adaptive_order_length": len(baseline.test_order),
+        "resolution": {
+            "num_faults": resolution.num_faults,
+            "num_classes": resolution.num_classes,
+            "singleton_classes": resolution.singleton_classes,
+            "max_class_size": resolution.max_class_size,
+            "undetected_faults": resolution.undetected_faults,
+            "resolution": round(resolution.resolution, 4),
+            "fully_resolved": resolution.fully_resolved,
+        },
+    }
+
+
 def session_reuse_workload(n: int, workers: int, repeats: int, calls: int = 5) -> dict:
     """Session facade vs direct calls on repeated coverage runs (module docstring)."""
     import warnings
@@ -628,6 +715,15 @@ def main(argv=None) -> int:
         help="required warm-cache speedup on the mutate-one-comparator "
         "retest loop (0 disables)",
     )
+    parser.add_argument(
+        "--diagnosis-n",
+        type=int,
+        default=7,
+        help="device size for the multi-fault diagnosis workload (the "
+        "pruned k=2 MultiFault universe grows quadratically in the "
+        "comparator count and the adaptive-order greedy is "
+        "class-count-bound; keep this modest)",
+    )
     parser.add_argument("--out", default="BENCH_parallel.json")
     args = parser.parse_args(argv)
 
@@ -654,6 +750,9 @@ def main(argv=None) -> int:
             "incremental_reverify": incremental_workload(
                 args.incremental_n, args.repeats
             ),
+            "multi_fault_diagnosis": diagnosis_workload(
+                args.diagnosis_n, workers, args.repeats
+            ),
         },
         "results_identical": True,
     }
@@ -671,6 +770,7 @@ def main(argv=None) -> int:
     reuse_speedup = session["pool_reuse_speedup"]
     incremental = report["workloads"]["incremental_reverify"]
     incremental_speedup = incremental["incremental_speedup"]
+    diagnosis = report["workloads"]["multi_fault_diagnosis"]
 
     # Host capability: a 1-CPU runner cannot physically beat the serial
     # path with worker processes, so the multi-worker speedup gates are
@@ -741,6 +841,15 @@ def main(argv=None) -> int:
             incremental_speedup >= args.min_incremental_speedup,
             disabled=args.min_incremental_speedup <= 0,
         ),
+        # Flag-less exactness gate (like arena_alloc_peak): the workload
+        # raises before timing on any divergence, so reaching this point
+        # means the sharded and warm-cache diagnoses matched the serial
+        # dictionary bit-for-bit — recorded here so the report says so.
+        "multi_fault_diagnosis_exact": gate(
+            1.0,
+            1.0 if diagnosis["results_identical"] else 0.0,
+            bool(diagnosis["results_identical"]),
+        ),
     }
     report["gates"] = gates
     failed = [name for name, g in gates.items() if g["status"] == "failed"]
@@ -775,7 +884,11 @@ def main(argv=None) -> int:
         f"{reuse_speedup:.2f}x (floor {args.min_reuse_speedup:.2f}x), "
         f"incremental re-verify speedup {incremental_speedup:.2f}x (floor "
         f"{args.min_incremental_speedup:.2f}x, cache hit rate "
-        f"{incremental['cache']['hit_rate']:.2f})"
+        f"{incremental['cache']['hit_rate']:.2f}), multi-fault diagnosis "
+        f"n={args.diagnosis_n} exact across serial/sharded/warm-cache "
+        f"({diagnosis['faults']} composites, resolution "
+        f"{diagnosis['resolution']['resolution']:.3f}, dictionary "
+        f"{diagnosis['seconds']['dictionary_serial']:.3f}s serial)"
     )
     return 0
 

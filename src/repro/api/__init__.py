@@ -8,7 +8,8 @@ generations of loose keyword arguments (``engine=``, ``config=``,
     Owns the execution configuration *and* the reusable resources behind
     it (persistent worker pool, scratch-plane arena) and exposes
     ``verify`` / ``passes_test_set`` / ``fault_matrix`` /
-    ``fault_coverage``, each returning a typed result object.
+    ``fault_coverage`` / ``diagnose``, each returning a typed result
+    object.
 :mod:`repro.api.registry`
     The engine / fault-model registry that replaced the hard-coded
     ``EVALUATION_ENGINES`` tuple — plug-in engines become valid
@@ -33,6 +34,7 @@ from ..cache.store import CacheStats, ResultCache
 from . import registry
 from .results import (
     CoverageReport,
+    DiagnosisResult,
     ExecutionInfo,
     FaultMatrixResult,
     TestSetResult,
@@ -48,6 +50,7 @@ __all__ = [
     "TestSetResult",
     "FaultMatrixResult",
     "CoverageReport",
+    "DiagnosisResult",
     "ResultCache",
     "CacheStats",
     "registry",

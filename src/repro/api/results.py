@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cache.store import CacheStats
+from ..faults.diagnosis import DiagnosticResolution, FaultDictionary
 from ..faults.simulation import SimulationStats
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "TestSetResult",
     "FaultMatrixResult",
     "CoverageReport",
+    "DiagnosisResult",
 ]
 
 
@@ -198,6 +200,11 @@ class CoverageReport:
         Pruning / work counters of the run.
     execution : ExecutionInfo
         Timing, effective engine and the planned work grid.
+    resolution : DiagnosticResolution or None
+        Diagnostic-resolution report of the same run; populated by
+        :meth:`repro.api.Session.diagnose` (which materialises the
+        detection matrix), ``None`` for the constant-memory
+        :meth:`repro.api.Session.fault_coverage` path.
     """
 
     total_faults: int
@@ -206,5 +213,46 @@ class CoverageReport:
     by_kind: Mapping[str, tuple[int, int]]
     vectors_used: int
     criterion: str
+    stats: SimulationStats
+    execution: ExecutionInfo
+    resolution: DiagnosticResolution | None = None
+
+
+@dataclass(frozen=True)
+class DiagnosisResult:
+    """Outcome of :meth:`repro.api.Session.diagnose`.
+
+    Attributes
+    ----------
+    dictionary : FaultDictionary
+        Signature → candidate-fault-class dictionary built from the
+        detection matrix (see :mod:`repro.faults.diagnosis`).
+    resolution : DiagnosticResolution
+        Class counts / singleton fraction / undetected residue of the
+        dictionary.
+    test_order : tuple of int
+        Adaptive vector order (greedy class splitting); a prefix reaching
+        the dictionary's full resolution, see
+        :func:`repro.faults.diagnosis.adaptive_test_order`.
+    coverage : CoverageReport
+        The detection-side report of the same run, with
+        :attr:`CoverageReport.resolution` populated.
+    criterion : {"specification", "reference"}
+        Detection criterion.
+    num_faults, num_vectors : int
+        Dimensions of the underlying detection matrix.
+    stats : SimulationStats
+        Pruning / work counters of the run.
+    execution : ExecutionInfo
+        Timing, effective engine and the planned work grid.
+    """
+
+    dictionary: FaultDictionary = field(repr=False)
+    resolution: DiagnosticResolution
+    test_order: tuple[int, ...]
+    coverage: CoverageReport
+    criterion: str
+    num_faults: int
+    num_vectors: int
     stats: SimulationStats
     execution: ExecutionInfo

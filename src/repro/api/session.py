@@ -17,6 +17,7 @@ The four paper workloads run through it::
     session.passes_test_set(network, words)        # TestSetResult
     session.fault_matrix(network, faults, words)   # FaultMatrixResult
     session.fault_coverage(network, faults, words) # CoverageReport
+    session.diagnose(network, faults, words)       # DiagnosisResult
     session.close()                                # or: with Session(...) as s:
 
 Results are **bit-identical** to the legacy free functions (the Session
@@ -41,6 +42,7 @@ from ..core.network import ComparatorNetwork
 from ..core.scratch import PlaneArena
 from ..exceptions import ExecutionConfigError, TestSetError
 from ..faults.coverage import _coverage_report_impl
+from ..faults.diagnosis import adaptive_test_order, fault_dictionary_from_matrix
 from ..faults.models import Fault
 from ..faults.simulation import (
     CubeVectors,
@@ -55,6 +57,7 @@ from ..properties.sorter import _is_sorter_impl
 from ..testsets.validation import _network_passes_test_set_impl
 from .results import (
     CoverageReport,
+    DiagnosisResult,
     ExecutionInfo,
     FaultMatrixResult,
     TestSetResult,
@@ -498,6 +501,92 @@ class Session:
             execution=self._execution_info(
                 config, self.engine, stats.planned_grid, seconds, cache_before
             ),
+        )
+
+    def diagnose(
+        self,
+        network: ComparatorNetwork,
+        faults: Sequence[Fault],
+        test_vectors: Sequence[WordLike] | CubeVectors,
+        *,
+        criterion: str = "specification",
+    ) -> DiagnosisResult:
+        """Build a fault dictionary and its diagnostic-resolution report.
+
+        Runs the detection matrix through the Session's engine / sharding /
+        cache configuration, groups faults with identical detection
+        signatures into candidate classes
+        (:class:`~repro.faults.FaultDictionary`), computes the
+        :class:`~repro.faults.DiagnosticResolution` of the test set and the
+        greedy adaptive vector order
+        (:func:`repro.faults.diagnosis.adaptive_test_order`).  Unlike
+        :meth:`fault_coverage` this materialises the per-vector matrix, so
+        cube-scale test sets are out of scope — pass an explicit vector
+        list.
+
+        Parameters are those of :meth:`fault_matrix`.
+
+        Returns
+        -------
+        DiagnosisResult
+            The dictionary, resolution report, adaptive test order and a
+            :class:`CoverageReport` of the same run (its ``resolution``
+            field populated).
+        """
+        config = self._config()
+        stats = SimulationStats()
+        cache_before = self._cache_before()
+        start = time.perf_counter()
+        matrix = _fault_detection_matrix_impl(
+            network,
+            faults,
+            test_vectors,
+            criterion=criterion,
+            engine=self.engine,
+            config=config,
+            prune=self.prune,
+            stats=stats,
+            arena=self._fault_arena(),
+            cache=self.cache,
+        )
+        dictionary = fault_dictionary_from_matrix(
+            faults, matrix, criterion=criterion
+        )
+        resolution = dictionary.resolution()
+        test_order = tuple(adaptive_test_order(matrix))
+        seconds = time.perf_counter() - start
+        execution = self._execution_info(
+            config, self.engine, stats.planned_grid, seconds, cache_before
+        )
+        detected = matrix.any(axis=1)
+        by_kind: dict[str, tuple[int, int]] = {}
+        for fault, hit in zip(faults, detected):
+            kind = type(fault).__name__
+            found, total = by_kind.get(kind, (0, 0))
+            by_kind[kind] = (found + int(hit), total + 1)
+        total_faults = int(matrix.shape[0])
+        detected_count = int(detected.sum())
+        coverage = CoverageReport(
+            total_faults=total_faults,
+            detected_faults=detected_count,
+            coverage=(detected_count / total_faults) if total_faults else 1.0,
+            by_kind=by_kind,
+            vectors_used=int(matrix.shape[1]),
+            criterion=criterion,
+            stats=stats,
+            execution=execution,
+            resolution=resolution,
+        )
+        return DiagnosisResult(
+            dictionary=dictionary,
+            resolution=resolution,
+            test_order=test_order,
+            coverage=coverage,
+            criterion=criterion,
+            num_faults=total_faults,
+            num_vectors=int(matrix.shape[1]),
+            stats=stats,
+            execution=execution,
         )
 
     def compare_test_sets(

@@ -32,6 +32,8 @@ from .keys import (
     chunk_token,
     comparator_codes,
     cube_token,
+    fault_token,
+    faults_token,
     network_token,
     prefix_hashes,
     words_token,
@@ -62,4 +64,6 @@ __all__ = [
     "array_token",
     "words_token",
     "chunk_token",
+    "fault_token",
+    "faults_token",
 ]

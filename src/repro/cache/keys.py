@@ -21,11 +21,20 @@ exact by construction);
 ``(n_lines, n_blocks)``; embedding them in the key *is* the invalidation
 mechanism: changing engine or chunk geometry addresses different entries,
 so stale reuse is structurally impossible.
+
+Fault-simulation verdict keys additionally embed a *fault-universe
+identity*: :func:`fault_token` flattens one fault (recursing through
+composite models such as ``MultiFault``/``IntermittentFault``) into a
+structured tuple of class name + field values, and :func:`faults_token`
+folds a whole universe.  The structured form — unlike ``repr`` — is
+independent of dataclass ``repr`` formatting and cannot collide between
+two models that happen to print alike.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+import dataclasses
 import hashlib
 from typing import TYPE_CHECKING
 
@@ -43,6 +52,8 @@ __all__ = [
     "array_token",
     "words_token",
     "chunk_token",
+    "fault_token",
+    "faults_token",
 ]
 
 #: Odd 64-bit multiplier of the rolling polynomial hash (golden-ratio
@@ -215,6 +226,59 @@ def words_token(words: Iterable[Sequence[int]], n_lines: int) -> tuple:
         n_lines,
         tuple(tuple(int(v) for v in word) for word in words),
     )
+
+
+def _fault_field_token(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return fault_token(value)
+    if isinstance(value, tuple):
+        return tuple(_fault_field_token(item) for item in value)
+    return value
+
+
+def fault_token(fault) -> tuple:
+    """Structured hashable identity of one fault model instance.
+
+    Flattens the fault's dataclass fields in declaration order, recursing
+    into nested faults (``IntermittentFault.base``) and fault tuples
+    (``MultiFault.faults``), and prefixes the class name — so two faults
+    share a token exactly when they are the same model with the same
+    parameters, regardless of how their ``repr`` happens to print.
+
+    Parameters
+    ----------
+    fault : Fault
+        A (frozen dataclass) fault model instance.
+
+    Returns
+    -------
+    tuple
+        ``(class_name, field_value_0, ...)`` with nested faults expanded
+        to their own tokens.
+    """
+    return (
+        type(fault).__name__,
+        *(
+            _fault_field_token(getattr(fault, field.name))
+            for field in dataclasses.fields(fault)
+        ),
+    )
+
+
+def faults_token(faults: Iterable) -> tuple:
+    """Token of a whole fault universe, in simulation order.
+
+    Parameters
+    ----------
+    faults : iterable of Fault
+        The universe as passed to the detection entry points.
+
+    Returns
+    -------
+    tuple
+        One :func:`fault_token` per fault.
+    """
+    return tuple(fault_token(fault) for fault in faults)
 
 
 def chunk_token(base: tuple, word_start: int, num_words: int) -> tuple:

@@ -16,8 +16,14 @@ Subcommands
     bitonic-standard, selector, merger).
 ``faults``
     Run a fault-coverage report for one of the classical constructions:
-    enumerate the single-fault universe and measure how well the paper's
+    enumerate a fault universe (``--fault-model`` picks any registered
+    model — bridging, intermittent, simultaneous multi-faults — or the
+    classical single-fault universe) and measure how well the paper's
     minimum sorting test set exposes it.
+``diagnose``
+    Build a fault dictionary over the same universes and report the
+    diagnostic resolution (signature equivalence classes, singleton
+    fraction, adaptive test order); see :mod:`repro.faults.diagnosis`.
 ``experiments``
     Run the experiment harness (E1–E11) and print the tables; this is the
     textual companion of the benchmark suite.
@@ -44,6 +50,8 @@ Examples
     repro-networks testset --property sorting --n 4 --model binary
     repro-networks adversary --sigma 0110 --diagram
     repro-networks faults --n 18 --engine bitpacked --workers 4
+    repro-networks faults --n 8 --fault-model BridgingFault
+    repro-networks diagnose --n 8 --fault-model MultiFault
     repro-networks experiments --fast
 """
 
@@ -53,7 +61,7 @@ import argparse
 import sys
 from typing import TYPE_CHECKING
 
-from ._registry import engine_names
+from ._registry import engine_names, fault_model_names
 from .analysis.tables import format_rows
 from .core.network import ComparatorNetwork
 
@@ -91,6 +99,15 @@ def _build_construction(kind: str, n: int, k: int) -> ComparatorNetwork:
         "merger": lambda: batcher_merging_network(n),
     }
     return builders[kind]()
+
+
+def _fault_model_choices() -> tuple[str, ...]:
+    """``--fault-model`` choices: the registry plus the classical mixed set."""
+    # The model zoo registers itself on import; pull it in so the registry
+    # is populated even when the CLI is the first thing the process loads.
+    from . import faults  # noqa: F401
+
+    return ("single", *fault_model_names())
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -235,6 +252,15 @@ examples:
         default="specification",
     )
     faults.add_argument(
+        "--fault-model",
+        # Dynamic: every model registered in repro.api.registry is a valid
+        # universe, plus "single" for the classical mixed single-fault set.
+        choices=_fault_model_choices(),
+        default="single",
+        help="fault universe: the classical single-fault set, or every "
+        "fault one registered model enumerates for the device",
+    )
+    faults.add_argument(
         "--strategy",
         choices=("testset", "binary"),
         default="testset",
@@ -255,6 +281,48 @@ examples:
         "(results are identical; useful for timing comparisons)",
     )
     _add_execution_arguments(faults)
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="fault-dictionary / diagnostic-resolution report",
+    )
+    diagnose.add_argument("--n", type=int, required=True, help="number of lines")
+    diagnose.add_argument(
+        "--kind",
+        choices=("batcher", "bose-nelson", "bubble", "bitonic-standard"),
+        default="batcher",
+        help="sorting-network construction to diagnose",
+    )
+    diagnose.add_argument(
+        "--criterion",
+        choices=("specification", "reference"),
+        default="specification",
+    )
+    diagnose.add_argument(
+        "--fault-model",
+        choices=_fault_model_choices(),
+        default="single",
+        help="fault universe to build the dictionary over",
+    )
+    diagnose.add_argument(
+        "--engine",
+        choices=engine_names(),
+        default="bitpacked",
+        help="fault-simulation engine",
+    )
+    diagnose.add_argument(
+        "--no-prune",
+        dest="prune",
+        action="store_false",
+        help="disable dominated-state pruning (results are identical)",
+    )
+    diagnose.add_argument(
+        "--order-limit",
+        type=int,
+        default=16,
+        help="print at most this many vectors of the adaptive test order",
+    )
+    _add_execution_arguments(diagnose)
 
     experiments = sub.add_parser("experiments", help="run the experiment harness")
     experiments.add_argument("--fast", action="store_true", help="small parameters")
@@ -376,12 +444,21 @@ def _cmd_construct(args: argparse.Namespace) -> int:
     return 0
 
 
+def _enumerate_universe(device: ComparatorNetwork, fault_model: str) -> list:
+    """Resolve the ``--fault-model`` flag to a concrete fault universe."""
+    from .faults import enumerate_model_faults, enumerate_single_faults
+
+    if fault_model == "single":
+        return enumerate_single_faults(device)
+    return enumerate_model_faults(device, fault_model)
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from .faults import CubeVectors, enumerate_single_faults
+    from .faults import CubeVectors
     from .testsets import sorting_binary_test_set
 
     device = _build_construction(args.kind, args.n, 1)
-    faults = enumerate_single_faults(device)
+    faults = _enumerate_universe(device, args.fault_model)
     if args.strategy == "binary":
         if args.engine != "bitpacked" and args.n > 20:
             print(
@@ -401,7 +478,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     print(
         f"device={args.kind}({args.n}) engine={args.engine} "
         f"workers={report.execution.workers} criterion={args.criterion} "
-        f"strategy={args.strategy} prune={args.prune}"
+        f"model={args.fault_model} strategy={args.strategy} prune={args.prune}"
     )
     print(
         f"vectors={report.vectors_used} faults={report.total_faults} "
@@ -418,6 +495,36 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         )
     for kind, (found, total) in sorted(report.by_kind.items()):
         print(f"  {kind}: {found}/{total}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from .testsets import sorting_binary_test_set
+
+    device = _build_construction(args.kind, args.n, 1)
+    faults = _enumerate_universe(device, args.fault_model)
+    vectors = sorting_binary_test_set(args.n)
+    with _build_session(args, default_engine="bitpacked") as session:
+        result = session.diagnose(device, faults, vectors, criterion=args.criterion)
+    res = result.resolution
+    print(
+        f"device={args.kind}({args.n}) engine={args.engine} "
+        f"workers={result.execution.workers} criterion={args.criterion} "
+        f"model={args.fault_model} prune={args.prune}"
+    )
+    print(
+        f"faults={res.num_faults} vectors={result.num_vectors} "
+        f"coverage={result.coverage.coverage:.4f}"
+    )
+    print(
+        f"classes={res.num_classes} singletons={res.singleton_classes} "
+        f"max_class={res.max_class_size} undetected={res.undetected_faults} "
+        f"resolution={res.resolution:.4f} "
+        f"fully_resolved={'yes' if res.fully_resolved else 'no'}"
+    )
+    order = result.test_order[: args.order_limit]
+    suffix = " ..." if len(result.test_order) > args.order_limit else ""
+    print(f"adaptive_order={list(order)}{suffix}")
     return 0
 
 
@@ -448,6 +555,7 @@ def main(argv: list[str] | None = None) -> int:
         "adversary": _cmd_adversary,
         "construct": _cmd_construct,
         "faults": _cmd_faults,
+        "diagnose": _cmd_diagnose,
         "experiments": _cmd_experiments,
     }
     return handlers[args.command](args)

@@ -11,6 +11,12 @@ cube as a lazy :class:`CubeVectors` test set), applies dominated-state
 pruning (:class:`SimulationStats` reports the skipped work) and shards
 across processes via :class:`repro.parallel.ExecutionConfig`; see
 ``docs/ARCHITECTURE.md`` for the execution-model deep-dive.
+
+Beyond single stuck-at faults the model zoo covers bridging, intermittent
+and simultaneous multi-faults (:mod:`repro.faults.models`), and
+:mod:`repro.faults.diagnosis` turns detection into *localisation*: fault
+dictionaries, diagnostic-resolution reports and adaptive test ordering,
+exposed through :meth:`repro.api.Session.diagnose`.
 """
 
 from .coverage import (
@@ -20,15 +26,27 @@ from .coverage import (
     fault_coverage,
     greedy_test_selection,
 )
+from .diagnosis import (
+    DiagnosticResolution,
+    FaultDictionary,
+    adaptive_test_order,
+    build_fault_dictionary,
+    fault_dictionary_from_matrix,
+)
 from .injection import (
     FAULT_KINDS,
+    enumerate_model_faults,
+    enumerate_multi_faults,
     enumerate_single_faults,
     equivalent_fault_classes,
     faulty_networks,
 )
 from .models import (
+    BridgingFault,
     Fault,
+    IntermittentFault,
     LineStuckFault,
+    MultiFault,
     ReversedComparatorFault,
     StuckPassFault,
     StuckSwapFault,
@@ -46,14 +64,24 @@ from .simulation import (
 
 __all__ = [
     "Fault",
+    "BridgingFault",
+    "IntermittentFault",
     "LineStuckFault",
+    "MultiFault",
     "ReversedComparatorFault",
     "StuckPassFault",
     "StuckSwapFault",
     "FAULT_KINDS",
+    "enumerate_model_faults",
+    "enumerate_multi_faults",
     "enumerate_single_faults",
     "equivalent_fault_classes",
     "faulty_networks",
+    "DiagnosticResolution",
+    "FaultDictionary",
+    "adaptive_test_order",
+    "build_fault_dictionary",
+    "fault_dictionary_from_matrix",
     "DETECTION_CRITERIA",
     "SIMULATION_ENGINES",
     "CubeVectors",

@@ -17,9 +17,30 @@ assumptions for comparator networks:
     meaningful for 0/1 test vectors, which is exactly the regime the paper's
     test sets live in).
 
+Beyond the classical single faults, three richer models feed the diagnosis
+experiments (:mod:`repro.faults.diagnosis`):
+
+``BridgingFault``
+    Two adjacent lines are shorted; after every stage both settle to the
+    wired-AND (both carry the min) or wired-OR (both carry the max) value.
+``IntermittentFault``
+    A base fault that only manifests on some test words.  Activation is a
+    deterministic function of the word itself (the parity of a salt-selected
+    subset of input lines), so the per-chunk activation masks of the
+    streamed cube are reproducible across chunk sizes, shard grids and
+    cache replays — a necessity for bit-identical results.
+``MultiFault``
+    A simultaneous combination of k base faults (the multi-fault universe).
+    Conflicting combinations (two faults on one comparator, two forcings on
+    one line) are rejected; :func:`repro.faults.injection.enumerate_multi_faults`
+    builds the pruned k-subset universe.
+
 Each fault knows how to produce the faulty network (or faulty behaviour) from
 the fault-free reference; enumeration of all single faults of a network lives
-in :mod:`repro.faults.injection`.
+in :mod:`repro.faults.injection`.  Every model also publishes its canonical
+universe through the ``enumerate_for`` registry hook so tools (the CLI's
+``--fault-model`` flag, benchmarks) can build universes from
+:mod:`repro.api.registry` names without hard-coding a class list.
 
 The faulty-behaviour subclasses override both ``apply_batch`` (vectorised
 engine) and ``apply_packed`` (bit-packed engine, see
@@ -44,12 +65,18 @@ __all__ = [
     "StuckSwapFault",
     "ReversedComparatorFault",
     "LineStuckFault",
+    "BridgingFault",
+    "IntermittentFault",
+    "MultiFault",
 ]
+
+#: Wired-coupling styles for :class:`BridgingFault`.
+BRIDGE_COUPLINGS = ("and", "or")
 
 
 @dataclass(frozen=True)
 class Fault:
-    """Base class for single faults.  Subclasses implement :meth:`apply_to`."""
+    """Base class for fault models.  Subclasses implement :meth:`apply_to`."""
 
     def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
         """Return the faulty version of *network*."""
@@ -57,6 +84,18 @@ class Fault:
 
     def describe(self) -> str:
         """Human-readable description used in experiment reports."""
+        raise NotImplementedError
+
+    @classmethod
+    def enumerate_for(cls, network: ComparatorNetwork) -> list[Fault]:
+        """Canonical fault universe of this model for *network*.
+
+        Registry hook: every registered fault model answers with the list of
+        faults a universe builder should inject for *network*, so callers can
+        enumerate by registry name (see
+        :func:`repro.faults.injection.enumerate_model_faults`) instead of
+        hard-coding model classes.
+        """
         raise NotImplementedError
 
 
@@ -82,6 +121,11 @@ class StuckPassFault(Fault):
         """Human-readable description used in experiment reports."""
         return f"comparator #{self.index} stuck-pass (never exchanges)"
 
+    @classmethod
+    def enumerate_for(cls, network: ComparatorNetwork) -> list[Fault]:
+        """One stuck-pass fault per comparator of *network*."""
+        return [cls(i) for i in range(network.size)]
+
 
 @dataclass(frozen=True)
 class StuckSwapFault(Fault):
@@ -105,6 +149,11 @@ class StuckSwapFault(Fault):
         """Human-readable description used in experiment reports."""
         return f"comparator #{self.index} stuck-swap (always exchanges)"
 
+    @classmethod
+    def enumerate_for(cls, network: ComparatorNetwork) -> list[Fault]:
+        """One stuck-swap fault per comparator of *network*."""
+        return [cls(i) for i in range(network.size)]
+
 
 @dataclass(frozen=True)
 class ReversedComparatorFault(Fault):
@@ -121,6 +170,11 @@ class ReversedComparatorFault(Fault):
     def describe(self) -> str:
         """Human-readable description used in experiment reports."""
         return f"comparator #{self.index} reversed (max to the low line)"
+
+    @classmethod
+    def enumerate_for(cls, network: ComparatorNetwork) -> list[Fault]:
+        """One reversed-comparator fault per comparator of *network*."""
+        return [cls(i) for i in range(network.size)]
 
 
 @dataclass(frozen=True)
@@ -154,6 +208,245 @@ class LineStuckFault(Fault):
     def describe(self) -> str:
         """Human-readable description used in experiment reports."""
         return f"line {self.line} stuck-at-{self.value} from stage {self.stage}"
+
+    @classmethod
+    def enumerate_for(cls, network: ComparatorNetwork) -> list[Fault]:
+        """Input-side stuck-at-0/1 faults, one per line and value."""
+        return [
+            cls(line, value)
+            for line in range(network.n_lines)
+            for value in (0, 1)
+        ]
+
+
+@dataclass(frozen=True)
+class BridgingFault(Fault):
+    """Adjacent lines *low* and *high* are shorted (wired-AND or wired-OR).
+
+    A bridging defect couples two neighbouring wires: after every stage both
+    lines settle to the same value — the minimum of the two for wired-AND
+    coupling, the maximum for wired-OR (on 0/1 values these coincide with
+    the bitwise AND/OR of the lines).  The coupling acts at the network
+    input and again after each comparator stage, modelling a short that is
+    always present, not a one-shot glitch.
+    """
+
+    low: int
+    high: int
+    coupling: str = "and"
+
+    def __post_init__(self) -> None:
+        if self.high != self.low + 1:
+            raise FaultModelError(
+                f"bridging faults couple adjacent lines; got {self.low} and "
+                f"{self.high}"
+            )
+        if self.coupling not in BRIDGE_COUPLINGS:
+            raise FaultModelError(
+                f"coupling must be one of {BRIDGE_COUPLINGS}, got "
+                f"{self.coupling!r}"
+            )
+
+    def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        """A :class:`BridgedNetwork` coupling the two lines every stage."""
+        if self.low < 0 or self.high >= network.n_lines:
+            raise FaultModelError(
+                f"bridge {self.low}~{self.high} out of range for "
+                f"{network.n_lines} lines"
+            )
+        return BridgedNetwork(network, self.low, self.high, self.coupling)
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return f"lines {self.low}~{self.high} bridged (wired-{self.coupling.upper()})"
+
+    @classmethod
+    def enumerate_for(cls, network: ComparatorNetwork) -> list[Fault]:
+        """Both couplings for every adjacent line pair of *network*."""
+        return [
+            cls(low, low + 1, coupling)
+            for low in range(network.n_lines - 1)
+            for coupling in BRIDGE_COUPLINGS
+        ]
+
+
+@dataclass(frozen=True)
+class IntermittentFault(Fault):
+    """A base fault that only manifests on some test words.
+
+    The fault is active on a word exactly when the XOR (parity) of the input
+    values on the lines selected by *salt* (a bitmask over lines) is 1;
+    otherwise the device behaves fault-free.  Because activation is a pure
+    function of the word content — never of wall-clock time, chunk position
+    or worker identity — the per-chunk activation masks of the streamed cube
+    are deterministic: every chunking, shard grid and cache replay observes
+    the identical faulty behaviour, which is what lets the simulator treat
+    intermittent faults like any other registered model.
+    """
+
+    base: Fault
+    salt: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, Fault) or isinstance(
+            self.base, (IntermittentFault, MultiFault)
+        ):
+            raise FaultModelError(
+                "the base of an intermittent fault must be a non-composite "
+                f"fault model, got {self.base!r}"
+            )
+        if self.salt < 1:
+            raise FaultModelError(
+                f"salt must select at least one line (salt >= 1), got {self.salt}"
+            )
+
+    def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        """An :class:`IntermittentNetwork` gating the faulty behaviour."""
+        if self.salt >= (1 << network.n_lines):
+            raise FaultModelError(
+                f"salt {self.salt:#x} selects lines beyond the "
+                f"{network.n_lines}-line network"
+            )
+        faulty = self.base.apply_to(network)
+        lines = tuple(
+            line for line in range(network.n_lines) if self.salt >> line & 1
+        )
+        return IntermittentNetwork(network, faulty, lines)
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return f"intermittent [{self.base.describe()}] (parity salt {self.salt:#x})"
+
+    @classmethod
+    def enumerate_for(cls, network: ComparatorNetwork) -> list[Fault]:
+        """Intermittent input stuck-at faults gated by the all-lines parity."""
+        salt = (1 << network.n_lines) - 1
+        return [
+            cls(LineStuckFault(line, value), salt)
+            for line in range(network.n_lines)
+            for value in (0, 1)
+        ]
+
+
+#: Component models a :class:`MultiFault` may combine.
+_MULTI_COMPONENT_MODELS = (
+    "StuckPassFault",
+    "StuckSwapFault",
+    "ReversedComparatorFault",
+    "LineStuckFault",
+    "BridgingFault",
+)
+
+
+@dataclass(frozen=True)
+class MultiFault(Fault):
+    """A simultaneous combination of base faults (the multi-fault universe).
+
+    The classical single-fault assumption is dropped: all component faults
+    are present in the device at once.  Components may be comparator faults
+    (stuck-pass / stuck-swap / reversed), line forcings
+    (:class:`LineStuckFault`) and bridges (:class:`BridgingFault`);
+    intermittent and nested multi-faults are rejected.  Combinations where
+    two components target the same comparator, force the same line or bridge
+    the same pair conflict physically and raise
+    :class:`~repro.exceptions.FaultModelError` at construction — enumeration
+    (:func:`repro.faults.injection.enumerate_multi_faults`) relies on that to
+    prune the product space.
+
+    After every stage the faulty device applies bridges first, then line
+    forcings (a stuck line wins over a bridge it participates in), in
+    component order — the same order on every evaluation engine.
+    """
+
+    faults: tuple[Fault, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if not self.faults:
+            raise FaultModelError("a multi-fault needs at least one component")
+        comparator_targets: set[int] = set()
+        forced_lines: set[int] = set()
+        bridged_pairs: set[tuple[int, int]] = set()
+        for fault in self.faults:
+            name = type(fault).__name__
+            if not isinstance(fault, Fault) or name not in _MULTI_COMPONENT_MODELS:
+                raise FaultModelError(
+                    f"multi-fault components must be one of "
+                    f"{_MULTI_COMPONENT_MODELS}, got {fault!r}"
+                )
+            if isinstance(
+                fault, (StuckPassFault, StuckSwapFault, ReversedComparatorFault)
+            ):
+                if fault.index in comparator_targets:
+                    raise FaultModelError(
+                        f"conflicting faults on comparator #{fault.index}"
+                    )
+                comparator_targets.add(fault.index)
+            elif isinstance(fault, LineStuckFault):
+                if fault.line in forced_lines:
+                    raise FaultModelError(
+                        f"conflicting forcings on line {fault.line}"
+                    )
+                forced_lines.add(fault.line)
+            else:
+                assert isinstance(fault, BridgingFault)
+                pair = (fault.low, fault.high)
+                if pair in bridged_pairs:
+                    raise FaultModelError(
+                        f"conflicting bridges on lines {fault.low}~{fault.high}"
+                    )
+                bridged_pairs.add(pair)
+
+    def apply_to(self, network: ComparatorNetwork) -> ComparatorNetwork:
+        """A :class:`ComposedFaultNetwork` with every component present."""
+        modes: dict[int, str] = {}
+        forcings: list[tuple[int, int, int]] = []
+        bridges: list[tuple[int, int, bool]] = []
+        for fault in self.faults:
+            if isinstance(fault, StuckPassFault):
+                _check_index(network, fault.index)
+                modes[fault.index] = "pass"
+            elif isinstance(fault, StuckSwapFault):
+                _check_index(network, fault.index)
+                modes[fault.index] = "swap"
+            elif isinstance(fault, ReversedComparatorFault):
+                _check_index(network, fault.index)
+                modes[fault.index] = "reversed"
+            elif isinstance(fault, LineStuckFault):
+                # Reuse the single-fault range validation, discard the device.
+                fault.apply_to(network)
+                forcings.append((fault.line, fault.value, fault.stage))
+            else:
+                assert isinstance(fault, BridgingFault)
+                fault.apply_to(network)
+                bridges.append((fault.low, fault.high, fault.coupling == "or"))
+        return ComposedFaultNetwork(
+            network, modes, tuple(forcings), tuple(bridges)
+        )
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return "multiple faults: " + "; ".join(f.describe() for f in self.faults)
+
+    @classmethod
+    def enumerate_for(cls, network: ComparatorNetwork) -> list[Fault]:
+        """The pruned k=2 universe over the comparator single faults.
+
+        Behavioural dominance pruning needs the exhaustive cube, so it is
+        only attempted on networks of at most 10 lines; larger networks get
+        the conflict-pruned combination list.
+        """
+        from .injection import enumerate_multi_faults
+
+        base: list[Fault] = []
+        for model in (StuckPassFault, StuckSwapFault, ReversedComparatorFault):
+            base.extend(model.enumerate_for(network))
+        return enumerate_multi_faults(
+            network,
+            base,
+            k=2,
+            prune_dominated=network.n_lines <= 10,
+        )
 
 
 class SwappingNetwork(ComparatorNetwork):
@@ -294,7 +587,260 @@ class StuckLineNetwork(ComparatorNetwork):
         return result
 
 
-# Register the built-in single-fault models so tools can enumerate them
+class BridgedNetwork(ComparatorNetwork):
+    """A network with two adjacent lines shorted (wired-AND/OR coupling)."""
+
+    __slots__ = ("_bridge_low", "_bridge_high", "_bridge_or")
+
+    def __init__(
+        self,
+        network: ComparatorNetwork,
+        low: int,
+        high: int,
+        coupling: str,
+    ) -> None:
+        super().__init__(network.n_lines, network.comparators)
+        self._bridge_low = low
+        self._bridge_high = high
+        self._bridge_or = coupling == "or"
+
+    def _couple(self, values: list) -> None:
+        a, b = values[self._bridge_low], values[self._bridge_high]
+        wired = max(a, b) if self._bridge_or else min(a, b)
+        values[self._bridge_low] = wired
+        values[self._bridge_high] = wired
+
+    def apply(self, word):
+        """Scalar evaluation, re-coupling the bridged lines every stage."""
+        values = list(int(v) for v in word)
+        if len(values) != self.n_lines:
+            raise FaultModelError(
+                f"expected a word of length {self.n_lines}, got {len(values)}"
+            )
+        self._couple(values)
+        for comp in self.comparators:
+            a, b = values[comp.low], values[comp.high]
+            lo, hi = (a, b) if a <= b else (b, a)
+            if comp.reversed:
+                lo, hi = hi, lo
+            values[comp.low] = lo
+            values[comp.high] = hi
+            self._couple(values)
+        return tuple(values)
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation mirroring :meth:`apply` row-wise."""
+        data = np.array(batch, copy=True)
+        wire = np.maximum if self._bridge_or else np.minimum
+        x, y = self._bridge_low, self._bridge_high
+        data[:, x] = data[:, y] = wire(data[:, x], data[:, y])
+        for comp in self.comparators:
+            a = data[:, comp.low]
+            b = data[:, comp.high]
+            lo = np.minimum(a, b)
+            hi = np.maximum(a, b)
+            if comp.reversed:
+                lo, hi = hi, lo
+            data[:, comp.low] = lo
+            data[:, comp.high] = hi
+            data[:, x] = data[:, y] = wire(data[:, x], data[:, y])
+        return data
+
+    def apply_packed(self, packed, *, copy: bool = True):
+        """Bit-packed evaluation; on 0/1 planes the coupling is AND/OR."""
+        from ..core.bitpacked import apply_comparators_packed
+
+        result = packed.copy() if copy else packed
+        planes = result.planes
+        wire = np.bitwise_or if self._bridge_or else np.bitwise_and
+        x, y = self._bridge_low, self._bridge_high
+        planes[x] = planes[y] = wire(planes[x], planes[y])
+        for comp in self.comparators:
+            apply_comparators_packed(planes, (comp,))
+            planes[x] = planes[y] = wire(planes[x], planes[y])
+        return result
+
+
+class IntermittentNetwork(ComparatorNetwork):
+    """A network that is faulty only on words with odd salted input parity."""
+
+    __slots__ = ("_faulty", "_clean", "_salt_lines")
+
+    def __init__(
+        self,
+        network: ComparatorNetwork,
+        faulty: ComparatorNetwork,
+        salt_lines: tuple[int, ...],
+    ) -> None:
+        super().__init__(network.n_lines, network.comparators)
+        self._faulty = faulty
+        # A *plain* reference device: calling the base-class evaluation on
+        # ``self`` would re-enter this override through the engine dispatch.
+        self._clean = ComparatorNetwork(network.n_lines, network.comparators)
+        self._salt_lines = salt_lines
+
+    def apply(self, word):
+        """Scalar evaluation: faulty when the salted input parity is odd."""
+        values = list(int(v) for v in word)
+        if len(values) != self.n_lines:
+            raise FaultModelError(
+                f"expected a word of length {self.n_lines}, got {len(values)}"
+            )
+        parity = 0
+        for line in self._salt_lines:
+            parity ^= values[line] & 1
+        if parity:
+            return self._faulty.apply(values)
+        return self._clean.apply(values)
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation selecting faulty rows by input parity."""
+        data = np.asarray(batch)
+        active = np.zeros(data.shape[0], dtype=bool)
+        for line in self._salt_lines:
+            active ^= (data[:, line] & 1).astype(bool)
+        clean = self._clean.apply_batch(data)
+        faulty = self._faulty.apply_batch(data)
+        return np.where(active[:, None], faulty, clean)
+
+    def apply_packed(self, packed, *, copy: bool = True):
+        """Bit-packed evaluation: the activation plane is an input-plane XOR."""
+        from ..core.bitpacked import apply_comparators_packed, apply_network_packed
+
+        active = np.zeros(packed.n_blocks, dtype=packed.planes.dtype)
+        for line in self._salt_lines:
+            np.bitwise_xor(active, packed.planes[line], out=active)
+        faulty = apply_network_packed(self._faulty, packed, copy=True)
+        result = packed.copy() if copy else packed
+        apply_comparators_packed(result.planes, self.comparators)
+        # Merge: faulty planes where active, clean planes elsewhere.  The
+        # activation plane has 0 pad bits (inputs keep pads at 0), so the
+        # merged planes keep the pad invariant too.
+        np.bitwise_and(faulty.planes, active, out=faulty.planes)
+        np.invert(active, out=active)
+        np.bitwise_and(result.planes, active, out=result.planes)
+        np.bitwise_or(result.planes, faulty.planes, out=result.planes)
+        return result
+
+
+class ComposedFaultNetwork(ComparatorNetwork):
+    """A network carrying several simultaneous faults (see :class:`MultiFault`).
+
+    Per stage the evaluation order is: the (possibly faulted) comparator,
+    then every bridge, then every due line forcing — identically on the
+    scalar, vectorised and bit-packed engines.
+    """
+
+    __slots__ = ("_modes", "_forcings", "_bridges")
+
+    def __init__(
+        self,
+        network: ComparatorNetwork,
+        modes: dict[int, str],
+        forcings: tuple[tuple[int, int, int], ...],
+        bridges: tuple[tuple[int, int, bool], ...],
+    ) -> None:
+        super().__init__(network.n_lines, network.comparators)
+        self._modes = dict(modes)
+        self._forcings = forcings
+        self._bridges = bridges
+
+    def apply(self, word):
+        """Scalar evaluation with every component fault present."""
+        values = list(int(v) for v in word)
+        if len(values) != self.n_lines:
+            raise FaultModelError(
+                f"expected a word of length {self.n_lines}, got {len(values)}"
+            )
+
+        def boundary(position: int) -> None:
+            for low, high, is_or in self._bridges:
+                a, b = values[low], values[high]
+                wired = max(a, b) if is_or else min(a, b)
+                values[low] = wired
+                values[high] = wired
+            for line, value, stage in self._forcings:
+                if position >= stage:
+                    values[line] = value
+
+        boundary(0)
+        for position, comp in enumerate(self.comparators):
+            mode = self._modes.get(position)
+            if mode != "pass":
+                a, b = values[comp.low], values[comp.high]
+                if mode == "swap":
+                    values[comp.low], values[comp.high] = b, a
+                else:
+                    lo, hi = (a, b) if a <= b else (b, a)
+                    if comp.reversed != (mode == "reversed"):
+                        lo, hi = hi, lo
+                    values[comp.low] = lo
+                    values[comp.high] = hi
+            boundary(position + 1)
+        return tuple(values)
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation mirroring :meth:`apply` row-wise."""
+        data = np.array(batch, copy=True)
+
+        def boundary(position: int) -> None:
+            for low, high, is_or in self._bridges:
+                wire = np.maximum if is_or else np.minimum
+                data[:, low] = data[:, high] = wire(data[:, low], data[:, high])
+            for line, value, stage in self._forcings:
+                if position >= stage:
+                    data[:, line] = value
+
+        boundary(0)
+        for position, comp in enumerate(self.comparators):
+            mode = self._modes.get(position)
+            if mode != "pass":
+                a = data[:, comp.low].copy()
+                b = data[:, comp.high].copy()
+                if mode == "swap":
+                    data[:, comp.low] = b
+                    data[:, comp.high] = a
+                else:
+                    lo = np.minimum(a, b)
+                    hi = np.maximum(a, b)
+                    if comp.reversed != (mode == "reversed"):
+                        lo, hi = hi, lo
+                    data[:, comp.low] = lo
+                    data[:, comp.high] = hi
+            boundary(position + 1)
+        return data
+
+    def apply_packed(self, packed, *, copy: bool = True):
+        """Bit-packed evaluation; forced-at-1 planes respect the pad mask."""
+        from ..core.bitpacked import apply_comparators_packed
+
+        result = packed.copy() if copy else packed
+        planes = result.planes
+        pad = result.pad_mask()
+        zero = np.uint64(0)
+
+        def boundary(position: int) -> None:
+            for low, high, is_or in self._bridges:
+                wire = np.bitwise_or if is_or else np.bitwise_and
+                planes[low] = planes[high] = wire(planes[low], planes[high])
+            for line, value, stage in self._forcings:
+                if position >= stage:
+                    planes[line] = pad if value else zero
+
+        boundary(0)
+        for position, comp in enumerate(self.comparators):
+            mode = self._modes.get(position)
+            if mode == "swap":
+                planes[[comp.low, comp.high]] = planes[[comp.high, comp.low]]
+            elif mode == "reversed":
+                apply_comparators_packed(planes, (comp.flipped(),))
+            elif mode != "pass":
+                apply_comparators_packed(planes, (comp,))
+            boundary(position + 1)
+        return result
+
+
+# Register the built-in fault models so tools can enumerate them
 # through repro.api.registry without hard-coding the class list
 # (replace=True keeps importlib.reload idempotent).
 for _model in (
@@ -302,6 +848,9 @@ for _model in (
     StuckSwapFault,
     ReversedComparatorFault,
     LineStuckFault,
+    BridgingFault,
+    IntermittentFault,
+    MultiFault,
 ):
     register_fault_model(_model, replace=True)
 del _model

@@ -1760,10 +1760,11 @@ def _streamed_bitpacked_detection(
     net_token: tuple = ()
     faults_token: tuple = ()
     if caching:
+        from ..cache.keys import faults_token as universe_token
         from ..cache.keys import network_token
 
         net_token = network_token(network)
-        faults_token = tuple(repr(fault) for fault in faults)
+        faults_token = universe_token(faults)
     if reduce == "any":
         detected = np.zeros(num_faults, dtype=bool)
         for word_start, packed in _iter_packed_chunks(network, vectors, config):
@@ -1863,12 +1864,12 @@ def _bitpacked_detection_matrix(
             network, faults, prefix, criterion, matrix, prune=prune,
             stats=stats, arena=arena,
         )
-    from ..cache.keys import network_token
+    from ..cache.keys import faults_token, network_token
 
     token = (*base_token, 0, len(vectors))
     verdict_key = (
         "fault-rows", network_token(network), token, criterion, bool(prune),
-        tuple(repr(fault) for fault in faults),
+        faults_token(faults),
     )
     hit = cache.get_verdict(verdict_key)
     if hit is not None:

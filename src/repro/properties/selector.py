@@ -56,6 +56,7 @@ from ..core.evaluation import (
     outputs_on_words,
 )
 from ..core.network import ComparatorNetwork
+from ..core.scratch import allocation_free, shared_arena
 from ..exceptions import TestSetError
 from ..words.permutations import all_permutations
 
@@ -92,6 +93,21 @@ def selects_correctly(network: ComparatorNetwork, k: int, word) -> bool:
     return list(output[:k]) == expected
 
 
+@allocation_free
+def _selection_violations_arena(packed, outputs, k, arena, out):
+    """Arena-disciplined violation mask of the selector property checker.
+
+    The single seam through which the property layer computes packed
+    k-selection violations: counter planes and sweep temporaries come from
+    *arena* and the mask lands in *out* (a caller-acquired arena row), so
+    the steady-state check is allocation-free — enforced at runtime by the
+    ``assert_allocation_free`` scenario in ``tests/test_devtools_sanitize.py``.
+    """
+    return packed_selection_violation_blocks(
+        packed, outputs, k, arena=arena, out=out
+    )
+
+
 def _binary_batch_selected(
     network: ComparatorNetwork,
     batch: np.ndarray,
@@ -105,13 +121,23 @@ def _binary_batch_selected(
     packed once, zero counts are taken as a vertical popcount over the
     input planes, and the first ``k`` output planes are compared in place
     (:func:`repro.core.bitpacked.packed_selection_violation_blocks`) — no
-    round trip through the unpacked engine.
+    round trip through the unpacked engine.  The violation mask is built
+    on the process-shared :class:`repro.core.PlaneArena` for the batch
+    geometry, so the sweep itself allocates nothing (same discipline as
+    the sorter's :func:`repro.core.bitpacked.packed_is_sorted_arena` path).
     """
     if engine == "bitpacked":
         packed = pack_batch(batch, n_lines=network.n_lines)
         outputs = apply_network_packed(network, packed, copy=True)
-        violations = packed_selection_violation_blocks(packed, outputs, k)
-        return ~unpack_bits(violations, packed.num_words)
+        arena = shared_arena(network.n_lines, packed.n_blocks, packed.planes.dtype)
+        slot = arena.acquire()
+        try:
+            violations = _selection_violations_arena(
+                packed, outputs, k, arena, arena.plane(slot)
+            )
+            return ~unpack_bits(violations, packed.num_words)
+        finally:
+            arena.release(slot)
     outputs = apply_network_to_batch(network, batch, engine=engine)
     zero_counts = np.sum(np.asarray(batch) == 0, axis=1)
     # For each word, the first min(k, zeros) outputs must be 0; the remaining

@@ -45,6 +45,7 @@ class TestApiSurface:
         assert sorted(api.__all__) == [
             "CacheStats",
             "CoverageReport",
+            "DiagnosisResult",
             "ExecutionInfo",
             "FaultMatrixResult",
             "PROPERTIES",
@@ -81,6 +82,7 @@ class TestApiSurface:
             ("fault_matrix", ["network", "faults", "test_vectors", "criterion"]),
             ("fault_coverage", ["network", "faults", "test_vectors", "criterion"]),
             ("compare_test_sets", ["network", "faults", "test_sets", "criterion"]),
+            ("diagnose", ["network", "faults", "test_vectors", "criterion"]),
         ],
     )
     def test_workload_method_signatures(self, method, expected):
@@ -130,6 +132,21 @@ class TestApiSurface:
                     "by_kind",
                     "vectors_used",
                     "criterion",
+                    "stats",
+                    "execution",
+                    "resolution",
+                ],
+            ),
+            (
+                api.DiagnosisResult,
+                [
+                    "dictionary",
+                    "resolution",
+                    "test_order",
+                    "coverage",
+                    "criterion",
+                    "num_faults",
+                    "num_vectors",
                     "stats",
                     "execution",
                 ],

@@ -18,6 +18,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 import numpy as np
 import pytest
+from strategies import criteria, engines, mutate_one, networks, odd_chunks
 
 import repro.api as api
 from repro.cache import (
@@ -32,9 +33,7 @@ from repro.cache import (
     resolve_cache,
 )
 from repro.constructions import batcher_sorting_network
-from repro.core import ComparatorNetwork
 from repro.core.evaluation import all_binary_words_array
-from repro.core.network import Comparator
 from repro.faults import enumerate_single_faults, fault_detection_matrix
 from repro.faults.simulation import PrefixStates, _pack_vectors
 from repro.properties import is_sorter
@@ -43,31 +42,6 @@ from repro.testsets import (
     sorting_binary_test_set,
     sorts_exactly_all_but,
 )
-
-
-@st.composite
-def networks(draw, min_lines: int = 2, max_lines: int = 7, max_size: int = 12):
-    n = draw(st.integers(min_lines, max_lines))
-    size = draw(st.integers(0, max_size))
-    comparators = []
-    for _ in range(size):
-        low = draw(st.integers(0, n - 2))
-        high = draw(st.integers(low + 1, n - 1))
-        comparators.append((low, high))
-    return ComparatorNetwork.from_pairs(n, comparators)
-
-
-odd_chunks = st.sampled_from([1, 3, 7, 63, 64, 65, 100])
-criteria = st.sampled_from(["specification", "reference"])
-engines = st.sampled_from(["vectorized", "bitpacked"])
-
-
-def mutate_one(network: ComparatorNetwork, index: int) -> ComparatorNetwork:
-    """Flip the direction of one comparator (the retest-loop mutation)."""
-    comps = list(network.comparators)
-    c = comps[index]
-    comps[index] = Comparator(c.low, c.high, not c.reversed)
-    return ComparatorNetwork(network.n_lines, comps)
 
 
 # ----------------------------------------------------------------------
@@ -82,6 +56,34 @@ class TestKeys:
         # the hash sequence — the basis of the longest-prefix lookup.
         shorter = prefix_hashes(codes[:4])
         assert hashes[:5] == shorter
+
+    def test_fault_tokens_distinguish_structured_universes(self):
+        """Composite / nested faults get distinct structured tokens — the
+        verdict keys must separate universes ``repr`` used to conflate."""
+        from repro.cache import fault_token, faults_token
+        from repro.faults import (
+            BridgingFault,
+            IntermittentFault,
+            LineStuckFault,
+            MultiFault,
+            StuckPassFault,
+        )
+
+        faults = [
+            StuckPassFault(0),
+            LineStuckFault(0, 1),
+            BridgingFault(0, 1, "and"),
+            BridgingFault(0, 1, "or"),
+            IntermittentFault(StuckPassFault(0), salt=3),
+            IntermittentFault(StuckPassFault(0), salt=5),
+            MultiFault((StuckPassFault(0), StuckPassFault(1))),
+            MultiFault((StuckPassFault(0), BridgingFault(0, 1, "and"))),
+        ]
+        tokens = [fault_token(f) for f in faults]
+        assert len(set(tokens)) == len(faults)
+        assert all(hash(t) is not None for t in tokens)  # usable as keys
+        assert faults_token(faults) == tuple(tokens)
+        assert faults_token(faults[:2]) != faults_token(faults[1::-1])
 
     def test_network_token_changes_on_any_mutation(self):
         network = batcher_sorting_network(5)

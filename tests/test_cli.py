@@ -203,3 +203,30 @@ class TestFaultsCommand:
             main(["faults", "--n", "4", "--criterion", "reference"]) == 0
         )
         assert "criterion=reference" in capsys.readouterr().out
+
+    def test_fault_model_choices_track_the_registry(self):
+        """``--fault-model`` is populated from the fault-model registry."""
+        from repro._registry import fault_model_names
+
+        parser = build_parser()
+        for sub in ("faults", "diagnose"):
+            with pytest.raises(SystemExit):
+                parser.parse_args([sub, "--n", "4", "--fault-model", "gremlin"])
+        for name in fault_model_names():
+            args = parser.parse_args(["faults", "--n", "4", "--fault-model", name])
+            assert args.fault_model == name
+
+    def test_faults_registered_model_universe(self, capsys):
+        assert (
+            main(["faults", "--n", "4", "--fault-model", "BridgingFault"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "model=BridgingFault" in out
+        assert "BridgingFault:" in out
+
+    def test_diagnose_report(self, capsys):
+        assert main(["diagnose", "--n", "4", "--fault-model", "MultiFault"]) == 0
+        out = capsys.readouterr().out
+        assert "classes=" in out
+        assert "resolution=" in out
+        assert "adaptive_order=" in out

@@ -178,6 +178,23 @@ def test_packed_selection_violation_blocks(env):
 
 
 # ----------------------------------------------------------------------
+# repro.properties.selector
+# ----------------------------------------------------------------------
+def test_selection_violations_arena(env):
+    """The property checker's violation-mask seam stays allocation-free."""
+    from repro.properties.selector import _selection_violations_arena
+
+    run_budgeted(
+        lambda: _selection_violations_arena(
+            env.packed, env.outputs, 4, env.arena, env.row_out
+        ),
+        transient=TIGHT,
+        retained=TIGHT,
+        label="_selection_violations_arena",
+    )
+
+
+# ----------------------------------------------------------------------
 # repro.faults.simulation
 # ----------------------------------------------------------------------
 def test_prefix_state_after(env):
@@ -262,6 +279,7 @@ COVERED = {
     "repro.core.bitpacked.packed_count_gt_blocks",
     "repro.core.bitpacked.packed_is_sorted_arena",
     "repro.core.bitpacked.packed_selection_violation_blocks",
+    "repro.properties.selector._selection_violations_arena",
     "repro.faults.simulation.PrefixStates.state_after",
     "repro.faults.simulation._pruned_fault_errors",
     "repro.faults.simulation._errors_detect",

@@ -32,6 +32,7 @@ DOCUMENTED_MODULES = [
     "repro.faults.injection",
     "repro.faults.simulation",
     "repro.faults.coverage",
+    "repro.faults.diagnosis",
     "repro.core.bitpacked",
     "repro.core.scratch",
     "repro.api",
@@ -106,6 +107,14 @@ def test_architecture_doc_is_committed_and_linked():
         "Module map",
         "Session",
         "repro.api",
+        # The fault-model / diagnosis section.
+        "Fault models and diagnosis",
+        "MultiFault",
+        "BridgingFault",
+        "IntermittentFault",
+        "Fault dictionaries",
+        "adaptive_test_order",
+        "enumerate_multi_faults",
     ):
         assert marker in text, f"docs/ARCHITECTURE.md lost {marker!r}"
     readme = (REPO_ROOT / "README.md").read_text()
@@ -113,6 +122,15 @@ def test_architecture_doc_is_committed_and_linked():
     assert "EXPERIMENTS.md" in readme
     assert "Public API" in readme, "README lost the Public API section"
     assert "Session" in readme
+    # The worked fault-dictionary example.
+    for marker in (
+        "Fault models and diagnosis",
+        "session.diagnose(",
+        "result.dictionary.lookup(",
+        "result.test_order",
+        "--fault-model",
+    ):
+        assert marker in readme, f"README lost the diagnosis example {marker!r}"
 
 
 def test_caching_doc_is_committed_and_linked():

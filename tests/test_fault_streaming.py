@@ -11,12 +11,11 @@ tests exercise the real process pools.
 from __future__ import annotations
 
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 import numpy as np
 import pytest
+from strategies import criteria, networks, odd_chunks
 
 from repro.constructions import batcher_sorting_network
-from repro.core import ComparatorNetwork
 from repro.core.evaluation import all_binary_words_array, unsorted_binary_words_array
 from repro.exceptions import FaultModelError
 from repro.faults import (
@@ -28,22 +27,6 @@ from repro.faults import (
     fault_detection_matrix,
 )
 from repro.parallel import ExecutionConfig, grid_tiles
-
-
-@st.composite
-def networks(draw, min_lines: int = 2, max_lines: int = 7, max_size: int = 12):
-    n = draw(st.integers(min_lines, max_lines))
-    size = draw(st.integers(0, max_size))
-    comparators = []
-    for _ in range(size):
-        low = draw(st.integers(0, n - 2))
-        high = draw(st.integers(low + 1, n - 1))
-        comparators.append((low, high))
-    return ComparatorNetwork.from_pairs(n, comparators)
-
-
-odd_chunks = st.sampled_from([1, 3, 7, 63, 64, 65, 100])
-criteria = st.sampled_from(["specification", "reference"])
 
 
 # ----------------------------------------------------------------------

@@ -1,21 +1,42 @@
-"""Unit tests for the VLSI fault-model substrate."""
+"""Unit tests for the VLSI fault-model substrate.
+
+The differential-oracle layer at the bottom pins every *registered* fault
+model (single stuck-at, bridging, intermittent, k-subset multi-faults) to
+a brute-force injection oracle — apply the faulted copy of the device with
+the plain batch evaluator, no bit-plane tricks — and requires the pruned,
+streamed and warm-cache simulator paths to reproduce that matrix bit for
+bit with identical :class:`repro.faults.SimulationStats` counters.
+"""
 
 from __future__ import annotations
 
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 import numpy as np
 import pytest
+from strategies import criteria, fault_universes, networks, odd_chunks
 
+import repro.api as api
+from repro._registry import fault_model_names
 from repro.constructions import batcher_sorting_network, optimal_sorting_network
 from repro.core import all_binary_words_array, apply_network_to_batch
+from repro.core.evaluation import batch_is_sorted
 from repro.exceptions import FaultModelError
 from repro.faults import (
+    BridgingFault,
+    CubeVectors,
+    IntermittentFault,
     LineStuckFault,
+    MultiFault,
     ReversedComparatorFault,
+    SimulationStats,
     StuckPassFault,
     StuckSwapFault,
     compare_test_sets,
     coverage_report,
     detected_faults,
+    enumerate_model_faults,
+    enumerate_multi_faults,
     enumerate_single_faults,
     equivalent_fault_classes,
     fault_coverage,
@@ -23,6 +44,7 @@ from repro.faults import (
     greedy_test_selection,
     undetected_faults,
 )
+from repro.parallel import ExecutionConfig
 from repro.properties import is_sorter
 from repro.testsets import sorting_binary_test_set
 from repro.words import all_binary_words
@@ -86,6 +108,92 @@ class TestFaultModels:
     def test_fault_descriptions(self):
         assert "stuck-pass" in StuckPassFault(3).describe()
         assert "stuck-at-1" in LineStuckFault(2, 1).describe()
+        assert "bridged" in BridgingFault(0, 1, "or").describe()
+        assert "intermittent" in IntermittentFault(StuckPassFault(0)).describe()
+        assert "multiple faults" in MultiFault(
+            (StuckPassFault(0), StuckSwapFault(1))
+        ).describe()
+
+
+class TestCompositeFaultModels:
+    """Scalar/batch/packed agreement and validation for the model zoo."""
+
+    ZOO = (
+        BridgingFault(1, 2, "and"),
+        BridgingFault(2, 3, "or"),
+        IntermittentFault(LineStuckFault(0, 1), salt=5),
+        IntermittentFault(StuckSwapFault(1), salt=3),
+        MultiFault((StuckSwapFault(0), LineStuckFault(3, 0))),
+        MultiFault(
+            (StuckPassFault(0), ReversedComparatorFault(1), BridgingFault(2, 3, "or"))
+        ),
+    )
+
+    @pytest.mark.parametrize("fault", ZOO, ids=repr)
+    def test_scalar_batch_and_packed_agree(self, four_sorter, fault):
+        from repro.core.bitpacked import pack_batch, unpack_batch
+
+        faulty = fault.apply_to(four_sorter)
+        inputs = all_binary_words_array(4)
+        batch = apply_network_to_batch(faulty, inputs)
+        for row_in, row_out in zip(inputs, batch):
+            assert tuple(int(v) for v in row_out) == faulty.apply(
+                tuple(int(v) for v in row_in)
+            )
+        packed = unpack_batch(faulty.apply_packed(pack_batch(inputs), copy=True))
+        assert np.array_equal(packed, batch)
+
+    def test_invalid_parameters_rejected(self, four_sorter):
+        with pytest.raises(FaultModelError):
+            BridgingFault(0, 2)  # not adjacent
+        with pytest.raises(FaultModelError):
+            BridgingFault(2, 1)
+        with pytest.raises(FaultModelError):
+            BridgingFault(0, 1, coupling="xor")
+        with pytest.raises(FaultModelError):
+            BridgingFault(3, 4).apply_to(four_sorter)  # out of range
+        with pytest.raises(FaultModelError):
+            IntermittentFault("not a fault")
+        with pytest.raises(FaultModelError):
+            IntermittentFault(StuckPassFault(0), salt=0)
+        with pytest.raises(FaultModelError):
+            # Salt selects lines the 4-line device does not have.
+            IntermittentFault(StuckPassFault(0), salt=1 << 6).apply_to(four_sorter)
+        with pytest.raises(FaultModelError):
+            IntermittentFault(IntermittentFault(StuckPassFault(0)))  # no nesting
+        with pytest.raises(FaultModelError):
+            MultiFault(())
+        with pytest.raises(FaultModelError):
+            # Two faults on one comparator conflict.
+            MultiFault((StuckPassFault(0), StuckSwapFault(0)))
+        with pytest.raises(FaultModelError):
+            # Two forcings of one line conflict.
+            MultiFault((LineStuckFault(1, 0), LineStuckFault(1, 1)))
+        with pytest.raises(FaultModelError):
+            # Re-bridging one pair conflicts.
+            MultiFault((BridgingFault(0, 1, "and"), BridgingFault(0, 1, "or")))
+        with pytest.raises(FaultModelError):
+            MultiFault((StuckPassFault(0), IntermittentFault(StuckSwapFault(1))))
+
+    def test_enumerate_for_counts(self, four_sorter):
+        assert len(BridgingFault.enumerate_for(four_sorter)) == 2 * 3
+        assert len(IntermittentFault.enumerate_for(four_sorter)) == 2 * 4
+        assert all(
+            isinstance(f, MultiFault) and len(f.faults) == 2
+            for f in MultiFault.enumerate_for(four_sorter)
+        )
+
+    def test_intermittent_activation_depends_only_on_input_content(self, four_sorter):
+        """The salted-parity activation is a pure function of the input word,
+        so streamed / sharded chunk boundaries cannot change verdicts."""
+        fault = IntermittentFault(StuckSwapFault(0), salt=0b101)
+        faulty = fault.apply_to(four_sorter)
+        clean_device = four_sorter
+        broken = StuckSwapFault(0).apply_to(four_sorter)
+        for word in all_binary_words(4):
+            parity = (word[0] ^ word[2]) & 1
+            expected = broken.apply(word) if parity else clean_device.apply(word)
+            assert faulty.apply(word) == expected
 
 
 class TestFaultEnumeration:
@@ -262,3 +370,126 @@ class TestCoverage:
         )
         assert set(reports) == {"paper", "tiny"}
         assert reports["paper"].coverage >= reports["tiny"].coverage
+
+
+# ----------------------------------------------------------------------
+# Differential oracles: brute-force injection vs the optimised simulators
+# ----------------------------------------------------------------------
+def brute_force_matrix(network, faults, vectors, criterion):
+    """Detection matrix by literal fault injection — the trusted oracle.
+
+    Applies ``fault.apply_to(network)`` to the whole batch with the plain
+    evaluator: no bit planes, no pruning, no prefix sharing, no cache.
+    """
+    batch = np.asarray(vectors)
+    clean = apply_network_to_batch(network, batch)
+    rows = np.zeros((len(faults), batch.shape[0]), dtype=bool)
+    for i, fault in enumerate(faults):
+        out = apply_network_to_batch(fault.apply_to(network), batch)
+        if criterion == "specification":
+            rows[i] = ~batch_is_sorted(out)
+        else:
+            rows[i] = np.any(out != clean, axis=1)
+    return rows
+
+
+class TestDifferentialOracles:
+    @given(networks(min_lines=2, max_lines=6, max_size=8), st.data())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_registered_models_match_brute_force(self, network, data):
+        """Every registered model: pruned, streamed and warm-cache paths
+        reproduce the injection oracle bit for bit, counters included."""
+        name, faults = data.draw(fault_universes(network), label="universe")
+        if not faults:
+            return
+        criterion = data.draw(criteria, label="criterion")
+        chunk = data.draw(odd_chunks, label="chunk")
+        vectors = all_binary_words_array(network.n_lines)
+        expected = brute_force_matrix(network, faults, vectors, criterion)
+        pruned = fault_detection_matrix(
+            network, faults, vectors, criterion=criterion,
+            engine="bitpacked", prune=True,
+        )
+        assert np.array_equal(pruned, expected), name
+        streamed = fault_detection_matrix(
+            network, faults, CubeVectors(network.n_lines),
+            criterion=criterion, engine="bitpacked",
+            config=ExecutionConfig(max_workers=1, chunk_size=chunk),
+        )
+        assert np.array_equal(streamed, expected), name
+        with api.Session(engine="bitpacked", chunk_size=chunk, cache=True) as s:
+            fill = s.fault_matrix(network, faults, vectors, criterion=criterion)
+            warm = s.fault_matrix(network, faults, vectors, criterion=criterion)
+        assert np.array_equal(fill.matrix, expected), name
+        assert np.array_equal(warm.matrix, expected), name
+        # Verdict replay restores the recorded counters exactly.
+        assert warm.stats.counts() == fill.stats.counts()
+
+    def test_every_model_on_a_real_shard_pool(self):
+        """Deterministic end-to-end: each registered universe on batcher(5),
+        2-process (faults × vector-chunks) grid vs the injection oracle,
+        with the same chunking serial run agreeing counter for counter."""
+        network = batcher_sorting_network(5)
+        vectors = all_binary_words_array(5)
+        with api.Session(engine="bitpacked", workers=2, chunk_size=16) as s:
+            for name in fault_model_names():
+                faults = enumerate_model_faults(network, name)
+                expected = brute_force_matrix(
+                    network, faults, vectors, "specification"
+                )
+                sharded = s.fault_matrix(network, faults, vectors)
+                assert np.array_equal(sharded.matrix, expected), name
+                serial_stats = SimulationStats()
+                serial = fault_detection_matrix(
+                    network, faults, vectors, engine="bitpacked",
+                    config=ExecutionConfig(max_workers=1, chunk_size=16),
+                    stats=serial_stats,
+                )
+                assert np.array_equal(serial, expected), name
+                assert sharded.stats.counts() == serial_stats.counts(), name
+
+    def test_k2_multi_faults_match_brute_force(self):
+        """The k=2 composite product space (post dominance pruning) stays
+        pinned to the oracle under both criteria."""
+        network = batcher_sorting_network(4)
+        composites = enumerate_multi_faults(network, k=2)
+        assert composites
+        vectors = all_binary_words_array(4)
+        for criterion in ("specification", "reference"):
+            expected = brute_force_matrix(network, composites, vectors, criterion)
+            actual = fault_detection_matrix(
+                network, composites, vectors,
+                criterion=criterion, engine="bitpacked",
+            )
+            assert np.array_equal(actual, expected), criterion
+
+    def test_dominance_pruning_only_drops_duplicate_behaviour(self):
+        """Every pruned composite behaves exactly like the clean device, a
+        base fault or an earlier composite on the full cube."""
+        network = batcher_sorting_network(4)
+        base = enumerate_single_faults(
+            network, kinds=("stuck-pass", "stuck-swap", "reversed")
+        )
+        everything = enumerate_multi_faults(
+            network, base, k=2, prune_dominated=False
+        )
+        kept = enumerate_multi_faults(network, base, k=2, prune_dominated=True)
+        assert len(kept) < len(everything)
+        cube = all_binary_words_array(4)
+        clean = apply_network_to_batch(network, cube).tobytes()
+        seen = {clean}
+        for fault in base:
+            seen.add(apply_network_to_batch(fault.apply_to(network), cube).tobytes())
+        survivors = set()
+        for composite in everything:
+            signature = apply_network_to_batch(
+                composite.apply_to(network), cube
+            ).tobytes()
+            if signature not in seen:
+                survivors.add(signature)
+                seen.add(signature)
+        assert len(kept) == len(survivors)
