@@ -57,7 +57,17 @@ Seven workloads, all cross-checked for bit-identical results before timing:
   Session may cost at most ``--max-session-overhead`` (ratio, e.g. 1.05 =
   5 %) over direct calls, and the multi-worker Session's persistent pool
   + owned arena must beat the per-call-pool direct path by
-  ``--min-reuse-speedup`` across repeated calls (fourth CI gate).
+  ``--min-reuse-speedup`` across repeated calls (fourth CI gate).  The
+  same serial loop is re-run with span capture disabled
+  (:func:`repro.observe.set_observation_enabled`); the instrumented /
+  uninstrumented ratio must stay under
+  ``--max-instrumentation-overhead`` (default 1.02 — the span layer may
+  cost at most 2 %, the ``instrumentation_overhead`` gate).
+
+All timings are measured through :mod:`repro.observe` spans
+(``_best_of`` wraps every repeat in a span and takes the minimum), and
+each workload records its measurement span tree in the JSON report
+under ``workloads.<name>.trace``.
 
 Every quality gate is recorded in the JSON report under ``gates`` with its
 required floor/ceiling, the measured value and a status: ``passed``,
@@ -85,7 +95,6 @@ import argparse
 import json
 import os
 import sys
-import time
 import tracemalloc
 
 import numpy as np
@@ -100,16 +109,45 @@ from repro.faults import (
     fault_detection_any,
     fault_detection_matrix,
 )
+from repro.observe import Trace, set_observation_enabled
 from repro.parallel import DEFAULT_CHUNK_WORDS, ExecutionConfig
 from repro.properties import is_sorter
 
 
-def _best_of(repeats: int, thunk) -> float:
+def _best_of(repeats: int, thunk, trace: Trace, label: str) -> float:
+    """Best-of-*repeats* wall-clock of *thunk*, measured through spans.
+
+    Each repeat runs under a child span of one *label* root span in
+    *trace*, so the JSON report records the measurement structure itself
+    as a span tree (``workloads.<name>.trace``).
+    """
     best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        thunk()
-        best = min(best, time.perf_counter() - start)
+    with trace.span(label, repeats=repeats):
+        for _ in range(repeats):
+            with trace.span("repeat") as rep:
+                thunk()
+            best = min(best, rep.seconds)
+    return best
+
+
+def _best_of_unobserved(repeats: int, thunk, trace: Trace, label: str) -> float:
+    """Best-of wall-clock of *thunk* with span capture disabled inside.
+
+    The measuring spans are created while capture is on (a live span
+    keeps reading the clock regardless of the global switch); *thunk*
+    runs with capture off, so any traces it builds internally hand out
+    inert spans — this prices the instrumentation itself.
+    """
+    best = float("inf")
+    with trace.span(label, repeats=repeats, observation="disabled"):
+        for _ in range(repeats):
+            with trace.span("repeat") as rep:
+                previous = set_observation_enabled(False)
+                try:
+                    thunk()
+                finally:
+                    set_observation_enabled(previous)
+            best = min(best, rep.seconds)
     return best
 
 
@@ -130,16 +168,19 @@ def stream_workload(n: int, workers: int, chunk_size: int, repeats: int) -> dict
     if len(set(verdicts.values())) != 1:
         raise AssertionError(f"streamed verdicts disagree: {verdicts}")
 
+    trace = Trace()
     seconds = {
         "single_shot": _best_of(
             repeats,
             lambda: is_sorter(network, strategy="binary", engine="bitpacked"),
+            trace, "single_shot",
         ),
         "streamed_1_worker": _best_of(
             repeats,
             lambda: is_sorter(
                 network, strategy="binary", engine="bitpacked", config=serial_cfg
             ),
+            trace, "streamed_1_worker",
         ),
         f"streamed_{workers}_workers": _best_of(
             repeats,
@@ -149,6 +190,7 @@ def stream_workload(n: int, workers: int, chunk_size: int, repeats: int) -> dict
                 engine="bitpacked",
                 config=parallel_cfg,
             ),
+            trace, f"streamed_{workers}_workers",
         ),
     }
     chunk_bytes = n * (chunk_size // 64) * 8
@@ -167,6 +209,7 @@ def stream_workload(n: int, workers: int, chunk_size: int, repeats: int) -> dict
         "parallel_speedup_over_1_worker": (
             seconds["streamed_1_worker"] / seconds[f"streamed_{workers}_workers"]
         ),
+        "trace": trace.to_dict(),
     }
 
 
@@ -190,18 +233,21 @@ def fault_workload(n: int, workers: int, repeats: int) -> dict:
         )
     del sharded_matrix
 
+    trace = Trace()
     seconds = {
         "bitpacked_1_worker": _best_of(
             repeats,
             lambda: fault_detection_matrix(
                 device, faults, vectors, engine="bitpacked"
             ),
+            trace, "bitpacked_1_worker",
         ),
         f"bitpacked_{workers}_workers": _best_of(
             repeats,
             lambda: fault_detection_matrix(
                 device, faults, vectors, engine="bitpacked", config=sharded_cfg
             ),
+            trace, f"bitpacked_{workers}_workers",
         ),
     }
     return {
@@ -214,6 +260,7 @@ def fault_workload(n: int, workers: int, repeats: int) -> dict:
         "sharded_speedup_over_1_worker": (
             seconds["bitpacked_1_worker"] / seconds[f"bitpacked_{workers}_workers"]
         ),
+        "trace": trace.to_dict(),
     }
 
 
@@ -252,6 +299,7 @@ def prune_workload(n: int, repeats: int, cross_check_n: int = 10) -> dict:
     if not np.array_equal(unpruned, pruned):
         raise AssertionError("pruned coverage verdicts differ from unpruned")
 
+    trace = Trace()
     seconds = {
         "unpruned": _best_of(
             repeats,
@@ -259,6 +307,7 @@ def prune_workload(n: int, repeats: int, cross_check_n: int = 10) -> dict:
                 device, faults, vectors, engine="bitpacked", config=config,
                 prune=False,
             ),
+            trace, "unpruned",
         ),
         "pruned": _best_of(
             repeats,
@@ -266,6 +315,7 @@ def prune_workload(n: int, repeats: int, cross_check_n: int = 10) -> dict:
                 device, faults, vectors, engine="bitpacked", config=config,
                 prune=True,
             ),
+            trace, "pruned",
         ),
     }
     return {
@@ -280,6 +330,7 @@ def prune_workload(n: int, repeats: int, cross_check_n: int = 10) -> dict:
         "dropped_faults": stats.dropped_faults,
         "seconds": seconds,
         "prune_speedup": seconds["unpruned"] / seconds["pruned"],
+        "trace": trace.to_dict(),
     }
 
 
@@ -328,6 +379,7 @@ def arena_workload(n: int, repeats: int, alloc_n: int) -> dict:
             f"{stats_arena.counts()} vs {stats_alloc.counts()}"
         )
 
+    trace = Trace()
     seconds = {
         "arena": _best_of(
             repeats,
@@ -335,6 +387,7 @@ def arena_workload(n: int, repeats: int, alloc_n: int) -> dict:
                 device, faults, vectors, engine="bitpacked", config=config,
                 prune=True,
             ),
+            trace, "arena",
         ),
         "alloc": _best_of(
             repeats,
@@ -342,6 +395,7 @@ def arena_workload(n: int, repeats: int, alloc_n: int) -> dict:
                 device, faults, vectors, engine="bitpacked", config=config,
                 prune=True, arena=False,
             ),
+            trace, "alloc",
         ),
     }
 
@@ -385,6 +439,7 @@ def arena_workload(n: int, repeats: int, alloc_n: int) -> dict:
         "alloc_peak_reduction": (
             (peak_alloc / peak_arena) if peak_arena else float("inf")
         ),
+        "trace": trace.to_dict(),
     }
 
 
@@ -440,9 +495,12 @@ def incremental_workload(
         warm_session.cache.clear()
         retest_loop(warm_session)
 
+    trace = Trace()
     seconds = {
-        "cold": _best_of(repeats, lambda: retest_loop(cold_session)),
-        "warm": _best_of(repeats, warm_from_empty),
+        "cold": _best_of(
+            repeats, lambda: retest_loop(cold_session), trace, "cold"
+        ),
+        "warm": _best_of(repeats, warm_from_empty, trace, "warm"),
     }
     warm_session.cache.clear()
     before = warm_session.cache.stats()
@@ -468,6 +526,7 @@ def incremental_workload(
             "reused_comparators": cache_stats.reused_comparators,
             "stored_bytes": cache_stats.stored_bytes,
         },
+        "trace": trace.to_dict(),
     }
 
 
@@ -512,12 +571,15 @@ def diagnosis_workload(n: int, workers: int, repeats: int) -> dict:
         matrix = session.fault_matrix(device, universe, vectors).matrix
         fault_dictionary_from_matrix(universe, matrix)
 
+    trace = Trace()
     seconds = {
         "dictionary_serial": _best_of(
-            repeats, lambda: build_dictionary(serial)
+            repeats, lambda: build_dictionary(serial),
+            trace, "dictionary_serial",
         ),
         "dictionary_warm_cache": _best_of(
-            repeats, lambda: build_dictionary(cached)
+            repeats, lambda: build_dictionary(cached),
+            trace, "dictionary_warm_cache",
         ),
     }
     resolution = baseline.resolution
@@ -545,6 +607,7 @@ def diagnosis_workload(n: int, workers: int, repeats: int) -> dict:
             "resolution": round(resolution.resolution, 4),
             "fully_resolved": resolution.fully_resolved,
         },
+        "trace": trace.to_dict(),
     }
 
 
@@ -586,21 +649,33 @@ def session_reuse_workload(n: int, workers: int, repeats: int, calls: int = 5) -
                 f"Session {name} coverage differs from the legacy free function"
             )
 
+    trace = Trace()
+
+    def session_serial_loop():
+        for _ in range(calls):
+            serial_session.fault_coverage(device, faults, vectors)
+
     seconds = {
         "direct_serial": _best_of(
-            repeats, lambda: [direct_coverage() for _ in range(calls)]
+            repeats, lambda: [direct_coverage() for _ in range(calls)],
+            trace, "direct_serial",
         ),
         "session_serial": _best_of(
-            repeats,
-            lambda: [
-                serial_session.fault_coverage(device, faults, vectors)
-                for _ in range(calls)
-            ],
+            repeats, session_serial_loop, trace, "session_serial",
+        ),
+        # The identical session loop with span capture disabled — the
+        # session's per-call Trace hands out inert spans, so the delta
+        # prices the instrumentation layer itself (the
+        # instrumentation_overhead gate).
+        "session_serial_no_observation": _best_of_unobserved(
+            repeats, session_serial_loop, trace,
+            "session_serial_no_observation",
         ),
         # Direct sharded calls spawn (and tear down) a worker pool per call;
         # the Session submits every call to its one persistent pool.
         "direct_sharded_pool_per_call": _best_of(
-            repeats, lambda: [direct_coverage(sharded_cfg) for _ in range(calls)]
+            repeats, lambda: [direct_coverage(sharded_cfg) for _ in range(calls)],
+            trace, "direct_sharded_pool_per_call",
         ),
         "session_sharded_persistent_pool": _best_of(
             repeats,
@@ -608,6 +683,7 @@ def session_reuse_workload(n: int, workers: int, repeats: int, calls: int = 5) -
                 parallel_session.fault_coverage(device, faults, vectors)
                 for _ in range(calls)
             ],
+            trace, "session_sharded_persistent_pool",
         ),
     }
     serial_session.close()
@@ -628,6 +704,11 @@ def session_reuse_workload(n: int, workers: int, repeats: int, calls: int = 5) -
             seconds["direct_sharded_pool_per_call"]
             / seconds["session_sharded_persistent_pool"]
         ),
+        "instrumentation_overhead": (
+            seconds["session_serial"]
+            / seconds["session_serial_no_observation"]
+        ),
+        "trace": trace.to_dict(),
     }
 
 
@@ -693,6 +774,14 @@ def main(argv=None) -> int:
         default=1.05,
         help="allowed serial Session/direct wall-clock ratio on repeated "
         "coverage calls (1.05 = 5%% facade overhead; 0 disables)",
+    )
+    parser.add_argument(
+        "--max-instrumentation-overhead",
+        type=float,
+        default=1.02,
+        help="allowed ratio of the span-instrumented serial session loop "
+        "over the same loop with observation disabled (1.02 = 2%% "
+        "instrumentation cost; 0 disables)",
     )
     parser.add_argument(
         "--min-reuse-speedup",
@@ -768,6 +857,7 @@ def main(argv=None) -> int:
     session = report["workloads"]["session_reuse"]
     session_overhead = session["session_overhead_vs_direct"]
     reuse_speedup = session["pool_reuse_speedup"]
+    instrumentation_overhead = session["instrumentation_overhead"]
     incremental = report["workloads"]["incremental_reverify"]
     incremental_speedup = incremental["incremental_speedup"]
     diagnosis = report["workloads"]["multi_fault_diagnosis"]
@@ -836,6 +926,11 @@ def main(argv=None) -> int:
             reuse_speedup >= args.min_reuse_speedup,
             disabled=args.min_reuse_speedup <= 0, needs_multiworker=True,
         ),
+        "instrumentation_overhead": gate(
+            args.max_instrumentation_overhead, instrumentation_overhead,
+            instrumentation_overhead <= args.max_instrumentation_overhead,
+            disabled=args.max_instrumentation_overhead <= 0,
+        ),
         "incremental_reverify_speedup": gate(
             args.min_incremental_speedup, incremental_speedup,
             incremental_speedup >= args.min_incremental_speedup,
@@ -880,7 +975,9 @@ def main(argv=None) -> int:
         f"{args.min_arena_speedup:.2f}x, peak alloc "
         f"{alloc_peaks['arena']} B vs {alloc_peaks['alloc']} B), "
         f"session overhead {session_overhead:.3f}x (ceiling "
-        f"{args.max_session_overhead:.2f}x), pool-reuse speedup "
+        f"{args.max_session_overhead:.2f}x), instrumentation overhead "
+        f"{instrumentation_overhead:.3f}x (ceiling "
+        f"{args.max_instrumentation_overhead:.2f}x), pool-reuse speedup "
         f"{reuse_speedup:.2f}x (floor {args.min_reuse_speedup:.2f}x), "
         f"incremental re-verify speedup {incremental_speedup:.2f}x (floor "
         f"{args.min_incremental_speedup:.2f}x, cache hit rate "

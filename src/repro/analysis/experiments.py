@@ -28,11 +28,11 @@ Experiment index (matching DESIGN.md):
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-import time
 
 from ..constructions.batcher import batcher_sorting_network
 from ..core.network import ComparatorNetwork
 from ..core.random_networks import as_rng
+from ..observe import Trace
 from ..testsets import formulas
 from ..testsets.adversary import (
     brute_force_near_sorter,
@@ -163,20 +163,21 @@ def experiment_fig2(*, brute_force_max_size: int = 3) -> list[Row]:
 def experiment_lemma21(ns: Iterable[int] = (4, 5, 6, 7, 8)) -> list[Row]:
     """Verify the Lemma 2.1 construction exhaustively for each *n*."""
     rows: list[Row] = []
+    trace = Trace()
     for n in ns:
         sigmas = unsorted_binary_words(n)
-        start = time.perf_counter()
         valid = 0
         one_interchange = 0
         max_size = 0
-        for sigma in sigmas:
-            network = near_sorter(sigma)
-            max_size = max(max_size, network.size)
-            if sorts_exactly_all_but(network, sigma):
-                valid += 1
-            if one_interchange_observation_holds(sigma, network):
-                one_interchange += 1
-        elapsed = time.perf_counter() - start
+        with trace.span("lemma21", n=n) as span:
+            for sigma in sigmas:
+                network = near_sorter(sigma)
+                max_size = max(max_size, network.size)
+                if sorts_exactly_all_but(network, sigma):
+                    valid += 1
+                if one_interchange_observation_holds(sigma, network):
+                    one_interchange += 1
+        elapsed = span.seconds
         rows.append(
             {
                 "experiment": "E3",
@@ -205,10 +206,10 @@ def experiment_thm22_binary(
 
     Rows also record per-engine wall-clock for *applying* the test set (a
     Batcher sorter verified with ``strategy="testset"`` through the
-    :class:`repro.api.Session` facade — the timings are the
-    ``execution.seconds`` the result objects report) up to
-    ``timing_up_to`` lines, so EXPERIMENTS.md shows the engine speedups
-    alongside the sizes.
+    :class:`repro.api.Session` facade — the timings are the root spans of
+    the ``execution.trace`` the result objects carry, see
+    :mod:`repro.observe`) up to ``timing_up_to`` lines, so EXPERIMENTS.md
+    shows the engine speedups alongside the sizes.
     """
     from ..api import Session
     from ..testsets.minimal import empirical_sorting_test_set_size
@@ -236,7 +237,11 @@ def experiment_thm22_binary(
             seconds: dict[str, float] = {}
             for eng, session in sessions.items():
                 result = session.verify(device, "sorter", strategy="testset")
-                seconds[eng] = result.execution.seconds
+                trace = result.execution.trace
+                seconds[eng] = (
+                    trace.root.seconds if trace is not None and trace.root
+                    else result.execution.seconds
+                )
                 assert result.verdict, f"batcher({n}) must verify as a sorter"
             row["verify_seconds_vectorized"] = round(seconds["vectorized"], 5)
             row["verify_seconds_bitpacked"] = round(seconds["bitpacked"], 5)
@@ -529,7 +534,11 @@ def experiment_fault_coverage(
                 report = sessions[workers].fault_coverage(
                     device, faults, vectors
                 )
-                elapsed = report.execution.seconds
+                trace = report.execution.trace
+                elapsed = (
+                    trace.root.seconds if trace is not None and trace.root
+                    else report.execution.seconds
+                )
                 if name == "theorem22-binary-testset" and workers == 1:
                     baseline_seconds = elapsed
                 speedup: float | None = None

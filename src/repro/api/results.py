@@ -27,6 +27,7 @@ import numpy as np
 from ..cache.store import CacheStats
 from ..faults.diagnosis import DiagnosticResolution, FaultDictionary
 from ..faults.simulation import SimulationStats
+from ..observe import Trace
 
 __all__ = [
     "ExecutionInfo",
@@ -60,12 +61,20 @@ class ExecutionInfo:
         workload; ``(1, 1)`` for a serial single-chunk run, ``None`` for
         the non-fault workloads.
     seconds : float
-        Wall-clock of the call (``time.perf_counter`` based).
+        Wall-clock of the call (the root span of :attr:`trace`; kept as
+        a plain float for compatibility).
     cache : CacheStats or None
         What this call took from / added to the Session's result cache
         (counter fields are per-call deltas, ``stored_bytes`` / ``entries``
         are the store's state after the call); ``None`` when the Session
         runs uncached.  See ``docs/CACHING.md``.
+    trace : repro.observe.Trace or None
+        The call's span tree: one root span per workload with nested
+        phase spans and the call's counter totals (simulation counters,
+        per-call cache deltas, engine downgrades) attached.  ``None``
+        when span capture is disabled
+        (:func:`repro.observe.set_observation_enabled`).  Export with
+        ``trace.to_json()`` or the CLI's ``--trace`` flag.
     """
 
     engine_requested: str
@@ -75,6 +84,7 @@ class ExecutionInfo:
     grid_shape: tuple[int, int] | None
     seconds: float
     cache: CacheStats | None = None
+    trace: Trace | None = None
 
     @property
     def engine_downgraded(self) -> bool:

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 import os
-import time
 
 from .._typing import WordLike
 from ..cache.store import CacheStats, ResultCache, resolve_cache
@@ -44,6 +43,7 @@ from ..exceptions import ExecutionConfigError, TestSetError
 from ..faults.coverage import _coverage_report_impl
 from ..faults.diagnosis import adaptive_test_order, fault_dictionary_from_matrix
 from ..faults.models import Fault
+from ..observe import Trace
 from ..faults.simulation import (
     CubeVectors,
     SimulationStats,
@@ -262,20 +262,44 @@ class Session:
         config: ExecutionConfig | None,
         engine_effective: str,
         grid_shape: tuple[int, int] | None,
-        seconds: float,
+        trace: Trace,
         cache_before: CacheStats | None = None,
+        *,
+        downgrades: int = 0,
+        stats: SimulationStats | None = None,
     ) -> ExecutionInfo:
+        """Assemble the call's :class:`ExecutionInfo` from its trace.
+
+        Attaches the call's counter totals to the root span — simulation
+        counters (when *stats* ran), per-call cache deltas under a
+        ``cache.`` prefix, and the ``engine_downgrades`` delta — so the
+        exported trace carries exactly the numbers the legacy stats
+        classes report.  ``seconds`` is the root span's wall-clock; with
+        span capture disabled (:func:`repro.observe.set_observation_enabled`)
+        the trace is empty, ``seconds`` reads 0.0 and ``trace`` is None.
+        """
         cache_stats = None
         if self.cache is not None and cache_before is not None:
             cache_stats = self.cache.stats().delta(cache_before)
+        root = trace.root
+        if root is not None:
+            root.add_counters({"engine_downgrades": downgrades})
+            if stats is not None:
+                root.add_counters(stats.metrics.as_dict())
+            if cache_stats is not None:
+                root.add_counters({
+                    f"cache.{name}": getattr(cache_stats, name)
+                    for name in CacheStats._COUNTERS
+                })
         return ExecutionInfo(
             engine_requested=self.engine,
             engine_effective=engine_effective,
             workers=self._resolved_workers(config),
             chunk_words=self._chunk_words(config),
             grid_shape=grid_shape,
-            seconds=seconds,
+            seconds=root.seconds if root is not None else 0.0,
             cache=cache_stats,
+            trace=trace if root is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -317,21 +341,27 @@ class Session:
         config = self._config()
         before = engine_downgrade_count()
         cache_before = self._cache_before()
-        start = time.perf_counter()
-        if prop == "sorter":
-            verdict = _is_sorter_impl(
-                network, strategy=strategy, engine=self.engine, config=config,
-                cache=self.cache,
-            )
-        elif prop == "selector":
-            verdict = _is_selector_impl(
-                network, k, strategy=strategy, engine=self.engine, config=config
-            )
-        else:
-            verdict = _is_merger_impl(
-                network, strategy=strategy, engine=self.engine, config=config
-            )
-        seconds = time.perf_counter() - start
+        trace = Trace()
+        with trace.span(
+            "session.verify", engine=self.engine, property=prop,
+            strategy=strategy, n_lines=network.n_lines,
+        ):
+            with trace.span(prop):
+                if prop == "sorter":
+                    verdict = _is_sorter_impl(
+                        network, strategy=strategy, engine=self.engine,
+                        config=config, cache=self.cache,
+                    )
+                elif prop == "selector":
+                    verdict = _is_selector_impl(
+                        network, k, strategy=strategy, engine=self.engine,
+                        config=config,
+                    )
+                else:
+                    verdict = _is_merger_impl(
+                        network, strategy=strategy, engine=self.engine,
+                        config=config,
+                    )
         effective = self.engine
         if self.engine != "vectorized" and (
             engine_downgrade_count() > before
@@ -348,7 +378,8 @@ class Session:
             k=k if prop == "selector" else None,
             n_lines=network.n_lines,
             execution=self._execution_info(
-                config, effective, None, seconds, cache_before
+                config, effective, None, trace, cache_before,
+                downgrades=engine_downgrade_count() - before,
             ),
         )
 
@@ -377,11 +408,16 @@ class Session:
         config = self._config()
         before = engine_downgrade_count()
         cache_before = self._cache_before()
-        start = time.perf_counter()
-        passed = _network_passes_test_set_impl(
-            network, words, engine=self.engine, config=config, cache=self.cache
-        )
-        seconds = time.perf_counter() - start
+        trace = Trace()
+        with trace.span(
+            "session.passes_test_set", engine=self.engine,
+            n_lines=network.n_lines, vectors=len(words),
+        ):
+            with trace.span("apply_test_set"):
+                passed = _network_passes_test_set_impl(
+                    network, words, engine=self.engine, config=config,
+                    cache=self.cache,
+                )
         effective = self.engine
         if self.engine != "vectorized" and engine_downgrade_count() > before:
             effective = "vectorized"
@@ -390,7 +426,8 @@ class Session:
             vectors_used=len(words),
             n_lines=network.n_lines,
             execution=self._execution_info(
-                config, effective, None, seconds, cache_before
+                config, effective, None, trace, cache_before,
+                downgrades=engine_downgrade_count() - before,
             ),
         )
 
@@ -424,21 +461,26 @@ class Session:
         """
         config = self._config()
         stats = SimulationStats()
+        before = engine_downgrade_count()
         cache_before = self._cache_before()
-        start = time.perf_counter()
-        matrix = _fault_detection_matrix_impl(
-            network,
-            faults,
-            test_vectors,
-            criterion=criterion,
-            engine=self.engine,
-            config=config,
-            prune=self.prune,
-            stats=stats,
-            arena=self._fault_arena(),
-            cache=self.cache,
-        )
-        seconds = time.perf_counter() - start
+        trace = Trace()
+        with trace.span(
+            "session.fault_matrix", engine=self.engine,
+            criterion=criterion, n_lines=network.n_lines,
+        ):
+            with trace.span("simulate"):
+                matrix = _fault_detection_matrix_impl(
+                    network,
+                    faults,
+                    test_vectors,
+                    criterion=criterion,
+                    engine=self.engine,
+                    config=config,
+                    prune=self.prune,
+                    stats=stats,
+                    arena=self._fault_arena(),
+                    cache=self.cache,
+                )
         return FaultMatrixResult(
             matrix=matrix,
             criterion=criterion,
@@ -446,7 +488,8 @@ class Session:
             num_vectors=matrix.shape[1],
             stats=stats,
             execution=self._execution_info(
-                config, self.engine, stats.planned_grid, seconds, cache_before
+                config, self.engine, stats.planned_grid, trace, cache_before,
+                downgrades=engine_downgrade_count() - before, stats=stats,
             ),
         )
 
@@ -475,21 +518,26 @@ class Session:
         """
         config = self._config()
         stats = SimulationStats()
+        before = engine_downgrade_count()
         cache_before = self._cache_before()
-        start = time.perf_counter()
-        legacy = _coverage_report_impl(
-            network,
-            faults,
-            test_vectors,
-            criterion=criterion,
-            engine=self.engine,
-            config=config,
-            prune=self.prune,
-            stats=stats,
-            arena=self._fault_arena(),
-            cache=self.cache,
-        )
-        seconds = time.perf_counter() - start
+        trace = Trace()
+        with trace.span(
+            "session.fault_coverage", engine=self.engine,
+            criterion=criterion, n_lines=network.n_lines,
+        ):
+            with trace.span("simulate"):
+                legacy = _coverage_report_impl(
+                    network,
+                    faults,
+                    test_vectors,
+                    criterion=criterion,
+                    engine=self.engine,
+                    config=config,
+                    prune=self.prune,
+                    stats=stats,
+                    arena=self._fault_arena(),
+                    cache=self.cache,
+                )
         return CoverageReport(
             total_faults=legacy.total_faults,
             detected_faults=legacy.detected_faults,
@@ -499,7 +547,8 @@ class Session:
             criterion=criterion,
             stats=stats,
             execution=self._execution_info(
-                config, self.engine, stats.planned_grid, seconds, cache_before
+                config, self.engine, stats.planned_grid, trace, cache_before,
+                downgrades=engine_downgrade_count() - before, stats=stats,
             ),
         )
 
@@ -535,28 +584,37 @@ class Session:
         """
         config = self._config()
         stats = SimulationStats()
+        before = engine_downgrade_count()
         cache_before = self._cache_before()
-        start = time.perf_counter()
-        matrix = _fault_detection_matrix_impl(
-            network,
-            faults,
-            test_vectors,
-            criterion=criterion,
-            engine=self.engine,
-            config=config,
-            prune=self.prune,
-            stats=stats,
-            arena=self._fault_arena(),
-            cache=self.cache,
-        )
-        dictionary = fault_dictionary_from_matrix(
-            faults, matrix, criterion=criterion
-        )
-        resolution = dictionary.resolution()
-        test_order = tuple(adaptive_test_order(matrix))
-        seconds = time.perf_counter() - start
+        trace = Trace()
+        with trace.span(
+            "session.diagnose", engine=self.engine,
+            criterion=criterion, n_lines=network.n_lines,
+        ):
+            with trace.span("matrix"):
+                matrix = _fault_detection_matrix_impl(
+                    network,
+                    faults,
+                    test_vectors,
+                    criterion=criterion,
+                    engine=self.engine,
+                    config=config,
+                    prune=self.prune,
+                    stats=stats,
+                    arena=self._fault_arena(),
+                    cache=self.cache,
+                )
+            with trace.span("dictionary"):
+                dictionary = fault_dictionary_from_matrix(
+                    faults, matrix, criterion=criterion
+                )
+            with trace.span("resolution"):
+                resolution = dictionary.resolution()
+            with trace.span("adaptive_order"):
+                test_order = tuple(adaptive_test_order(matrix))
         execution = self._execution_info(
-            config, self.engine, stats.planned_grid, seconds, cache_before
+            config, self.engine, stats.planned_grid, trace, cache_before,
+            downgrades=engine_downgrade_count() - before, stats=stats,
         )
         detected = matrix.any(axis=1)
         by_kind: dict[str, tuple[int, int]] = {}

@@ -37,6 +37,8 @@ from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
+from ..observe import Metrics
+
 if TYPE_CHECKING:
     from ..faults.simulation import PrefixStates
 
@@ -59,6 +61,12 @@ _ENTRY_OVERHEAD = 256
 @dataclass(frozen=True)
 class CacheStats:
     """A snapshot of (or a delta between) cache counters.
+
+    The live counters are a :class:`repro.observe.Metrics` registry
+    owned by :class:`ResultCache`; this frozen dataclass is the
+    immutable view :meth:`ResultCache.stats` builds from it (plus the
+    two occupancy gauges), and :meth:`delta` stays the per-call
+    difference API.
 
     Attributes
     ----------
@@ -218,7 +226,9 @@ class ResultCache:
         self._verdicts: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
         self._memos: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
         self._bytes = 0
-        self._counts = dict.fromkeys(CacheStats._COUNTERS, 0)
+        # The counters live in an observe registry; CacheStats is the
+        # frozen snapshot view built from it (see repro.observe).
+        self._metrics = Metrics(CacheStats._COUNTERS)
 
     # -- stats ---------------------------------------------------------
     def stats(self) -> CacheStats:
@@ -229,7 +239,7 @@ class ResultCache:
                 len(self._prefix) + len(self._inputs)
                 + len(self._verdicts) + len(self._memos)
             ),
-            **self._counts,
+            **self._metrics.as_dict(),
         )
 
     def clear(self) -> None:
@@ -272,8 +282,8 @@ class ResultCache:
         entry = self._prefix.get((context, codes))
         if entry is not None:
             self._prefix.move_to_end((context, codes))
-            self._counts["prefix_hits"] += 1
-            self._counts["reused_comparators"] += size
+            self._metrics.increment("prefix_hits")
+            self._metrics.increment("reused_comparators", size)
             return entry.states, size
         for length in range(size, 0, -1):
             bucket = self._prefix_index.get((context, hashes[length], length))
@@ -283,10 +293,10 @@ class ResultCache:
                 donor = self._prefix.get(key)
                 if donor is not None and donor.codes[:length] == codes[:length]:
                     self._prefix.move_to_end(key)
-                    self._counts["prefix_partial_hits"] += 1
-                    self._counts["reused_comparators"] += length
+                    self._metrics.increment("prefix_partial_hits")
+                    self._metrics.increment("reused_comparators", length)
                     return donor.states, length
-        self._counts["prefix_misses"] += 1
+        self._metrics.increment("prefix_misses")
         return None, 0
 
     def prefix_store(
@@ -338,10 +348,10 @@ class ResultCache:
         """The packed batch stored under *token*, or ``None``."""
         hit = self._inputs.get(token)
         if hit is None:
-            self._counts["input_misses"] += 1
+            self._metrics.increment("input_misses")
             return None
         self._inputs.move_to_end(token)
-        self._counts["input_hits"] += 1
+        self._metrics.increment("input_hits")
         return hit[0]
 
     def put_input(self, token: tuple, packed: Any) -> None:
@@ -353,10 +363,10 @@ class ResultCache:
         """The verdict stored under *key*, or ``None`` (a miss)."""
         hit = self._verdicts.get(key)
         if hit is None:
-            self._counts["verdict_misses"] += 1
+            self._metrics.increment("verdict_misses")
             return None
         self._verdicts.move_to_end(key)
-        self._counts["verdict_hits"] += 1
+        self._metrics.increment("verdict_hits")
         return hit[0]
 
     def put_verdict(self, key: tuple, value: Any) -> None:
@@ -392,9 +402,9 @@ class ResultCache:
         hit = self._memos.get(key)
         if hit is not None:
             self._memos.move_to_end(key)
-            self._counts["memo_hits"] += 1
+            self._metrics.increment("memo_hits")
             return hit[0]
-        self._counts["memo_misses"] += 1
+        self._metrics.increment("memo_misses")
         value = compute()
         if value is not None:
             self._put_flat(
@@ -434,7 +444,7 @@ class ResultCache:
                 self._discharge_prefix(entry)
             else:
                 self._bytes -= entry[1]
-            self._counts["evictions"] += 1
+            self._metrics.increment("evictions")
 
 
 _DEFAULT_CACHE: ResultCache | None = None

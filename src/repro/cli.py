@@ -58,6 +58,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import TYPE_CHECKING
 
@@ -123,6 +124,38 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="words per streamed chunk (constant-memory exhaustive runs)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write the call's span tree (repro.observe JSON) to FILE; "
+        "the REPRO_TRACE environment variable sets a default",
+    )
+
+
+def _trace_path(args: argparse.Namespace) -> str | None:
+    """The span-tree output path: ``--trace`` or the REPRO_TRACE env var."""
+    path = getattr(args, "trace", None)
+    if path is None:
+        path = os.environ.get("REPRO_TRACE") or None
+    return path
+
+
+def _write_trace(args: argparse.Namespace, execution) -> None:
+    """Write ``execution.trace`` as JSON when a trace path is configured."""
+    path = _trace_path(args)
+    if path is None:
+        return
+    trace = getattr(execution, "trace", None)
+    if trace is None:
+        print(
+            "note: span capture is disabled; no trace written",
+            file=sys.stderr,
+        )
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace.to_json())
+        fh.write("\n")
 
 
 def _build_session(
@@ -381,6 +414,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         result = session.verify(
             network, args.property, k=args.k, strategy=args.strategy
         )
+    _write_trace(args, result.execution)
     print(
         f"property={args.property} engine={args.engine} "
         f"workers={result.execution.workers} "
@@ -474,6 +508,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         report = session.fault_coverage(
             device, faults, vectors, criterion=args.criterion
         )
+    _write_trace(args, report.execution)
     stats = report.stats
     print(
         f"device={args.kind}({args.n}) engine={args.engine} "
@@ -506,6 +541,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     vectors = sorting_binary_test_set(args.n)
     with _build_session(args, default_engine="bitpacked") as session:
         result = session.diagnose(device, faults, vectors, criterion=args.criterion)
+    _write_trace(args, result.execution)
     res = result.resolution
     print(
         f"device={args.kind}({args.n}) engine={args.engine} "

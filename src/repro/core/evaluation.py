@@ -36,6 +36,7 @@ import numpy as np
 from .._registry import builtin_engine_names, get_engine
 from .._typing import Batch
 from ..exceptions import EngineDowngradeWarning, InputLengthError
+from ..observe import global_metrics
 from .network import ComparatorNetwork
 
 __all__ = [
@@ -87,9 +88,9 @@ def nonbinary_engine(engine: str) -> str:
 
 
 # Downgrade bookkeeping for narrow_binary_batch: a monotone per-process
-# counter (the repro.api Session snapshots it around a call to report the
-# effective engine) plus a one-time-warning latch.
-_DOWNGRADE_COUNT = 0
+# observe counter (the repro.api Session snapshots it around a call to
+# report the effective engine and to surface the delta in the call's
+# trace) plus a one-time-warning latch.
 _DOWNGRADE_WARNED = False
 
 
@@ -98,13 +99,16 @@ def engine_downgrade_count() -> int:
 
     Incremented by :func:`narrow_binary_batch` every time a non-binary
     batch forces a binary-only engine (e.g. ``"bitpacked"``) down to
-    ``"vectorized"``.  The :mod:`repro.api` Session diffs this counter
-    around a call to fill the ``engine_effective`` field of its result
-    objects.  Worker processes of a sharded run count in their own
-    processes; the parent-side counter still moves for every path that
-    narrows in the parent (all current ones do).
+    ``"vectorized"``.  The count lives in the process-wide
+    :func:`repro.observe.global_metrics` registry (counter
+    ``"engine_downgrades"``), so downgrades also show up in span traces;
+    the :mod:`repro.api` Session diffs this counter around a call to
+    fill the ``engine_effective`` field of its result objects.  Worker
+    processes of a sharded run count in their own processes; the
+    parent-side counter still moves for every path that narrows in the
+    parent (all current ones do).
     """
-    return _DOWNGRADE_COUNT
+    return global_metrics().get("engine_downgrades")
 
 
 def reset_engine_downgrade_warning() -> None:
@@ -119,8 +123,8 @@ def reset_engine_downgrade_warning() -> None:
 
 
 def _note_engine_downgrade(engine: str) -> None:
-    global _DOWNGRADE_COUNT, _DOWNGRADE_WARNED
-    _DOWNGRADE_COUNT += 1
+    global _DOWNGRADE_WARNED
+    global_metrics().increment("engine_downgrades")
     if not _DOWNGRADE_WARNED:
         _DOWNGRADE_WARNED = True
         warnings.warn(

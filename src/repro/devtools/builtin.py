@@ -19,6 +19,9 @@ RPR006 fault-free prefix states are acquired through               ``src``
        ``repro.cache.acquire_prefix_states`` — direct
        ``PrefixStates.build(...)`` calls bypass the cache's
        incremental front end
+RPR007 wall-clock reads (``time.perf_counter()``/``time.time``/    ``src``
+       ``time.monotonic``...) happen only inside ``repro.observe``
+       — everything else measures through spans
 ====== =========================================================== ==========
 
 RPR001 is deliberately conservative: it flags *calls* (``np.zeros(...)``,
@@ -46,6 +49,7 @@ __all__ = [
     "WorkerShippingRule",
     "DocstringRule",
     "PrefixBuildRule",
+    "RawClockRule",
 ]
 
 # ----------------------------------------------------------------------
@@ -622,3 +626,100 @@ class PrefixBuildRule(Rule):
                     "states through repro.cache.acquire_prefix_states "
                     "(prefix reuse, bit-identical) instead",
                 )
+
+
+# ----------------------------------------------------------------------
+# RPR007 — wall-clock reads only inside repro.observe
+# ----------------------------------------------------------------------
+@register_rule
+class RawClockRule(Rule):
+    """RPR007: ``time.perf_counter()`` & friends only in ``repro.observe``."""
+
+    id = "RPR007"
+    summary = (
+        "raw clock reads (time.perf_counter/time.time/time.monotonic) "
+        "outside repro.observe — measure through Trace.span() so timings "
+        "land in the span tree"
+    )
+    scope = "src"
+
+    #: The instrumentation layer itself is the single sanctioned reader.
+    exempt_prefixes = ("repro.observe",)
+
+    #: ``time``-module callables that read the wall clock.  ``sleep`` and
+    #: the struct-time helpers are deliberately not listed — the rule
+    #: polices self-measurement, not scheduling.
+    clock_names = frozenset(
+        {
+            "perf_counter",
+            "perf_counter_ns",
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag clock calls, including through import and local aliases."""
+        if ctx.module is not None and (
+            ctx.module.startswith(self.exempt_prefixes)
+            or ctx.module.startswith("repro.devtools")
+        ):
+            return
+        modules, names = self._time_aliases(ctx.tree)
+        if not modules and not names:
+            return
+        aliases = dict(names)
+        for node in ast.walk(ctx.tree):
+            # Local clock aliases: ``clock = time.perf_counter``.
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id in modules
+                and node.value.attr in self.clock_names
+            ):
+                aliases[node.targets[0].id] = node.value.attr
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            display = None
+            if (
+                isinstance(callee, ast.Attribute)
+                and isinstance(callee.value, ast.Name)
+                and callee.value.id in modules
+                and callee.attr in self.clock_names
+            ):
+                display = f"{callee.value.id}.{callee.attr}"
+            elif isinstance(callee, ast.Name) and callee.id in aliases:
+                display = callee.id
+            if display is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raw clock read {display}() outside repro.observe — "
+                    "wrap the region in Trace.span() (repro.observe) so "
+                    "the timing joins the span tree",
+                )
+
+    @staticmethod
+    def _time_aliases(tree: ast.Module) -> tuple[set[str], dict[str, str]]:
+        """``(module_aliases, clock_from_imports)`` for the ``time`` module."""
+        modules: set[str] = set()
+        names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        modules.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in RawClockRule.clock_names:
+                        names[alias.asname or alias.name] = alias.name
+        return modules, names

@@ -102,6 +102,7 @@ from ..core.evaluation import (
 from ..core.network import ComparatorNetwork
 from ..core.scratch import PlaneArena, allocation_free, shared_arena
 from ..exceptions import FaultModelError
+from ..observe import Metrics
 from ..words.binary import is_sorted_word
 from .models import (
     Fault,
@@ -172,7 +173,19 @@ class CubeVectors:
         return 1 << self.n
 
 
-@dataclass
+#: Counter schema of the pruned fault simulator, in wire order.  This is
+#: the :meth:`repro.observe.Metrics.pack` layout shipped worker → parent
+#: and stored in cache verdict memos; :class:`SimulationStats` is a thin
+#: view over a ``Metrics`` built from it.
+SIMULATION_COUNTERS = (
+    "faults",
+    "converged_faults",
+    "dropped_faults",
+    "evaluated_stage_blocks",
+    "pruned_stage_blocks",
+)
+
+
 class SimulationStats:
     """Work counters reported by the pruned bit-packed fault simulator.
 
@@ -181,6 +194,13 @@ class SimulationStats:
     instance through the ``stats=`` keyword of
     :func:`fault_detection_matrix` (or the coverage helpers) and the
     counters accumulate across chunks, faults and worker processes.
+
+    The class is a thin view over a :class:`repro.observe.Metrics`
+    registry (schema :data:`SIMULATION_COUNTERS`, exposed as
+    :attr:`metrics`): the named attributes read and write the registry,
+    and :meth:`counts` / :meth:`merge_counts` are the registry's
+    ``pack()`` / ``merge_packed()`` wire format — the single aggregation
+    path across worker processes and cache replays.
 
     Attributes
     ----------
@@ -206,6 +226,8 @@ class SimulationStats:
         (not merged across workers, not part of :meth:`counts`); this is
         what the :mod:`repro.api` result objects report, so the label can
         never drift from the dispatch that actually ran.
+    metrics : repro.observe.Metrics
+        The backing counter registry (``SIMULATION_COUNTERS`` schema).
 
     Examples
     --------
@@ -215,12 +237,78 @@ class SimulationStats:
     0.0
     """
 
-    faults: int = 0
-    converged_faults: int = 0
-    dropped_faults: int = 0
-    evaluated_stage_blocks: int = 0
-    pruned_stage_blocks: int = 0
-    planned_grid: tuple[int, int] | None = None
+    __slots__ = ("metrics", "planned_grid")
+
+    def __init__(
+        self,
+        faults: int = 0,
+        converged_faults: int = 0,
+        dropped_faults: int = 0,
+        evaluated_stage_blocks: int = 0,
+        pruned_stage_blocks: int = 0,
+        planned_grid: tuple[int, int] | None = None,
+    ) -> None:
+        self.metrics = Metrics(
+            SIMULATION_COUNTERS,
+            initial={
+                "faults": faults,
+                "converged_faults": converged_faults,
+                "dropped_faults": dropped_faults,
+                "evaluated_stage_blocks": evaluated_stage_blocks,
+                "pruned_stage_blocks": pruned_stage_blocks,
+            },
+        )
+        self.planned_grid = planned_grid
+
+    @property
+    def faults(self) -> int:
+        """Number of faults simulated by the pruned engine."""
+        return self.metrics.get("faults")
+
+    @faults.setter
+    def faults(self, value: int) -> None:
+        """Write through to the backing metrics registry."""
+        self.metrics.set("faults", value)
+
+    @property
+    def converged_faults(self) -> int:
+        """Faults whose suffix state converged to the fault-free state."""
+        return self.metrics.get("converged_faults")
+
+    @converged_faults.setter
+    def converged_faults(self, value: int) -> None:
+        """Write through to the backing metrics registry."""
+        self.metrics.set("converged_faults", value)
+
+    @property
+    def dropped_faults(self) -> int:
+        """Fault × chunk simulations skipped entirely by fault dropping."""
+        return self.metrics.get("dropped_faults")
+
+    @dropped_faults.setter
+    def dropped_faults(self, value: int) -> None:
+        """Write through to the backing metrics registry."""
+        self.metrics.set("dropped_faults", value)
+
+    @property
+    def evaluated_stage_blocks(self) -> int:
+        """Comparator-block operations actually performed."""
+        return self.metrics.get("evaluated_stage_blocks")
+
+    @evaluated_stage_blocks.setter
+    def evaluated_stage_blocks(self, value: int) -> None:
+        """Write through to the backing metrics registry."""
+        self.metrics.set("evaluated_stage_blocks", value)
+
+    @property
+    def pruned_stage_blocks(self) -> int:
+        """Comparator-block operations skipped by dominated-state pruning."""
+        return self.metrics.get("pruned_stage_blocks")
+
+    @pruned_stage_blocks.setter
+    def pruned_stage_blocks(self, value: int) -> None:
+        """Write through to the backing metrics registry."""
+        self.metrics.set("pruned_stage_blocks", value)
 
     @property
     def total_stage_blocks(self) -> int:
@@ -237,23 +325,31 @@ class SimulationStats:
         total = self.total_stage_blocks
         return (self.pruned_stage_blocks / total) if total else 0.0
 
-    def counts(self) -> tuple[int, int, int, int, int]:
-        """The raw counters as a picklable tuple (worker → parent)."""
-        return (
-            self.faults,
-            self.converged_faults,
-            self.dropped_faults,
-            self.evaluated_stage_blocks,
-            self.pruned_stage_blocks,
-        )
+    def counts(self) -> tuple[int, ...]:
+        """The raw counters as a picklable tuple (worker → parent).
+
+        The tuple is :meth:`repro.observe.Metrics.pack` under the
+        :data:`SIMULATION_COUNTERS` schema.
+        """
+        return self.metrics.pack()
 
     def merge_counts(self, counts: Sequence[int]) -> None:
         """Accumulate a :meth:`counts` tuple from another instance."""
-        self.faults += counts[0]
-        self.converged_faults += counts[1]
-        self.dropped_faults += counts[2]
-        self.evaluated_stage_blocks += counts[3]
-        self.pruned_stage_blocks += counts[4]
+        self.metrics.merge_packed(counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimulationStats):
+            return NotImplemented
+        return (
+            self.metrics == other.metrics
+            and self.planned_grid == other.planned_grid
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{k}={v}" for k, v in self.metrics.as_dict().items()
+        )
+        return f"SimulationStats({body}, planned_grid={self.planned_grid!r})"
 
 
 def fault_detection_matrix(

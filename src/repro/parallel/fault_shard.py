@@ -192,7 +192,29 @@ def _worker_arena(network: ComparatorNetwork, prefix):
     return shared_arena(network.n_lines, planes.shape[1], planes.dtype)
 
 
-def _run_bitpacked_span(span: tuple[int, int]) -> tuple[int, int, int, int, int]:
+def _ship_counters(stats) -> tuple[int, ...]:
+    """Worker-side half of the counter aggregation path: the tile's
+    :class:`repro.faults.simulation.SimulationStats` counters packed into
+    the :meth:`repro.observe.Metrics.pack` wire tuple (picklable,
+    bit-exact).  The parent folds these back with
+    :func:`_merge_shipped`; the same tuple format is what cache verdict
+    memos replay, so every aggregation route shares one schema.
+    """
+    return stats.metrics.pack()
+
+
+def _merge_shipped(stats, all_counts) -> None:
+    """Parent-side half of the counter aggregation path: fold every
+    worker's :func:`_ship_counters` tuple into the caller's stats via
+    :meth:`repro.observe.Metrics.merge_packed` (no-op without stats).
+    """
+    if stats is None:
+        return
+    for counts in all_counts:
+        stats.metrics.merge_packed(counts)
+
+
+def _run_bitpacked_span(span: tuple[int, int]) -> tuple[int, ...]:
     from ..faults.simulation import SimulationStats, _fault_rows
 
     start, stop = span
@@ -211,7 +233,7 @@ def _run_bitpacked_span(span: tuple[int, int]) -> tuple[int, int, int, int, int]
         stats=stats,
         arena=_worker_arena(network, prefix),
     )
-    return stats.counts()
+    return _ship_counters(stats)
 
 
 def _init_grid_worker(
@@ -281,7 +303,7 @@ def _grid_chunk_prefix(chunk_index: int):
 
 def _run_grid_tile(
     tile: tuple[int, int, int],
-) -> tuple[int, int, int, int, int]:
+) -> tuple[int, ...]:
     from ..faults.simulation import SimulationStats, _fault_any, _fault_rows
 
     chunk_index, f_start, f_stop = tile
@@ -315,7 +337,7 @@ def _run_grid_tile(
             prune=prune, stats=stats, arena=arena,
         )
         out.array[f_start:f_stop, chunk_index] = detected
-    return stats.counts()
+    return _ship_counters(stats)
 
 
 def _init_generic_worker(
@@ -516,9 +538,7 @@ def sharded_fault_detection_matrix(
                     _run_bitpacked_span,
                     spans,
                 )
-                if stats is not None:
-                    for counts in all_counts:
-                        stats.merge_counts(counts)
+                _merge_shipped(stats, all_counts)
             finally:
                 input_shared.unlink()
                 deltas_shared.unlink()
@@ -603,9 +623,7 @@ def _grid_detection(
             _run_grid_tile,
             tiles,
         )
-        if stats is not None:
-            for counts in all_counts:
-                stats.merge_counts(counts)
+        _merge_shipped(stats, all_counts)
         out = out_shared.array
         return out.copy() if reduce == "matrix" else out.any(axis=1)
     finally:

@@ -39,6 +39,11 @@ import numpy as np
 
 from .._compat import UNSET, unset_or, warn_legacy_exec_kwargs
 from .._typing import BinaryWord
+from ..core.bitpacked import (
+    apply_network_packed,
+    pack_batch,
+    packed_unsorted_blocks,
+)
 from ..core.evaluation import (
     batch_is_sorted,
     check_engine,
@@ -46,6 +51,7 @@ from ..core.evaluation import (
     outputs_on_words,
 )
 from ..core.network import ComparatorNetwork
+from ..core.scratch import allocation_free, shared_arena
 from ..exceptions import TestSetError
 from ..words.binary import is_sorted_word, sorted_binary_words
 
@@ -97,6 +103,52 @@ def permutation_merge_inputs(n: int) -> list[tuple]:
         second = tuple(v for v in range(n) if v not in set(first))
         inputs.append(tuple(first) + second)
     return inputs
+
+
+@allocation_free
+def _merging_violations_arena(outputs, arena, out):
+    """Arena-disciplined violation mask of the merger property checker.
+
+    The packed merging verdict's single seam: the per-block unsorted-word
+    mask of the merged *outputs* lands in *out* (a caller-acquired arena
+    row) with scratch and pad rows drawn from *arena*, so the
+    steady-state check is allocation-free — enforced at runtime by the
+    ``assert_allocation_free`` scenario in
+    ``tests/test_devtools_sanitize.py`` (the sorter's and selector's
+    ``*_violations_arena`` seams are the same discipline for their
+    properties).  Returns ``True`` when every merged word came out
+    sorted.
+    """
+    scratch = arena.acquire()
+    try:
+        mask = packed_unsorted_blocks(
+            outputs,
+            out=out,
+            scratch=arena.plane(scratch),
+            pad=arena.pad_row(outputs.num_words),
+        )
+        return not bool(mask.any())
+    finally:
+        arena.release(scratch)
+
+
+def _packed_merge_verdict(network: ComparatorNetwork, words) -> bool:
+    """The bit-packed merging verdict over a 0/1 word list.
+
+    Packs the half-sorted inputs once, applies the network in plane form
+    and judges the outputs through :func:`_merging_violations_arena` on
+    the shared arena for the batch geometry — bit-identical to the
+    unpacked ``batch_is_sorted`` sweep.
+    """
+    batch = np.asarray(words, dtype=np.int8)
+    packed = pack_batch(batch, n_lines=network.n_lines)
+    outputs = apply_network_packed(network, packed, copy=False)
+    arena = shared_arena(outputs.n_lines, outputs.n_blocks, outputs.planes.dtype)
+    slot = arena.acquire()
+    try:
+        return _merging_violations_arena(outputs, arena, arena.plane(slot))
+    finally:
+        arena.release(slot)
 
 
 def merges_correctly(network: ComparatorNetwork, word) -> bool:
@@ -167,6 +219,11 @@ def _is_merger_impl(
         from ..parallel.executor import chunked_words_all_sorted
 
         return chunked_words_all_sorted(network, words, engine=engine, config=config)
+    if engine == "bitpacked" and strategy in ("binary", "testset"):
+        # 0/1 strategies never leave plane form: the violation mask runs
+        # on arena rows (the RPR001 discipline the sorter and selector
+        # checkers share).
+        return _packed_merge_verdict(network, words)
     outputs = outputs_on_words(network, words, engine=engine)
     return bool(np.all(batch_is_sorted(outputs)))
 

@@ -46,9 +46,9 @@ from ..core.bitpacked import (
     pack_batch,
     packed_all_binary_words,
     packed_is_sorted,
-    packed_is_sorted_arena,
+    packed_unsorted_blocks,
 )
-from ..core.scratch import shared_arena
+from ..core.scratch import allocation_free, shared_arena
 from ..core.evaluation import (
     all_binary_words_array,
     apply_network_to_batch,
@@ -80,6 +80,42 @@ def _nonbinary_engine(engine: str) -> str:
     return nonbinary_engine(engine)
 
 
+@allocation_free
+def _sorting_violations_arena(outputs, arena, out):
+    """Arena-disciplined violation mask of the sorter property checker.
+
+    The single seam through which the property layer judges packed sorter
+    outputs: the per-block unsorted-word mask lands in *out* (a
+    caller-acquired arena row) with scratch and pad rows drawn from
+    *arena*, so the steady-state check is allocation-free — enforced at
+    runtime by the ``assert_allocation_free`` scenario in
+    ``tests/test_devtools_sanitize.py`` (the selector's
+    ``_selection_violations_arena`` is the same seam for k-selection).
+    Returns ``True`` when every word of *outputs* is sorted.
+    """
+    scratch = arena.acquire()
+    try:
+        mask = packed_unsorted_blocks(
+            outputs,
+            out=out,
+            scratch=arena.plane(scratch),
+            pad=arena.pad_row(outputs.num_words),
+        )
+        return not bool(mask.any())
+    finally:
+        arena.release(scratch)
+
+
+def _packed_outputs_sorted(outputs) -> bool:
+    """Judge packed sorter outputs on the shared arena for their geometry."""
+    arena = shared_arena(outputs.n_lines, outputs.n_blocks, outputs.planes.dtype)
+    slot = arena.acquire()
+    try:
+        return _sorting_violations_arena(outputs, arena, arena.plane(slot))
+    finally:
+        arena.release(slot)
+
+
 def _outputs_all_sorted(
     network: ComparatorNetwork, batch: np.ndarray, *, engine: str = "vectorized"
 ) -> bool:
@@ -88,8 +124,7 @@ def _outputs_all_sorted(
         outputs = apply_network_packed(network, packed, copy=False)
         # The violation mask lands in arena rows (RPR001 discipline), not
         # a fresh per-word boolean array.
-        arena = shared_arena(network.n_lines, packed.n_blocks, packed.planes.dtype)
-        return packed_is_sorted_arena(outputs, arena)
+        return _packed_outputs_sorted(outputs)
     outputs = apply_network_to_batch(network, batch, copy=False, engine=engine)
     return bool(np.all(batch_is_sorted(outputs)))
 
@@ -190,8 +225,7 @@ def _is_sorter_impl(
         if engine == "bitpacked":
             packed = packed_all_binary_words(n)
             outputs = apply_network_packed(network, packed, copy=False)
-            arena = shared_arena(n, packed.n_blocks, packed.planes.dtype)
-            return packed_is_sorted_arena(outputs, arena)
+            return _packed_outputs_sorted(outputs)
         return _outputs_all_sorted(network, all_binary_words_array(n), engine=engine)
     if strategy == "testset":
         return _outputs_all_sorted(

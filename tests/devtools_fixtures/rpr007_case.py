@@ -1,0 +1,41 @@
+"""RPR007 fixture: raw wall-clock reads outside ``repro.observe``."""
+
+import time
+import time as clk
+from time import monotonic, perf_counter
+from time import perf_counter as pc
+
+
+def dotted_read():
+    return time.perf_counter()  # EXPECT dotted module call
+
+
+def dotted_alias_read():
+    return clk.time_ns()  # EXPECT through a module alias
+
+
+def from_import_read():
+    start = monotonic()  # EXPECT from-import name
+    return perf_counter() - start  # EXPECT second from-import name
+
+
+def renamed_from_import_read():
+    return pc()  # EXPECT renamed from-import
+
+
+def local_alias_read():
+    clock = time.perf_counter
+    return clock()  # EXPECT local alias call
+
+
+def sleeping_is_fine():
+    time.sleep(0.01)
+    return time.strftime("%H:%M")
+
+
+def shadowed_name_is_fine(perf_log):
+    return perf_log.flush()
+
+
+def suppressed_read():
+    return time.monotonic()  # repro: noqa RPR007 — suppressed on purpose

@@ -102,6 +102,7 @@ class TestApiSurface:
                     "grid_shape",
                     "seconds",
                     "cache",
+                    "trace",
                 ],
             ),
             (

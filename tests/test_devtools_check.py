@@ -49,7 +49,7 @@ def rule_lines(path: Path, rule_id: str) -> list[int]:
 # Golden fixtures, one per rule
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
-    "rule_id", ["RPR001", "RPR002", "RPR003", "RPR004", "RPR006"]
+    "rule_id", ["RPR001", "RPR002", "RPR003", "RPR004", "RPR006", "RPR007"]
 )
 def test_rule_fires_exactly_on_expect_markers(rule_id):
     fixture = FIXTURES / f"rpr{rule_id[3:]}_case.py"
@@ -83,6 +83,19 @@ def test_rpr002_exempts_the_registry_module():
     exempt = FileContext.from_source("src/repro/_registry.py", source)
     assert list(rule.check(exempt)) == []
     plain = FileContext.from_source("src/repro/other.py", source)
+    assert len(list(rule.check(plain))) == 1
+
+
+def test_rpr007_exempts_the_observe_package():
+    rule = get_rule("RPR007")
+    source = "import time\n\nstart = time.perf_counter()\n"
+    for exempt_path in (
+        "src/repro/observe/spans.py",
+        "src/repro/observe/__init__.py",
+    ):
+        exempt = FileContext.from_source(exempt_path, source)
+        assert list(rule.check(exempt)) == []
+    plain = FileContext.from_source("src/repro/api/session.py", source)
     assert len(list(rule.check(plain))) == 1
 
 
@@ -183,6 +196,7 @@ def test_every_rule_is_registered():
         "RPR004",
         "RPR005",
         "RPR006",
+        "RPR007",
     ]
 
 

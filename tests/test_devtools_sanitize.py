@@ -195,6 +195,33 @@ def test_selection_violations_arena(env):
 
 
 # ----------------------------------------------------------------------
+# repro.properties.sorter / repro.properties.merger
+# ----------------------------------------------------------------------
+def test_sorting_violations_arena(env):
+    """The sorter checker's violation-mask seam stays allocation-free."""
+    from repro.properties.sorter import _sorting_violations_arena
+
+    run_budgeted(
+        lambda: _sorting_violations_arena(env.outputs, env.arena, env.row_out),
+        transient=TIGHT,
+        retained=TIGHT,
+        label="_sorting_violations_arena",
+    )
+
+
+def test_merging_violations_arena(env):
+    """The merger checker's violation-mask seam stays allocation-free."""
+    from repro.properties.merger import _merging_violations_arena
+
+    run_budgeted(
+        lambda: _merging_violations_arena(env.outputs, env.arena, env.row_out),
+        transient=TIGHT,
+        retained=TIGHT,
+        label="_merging_violations_arena",
+    )
+
+
+# ----------------------------------------------------------------------
 # repro.faults.simulation
 # ----------------------------------------------------------------------
 def test_prefix_state_after(env):
@@ -280,6 +307,8 @@ COVERED = {
     "repro.core.bitpacked.packed_is_sorted_arena",
     "repro.core.bitpacked.packed_selection_violation_blocks",
     "repro.properties.selector._selection_violations_arena",
+    "repro.properties.sorter._sorting_violations_arena",
+    "repro.properties.merger._merging_violations_arena",
     "repro.faults.simulation.PrefixStates.state_after",
     "repro.faults.simulation._pruned_fault_errors",
     "repro.faults.simulation._errors_detect",

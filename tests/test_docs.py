@@ -43,6 +43,9 @@ DOCUMENTED_MODULES = [
     "repro.cache.keys",
     "repro.cache.store",
     "repro.cache.restore",
+    "repro.observe",
+    "repro.observe.metrics",
+    "repro.observe.spans",
 ]
 
 
@@ -115,6 +118,14 @@ def test_architecture_doc_is_committed_and_linked():
         "Fault dictionaries",
         "adaptive_test_order",
         "enumerate_multi_faults",
+        # The observability section.
+        "Observability",
+        "repro.observe",
+        "session.fault_matrix",
+        "Counter lifecycle",
+        "merge_packed",
+        "set_observation_enabled",
+        "RPR007",
     ):
         assert marker in text, f"docs/ARCHITECTURE.md lost {marker!r}"
     readme = (REPO_ROOT / "README.md").read_text()
@@ -131,6 +142,9 @@ def test_architecture_doc_is_committed_and_linked():
         "--fault-model",
     ):
         assert marker in readme, f"README lost the diagnosis example {marker!r}"
+    # The span-trace export example.
+    for marker in ("Observability", "--trace", "REPRO_TRACE", "execution.trace"):
+        assert marker in readme, f"README lost the trace example {marker!r}"
 
 
 def test_caching_doc_is_committed_and_linked():
