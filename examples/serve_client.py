@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""A complete round trip against the verification service.
+
+Boots ``python -m repro.serve`` on a private unix socket, then uses
+:class:`repro.serve.ServeClient` to:
+
+1. submit a fault-coverage job (Batcher(8), the exhaustive cube, the
+   classical single-fault universe) and decode the typed result;
+2. submit the *identical* job again and watch it deduplicate — same job
+   id, byte-identical ``result_json``, no second simulation;
+3. read the server's counters and the job's ``jobs/<id>/`` directory;
+4. shut the server down gracefully (the job store stays on disk — a
+   restarted server would replay the finished job from it).
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_client.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+import subprocess
+import sys
+import tempfile
+
+from repro.constructions import batcher_sorting_network
+from repro.serve import ServeClient
+from repro.serve.protocol import JobRequest
+
+
+def main() -> None:
+    scratch = Path(tempfile.mkdtemp(dir="/tmp", prefix="repro-serve-demo-"))
+    socket_path = str(scratch / "serve.sock")
+    jobs_dir = scratch / "jobs"
+
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parents[1] / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serve",
+            "--socket", socket_path, "--jobs", str(jobs_dir),
+            "--engine", "bitpacked", "--pool", "2",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    print("server:", server.stdout.readline().strip())
+
+    network = batcher_sorting_network(8)
+    job = JobRequest.build(
+        "fault-coverage",
+        network,
+        vectors={"cube": network.n_lines},
+        faults={"single": True},
+    ).to_dict()
+
+    with ServeClient(socket_path=socket_path) as client:
+        first = client.submit(job, wait=True)
+        report = ServeClient.decode_result(first)
+        print(f"job {first['job_id']}: state={first['state']} "
+              f"deduped={first['deduped']}")
+        print(f"coverage={report.coverage:.4f} "
+              f"({report.detected_faults}/{report.total_faults} faults, "
+              f"engine={report.execution.engine_effective})")
+
+        second = client.submit(job, wait=True)
+        print(f"resubmitted: deduped={second['deduped']} "
+              f"bit-identical={second['result_json'] == first['result_json']}")
+
+        status = client.status()
+        print("server metrics:",
+              json.dumps(status["metrics"], sort_keys=True))
+
+        job_dir = jobs_dir / first["job_id"]
+        print(f"persisted artifacts in {job_dir.name}/:",
+              sorted(p.name for p in job_dir.iterdir()))
+
+        client.shutdown()
+
+    print("server exit code:", server.wait(timeout=30))
+
+
+if __name__ == "__main__":
+    main()

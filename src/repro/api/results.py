@@ -15,16 +15,25 @@ result objects *wrap* them, bit-identically), so migrating is mechanical:
 ``coverage_report(...)`` → ``session.fault_coverage(...)`` whose
 :class:`CoverageReport` carries the same ``coverage`` / ``by_kind``
 numbers.
+
+Every result type (and :class:`ExecutionInfo` itself) doubles as a wire
+format: ``to_json()`` / ``from_json()`` round-trip the full payload —
+packed detection matrix, simulation counters, cache delta, span trace —
+bit-identically through :mod:`repro.api.serialize`.  The
+:mod:`repro.serve` service ships exactly these payloads over its socket.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+import json
+from typing import Any, TypeVar
 
 import numpy as np
 
 from ..cache.store import CacheStats
+from ..exceptions import SerializationError
 from ..faults.diagnosis import DiagnosticResolution, FaultDictionary
 from ..faults.simulation import SimulationStats
 from ..observe import Trace
@@ -38,9 +47,96 @@ __all__ = [
     "DiagnosisResult",
 ]
 
+_R = TypeVar("_R", bound="_WireFormat")
+
+
+class _WireFormat:
+    """JSON wire-format methods shared by the result dataclasses.
+
+    ``to_dict``/``to_json`` delegate to
+    :func:`repro.api.serialize.result_to_dict` (imported lazily — the
+    serializer imports this module at top level); the ``from_*``
+    classmethods rebuild and type-check the instance, so
+    ``VerificationResult.from_json(text)`` refuses a coverage payload
+    instead of mis-typing it.
+    """
+
+    def to_dict(self) -> dict[str, Any]:
+        """This result as a JSON-ready dict (tagged with ``"type"``).
+
+        Returns
+        -------
+        dict
+            The :func:`repro.api.serialize.result_to_dict` payload.
+        """
+        from .serialize import result_to_dict
+
+        return result_to_dict(self)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """This result as a canonical JSON string (sorted keys).
+
+        Parameters
+        ----------
+        indent : int, optional
+            Pretty-print indent; ``None`` (default) for compact output.
+
+        Returns
+        -------
+        str
+            Deterministic JSON — equal results serialise to equal text.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls: type[_R], payload: Mapping[str, Any]) -> _R:
+        """Rebuild an instance from a :meth:`to_dict` payload.
+
+        Parameters
+        ----------
+        payload : mapping
+            A tagged wire dict.
+
+        Returns
+        -------
+        _WireFormat
+            An instance of *this* class.
+
+        Raises
+        ------
+        repro.exceptions.SerializationError
+            If the payload's ``"type"`` tag decodes to a different
+            result class (or is unknown).
+        """
+        from .serialize import result_from_dict
+
+        result = result_from_dict(dict(payload))
+        if not isinstance(result, cls):
+            raise SerializationError(
+                f"payload decodes to {type(result).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return result
+
+    @classmethod
+    def from_json(cls: type[_R], text: str) -> _R:
+        """Rebuild an instance from a :meth:`to_json` string.
+
+        Parameters
+        ----------
+        text : str
+            JSON produced by :meth:`to_json`.
+
+        Returns
+        -------
+        _WireFormat
+            An instance of *this* class (see :meth:`from_dict`).
+        """
+        return cls.from_dict(json.loads(text))
+
 
 @dataclass(frozen=True)
-class ExecutionInfo:
+class ExecutionInfo(_WireFormat):
     """How one Session call actually executed.
 
     Attributes
@@ -93,7 +189,7 @@ class ExecutionInfo:
 
 
 @dataclass(frozen=True)
-class VerificationResult:
+class VerificationResult(_WireFormat):
     """Outcome of :meth:`repro.api.Session.verify`.
 
     Attributes
@@ -125,7 +221,7 @@ class VerificationResult:
 
 
 @dataclass(frozen=True)
-class TestSetResult:
+class TestSetResult(_WireFormat):
     """Outcome of :meth:`repro.api.Session.passes_test_set`.
 
     Attributes
@@ -151,7 +247,7 @@ class TestSetResult:
 
 
 @dataclass(frozen=True)
-class FaultMatrixResult:
+class FaultMatrixResult(_WireFormat):
     """Outcome of :meth:`repro.api.Session.fault_matrix`.
 
     Attributes
@@ -185,7 +281,7 @@ class FaultMatrixResult:
 
 
 @dataclass(frozen=True)
-class CoverageReport:
+class CoverageReport(_WireFormat):
     """Outcome of :meth:`repro.api.Session.fault_coverage`.
 
     Same payload as the legacy :class:`repro.faults.coverage.CoverageReport`
@@ -229,7 +325,7 @@ class CoverageReport:
 
 
 @dataclass(frozen=True)
-class DiagnosisResult:
+class DiagnosisResult(_WireFormat):
     """Outcome of :meth:`repro.api.Session.diagnose`.
 
     Attributes

@@ -1,0 +1,520 @@
+"""JSON wire format for the typed result objects of :mod:`repro.api`.
+
+Every :class:`~repro.api.results` dataclass round-trips through plain
+JSON-ready dicts: ``result_to_dict`` tags the payload with a ``"type"``
+discriminator and ``result_from_dict`` rebuilds the exact dataclass —
+including the packed detection matrix (boolean rows bit-packed with
+:func:`numpy.packbits` and base64-encoded), the
+:class:`~repro.faults.SimulationStats` counters, the per-call
+:class:`~repro.cache.CacheStats` delta, the
+:class:`~repro.observe.Trace` span tree and — for diagnosis results —
+the full :class:`~repro.faults.FaultDictionary` with its fault-model
+instances.
+
+Fault models serialise structurally (class name from the fault-model
+registry plus the dataclass fields, recursing through composites such as
+``MultiFault``/``IntermittentFault``), mirroring
+:func:`repro.cache.keys.fault_token` — so the wire form is independent
+of ``repr`` formatting and any registered model round-trips without a
+hard-coded class list.
+
+This module is what makes the result types a *wire protocol*: the
+:mod:`repro.serve` service ships exactly these payloads over its
+newline-delimited-JSON socket, and the round trip is bit-stable (pinned
+by ``tests/test_result_serialization.py``).
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+import numpy as np
+
+from .._registry import get_fault_model
+from ..cache.store import CacheStats
+from ..exceptions import FaultModelError, SerializationError
+from ..faults.diagnosis import DiagnosticResolution, FaultDictionary
+from ..faults.models import Fault
+from ..faults.simulation import SIMULATION_COUNTERS, SimulationStats
+from ..observe import Trace
+
+__all__ = [
+    "fault_to_dict",
+    "fault_from_dict",
+    "matrix_to_dict",
+    "matrix_from_dict",
+    "stats_to_dict",
+    "stats_from_dict",
+    "execution_to_dict",
+    "execution_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+
+# ----------------------------------------------------------------------
+# Fault models
+# ----------------------------------------------------------------------
+def _fault_field_to_wire(value: Any) -> Any:
+    if isinstance(value, Fault):
+        return fault_to_dict(value)
+    if isinstance(value, tuple):
+        return [_fault_field_to_wire(item) for item in value]
+    return value
+
+
+def _fault_field_from_wire(value: Any) -> Any:
+    if isinstance(value, dict) and "model" in value:
+        return fault_from_dict(value)
+    if isinstance(value, list):
+        return tuple(_fault_field_from_wire(item) for item in value)
+    return value
+
+
+def fault_to_dict(fault: Fault) -> dict[str, Any]:
+    """One fault-model instance as a JSON-ready dict.
+
+    The class name (a fault-model registry name) plus the dataclass
+    fields in declaration order, recursing into nested faults and fault
+    tuples — the wire twin of :func:`repro.cache.keys.fault_token`.
+
+    Parameters
+    ----------
+    fault : Fault
+        A (frozen dataclass) fault-model instance.
+
+    Returns
+    -------
+    dict
+        ``{"model": class_name, "fields": {...}}``.
+    """
+    import dataclasses
+
+    return {
+        "model": type(fault).__name__,
+        "fields": {
+            field.name: _fault_field_to_wire(getattr(fault, field.name))
+            for field in dataclasses.fields(fault)
+        },
+    }
+
+
+def fault_from_dict(payload: dict[str, Any]) -> Fault:
+    """Rebuild a fault-model instance from :func:`fault_to_dict` output.
+
+    The class is resolved through the fault-model registry
+    (:func:`repro.api.registry.get_fault_model`), so plug-in models
+    round-trip exactly like the built-ins.
+
+    Parameters
+    ----------
+    payload : dict
+        A ``{"model": ..., "fields": ...}`` dict.
+
+    Returns
+    -------
+    Fault
+        An instance equal to the one that produced *payload*.
+    """
+    try:
+        cls = get_fault_model(str(payload["model"]))
+    except FaultModelError as exc:
+        raise SerializationError(
+            f"unknown fault model {payload.get('model')!r} — not in the "
+            "fault-model registry"
+        ) from exc
+    fields = {
+        str(name): _fault_field_from_wire(value)
+        for name, value in dict(payload.get("fields") or {}).items()
+    }
+    return cls(**fields)
+
+
+# ----------------------------------------------------------------------
+# Boolean matrices (detection matrices, signatures)
+# ----------------------------------------------------------------------
+def matrix_to_dict(matrix: np.ndarray) -> dict[str, Any]:
+    """A boolean 2-D array as shape + bit-packed base64 payload.
+
+    Parameters
+    ----------
+    matrix : numpy.ndarray
+        Boolean array of shape ``(rows, cols)``.
+
+    Returns
+    -------
+    dict
+        ``{"shape": [rows, cols], "bits": base64}`` — row-major bit
+        order, so the round trip is bit-identical.
+    """
+    data = np.asarray(matrix, dtype=bool)
+    packed = np.packbits(data.reshape(-1))
+    return {
+        "shape": [int(dim) for dim in data.shape],
+        "bits": base64.b64encode(packed.tobytes()).decode("ascii"),
+    }
+
+
+def matrix_from_dict(payload: dict[str, Any]) -> np.ndarray:
+    """Rebuild the boolean array from :func:`matrix_to_dict` output.
+
+    Parameters
+    ----------
+    payload : dict
+        A ``{"shape": ..., "bits": ...}`` dict.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array bit-identical to the one that was packed.
+    """
+    shape = tuple(int(dim) for dim in payload["shape"])
+    count = 1
+    for dim in shape:
+        count *= dim
+    raw = np.frombuffer(base64.b64decode(payload["bits"]), dtype=np.uint8)
+    bits = np.unpackbits(raw, count=count)
+    return bits.reshape(shape).astype(bool)
+
+
+# ----------------------------------------------------------------------
+# Counters and execution metadata
+# ----------------------------------------------------------------------
+def stats_to_dict(stats: SimulationStats) -> dict[str, Any]:
+    """Simulation counters + planned grid as a JSON-ready dict.
+
+    Parameters
+    ----------
+    stats : SimulationStats
+        The counters of one run.
+
+    Returns
+    -------
+    dict
+        ``{"counters": {...}, "planned_grid": [f, c] | None}``.
+    """
+    grid = stats.planned_grid
+    return {
+        "counters": stats.metrics.as_dict(),
+        "planned_grid": None if grid is None else [int(grid[0]), int(grid[1])],
+    }
+
+
+def stats_from_dict(payload: dict[str, Any]) -> SimulationStats:
+    """Rebuild :class:`~repro.faults.SimulationStats` from the wire form.
+
+    Parameters
+    ----------
+    payload : dict
+        A :func:`stats_to_dict` dict.
+
+    Returns
+    -------
+    SimulationStats
+        Counters and planned grid equal to the serialised instance.
+    """
+    counters = dict(payload.get("counters") or {})
+    grid = payload.get("planned_grid")
+    return SimulationStats(
+        planned_grid=None if grid is None else (int(grid[0]), int(grid[1])),
+        **{name: int(counters.get(name, 0)) for name in SIMULATION_COUNTERS},
+    )
+
+
+def execution_to_dict(info: Any) -> dict[str, Any]:
+    """An :class:`~repro.api.ExecutionInfo` as a JSON-ready dict.
+
+    Parameters
+    ----------
+    info : ExecutionInfo
+        The execution metadata of one Session call.
+
+    Returns
+    -------
+    dict
+        All fields, with the grid as a list, the cache delta as a flat
+        dict and the trace as its :meth:`~repro.observe.Trace.to_dict`
+        form.
+    """
+    grid = info.grid_shape
+    return {
+        "type": "execution",
+        "engine_requested": info.engine_requested,
+        "engine_effective": info.engine_effective,
+        "workers": info.workers,
+        "chunk_words": info.chunk_words,
+        "grid_shape": None if grid is None else [int(grid[0]), int(grid[1])],
+        "seconds": info.seconds,
+        "cache": None if info.cache is None else info.cache.as_dict(),
+        "trace": None if info.trace is None else info.trace.to_dict(),
+    }
+
+
+def execution_from_dict(payload: dict[str, Any]) -> Any:
+    """Rebuild an :class:`~repro.api.ExecutionInfo` from the wire form.
+
+    Parameters
+    ----------
+    payload : dict
+        An :func:`execution_to_dict` dict.
+
+    Returns
+    -------
+    ExecutionInfo
+        Field-for-field equal to the serialised instance (the trace
+        round-trips through :meth:`repro.observe.Trace.from_dict`).
+    """
+    from .results import ExecutionInfo
+
+    grid = payload.get("grid_shape")
+    cache = payload.get("cache")
+    trace = payload.get("trace")
+    chunk = payload.get("chunk_words")
+    return ExecutionInfo(
+        engine_requested=str(payload["engine_requested"]),
+        engine_effective=str(payload["engine_effective"]),
+        workers=int(payload["workers"]),
+        chunk_words=None if chunk is None else int(chunk),
+        grid_shape=None if grid is None else (int(grid[0]), int(grid[1])),
+        seconds=float(payload["seconds"]),
+        cache=None if cache is None else CacheStats(
+            **{str(k): int(v) for k, v in cache.items()}
+        ),
+        trace=None if trace is None else Trace.from_dict(trace),
+    )
+
+
+def _resolution_to_dict(resolution: DiagnosticResolution) -> dict[str, Any]:
+    return {
+        "num_faults": resolution.num_faults,
+        "num_classes": resolution.num_classes,
+        "singleton_classes": resolution.singleton_classes,
+        "max_class_size": resolution.max_class_size,
+        "undetected_faults": resolution.undetected_faults,
+        "resolution": resolution.resolution,
+    }
+
+
+def _resolution_from_dict(payload: dict[str, Any]) -> DiagnosticResolution:
+    return DiagnosticResolution(
+        num_faults=int(payload["num_faults"]),
+        num_classes=int(payload["num_classes"]),
+        singleton_classes=int(payload["singleton_classes"]),
+        max_class_size=int(payload["max_class_size"]),
+        undetected_faults=int(payload["undetected_faults"]),
+        resolution=float(payload["resolution"]),
+    )
+
+
+def _dictionary_to_dict(dictionary: FaultDictionary) -> dict[str, Any]:
+    return {
+        "signatures": [
+            base64.b64encode(signature).decode("ascii")
+            for signature in dictionary.signatures
+        ],
+        "classes": [
+            [fault_to_dict(fault) for fault in members]
+            for members in dictionary.classes
+        ],
+        "num_vectors": dictionary.num_vectors,
+        "criterion": dictionary.criterion,
+    }
+
+
+def _dictionary_from_dict(payload: dict[str, Any]) -> FaultDictionary:
+    return FaultDictionary(
+        signatures=tuple(
+            base64.b64decode(signature) for signature in payload["signatures"]
+        ),
+        classes=tuple(
+            tuple(fault_from_dict(fault) for fault in members)
+            for members in payload["classes"]
+        ),
+        num_vectors=int(payload["num_vectors"]),
+        criterion=str(payload["criterion"]),
+    )
+
+
+def _by_kind_from_wire(payload: dict[str, Any]) -> dict[str, tuple[int, int]]:
+    return {
+        str(kind): (int(pair[0]), int(pair[1]))
+        for kind, pair in payload.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Result dispatch
+# ----------------------------------------------------------------------
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """Any :mod:`repro.api` result object as a tagged JSON-ready dict.
+
+    Parameters
+    ----------
+    result : ExecutionInfo or result dataclass
+        One of the six serialisable :mod:`repro.api` types.
+
+    Returns
+    -------
+    dict
+        A payload whose ``"type"`` tag selects the reconstruction path
+        of :func:`result_from_dict`.
+    """
+    from .results import (
+        CoverageReport,
+        DiagnosisResult,
+        ExecutionInfo,
+        FaultMatrixResult,
+        TestSetResult,
+        VerificationResult,
+    )
+
+    if isinstance(result, ExecutionInfo):
+        return execution_to_dict(result)
+    if isinstance(result, VerificationResult):
+        return {
+            "type": "verification",
+            "verdict": result.verdict,
+            "property_name": result.property_name,
+            "strategy": result.strategy,
+            "k": result.k,
+            "n_lines": result.n_lines,
+            "execution": execution_to_dict(result.execution),
+        }
+    if isinstance(result, TestSetResult):
+        return {
+            "type": "test-set",
+            "passed": result.passed,
+            "vectors_used": result.vectors_used,
+            "n_lines": result.n_lines,
+            "execution": execution_to_dict(result.execution),
+        }
+    if isinstance(result, FaultMatrixResult):
+        return {
+            "type": "fault-matrix",
+            "matrix": matrix_to_dict(result.matrix),
+            "criterion": result.criterion,
+            "num_faults": result.num_faults,
+            "num_vectors": result.num_vectors,
+            "stats": stats_to_dict(result.stats),
+            "execution": execution_to_dict(result.execution),
+        }
+    if isinstance(result, CoverageReport):
+        return {
+            "type": "coverage",
+            "total_faults": result.total_faults,
+            "detected_faults": result.detected_faults,
+            "coverage": result.coverage,
+            "by_kind": {
+                kind: [int(found), int(total)]
+                for kind, (found, total) in result.by_kind.items()
+            },
+            "vectors_used": result.vectors_used,
+            "criterion": result.criterion,
+            "stats": stats_to_dict(result.stats),
+            "execution": execution_to_dict(result.execution),
+            "resolution": (
+                None
+                if result.resolution is None
+                else _resolution_to_dict(result.resolution)
+            ),
+        }
+    if isinstance(result, DiagnosisResult):
+        return {
+            "type": "diagnosis",
+            "dictionary": _dictionary_to_dict(result.dictionary),
+            "resolution": _resolution_to_dict(result.resolution),
+            "test_order": list(result.test_order),
+            "coverage": result_to_dict(result.coverage),
+            "criterion": result.criterion,
+            "num_faults": result.num_faults,
+            "num_vectors": result.num_vectors,
+            "stats": stats_to_dict(result.stats),
+            "execution": execution_to_dict(result.execution),
+        }
+    raise SerializationError(
+        f"cannot serialise {type(result).__name__!r} — not a repro.api "
+        "result type"
+    )
+
+
+def result_from_dict(payload: dict[str, Any]) -> Any:
+    """Rebuild a result object from :func:`result_to_dict` output.
+
+    Parameters
+    ----------
+    payload : dict
+        A tagged payload (``"type"`` selects the dataclass).
+
+    Returns
+    -------
+    ExecutionInfo or result dataclass
+        An instance whose re-serialisation equals *payload* exactly.
+    """
+    from .results import (
+        CoverageReport,
+        DiagnosisResult,
+        FaultMatrixResult,
+        TestSetResult,
+        VerificationResult,
+    )
+
+    tag = payload.get("type")
+    if tag == "execution":
+        return execution_from_dict(payload)
+    if tag == "verification":
+        k = payload.get("k")
+        return VerificationResult(
+            verdict=bool(payload["verdict"]),
+            property_name=str(payload["property_name"]),
+            strategy=str(payload["strategy"]),
+            k=None if k is None else int(k),
+            n_lines=int(payload["n_lines"]),
+            execution=execution_from_dict(payload["execution"]),
+        )
+    if tag == "test-set":
+        return TestSetResult(
+            passed=bool(payload["passed"]),
+            vectors_used=int(payload["vectors_used"]),
+            n_lines=int(payload["n_lines"]),
+            execution=execution_from_dict(payload["execution"]),
+        )
+    if tag == "fault-matrix":
+        return FaultMatrixResult(
+            matrix=matrix_from_dict(payload["matrix"]),
+            criterion=str(payload["criterion"]),
+            num_faults=int(payload["num_faults"]),
+            num_vectors=int(payload["num_vectors"]),
+            stats=stats_from_dict(payload["stats"]),
+            execution=execution_from_dict(payload["execution"]),
+        )
+    if tag == "coverage":
+        resolution = payload.get("resolution")
+        return CoverageReport(
+            total_faults=int(payload["total_faults"]),
+            detected_faults=int(payload["detected_faults"]),
+            coverage=float(payload["coverage"]),
+            by_kind=_by_kind_from_wire(payload["by_kind"]),
+            vectors_used=int(payload["vectors_used"]),
+            criterion=str(payload["criterion"]),
+            stats=stats_from_dict(payload["stats"]),
+            execution=execution_from_dict(payload["execution"]),
+            resolution=(
+                None if resolution is None else _resolution_from_dict(resolution)
+            ),
+        )
+    if tag == "diagnosis":
+        coverage = result_from_dict(payload["coverage"])
+        assert isinstance(coverage, CoverageReport)
+        return DiagnosisResult(
+            dictionary=_dictionary_from_dict(payload["dictionary"]),
+            resolution=_resolution_from_dict(payload["resolution"]),
+            test_order=tuple(int(idx) for idx in payload["test_order"]),
+            coverage=coverage,
+            criterion=str(payload["criterion"]),
+            num_faults=int(payload["num_faults"]),
+            num_vectors=int(payload["num_vectors"]),
+            stats=stats_from_dict(payload["stats"]),
+            execution=execution_from_dict(payload["execution"]),
+        )
+    raise SerializationError(f"unknown result payload type {tag!r}")

@@ -23,16 +23,25 @@ for the full contract):
     A generic ``memo(key, compute)`` for pure derived values (e.g. the
     reachable-function-table BFS of :mod:`repro.analysis.minimal_search`).
 
-The cache is deliberately per-process and lock-free: worker processes of
-a sharded run build their own (:mod:`repro.parallel.fault_shard`), and
-the parent's entries never cross a process boundary.
+The cache is deliberately per-process, and lock-free *by default*:
+worker processes of a sharded run build their own
+(:mod:`repro.parallel.fault_shard`), and the parent's entries never
+cross a process boundary.  Sharing one store across threads *within* a
+process — the :mod:`repro.serve` session pool runs every job in an
+executor thread against one shared cache — is an opt-in:
+``ResultCache(thread_safe=True)`` serialises every public operation
+behind one reentrant lock, so lookups, insertions and the eviction scan
+stay atomic without changing any caching semantics.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+import contextlib
 from dataclasses import dataclass, fields, replace
+import functools
 import sys
+import threading
 from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
@@ -168,6 +177,17 @@ class CacheStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
+def _locked(method):
+    """Run *method* under the cache's lock (a no-op context by default)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class _PrefixEntry:
     """One stored prefix-state record (internal)."""
 
@@ -209,17 +229,35 @@ class ResultCache:
         then inputs, verdicts, memos) until the total fits again; the
         entry just inserted is never evicted, so a single oversized
         entry is kept alone rather than thrashing.
+    thread_safe : bool
+        ``False`` (default) keeps the store lock-free for the
+        single-threaded owners (Sessions, sharded workers).  ``True``
+        guards every public operation with one :class:`threading.RLock`
+        so multiple threads — e.g. the :mod:`repro.serve` session pool —
+        can share the store; ``memo`` holds the lock across ``compute``,
+        so concurrent callers of the same key compute once.
 
     Attributes
     ----------
     max_bytes : int
         The configured budget.
+    thread_safe : bool
+        Whether operations are serialised behind a lock.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        *,
+        thread_safe: bool = False,
+    ) -> None:
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.max_bytes = int(max_bytes)
+        self.thread_safe = bool(thread_safe)
+        self._lock: contextlib.AbstractContextManager[Any] = (
+            threading.RLock() if thread_safe else contextlib.nullcontext()
+        )
         self._prefix: OrderedDict[tuple, _PrefixEntry] = OrderedDict()
         self._prefix_index: dict[tuple, OrderedDict[tuple, None]] = {}
         self._inputs: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
@@ -231,6 +269,7 @@ class ResultCache:
         self._metrics = Metrics(CacheStats._COUNTERS)
 
     # -- stats ---------------------------------------------------------
+    @_locked
     def stats(self) -> CacheStats:
         """A frozen snapshot of the current counters and occupancy."""
         return CacheStats(
@@ -242,6 +281,7 @@ class ResultCache:
             **self._metrics.as_dict(),
         )
 
+    @_locked
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating)."""
         self._prefix.clear()
@@ -252,6 +292,7 @@ class ResultCache:
         self._bytes = 0
 
     # -- prefix region -------------------------------------------------
+    @_locked
     def prefix_lookup(
         self,
         context: tuple,
@@ -299,6 +340,7 @@ class ResultCache:
         self._metrics.increment("prefix_misses")
         return None, 0
 
+    @_locked
     def prefix_store(
         self,
         context: tuple,
@@ -344,6 +386,7 @@ class ResultCache:
                     del self._prefix_index[index_key]
 
     # -- flat regions --------------------------------------------------
+    @_locked
     def get_input(self, token: tuple) -> Any | None:
         """The packed batch stored under *token*, or ``None``."""
         hit = self._inputs.get(token)
@@ -354,11 +397,13 @@ class ResultCache:
         self._metrics.increment("input_hits")
         return hit[0]
 
+    @_locked
     def put_input(self, token: tuple, packed: Any) -> None:
         """Store a packed batch under *token* (charged by plane bytes)."""
         nbytes = int(packed.planes.nbytes) + _ENTRY_OVERHEAD
         self._put_flat(self._inputs, token, packed, nbytes)
 
+    @_locked
     def get_verdict(self, key: tuple) -> Any | None:
         """The verdict stored under *key*, or ``None`` (a miss)."""
         hit = self._verdicts.get(key)
@@ -369,6 +414,7 @@ class ResultCache:
         self._metrics.increment("verdict_hits")
         return hit[0]
 
+    @_locked
     def put_verdict(self, key: tuple, value: Any) -> None:
         """Store a verdict value (size estimated, ``None`` reserved).
 
@@ -383,6 +429,7 @@ class ResultCache:
             return
         self._put_flat(self._verdicts, key, value, nbytes)
 
+    @_locked
     def memo(self, key: tuple, compute: Callable[[], Any]) -> Any:
         """Return the memoised value for *key*, computing it on a miss.
 

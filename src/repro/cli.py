@@ -27,6 +27,16 @@ Subcommands
 ``experiments``
     Run the experiment harness (E1–E11) and print the tables; this is the
     textual companion of the benchmark suite.
+``serve``
+    Run the long-running verification service (:mod:`repro.serve`) on a
+    unix socket or TCP port — same flags as ``python -m repro.serve``.
+``submit``
+    Build one job from the familiar construction/fault-model flags and
+    submit it to a running server; with ``--wait`` (the default) the
+    command blocks until the job terminalises and prints the result.
+``status``
+    Print a running server's counters, job states and configuration
+    (or, with ``--job ID``, one job's status object) as JSON.
 
 ``verify``, ``faults`` and ``experiments`` accept ``--engine`` to pick
 the batch-evaluation engine — the choices come from the engine registry
@@ -53,6 +63,10 @@ Examples
     repro-networks faults --n 8 --fault-model BridgingFault
     repro-networks diagnose --n 8 --fault-model MultiFault
     repro-networks experiments --fast
+    repro-networks serve --socket /tmp/repro.sock --jobs ./jobs --pool 2
+    repro-networks submit --socket /tmp/repro.sock --kind fault-coverage \
+        --n 8 --construct batcher --strategy binary
+    repro-networks status --socket /tmp/repro.sock
 """
 
 from __future__ import annotations
@@ -156,6 +170,25 @@ def _write_trace(args: argparse.Namespace, execution) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(trace.to_json())
         fh.write("\n")
+
+
+def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Client-side server-endpoint flags (``submit`` / ``status``)."""
+    endpoint = parser.add_mutually_exclusive_group(required=True)
+    endpoint.add_argument("--socket", help="unix-domain socket of the server")
+    endpoint.add_argument("--port", type=int, help="TCP port of the server")
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP host (with --port)"
+    )
+
+
+def _serve_client(args: argparse.Namespace):
+    """A :class:`repro.serve.ServeClient` for the endpoint flags."""
+    from .serve import ServeClient
+
+    return ServeClient(
+        socket_path=args.socket, host=args.host, port=args.port
+    )
 
 
 def _build_session(
@@ -356,6 +389,81 @@ examples:
         help="print at most this many vectors of the adaptive test order",
     )
     _add_execution_arguments(diagnose)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the verification service (same flags as python -m repro.serve)",
+    )
+    from .serve.__main__ import add_serve_arguments
+
+    add_serve_arguments(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running verification server"
+    )
+    _add_endpoint_arguments(submit)
+    submit.add_argument(
+        "--kind",
+        choices=("verify", "test-set", "fault-matrix", "fault-coverage",
+                 "diagnose"),
+        default="fault-coverage",
+        help="job kind (one per Session workload)",
+    )
+    submit.add_argument("--n", type=int, required=True, help="number of lines")
+    netgroup = submit.add_mutually_exclusive_group()
+    netgroup.add_argument(
+        "--network", help="network in Knuth bracket notation, 1-indexed"
+    )
+    netgroup.add_argument(
+        "--construct",
+        choices=_CONSTRUCTIONS,
+        default="batcher",
+        help="submit a classical construction (default: batcher)",
+    )
+    submit.add_argument(
+        "--property",
+        choices=("sorter", "selector", "merger"),
+        default="sorter",
+        help="property for verify jobs",
+    )
+    submit.add_argument(
+        "--k", type=int, default=1, help="k for the selector property"
+    )
+    submit.add_argument(
+        "--strategy",
+        choices=("testset", "binary"),
+        default="testset",
+        help="test vectors for fault kinds: the minimum sorting test set, "
+        "or the exhaustive 2**n cube (verify jobs pass the flag through)",
+    )
+    submit.add_argument(
+        "--fault-model",
+        choices=_fault_model_choices(),
+        default="single",
+        help="fault universe for the fault kinds",
+    )
+    submit.add_argument(
+        "--criterion",
+        choices=("specification", "reference"),
+        default="specification",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout (seconds)"
+    )
+    submit.add_argument(
+        "--no-wait",
+        dest="wait",
+        action="store_false",
+        help="return the job id immediately instead of waiting for the result",
+    )
+
+    status = sub.add_parser(
+        "status", help="print a running server's status as JSON"
+    )
+    _add_endpoint_arguments(status)
+    status.add_argument(
+        "--job", default=None, metavar="ID", help="show one job instead"
+    )
 
     experiments = sub.add_parser("experiments", help="run the experiment harness")
     experiments.add_argument("--fast", action="store_true", help="small parameters")
@@ -564,6 +672,62 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.__main__ import run_serve
+
+    return run_serve(args)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.protocol import JobRequest
+    from .testsets import sorting_binary_test_set
+
+    if args.network is not None:
+        network = ComparatorNetwork.from_knuth(args.n, args.network)
+    else:
+        network = _build_construction(args.construct, args.n, args.k)
+    vectors = faults = None
+    params: dict = {}
+    if args.kind == "verify":
+        params = {"prop": args.property, "strategy": args.strategy, "k": args.k}
+    else:
+        # The test-set kind takes explicit words by contract; the fault
+        # kinds choose between the paper's test set and the streamed cube.
+        if args.kind == "test-set" or args.strategy == "testset":
+            vectors = {
+                "words": [list(w) for w in sorting_binary_test_set(args.n)]
+            }
+        else:
+            vectors = {"cube": args.n}
+        if args.kind != "test-set":
+            faults = (
+                {"single": True}
+                if args.fault_model == "single"
+                else {"model": args.fault_model}
+            )
+            params = {"criterion": args.criterion}
+    if args.timeout is not None:
+        params["timeout"] = args.timeout
+    request = JobRequest.build(
+        args.kind, network, vectors=vectors, faults=faults, **params
+    )
+    with _serve_client(args) as client:
+        response = client.submit(request.to_dict(), wait=args.wait)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 1 if response.get("state") in ("failed", "cancelled") else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    with _serve_client(args) as client:
+        payload = client.job(args.job) if args.job else client.status()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_all_experiments
 
@@ -593,6 +757,9 @@ def main(argv: list[str] | None = None) -> int:
         "faults": _cmd_faults,
         "diagnose": _cmd_diagnose,
         "experiments": _cmd_experiments,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
     }
     return handlers[args.command](args)
 

@@ -22,6 +22,10 @@ RPR006 fault-free prefix states are acquired through               ``src``
 RPR007 wall-clock reads (``time.perf_counter()``/``time.time``/    ``src``
        ``time.monotonic``...) happen only inside ``repro.observe``
        — everything else measures through spans
+RPR008 no blocking calls (``time.sleep``, synchronous ``Session``  serve
+       workloads, ``subprocess.run``) inside ``async def`` bodies
+       — blocking work belongs in the session pool's executor
+       threads, never on the event loop
 ====== =========================================================== ==========
 
 RPR001 is deliberately conservative: it flags *calls* (``np.zeros(...)``,
@@ -50,6 +54,7 @@ __all__ = [
     "DocstringRule",
     "PrefixBuildRule",
     "RawClockRule",
+    "AsyncBlockingRule",
 ]
 
 # ----------------------------------------------------------------------
@@ -711,15 +716,153 @@ class RawClockRule(Rule):
     @staticmethod
     def _time_aliases(tree: ast.Module) -> tuple[set[str], dict[str, str]]:
         """``(module_aliases, clock_from_imports)`` for the ``time`` module."""
-        modules: set[str] = set()
-        names: dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name == "time":
-                        modules.add(alias.asname or "time")
-            elif isinstance(node, ast.ImportFrom) and node.module == "time":
-                for alias in node.names:
-                    if alias.name in RawClockRule.clock_names:
-                        names[alias.asname or alias.name] = alias.name
-        return modules, names
+        return _import_aliases(tree, "time", RawClockRule.clock_names)
+
+
+def _import_aliases(
+    tree: ast.Module, module: str, member_names: frozenset[str]
+) -> tuple[set[str], dict[str, str]]:
+    """Import names under which *module* and its members are reachable.
+
+    ``import time as t`` lands ``t`` in the module-alias set;
+    ``from time import sleep as pause`` lands ``{"pause": "sleep"}`` in
+    the member map (only members listed in *member_names* are tracked).
+    """
+    modules: set[str] = set()
+    members: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    modules.add(alias.asname or module)
+        elif isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                if alias.name in member_names:
+                    members[alias.asname or alias.name] = alias.name
+    return modules, members
+
+
+# ----------------------------------------------------------------------
+# RPR008 — no blocking calls inside async def bodies (repro.serve)
+# ----------------------------------------------------------------------
+@register_rule
+class AsyncBlockingRule(Rule):
+    """RPR008: ``async def`` bodies in ``repro.serve`` never block."""
+
+    id = "RPR008"
+    summary = (
+        "no blocking calls (time.sleep, synchronous Session workloads, "
+        "subprocess.run) inside async def bodies — blocking work runs in "
+        "the session pool's executor threads, never on the event loop"
+    )
+    scope = "serve"
+
+    #: The synchronous Session workload methods.  Calling one on the
+    #: event loop stalls every connected client for the whole job.
+    session_methods = frozenset(
+        {
+            "verify",
+            "passes_test_set",
+            "fault_matrix",
+            "fault_coverage",
+            "diagnose",
+            "compare_test_sets",
+        }
+    )
+
+    #: ``subprocess`` callables that block until the child exits.
+    subprocess_callables = frozenset(
+        {"run", "call", "check_call", "check_output"}
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag blocking calls lexically inside ``async def`` bodies.
+
+        Nested synchronous ``def`` bodies are exempt — they are exactly
+        where the service parks blocking work before shipping it to an
+        executor thread — and passing a callable *uncalled* (e.g. to
+        ``loop.run_in_executor`` / ``asyncio.to_thread``) never fires.
+        """
+        time_mods, time_members = _import_aliases(
+            ctx.tree, "time", frozenset({"sleep"})
+        )
+        sub_mods, sub_members = _import_aliases(
+            ctx.tree, "subprocess", self.subprocess_callables
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async(
+                    ctx, node, time_mods, time_members, sub_mods, sub_members
+                )
+
+    def _check_async(
+        self,
+        ctx: FileContext,
+        func: ast.AsyncFunctionDef,
+        time_mods: set[str],
+        time_members: dict[str, str],
+        sub_mods: set[str],
+        sub_members: dict[str, str],
+    ) -> Iterator[Finding]:
+        for node in self._own_body(func):
+            if not isinstance(node, ast.Call):
+                continue
+            blocking = self._blocking_callee(
+                node, time_mods, time_members, sub_mods, sub_members
+            )
+            if blocking is not None:
+                display, remedy = blocking
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"blocking call {display}() inside async def "
+                    f"{func.name!r} stalls the event loop — {remedy}",
+                )
+
+    @staticmethod
+    def _own_body(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """The function's own nodes, not descending into nested defs."""
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _blocking_callee(
+        self,
+        call: ast.Call,
+        time_mods: set[str],
+        time_members: dict[str, str],
+        sub_mods: set[str],
+        sub_members: dict[str, str],
+    ) -> tuple[str, str] | None:
+        """``(display, remedy)`` when the call blocks, else ``None``."""
+        callee = call.func
+        executor_remedy = (
+            "ship it to an executor thread (loop.run_in_executor / "
+            "asyncio.to_thread)"
+        )
+        if isinstance(callee, ast.Attribute):
+            owner = callee.value
+            owner_name = owner.id if isinstance(owner, ast.Name) else None
+            if owner_name in time_mods and callee.attr == "sleep":
+                return f"{owner_name}.sleep", "use await asyncio.sleep()"
+            if (
+                owner_name in sub_mods
+                and callee.attr in self.subprocess_callables
+            ):
+                return f"{owner_name}.{callee.attr}", executor_remedy
+            if callee.attr in self.session_methods:
+                return (
+                    f".{callee.attr}",
+                    "synchronous Session workloads belong in the session "
+                    "pool's executor threads",
+                )
+        elif isinstance(callee, ast.Name):
+            if time_members.get(callee.id) == "sleep":
+                return callee.id, "use await asyncio.sleep()"
+            if callee.id in sub_members:
+                return callee.id, executor_remedy
+        return None

@@ -25,6 +25,9 @@ Scopes
     exercise the deprecated paths.
 ``"parallel"``
     Only ``repro.parallel`` modules (the fork/pickle hazard rule).
+``"serve"``
+    Only ``repro.serve`` modules (the async-blocking rule — event-loop
+    discipline only matters where an event loop runs).
 """
 
 from __future__ import annotations
@@ -97,6 +100,14 @@ class FileContext:
             or self.module.startswith("repro.parallel.")
         )
 
+    @property
+    def in_serve(self) -> bool:
+        """Does the file belong to ``repro.serve``?"""
+        return self.module is not None and (
+            self.module == "repro.serve"
+            or self.module.startswith("repro.serve.")
+        )
+
 
 def module_name(path: str) -> str | None:
     """The dotted ``repro.*`` module name of a source path, if any.
@@ -133,6 +144,8 @@ class Rule:
             return ctx.in_src
         if self.scope == "parallel":
             return ctx.in_parallel
+        if self.scope == "serve":
+            return ctx.in_serve
         raise ValueError(f"unknown rule scope {self.scope!r}")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

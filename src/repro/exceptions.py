@@ -16,6 +16,7 @@ __all__ = [
     "NotAPermutationError",
     "NotBinaryError",
     "SerializationError",
+    "ServiceError",
     "ConstructionError",
     "AdversaryError",
     "TestSetError",
@@ -61,6 +62,16 @@ class NotBinaryError(ReproError, ValueError):
 
 class SerializationError(ReproError, ValueError):
     """A serialized network or word could not be parsed."""
+
+
+class ServiceError(ReproError, ValueError):
+    """A :mod:`repro.serve` request is malformed or cannot be executed.
+
+    Raised by the protocol layer for unknown job kinds, missing fields
+    or undecodable payloads, and by the service for operations on
+    unknown job ids.  The server catches it per-request and answers
+    ``{"ok": false, "error": ...}`` instead of dropping the connection.
+    """
 
 
 class ConstructionError(ReproError, ValueError):

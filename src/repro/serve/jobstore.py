@@ -1,0 +1,296 @@
+"""The resumable on-disk job store: one directory per job.
+
+Layout (under the store root, typically ``jobs/``)::
+
+    jobs/
+      000001-61e3f2a40c9b/
+        request.json   # verbatim submit payload + content key + kind
+        status.json    # {"state", "detail", "sequence"} — the state machine
+        result.json    # the result's to_json() text, written once on success
+        trace.json     # the job-level span tree (serve.job wrapping the run)
+
+Writes are atomic (temp file + :func:`os.replace` in the job directory),
+so a SIGKILL never leaves a half-written JSON behind — at worst a job is
+still marked ``queued``/``running`` and is re-queued on restart.
+``result.json`` is the replay currency: a finished job is answered by
+returning the stored text *verbatim*, which is what makes replayed
+results bit-identical to the first client's.
+
+Job ids are ``{sequence:06d}-{content_key[:12]}``: the sequence makes
+ids unique and sortable in submission order, the key fragment makes the
+directory name say *what* the job computes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..exceptions import ServiceError
+from .protocol import JOB_STATES, JobRequest
+
+__all__ = ["JobRecord", "JobStore"]
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write *data* to *path* through a same-directory temp file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+class JobRecord:
+    """One job as read back from disk (resume / inspection view).
+
+    Attributes
+    ----------
+    job_id : str
+        The directory name.
+    request : JobRequest
+        The re-validated submit payload.
+    content_key : str
+        The dedup key recorded at submit time.
+    state : str
+        The persisted state (``queued`` when status.json is missing —
+        the crash window between directory creation and the first
+        status write).
+    detail : str or None
+        Failure message / cancellation reason, when present.
+    """
+
+    __slots__ = ("job_id", "request", "content_key", "state", "detail")
+
+    def __init__(
+        self,
+        job_id: str,
+        request: JobRequest,
+        content_key: str,
+        state: str,
+        detail: str | None,
+    ) -> None:
+        self.job_id = job_id
+        self.request = request
+        self.content_key = content_key
+        self.state = state
+        self.detail = detail
+
+
+class JobStore:
+    """Directory-backed persistence for the service's jobs.
+
+    Parameters
+    ----------
+    root : path-like
+        The jobs directory; created (with parents) if missing.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+    def job_dir(self, job_id: str) -> Path:
+        """The directory of one job.
+
+        Parameters
+        ----------
+        job_id : str
+            A job id minted by :meth:`create`.
+
+        Returns
+        -------
+        pathlib.Path
+            ``root / job_id`` (not checked for existence).
+        """
+        return self.root / job_id
+
+    # -- creation ------------------------------------------------------
+    def next_sequence(self) -> int:
+        """One above the highest sequence number on disk (1 when empty)."""
+        highest = 0
+        for entry in self.root.iterdir():
+            head, _, _ = entry.name.partition("-")
+            if head.isdigit():
+                highest = max(highest, int(head))
+        return highest + 1
+
+    def create(self, request: JobRequest, content_key: str) -> str:
+        """Persist a new job in state ``queued`` and return its id.
+
+        Parameters
+        ----------
+        request : JobRequest
+            The validated submission.
+        content_key : str
+            The dedup key under the server's execution identity.
+
+        Returns
+        -------
+        str
+            The minted job id (``{seq:06d}-{key[:12]}``).
+        """
+        job_id = f"{self.next_sequence():06d}-{content_key[:12]}"
+        directory = self.job_dir(job_id)
+        directory.mkdir()
+        _atomic_write(
+            directory / "request.json",
+            json.dumps(
+                {
+                    "content_key": content_key,
+                    "kind": request.kind,
+                    "payload": request.to_dict(),
+                },
+                sort_keys=True,
+                indent=2,
+            ).encode("utf-8"),
+        )
+        self.write_status(job_id, "queued")
+        return job_id
+
+    # -- status --------------------------------------------------------
+    def write_status(
+        self, job_id: str, state: str, detail: str | None = None
+    ) -> None:
+        """Atomically persist a state transition.
+
+        Parameters
+        ----------
+        job_id : str
+            The job to update.
+        state : str
+            One of :data:`repro.serve.protocol.JOB_STATES`.
+        detail : str, optional
+            Failure / cancellation detail.
+        """
+        if state not in JOB_STATES:
+            raise ServiceError(f"unknown job state {state!r}")
+        payload: dict[str, Any] = {"state": state}
+        if detail is not None:
+            payload["detail"] = detail
+        _atomic_write(
+            self.job_dir(job_id) / "status.json",
+            json.dumps(payload, sort_keys=True, indent=2).encode("utf-8"),
+        )
+
+    def read_status(self, job_id: str) -> dict[str, Any]:
+        """The persisted status object of one job.
+
+        Parameters
+        ----------
+        job_id : str
+            The job to read.
+
+        Returns
+        -------
+        dict
+            ``{"state": ...}`` plus optional ``"detail"``; a missing
+            file reads as ``queued`` (see :class:`JobRecord`).
+        """
+        path = self.job_dir(job_id) / "status.json"
+        if not path.is_file():
+            return {"state": "queued"}
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    # -- artifacts -----------------------------------------------------
+    def write_result_text(self, job_id: str, text: str) -> None:
+        """Persist the result payload text (the replay currency).
+
+        Parameters
+        ----------
+        job_id : str
+            The finished job.
+        text : str
+            The result's ``to_json()`` text, stored verbatim.
+        """
+        _atomic_write(
+            self.job_dir(job_id) / "result.json", text.encode("utf-8")
+        )
+
+    def read_result_text(self, job_id: str) -> str | None:
+        """The stored result text, or ``None`` if the job never finished."""
+        path = self.job_dir(job_id) / "result.json"
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+    def write_trace_text(self, job_id: str, text: str) -> None:
+        """Persist the job-level span tree as ``trace.json``.
+
+        Parameters
+        ----------
+        job_id : str
+            The finished job.
+        text : str
+            The trace's ``to_json()`` text.
+        """
+        _atomic_write(
+            self.job_dir(job_id) / "trace.json", text.encode("utf-8")
+        )
+
+    def read_trace_text(self, job_id: str) -> str | None:
+        """The stored trace text, or ``None`` when absent."""
+        path = self.job_dir(job_id) / "trace.json"
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+    # -- resume --------------------------------------------------------
+    def load(self, job_id: str) -> JobRecord:
+        """Read one job back from disk.
+
+        Parameters
+        ----------
+        job_id : str
+            The directory name.
+
+        Returns
+        -------
+        JobRecord
+            The re-validated record.
+
+        Raises
+        ------
+        repro.exceptions.ServiceError
+            If the directory or its request.json is missing / corrupt.
+        """
+        path = self.job_dir(job_id) / "request.json"
+        if not path.is_file():
+            raise ServiceError(f"job {job_id!r} has no request.json")
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            request = JobRequest.from_dict(data["payload"])
+            content_key = str(data["content_key"])
+        except (KeyError, ValueError) as exc:
+            raise ServiceError(f"job {job_id!r} is corrupt: {exc}") from exc
+        status = self.read_status(job_id)
+        return JobRecord(
+            job_id=job_id,
+            request=request,
+            content_key=content_key,
+            state=str(status.get("state", "queued")),
+            detail=status.get("detail"),
+        )
+
+    def iter_jobs(self) -> list[JobRecord]:
+        """Every loadable job on disk, in id (= submission) order.
+
+        Corrupt directories are skipped — a crash can leave a job
+        directory without request.json; such a job was never
+        acknowledged, so dropping it is the correct resume behaviour.
+
+        Returns
+        -------
+        list of JobRecord
+            The surviving jobs.
+        """
+        records = []
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir():
+                continue
+            try:
+                records.append(self.load(entry.name))
+            except ServiceError:
+                continue
+        return records

@@ -1,0 +1,381 @@
+"""Wire protocol of the verification service: jobs, keys, framing.
+
+One message per line, every line a JSON object (newline-delimited JSON).
+Requests carry an ``"op"``; the interesting one is ``submit``, whose
+``"job"`` payload this module models as a :class:`JobRequest`:
+
+``kind``
+    One of :data:`JOB_KINDS` — the five :class:`repro.api.Session`
+    workloads.
+``network``
+    A :func:`repro.core.serialization.network_to_dict` payload.
+``vectors``
+    Either ``{"cube": n}`` (the exhaustive 0/1 cube,
+    :class:`repro.faults.CubeVectors`) or ``{"words": [[...], ...]}``
+    (an explicit test set).  Required by every kind except ``verify``.
+``faults``
+    Either ``{"single": true}`` / ``{"single": {"kinds": [...]}}``
+    (:func:`repro.faults.enumerate_single_faults`), ``{"model": name}``
+    (:func:`repro.faults.enumerate_model_faults`) or ``{"list": [...]}``
+    with explicit :func:`repro.api.serialize.fault_to_dict` payloads.
+    Required by the three fault kinds.
+``prop`` / ``strategy`` / ``k`` / ``criterion``
+    Forwarded to the matching Session method.
+
+Deduplication hinges on :meth:`JobRequest.content_key`: a BLAKE2b digest
+over the *structured* identity tokens of :mod:`repro.cache.keys`
+(network token, vector token, fault tokens) plus the workload parameters
+and the server's execution identity ``(engine, workers, chunk_size,
+prune)``.  Two submissions collide exactly when the service would run
+the same computation under the same configuration — formatting of the
+JSON never matters, the engine does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import hashlib
+import json
+from typing import Any
+
+from ..cache.keys import cube_token, faults_token, network_token, words_token
+from ..core.network import ComparatorNetwork
+from ..core.serialization import network_from_dict
+from ..exceptions import ServiceError
+from ..faults.injection import (
+    enumerate_model_faults,
+    enumerate_single_faults,
+)
+from ..faults.models import Fault
+from ..faults.simulation import CubeVectors
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRequest",
+    "encode_message",
+    "decode_message",
+]
+
+#: The five workloads a job can run (one per Session method).
+JOB_KINDS = (
+    "verify",
+    "test-set",
+    "fault-matrix",
+    "fault-coverage",
+    "diagnose",
+)
+
+#: The job state machine: ``queued`` → ``running`` → one of the
+#: terminal states.  A killed server re-queues ``queued`` / ``running``
+#: jobs on restart; terminal jobs replay from disk.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Job kinds that need test vectors / a fault universe.
+_VECTOR_KINDS = ("test-set", "fault-matrix", "fault-coverage", "diagnose")
+_FAULT_KINDS = ("fault-matrix", "fault-coverage", "diagnose")
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated JSON line.
+
+    Parameters
+    ----------
+    payload : dict
+        The message object.
+
+    Returns
+    -------
+    bytes
+        Compact UTF-8 JSON with sorted keys plus ``\\n`` — deterministic,
+        so equal payloads are equal bytes on the wire.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_message(line: bytes | str) -> dict[str, Any]:
+    """Parse one received line into a message object.
+
+    Parameters
+    ----------
+    line : bytes or str
+        A single newline-delimited JSON line.
+
+    Returns
+    -------
+    dict
+        The decoded object.
+
+    Raises
+    ------
+    repro.exceptions.ServiceError
+        If the line is not valid JSON or not a JSON object.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"undecodable message line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"protocol messages are JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _require(payload: dict[str, Any], field: str, kind: str) -> Any:
+    value = payload.get(field)
+    if value is None:
+        raise ServiceError(f"job kind {kind!r} requires a {field!r} field")
+    return value
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated, immutable job submission (module docstring).
+
+    Build with :meth:`from_dict` (wire payloads) or :meth:`build`
+    (in-process convenience); the raw payload survives verbatim in
+    :attr:`payload` so the job store can persist exactly what was
+    submitted.
+
+    Attributes
+    ----------
+    kind : str
+        One of :data:`JOB_KINDS`.
+    payload : dict
+        The original wire payload (already validated).
+    """
+
+    kind: str
+    payload: dict[str, Any]
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> JobRequest:
+        """Validate a wire payload into a :class:`JobRequest`.
+
+        Parameters
+        ----------
+        payload : dict
+            The ``"job"`` object of a submit message.
+
+        Returns
+        -------
+        JobRequest
+            The validated request (decoding is re-done lazily by the
+            accessors, so the instance stays cheap to persist).
+
+        Raises
+        ------
+        repro.exceptions.ServiceError
+            On an unknown kind or missing / malformed fields.
+        """
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise ServiceError(
+                f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
+            )
+        request = cls(kind=kind, payload=dict(payload))
+        # Force every decode now so bad payloads fail at submit time,
+        # not inside an executor thread.
+        request.network()
+        if kind in _VECTOR_KINDS:
+            vectors = request.vectors()
+            if kind == "test-set" and isinstance(vectors, CubeVectors):
+                raise ServiceError(
+                    "test-set jobs need explicit 'words' vectors (the "
+                    "exhaustive cube belongs to verify / fault kinds)"
+                )
+        if kind in _FAULT_KINDS:
+            request.faults()
+        request.content_key()
+        return request
+
+    @classmethod
+    def build(
+        cls,
+        kind: str,
+        network: ComparatorNetwork,
+        *,
+        vectors: dict[str, Any] | None = None,
+        faults: dict[str, Any] | None = None,
+        **params: Any,
+    ) -> JobRequest:
+        """Construct a request from in-process objects (client side).
+
+        Parameters
+        ----------
+        kind : str
+            One of :data:`JOB_KINDS`.
+        network : ComparatorNetwork
+            The device under test (serialised into the payload).
+        vectors, faults : dict, optional
+            Spec objects as described in the module docstring.
+        **params
+            Extra workload parameters (``prop``, ``strategy``, ``k``,
+            ``criterion``).
+
+        Returns
+        -------
+        JobRequest
+            The validated request.
+        """
+        from ..core.serialization import network_to_dict
+
+        payload: dict[str, Any] = {
+            "kind": kind,
+            "network": network_to_dict(network),
+        }
+        if vectors is not None:
+            payload["vectors"] = vectors
+        if faults is not None:
+            payload["faults"] = faults
+        payload.update(
+            {name: value for name, value in params.items() if value is not None}
+        )
+        return cls.from_dict(payload)
+
+    # -- decoded views -------------------------------------------------
+    def network(self) -> ComparatorNetwork:
+        """The device under test, decoded from the payload.
+
+        Returns
+        -------
+        ComparatorNetwork
+            The deserialised network.
+        """
+        data = self.payload.get("network")
+        if not isinstance(data, dict):
+            raise ServiceError("job payload lacks a 'network' object")
+        return network_from_dict(data)
+
+    def vectors(self) -> CubeVectors | list[list[int]]:
+        """The test vectors: an exhaustive cube or an explicit word list.
+
+        Returns
+        -------
+        CubeVectors or list of list of int
+            ``{"cube": n}`` decodes to :class:`~repro.faults.CubeVectors`,
+            ``{"words": [...]}`` to the words themselves.
+        """
+        spec = _require(self.payload, "vectors", self.kind)
+        if not isinstance(spec, dict):
+            raise ServiceError("'vectors' must be an object")
+        if "cube" in spec:
+            return CubeVectors(int(spec["cube"]))
+        if "words" in spec:
+            words = spec["words"]
+            if not isinstance(words, list) or not words:
+                raise ServiceError("'vectors.words' must be a non-empty list")
+            return [[int(bit) for bit in word] for word in words]
+        raise ServiceError("'vectors' needs a 'cube' or 'words' member")
+
+    def faults(self) -> list[Fault]:
+        """The fault universe, decoded / enumerated from the payload.
+
+        Returns
+        -------
+        list of Fault
+            Explicit faults (``{"list": ...}``), a registered model's
+            canonical universe (``{"model": name}``), or the single-fault
+            enumeration (``{"single": ...}``).
+        """
+        from ..api.serialize import fault_from_dict
+
+        spec = _require(self.payload, "faults", self.kind)
+        if not isinstance(spec, dict):
+            raise ServiceError("'faults' must be an object")
+        if "list" in spec:
+            entries = spec["list"]
+            if not isinstance(entries, list) or not entries:
+                raise ServiceError("'faults.list' must be a non-empty list")
+            return [fault_from_dict(entry) for entry in entries]
+        if "model" in spec:
+            return enumerate_model_faults(self.network(), str(spec["model"]))
+        if "single" in spec:
+            options = spec["single"]
+            if options is True:
+                return enumerate_single_faults(self.network())
+            if isinstance(options, dict):
+                kinds = tuple(str(k) for k in options.get("kinds", ()))
+                if kinds:
+                    return enumerate_single_faults(self.network(), kinds=kinds)
+                return enumerate_single_faults(self.network())
+            raise ServiceError("'faults.single' must be true or an object")
+        raise ServiceError(
+            "'faults' needs a 'list', 'model' or 'single' member"
+        )
+
+    def _vectors_token(self) -> tuple:
+        vectors = self.vectors()
+        if isinstance(vectors, CubeVectors):
+            return cube_token(vectors.n)
+        network = self.network()
+        return words_token(
+            [tuple(word) for word in vectors], network.n_lines
+        )
+
+    def workload_token(self) -> tuple:
+        """The structured identity of the computation (execution aside).
+
+        Returns
+        -------
+        tuple
+            Workload kind, the :mod:`repro.cache.keys` tokens of the
+            network / vectors / faults, and the workload parameters.
+        """
+        token: tuple = ("job", self.kind, network_token(self.network()))
+        if self.kind == "verify":
+            token += (
+                str(self.payload.get("prop", "sorter")),
+                str(self.payload.get("strategy", "testset")),
+                int(self.payload.get("k", 1)),
+            )
+        else:
+            token += (self._vectors_token(),)
+        if self.kind in _FAULT_KINDS:
+            token += (
+                faults_token(self.faults()),
+                str(self.payload.get("criterion", "specification")),
+            )
+        return token
+
+    def content_key(
+        self, execution_identity: tuple[Any, ...] = ()
+    ) -> str:
+        """The dedup key: a BLAKE2b digest of the structured identity.
+
+        Parameters
+        ----------
+        execution_identity : tuple, optional
+            The server's ``(engine, workers, chunk_size, prune)`` — part
+            of the key because a different engine configuration is a
+            different (if bit-identical) computation contract.
+
+        Returns
+        -------
+        str
+            A 32-hex-character digest.
+        """
+        token = self.workload_token() + ("exec",) + tuple(execution_identity)
+        digest = hashlib.blake2b(
+            repr(token).encode("utf-8"), digest_size=16
+        )
+        return digest.hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        """The verbatim wire payload (for the job store).
+
+        Returns
+        -------
+        dict
+            The payload this request was built from.
+        """
+        return dict(self.payload)

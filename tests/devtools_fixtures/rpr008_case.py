@@ -1,0 +1,50 @@
+"""RPR008 fixture: blocking calls inside ``async def`` bodies.
+
+Marked lines must be flagged; every other line must stay silent — in
+particular nested synchronous ``def`` bodies (the sanctioned home of
+blocking work) and *uncalled* callables handed to an executor.
+"""
+
+import asyncio
+import subprocess
+import time
+from subprocess import check_output
+from time import sleep as pause
+
+
+async def blocking_everywhere(session, network, vectors, faults):
+    time.sleep(0.1)  # EXPECT
+    pause(0.1)  # EXPECT
+    subprocess.run(["true"])  # EXPECT
+    check_output(["true"])  # EXPECT
+    verdict = session.verify(network, "sorter")  # EXPECT
+    report = session.fault_coverage(network, faults, vectors)  # EXPECT
+    if verdict.ok:
+        return session.passes_test_set(network, vectors)  # EXPECT
+    return report
+
+
+async def conditional_blocking(session, network, faults, vectors):
+    try:
+        return session.fault_matrix(network, faults, vectors)  # EXPECT
+    except ValueError:
+        return session.diagnose(network, faults, vectors)  # EXPECT
+
+
+async def delegating_is_fine(loop, pool, session, network, vectors):
+    def work():
+        # Blocking work parked in a sync def, shipped to a thread: the
+        # pattern the rule exists to steer code toward.
+        time.sleep(0.01)
+        return session.fault_coverage(network, vectors)
+
+    await asyncio.sleep(0.01)
+    first = await loop.run_in_executor(pool, work)
+    second = await asyncio.to_thread(session.verify, network, "sorter")
+    return first, second
+
+
+def synchronous_context_is_fine(session, network, vectors):
+    time.sleep(0.01)
+    subprocess.run(["true"])
+    return session.passes_test_set(network, vectors)

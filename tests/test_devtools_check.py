@@ -49,7 +49,8 @@ def rule_lines(path: Path, rule_id: str) -> list[int]:
 # Golden fixtures, one per rule
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
-    "rule_id", ["RPR001", "RPR002", "RPR003", "RPR004", "RPR006", "RPR007"]
+    "rule_id",
+    ["RPR001", "RPR002", "RPR003", "RPR004", "RPR006", "RPR007", "RPR008"],
 )
 def test_rule_fires_exactly_on_expect_markers(rule_id):
     fixture = FIXTURES / f"rpr{rule_id[3:]}_case.py"
@@ -97,6 +98,20 @@ def test_rpr007_exempts_the_observe_package():
         assert list(rule.check(exempt)) == []
     plain = FileContext.from_source("src/repro/api/session.py", source)
     assert len(list(rule.check(plain))) == 1
+
+
+def test_rpr008_applies_only_under_repro_serve():
+    rule = get_rule("RPR008")
+    source = "import time\n\nasync def f():\n    time.sleep(1)\n"
+    served = FileContext.from_source("src/repro/serve/service.py", source)
+    assert rule.applies(served)
+    assert len(list(rule.check(served))) == 1
+    # Event-loop discipline is a serve concern: the same code elsewhere
+    # in src (or in tests) is out of scope.
+    library = FileContext.from_source("src/repro/api/session.py", source)
+    assert not rule.applies(library)
+    test_file = FileContext.from_source("tests/test_serve.py", source)
+    assert not rule.applies(test_file)
 
 
 def test_rpr006_exempts_the_cache_restore_module():
@@ -197,6 +212,7 @@ def test_every_rule_is_registered():
         "RPR005",
         "RPR006",
         "RPR007",
+        "RPR008",
     ]
 
 

@@ -46,6 +46,12 @@ DOCUMENTED_MODULES = [
     "repro.observe",
     "repro.observe.metrics",
     "repro.observe.spans",
+    "repro.api.serialize",
+    "repro.serve",
+    "repro.serve.protocol",
+    "repro.serve.jobstore",
+    "repro.serve.service",
+    "repro.serve.client",
 ]
 
 
@@ -126,6 +132,20 @@ def test_architecture_doc_is_committed_and_linked():
         "merge_packed",
         "set_observation_enabled",
         "RPR007",
+        # The service-layer section: protocol, state machine, dedup key
+        # anatomy, the jobs/<id>/ layout and crash-resume.
+        "Service layer",
+        "repro.serve",
+        "newline-delimited JSON",
+        "Job state machine",
+        "Dedup key anatomy",
+        "jobs/<id>/",
+        "request.json",
+        "result.json",
+        "jobs_replayed",
+        "jobs_resumed",
+        "thread_safe=True",
+        "RPR008",
     ):
         assert marker in text, f"docs/ARCHITECTURE.md lost {marker!r}"
     readme = (REPO_ROOT / "README.md").read_text()
@@ -145,6 +165,21 @@ def test_architecture_doc_is_committed_and_linked():
     # The span-trace export example.
     for marker in ("Observability", "--trace", "REPRO_TRACE", "execution.trace"):
         assert marker in readme, f"README lost the trace example {marker!r}"
+    # The serve quickstart transcript.
+    for marker in (
+        "repro-networks serve",
+        "serve --socket",
+        "submit --socket",
+        "status --socket",
+        '"deduped": true',
+        "examples/serve_client.py",
+    ):
+        assert marker in readme, f"README lost the serve quickstart {marker!r}"
+    example = REPO_ROOT / "examples" / "serve_client.py"
+    assert example.is_file(), "examples/serve_client.py must be committed"
+    example_text = example.read_text()
+    for marker in ("ServeClient", "decode_result", "shutdown"):
+        assert marker in example_text, f"serve example lost {marker!r}"
 
 
 def test_caching_doc_is_committed_and_linked():
@@ -165,6 +200,8 @@ def test_caching_doc_is_committed_and_linked():
         "When *not* to cache",
         "ResultCache",
         "CacheStats",
+        "thread_safe=True",
+        "repro.serve",
     ):
         assert marker in text, f"docs/CACHING.md lost {marker!r}"
     readme = (REPO_ROOT / "README.md").read_text()
